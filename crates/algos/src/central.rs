@@ -1,0 +1,83 @@
+//! Sense-reversing central counter barrier.
+//!
+//! Every arrival increments one shared counter; the last arrival flips the
+//! global sense and resets the counter, releasing the spinners. O(1) space,
+//! but all N threads contend on two cache lines — the baseline the
+//! log-depth barriers beat as N grows.
+
+use crate::{spin_wait, ShmBarrier};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The classic central barrier with sense reversal.
+pub struct CentralSenseBarrier {
+    n: usize,
+    count: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    /// Each thread's private sense (only its owner writes it).
+    local_sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl CentralSenseBarrier {
+    /// Build for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty barrier");
+        CentralSenseBarrier {
+            n,
+            count: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            local_sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+}
+
+impl ShmBarrier for CentralSenseBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        let my_sense = !self.local_sense[tid].load(Ordering::Relaxed);
+        self.local_sense[tid].store(my_sense, Ordering::Relaxed);
+        // AcqRel: the increment both publishes this thread's pre-barrier
+        // writes and, for the releasing thread, acquires everyone else's.
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            spin_wait(|| self.sense.load(Ordering::Acquire) == my_sense);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::exercise;
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = CentralSenseBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn synchronizes_various_thread_counts() {
+        for n in [2usize, 3, 4, 7, 8] {
+            exercise(&CentralSenseBarrier::new(n), 300).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty barrier")]
+    fn zero_threads_rejected() {
+        CentralSenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The dissemination barrier (Hensgen/Finkel/Manber; MCS presentation) —
+//! the shared-memory original of the paper's `DS` cluster algorithm.
+//!
+//! ⌈log₂N⌉ rounds; in round `r` thread `i` sets a flag at `(i + 2^r) mod N`
+//! and spins on its own round-`r` flag. Flags are double-buffered by
+//! *parity* and sense-reversed so the structure is reusable while
+//! neighbours race one episode ahead — the same banked-progress idea the
+//! NIC protocol implements with event counters.
+
+use crate::{ceil_log2, spin_wait, ShmBarrier};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+struct ThreadState {
+    /// flags[parity][round]
+    flags: [Vec<CachePadded<AtomicBool>>; 2],
+    /// 0 or 1; only the owning thread mutates.
+    parity: AtomicU8,
+    /// Current sense for parity 0 episodes; flipped after odd parities.
+    sense: AtomicBool,
+}
+
+/// The dissemination barrier.
+///
+/// ```
+/// use nicbar_algos::{DisseminationBarrier, ShmBarrier};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let barrier = DisseminationBarrier::new(4);
+/// let turns = AtomicUsize::new(0);
+/// crossbeam::scope(|s| {
+///     for tid in 0..4 {
+///         let (barrier, turns) = (&barrier, &turns);
+///         s.spawn(move |_| {
+///             turns.fetch_add(1, Ordering::SeqCst);
+///             barrier.wait(tid);
+///             // Everyone has incremented by the time anyone returns.
+///             assert_eq!(turns.load(Ordering::SeqCst), 4);
+///         });
+///     }
+/// })
+/// .unwrap();
+/// ```
+pub struct DisseminationBarrier {
+    n: usize,
+    rounds: usize,
+    threads: Vec<ThreadState>,
+}
+
+impl DisseminationBarrier {
+    /// Build for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty barrier");
+        let rounds = ceil_log2(n);
+        let mk_flags = || {
+            (0..rounds)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect::<Vec<_>>()
+        };
+        DisseminationBarrier {
+            n,
+            rounds,
+            threads: (0..n)
+                .map(|_| ThreadState {
+                    flags: [mk_flags(), mk_flags()],
+                    parity: AtomicU8::new(0),
+                    sense: AtomicBool::new(true),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rounds per episode (⌈log₂N⌉ — the paper's step-count claim).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl ShmBarrier for DisseminationBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        let me = &self.threads[tid];
+        let parity = me.parity.load(Ordering::Relaxed) as usize;
+        let sense = me.sense.load(Ordering::Relaxed);
+        for r in 0..self.rounds {
+            let partner = (tid + (1 << r)) % self.n;
+            self.threads[partner].flags[parity][r].store(sense, Ordering::Release);
+            spin_wait(|| me.flags[parity][r].load(Ordering::Acquire) == sense);
+        }
+        if parity == 1 {
+            me.sense.store(!sense, Ordering::Relaxed);
+        }
+        me.parity.store(1 - parity as u8, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::exercise;
+
+    #[test]
+    fn round_count_matches_paper_formula() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(5).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(8).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(9).rounds(), 4);
+    }
+
+    #[test]
+    fn synchronizes_powers_of_two() {
+        for n in [2usize, 4, 8] {
+            exercise(&DisseminationBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn synchronizes_non_powers_of_two() {
+        for n in [3usize, 5, 6, 7] {
+            exercise(&DisseminationBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = DisseminationBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The shared correctness harness.
+//!
+//! The fundamental barrier property: when `wait` returns for episode `k`,
+//! every participant has *entered* episode `k`. Each thread publishes its
+//! episode counter before waiting and checks every peer's counter after —
+//! any barrier that releases early fails the check.
+
+use crate::ShmBarrier;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `iterations` consecutive episodes over `barrier` with its full
+/// thread count, checking the barrier property each time.
+pub fn exercise<B: ShmBarrier + ?Sized>(barrier: &B, iterations: usize) -> Result<(), String> {
+    let n = barrier.num_threads();
+    let epochs: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let failures: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+
+    crossbeam::scope(|scope| {
+        for tid in 0..n {
+            let epochs = &epochs;
+            let failures = &failures;
+            scope.spawn(move |_| {
+                for iter in 1..=iterations {
+                    epochs[tid].store(iter, Ordering::Release);
+                    barrier.wait(tid);
+                    for (peer, e) in epochs.iter().enumerate() {
+                        let seen = e.load(Ordering::Acquire);
+                        if seen < iter {
+                            // Record the earliest violation; keep running so
+                            // the other threads don't deadlock.
+                            let _ = failures[tid].compare_exchange(
+                                usize::MAX,
+                                peer * 1_000_000 + iter,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| "a barrier thread panicked".to_string())?;
+
+    for (tid, f) in failures.iter().enumerate() {
+        let v = f.load(Ordering::Relaxed);
+        if v != usize::MAX {
+            let peer = v / 1_000_000;
+            let iter = v % 1_000_000;
+            return Err(format!(
+                "thread {tid} exited episode {iter} before thread {peer} entered it"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A deliberately broken "barrier" used to prove the harness can fail.
+#[cfg(test)]
+pub(crate) struct NoBarrier {
+    n: usize,
+}
+
+#[cfg(test)]
+impl ShmBarrier for NoBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+    fn wait(&self, _tid: usize) {
+        // Returns immediately: not a barrier at all.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_detects_a_broken_barrier() {
+        // With enough threads and iterations, an immediate-return "barrier"
+        // is caught essentially always.
+        let b = NoBarrier { n: 4 };
+        let r = exercise(&b, 2_000);
+        assert!(r.is_err(), "harness failed to catch a non-barrier");
+    }
+
+    #[test]
+    fn harness_accepts_std_barrier_semantics() {
+        // Sanity-check the harness against std's own barrier.
+        struct Std {
+            inner: std::sync::Barrier,
+            n: usize,
+        }
+        impl ShmBarrier for Std {
+            fn num_threads(&self) -> usize {
+                self.n
+            }
+            fn wait(&self, _tid: usize) {
+                self.inner.wait();
+            }
+        }
+        let b = Std {
+            inner: std::sync::Barrier::new(4),
+            n: 4,
+        };
+        exercise(&b, 200).unwrap();
+    }
+}

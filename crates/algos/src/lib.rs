@@ -1,0 +1,95 @@
+//! # nicbar-algos — shared-memory analogues of the paper's barrier
+//! algorithms
+//!
+//! The cluster barrier algorithms of §5 descend from the classic
+//! shared-memory barriers of Mellor-Crummey & Scott (the paper's ref \[12\]).
+//! This crate implements them with real atomics so that (a) the algorithmic
+//! step counts can be validated on actual hardware, and (b) the Criterion
+//! harness can report genuine wall-clock numbers alongside the simulated
+//! ones:
+//!
+//! * [`central::CentralSenseBarrier`] — sense-reversing central counter
+//!   (the contended baseline),
+//! * [`dissemination::DisseminationBarrier`] — ⌈log₂N⌉ rounds, parity +
+//!   sense flags (the `DS` curves),
+//! * [`pairwise::PairwiseBarrier`] — recursive doubling with the paper's
+//!   pre/post steps for non-powers of two (the `PE` curves),
+//! * [`tournament::TournamentBarrier`] — statically paired tournament with
+//!   a binary wakeup,
+//! * [`mcs_tree::McsTreeBarrier`] — MCS 4-ary arrival / binary wakeup tree.
+//!
+//! All barriers implement [`ShmBarrier`] and are exercised by the shared
+//! [`harness`], which checks the fundamental barrier property: no thread
+//! observes a peer's epoch counter behind its own after the wait returns.
+
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod dissemination;
+pub mod harness;
+pub mod mcs_tree;
+pub mod pairwise;
+pub mod tournament;
+
+pub use central::CentralSenseBarrier;
+pub use dissemination::DisseminationBarrier;
+pub use mcs_tree::McsTreeBarrier;
+pub use pairwise::PairwiseBarrier;
+pub use tournament::TournamentBarrier;
+
+/// A reusable N-thread spinning barrier.
+///
+/// `wait(tid)` blocks thread `tid` (0-based, each id used by exactly one
+/// thread) until all `num_threads` threads of the current episode arrive.
+/// Implementations are reusable across consecutive episodes without
+/// re-initialization.
+pub trait ShmBarrier: Send + Sync {
+    /// Number of participating threads.
+    fn num_threads(&self) -> usize;
+    /// Block until every thread has entered this episode.
+    fn wait(&self, tid: usize);
+}
+
+/// Spin politely: busy-spin with a processor hint, yielding to the OS
+/// periodically so oversubscribed test runs still make progress.
+#[inline]
+pub(crate) fn spin_wait<F: Fn() -> bool>(ready: F) {
+    let mut spins = 0u32;
+    while !ready() {
+        std::hint::spin_loop();
+        spins += 1;
+        if spins % 256 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// ⌈log₂ n⌉ (0 for n ≤ 1).
+pub(crate) fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// ⌊log₂ n⌋ (0 for n ≤ 1).
+pub(crate) fn floor_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - n.leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(floor_log2(5), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! The MCS tree barrier (Mellor-Crummey & Scott 1991, the paper's ref
+//! \[12\]): 4-ary arrival tree, binary wakeup tree.
+//!
+//! Each thread spins only on locations it owns: arrival propagates up as
+//! children clear their slot in the parent's `child_not_ready` vector;
+//! wakeup propagates down a separate binary tree of sense-reversed flags.
+//! This is the gather-broadcast shape of the paper's Fig. 2, with the
+//! re-arm-before-signal trick standing in for epoch banking.
+
+use crate::{spin_wait, ShmBarrier};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const ARITY: usize = 4;
+
+struct Node {
+    /// Slot `j` is true while arrival child `j` has not arrived.
+    child_not_ready: [AtomicBool; ARITY],
+    /// Which arrival-tree children exist (static).
+    have_child: [bool; ARITY],
+    /// Wakeup flag, sense-reversed, set by the wakeup-tree parent.
+    wakeup: CachePadded<AtomicBool>,
+    /// Per-thread sense (owner-only writes).
+    sense: CachePadded<AtomicBool>,
+}
+
+/// The MCS 4-ary/2-ary tree barrier.
+pub struct McsTreeBarrier {
+    n: usize,
+    nodes: Vec<Node>,
+}
+
+impl McsTreeBarrier {
+    /// Build for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty barrier");
+        let nodes = (0..n)
+            .map(|i| {
+                let have_child =
+                    std::array::from_fn(|j| ARITY * i + j + 1 < n);
+                Node {
+                    child_not_ready: std::array::from_fn(|j| AtomicBool::new(have_child[j])),
+                    have_child,
+                    wakeup: CachePadded::new(AtomicBool::new(false)),
+                    sense: CachePadded::new(AtomicBool::new(false)),
+                }
+            })
+            .collect();
+        McsTreeBarrier { n, nodes }
+    }
+}
+
+impl ShmBarrier for McsTreeBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        let me = &self.nodes[tid];
+        let sense = !me.sense.load(Ordering::Relaxed);
+        me.sense.store(sense, Ordering::Relaxed);
+
+        // Arrival: wait for all 4-ary children, then re-arm *before*
+        // signalling up — a child can only race into the next episode after
+        // the global wakeup, which happens-after this re-arm.
+        spin_wait(|| {
+            me.child_not_ready
+                .iter()
+                .all(|c| !c.load(Ordering::Acquire))
+        });
+        for (j, c) in me.child_not_ready.iter().enumerate() {
+            c.store(me.have_child[j], Ordering::Relaxed);
+        }
+        if tid != 0 {
+            let parent = (tid - 1) / ARITY;
+            let slot = (tid - 1) % ARITY;
+            self.nodes[parent].child_not_ready[slot].store(false, Ordering::Release);
+            // Block until the binary wakeup tree reaches us.
+            spin_wait(|| me.wakeup.load(Ordering::Acquire) == sense);
+        }
+
+        // Wakeup: release binary-tree children.
+        for c in [2 * tid + 1, 2 * tid + 2] {
+            if c < self.n {
+                self.nodes[c].wakeup.store(sense, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::exercise;
+
+    #[test]
+    fn arrival_tree_structure() {
+        let b = McsTreeBarrier::new(6);
+        assert_eq!(b.nodes[0].have_child, [true, true, true, true]);
+        assert_eq!(b.nodes[1].have_child, [true, false, false, false]);
+        assert_eq!(b.nodes[2].have_child, [false, false, false, false]);
+    }
+
+    #[test]
+    fn synchronizes_various_thread_counts() {
+        for n in [2usize, 3, 4, 5, 6, 7, 8] {
+            exercise(&McsTreeBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = McsTreeBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+}

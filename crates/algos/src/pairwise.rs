@@ -1,0 +1,146 @@
+//! The pairwise-exchange barrier (recursive doubling, as in MPICH) — the
+//! shared-memory original of the paper's `PE` cluster algorithm.
+//!
+//! For powers of two: `log₂N` rounds where thread `i` exchanges flags with
+//! `i XOR 2^r`. Otherwise (`M` = largest power of two ≤ `N`): the paper's
+//! pre-step (threads `≥ M` announce to `i − M`), the `M`-thread exchange,
+//! and a post-step releasing the high threads — `⌊log₂N⌋ + 2` steps.
+
+use crate::{floor_log2, spin_wait, ShmBarrier};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+struct ThreadState {
+    /// flags[parity][slot]: slot 0 = pre, 1..=rounds = exchanges,
+    /// rounds+1 = post.
+    flags: [Vec<CachePadded<AtomicBool>>; 2],
+    parity: AtomicU8,
+    sense: AtomicBool,
+}
+
+/// The pairwise-exchange barrier with non-power-of-two pre/post steps.
+pub struct PairwiseBarrier {
+    n: usize,
+    /// Largest power of two ≤ n.
+    m: usize,
+    rounds: usize,
+    threads: Vec<ThreadState>,
+}
+
+impl PairwiseBarrier {
+    /// Build for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty barrier");
+        let rounds = floor_log2(n);
+        let m = 1usize << rounds;
+        let slots = rounds + 2;
+        let mk = || {
+            (0..slots)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect::<Vec<_>>()
+        };
+        PairwiseBarrier {
+            n,
+            m,
+            rounds,
+            threads: (0..n)
+                .map(|_| ThreadState {
+                    flags: [mk(), mk()],
+                    parity: AtomicU8::new(0),
+                    sense: AtomicBool::new(true),
+                })
+                .collect(),
+        }
+    }
+
+    /// Steps per episode: `log₂N` exactly for powers of two, `⌊log₂N⌋ + 2`
+    /// otherwise (the paper's formula).
+    pub fn steps(&self) -> usize {
+        if self.n == 1 {
+            0
+        } else if self.n == self.m {
+            self.rounds
+        } else {
+            self.rounds + 2
+        }
+    }
+}
+
+impl ShmBarrier for PairwiseBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        let me = &self.threads[tid];
+        let parity = me.parity.load(Ordering::Relaxed) as usize;
+        let sense = me.sense.load(Ordering::Relaxed);
+        let pre = 0;
+        let post = self.rounds + 1;
+
+        if tid >= self.m {
+            // Extra thread: announce, then wait for the release.
+            let partner = tid - self.m;
+            self.threads[partner].flags[parity][pre].store(sense, Ordering::Release);
+            spin_wait(|| me.flags[parity][post].load(Ordering::Acquire) == sense);
+        } else {
+            if tid + self.m < self.n {
+                // Absorb the extra's announcement before the exchange.
+                spin_wait(|| me.flags[parity][pre].load(Ordering::Acquire) == sense);
+            }
+            for r in 0..self.rounds {
+                let partner = tid ^ (1 << r);
+                self.threads[partner].flags[parity][r + 1].store(sense, Ordering::Release);
+                spin_wait(|| me.flags[parity][r + 1].load(Ordering::Acquire) == sense);
+            }
+            if tid + self.m < self.n {
+                self.threads[tid + self.m].flags[parity][post].store(sense, Ordering::Release);
+            }
+        }
+
+        if parity == 1 {
+            me.sense.store(!sense, Ordering::Relaxed);
+        }
+        me.parity.store(1 - parity as u8, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::exercise;
+
+    #[test]
+    fn step_count_matches_paper_formula() {
+        assert_eq!(PairwiseBarrier::new(1).steps(), 0);
+        assert_eq!(PairwiseBarrier::new(2).steps(), 1);
+        assert_eq!(PairwiseBarrier::new(8).steps(), 3);
+        assert_eq!(PairwiseBarrier::new(6).steps(), 4); // ⌊log₂6⌋+2
+        assert_eq!(PairwiseBarrier::new(9).steps(), 5); // ⌊log₂9⌋+2
+    }
+
+    #[test]
+    fn synchronizes_powers_of_two() {
+        for n in [2usize, 4, 8] {
+            exercise(&PairwiseBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn synchronizes_non_powers_of_two() {
+        for n in [3usize, 5, 6, 7] {
+            exercise(&PairwiseBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = PairwiseBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+}

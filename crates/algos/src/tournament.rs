@@ -1,0 +1,182 @@
+//! The tournament barrier (Hensgen/Finkel; MCS presentation).
+//!
+//! Threads are statically paired per round; the loser signals the winner
+//! and blocks, the winner advances. Thread 0 becomes the champion and
+//! starts a wakeup wave back down its winning rounds. Like the cluster
+//! algorithms, arrivals take ⌈log₂N⌉ rounds — but with *statically known*
+//! communication partners, which is what makes the tournament (and the
+//! paper's NIC schedules) amenable to pre-armed triggers.
+
+use crate::{ceil_log2, spin_wait, ShmBarrier};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Per-round role of a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    /// Waits for the loser's signal and advances.
+    Winner,
+    /// Signals the winner and blocks until woken.
+    Loser,
+    /// No partner this round (non-power-of-two sizes); advances freely.
+    Bye,
+    /// Thread 0 in its final round: winning it completes the barrier.
+    Champion,
+    /// Already lost in an earlier round.
+    Dropout,
+}
+
+/// The tournament barrier.
+pub struct TournamentBarrier {
+    n: usize,
+    rounds: usize,
+    /// roles[tid][round], precomputed.
+    roles: Vec<Vec<Role>>,
+    /// arrival[tid][round]: set by the loser paired with `tid`.
+    arrival: Vec<Vec<CachePadded<AtomicBool>>>,
+    /// wakeup[tid]: set by the winner that beat `tid`.
+    wakeup: Vec<CachePadded<AtomicBool>>,
+    /// Per-thread sense (owner-only writes).
+    sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl TournamentBarrier {
+    /// Build for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty barrier");
+        let rounds = ceil_log2(n);
+        let mut roles = vec![vec![Role::Dropout; rounds]; n];
+        for (tid, row) in roles.iter_mut().enumerate() {
+            let mut active = true;
+            for (k, slot) in row.iter_mut().enumerate() {
+                if !active {
+                    break; // stays Dropout
+                }
+                let pair = 1usize << (k + 1);
+                let half = 1usize << k;
+                *slot = if tid % pair == 0 {
+                    if tid + half < n {
+                        if tid == 0 && pair >= n {
+                            Role::Champion
+                        } else {
+                            Role::Winner
+                        }
+                    } else {
+                        Role::Bye
+                    }
+                } else {
+                    active = false;
+                    Role::Loser
+                };
+            }
+        }
+        TournamentBarrier {
+            n,
+            rounds,
+            roles,
+            arrival: (0..n)
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicBool::new(false)))
+                        .collect()
+                })
+                .collect(),
+            wakeup: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    /// Arrival rounds (⌈log₂N⌉).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl ShmBarrier for TournamentBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        let sense = !self.sense[tid].load(Ordering::Relaxed);
+        self.sense[tid].store(sense, Ordering::Relaxed);
+
+        // Arrival phase: climb until we lose (or run the table as champion).
+        let mut lost_at = self.rounds;
+        for k in 0..self.rounds {
+            match self.roles[tid][k] {
+                Role::Loser => {
+                    let winner = tid - (1 << k);
+                    self.arrival[winner][k].store(sense, Ordering::Release);
+                    spin_wait(|| self.wakeup[tid].load(Ordering::Acquire) == sense);
+                    lost_at = k;
+                    break;
+                }
+                Role::Winner | Role::Champion => {
+                    spin_wait(|| self.arrival[tid][k].load(Ordering::Acquire) == sense);
+                }
+                Role::Bye => {}
+                Role::Dropout => unreachable!("dropout rounds are skipped by the break"),
+            }
+        }
+
+        // Wakeup phase: release every thread that lost to us, top down.
+        for k in (0..lost_at).rev() {
+            if matches!(self.roles[tid][k], Role::Winner | Role::Champion) {
+                let loser = tid + (1 << k);
+                self.wakeup[loser].store(sense, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::exercise;
+
+    #[test]
+    fn roles_for_three_threads() {
+        let b = TournamentBarrier::new(3);
+        assert_eq!(b.roles[0][0], Role::Winner);
+        assert_eq!(b.roles[0][1], Role::Champion);
+        assert_eq!(b.roles[1][0], Role::Loser);
+        assert_eq!(b.roles[2][0], Role::Bye);
+        assert_eq!(b.roles[2][1], Role::Loser);
+    }
+
+    #[test]
+    fn champion_exists_exactly_once() {
+        for n in [2usize, 3, 4, 5, 8, 13, 16] {
+            let b = TournamentBarrier::new(n);
+            let champions: usize = b
+                .roles
+                .iter()
+                .map(|row| row.iter().filter(|&&r| r == Role::Champion).count())
+                .sum();
+            assert_eq!(champions, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn synchronizes_various_thread_counts() {
+        for n in [2usize, 3, 4, 5, 6, 7, 8] {
+            exercise(&TournamentBarrier::new(n), 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = TournamentBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests for the shared-memory barriers: every implementation
+//! must satisfy the barrier property for arbitrary thread counts and
+//! episode counts (bounded to keep wall time sane).
+
+use nicbar_algos::{
+    harness::exercise, CentralSenseBarrier, DisseminationBarrier, McsTreeBarrier,
+    PairwiseBarrier, ShmBarrier, TournamentBarrier,
+};
+use proptest::prelude::*;
+
+fn check_all(n: usize, iterations: usize) -> Result<(), TestCaseError> {
+    let barriers: Vec<(&str, Box<dyn ShmBarrier>)> = vec![
+        ("central", Box::new(CentralSenseBarrier::new(n))),
+        ("dissemination", Box::new(DisseminationBarrier::new(n))),
+        ("pairwise", Box::new(PairwiseBarrier::new(n))),
+        ("tournament", Box::new(TournamentBarrier::new(n))),
+        ("mcs_tree", Box::new(McsTreeBarrier::new(n))),
+    ];
+    for (name, b) in barriers {
+        exercise(b.as_ref(), iterations)
+            .map_err(|e| TestCaseError::fail(format!("{name} (n={n}): {e}")))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn all_barriers_synchronize_arbitrary_thread_counts(
+        n in 1usize..10,
+        iterations in 50usize..200,
+    ) {
+        check_all(n, iterations)?;
+    }
+}
+
+#[test]
+fn oversubscribed_thread_counts_still_synchronize() {
+    // More threads than most CI machines have cores: the yielding spin
+    // loops must keep making progress.
+    check_all(12, 100).unwrap();
+}

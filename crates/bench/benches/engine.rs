@@ -1,0 +1,78 @@
+//! Raw discrete-event-engine throughput: events per second through the
+//! scheduler. A regression here slows every simulation in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nicbar_sim::{Component, ComponentId, Ctx, Engine, SimTime};
+
+const EVENTS: u64 = 100_000;
+
+enum Msg {
+    Hop(u64),
+}
+
+/// Bounces an event around a ring of components until the hop budget runs
+/// out — a pure scheduler workload.
+struct RingHop {
+    next: ComponentId,
+}
+
+impl Component<Msg> for RingHop {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Hop(remaining) = msg;
+        if remaining > 0 {
+            ctx.send(SimTime::from_ns(10), self.next, Msg::Hop(remaining - 1));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("ring_hop_100k_events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<Msg> = Engine::new(0);
+            let ids: Vec<ComponentId> = (0..16).map(|_| engine.reserve_id()).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                engine.install(
+                    id,
+                    RingHop {
+                        next: ids[(i + 1) % ids.len()],
+                    },
+                );
+            }
+            engine.schedule_at(SimTime::ZERO, ids[0], Msg::Hop(EVENTS));
+            engine.run();
+            engine.events_processed()
+        })
+    });
+    // A fan-out heavy workload: every event schedules 4 children until a
+    // depth budget is hit (heap-pressure profile).
+    struct FanOut;
+    enum FMsg {
+        Spawn(u32),
+    }
+    impl Component<FMsg> for FanOut {
+        fn handle(&mut self, msg: FMsg, ctx: &mut Ctx<'_, FMsg>) {
+            let FMsg::Spawn(depth) = msg;
+            if depth > 0 {
+                for k in 0..4u64 {
+                    ctx.send_self(SimTime::from_ns(10 + k), FMsg::Spawn(depth - 1));
+                }
+            }
+        }
+    }
+    g.bench_function("fanout_4^8_events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<FMsg> = Engine::new(0);
+            let id = engine.add(FanOut);
+            engine.schedule_at(SimTime::ZERO, id, FMsg::Spawn(8));
+            engine.run();
+            engine.events_processed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

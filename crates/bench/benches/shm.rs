@@ -1,0 +1,70 @@
+//! Genuine wall-clock benchmarks of the shared-memory barrier analogues
+//! (nicbar-algos): each measurement is 1000 consecutive barrier episodes
+//! across `n` OS threads, reported per-episode by Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nicbar_algos::{
+    CentralSenseBarrier, DisseminationBarrier, McsTreeBarrier, PairwiseBarrier, ShmBarrier,
+    TournamentBarrier,
+};
+
+const EPISODES: usize = 1000;
+
+/// Run `EPISODES` barrier episodes over `barrier` with its thread count.
+fn episodes<B: ShmBarrier>(barrier: &B) {
+    let n = barrier.num_threads();
+    crossbeam::scope(|scope| {
+        for tid in 0..n {
+            scope.spawn(move |_| {
+                for _ in 0..EPISODES {
+                    barrier.wait(tid);
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    // Keep at least the 2-thread case even on single-core CI boxes — the
+    // barriers' spin loops yield, so oversubscribed runs still complete
+    // (just with less meaningful absolute numbers).
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .max(2);
+    let counts: Vec<usize> = [2usize, 4, 8]
+        .into_iter()
+        .filter(|&n| n <= max_threads)
+        .collect();
+
+    let mut g = c.benchmark_group("shm_barriers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EPISODES as u64));
+    for &n in &counts {
+        g.bench_with_input(BenchmarkId::new("central", n), &n, |b, &n| {
+            let bar = CentralSenseBarrier::new(n);
+            b.iter(|| episodes(&bar));
+        });
+        g.bench_with_input(BenchmarkId::new("dissemination", n), &n, |b, &n| {
+            let bar = DisseminationBarrier::new(n);
+            b.iter(|| episodes(&bar));
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise", n), &n, |b, &n| {
+            let bar = PairwiseBarrier::new(n);
+            b.iter(|| episodes(&bar));
+        });
+        g.bench_with_input(BenchmarkId::new("tournament", n), &n, |b, &n| {
+            let bar = TournamentBarrier::new(n);
+            b.iter(|| episodes(&bar));
+        });
+        g.bench_with_input(BenchmarkId::new("mcs_tree", n), &n, |b, &n| {
+            let bar = McsTreeBarrier::new(n);
+            b.iter(|| episodes(&bar));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5: NIC-based vs host-based barrier latency, 2–16 nodes, on the
+//! LANai-9.1 / 700 MHz / 66 MHz-PCI cluster.
+//!
+//! Paper anchors: 25.72 µs NIC-based at 16 nodes; 3.38× improvement over
+//! the host-based barrier; PE bumps above DS at non-powers of two.
+
+use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
+use nicbar_core::{gm_host_barrier, gm_nic_barrier, Algorithm};
+use nicbar_gm::{CollFeatures, GmParams};
+
+fn main() {
+    let ns: Vec<usize> = (2..=16).collect();
+    let cfg = figure_cfg();
+
+    let curve = |mode: &'static str, algo: Algorithm| -> Vec<(usize, f64)> {
+        parallel_sweep(&ns, |n| {
+            let params = GmParams::lanai_9_1();
+            match mode {
+                "nic" => gm_nic_barrier(params, CollFeatures::paper(), n, algo, cfg).mean_us,
+                _ => gm_host_barrier(params, n, algo, cfg).mean_us,
+            }
+        })
+    };
+
+    let fig = Figure::new(
+        "fig5",
+        "Fig. 5 — Barrier latency (µs), Myrinet LANai-9.1, 16-node 700 MHz cluster",
+        vec![
+            Series::new("NIC-DS", curve("nic", Algorithm::Dissemination)),
+            Series::new("NIC-PE", curve("nic", Algorithm::PairwiseExchange)),
+            Series::new("Host-DS", curve("host", Algorithm::Dissemination)),
+            Series::new("Host-PE", curve("host", Algorithm::PairwiseExchange)),
+        ],
+    );
+    fig.print();
+    fig.save().expect("write results/fig5.json");
+
+    let nic16 = fig.series[0].at(16).unwrap();
+    let host16 = fig.series[2].at(16).unwrap();
+    println!("\npaper anchors: NIC @16 = 25.72 µs (sim {nic16:.2}),");
+    println!(
+        "               improvement factor @16 = 3.38x (sim {:.2}x)",
+        host16 / nic16
+    );
+}

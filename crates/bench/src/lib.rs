@@ -1,0 +1,177 @@
+//! # nicbar-bench — the harness that regenerates the paper's evaluation
+//!
+//! One binary per figure (`fig5`, `fig6`, `fig7`, `fig8`), the headline
+//! table (`table1`), and the feature ablation (`ablation`). Each binary
+//! prints the paper's series side by side with the simulated ones and
+//! writes machine-readable JSON under `results/`.
+//!
+//! Criterion benches (`benches/figures.rs`, `benches/shm.rs`) exercise the
+//! same code paths under `cargo bench`.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One labelled curve of `(n, latency_us)` points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. "NIC-DS").
+    pub label: String,
+    /// `(nodes, latency µs)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Build from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(usize, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Latency at a given `n`, if present.
+    pub fn at(&self, n: usize) -> Option<f64> {
+        self.points.iter().find(|&&(pn, _)| pn == n).map(|&(_, v)| v)
+    }
+}
+
+/// A complete figure: title plus series, serialized to `results/`.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Figure identifier ("fig5", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Assemble a figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, series: Vec<Series>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            series,
+        }
+    }
+
+    /// Print as an aligned text table.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let ns: Vec<usize> = {
+            let mut all: Vec<usize> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(n, _)| n))
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        };
+        print!("{:>6}", "nodes");
+        for s in &self.series {
+            print!("{:>16}", s.label);
+        }
+        println!();
+        for n in ns {
+            print!("{n:>6}");
+            for s in &self.series {
+                match s.at(n) {
+                    Some(v) => print!("{v:>16.2}"),
+                    None => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Write JSON to `results/<id>.json` (creating the directory).
+    pub fn save(&self) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("figure serializes");
+        f.write_all(json.as_bytes())?;
+        println!("[saved {}]", path.display());
+        Ok(())
+    }
+}
+
+/// Run `f` for every `n` in parallel (one OS thread per point — each point
+/// is an independent deterministic simulation).
+pub fn parallel_sweep<F>(ns: &[usize], f: F) -> Vec<(usize, f64)>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let mut out: Vec<(usize, f64)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ns
+            .iter()
+            .map(|&n| {
+                let f = &f;
+                scope.spawn(move |_| (n, f(n)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    out.sort_by_key(|&(n, _)| n);
+    out
+}
+
+/// The benchmark iteration counts used by the figure binaries. The paper
+/// uses 100 warm-up + 10 000 measured iterations on hardware; the simulated
+/// fabric is deterministic, so 100 + 2 000 reaches the identical steady
+/// state at a fraction of the wall time (changing this only narrows the
+/// already-negligible variance).
+pub fn figure_cfg() -> nicbar_core::RunCfg {
+    nicbar_core::RunCfg {
+        warmup: 100,
+        iters: 2000,
+        ..nicbar_core::RunCfg::default()
+    }
+}
+
+/// Reduced iteration counts for Criterion benches (wall-time bounded).
+pub fn criterion_cfg() -> nicbar_core::RunCfg {
+    nicbar_core::RunCfg {
+        warmup: 20,
+        iters: 200,
+        ..nicbar_core::RunCfg::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup() {
+        let s = Series::new("x", vec![(2, 1.0), (4, 2.0)]);
+        assert_eq!(s.at(4), Some(2.0));
+        assert_eq!(s.at(8), None);
+    }
+
+    #[test]
+    fn parallel_sweep_is_ordered_and_complete() {
+        let pts = parallel_sweep(&[8, 2, 4], |n| n as f64 * 1.5);
+        assert_eq!(pts, vec![(2, 3.0), (4, 6.0), (8, 12.0)]);
+    }
+
+    #[test]
+    fn figure_print_does_not_panic() {
+        let fig = Figure::new(
+            "t",
+            "test figure",
+            vec![
+                Series::new("a", vec![(2, 1.0)]),
+                Series::new("b", vec![(2, 2.0), (4, 3.0)]),
+            ],
+        );
+        fig.print();
+    }
+}

@@ -1,0 +1,464 @@
+//! The benchmark driver: builds a cluster, runs consecutive barriers with
+//! the paper's methodology (warm-up iterations discarded, the average of
+//! the measured iterations reported, optional random node permutation), and
+//! returns structured statistics.
+
+use crate::elan_apps::{ElanGsyncApp, ElanHwBarrierApp, ElanNicBarrierApp};
+use crate::elan_chain::build_chains;
+use crate::host_app::{HostBarrierApp, NicBarrierApp};
+use crate::protocol::{GroupSpec, PaperCollective};
+use crate::schedule::Algorithm;
+use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram};
+use nicbar_gm::{
+    CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective,
+};
+use nicbar_net::{NodeId, Permutation};
+use nicbar_sim::{RunOutcome, SimRng, SimTime};
+
+/// The collective group id used by the barrier benchmarks.
+pub const BARRIER_GROUP: GroupId = GroupId(0xBA);
+
+/// Common benchmark configuration (paper §8: 100 warm-up iterations, the
+/// average of the following iterations as the latency, random node
+/// permutations).
+#[derive(Clone, Copy, Debug)]
+pub struct RunCfg {
+    /// Discarded warm-up iterations.
+    pub warmup: u64,
+    /// Measured iterations.
+    pub iters: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Uniform random per-process compute skew before each re-entry, µs
+    /// (0 = the paper's tight loop).
+    pub skew_us: f64,
+    /// Fabric loss injection (GM only).
+    pub drop_prob: f64,
+    /// Place ranks on a random node permutation.
+    pub permute: bool,
+}
+
+impl Default for RunCfg {
+    fn default() -> Self {
+        RunCfg {
+            warmup: 100,
+            iters: 1000,
+            seed: 42,
+            skew_us: 0.0,
+            drop_prob: 0.0,
+            permute: false,
+        }
+    }
+}
+
+impl RunCfg {
+    /// Total epochs each process runs.
+    pub fn total(&self) -> u64 {
+        self.warmup + self.iters
+    }
+
+    fn deadline(&self) -> SimTime {
+        // Generous: no realistic barrier exceeds 10 ms even under loss.
+        SimTime::from_us(self.total() as f64 * 10_000.0 + 1_000_000.0)
+    }
+
+    fn members(&self, n: usize) -> Vec<NodeId> {
+        if self.permute {
+            let mut rng = SimRng::new(self.seed ^ 0x9E3779B97F4A7C15);
+            Permutation::random(n, n, &mut rng).nodes().to_vec()
+        } else {
+            (0..n).map(NodeId).collect()
+        }
+    }
+}
+
+/// Results of one barrier benchmark run.
+#[derive(Clone, Debug)]
+pub struct BarrierStats {
+    /// Group size.
+    pub n: usize,
+    /// Mean barrier latency over the measured window, µs.
+    pub mean_us: f64,
+    /// Per-iteration global latencies in the measured window, µs.
+    pub per_iter_us: Vec<f64>,
+    /// Wire packets per barrier (all kinds), averaged over every epoch.
+    pub wire_per_barrier: f64,
+    /// Raw engine counters at the end of the run.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BarrierStats {
+    /// Largest single-iteration latency in the window, µs.
+    pub fn max_us(&self) -> f64 {
+        self.per_iter_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest single-iteration latency in the window, µs.
+    pub fn min_us(&self) -> f64 {
+        self.per_iter_us.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// A named counter's final value.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// Reduce per-rank completion logs to global per-iteration latencies.
+pub(crate) fn stats_from_logs(
+    n: usize,
+    cfg: &RunCfg,
+    logs: Vec<&[SimTime]>,
+    counters: Vec<(String, u64)>,
+) -> BarrierStats {
+    let total = cfg.total() as usize;
+    for (i, log) in logs.iter().enumerate() {
+        assert_eq!(
+            log.len(),
+            total,
+            "rank {i} completed {} of {total} barriers",
+            log.len()
+        );
+    }
+    // Barrier safety: no process may exit epoch k before every process has
+    // exited k−1 (exit of k requires all entries to k, and entry to k
+    // happens after own exit of k−1). Checked on every run.
+    for k in 1..total {
+        let min_exit_k = logs.iter().map(|l| l[k]).min().expect("n >= 1");
+        let max_exit_prev = logs.iter().map(|l| l[k - 1]).max().expect("n >= 1");
+        assert!(
+            min_exit_k >= max_exit_prev,
+            "barrier safety violated at epoch {k}: exit {min_exit_k} precedes previous epoch's last exit {max_exit_prev}"
+        );
+    }
+    // Global completion of epoch k = the last process to finish it.
+    let global: Vec<SimTime> = (0..total)
+        .map(|k| logs.iter().map(|l| l[k]).max().expect("n >= 1"))
+        .collect();
+    assert!(cfg.warmup >= 1, "need at least one warm-up iteration");
+    let w = cfg.warmup as usize;
+    let per_iter_us: Vec<f64> = (w..total)
+        .map(|k| (global[k] - global[k - 1]).as_us())
+        .collect();
+    let mean_us = (global[total - 1] - global[w - 1]).as_us() / cfg.iters as f64;
+    let wire_total = counters
+        .iter()
+        .find(|(k, _)| k == "wire.total" || k == "elan.wire")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    BarrierStats {
+        n,
+        mean_us,
+        per_iter_us,
+        wire_per_barrier: wire_total as f64 / total as f64,
+        counters,
+    }
+}
+
+/// Run the paper's NIC-based barrier over the GM/Myrinet substrate.
+pub fn gm_nic_barrier(
+    params: GmParams,
+    features: CollFeatures,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> BarrierStats {
+    let timeout = params.coll_timeout;
+    let spec = GmClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_drop_prob(cfg.drop_prob)
+        .with_features(features);
+    let members = cfg.members(n);
+    // apps/colls are indexed by *node*; rank r lives on members[r].
+    let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
+    let mut colls: Vec<Option<Box<dyn NicCollective>>> = (0..n).map(|_| None).collect();
+    for (rank, &node) in members.iter().enumerate() {
+        apps[node.0] = Some(Box::new(NicBarrierApp::new(
+            BARRIER_GROUP,
+            cfg.total(),
+            cfg.skew_us,
+        )));
+        colls[node.0] = Some(Box::new(PaperCollective::new(
+            node,
+            vec![GroupSpec::barrier(
+                BARRIER_GROUP,
+                members.clone(),
+                rank,
+                algo,
+                timeout,
+            )],
+        )));
+    }
+    let apps: Vec<Box<dyn GmApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
+    let colls: Vec<Box<dyn NicCollective>> =
+        colls.into_iter().map(|c| c.expect("bijection")).collect();
+    let mut cluster = GmCluster::build(spec, apps, colls);
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "NIC barrier run did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<NicBarrierApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    stats_from_logs(n, &cfg, logs, counters)
+}
+
+/// Run the host-based barrier baseline over the GM/Myrinet substrate.
+pub fn gm_host_barrier(
+    params: GmParams,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> BarrierStats {
+    let spec = GmClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_drop_prob(cfg.drop_prob);
+    let members = cfg.members(n);
+    let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
+    for (rank, &node) in members.iter().enumerate() {
+        apps[node.0] = Some(Box::new(HostBarrierApp::new(
+            algo,
+            members.clone(),
+            rank,
+            cfg.total(),
+            cfg.skew_us,
+        )));
+    }
+    let apps: Vec<Box<dyn GmApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
+    let mut cluster = GmCluster::build_p2p(spec, apps);
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "host barrier run did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<HostBarrierApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    stats_from_logs(n, &cfg, logs, counters)
+}
+
+/// Run the NIC-based barrier over the Quadrics substrate (chained RDMA).
+pub fn elan_nic_barrier(
+    params: ElanParams,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> BarrierStats {
+    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let members = cfg.members(n);
+    let chain_by_rank = build_chains(algo, &members);
+    let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
+    let mut programs: Vec<NicProgram> = vec![NicProgram::default(); n];
+    for (rank, &node) in members.iter().enumerate() {
+        apps[node.0] = Some(Box::new(ElanNicBarrierApp::new(cfg.total(), cfg.skew_us)));
+        programs[node.0] = chain_by_rank[rank].clone();
+    }
+    let apps: Vec<Box<dyn ElanApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
+    let mut cluster = ElanCluster::build(spec, apps, programs);
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "elan NIC barrier did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<ElanNicBarrierApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    stats_from_logs(n, &cfg, logs, counters)
+}
+
+/// Run the Elanlib tree barrier (`elan_gsync`, hardware broadcast off).
+pub fn elan_gsync_barrier(
+    params: ElanParams,
+    n: usize,
+    degree: usize,
+    cfg: RunCfg,
+) -> BarrierStats {
+    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let members = cfg.members(n);
+    let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
+    for (rank, &node) in members.iter().enumerate() {
+        apps[node.0] = Some(Box::new(ElanGsyncApp::new(
+            rank,
+            members.clone(),
+            degree,
+            cfg.total(),
+            cfg.skew_us,
+        )));
+    }
+    let apps: Vec<Box<dyn ElanApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
+    let mut cluster = ElanCluster::build(spec, apps, vec![NicProgram::default(); n]);
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "gsync run did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<ElanGsyncApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    stats_from_logs(n, &cfg, logs, counters)
+}
+
+/// Run the hardware barrier (`elan_hgsync` fast path). Requires the
+/// identity placement (hardware broadcast needs contiguous nodes — the
+/// paper's stated limitation), so `cfg.permute` is ignored.
+pub fn elan_hw_barrier(params: ElanParams, n: usize, cfg: RunCfg) -> BarrierStats {
+    let spec = ElanClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_hw_barrier();
+    let apps: Vec<Box<dyn ElanApp>> = (0..n)
+        .map(|_| Box::new(ElanHwBarrierApp::new(cfg.total(), cfg.skew_us)) as Box<dyn ElanApp>)
+        .collect();
+    let mut cluster = ElanCluster::build(spec, apps, vec![NicProgram::default(); n]);
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "hw barrier run did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<ElanHwBarrierApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    stats_from_logs(n, &cfg, logs, counters)
+}
+
+/// Run the *thread-processor* barrier over Quadrics — the §7 alternative
+/// the paper rejected ("an extra thread does increase the processing
+/// load"). Compare with [`elan_nic_barrier`] to quantify that choice.
+pub fn elan_thread_barrier(params: ElanParams, n: usize, cfg: RunCfg) -> BarrierStats {
+    elan_thread_collective(params, n, cfg, crate::elan_thread::ThreadOp::Barrier, |_, _| 0).0
+}
+
+/// Run a thread-processor allreduce (Moody-style NIC reduction, the
+/// paper's ref \[14\]); returns stats plus every rank's per-epoch results.
+pub fn elan_thread_allreduce(
+    params: ElanParams,
+    n: usize,
+    cfg: RunCfg,
+    op: crate::protocol::ReduceOp,
+    contribution: impl Fn(usize, u64) -> u64,
+) -> (BarrierStats, Vec<Vec<u64>>) {
+    elan_thread_collective(
+        params,
+        n,
+        cfg,
+        crate::elan_thread::ThreadOp::Allreduce { op },
+        contribution,
+    )
+}
+
+fn elan_thread_collective(
+    params: ElanParams,
+    n: usize,
+    cfg: RunCfg,
+    op: crate::elan_thread::ThreadOp,
+    contribution: impl Fn(usize, u64) -> u64,
+) -> (BarrierStats, Vec<Vec<u64>>) {
+    use crate::elan_thread::{ElanThreadApp, ThreadCollective};
+    use nicbar_elan::ElanNic;
+
+    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let members = cfg.members(n);
+    let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
+    for &node in members.iter() {
+        let contribs: Vec<u64> = (0..cfg.total())
+            .map(|e| contribution(members.iter().position(|&m| m == node).unwrap(), e))
+            .collect();
+        apps[node.0] = Some(Box::new(ElanThreadApp::new(contribs)));
+    }
+    let apps: Vec<Box<dyn ElanApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
+    let mut cluster = ElanCluster::build(spec, apps, vec![NicProgram::default(); n]);
+    // Install the thread handlers on each NIC (user-level thread creation).
+    for (rank, &node) in members.iter().enumerate() {
+        let nic_id = cluster.nics[node.0];
+        cluster
+            .engine
+            .component_mut::<ElanNic>(nic_id)
+            .expect("nic component")
+            .install_thread(Box::new(ThreadCollective::new(members.clone(), rank, op)));
+    }
+    let outcome = cluster.run_until(cfg.deadline());
+    assert_eq!(outcome, RunOutcome::Idle, "thread collective did not drain");
+    let counters: Vec<(String, u64)> = cluster
+        .engine
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let logs: Vec<&[SimTime]> = (0..n)
+        .map(|node| {
+            cluster
+                .app_ref::<ElanThreadApp>(node)
+                .log
+                .completions
+                .as_slice()
+        })
+        .collect();
+    let stats = stats_from_logs(n, &cfg, logs, counters);
+    // Harvest per-rank results from the NIC threads, in rank order.
+    let results: Vec<Vec<u64>> = members
+        .iter()
+        .map(|&node| {
+            let nic_id = cluster.nics[node.0];
+            let nic = cluster
+                .engine
+                .component_mut::<ElanNic>(nic_id)
+                .expect("nic component");
+            nic.thread_mut()
+                .as_any_mut()
+                .downcast_mut::<ThreadCollective>()
+                .expect("thread type")
+                .results()
+                .to_vec()
+        })
+        .collect();
+    (stats, results)
+}

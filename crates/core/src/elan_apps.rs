@@ -1,0 +1,180 @@
+//! Elan benchmark applications: the chained-RDMA NIC barrier driver, the
+//! Elanlib tree barrier (`elan_gsync`) and the hardware barrier
+//! (`elan_hgsync`) — the four curves of the paper's Fig. 7.
+
+use crate::elan_chain::{CHAIN_DONE_COOKIE, ENTRY_EVENT};
+use crate::host_app::BarrierLog;
+use nicbar_elan::{
+    hw_cookie, ElanApi, ElanApp, Gsync, GsyncStep, TportTag, BCAST_TAG, GATHER_TAG,
+    GSYNC_MSG_BYTES,
+};
+use nicbar_net::NodeId;
+use nicbar_sim::SimTime;
+
+/// NIC-based barrier over chained RDMA (paper §7): the host sets the entry
+/// event once per barrier and waits for the done notification.
+pub struct ElanNicBarrierApp {
+    iters: u64,
+    skew_us: f64,
+    done: u64,
+    /// Measurements.
+    pub log: BarrierLog,
+}
+
+impl ElanNicBarrierApp {
+    /// Run `iters` consecutive barriers.
+    pub fn new(iters: u64, skew_us: f64) -> Self {
+        ElanNicBarrierApp {
+            iters,
+            skew_us,
+            done: 0,
+            log: BarrierLog::default(),
+        }
+    }
+}
+
+impl ElanApp for ElanNicBarrierApp {
+    fn on_start(&mut self, api: &mut ElanApi<'_>) {
+        api.set_nic_event(ENTRY_EVENT);
+    }
+
+    fn on_coll_done(&mut self, api: &mut ElanApi<'_>, cookie: u64) {
+        assert_eq!(cookie, CHAIN_DONE_COOKIE);
+        self.done += 1;
+        self.log.completions.push(api.now());
+        if self.done < self.iters {
+            if self.skew_us > 0.0 {
+                let d = api.rng().range_f64(0.0, self.skew_us);
+                api.set_timer(SimTime::from_us(d));
+            } else {
+                api.set_nic_event(ENTRY_EVENT);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut ElanApi<'_>) {
+        api.set_nic_event(ENTRY_EVENT);
+    }
+}
+
+/// Elanlib `elan_gsync()` benchmark app: host-driven tree gather-broadcast.
+pub struct ElanGsyncApp {
+    gsync: Gsync,
+    /// Rank → node placement (the tree is built in rank space).
+    members: Vec<NodeId>,
+    iters: u64,
+    skew_us: f64,
+    pending_enter: bool,
+    /// Measurements.
+    pub log: BarrierLog,
+}
+
+impl ElanGsyncApp {
+    /// Run `iters` consecutive `elan_gsync` barriers for `rank` of the
+    /// group placed on `members` (rank order), with a `degree`-ary tree.
+    pub fn new(rank: usize, members: Vec<NodeId>, degree: usize, iters: u64, skew_us: f64) -> Self {
+        let n = members.len();
+        ElanGsyncApp {
+            gsync: Gsync::new(rank, n, degree),
+            members,
+            iters,
+            skew_us,
+            pending_enter: false,
+            log: BarrierLog::default(),
+        }
+    }
+
+    fn issue(&mut self, api: &mut ElanApi<'_>, step: GsyncStep) {
+        for s in step.sends {
+            // Gsync speaks in ranks; translate to the physical placement.
+            api.tport_send(self.members[s.dst.0], s.tag, GSYNC_MSG_BYTES);
+        }
+        if step.done {
+            self.log.completions.push(api.now());
+            if self.gsync.epochs_done() < self.iters {
+                if self.skew_us > 0.0 {
+                    let d = api.rng().range_f64(0.0, self.skew_us);
+                    self.pending_enter = true;
+                    api.set_timer(SimTime::from_us(d));
+                } else {
+                    let next = self.gsync.begin();
+                    self.issue(api, next);
+                }
+            }
+        }
+    }
+}
+
+impl ElanApp for ElanGsyncApp {
+    fn on_start(&mut self, api: &mut ElanApi<'_>) {
+        let step = self.gsync.begin();
+        self.issue(api, step);
+    }
+
+    fn on_recv(&mut self, api: &mut ElanApi<'_>, _src: NodeId, tag: TportTag, _len: u32) {
+        let step = if tag == GATHER_TAG {
+            self.gsync.on_gather()
+        } else {
+            assert_eq!(tag, BCAST_TAG, "unexpected tport tag");
+            self.gsync.on_bcast()
+        };
+        self.issue(api, step);
+    }
+
+    fn on_coll_done(&mut self, _api: &mut ElanApi<'_>, cookie: u64) {
+        panic!("gsync app got a NIC completion (cookie {cookie:#x})");
+    }
+
+    fn on_timer(&mut self, api: &mut ElanApi<'_>) {
+        if self.pending_enter {
+            self.pending_enter = false;
+            let step = self.gsync.begin();
+            self.issue(api, step);
+        }
+    }
+}
+
+/// Hardware barrier (`elan_hgsync` fast path) benchmark app.
+pub struct ElanHwBarrierApp {
+    iters: u64,
+    skew_us: f64,
+    done: u64,
+    /// Measurements.
+    pub log: BarrierLog,
+}
+
+impl ElanHwBarrierApp {
+    /// Run `iters` consecutive hardware barriers.
+    pub fn new(iters: u64, skew_us: f64) -> Self {
+        ElanHwBarrierApp {
+            iters,
+            skew_us,
+            done: 0,
+            log: BarrierLog::default(),
+        }
+    }
+}
+
+impl ElanApp for ElanHwBarrierApp {
+    fn on_start(&mut self, api: &mut ElanApi<'_>) {
+        api.hw_sync();
+    }
+
+    fn on_coll_done(&mut self, api: &mut ElanApi<'_>, cookie: u64) {
+        assert_eq!(cookie, hw_cookie(self.done), "hw epochs out of order");
+        self.done += 1;
+        self.log.completions.push(api.now());
+        if self.done < self.iters {
+            if self.skew_us > 0.0 {
+                let d = api.rng().range_f64(0.0, self.skew_us);
+                api.set_timer(SimTime::from_us(d));
+            } else {
+                api.hw_sync();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut ElanApi<'_>) {
+        api.hw_sync();
+    }
+}

@@ -1,0 +1,222 @@
+//! Lowering a barrier schedule onto Quadrics chained RDMA descriptors (§7
+//! of the paper).
+//!
+//! The paper's Quadrics implementation avoids a NIC thread entirely: it
+//! arms "a list of chained RDMA descriptors at the NIC from user-level.
+//! The RDMA operations are triggered only upon the arrival of a remote
+//! event except the very first RDMA operation, which the host process
+//! triggers to initiate a barrier operation. The completion of the very
+//! last RDMA operation will trigger a local event to the host."
+//!
+//! [`build_chains`] compiles any round-schedule (dissemination,
+//! pairwise-exchange, gather-broadcast — power-of-two or not) into exactly
+//! that structure:
+//!
+//! * one **gate event** per send round, whose per-epoch threshold is
+//!   `1 × (previous link issued or host entry) + (arrivals consumed by this
+//!   gate)`;
+//! * one **RDMA descriptor** per `(round, destination)` whose remote event
+//!   is the *destination's* gate that consumes that round, and whose local
+//!   event is this rank's next gate;
+//! * a **done event** that notifies the host.
+//!
+//! Event counters auto-rearm by their per-epoch threshold, so consecutive
+//! barriers need only one host `set_event` each — early arrivals from
+//! neighbours racing an epoch ahead are banked in the counters (see
+//! `nicbar_elan::types::NicEvent`).
+
+use crate::schedule::{schedules_for, validate, Algorithm, Schedule};
+use nicbar_elan::{DescId, EventAction, EventId, NicEvent, NicProgram, RdmaDesc};
+use nicbar_net::NodeId;
+
+/// Completion cookie delivered for chained-RDMA barrier completions.
+pub const CHAIN_DONE_COOKIE: u64 = 0xBA44;
+
+/// The entry event every rank's host sets to enter a barrier. The builder
+/// always places the first gate (or the done event, for trivial schedules)
+/// at index 0.
+pub const ENTRY_EVENT: EventId = EventId(0);
+
+/// Rounds in which a rank sends, ascending.
+fn send_rounds(s: &Schedule) -> Vec<usize> {
+    (0..s.num_rounds())
+        .filter(|&r| !s.rounds[r].sends.is_empty())
+        .collect()
+}
+
+/// The event index at `dst` that consumes an arrival of round `r`:
+/// the gate of its first send round `> r`, or its done event.
+fn consuming_event(dst_schedule: &Schedule, r: usize) -> EventId {
+    let sends = send_rounds(dst_schedule);
+    match sends.iter().position(|&s| s > r) {
+        Some(gate_idx) => EventId(gate_idx as u32),
+        None => EventId(sends.len() as u32), // the done event
+    }
+}
+
+/// Compile per-rank NIC programs for a barrier over `members` (rank order)
+/// using `algo`. `programs[rank]` is ready for
+/// [`nicbar_elan::ElanCluster::build`]; each barrier is initiated by the
+/// host setting [`ENTRY_EVENT`].
+pub fn build_chains(algo: Algorithm, members: &[NodeId]) -> Vec<NicProgram> {
+    let n = members.len();
+    assert!(n >= 1, "empty group");
+    let schedules = schedules_for(algo, n);
+    validate(&schedules).expect("schedule inconsistency");
+
+    let mut programs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let sched = &schedules[rank];
+        let sends = send_rounds(sched);
+        let k = sends.len();
+        let done_event = EventId(k as u32);
+
+        let mut descs: Vec<RdmaDesc> = Vec::new();
+        let mut desc_ids_per_gate: Vec<Vec<DescId>> = vec![Vec::new(); k];
+        for (gate_idx, &round) in sends.iter().enumerate() {
+            let next_gate = if gate_idx + 1 < k {
+                EventId(gate_idx as u32 + 1)
+            } else {
+                done_event
+            };
+            for &dst_rank in &sched.rounds[round].sends {
+                let id = DescId(descs.len() as u32);
+                descs.push(RdmaDesc {
+                    dst: members[dst_rank],
+                    bytes: 0, // pure event-fire RDMA: the barrier carries no data
+                    remote_event: Some(consuming_event(&schedules[dst_rank], round)),
+                    local_event: Some(next_gate),
+                });
+                desc_ids_per_gate[gate_idx].push(id);
+            }
+        }
+
+        // Gate events: threshold = 1 (host entry or previous link) +
+        // arrivals in the rounds this gate consumes.
+        let mut events: Vec<NicEvent> = Vec::with_capacity(k + 1);
+        let recvs_in = |lo: usize, hi: usize| -> u64 {
+            (lo..hi)
+                .map(|r| sched.rounds[r].recv_from.len() as u64)
+                .sum()
+        };
+        for gate_idx in 0..k {
+            let lo = if gate_idx == 0 { 0 } else { sends[gate_idx - 1] };
+            let hi = sends[gate_idx];
+            let prev_links = if gate_idx == 0 {
+                1 // the host's entry set
+            } else {
+                sched.rounds[sends[gate_idx - 1]].sends.len() as u64
+            };
+            let threshold = prev_links + recvs_in(lo, hi);
+            let actions = desc_ids_per_gate[gate_idx]
+                .iter()
+                .map(|&d| EventAction::FireDesc(d))
+                .collect();
+            events.push(NicEvent::new(threshold, actions));
+        }
+        // Done event: last link(s) + all remaining arrivals (or, for a
+        // trivial schedule with no sends, just the host entry).
+        let done_threshold = if k == 0 {
+            1 + recvs_in(0, sched.num_rounds())
+        } else {
+            let last = sends[k - 1];
+            sched.rounds[last].sends.len() as u64 + recvs_in(last, sched.num_rounds())
+        };
+        events.push(NicEvent::new(
+            done_threshold,
+            vec![EventAction::NotifyHost {
+                cookie: CHAIN_DONE_COOKIE,
+            }],
+        ));
+
+        programs.push(NicProgram { descs, events });
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn dissemination_chain_shape_for_four_ranks() {
+        let programs = build_chains(Algorithm::Dissemination, &nodes(4));
+        for (rank, p) in programs.iter().enumerate() {
+            // 2 rounds → 2 descriptors, 2 gates + done.
+            assert_eq!(p.descs.len(), 2, "rank {rank}");
+            assert_eq!(p.events.len(), 3, "rank {rank}");
+            // Entry gate: host set only.
+            assert_eq!(p.events[0].threshold, 1);
+            // Gate 1: previous link + round-0 arrival.
+            assert_eq!(p.events[1].threshold, 2);
+            // Done: last link + round-1 arrival.
+            assert_eq!(p.events[2].threshold, 2);
+            // Descriptors are pure event fires.
+            assert!(p.descs.iter().all(|d| d.bytes == 0));
+        }
+    }
+
+    #[test]
+    fn pe_non_power_of_two_extra_rank_chain() {
+        // n = 6: rank 5 sends only in the pre-round and waits for the post
+        // round.
+        let programs = build_chains(Algorithm::PairwiseExchange, &nodes(6));
+        let extra = &programs[5];
+        assert_eq!(extra.descs.len(), 1);
+        assert_eq!(extra.events.len(), 2);
+        assert_eq!(extra.events[0].threshold, 1); // entry only
+        assert_eq!(extra.events[1].threshold, 2); // own link + post arrival
+        // Its partner (rank 1) gates its first exchange on the pre-arrival.
+        let partner = &programs[1];
+        assert_eq!(partner.events[0].threshold, 2); // entry + pre arrival
+    }
+
+    #[test]
+    fn remote_events_resolve_to_consuming_gates() {
+        let schedules = schedules_for(Algorithm::Dissemination, 8);
+        // Rank 0 sends round 1 to rank 2; rank 2's sends are rounds 0,1,2 so
+        // the round-1 arrival is consumed by its gate before round 2.
+        let ev = consuming_event(&schedules[2], 1);
+        assert_eq!(ev, EventId(2));
+        // A final-round arrival lands on the done event.
+        let ev = consuming_event(&schedules[2], 2);
+        assert_eq!(ev, EventId(3));
+    }
+
+    #[test]
+    fn single_rank_chain_is_entry_to_done() {
+        let programs = build_chains(Algorithm::Dissemination, &nodes(1));
+        assert_eq!(programs[0].descs.len(), 0);
+        assert_eq!(programs[0].events.len(), 1);
+        assert_eq!(programs[0].events[0].threshold, 1);
+    }
+
+    #[test]
+    fn chains_build_for_all_algorithms_and_sizes() {
+        for n in [1usize, 2, 3, 5, 6, 8, 13, 16, 32] {
+            for algo in [
+                Algorithm::Dissemination,
+                Algorithm::PairwiseExchange,
+                Algorithm::GatherBroadcast { degree: 4 },
+            ] {
+                let programs = build_chains(algo, &nodes(n));
+                assert_eq!(programs.len(), n);
+                // Every remote event index is within the target's table.
+                for p in &programs {
+                    for d in &p.descs {
+                        let target = &programs[d.dst.0];
+                        let ev = d.remote_event.expect("barrier RDMAs fire events");
+                        assert!(
+                            (ev.0 as usize) < target.events.len(),
+                            "dangling remote event (n={n}, {algo:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! End-to-end tests of the §9 extension collectives over the GM substrate:
+//! NIC-forwarded broadcast, allreduce, allgather — all through the same
+//! NIC-based collective protocol (static packets, bit vectors, NACKs).
+
+use nicbar_core::host_app::CollOpApp;
+use nicbar_core::{Algorithm, GroupOp, GroupSpec, PaperCollective, ReduceOp};
+use nicbar_gm::{GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
+use nicbar_net::NodeId;
+use nicbar_sim::{RunOutcome, SimTime};
+
+const GROUP: GroupId = GroupId(9);
+
+/// Build a cluster where every node runs `iters` operations of `op`,
+/// contributing `contribution(rank, epoch)`.
+fn run_collective(
+    n: usize,
+    op: GroupOp,
+    iters: u64,
+    drop_prob: f64,
+    contribution: impl Fn(usize, u64) -> u64,
+) -> GmCluster {
+    let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let spec = GmClusterSpec::new(GmParams::lanai_xp(), n)
+        .with_seed(1234)
+        .with_drop_prob(drop_prob);
+    let mut apps: Vec<Box<dyn GmApp>> = Vec::new();
+    let mut colls: Vec<Box<dyn NicCollective>> = Vec::new();
+    for rank in 0..n {
+        let contribs: Vec<u64> = (0..iters).map(|e| contribution(rank, e)).collect();
+        apps.push(Box::new(CollOpApp::new(GROUP, contribs)));
+        colls.push(Box::new(PaperCollective::new(
+            NodeId(rank),
+            vec![GroupSpec {
+                id: GROUP,
+                members: members.clone(),
+                my_rank: rank,
+                op,
+                algo: Algorithm::Dissemination,
+                timeout: SimTime::from_us(400.0),
+            }],
+        )));
+    }
+    let mut cluster = GmCluster::build(spec, apps, colls);
+    let outcome = cluster.run_until(SimTime::from_us(100_000_000.0));
+    assert_eq!(outcome, RunOutcome::Idle, "collective run did not drain");
+    cluster
+}
+
+fn results(cluster: &GmCluster, rank: usize) -> Vec<u64> {
+    cluster
+        .app_ref::<CollOpApp>(rank)
+        .results
+        .iter()
+        .map(|&(_, v)| v)
+        .collect()
+}
+
+#[test]
+fn broadcast_delivers_the_root_value_to_everyone() {
+    let iters = 20;
+    // Root (rank 2) broadcasts 1000 + epoch; other contributions ignored.
+    let cluster = run_collective(
+        8,
+        GroupOp::Broadcast { root: 2 },
+        iters,
+        0.0,
+        |rank, e| if rank == 2 { 1000 + e } else { 0xDEAD },
+    );
+    for rank in 0..8 {
+        let got = results(&cluster, rank);
+        let expect: Vec<u64> = (0..iters).map(|e| 1000 + e).collect();
+        assert_eq!(got, expect, "rank {rank}");
+    }
+}
+
+#[test]
+fn broadcast_works_for_non_power_of_two_and_any_root() {
+    for n in [3usize, 5, 6, 7] {
+        for root in [0, n - 1] {
+            let cluster = run_collective(
+                n,
+                GroupOp::Broadcast { root },
+                5,
+                0.0,
+                |rank, e| if rank == root { 7 * e + 3 } else { 0 },
+            );
+            for rank in 0..n {
+                assert_eq!(
+                    results(&cluster, rank),
+                    vec![3, 10, 17, 24, 31],
+                    "n={n} root={root} rank={rank}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_over_power_of_two_groups() {
+    for n in [2usize, 4, 8, 16] {
+        let iters = 10;
+        let cluster = run_collective(n, GroupOp::Allreduce { op: ReduceOp::Sum }, iters, 0.0, |rank, e| {
+            (rank as u64 + 1) * (e + 1)
+        });
+        // sum over ranks of (rank+1)*(e+1) = (e+1) * n(n+1)/2
+        let base = (n * (n + 1) / 2) as u64;
+        for rank in 0..n {
+            let expect: Vec<u64> = (0..iters).map(|e| base * (e + 1)).collect();
+            assert_eq!(results(&cluster, rank), expect, "n={n} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_max_over_any_group_size() {
+    for n in [3usize, 5, 6, 7, 8] {
+        let cluster = run_collective(n, GroupOp::Allreduce { op: ReduceOp::Max }, 5, 0.0, |rank, e| {
+            100 * e + rank as u64
+        });
+        for rank in 0..n {
+            let expect: Vec<u64> = (0..5).map(|e| 100 * e + (n as u64 - 1)).collect();
+            assert_eq!(results(&cluster, rank), expect, "n={n} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_min_and_bitor() {
+    let cluster = run_collective(6, GroupOp::Allreduce { op: ReduceOp::Min }, 3, 0.0, |rank, e| {
+        50 + 10 * e + rank as u64
+    });
+    for rank in 0..6 {
+        assert_eq!(results(&cluster, rank), vec![50, 60, 70], "rank {rank}");
+    }
+    let cluster = run_collective(5, GroupOp::Allreduce { op: ReduceOp::BitOr }, 1, 0.0, |rank, _| {
+        1u64 << rank
+    });
+    for rank in 0..5 {
+        assert_eq!(results(&cluster, rank), vec![0b11111], "rank {rank}");
+    }
+}
+
+#[test]
+fn allgather_collects_every_contribution() {
+    // Completion value is the wrapping sum of all gathered words.
+    for n in [2usize, 3, 5, 6, 8, 13] {
+        let cluster = run_collective(n, GroupOp::Allgather, 4, 0.0, |rank, e| {
+            1000 * (e + 1) + rank as u64
+        });
+        for rank in 0..n {
+            let expect: Vec<u64> = (0..4)
+                .map(|e| {
+                    (0..n as u64)
+                        .map(|r| 1000 * (e + 1) + r)
+                        .fold(0u64, u64::wrapping_add)
+                })
+                .collect();
+            assert_eq!(results(&cluster, rank), expect, "n={n} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn collectives_survive_packet_loss() {
+    // Loss injection exercises the receiver-driven NACK path for the data
+    // collectives too (payloads must be retransmitted intact).
+    let cluster = run_collective(8, GroupOp::Allreduce { op: ReduceOp::Sum }, 10, 0.05, |rank, e| {
+        (rank as u64 + 1) * (e + 1)
+    });
+    let base = (8 * 9 / 2) as u64;
+    for rank in 0..8 {
+        let expect: Vec<u64> = (0..10).map(|e| base * (e + 1)).collect();
+        assert_eq!(results(&cluster, rank), expect, "rank {rank}");
+    }
+    let nacks: u64 = cluster.engine.counters().get("wire.coll_nack");
+    assert!(nacks > 0, "5% loss should have triggered NACK recovery");
+}
+
+#[test]
+fn broadcast_message_count_is_n_minus_one() {
+    let iters = 10u64;
+    let cluster = run_collective(8, GroupOp::Broadcast { root: 0 }, iters, 0.0, |_, e| e);
+    assert_eq!(
+        cluster.engine.counters().get("wire.coll"),
+        7 * iters,
+        "binomial broadcast sends n-1 packets per operation"
+    );
+}
+
+#[test]
+fn allgather_packets_grow_with_round_blocks() {
+    // n=8: rounds carry 1, 2, 4 words -> wire bytes grow accordingly, but
+    // the packet count stays n·⌈log₂n⌉.
+    let iters = 5u64;
+    let cluster = run_collective(8, GroupOp::Allgather, iters, 0.0, |rank, _| rank as u64);
+    assert_eq!(cluster.engine.counters().get("wire.coll"), 24 * iters);
+}
+
+/// Alltoall driver app: each epoch contributes a full per-destination row.
+struct AlltoallApp {
+    group: GroupId,
+    rows: Vec<Vec<u64>>,
+    results: Vec<u64>,
+}
+
+impl nicbar_gm::GmApp for AlltoallApp {
+    fn on_start(&mut self, api: &mut nicbar_gm::GmApi<'_>) {
+        if !self.rows.is_empty() {
+            api.collective_vec(self.group, self.rows[0].clone());
+        }
+    }
+    fn on_recv(
+        &mut self,
+        _api: &mut nicbar_gm::GmApi<'_>,
+        _src: NodeId,
+        _tag: nicbar_gm::MsgTag,
+        _len: u32,
+    ) {
+        panic!("unexpected p2p message");
+    }
+    fn on_coll_done(
+        &mut self,
+        api: &mut nicbar_gm::GmApi<'_>,
+        _group: GroupId,
+        epoch: u64,
+        value: u64,
+    ) {
+        self.results.push(value);
+        let next = (epoch + 1) as usize;
+        if next < self.rows.len() {
+            api.collective_vec(self.group, self.rows[next].clone());
+        }
+    }
+}
+
+#[test]
+fn alltoall_delivers_personalized_rows() {
+    // rank i sends value 1000*i + j to rank j; everyone must end with
+    // row[i] = 1000*i + me.
+    for n in [2usize, 3, 5, 8, 13] {
+        let iters = 3u64;
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let spec = GmClusterSpec::new(GmParams::lanai_xp(), n).with_seed(91);
+        let mut apps: Vec<Box<dyn nicbar_gm::GmApp>> = Vec::new();
+        let mut colls: Vec<Box<dyn nicbar_gm::NicCollective>> = Vec::new();
+        for rank in 0..n {
+            let rows: Vec<Vec<u64>> = (0..iters)
+                .map(|e| {
+                    (0..n as u64)
+                        .map(|j| 10_000 * e + 1000 * rank as u64 + j)
+                        .collect()
+                })
+                .collect();
+            apps.push(Box::new(AlltoallApp {
+                group: GROUP,
+                rows,
+                results: Vec::new(),
+            }));
+            colls.push(Box::new(PaperCollective::new(
+                NodeId(rank),
+                vec![GroupSpec {
+                    id: GROUP,
+                    members: members.clone(),
+                    my_rank: rank,
+                    op: GroupOp::Alltoall,
+                    algo: Algorithm::Dissemination,
+                    timeout: SimTime::from_us(400.0),
+                }],
+            )));
+        }
+        let mut cluster = GmCluster::build(spec, apps, colls);
+        let outcome = cluster.run_until(SimTime::from_us(10_000_000.0));
+        assert_eq!(outcome, RunOutcome::Idle, "n={n}");
+        for me in 0..n {
+            // Check the full rows recorded at the NIC.
+            let nic_id = cluster.nics[me];
+            let nic = cluster
+                .engine
+                .component_mut::<nicbar_gm::LanaiNic>(nic_id)
+                .unwrap();
+            let engine = nic
+                .collective_mut()
+                .as_any_mut()
+                .downcast_mut::<PaperCollective>()
+                .unwrap();
+            let rows = engine.alltoall_rows(GROUP);
+            assert_eq!(rows.len(), iters as usize, "n={n} rank={me}");
+            for (e, row) in rows.iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    assert_eq!(
+                        v,
+                        10_000 * e as u64 + 1000 * i as u64 + me as u64,
+                        "n={n} me={me} epoch={e} origin={i}"
+                    );
+                }
+            }
+            // And the folded completion value matches.
+            let app = cluster.app_ref::<AlltoallApp>(me);
+            for (e, &got) in app.results.iter().enumerate() {
+                let expect: u64 = (0..n as u64)
+                    .map(|i| 10_000 * e as u64 + 1000 * i + me as u64)
+                    .fold(0, u64::wrapping_add);
+                assert_eq!(got, expect, "n={n} me={me} epoch={e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_survives_packet_loss() {
+    let n = 6;
+    let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let spec = GmClusterSpec::new(GmParams::lanai_xp(), n)
+        .with_seed(92)
+        .with_drop_prob(0.03);
+    let mut apps: Vec<Box<dyn nicbar_gm::GmApp>> = Vec::new();
+    let mut colls: Vec<Box<dyn nicbar_gm::NicCollective>> = Vec::new();
+    for rank in 0..n {
+        let rows = vec![(0..n as u64).map(|j| 100 * rank as u64 + j).collect()];
+        apps.push(Box::new(AlltoallApp {
+            group: GROUP,
+            rows,
+            results: Vec::new(),
+        }));
+        colls.push(Box::new(PaperCollective::new(
+            NodeId(rank),
+            vec![GroupSpec {
+                id: GROUP,
+                members: members.clone(),
+                my_rank: rank,
+                op: GroupOp::Alltoall,
+                algo: Algorithm::Dissemination,
+                timeout: SimTime::from_us(400.0),
+            }],
+        )));
+    }
+    let mut cluster = GmCluster::build(spec, apps, colls);
+    assert_eq!(
+        cluster.run_until(SimTime::from_us(100_000_000.0)),
+        RunOutcome::Idle
+    );
+    for me in 0..n {
+        let app = cluster.app_ref::<AlltoallApp>(me);
+        let expect: u64 = (0..n as u64).map(|i| 100 * i + me as u64).sum();
+        assert_eq!(app.results, vec![expect], "rank {me}");
+    }
+    assert!(
+        cluster.engine.counters().get("wire.coll_nack") > 0,
+        "loss should trigger NACK recovery of payload-bearing packets"
+    );
+}

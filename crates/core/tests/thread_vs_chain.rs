@@ -1,0 +1,117 @@
+//! The §7 design choice, measured: chained RDMA descriptors vs a NIC
+//! thread for the barrier, and the thread-based allreduce that chains
+//! cannot express.
+
+use nicbar_core::{
+    elan_nic_barrier, elan_thread_allreduce, elan_thread_barrier, Algorithm, ReduceOp, RunCfg,
+};
+use nicbar_elan::ElanParams;
+
+fn cfg() -> RunCfg {
+    RunCfg {
+        warmup: 20,
+        iters: 300,
+        ..RunCfg::default()
+    }
+}
+
+#[test]
+fn thread_barrier_completes_and_is_correct() {
+    for n in [2usize, 3, 5, 8] {
+        let s = elan_thread_barrier(ElanParams::elan3(), n, cfg());
+        assert!(
+            s.mean_us > 1.0 && s.mean_us < 25.0,
+            "n={n}: {:.2}µs",
+            s.mean_us
+        );
+    }
+}
+
+#[test]
+fn chained_descriptors_beat_the_thread_barrier() {
+    // "an extra thread does increase the processing load to the Elan NIC"
+    // (§7) — the reason the paper chose chains. Quantified: the thread
+    // barrier must be measurably slower at every size.
+    for n in [2usize, 4, 8, 16] {
+        let chain = elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg());
+        let thread = elan_thread_barrier(ElanParams::elan3(), n, cfg());
+        assert!(
+            thread.mean_us > chain.mean_us * 1.1,
+            "n={n}: thread {:.2}µs should clearly exceed chain {:.2}µs",
+            thread.mean_us,
+            chain.mean_us
+        );
+        assert!(
+            thread.mean_us < chain.mean_us * 2.0,
+            "n={n}: thread {:.2}µs implausibly worse than chain {:.2}µs",
+            thread.mean_us,
+            chain.mean_us
+        );
+    }
+}
+
+#[test]
+fn thread_allreduce_computes_sums() {
+    let (stats, results) = elan_thread_allreduce(
+        ElanParams::elan3(),
+        8,
+        cfg(),
+        ReduceOp::Sum,
+        |rank, epoch| (rank as u64 + 1) * (epoch + 1),
+    );
+    assert!(stats.mean_us > 1.0);
+    let total = cfg().total();
+    for (rank, r) in results.iter().enumerate() {
+        assert_eq!(r.len() as u64, total, "rank {rank}");
+        for (e, &v) in r.iter().enumerate() {
+            assert_eq!(v, 36 * (e as u64 + 1), "rank {rank}, epoch {e}");
+        }
+    }
+}
+
+#[test]
+fn thread_allreduce_max_any_size() {
+    let (_, results) = elan_thread_allreduce(
+        ElanParams::elan3(),
+        6,
+        RunCfg {
+            warmup: 2,
+            iters: 20,
+            ..RunCfg::default()
+        },
+        ReduceOp::Max,
+        |rank, epoch| 100 * epoch + rank as u64,
+    );
+    for r in &results {
+        for (e, &v) in r.iter().enumerate() {
+            assert_eq!(v, 100 * e as u64 + 5);
+        }
+    }
+}
+
+#[test]
+fn thread_allreduce_is_cheap_relative_to_host_round_trips() {
+    // The point of ref \[14\]: NIC-side combining costs barely more than the
+    // NIC barrier itself — far below what log₂N host round trips would.
+    let barrier = elan_thread_barrier(ElanParams::elan3(), 8, cfg());
+    let (reduce, _) = elan_thread_allreduce(
+        ElanParams::elan3(),
+        8,
+        cfg(),
+        ReduceOp::Sum,
+        |rank, _| rank as u64,
+    );
+    assert!(
+        reduce.mean_us < barrier.mean_us * 1.3,
+        "allreduce {:.2}µs should cost ≈ the thread barrier {:.2}µs",
+        reduce.mean_us,
+        barrier.mean_us
+    );
+}
+
+#[test]
+fn thread_runs_are_deterministic() {
+    let a = elan_thread_barrier(ElanParams::elan3(), 8, cfg());
+    let b = elan_thread_barrier(ElanParams::elan3(), 8, cfg());
+    assert_eq!(a.mean_us, b.mean_us);
+}

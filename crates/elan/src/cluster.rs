@@ -1,0 +1,171 @@
+//! Elan cluster assembly.
+
+use crate::events::ElanEvent;
+use crate::fabric::ElanFabric;
+use crate::host::{ElanApp, ElanHost};
+use crate::hwbarrier::HwBarrierUnit;
+use crate::nic::ElanNic;
+use crate::params::ElanParams;
+use crate::types::{NicEvent, RdmaDesc};
+use nicbar_net::{FabricCore, NodeId, QuaternaryFatTree};
+use nicbar_sim::{ComponentId, Engine, RunOutcome, SimTime};
+
+/// Static description of an Elan cluster simulation.
+#[derive(Clone, Debug)]
+pub struct ElanClusterSpec {
+    /// Timing parameters.
+    pub params: ElanParams,
+    /// Number of nodes.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Install the switch-level hardware barrier unit over all nodes.
+    pub hw_barrier: bool,
+}
+
+impl ElanClusterSpec {
+    /// An `n`-node cluster with defaults.
+    pub fn new(params: ElanParams, n: usize) -> Self {
+        ElanClusterSpec {
+            params,
+            n,
+            seed: 0xE1A3,
+            hw_barrier: false,
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the hardware barrier unit.
+    pub fn with_hw_barrier(mut self) -> Self {
+        self.hw_barrier = true;
+        self
+    }
+}
+
+/// Per-node NIC programming: the descriptor and event tables armed from
+/// user level before the run (empty for hosts that only use tports or the
+/// hardware barrier).
+#[derive(Clone, Debug, Default)]
+pub struct NicProgram {
+    /// RDMA descriptors.
+    pub descs: Vec<RdmaDesc>,
+    /// NIC events.
+    pub events: Vec<NicEvent>,
+}
+
+/// A built Elan cluster.
+pub struct ElanCluster {
+    /// The discrete-event engine.
+    pub engine: Engine<ElanEvent>,
+    /// Host components by node index.
+    pub hosts: Vec<ComponentId>,
+    /// NIC components by node index.
+    pub nics: Vec<ComponentId>,
+    /// The fabric component.
+    pub fabric: ComponentId,
+    /// The hardware barrier unit, when enabled.
+    pub hw_unit: Option<ComponentId>,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl ElanCluster {
+    /// Assemble a cluster: `apps[i]` runs on node `i` with NIC programming
+    /// `programs[i]`. Every host gets `AppStart` at t = 0.
+    pub fn build(
+        spec: ElanClusterSpec,
+        apps: Vec<Box<dyn ElanApp>>,
+        programs: Vec<NicProgram>,
+    ) -> Self {
+        assert_eq!(apps.len(), spec.n);
+        assert_eq!(programs.len(), spec.n);
+        let mut engine: Engine<ElanEvent> = Engine::new(spec.seed);
+        let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
+        let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
+        let fabric_id = engine.reserve_id();
+        let hw_id = if spec.hw_barrier {
+            Some(engine.reserve_id())
+        } else {
+            None
+        };
+
+        let topology = QuaternaryFatTree::new(spec.n);
+        if let Some(hw) = hw_id {
+            let group: Vec<NodeId> = (0..spec.n).map(NodeId).collect();
+            engine.install(
+                hw,
+                HwBarrierUnit::new(group, nic_ids.clone(), &topology, spec.params.clone()),
+            );
+        }
+        let core = FabricCore::new(Box::new(topology), spec.params.link, spec.params.hotspot_ns);
+        engine.install(fabric_id, ElanFabric::new(core, nic_ids.clone()));
+
+        let mut apps = apps;
+        let mut programs = programs;
+        for i in (0..spec.n).rev() {
+            let app = apps.pop().expect("length checked");
+            let prog = programs.pop().expect("length checked");
+            engine.install(
+                nic_ids[i],
+                ElanNic::new(
+                    NodeId(i),
+                    spec.params.clone(),
+                    fabric_id,
+                    host_ids[i],
+                    hw_id,
+                    prog.descs,
+                    prog.events,
+                ),
+            );
+            engine.install(
+                host_ids[i],
+                ElanHost::new(NodeId(i), spec.n, nic_ids[i], spec.params.clone(), app),
+            );
+        }
+        for &h in &host_ids {
+            engine.schedule_at(SimTime::ZERO, h, ElanEvent::AppStart);
+        }
+        ElanCluster {
+            engine,
+            hosts: host_ids,
+            nics: nic_ids,
+            fabric: fabric_id,
+            hw_unit: hw_id,
+            n: spec.n,
+        }
+    }
+
+    /// Run with an event-budget backstop.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        let outcome = self.engine.run_bounded(deadline, 2_000_000_000);
+        assert_ne!(
+            outcome,
+            RunOutcome::BudgetExhausted,
+            "event budget exhausted — runaway chain?"
+        );
+        outcome
+    }
+
+    /// Downcast host `i`'s application.
+    pub fn app_ref<T: 'static>(&self, i: usize) -> &T {
+        self.engine
+            .component_ref::<ElanHost>(self.hosts[i])
+            .expect("host component")
+            .app_ref::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Mutable downcast of host `i`'s application.
+    pub fn app_mut<T: 'static>(&mut self, i: usize) -> &mut T {
+        self.engine
+            .component_mut::<ElanHost>(self.hosts[i])
+            .expect("host component")
+            .app_mut::<T>()
+            .expect("app type mismatch")
+    }
+}

@@ -1,0 +1,294 @@
+//! Elanlib-level collectives: the `elan_gsync()` tree barrier.
+//!
+//! `elan_gsync` is a host-level gather-broadcast over tagged messages: all
+//! processes combine up a d-ary tree to the root, which releases a
+//! broadcast back down (§4.1 / Fig. 2). The host is on the critical path at
+//! every tree level — exactly what the NIC-based barrier removes.
+//!
+//! [`Gsync`] is a pure state machine (no engine types), embedded by the
+//! benchmark applications: they translate its requested sends into tport
+//! messages and feed arrivals back in. Consecutive barriers are handled by
+//! *banking* counts (like the NIC event counters): a child that races ahead
+//! into the next barrier can deliver its gather early and nothing is lost.
+
+use nicbar_net::NodeId;
+use crate::types::TportTag;
+
+/// Tag for gather (up-tree) messages.
+pub const GATHER_TAG: TportTag = TportTag(0xE1A0);
+/// Tag for broadcast (down-tree) messages.
+pub const BCAST_TAG: TportTag = TportTag(0xE1A1);
+/// Payload size of a gsync message (one synchronization word).
+pub const GSYNC_MSG_BYTES: u32 = 4;
+
+/// A send requested by the state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GsyncSend {
+    /// Destination node.
+    pub dst: NodeId,
+    /// `GATHER_TAG` or `BCAST_TAG`.
+    pub tag: TportTag,
+}
+
+/// Result of feeding a stimulus into the state machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GsyncStep {
+    /// Tport sends to issue now.
+    pub sends: Vec<GsyncSend>,
+    /// The current barrier completed with this stimulus.
+    pub done: bool,
+}
+
+/// The `elan_gsync` tree-barrier state machine for one process.
+///
+/// ```
+/// use nicbar_elan::Gsync;
+///
+/// // A two-process barrier: the leaf gathers to the root, the root
+/// // releases.
+/// let mut root = Gsync::new(0, 2, 2);
+/// let mut leaf = Gsync::new(1, 2, 2);
+/// let step = leaf.begin();
+/// assert_eq!(step.sends.len(), 1); // gather up
+/// assert!(root.begin().sends.is_empty());
+/// let step = root.on_gather();
+/// assert!(step.done); // root releases…
+/// assert!(leaf.on_bcast().done); // …and the leaf exits
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gsync {
+    node: usize,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    in_barrier: bool,
+    sent_up: bool,
+    gathers_banked: u64,
+    gathers_consumed: u64,
+    bcasts_banked: u64,
+    bcasts_consumed: u64,
+    epochs_done: u64,
+}
+
+impl Gsync {
+    /// Build the state machine for `node` in an `n`-process group with a
+    /// `degree`-ary tree rooted at node 0.
+    pub fn new(node: usize, n: usize, degree: usize) -> Self {
+        assert!(degree >= 2, "tree degree must be at least 2");
+        assert!(node < n, "node out of range");
+        let parent = if node == 0 { None } else { Some((node - 1) / degree) };
+        let children: Vec<usize> = (1..=degree)
+            .map(|k| degree * node + k)
+            .filter(|&c| c < n)
+            .collect();
+        Gsync {
+            node,
+            parent,
+            children,
+            in_barrier: false,
+            sent_up: false,
+            gathers_banked: 0,
+            gathers_consumed: 0,
+            bcasts_banked: 0,
+            bcasts_consumed: 0,
+            epochs_done: 0,
+        }
+    }
+
+    /// Completed barrier count.
+    pub fn epochs_done(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// This node's children in the tree.
+    pub fn children(&self) -> &[usize] {
+        &self.children
+    }
+
+    /// Enter the barrier.
+    ///
+    /// # Panics
+    /// Panics if already inside one (a process is in at most one barrier).
+    pub fn begin(&mut self) -> GsyncStep {
+        assert!(!self.in_barrier, "re-entered gsync before completion");
+        self.in_barrier = true;
+        self.sent_up = false;
+        self.progress()
+    }
+
+    /// A gather message arrived (from any child; order is irrelevant).
+    pub fn on_gather(&mut self) -> GsyncStep {
+        self.gathers_banked += 1;
+        self.progress()
+    }
+
+    /// A broadcast (release) message arrived from the parent.
+    pub fn on_bcast(&mut self) -> GsyncStep {
+        self.bcasts_banked += 1;
+        self.progress()
+    }
+
+    fn progress(&mut self) -> GsyncStep {
+        let mut step = GsyncStep::default();
+        if !self.in_barrier {
+            return step;
+        }
+        let need = self.children.len() as u64;
+        if !self.sent_up && self.gathers_banked - self.gathers_consumed >= need {
+            self.gathers_consumed += need;
+            self.sent_up = true;
+            match self.parent {
+                Some(p) => step.sends.push(GsyncSend {
+                    dst: NodeId(p),
+                    tag: GATHER_TAG,
+                }),
+                None => {
+                    // Root: everyone has arrived — release down the tree.
+                    for &c in &self.children {
+                        step.sends.push(GsyncSend {
+                            dst: NodeId(c),
+                            tag: BCAST_TAG,
+                        });
+                    }
+                    self.finish(&mut step);
+                    return step;
+                }
+            }
+        }
+        if self.sent_up
+            && self.parent.is_some()
+            && self.bcasts_banked - self.bcasts_consumed >= 1
+        {
+            self.bcasts_consumed += 1;
+            for &c in &self.children {
+                step.sends.push(GsyncSend {
+                    dst: NodeId(c),
+                    tag: BCAST_TAG,
+                });
+            }
+            self.finish(&mut step);
+        }
+        step
+    }
+
+    fn finish(&mut self, step: &mut GsyncStep) {
+        self.in_barrier = false;
+        self.epochs_done += 1;
+        step.done = true;
+        let _ = self.node;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drive a whole group to completion in-memory, with an arbitrary entry
+    /// order; returns total messages sent.
+    fn run_barrier(n: usize, degree: usize, entry_order: &[usize]) -> u64 {
+        let mut nodes: Vec<Gsync> = (0..n).map(|i| Gsync::new(i, n, degree)).collect();
+        let mut wire: VecDeque<(usize, GsyncSend)> = VecDeque::new();
+        let mut done = vec![false; n];
+        let mut msgs = 0;
+        let handle = |i: usize, step: GsyncStep, wire: &mut VecDeque<(usize, GsyncSend)>, done: &mut Vec<bool>, msgs: &mut u64| {
+            for s in step.sends {
+                *msgs += 1;
+                wire.push_back((i, s));
+            }
+            if step.done {
+                done[i] = true;
+            }
+        };
+        for &i in entry_order {
+            let step = nodes[i].begin();
+            handle(i, step, &mut wire, &mut done, &mut msgs);
+        }
+        while let Some((_, send)) = wire.pop_front() {
+            let dst = send.dst.0;
+            let step = if send.tag == GATHER_TAG {
+                nodes[dst].on_gather()
+            } else {
+                nodes[dst].on_bcast()
+            };
+            handle(dst, step, &mut wire, &mut done, &mut msgs);
+        }
+        assert!(done.iter().all(|&d| d), "barrier did not complete");
+        msgs
+    }
+
+    #[test]
+    fn gsync_completes_for_various_shapes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 16, 32] {
+            for degree in [2usize, 4] {
+                let order: Vec<usize> = (0..n).collect();
+                let msgs = run_barrier(n, degree, &order);
+                assert_eq!(msgs as usize, 2 * (n - 1), "n={n} d={degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_order_does_not_matter() {
+        let reversed: Vec<usize> = (0..16).rev().collect();
+        let msgs = run_barrier(16, 2, &reversed);
+        assert_eq!(msgs, 30);
+    }
+
+    #[test]
+    fn consecutive_barriers_with_banked_messages() {
+        // Two nodes: child may send its next-epoch gather before the root
+        // re-enters. Simulate by delivering the gather early.
+        let mut root = Gsync::new(0, 2, 2);
+        let mut child = Gsync::new(1, 2, 2);
+        // Epoch 0.
+        let s = child.begin();
+        assert_eq!(s.sends.len(), 1);
+        let r = root.begin();
+        assert!(r.sends.is_empty() && !r.done);
+        let r = root.on_gather();
+        assert!(r.done, "root releases once the gather arrives");
+        let s = child.on_bcast();
+        assert!(s.done);
+        // Child races into epoch 1 and its gather lands before root begins.
+        let s = child.begin();
+        assert_eq!(s.sends.len(), 1);
+        let r = root.on_gather();
+        assert!(!r.done, "root not in barrier yet; gather banked");
+        let r = root.begin();
+        assert!(r.done, "banked gather satisfies the new epoch immediately");
+        assert_eq!(root.epochs_done(), 2);
+    }
+
+    #[test]
+    fn single_node_barrier_is_immediate() {
+        let mut g = Gsync::new(0, 1, 4);
+        let s = g.begin();
+        assert!(s.done);
+        assert!(s.sends.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entered")]
+    fn reentry_panics() {
+        let mut g = Gsync::new(1, 4, 2);
+        let _ = g.begin();
+        let _ = g.begin();
+    }
+
+    #[test]
+    fn tree_structure_is_a_partition() {
+        for n in [2usize, 5, 9, 16] {
+            for d in [2usize, 4] {
+                let mut seen = vec![false; n];
+                seen[0] = true;
+                for i in 0..n {
+                    for &c in Gsync::new(i, n, d).children() {
+                        assert!(!seen[c], "child {c} claimed twice");
+                        seen[c] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "orphan node (n={n}, d={d})");
+            }
+        }
+    }
+}

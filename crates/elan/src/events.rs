@@ -1,0 +1,127 @@
+//! Event vocabulary of the Elan/Quadrics simulation.
+
+use crate::types::{DescId, TportTag};
+use nicbar_net::NodeId;
+
+/// What an Elan network transaction carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElanPayload {
+    /// A (possibly zero-byte) RDMA that sets `remote_event` at the target
+    /// NIC on arrival. `remote_event == None` models a plain data RDMA.
+    Rdma {
+        /// Event index at the destination NIC.
+        remote_event: Option<crate::types::EventId>,
+    },
+    /// A Tports tagged message (host-level messaging, used by the Elanlib
+    /// tree barrier).
+    Tport {
+        /// Message tag.
+        tag: TportTag,
+        /// Message length.
+        len: u32,
+    },
+    /// A thread-processor message: value word delivered to the target
+    /// NIC's [`crate::thread::ElanThread`].
+    Thread {
+        /// Protocol tag (epoch/round encoding).
+        tag: u32,
+        /// The value word.
+        value: u64,
+    },
+}
+
+/// Events exchanged between the components of an Elan cluster simulation.
+#[derive(Clone, Debug)]
+pub enum ElanEvent {
+    // --- host-bound ---
+    /// Kick the application.
+    AppStart,
+    /// Application timer fired.
+    AppTimer,
+    /// A tport message reached this host.
+    HostRecv {
+        /// Sender node.
+        src: NodeId,
+        /// Message tag.
+        tag: TportTag,
+        /// Message length.
+        len: u32,
+    },
+    /// A NIC event with a `NotifyHost` action tripped (chained-RDMA barrier
+    /// completion), or the hardware barrier finished.
+    HostCollDone {
+        /// Opaque cookie identifying which operation completed.
+        cookie: u64,
+    },
+
+    // --- NIC-bound ---
+    /// Host doorbell: launch a descriptor.
+    Doorbell {
+        /// Descriptor to fire.
+        desc: DescId,
+    },
+    /// Host doorbell: set a NIC event from user space (Elan3 lets the host
+    /// poke event words directly; used as the per-barrier entry trigger).
+    SetEvent {
+        /// Event to set.
+        event: crate::types::EventId,
+    },
+    /// Chain continuation: an event action launches another descriptor.
+    FireDesc {
+        /// Descriptor to fire.
+        desc: DescId,
+    },
+    /// Host posts a thread doorbell (operand delivered to the NIC thread).
+    ThreadPost {
+        /// Operand.
+        value: u64,
+    },
+    /// Host posts a tport send.
+    TportPost {
+        /// Destination node.
+        dst: NodeId,
+        /// Tag.
+        tag: TportTag,
+        /// Length.
+        len: u32,
+    },
+    /// Host enters the hardware barrier.
+    HwSyncPost {
+        /// Barrier epoch (for sanity checking).
+        epoch: u64,
+    },
+    /// A network transaction arrived at this NIC.
+    Arrive {
+        /// Source node.
+        src: NodeId,
+        /// Payload.
+        payload: ElanPayload,
+    },
+    /// The hardware barrier unit reports completion to this NIC.
+    HwDone {
+        /// Completed epoch.
+        epoch: u64,
+    },
+
+    // --- fabric-bound ---
+    /// A NIC injected a transaction.
+    Inject {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Wire size.
+        bytes: u32,
+        /// Payload.
+        payload: ElanPayload,
+    },
+
+    // --- hardware-barrier-unit-bound ---
+    /// A NIC signalled readiness for the hardware barrier.
+    HwArrive {
+        /// The node that arrived.
+        node: NodeId,
+        /// Barrier epoch.
+        epoch: u64,
+    },
+}

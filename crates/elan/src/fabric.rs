@@ -1,0 +1,61 @@
+//! The QsNet fabric component: hardware-reliable delivery over the
+//! quaternary fat tree.
+
+use crate::events::ElanEvent;
+use nicbar_net::FabricCore;
+use nicbar_sim::{Component, ComponentId, Ctx};
+
+/// The network component of an Elan cluster. QsNet delivers reliably in
+/// hardware, so the core's drop probability must stay zero here.
+pub struct ElanFabric {
+    core: FabricCore,
+    nics: Vec<ComponentId>,
+}
+
+impl ElanFabric {
+    /// Build from a fabric core and the NIC component table.
+    ///
+    /// # Panics
+    /// Panics if the core has loss injection enabled — Quadrics guarantees
+    /// hardware-level reliable message passing (§4).
+    pub fn new(core: FabricCore, nics: Vec<ComponentId>) -> Self {
+        assert_eq!(core.topology().num_nodes(), nics.len());
+        assert_eq!(
+            core.drop_prob(),
+            0.0,
+            "QsNet is hardware-reliable; loss injection is a GM-only concept"
+        );
+        ElanFabric { core, nics }
+    }
+
+    /// The underlying fabric core.
+    pub fn core(&self) -> &FabricCore {
+        &self.core
+    }
+}
+
+impl Component<ElanEvent> for ElanFabric {
+    fn handle(&mut self, msg: ElanEvent, ctx: &mut Ctx<'_, ElanEvent>) {
+        let ElanEvent::Inject {
+            src,
+            dst,
+            bytes,
+            payload,
+        } = msg
+        else {
+            panic!("Elan fabric got a non-Inject event");
+        };
+        ctx.count("elan.wire", 1);
+        let delivery = {
+            let now = ctx.now();
+            let rng = ctx.rng();
+            self.core.send(now, src, dst, bytes, rng)
+        };
+        debug_assert!(!delivery.dropped);
+        ctx.send_at(
+            delivery.arrive,
+            self.nics[dst.0],
+            ElanEvent::Arrive { src, payload },
+        );
+    }
+}

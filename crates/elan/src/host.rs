@@ -1,0 +1,216 @@
+//! The host side of the Elan substrate: application trait and library-cost
+//! charging, mirroring `nicbar_gm::host` for the Quadrics world.
+
+use crate::events::ElanEvent;
+use crate::params::ElanParams;
+use crate::types::{DescId, EventId, TportTag};
+use nicbar_net::NodeId;
+use nicbar_sim::engine::AsAny;
+use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime};
+
+/// Actions an Elan application can request during a callback.
+enum HostAction {
+    Doorbell { desc: DescId },
+    SetEvent { event: EventId },
+    ThreadDoorbell { value: u64 },
+    Tport { dst: NodeId, tag: TportTag, len: u32 },
+    HwSync,
+    Timer { delay: SimTime },
+}
+
+/// API surface for Elan applications.
+pub struct ElanApi<'a> {
+    now: SimTime,
+    node: NodeId,
+    n: usize,
+    rng: &'a mut SimRng,
+    actions: Vec<HostAction>,
+}
+
+impl<'a> ElanApi<'a> {
+    /// Simulated time of the callback.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+    /// This process's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+    /// Cluster size.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+    /// Workload randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Fire an armed RDMA descriptor (the per-barrier trigger of §7).
+    pub fn doorbell(&mut self, desc: DescId) {
+        self.actions.push(HostAction::Doorbell { desc });
+    }
+
+    /// Set a NIC event word from user space (the entry trigger of a
+    /// chained-descriptor barrier).
+    pub fn set_nic_event(&mut self, event: EventId) {
+        self.actions.push(HostAction::SetEvent { event });
+    }
+
+    /// Post a doorbell to the NIC's thread processor with an operand (the
+    /// §7 alternative mechanism; starts a thread-based collective).
+    pub fn thread_doorbell(&mut self, value: u64) {
+        self.actions.push(HostAction::ThreadDoorbell { value });
+    }
+
+    /// Send a tagged (tport) message — the host-level messaging Elanlib's
+    /// tree barrier is built on.
+    pub fn tport_send(&mut self, dst: NodeId, tag: TportTag, len: u32) {
+        self.actions.push(HostAction::Tport { dst, tag, len });
+    }
+
+    /// Enter the hardware barrier (`elan_hgsync` fast path).
+    pub fn hw_sync(&mut self) {
+        self.actions.push(HostAction::HwSync);
+    }
+
+    /// Schedule an `on_timer` callback (models a compute phase).
+    pub fn set_timer(&mut self, delay: SimTime) {
+        self.actions.push(HostAction::Timer { delay });
+    }
+}
+
+/// A simulated process on a Quadrics node.
+pub trait ElanApp: AsAny + 'static {
+    /// Process start (t = 0).
+    fn on_start(&mut self, api: &mut ElanApi<'_>);
+    /// A tport message arrived.
+    fn on_recv(&mut self, api: &mut ElanApi<'_>, src: NodeId, tag: TportTag, len: u32) {
+        let _ = (api, src, tag, len);
+    }
+    /// A chained-RDMA completion (or hardware barrier) fired with `cookie`.
+    fn on_coll_done(&mut self, api: &mut ElanApi<'_>, cookie: u64);
+    /// Timer callback.
+    fn on_timer(&mut self, api: &mut ElanApi<'_>) {
+        let _ = api;
+    }
+}
+
+/// The host component for one Quadrics node.
+pub struct ElanHost {
+    node: NodeId,
+    n: usize,
+    nic: ComponentId,
+    params: ElanParams,
+    app: Box<dyn ElanApp>,
+    cpu_free: SimTime,
+    hw_epoch: u64,
+}
+
+impl ElanHost {
+    /// Build the host for `node` with its application.
+    pub fn new(
+        node: NodeId,
+        n: usize,
+        nic: ComponentId,
+        params: ElanParams,
+        app: Box<dyn ElanApp>,
+    ) -> Self {
+        ElanHost {
+            node,
+            n,
+            nic,
+            params,
+            app,
+            cpu_free: SimTime::ZERO,
+            hw_epoch: 0,
+        }
+    }
+
+    /// Downcast the application (post-run inspection).
+    pub fn app_ref<T: 'static>(&self) -> Option<&T> {
+        (*self.app).as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the application.
+    pub fn app_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        (*self.app).as_any_mut().downcast_mut::<T>()
+    }
+
+    fn cpu(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = now.max(self.cpu_free);
+        self.cpu_free = start + cost;
+        self.cpu_free
+    }
+
+    fn dispatch<F>(&mut self, ctx: &mut Ctx<'_, ElanEvent>, entry_cost: SimTime, f: F)
+    where
+        F: FnOnce(&mut dyn ElanApp, &mut ElanApi<'_>),
+    {
+        let at = self.cpu(ctx.now(), entry_cost);
+        let mut api = ElanApi {
+            now: at,
+            node: self.node,
+            n: self.n,
+            rng: ctx.rng(),
+            actions: Vec::new(),
+        };
+        f(self.app.as_mut(), &mut api);
+        let actions = api.actions;
+        for action in actions {
+            match action {
+                HostAction::Doorbell { desc } => {
+                    let t = self.cpu(ctx.now(), self.params.host_doorbell);
+                    ctx.count("elan.doorbell", 1);
+                    ctx.send_at(t, self.nic, ElanEvent::Doorbell { desc });
+                }
+                HostAction::SetEvent { event } => {
+                    let t = self.cpu(ctx.now(), self.params.host_doorbell);
+                    ctx.count("elan.set_event", 1);
+                    ctx.send_at(t, self.nic, ElanEvent::SetEvent { event });
+                }
+                HostAction::ThreadDoorbell { value } => {
+                    let t = self.cpu(ctx.now(), self.params.host_doorbell);
+                    ctx.count("elan.thread_doorbell", 1);
+                    ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value });
+                }
+                HostAction::Tport { dst, tag, len } => {
+                    let t = self.cpu(ctx.now(), self.params.host_tport_send);
+                    ctx.count("elan.host_tport", 1);
+                    ctx.send_at(t, self.nic, ElanEvent::TportPost { dst, tag, len });
+                }
+                HostAction::HwSync => {
+                    let epoch = self.hw_epoch;
+                    self.hw_epoch += 1;
+                    let t = self.cpu(ctx.now(), self.params.host_doorbell);
+                    ctx.count("elan.hw_sync", 1);
+                    ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch });
+                }
+                HostAction::Timer { delay } => {
+                    ctx.send_at(self.cpu_free + delay, ctx.self_id(), ElanEvent::AppTimer);
+                }
+            }
+        }
+    }
+}
+
+impl Component<ElanEvent> for ElanHost {
+    fn handle(&mut self, msg: ElanEvent, ctx: &mut Ctx<'_, ElanEvent>) {
+        match msg {
+            ElanEvent::AppStart => {
+                self.dispatch(ctx, SimTime::ZERO, |app, api| app.on_start(api));
+            }
+            ElanEvent::AppTimer => {
+                self.dispatch(ctx, SimTime::ZERO, |app, api| app.on_timer(api));
+            }
+            ElanEvent::HostRecv { src, tag, len } => {
+                let poll = self.params.host_poll;
+                self.dispatch(ctx, poll, |app, api| app.on_recv(api, src, tag, len));
+            }
+            ElanEvent::HostCollDone { cookie } => {
+                let poll = self.params.host_poll;
+                self.dispatch(ctx, poll, |app, api| app.on_coll_done(api, cookie));
+            }
+            other => panic!("Elan host {:?} got unexpected event {other:?}", self.node),
+        }
+    }
+}

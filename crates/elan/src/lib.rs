@@ -1,0 +1,42 @@
+//! # nicbar-elan — the Quadrics/Elan3 substrate
+//!
+//! A deterministic discrete-event model of a QsNet cluster (Elan3 QM-400
+//! NICs, Elite switches in a quaternary fat tree) as described in §4.1 and
+//! §7 of the paper:
+//!
+//! * [`nic::ElanNic`] — descriptor table + NIC-resident counting events +
+//!   serial DMA/event processor. Zero-byte RDMAs fire remote events;
+//!   chained descriptors implement the NIC-based barrier with **no NIC
+//!   thread**, exactly as §7 chooses.
+//! * [`host::ElanHost`] / [`host::ElanApp`] — host library and application
+//!   trait (doorbells, tport tagged messages, hardware barrier entry).
+//! * [`hwbarrier::HwBarrierUnit`] — the switch-level test-and-set barrier
+//!   behind `elan_hgsync()`, with the paper's contiguity and
+//!   synchronization caveats modeled.
+//! * [`elanlib::Gsync`] — the Elanlib tree gather-broadcast barrier
+//!   (`elan_gsync()`), host-driven at every level.
+//! * [`fabric::ElanFabric`] — hardware-reliable fat-tree delivery.
+//! * [`cluster::ElanCluster`] — assembly and run helpers.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod elanlib;
+pub mod events;
+pub mod fabric;
+pub mod host;
+pub mod hwbarrier;
+pub mod nic;
+pub mod params;
+pub mod thread;
+pub mod types;
+
+pub use cluster::{ElanCluster, ElanClusterSpec, NicProgram};
+pub use elanlib::{Gsync, GsyncSend, GsyncStep, BCAST_TAG, GATHER_TAG, GSYNC_MSG_BYTES};
+pub use events::{ElanEvent, ElanPayload};
+pub use host::{ElanApi, ElanApp, ElanHost};
+pub use hwbarrier::HwBarrierUnit;
+pub use nic::{hw_cookie, ElanNic};
+pub use params::ElanParams;
+pub use thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
+pub use types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, TportTag};

@@ -1,0 +1,287 @@
+//! The Elan3 NIC model: a descriptor table, an event table, and a serial
+//! DMA/event processor.
+//!
+//! There is no NIC thread (the paper deliberately avoids one, §7): all
+//! behaviour is chained RDMA descriptors fired by event trips. The NIC also
+//! forwards hardware-barrier doorbells to the switch-level barrier unit and
+//! delivers tport messages to the host.
+
+use crate::events::{ElanEvent, ElanPayload};
+use crate::params::ElanParams;
+use crate::thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
+use crate::types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD,
+                   TPORT_WIRE_OVERHEAD};
+use nicbar_net::NodeId;
+use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
+
+/// The Elan3 NIC component.
+pub struct ElanNic {
+    node: NodeId,
+    params: ElanParams,
+    fabric: ComponentId,
+    host: ComponentId,
+    /// The switch-level hardware barrier unit, if the cluster has one.
+    hw_unit: Option<ComponentId>,
+
+    /// The DMA/event processor is a serial resource.
+    engine_free: SimTime,
+
+    /// User-armed RDMA descriptors (set up from user level at init).
+    descs: Vec<RdmaDesc>,
+    /// NIC-resident events.
+    events: Vec<NicEvent>,
+    /// The thread processor's handler (the §7 alternative mechanism;
+    /// [`NoThread`] unless explicitly installed).
+    thread: Box<dyn ElanThread>,
+}
+
+impl ElanNic {
+    /// Build a NIC with pre-armed descriptor/event tables (the "set up from
+    /// user level" step of §7; its one-time cost is not on the per-barrier
+    /// critical path).
+    pub fn new(
+        node: NodeId,
+        params: ElanParams,
+        fabric: ComponentId,
+        host: ComponentId,
+        hw_unit: Option<ComponentId>,
+        descs: Vec<RdmaDesc>,
+        events: Vec<NicEvent>,
+    ) -> Self {
+        for d in &descs {
+            if let Some(EventId(e)) = d.local_event {
+                assert!((e as usize) < events.len(), "dangling local event");
+            }
+        }
+        ElanNic {
+            node,
+            params,
+            fabric,
+            host,
+            hw_unit,
+            engine_free: SimTime::ZERO,
+            descs,
+            events,
+            thread: Box::new(NoThread),
+        }
+    }
+
+    /// Install a thread-processor handler (the §7 alternative the paper
+    /// measured against; used by the Moody-style reduction).
+    pub fn install_thread(&mut self, thread: Box<dyn ElanThread>) {
+        self.thread = thread;
+    }
+
+    /// Execute thread actions: sends go through the descriptor path (the
+    /// thread issues RDMAs like anything else on the NIC), completions to
+    /// the host.
+    fn run_thread_actions(&mut self, ctx: &mut Ctx<'_, ElanEvent>, actions: Vec<ThreadAction>) {
+        for action in actions {
+            match action {
+                ThreadAction::Send { dst, tag, value } => {
+                    assert_ne!(dst, self.node, "thread self-send");
+                    let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                    ctx.count("elan.thread_sent", 1);
+                    ctx.send_at(
+                        t,
+                        self.fabric,
+                        ElanEvent::Inject {
+                            src: self.node,
+                            dst,
+                            bytes: THREAD_MSG_BYTES,
+                            payload: ElanPayload::Thread { tag, value },
+                        },
+                    );
+                }
+                ThreadAction::NotifyHost { cookie, value: _ } => {
+                    ctx.count("elan.host_notify", 1);
+                    ctx.send_at(
+                        self.engine_free + self.params.host_event_visible,
+                        self.host,
+                        ElanEvent::HostCollDone { cookie },
+                    );
+                }
+            }
+        }
+    }
+
+    fn engine(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = now.max(self.engine_free);
+        self.engine_free = start + cost;
+        self.engine_free
+    }
+
+    /// Launch a descriptor: inject the RDMA and set its local event.
+    fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId) {
+        let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+        let d = self.descs[desc.0 as usize].clone();
+        assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
+        ctx.count("elan.rdma_sent", 1);
+        // Trace: descriptor launch (a = descriptor id, b = destination).
+        ctx.trace("elan.fire", desc.0 as u64, d.dst.0 as u64);
+        ctx.send_at(
+            t,
+            self.fabric,
+            ElanEvent::Inject {
+                src: self.node,
+                dst: d.dst,
+                bytes: RDMA_WIRE_OVERHEAD + d.bytes,
+                payload: ElanPayload::Rdma {
+                    remote_event: d.remote_event,
+                },
+            },
+        );
+        if let Some(le) = d.local_event {
+            // The local "issued" event trips as soon as the descriptor is
+            // processed; it gates the next chain link on our own progress.
+            self.set_event(ctx, t, le);
+        }
+    }
+
+    /// Set an event; run any tripped actions.
+    fn set_event(&mut self, ctx: &mut Ctx<'_, ElanEvent>, at: SimTime, ev: EventId) {
+        let trips = self.events[ev.0 as usize].set();
+        if trips == 0 {
+            return;
+        }
+        let actions = self.events[ev.0 as usize].actions.clone();
+        for _ in 0..trips {
+            for action in &actions {
+                match action {
+                    EventAction::FireDesc(d) => {
+                        // Chain through the serial engine via a self event.
+                        ctx.send_at(at.max(ctx.now()), ctx.self_id(), ElanEvent::FireDesc { desc: *d });
+                    }
+                    EventAction::NotifyHost { cookie } => {
+                        ctx.count("elan.host_notify", 1);
+                        // Trace: completion surfaced (a = event id, b = cookie).
+                        ctx.trace("elan.notify", ev.0 as u64, *cookie);
+                        ctx.send_at(
+                            at + self.params.host_event_visible,
+                            self.host,
+                            ElanEvent::HostCollDone { cookie: *cookie },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Test access to an event's state.
+    pub fn event(&self, ev: EventId) -> &NicEvent {
+        &self.events[ev.0 as usize]
+    }
+
+    /// Mutable access to the installed thread handler (result harvesting).
+    pub fn thread_mut(&mut self) -> &mut dyn ElanThread {
+        self.thread.as_mut()
+    }
+}
+
+impl Component<ElanEvent> for ElanNic {
+    fn handle(&mut self, msg: ElanEvent, ctx: &mut Ctx<'_, ElanEvent>) {
+        match msg {
+            ElanEvent::Doorbell { desc } | ElanEvent::FireDesc { desc } => {
+                self.fire_desc(ctx, desc);
+            }
+            ElanEvent::SetEvent { event } => {
+                let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                self.set_event(ctx, t, event);
+            }
+            ElanEvent::TportPost { dst, tag, len } => {
+                let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                ctx.count("elan.tport_sent", 1);
+                ctx.send_at(
+                    t,
+                    self.fabric,
+                    ElanEvent::Inject {
+                        src: self.node,
+                        dst,
+                        bytes: TPORT_WIRE_OVERHEAD + len,
+                        payload: ElanPayload::Tport { tag, len },
+                    },
+                );
+            }
+            ElanEvent::HwSyncPost { epoch } => {
+                let unit = self
+                    .hw_unit
+                    .expect("hardware barrier used on a cluster without a hw unit");
+                let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                ctx.send_at(
+                    t,
+                    unit,
+                    ElanEvent::HwArrive {
+                        node: self.node,
+                        epoch,
+                    },
+                );
+            }
+            ElanEvent::ThreadPost { value } => {
+                let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                let actions = self.thread.on_doorbell(t, value);
+                self.run_thread_actions(ctx, actions);
+            }
+            ElanEvent::Arrive { src, payload } => match payload {
+                ElanPayload::Thread { tag, value } => {
+                    // Wake the thread processor: heavier than a raw event.
+                    let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                    ctx.count("elan.thread_recv", 1);
+                    let actions = self.thread.on_msg(t, src, tag, value);
+                    self.run_thread_actions(ctx, actions);
+                }
+                ElanPayload::Rdma { remote_event } => {
+                    let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                    ctx.count("elan.rdma_recv", 1);
+                    // Trace: arrival (a = source, b = event index or MAX).
+                    ctx.trace(
+                        "elan.arrive",
+                        src.0 as u64,
+                        remote_event.map(|e| e.0 as u64).unwrap_or(u64::MAX),
+                    );
+                    if let Some(ev) = remote_event {
+                        self.set_event(ctx, t, ev);
+                    }
+                }
+                ElanPayload::Tport { tag, len } => {
+                    let t = self.engine(ctx.now(), self.params.nic_tport_recv);
+                    ctx.count("elan.tport_recv", 1);
+                    ctx.send_at(
+                        t + self.params.host_event_visible,
+                        self.host,
+                        ElanEvent::HostRecv { src, tag, len },
+                    );
+                }
+            },
+            ElanEvent::HwDone { epoch } => {
+                // Hardware barrier completion: surface to the host like a
+                // local event.
+                let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                ctx.send_at(
+                    t + self.params.host_event_visible,
+                    self.host,
+                    ElanEvent::HostCollDone {
+                        cookie: hw_cookie(epoch),
+                    },
+                );
+            }
+            other => panic!("Elan NIC {:?} got unexpected event {other:?}", self.node),
+        }
+    }
+}
+
+/// Cookie namespace for hardware-barrier completions (top bit set,
+/// distinguishing them from user chain cookies).
+pub fn hw_cookie(epoch: u64) -> u64 {
+    (1 << 63) | epoch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_cookie_is_tagged() {
+        assert_eq!(hw_cookie(5) & (1 << 63), 1 << 63);
+        assert_eq!(hw_cookie(5) & !(1 << 63), 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Timing parameters for the Elan3/QsNet substrate.
+//!
+//! Quadrics is hardware-reliable, so there is no protocol ACK/retransmit
+//! machinery to parameterize; the costs here are the Elan DMA/event
+//! processor's descriptor handling, the host interface, and the hardware
+//! barrier (`elan_hgsync`) constants. Calibration targets are the paper's
+//! Fig. 7 (5.60 µs NIC barrier @ 8 nodes, ~4.2 µs hardware barrier,
+//! ~2.5× gap to the tree-based `elan_gsync`); see EXPERIMENTS.md.
+
+use nicbar_net::LinkTiming;
+use nicbar_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// All timing parameters of a Quadrics/Elan3 cluster model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ElanParams {
+    // --- Host interface ----------------------------------------------------
+    /// Host cost to trigger a descriptor (library call + PIO doorbell).
+    pub host_doorbell: SimTime,
+    /// Host cost of polling/dispatching a completion or tport event.
+    pub host_poll: SimTime,
+    /// NIC → host visibility delay for a local event (write to host memory).
+    pub host_event_visible: SimTime,
+    /// Host cost of a tport send call (elanlib tagged message).
+    pub host_tport_send: SimTime,
+
+    // --- Elan DMA / event processor ----------------------------------------
+    /// Process one RDMA descriptor and inject it.
+    pub nic_desc_proc: SimTime,
+    /// Process an arriving RDMA: memory write + event set + action dispatch.
+    pub nic_event_proc: SimTime,
+    /// Extra processing for a tport arrival (tag match + host buffer DMA).
+    pub nic_tport_recv: SimTime,
+    /// One thread-processor invocation (schedule the thread, run the
+    /// handler): the "increased processing load" of §7 — noticeably above
+    /// raw event processing.
+    pub nic_thread_proc: SimTime,
+
+    // --- Hardware barrier (elan_hgsync) -------------------------------------
+    /// Fixed cost of the switch-level test-and-set wave.
+    pub hw_base: SimTime,
+    /// Per-tree-level cost of the wave.
+    pub hw_per_level: SimTime,
+    /// Fraction of the group's arrival spread added as retry penalty (the
+    /// "processes must be well synchronized" caveat in §4.1: skewed arrivals
+    /// make the test-and-set retry).
+    pub hw_skew_factor: f64,
+    /// Cap on the skew penalty.
+    pub hw_skew_cap: SimTime,
+
+    // --- Network ------------------------------------------------------------
+    /// Fat-tree link/switch timing.
+    pub link: LinkTiming,
+    /// Per-packet serialization surcharge at a contended destination port.
+    /// Near zero: the paper credits Elan with efficient hot-spot handling.
+    pub hotspot_ns: u64,
+}
+
+impl ElanParams {
+    /// The paper's Quadrics rig: Elan3 QM-400 cards, Elite-16 fat tree,
+    /// quad-700 MHz P-III hosts, Elanlib 1.4.3.
+    pub fn elan3() -> Self {
+        ElanParams {
+            host_doorbell: SimTime::from_us(0.50),
+            host_poll: SimTime::from_us(0.30),
+            host_event_visible: SimTime::from_us(0.55),
+            host_tport_send: SimTime::from_us(0.80),
+
+            nic_desc_proc: SimTime::from_us(0.55),
+            nic_event_proc: SimTime::from_us(0.50),
+            nic_tport_recv: SimTime::from_us(0.90),
+            nic_thread_proc: SimTime::from_us(0.95),
+
+            hw_base: SimTime::from_us(1.30),
+            hw_per_level: SimTime::from_us(0.25),
+            hw_skew_factor: 0.5,
+            hw_skew_cap: SimTime::from_us(50.0),
+
+            link: LinkTiming::qsnet_elan3(),
+            hotspot_ns: 0,
+        }
+    }
+
+    /// A QsNet-II / Elan4 *projection* (paper §9: "As QsNet-II … become
+    /// available to us, we are planning to investigate how this NIC-based
+    /// barrier algorithm can accommodate and benefit from novel
+    /// interconnect features"). Constants follow the published QsNet-II
+    /// ratios: ~2× faster event/descriptor processing, ~2.2× link
+    /// bandwidth, faster PCI-X host interface. No measurement backs this
+    /// preset — it exists to run the paper's what-if.
+    pub fn elan4_projection() -> Self {
+        let e3 = Self::elan3();
+        ElanParams {
+            host_doorbell: e3.host_doorbell.scale(0.6),
+            host_poll: e3.host_poll.scale(0.7),
+            host_event_visible: e3.host_event_visible.scale(0.6),
+            host_tport_send: e3.host_tport_send.scale(0.6),
+            nic_desc_proc: e3.nic_desc_proc.scale(0.5),
+            nic_event_proc: e3.nic_event_proc.scale(0.5),
+            nic_tport_recv: e3.nic_tport_recv.scale(0.5),
+            nic_thread_proc: e3.nic_thread_proc.scale(0.5),
+            hw_base: e3.hw_base.scale(0.7),
+            hw_per_level: e3.hw_per_level,
+            hw_skew_factor: e3.hw_skew_factor,
+            hw_skew_cap: e3.hw_skew_cap,
+            link: LinkTiming {
+                header_ns: 60,
+                switch_ns: 25,
+                wire_ns: 20,
+                ns_per_byte: 1.1, // ~900 MB/s
+            },
+            hotspot_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_trigger_is_cheap() {
+        // One chain link (arrival processing + next descriptor) must cost
+        // roughly the paper's T_trig ≈ 2.3 µs *minus* wire time — i.e. well
+        // under 2 µs of NIC work. This is the invariant that keeps the
+        // NIC-based barrier fast.
+        let p = ElanParams::elan3();
+        let link_work = p.nic_event_proc + p.nic_desc_proc;
+        assert!(link_work < SimTime::from_us(2.0));
+    }
+
+    #[test]
+    fn hw_barrier_is_microseconds_scale() {
+        // The full hgsync path is wave + doorbell + NIC handling + host
+        // event visibility + poll; at 8 nodes (2 levels) it must land near
+        // the paper's 4.2 µs.
+        let p = ElanParams::elan3();
+        let t = p.host_doorbell
+            + p.nic_desc_proc
+            + p.hw_base
+            + p.hw_per_level * 2
+            + p.nic_event_proc
+            + p.host_event_visible
+            + p.host_poll;
+        assert!(t > SimTime::from_us(3.5) && t < SimTime::from_us(5.0), "{t}");
+    }
+}

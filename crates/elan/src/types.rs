@@ -1,0 +1,150 @@
+//! Elan3 NIC-level objects: RDMA descriptors and NIC-resident events.
+//!
+//! Elan3's defining mechanism (for this paper) is the *chained event*: an
+//! event word in NIC memory with a counter; RDMA descriptors can be armed to
+//! fire when an event trips, and RDMA arrivals can set events at the remote
+//! NIC. §7 of the paper builds the entire NIC-based barrier out of exactly
+//! this: "set up a list of chained RDMA descriptors at the NIC from
+//! user-level ... triggered only upon the arrival of a remote event".
+
+use nicbar_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Index into a NIC's descriptor table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct DescId(pub u32);
+
+/// Index into a NIC's event table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// What happens when an event trips.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventAction {
+    /// Launch an RDMA descriptor (the chain link).
+    FireDesc(DescId),
+    /// Raise a completion event to the host with an opaque cookie.
+    NotifyHost {
+        /// Delivered to the application's `on_coll_done`.
+        cookie: u64,
+    },
+}
+
+/// A NIC-resident event word.
+///
+/// Elan events are counters: `set_event` increments `sets`; whenever `sets`
+/// reaches the current `threshold` the actions run and the threshold
+/// advances by `rearm`. Because arrivals *accumulate*, a neighbour that
+/// races ahead into barrier epoch `k+1` can set the event early and the
+/// count is simply banked until this node's own progress catches up — the
+/// property that makes consecutive chained-RDMA barriers safe without host
+/// re-arming.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicEvent {
+    /// Total sets received so far.
+    pub sets: u64,
+    /// Sets needed for the next trip.
+    pub threshold: u64,
+    /// Threshold advance per trip (sets required per epoch).
+    pub rearm: u64,
+    /// Actions executed on each trip.
+    pub actions: Vec<EventAction>,
+}
+
+impl NicEvent {
+    /// An event that trips every `per_epoch` sets and runs `actions`.
+    pub fn new(per_epoch: u64, actions: Vec<EventAction>) -> Self {
+        assert!(per_epoch > 0, "event threshold must be positive");
+        NicEvent {
+            sets: 0,
+            threshold: per_epoch,
+            rearm: per_epoch,
+            actions,
+        }
+    }
+
+    /// Record one set; returns how many times the event tripped (usually 0
+    /// or 1, but banked early sets can release several trips at once).
+    pub fn set(&mut self) -> u32 {
+        self.sets += 1;
+        let mut trips = 0;
+        while self.sets >= self.threshold {
+            self.threshold += self.rearm;
+            trips += 1;
+        }
+        trips
+    }
+}
+
+/// An RDMA descriptor armed in NIC memory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdmaDesc {
+    /// Destination NIC.
+    pub dst: NodeId,
+    /// Payload bytes (0 for a pure event-fire RDMA, the barrier case).
+    pub bytes: u32,
+    /// Event set at the destination NIC on arrival.
+    pub remote_event: Option<EventId>,
+    /// Event set locally when the RDMA has been issued (used to gate the
+    /// next chain link on *this node's own* progress).
+    pub local_event: Option<EventId>,
+}
+
+/// Fixed wire overhead of an Elan RDMA transaction (route + header +
+/// event-write), bytes.
+pub const RDMA_WIRE_OVERHEAD: u32 = 32;
+
+/// Wire overhead of a Tports (tagged message) send.
+pub const TPORT_WIRE_OVERHEAD: u32 = 40;
+
+/// A user-level message tag for the Tports layer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TportTag(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_trips_at_threshold() {
+        let mut e = NicEvent::new(2, vec![]);
+        assert_eq!(e.set(), 0);
+        assert_eq!(e.set(), 1);
+        assert_eq!(e.set(), 0);
+        assert_eq!(e.set(), 1);
+    }
+
+    #[test]
+    fn early_sets_are_banked_across_epochs() {
+        let mut e = NicEvent::new(1, vec![]);
+        // Three neighbours race three epochs ahead…
+        assert_eq!(e.set(), 1);
+        assert_eq!(e.set(), 1);
+        assert_eq!(e.set(), 1);
+        // …each set released one trip; nothing is lost.
+        assert_eq!(e.sets, 3);
+        assert_eq!(e.threshold, 4);
+    }
+
+    #[test]
+    fn burst_of_banked_sets_releases_multiple_trips() {
+        // threshold 2: one local set banked, then two remote sets at once
+        // cannot happen in one call, but a single set can release several
+        // trips if rearm lagged — construct directly:
+        let mut e = NicEvent {
+            sets: 3,
+            threshold: 4,
+            rearm: 2,
+            actions: vec![],
+        };
+        assert_eq!(e.set(), 1); // sets=4 -> trips at 4, next threshold 6
+        assert_eq!(e.set(), 0);
+        assert_eq!(e.set(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        NicEvent::new(0, vec![]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cluster assembly: wire hosts, NICs and the fabric into one engine.
+
+use crate::collective::{NicCollective, NullCollective};
+use crate::events::GmEvent;
+use crate::fabric::GmFabric;
+use crate::host::{GmApp, GmHost};
+use crate::nic::LanaiNic;
+use crate::params::{CollFeatures, GmParams};
+use nicbar_net::{FabricCore, NodeId, WormholeClos};
+use nicbar_sim::{ComponentId, Engine, RunOutcome, SimTime};
+
+/// Static description of a GM cluster simulation.
+#[derive(Clone, Debug)]
+pub struct GmClusterSpec {
+    /// Timing/sizing parameter set (see [`GmParams`] presets).
+    pub params: GmParams,
+    /// Collective-protocol feature toggles (ablation).
+    pub features: CollFeatures,
+    /// Number of nodes.
+    pub n: usize,
+    /// Master seed for all randomness in the run.
+    pub seed: u64,
+    /// Fabric loss-injection probability.
+    pub drop_prob: f64,
+    /// Receive buffers pre-posted per NIC at startup.
+    pub initial_recv_tokens: u32,
+}
+
+impl GmClusterSpec {
+    /// A cluster of `n` nodes with the given parameter preset and defaults
+    /// elsewhere.
+    pub fn new(params: GmParams, n: usize) -> Self {
+        GmClusterSpec {
+            params,
+            features: CollFeatures::paper(),
+            n,
+            seed: 0xC0FFEE,
+            drop_prob: 0.0,
+            initial_recv_tokens: 64,
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable loss injection.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Replace the collective feature set.
+    pub fn with_features(mut self, features: CollFeatures) -> Self {
+        self.features = features;
+        self
+    }
+}
+
+/// A built GM cluster: the engine plus the component directory.
+pub struct GmCluster {
+    /// The discrete-event engine; run it with [`GmCluster::run_until`] or
+    /// directly.
+    pub engine: Engine<GmEvent>,
+    /// Host components by node index.
+    pub hosts: Vec<ComponentId>,
+    /// NIC components by node index.
+    pub nics: Vec<ComponentId>,
+    /// The fabric component.
+    pub fabric: ComponentId,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl GmCluster {
+    /// Assemble a cluster. `apps[i]` runs on node `i`; `colls[i]` is node
+    /// `i`'s NIC-resident collective engine (use [`NullCollective`] boxes
+    /// when the run is point-to-point only). `AppStart` is scheduled for
+    /// every host at t = 0.
+    pub fn build(
+        spec: GmClusterSpec,
+        apps: Vec<Box<dyn GmApp>>,
+        colls: Vec<Box<dyn NicCollective>>,
+    ) -> Self {
+        assert_eq!(apps.len(), spec.n, "one app per node");
+        assert_eq!(colls.len(), spec.n, "one collective engine per node");
+        let mut engine: Engine<GmEvent> = Engine::new(spec.seed);
+
+        let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
+        let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
+        let fabric_id = engine.reserve_id();
+
+        let mut core = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(spec.n)),
+            spec.params.link,
+            spec.params.hotspot_ns,
+        );
+        core.set_drop_prob(spec.drop_prob);
+        engine.install(fabric_id, GmFabric::new(core, nic_ids.clone()));
+
+        let mut colls = colls;
+        let mut apps = apps;
+        // Install back-to-front so `pop` hands out the right boxes.
+        for i in (0..spec.n).rev() {
+            let coll = colls.pop().expect("length checked");
+            let app = apps.pop().expect("length checked");
+            engine.install(
+                nic_ids[i],
+                LanaiNic::new(
+                    NodeId(i),
+                    spec.n,
+                    spec.params.clone(),
+                    spec.features,
+                    fabric_id,
+                    host_ids[i],
+                    coll,
+                    spec.initial_recv_tokens,
+                ),
+            );
+            engine.install(
+                host_ids[i],
+                GmHost::new(NodeId(i), spec.n, nic_ids[i], spec.params.clone(), app),
+            );
+        }
+        for &h in &host_ids {
+            engine.schedule_at(SimTime::ZERO, h, GmEvent::AppStart);
+        }
+        GmCluster {
+            engine,
+            hosts: host_ids,
+            nics: nic_ids,
+            fabric: fabric_id,
+            n: spec.n,
+        }
+    }
+
+    /// Convenience constructor for clusters with no collective engines.
+    pub fn build_p2p(spec: GmClusterSpec, apps: Vec<Box<dyn GmApp>>) -> Self {
+        let n = spec.n;
+        let colls: Vec<Box<dyn NicCollective>> = (0..n)
+            .map(|_| Box::new(NullCollective) as Box<dyn NicCollective>)
+            .collect();
+        Self::build(spec, apps, colls)
+    }
+
+    /// Run until `deadline` with an event-budget backstop; panics on budget
+    /// exhaustion (always a protocol bug, e.g. a retransmission storm).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        let outcome = self.engine.run_bounded(deadline, 2_000_000_000);
+        assert_ne!(
+            outcome,
+            RunOutcome::BudgetExhausted,
+            "event budget exhausted — runaway protocol loop?"
+        );
+        outcome
+    }
+
+    /// Downcast host `i`'s application.
+    pub fn app_ref<T: 'static>(&self, i: usize) -> &T {
+        self.engine
+            .component_ref::<GmHost>(self.hosts[i])
+            .expect("host component")
+            .app_ref::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Mutable downcast of host `i`'s application.
+    pub fn app_mut<T: 'static>(&mut self, i: usize) -> &mut T {
+        self.engine
+            .component_mut::<GmHost>(self.hosts[i])
+            .expect("host component")
+            .app_mut::<T>()
+            .expect("app type mismatch")
+    }
+}

@@ -1,0 +1,140 @@
+//! The NIC ↔ collective-protocol boundary.
+//!
+//! The paper's protocol logic (schedules, bit vectors, NACK policy) lives in
+//! `nicbar-core`; the GM NIC only knows this trait. The NIC invokes the
+//! engine on the three stimuli that exist at NIC level — a host doorbell, an
+//! arriving collective packet, a timer sweep — and executes the returned
+//! [`CollAction`]s with the *collective* cost model (dedicated queue, static
+//! packet) or, under ablation, with point-to-point-equivalent surcharges.
+
+use crate::types::{CollPacket, GroupId};
+use nicbar_net::NodeId;
+use nicbar_sim::engine::AsAny;
+use nicbar_sim::SimTime;
+
+/// The host's operand to a collective doorbell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollOperand {
+    /// A single word (barrier: ignored; reduce: contribution; bcast at the
+    /// root: the payload).
+    Scalar(u64),
+    /// A word per rank (alltoall: the personalized row).
+    Vector(Vec<u64>),
+}
+
+impl CollOperand {
+    /// The scalar view (panics on vectors — scalar ops must not receive
+    /// vector operands).
+    pub fn scalar(&self) -> u64 {
+        match self {
+            CollOperand::Scalar(v) => *v,
+            CollOperand::Vector(_) => panic!("vector operand for a scalar collective"),
+        }
+    }
+}
+
+/// Actions a collective engine asks its NIC to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollAction {
+    /// Transmit a collective packet (from the group's static send packet).
+    Send {
+        /// Destination NIC.
+        dst: NodeId,
+        /// The packet.
+        pkt: CollPacket,
+    },
+    /// Deliver operation completion to the host.
+    HostDone {
+        /// Process group.
+        group: GroupId,
+        /// Completed epoch.
+        epoch: u64,
+        /// Result value (0 for barrier).
+        value: u64,
+    },
+}
+
+/// A NIC-resident collective protocol engine.
+///
+/// Implementations must be deterministic state machines: every method is a
+/// pure transition on `(state, stimulus) → (state, actions)`. Time-dependent
+/// behaviour (the receiver-driven NACK timer) is expressed through
+/// [`NicCollective::next_deadline`], which the NIC uses to arm its timer
+/// sweep.
+pub trait NicCollective: AsAny + 'static {
+    /// Host posted a collective doorbell with its operand.
+    fn on_doorbell(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        epoch: u64,
+        operand: &CollOperand,
+    ) -> Vec<CollAction>;
+
+    /// A collective packet arrived from the wire.
+    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket) -> Vec<CollAction>;
+
+    /// Timer sweep: emit NACKs for overdue expected packets, retransmit
+    /// NACKed sends, etc.
+    fn on_timer(&mut self, now: SimTime) -> Vec<CollAction>;
+
+    /// Earliest future instant at which `on_timer` needs to run, if any.
+    fn next_deadline(&self) -> Option<SimTime>;
+}
+
+/// A collective engine that supports nothing — the default for NICs in
+/// clusters that only exercise the point-to-point protocol.
+pub struct NullCollective;
+
+impl NicCollective for NullCollective {
+    fn on_doorbell(
+        &mut self,
+        _now: SimTime,
+        group: GroupId,
+        _epoch: u64,
+        _operand: &CollOperand,
+    ) -> Vec<CollAction> {
+        panic!("no collective engine installed on this NIC (group {group:?})");
+    }
+
+    fn on_packet(&mut self, _now: SimTime, pkt: &CollPacket) -> Vec<CollAction> {
+        panic!("unexpected collective packet {pkt:?} on a NIC with no collective engine");
+    }
+
+    fn on_timer(&mut self, _now: SimTime) -> Vec<CollAction> {
+        Vec::new()
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_collective_times_out_quietly() {
+        let mut n = NullCollective;
+        assert!(n.on_timer(SimTime::ZERO).is_empty());
+        assert_eq!(n.next_deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no collective engine")]
+    fn null_collective_rejects_doorbells() {
+        NullCollective.on_doorbell(SimTime::ZERO, GroupId(0), 0, &CollOperand::Scalar(0));
+    }
+
+    #[test]
+    fn operand_scalar_view() {
+        assert_eq!(CollOperand::Scalar(7).scalar(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector operand")]
+    fn operand_vector_is_not_scalar() {
+        let _ = CollOperand::Vector(vec![1, 2]).scalar();
+    }
+}

@@ -1,0 +1,108 @@
+//! The event vocabulary of the GM simulation.
+//!
+//! Every interaction between hosts, NICs and the fabric is one of these
+//! events; see the flow diagrams in `nic.rs` for who sends what to whom.
+
+use crate::collective::CollOperand;
+use crate::types::{GroupId, MsgId, MsgTag, Packet, SendToken};
+use nicbar_net::NodeId;
+
+/// Events exchanged between the components of a GM cluster simulation.
+#[derive(Clone, Debug)]
+pub enum GmEvent {
+    // ------------------------------------------------------------------
+    // Host-bound events
+    // ------------------------------------------------------------------
+    /// Kick the application's `on_start`.
+    AppStart,
+    /// A host-level timer set by the application fired.
+    AppTimer,
+    /// The NIC delivered a complete message to a host receive buffer.
+    RecvDelivered {
+        /// Sending NIC.
+        src: NodeId,
+        /// User tag of the message.
+        tag: MsgTag,
+        /// Message length.
+        len: u32,
+    },
+    /// The NIC retired a send token (message fully acknowledged).
+    SendDone {
+        /// The host's message id.
+        msg_id: MsgId,
+    },
+    /// The NIC completed a collective operation for the host.
+    CollDone {
+        /// Process group.
+        group: GroupId,
+        /// Epoch (operation count) within the group.
+        epoch: u64,
+        /// Operation result (0 for barrier; reduced value for allreduce,
+        /// broadcast payload for bcast).
+        value: u64,
+    },
+
+    // ------------------------------------------------------------------
+    // NIC-bound events
+    // ------------------------------------------------------------------
+    /// Host posted a send event (already past the PIO doorbell delay).
+    SendPost(SendToken),
+    /// Host posted `count` receive buffers of `capacity` bytes each.
+    RecvPost {
+        /// Number of buffers.
+        count: u32,
+        /// Capacity of each buffer.
+        capacity: u32,
+    },
+    /// Host posted a collective doorbell (barrier or extension collective).
+    CollPost {
+        /// Process group.
+        group: GroupId,
+        /// Operation epoch.
+        epoch: u64,
+        /// Host-contributed operand.
+        operand: CollOperand,
+    },
+    /// Continuation of the NIC send scheduler (self-scheduled).
+    SendWork,
+    /// Host→NIC payload DMA finished for the packet being built.
+    DmaToNicDone {
+        /// Destination of the packet being built.
+        dst: NodeId,
+        /// The token's message id.
+        msg_id: MsgId,
+        /// First byte carried.
+        offset: u32,
+        /// Payload length.
+        payload: u32,
+        /// Total message length.
+        total_len: u32,
+        /// User tag.
+        tag: MsgTag,
+    },
+    /// NIC→host payload DMA finished for a received packet.
+    DmaToHostDone {
+        /// Sending NIC.
+        src: NodeId,
+        /// Sequence number of the packet whose payload landed.
+        seq: u32,
+        /// User tag.
+        tag: MsgTag,
+        /// Payload length of this packet.
+        payload: u32,
+        /// Total message length.
+        total_len: u32,
+        /// First byte carried by this packet.
+        offset: u32,
+    },
+    /// A packet arrived from the fabric.
+    Arrive(Packet),
+    /// Periodic retransmission sweep.
+    TimerCheck,
+
+    // ------------------------------------------------------------------
+    // Fabric-bound events
+    // ------------------------------------------------------------------
+    /// A NIC handed a packet to the network.
+    Inject(Packet),
+}

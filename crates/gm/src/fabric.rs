@@ -1,0 +1,175 @@
+//! The Myrinet fabric component: wraps [`nicbar_net::FabricCore`] into the
+//! GM event flow and keeps per-kind wire counters (the evidence for the
+//! paper's packet-halving claim).
+
+use crate::events::GmEvent;
+use crate::types::PacketKind;
+use nicbar_net::FabricCore;
+use nicbar_sim::{Component, ComponentId, Ctx};
+
+/// The network component of a GM cluster.
+pub struct GmFabric {
+    core: FabricCore,
+    /// NIC component ids indexed by `NodeId`.
+    nics: Vec<ComponentId>,
+}
+
+impl GmFabric {
+    /// Build from a fabric core and the NIC component table.
+    pub fn new(core: FabricCore, nics: Vec<ComponentId>) -> Self {
+        assert_eq!(core.topology().num_nodes(), nics.len());
+        GmFabric { core, nics }
+    }
+
+    /// The underlying fabric core (post-run statistics).
+    pub fn core(&self) -> &FabricCore {
+        &self.core
+    }
+
+    /// Mutable access to the core (tests adjust the drop probability
+    /// mid-run).
+    pub fn core_mut(&mut self) -> &mut FabricCore {
+        &mut self.core
+    }
+
+    /// Replace the fabric core (topology ablations). The new core must
+    /// cover the same node count.
+    pub fn replace_core(&mut self, core: FabricCore) {
+        assert_eq!(core.topology().num_nodes(), self.nics.len());
+        self.core = core;
+    }
+}
+
+impl Component<GmEvent> for GmFabric {
+    fn handle(&mut self, msg: GmEvent, ctx: &mut Ctx<'_, GmEvent>) {
+        let GmEvent::Inject(pkt) = msg else {
+            panic!("fabric got a non-Inject event");
+        };
+        let label = match &pkt.kind {
+            PacketKind::Data { .. } => "wire.data",
+            PacketKind::Ack { .. } => "wire.ack",
+            PacketKind::Coll(c) => match c.kind {
+                crate::types::CollKind::Nack => "wire.coll_nack",
+                crate::types::CollKind::Ack => "wire.coll_ack",
+                _ => "wire.coll",
+            },
+        };
+        ctx.count(label, 1);
+        ctx.count("wire.total", 1);
+        let bytes = pkt.wire_bytes();
+        let delivery = {
+            let now = ctx.now();
+            let (src, dst) = (pkt.src, pkt.dst);
+            // Split borrows: rng lives in ctx, core in self.
+            let rng = ctx.rng();
+            self.core.send(now, src, dst, bytes, rng)
+        };
+        if delivery.dropped {
+            ctx.count("wire.dropped", 1);
+            return;
+        }
+        let target = self.nics[pkt.dst.0];
+        ctx.send_at(delivery.arrive, target, GmEvent::Arrive(pkt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CollKind, CollPacket, GroupId, MsgTag, Packet};
+    use nicbar_net::{LinkTiming, NodeId, WormholeClos};
+    use nicbar_sim::{Engine, SimTime};
+
+    /// A NIC stand-in that records arrivals.
+    struct Recorder {
+        got: Vec<(SimTime, Packet)>,
+    }
+    impl Component<GmEvent> for Recorder {
+        fn handle(&mut self, msg: GmEvent, ctx: &mut Ctx<'_, GmEvent>) {
+            if let GmEvent::Arrive(p) = msg {
+                self.got.push((ctx.now(), p));
+            }
+        }
+    }
+
+    fn packet(src: usize, dst: usize, kind: PacketKind) -> Packet {
+        Packet {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            kind,
+        }
+    }
+
+    #[test]
+    fn fabric_routes_and_counts() {
+        let mut engine: Engine<GmEvent> = Engine::new(1);
+        let r0 = engine.add(Recorder { got: Vec::new() });
+        let r1 = engine.add(Recorder { got: Vec::new() });
+        let core = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(2)),
+            LinkTiming::myrinet2000(),
+            0,
+        );
+        let fabric = engine.add(GmFabric::new(core, vec![r0, r1]));
+
+        let data = packet(
+            0,
+            1,
+            PacketKind::Data {
+                seq: 0,
+                msg_id: 1,
+                offset: 0,
+                payload: 4,
+                total_len: 4,
+                tag: MsgTag(0),
+            },
+        );
+        let ack = packet(1, 0, PacketKind::Ack { upto: 0 });
+        let coll = packet(
+            0,
+            1,
+            PacketKind::Coll(CollPacket {
+                src: NodeId(0),
+                group: GroupId(0),
+                epoch: 0,
+                round: 0,
+                kind: CollKind::Barrier,
+            }),
+        );
+        engine.schedule_at(SimTime::ZERO, fabric, GmEvent::Inject(data));
+        engine.schedule_at(SimTime::ZERO, fabric, GmEvent::Inject(ack));
+        engine.schedule_at(SimTime::ZERO, fabric, GmEvent::Inject(coll));
+        engine.run();
+
+        assert_eq!(engine.counters().get("wire.data"), 1);
+        assert_eq!(engine.counters().get("wire.ack"), 1);
+        assert_eq!(engine.counters().get("wire.coll"), 1);
+        assert_eq!(engine.counters().get("wire.total"), 3);
+        let got1 = &engine.component_ref::<Recorder>(r1).unwrap().got;
+        assert_eq!(got1.len(), 2, "data + coll reach node 1");
+        let got0 = &engine.component_ref::<Recorder>(r0).unwrap().got;
+        assert_eq!(got0.len(), 1, "ack reaches node 0");
+    }
+
+    #[test]
+    fn dropped_packets_never_arrive() {
+        let mut engine: Engine<GmEvent> = Engine::new(1);
+        let r0 = engine.add(Recorder { got: Vec::new() });
+        let r1 = engine.add(Recorder { got: Vec::new() });
+        let mut core = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(2)),
+            LinkTiming::myrinet2000(),
+            0,
+        );
+        core.set_drop_prob(1.0);
+        let fabric = engine.add(GmFabric::new(core, vec![r0, r1]));
+        engine.schedule_at(
+            SimTime::ZERO,
+            fabric,
+            GmEvent::Inject(packet(0, 1, PacketKind::Ack { upto: 3 })),
+        );
+        engine.run();
+        assert_eq!(engine.counters().get("wire.dropped"), 1);
+        assert!(engine.component_ref::<Recorder>(r1).unwrap().got.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # nicbar-gm — the Myrinet/GM substrate
+//!
+//! A deterministic discrete-event model of a Myrinet 2000 cluster running a
+//! GM-like user-level protocol, structured after the Myrinet Control
+//! Program description in §4.2 of the paper:
+//!
+//! * [`host::GmHost`] — the host library: send/receive events, polling,
+//!   doorbells over a modeled PCI/PCI-X bus, and the application trait
+//!   ([`host::GmApp`]).
+//! * [`nic::LanaiNic`] — the MCP state machine: per-destination send-token
+//!   queues with round-robin scheduling, a bounded send-packet pool, MTU
+//!   packetization with host↔NIC DMA, per-packet send records,
+//!   ACK/timeout/go-back-N retransmission, and receive-token matching.
+//! * [`fabric::GmFabric`] — the wormhole crossbar network with loss
+//!   injection.
+//! * [`collective::NicCollective`] — the hook where `nicbar-core` plugs the
+//!   paper's NIC-based collective protocol into the NIC, with
+//!   [`params::CollFeatures`] ablation toggles.
+//! * [`cluster::GmCluster`] — assembly and run helpers.
+//!
+//! Two parameter presets reproduce the paper's clusters:
+//! [`params::GmParams::lanai_xp`] (8-node 2.4 GHz Xeon, PCI-X, LANai-XP) and
+//! [`params::GmParams::lanai_9_1`] (16-node 700 MHz P-III, PCI, LANai 9.1).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod collective;
+pub mod events;
+pub mod fabric;
+pub mod host;
+pub mod nic;
+pub mod params;
+pub mod types;
+
+pub use cluster::{GmCluster, GmClusterSpec};
+pub use collective::{CollAction, CollOperand, NicCollective, NullCollective};
+pub use events::GmEvent;
+pub use host::{GmApi, GmApp, GmHost};
+pub use nic::LanaiNic;
+pub use params::{CollFeatures, GmParams};
+pub use types::{AllToAllItem, CollKind, CollPacket, GroupId, MsgId, MsgTag, Packet, PacketKind};

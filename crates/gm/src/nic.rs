@@ -1,0 +1,788 @@
+//! The LANai NIC model — a faithful-in-structure rendition of the Myrinet
+//! Control Program's communication processing (§4.2 of the paper), plus the
+//! hook for the NIC-based collective protocol (§3/§6).
+//!
+//! ## Point-to-point send path
+//!
+//! ```text
+//! host SendPost ─► token create ─► per-destination FIFO queue
+//!                 ─► round-robin scheduler pass (SendWork)
+//!                 ─► claim send packet buffer (bounded pool)
+//!                 ─► DMA payload host→NIC        (DmaToNicDone)
+//!                 ─► create send record, inject  (Inject → fabric)
+//! ```
+//!
+//! The receiver checks the sequence number, consumes a receive token, DMAs
+//! the payload to host memory (`DmaToHostDone`), generates a cumulative ACK
+//! from the per-peer static packet, and raises a receive event to the host.
+//! ACKs retire send records and release packet buffers; a periodic timer
+//! sweep retransmits unacked packets (go-back-N), so the protocol survives
+//! the fabric's loss injection.
+//!
+//! ## Collective path
+//!
+//! A `CollPost` doorbell or an arriving collective packet is handed to the
+//! installed [`NicCollective`] engine. Executing its actions costs
+//! `nic_coll_send` / `nic_coll_recv` only — the dedicated group queue,
+//! static packet and bit-vector record mean no queue traversal, no buffer
+//! claim, no payload DMA and no per-packet record churn. Ablation flags
+//! ([`CollFeatures`]) add those point-to-point surcharges back one by one.
+//!
+//! ## Resource model
+//!
+//! The LANai processor is a *serial* resource (`cpu_free`): every processing
+//! step starts no earlier than the previous one finished. This is what makes
+//! concurrent arrivals serialize at a hot-spot NIC — the effect the paper
+//! cites to explain pairwise-exchange's behaviour on Myrinet. The DMA engine
+//! is a second serial resource that overlaps the CPU.
+
+use crate::collective::{CollAction, NicCollective};
+use crate::events::GmEvent;
+use crate::params::{CollFeatures, GmParams};
+use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
+use nicbar_net::NodeId;
+use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
+use std::collections::VecDeque;
+
+/// Per-source reassembly state for a partially received message.
+#[derive(Clone, Copy, Debug)]
+struct Assembly {
+    received: u32,
+    total_len: u32,
+}
+
+/// The Myrinet LANai NIC component.
+pub struct LanaiNic {
+    node: NodeId,
+    params: GmParams,
+    features: CollFeatures,
+    fabric: ComponentId,
+    host: ComponentId,
+
+    /// LANai processor busy-until (serial resource).
+    cpu_free: SimTime,
+    /// DMA engine busy-until (serial resource, overlaps the CPU).
+    dma_free: SimTime,
+
+    // --- send side ---
+    send_queues: Vec<VecDeque<SendToken>>,
+    rr_cursor: usize,
+    free_packets: usize,
+    next_seq: Vec<u32>,
+    inflight: Vec<VecDeque<SendRecord>>,
+    work_scheduled: bool,
+
+    // --- receive side ---
+    expect_seq: Vec<u32>,
+    recv_tokens: u32,
+    /// Per-source FIFO of messages being reassembled. Packets from one
+    /// source arrive in seq order and host DMAs complete in order, so the
+    /// front entry is always the message whose payload lands next.
+    assembling: Vec<VecDeque<Assembly>>,
+
+    // --- collective ---
+    coll: Box<dyn NicCollective>,
+
+    // --- timer ---
+    timer_armed: bool,
+}
+
+impl LanaiNic {
+    /// Build a NIC for `node` in an `n`-node cluster.
+    ///
+    /// `initial_recv_tokens` models the host library pre-posting receive
+    /// buffers at startup (as GM applications do).
+    pub fn new(
+        node: NodeId,
+        n: usize,
+        params: GmParams,
+        features: CollFeatures,
+        fabric: ComponentId,
+        host: ComponentId,
+        coll: Box<dyn NicCollective>,
+        initial_recv_tokens: u32,
+    ) -> Self {
+        LanaiNic {
+            node,
+            free_packets: params.send_packet_pool,
+            params,
+            features,
+            fabric,
+            host,
+            cpu_free: SimTime::ZERO,
+            dma_free: SimTime::ZERO,
+            send_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            rr_cursor: 0,
+            next_seq: vec![0; n],
+            inflight: (0..n).map(|_| VecDeque::new()).collect(),
+            work_scheduled: false,
+            expect_seq: vec![0; n],
+            recv_tokens: initial_recv_tokens,
+            assembling: (0..n).map(|_| VecDeque::new()).collect(),
+            coll,
+            timer_armed: false,
+        }
+    }
+
+    /// Occupy the NIC processor for `cost`, starting no earlier than `now`;
+    /// returns the completion time.
+    fn cpu(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = now.max(self.cpu_free);
+        self.cpu_free = start + cost;
+        self.cpu_free
+    }
+
+    /// Occupy the DMA engine for a `bytes` transfer starting no earlier
+    /// than `now`; returns the completion time.
+    fn dma(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        let start = now.max(self.dma_free);
+        self.dma_free = start + self.params.dma_time(bytes);
+        self.dma_free
+    }
+
+    /// Arm the periodic timer sweep if there is anything to watch.
+    fn ensure_timer(&mut self, ctx: &mut Ctx<'_, GmEvent>) {
+        if self.timer_armed {
+            return;
+        }
+        let p2p_pending = self.inflight.iter().any(|q| !q.is_empty());
+        if p2p_pending || self.coll.next_deadline().is_some() {
+            self.timer_armed = true;
+            ctx.send_self(self.params.timer_interval, GmEvent::TimerCheck);
+        }
+    }
+
+    /// Kick the send scheduler (idempotent: at most one `SendWork` pending).
+    fn kick_scheduler(&mut self, ctx: &mut Ctx<'_, GmEvent>) {
+        if !self.work_scheduled {
+            self.work_scheduled = true;
+            // The pass itself runs on the NIC CPU; schedule it at the point
+            // the CPU can take it.
+            let at = ctx.now().max(self.cpu_free);
+            ctx.send_at(at, ctx.self_id(), GmEvent::SendWork);
+        }
+    }
+
+    /// Is the front token of queue `d` launchable right now?
+    fn queue_eligible(&self, d: usize) -> bool {
+        let Some(front) = self.send_queues[d].front() else {
+            return false;
+        };
+        if front.coll.is_some() {
+            // A collective token riding the p2p queues (group-queue
+            // ablation): its payload is NIC-resident, so it only needs a
+            // buffer when the static packet is also ablated.
+            self.features.static_packet || self.free_packets > 0
+        } else {
+            self.inflight[d].len() < self.params.window && self.free_packets > 0
+        }
+    }
+
+    /// One scheduler pass: launch at most one packet, then reschedule if
+    /// more work is eligible.
+    fn send_work(&mut self, ctx: &mut Ctx<'_, GmEvent>) {
+        let now = ctx.now();
+        let n = self.send_queues.len();
+        // Round-robin scan for a destination with an eligible token.
+        let mut chosen: Option<usize> = None;
+        for k in 0..n {
+            let d = (self.rr_cursor + k) % n;
+            if self.queue_eligible(d) {
+                chosen = Some(d);
+                break;
+            }
+            if !self.send_queues[d].is_empty() {
+                // Head-of-line token blocked on the packet pool or window —
+                // the waiting the paper's §6.1/§6.2 machinery eliminates.
+                ctx.count("gm.packet_wait", 1);
+            }
+        }
+        let Some(dst) = chosen else {
+            return; // nothing eligible; re-kicked on token/ACK arrival
+        };
+        self.rr_cursor = (dst + 1) % n;
+
+        if self.send_queues[dst]
+            .front()
+            .expect("eligible queue")
+            .coll
+            .is_some()
+        {
+            // Launch a queued collective token: no payload DMA (the value
+            // lives in NIC memory); buffer claim only under static-packet
+            // ablation.
+            let token = self.send_queues[dst].pop_front().expect("checked");
+            let pkt = token.coll.expect("checked");
+            let mut cost = self.params.nic_sched_pass + self.params.nic_coll_send;
+            if !self.features.static_packet {
+                cost += self.params.nic_packet_claim.scale(0.5);
+            }
+            if !self.features.bitvec_bookkeeping {
+                cost += self.params.nic_record_create;
+            }
+            let t = self.cpu(now, cost);
+            let is_nack = matches!(pkt.kind, CollKind::Nack);
+            ctx.count(if is_nack { "gm.nack_sent" } else { "gm.coll_sent" }, 1);
+            ctx.send_at(
+                t,
+                self.fabric,
+                GmEvent::Inject(Packet {
+                    src: self.node,
+                    dst: NodeId(dst),
+                    kind: PacketKind::Coll(pkt),
+                }),
+            );
+        } else {
+            // Scheduler pass + buffer claim burn NIC cycles.
+            let t = self.cpu(
+                now,
+                self.params.nic_sched_pass + self.params.nic_packet_claim,
+            );
+            self.free_packets -= 1;
+
+            let token = self.send_queues[dst].front_mut().expect("checked above");
+            let payload = (token.len - token.offset).min(self.params.mtu);
+            let ev = GmEvent::DmaToNicDone {
+                dst: NodeId(dst),
+                msg_id: token.msg_id,
+                offset: token.offset,
+                payload,
+                total_len: token.len,
+                tag: token.tag,
+            };
+            token.offset += payload;
+            if token.offset >= token.len {
+                self.send_queues[dst].pop_front();
+            }
+
+            // Payload crosses the I/O bus into the claimed buffer.
+            let dma_done = self.dma(t, payload);
+            ctx.send_at(dma_done, ctx.self_id(), ev);
+        }
+
+        // More eligible work? Keep the scheduler hot.
+        let more = (0..n).any(|d| self.queue_eligible(d));
+        if more {
+            self.work_scheduled = true;
+            ctx.send_at(self.cpu_free.max(ctx.now()), ctx.self_id(), GmEvent::SendWork);
+        }
+    }
+
+    /// Packet build finished: create the send record and inject.
+    #[allow(clippy::too_many_arguments)]
+    fn on_dma_to_nic_done(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        dst: NodeId,
+        msg_id: u64,
+        offset: u32,
+        payload: u32,
+        total_len: u32,
+        tag: crate::types::MsgTag,
+    ) {
+        let now = ctx.now();
+        let t = self.cpu(
+            now,
+            self.params.nic_record_create + self.params.nic_inject,
+        );
+        let seq = self.next_seq[dst.0];
+        self.next_seq[dst.0] += 1;
+        self.inflight[dst.0].push_back(SendRecord {
+            seq,
+            msg_id,
+            end_offset: offset + payload,
+            total_len,
+            tag,
+            payload,
+            sent_at: t,
+            retries: 0,
+        });
+        let pkt = Packet {
+            src: self.node,
+            dst,
+            kind: PacketKind::Data {
+                seq,
+                msg_id,
+                offset,
+                payload,
+                total_len,
+                tag,
+            },
+        };
+        ctx.count("gm.data_sent", 1);
+        ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+        self.ensure_timer(ctx);
+    }
+
+    /// An in-order data packet was accepted; move its payload to the host.
+    fn accept_data(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        after: SimTime,
+        src: NodeId,
+        seq: u32,
+        offset: u32,
+        payload: u32,
+        total_len: u32,
+        tag: crate::types::MsgTag,
+    ) {
+        let t = self.cpu(after, self.params.nic_recv_match);
+        if offset == 0 {
+            // New message: reserve the receive buffer.
+            self.recv_tokens -= 1;
+            self.assembling[src.0].push_back(Assembly {
+                received: 0,
+                total_len,
+            });
+        }
+        let dma_done = self.dma(t, payload);
+        ctx.send_at(
+            dma_done,
+            ctx.self_id(),
+            GmEvent::DmaToHostDone {
+                src,
+                seq,
+                tag,
+                payload,
+                total_len,
+                offset,
+            },
+        );
+    }
+
+    /// Send a cumulative ACK to `dst` from the per-peer static packet.
+    fn send_ack(&mut self, ctx: &mut Ctx<'_, GmEvent>, after: SimTime, dst: NodeId, upto: u32) {
+        let t = self.cpu(after, self.params.nic_ack_gen);
+        let pkt = Packet {
+            src: self.node,
+            dst,
+            kind: PacketKind::Ack { upto },
+        };
+        ctx.count("gm.ack_sent", 1);
+        ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+    }
+
+    fn on_arrive(&mut self, ctx: &mut Ctx<'_, GmEvent>, pkt: Packet) {
+        let now = ctx.now();
+        match pkt.kind {
+            PacketKind::Data {
+                seq,
+                offset,
+                payload,
+                total_len,
+                tag,
+                ..
+            } => {
+                let src = pkt.src;
+                let t = self.cpu(now, self.params.nic_seq_check);
+                let expected = self.expect_seq[src.0];
+                if seq == expected {
+                    if offset == 0 && self.recv_tokens == 0 {
+                        // No receive buffer: GM drops the packet; the
+                        // sender's timeout recovers it.
+                        ctx.count("gm.drop_no_token", 1);
+                        return;
+                    }
+                    self.expect_seq[src.0] = expected + 1;
+                    self.accept_data(ctx, t, src, seq, offset, payload, total_len, tag);
+                } else if seq < expected {
+                    // Duplicate from a retransmission: re-ACK so the sender
+                    // advances past it (covers lost-ACK cases).
+                    ctx.count("gm.duplicate", 1);
+                    self.send_ack(ctx, t, src, expected.wrapping_sub(1));
+                } else {
+                    // A gap: an earlier packet was lost. GM drops unexpected
+                    // packets immediately (§4.2).
+                    ctx.count("gm.drop_unexpected", 1);
+                }
+            }
+            PacketKind::Ack { upto } => {
+                let src = pkt.src;
+                let t = self.cpu(now, self.params.nic_ack_process);
+                let q = &mut self.inflight[src.0];
+                let mut completed_msgs: Vec<u64> = Vec::new();
+                while let Some(front) = q.front() {
+                    if front.seq > upto {
+                        break;
+                    }
+                    let rec = q.pop_front().expect("front checked");
+                    self.free_packets += 1;
+                    if rec.end_offset >= rec.total_len {
+                        completed_msgs.push(rec.msg_id);
+                    }
+                }
+                for msg_id in completed_msgs {
+                    ctx.send_at(
+                        t + self.params.host_event_dma,
+                        self.host,
+                        GmEvent::SendDone { msg_id },
+                    );
+                }
+                self.kick_scheduler(ctx);
+            }
+            PacketKind::Coll(cp) => {
+                if matches!(cp.kind, CollKind::Ack) {
+                    // NIC-level collective ACK (ablation mode only): retire
+                    // the per-message record; carries no protocol state.
+                    let _ = self.cpu(now, self.params.nic_ack_process);
+                    ctx.count("gm.coll_ack_recv", 1);
+                    return;
+                }
+                let t = self.cpu(now, self.params.nic_coll_recv);
+                ctx.count("gm.coll_recv", 1);
+                let actions = self.coll.on_packet(t, &cp);
+                let needs_ack =
+                    !self.features.recv_driven_retx && !matches!(cp.kind, CollKind::Nack);
+                self.run_coll_actions(ctx, t, actions);
+                if needs_ack {
+                    // Ablated reliability: acknowledge every collective
+                    // packet like a point-to-point message would be. The
+                    // ACK is generated after any triggered sends (the MCP
+                    // forwards first), so it burns NIC cycles without
+                    // sitting directly on the trigger path.
+                    let ack = crate::types::CollPacket {
+                        src: self.node,
+                        group: cp.group,
+                        epoch: cp.epoch,
+                        round: cp.round,
+                        kind: CollKind::Ack,
+                    };
+                    let ta = self.cpu(ctx.now(), self.params.nic_ack_gen);
+                    ctx.count("gm.coll_ack_sent", 1);
+                    ctx.send_at(
+                        ta,
+                        self.fabric,
+                        GmEvent::Inject(Packet {
+                            src: self.node,
+                            dst: cp.src,
+                            kind: PacketKind::Coll(ack),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Execute actions returned by the collective engine, charging the
+    /// collective (or ablated) cost model.
+    fn run_coll_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        after: SimTime,
+        actions: Vec<CollAction>,
+    ) {
+        let mut at = after;
+        for action in actions {
+            match action {
+                CollAction::Send { dst, pkt } => {
+                    assert_ne!(dst, self.node, "collective self-send");
+                    if !self.features.group_queue {
+                        // Group-queue ablation: the collective message is
+                        // enqueued as an ordinary send token and takes its
+                        // round-robin turn behind whatever else is queued
+                        // to this destination (§6.1's problem, structural).
+                        let t = self.cpu(at, self.params.nic_token_create.scale(0.5));
+                        // Trace: queue depth the collective token waits
+                        // behind (a = destination, b = depth).
+                        ctx.trace(
+                            "coll.queued",
+                            dst.0 as u64,
+                            self.send_queues[dst.0].len() as u64,
+                        );
+                        self.send_queues[dst.0].push_back(SendToken {
+                            msg_id: 0,
+                            dst,
+                            len: 0,
+                            tag: crate::types::MsgTag(0),
+                            offset: 0,
+                            coll: Some(pkt),
+                        });
+                        at = t;
+                        self.kick_scheduler(ctx);
+                        continue;
+                    }
+                    // Dedicated group queue: one token per operation, always
+                    // at the front of its own queue — emit immediately from
+                    // the static packet.
+                    let mut cost = self.params.nic_coll_send;
+                    if !self.features.static_packet {
+                        // Claim and fill a send buffer like a regular
+                        // message (§6.2). Barrier payloads fit the small
+                        // packet pool, so the claim is about half a
+                        // full-size claim; release folds in.
+                        cost += self.params.nic_packet_claim.scale(0.5);
+                    }
+                    if !self.features.bitvec_bookkeeping {
+                        // One send record per message instead of one bit
+                        // vector per operation (§6.3).
+                        cost += self.params.nic_record_create;
+                    }
+                    at = self.cpu(at, cost);
+                    let is_nack = matches!(pkt.kind, CollKind::Nack);
+                    ctx.count(if is_nack { "gm.nack_sent" } else { "gm.coll_sent" }, 1);
+                    // Trace: the §6.1 bypass in action (a = destination).
+                    ctx.trace("coll.bypass", dst.0 as u64, 0);
+                    ctx.send_at(
+                        at,
+                        self.fabric,
+                        GmEvent::Inject(Packet {
+                            src: self.node,
+                            dst,
+                            kind: PacketKind::Coll(pkt),
+                        }),
+                    );
+                }
+                CollAction::HostDone {
+                    group,
+                    epoch,
+                    value,
+                } => {
+                    ctx.send_at(
+                        at + self.params.host_event_dma,
+                        self.host,
+                        GmEvent::CollDone {
+                            group,
+                            epoch,
+                            value,
+                        },
+                    );
+                }
+            }
+        }
+        self.ensure_timer(ctx);
+    }
+
+    /// Periodic sweep: go-back-N retransmission for the point-to-point
+    /// protocol, then the collective engine's own timer.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GmEvent>) {
+        self.timer_armed = false;
+        let now = ctx.now();
+        let timeout = self.params.ack_timeout;
+        for d in 0..self.inflight.len() {
+            let overdue = self.inflight[d]
+                .front()
+                .map(|r| now.saturating_sub(r.sent_at) >= timeout)
+                .unwrap_or(false);
+            if !overdue {
+                continue;
+            }
+            // Go-back-N: re-inject every unacked packet to this destination
+            // (payloads are still in the NIC's claimed buffers).
+            for i in 0..self.inflight[d].len() {
+                let t = self.cpu(now, self.params.nic_inject);
+                let rec = &mut self.inflight[d][i];
+                rec.sent_at = t;
+                rec.retries += 1;
+                let pkt = Packet {
+                    src: self.node,
+                    dst: NodeId(d),
+                    kind: PacketKind::Data {
+                        seq: rec.seq,
+                        msg_id: rec.msg_id,
+                        offset: rec.end_offset - rec.payload,
+                        payload: rec.payload,
+                        total_len: rec.total_len,
+                        tag: rec.tag,
+                    },
+                };
+                ctx.count("gm.retransmit", 1);
+                ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+            }
+        }
+        let actions = self.coll.on_timer(now.max(self.cpu_free));
+        self.run_coll_actions(ctx, now.max(self.cpu_free), actions);
+        self.ensure_timer(ctx);
+    }
+
+    /// The installed collective engine (downcast access for tests).
+    pub fn collective_mut(&mut self) -> &mut dyn NicCollective {
+        self.coll.as_mut()
+    }
+
+    /// Number of free send-packet buffers (test observability).
+    pub fn free_packets(&self) -> usize {
+        self.free_packets
+    }
+
+    /// Number of posted receive tokens (test observability).
+    pub fn recv_tokens(&self) -> u32 {
+        self.recv_tokens
+    }
+}
+
+impl Component<GmEvent> for LanaiNic {
+    fn handle(&mut self, msg: GmEvent, ctx: &mut Ctx<'_, GmEvent>) {
+        match msg {
+            GmEvent::SendPost(token) => {
+                let now = ctx.now();
+                let _ = self.cpu(now, self.params.nic_token_create);
+                self.send_queues[token.dst.0].push_back(token);
+                ctx.count("gm.token_posted", 1);
+                self.kick_scheduler(ctx);
+            }
+            GmEvent::RecvPost { count, .. } => {
+                self.recv_tokens += count;
+            }
+            GmEvent::CollPost {
+                group,
+                epoch,
+                operand,
+            } => {
+                let now = ctx.now();
+                // Doorbell decode: one token for the whole operation, front
+                // of its own queue (§6.1). Under the group-queue ablation
+                // the per-message queue costs are charged structurally when
+                // each send takes its round-robin turn.
+                let t = self.cpu(now, self.params.nic_coll_send.scale(0.5));
+                let actions = self.coll.on_doorbell(t, group, epoch, &operand);
+                self.run_coll_actions(ctx, t, actions);
+            }
+            GmEvent::SendWork => {
+                self.work_scheduled = false;
+                self.send_work(ctx);
+            }
+            GmEvent::DmaToNicDone {
+                dst,
+                msg_id,
+                offset,
+                payload,
+                total_len,
+                tag,
+            } => {
+                self.on_dma_to_nic_done(ctx, dst, msg_id, offset, payload, total_len, tag);
+            }
+            GmEvent::DmaToHostDone {
+                src,
+                seq,
+                tag,
+                payload,
+                total_len,
+                offset,
+            } => {
+                let now = ctx.now();
+                self.send_ack(ctx, now, src, seq);
+                let done = {
+                    let asm = self.assembling[src.0]
+                        .front_mut()
+                        .expect("assembly state for arriving payload");
+                    asm.received += payload;
+                    debug_assert_eq!(asm.received, offset + payload);
+                    asm.received >= asm.total_len
+                };
+                if done {
+                    self.assembling[src.0].pop_front();
+                    ctx.count("gm.msg_delivered", 1);
+                    ctx.send_at(
+                        self.cpu_free + self.params.host_event_dma,
+                        self.host,
+                        GmEvent::RecvDelivered {
+                            src,
+                            tag,
+                            len: total_len,
+                        },
+                    );
+                }
+            }
+            GmEvent::Arrive(pkt) => self.on_arrive(ctx, pkt),
+            GmEvent::TimerCheck => self.on_timer(ctx),
+            other => panic!("NIC {:?} got unexpected event {other:?}", self.node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::NullCollective;
+    use crate::params::{CollFeatures, GmParams};
+
+    fn nic() -> LanaiNic {
+        LanaiNic::new(
+            NodeId(0),
+            4,
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            ComponentId(100),
+            ComponentId(200),
+            Box::new(NullCollective),
+            16,
+        )
+    }
+
+    #[test]
+    fn cpu_is_a_serial_resource() {
+        let mut n = nic();
+        let c = SimTime::from_us(1.0);
+        // Two requests at t=0 serialize.
+        let t1 = n.cpu(SimTime::ZERO, c);
+        let t2 = n.cpu(SimTime::ZERO, c);
+        assert_eq!(t1, SimTime::from_us(1.0));
+        assert_eq!(t2, SimTime::from_us(2.0));
+        // A request far in the future starts at its own time.
+        let t3 = n.cpu(SimTime::from_us(10.0), c);
+        assert_eq!(t3, SimTime::from_us(11.0));
+    }
+
+    #[test]
+    fn dma_engine_overlaps_cpu() {
+        let mut n = nic();
+        let cpu_done = n.cpu(SimTime::ZERO, SimTime::from_us(5.0));
+        // DMA starting at t=0 is not delayed by the busy CPU.
+        let dma_done = n.dma(SimTime::ZERO, 0);
+        assert!(dma_done < cpu_done);
+    }
+
+    #[test]
+    fn dma_cost_scales_with_bytes() {
+        let mut n = nic();
+        let small = n.dma(SimTime::ZERO, 0);
+        let mut n2 = nic();
+        let big = n2.dma(SimTime::ZERO, 4096);
+        assert!(big > small);
+        // XP preset: 1 ns/byte.
+        assert_eq!(big - small, SimTime::from_ns(4096));
+    }
+
+    #[test]
+    fn initial_resources_match_params() {
+        let n = nic();
+        assert_eq!(n.free_packets(), 16);
+        assert_eq!(n.recv_tokens(), 16);
+    }
+
+    #[test]
+    fn queue_eligibility_rules() {
+        let mut n = nic();
+        // Empty queues: nothing eligible.
+        assert!(!n.queue_eligible(1));
+        // A data token is eligible while packets and window allow.
+        n.send_queues[1].push_back(SendToken {
+            msg_id: 1,
+            dst: NodeId(1),
+            len: 100,
+            tag: crate::types::MsgTag(0),
+            offset: 0,
+            coll: None,
+        });
+        assert!(n.queue_eligible(1));
+        // Exhaust the packet pool: data token blocked…
+        n.free_packets = 0;
+        assert!(!n.queue_eligible(1));
+        // …but a collective token with the static packet still flies.
+        n.send_queues[2].push_back(SendToken {
+            msg_id: 0,
+            dst: NodeId(2),
+            len: 0,
+            tag: crate::types::MsgTag(0),
+            offset: 0,
+            coll: Some(crate::types::CollPacket {
+                src: NodeId(0),
+                group: crate::types::GroupId(1),
+                epoch: 0,
+                round: 0,
+                kind: CollKind::Barrier,
+            }),
+        });
+        assert!(n.queue_eligible(2));
+    }
+}

@@ -1,0 +1,282 @@
+//! Wire- and descriptor-level types for the GM model.
+//!
+//! These mirror the Myrinet Control Program's vocabulary as described in
+//! §4.2 of the paper: *send events* posted by the host become *send tokens*
+//! at the NIC; tokens are packetized into *send packets* tracked by *send
+//! records*; receivers match packets against *receive tokens* and return
+//! ACKs.
+
+use nicbar_net::NodeId;
+use nicbar_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A collective process-group identifier (the unit the collective protocol
+/// dedicates queues/records to).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+/// User-level message tag (GM's notion of typed receive matching, reduced
+/// to an integer tag — sufficient for the barrier baselines).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MsgTag(pub u32);
+
+/// Host-assigned id for an outstanding send (returned by `GmApi::send`).
+pub type MsgId = u64;
+
+/// A send token: the NIC-side form of a host send event.
+///
+/// When the collective protocol's dedicated group queue is *ablated*
+/// (`CollFeatures::group_queue == false`), collective packets travel as
+/// tokens through these same per-destination queues — `coll` carries the
+/// packet and the packetization fields are unused. This reproduces the
+/// §6.1 problem structurally: a barrier message then waits behind whatever
+/// bulk traffic is queued to the same destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendToken {
+    /// Host-assigned message id (0 for collective tokens).
+    pub msg_id: MsgId,
+    /// Destination NIC.
+    pub dst: NodeId,
+    /// Total message length in bytes.
+    pub len: u32,
+    /// User tag delivered to the receiver.
+    pub tag: MsgTag,
+    /// Bytes already packetized (scheduler cursor, starts at 0).
+    pub offset: u32,
+    /// A collective packet riding the point-to-point queues (ablation).
+    pub coll: Option<CollPacket>,
+}
+
+/// A posted receive buffer, NIC side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvToken {
+    /// Capacity of the host buffer in bytes.
+    pub capacity: u32,
+}
+
+/// Per-packet bookkeeping entry at the sender (the thing the paper's bit
+/// vector replaces for collectives).
+#[derive(Clone, Copy, Debug)]
+pub struct SendRecord {
+    /// Sequence number of the packet (per destination).
+    pub seq: u32,
+    /// Message this packet belongs to.
+    pub msg_id: MsgId,
+    /// Last byte of the message covered by this packet, exclusive.
+    pub end_offset: u32,
+    /// Total message length (to detect message completion on final ACK).
+    pub total_len: u32,
+    /// User tag (needed to rebuild the header on retransmission).
+    pub tag: MsgTag,
+    /// Payload length of this packet.
+    pub payload: u32,
+    /// When the packet was (last) injected, for the retransmission timer.
+    pub sent_at: SimTime,
+    /// Number of times this record has been retransmitted.
+    pub retries: u32,
+}
+
+/// On-the-wire packet kinds of the point-to-point protocol, plus the
+/// collective protocol's packet (which carries a [`CollPacket`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data packet of a user message.
+    Data {
+        /// Per-(src,dst) sequence number.
+        seq: u32,
+        /// Sender's message id (debug/trace aid; receivers key on seq).
+        msg_id: MsgId,
+        /// First byte of the message this packet carries.
+        offset: u32,
+        /// Payload bytes in this packet.
+        payload: u32,
+        /// Total message length.
+        total_len: u32,
+        /// User tag.
+        tag: MsgTag,
+    },
+    /// Cumulative acknowledgment: all data packets with `seq <= upto` have
+    /// been received in order. Sent from the per-peer *static packet*.
+    Ack {
+        /// Highest in-order sequence received.
+        upto: u32,
+    },
+    /// A collective-protocol packet (barrier/NACK/…), carried in the padded
+    /// static packet per §6.2 of the paper.
+    Coll(CollPacket),
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Injecting NIC.
+    pub src: NodeId,
+    /// Destination NIC.
+    pub dst: NodeId,
+    /// Kind + kind-specific fields.
+    pub kind: PacketKind,
+}
+
+/// GM wire header size (bytes) for data packets — route + type + seq etc.
+pub const DATA_HEADER_BYTES: u32 = 16;
+/// Size of the static ACK packet on the wire.
+pub const ACK_BYTES: u32 = 16;
+/// Size of the collective packet: the static ACK packet "padded with an
+/// extra integer" (§6.2), plus epoch/round bookkeeping words.
+pub const COLL_BASE_BYTES: u32 = 20;
+
+impl Packet {
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        match &self.kind {
+            PacketKind::Data { payload, .. } => DATA_HEADER_BYTES + payload,
+            PacketKind::Ack { .. } => ACK_BYTES,
+            PacketKind::Coll(c) => c.wire_bytes(),
+        }
+    }
+}
+
+/// The collective message kinds the NIC-based collective protocol moves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollKind {
+    /// A barrier notification ("I reached round `round` of epoch `epoch`").
+    Barrier,
+    /// Receiver-driven retransmission request: "resend your (epoch, round)
+    /// message to me".
+    Nack,
+    /// Per-packet acknowledgment of a collective packet — only used when the
+    /// receiver-driven-retransmission feature is ablated (the direct scheme
+    /// of the earlier Buntinas work).
+    Ack,
+    /// NIC-forwarded broadcast payload (extension collective).
+    Bcast {
+        /// The broadcast value.
+        value: u64,
+    },
+    /// Combine payload for reduce/allreduce (extension collective).
+    Reduce {
+        /// Partial reduction value.
+        value: u64,
+    },
+    /// Allgather block (extension collective): contributions of ranks
+    /// `base_rank..base_rank+values.len()` (mod group size).
+    Gather {
+        /// First rank whose contribution this block carries.
+        base_rank: u32,
+        /// The contributions, one word per rank.
+        values: Vec<u64>,
+    },
+    /// Bruck alltoall phase block (extension collective): personalized
+    /// items in transit, each still addressed to its final rank.
+    AllToAll {
+        /// Items riding this phase's packet.
+        items: Vec<AllToAllItem>,
+    },
+}
+
+/// One personalized alltoall item in transit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllToAllItem {
+    /// Originating rank.
+    pub origin: u32,
+    /// Final destination rank.
+    pub dst: u32,
+    /// The value.
+    pub value: u64,
+}
+
+/// A collective-protocol packet (fits in the padded static send packet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollPacket {
+    /// Sender NIC.
+    pub src: NodeId,
+    /// Process group this packet belongs to.
+    pub group: GroupId,
+    /// Barrier/collective epoch (consecutive operations on one group).
+    pub epoch: u64,
+    /// Algorithm round within the epoch.
+    pub round: u16,
+    /// What the packet means.
+    pub kind: CollKind,
+}
+
+impl CollPacket {
+    /// Bytes on the wire: the padded static packet, plus payload words for
+    /// the data-carrying extension collectives.
+    pub fn wire_bytes(&self) -> u32 {
+        match &self.kind {
+            CollKind::Barrier | CollKind::Nack | CollKind::Ack => COLL_BASE_BYTES,
+            CollKind::Bcast { .. } | CollKind::Reduce { .. } => COLL_BASE_BYTES + 8,
+            CollKind::Gather { values, .. } => COLL_BASE_BYTES + 8 * values.len() as u32,
+            CollKind::AllToAll { items } => COLL_BASE_BYTES + 16 * items.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_wire_size_includes_header() {
+        let p = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: PacketKind::Data {
+                seq: 0,
+                msg_id: 1,
+                offset: 0,
+                payload: 100,
+                total_len: 100,
+                tag: MsgTag(0),
+            },
+        };
+        assert_eq!(p.wire_bytes(), 116);
+    }
+
+    #[test]
+    fn ack_uses_static_packet_size() {
+        let p = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: PacketKind::Ack { upto: 7 },
+        };
+        assert_eq!(p.wire_bytes(), ACK_BYTES);
+    }
+
+    #[test]
+    fn coll_packet_sizes() {
+        let mk = |kind| CollPacket {
+            src: NodeId(0),
+            group: GroupId(0),
+            epoch: 0,
+            round: 0,
+            kind,
+        };
+        assert_eq!(mk(CollKind::Barrier).wire_bytes(), COLL_BASE_BYTES);
+        assert_eq!(mk(CollKind::Nack).wire_bytes(), COLL_BASE_BYTES);
+        assert_eq!(mk(CollKind::Bcast { value: 9 }).wire_bytes(), COLL_BASE_BYTES + 8);
+        assert_eq!(
+            mk(CollKind::Gather {
+                base_rank: 0,
+                values: vec![1, 2, 3, 4]
+            })
+            .wire_bytes(),
+            COLL_BASE_BYTES + 32
+        );
+    }
+
+    #[test]
+    fn barrier_packet_is_smaller_than_any_data_packet() {
+        // The premise of §6.2: a barrier message is one integer; the static
+        // packet must stay below even a zero-payload data packet + its ACK.
+        let coll = CollPacket {
+            src: NodeId(0),
+            group: GroupId(0),
+            epoch: 0,
+            round: 0,
+            kind: CollKind::Barrier,
+        };
+        assert!(coll.wire_bytes() < DATA_HEADER_BYTES + 4 + ACK_BYTES);
+    }
+}

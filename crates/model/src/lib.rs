@@ -1,0 +1,265 @@
+//! # nicbar-model — the paper's analytical scalability model
+//!
+//! §8.3 models the NIC-based dissemination barrier as
+//!
+//! ```text
+//! T_barrier(N) = T_init + (⌈log₂N⌉ − 1) · T_trig + T_adj
+//! ```
+//!
+//! where `T_init` is the two-node barrier latency, `T_trig` the cost of
+//! each NIC-triggered message round, and `T_adj` an adjustment for the
+//! remaining effects (PCI traffic, bookkeeping). The paper instantiates it
+//! as `3.60 + (⌈log₂N⌉−1)·3.50 + 3.84` for the LANai-XP cluster and
+//! `2.25 + (⌈log₂N⌉−1)·2.32 − 1.00` for the Elan3 cluster, predicting
+//! 38.94 µs and 22.13 µs at 1024 nodes.
+//!
+//! [`BarrierModel`] evaluates the model; [`fit`] recovers `(T_init+T_adj,
+//! T_trig)` from measured `(N, latency)` sweeps by least squares on the
+//! regressor `x = ⌈log₂N⌉ − 1` (the two constants are not separately
+//! identifiable — the paper distinguishes them only by pinning `T_init` to
+//! the measured two-node latency, which [`fit_with_t_init`] reproduces).
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// ⌈log₂ n⌉ as f64 (0 for n ≤ 1).
+fn ceil_log2(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as f64
+    }
+}
+
+/// The paper's three-constant barrier latency model (all µs).
+///
+/// ```
+/// use nicbar_model::BarrierModel;
+///
+/// // The paper's Myrinet instantiation predicts 38.94 µs at 1024 nodes.
+/// let m = BarrierModel::paper_myrinet_xp();
+/// assert!((m.predict(1024) - 38.94).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BarrierModel {
+    /// Average two-node barrier latency.
+    pub t_init: f64,
+    /// Per-triggered-round cost.
+    pub t_trig: f64,
+    /// Adjustment factor.
+    pub t_adj: f64,
+}
+
+impl BarrierModel {
+    /// The paper's Myrinet model (2.4 GHz Xeon + LANai-XP cluster).
+    pub fn paper_myrinet_xp() -> Self {
+        BarrierModel {
+            t_init: 3.60,
+            t_trig: 3.50,
+            t_adj: 3.84,
+        }
+    }
+
+    /// The paper's Quadrics model (quad-700 MHz + Elan3 cluster).
+    pub fn paper_quadrics_elan3() -> Self {
+        BarrierModel {
+            t_init: 2.25,
+            t_trig: 2.32,
+            t_adj: -1.00,
+        }
+    }
+
+    /// Predicted barrier latency (µs) at `n` nodes.
+    pub fn predict(&self, n: usize) -> f64 {
+        self.t_init + (ceil_log2(n) - 1.0).max(0.0) * self.t_trig + self.t_adj
+    }
+
+    /// Predictions over a node sweep.
+    pub fn predict_sweep(&self, ns: &[usize]) -> Vec<(usize, f64)> {
+        ns.iter().map(|&n| (n, self.predict(n))).collect()
+    }
+}
+
+/// Goodness-of-fit summary.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitQuality {
+    /// Root-mean-square residual, µs.
+    pub rmse_us: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of the model to measured `(n, latency_us)` points.
+///
+/// ```
+/// use nicbar_model::fit;
+/// let sweep = vec![(2usize, 7.4), (8, 14.4), (64, 24.9), (1024, 38.9)];
+/// let (model, quality) = fit(&sweep);
+/// assert!((model.t_trig - 3.5).abs() < 0.1);
+/// assert!(quality.r_squared > 0.999);
+/// ```
+///
+/// Returns the model with `t_adj = 0` (only `t_init + t_adj` is
+/// identifiable; the sum is reported in `t_init`) plus fit quality.
+///
+/// # Panics
+/// Panics with fewer than two distinct `⌈log₂N⌉` values.
+pub fn fit(points: &[(usize, f64)]) -> (BarrierModel, FitQuality) {
+    assert!(points.len() >= 2, "need at least two points");
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|&(n, _)| (ceil_log2(n) - 1.0).max(0.0))
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 1e-9,
+        "need at least two distinct round counts to fit"
+    );
+    let t_trig = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - t_trig * sx) / n;
+    let model = BarrierModel {
+        t_init: intercept,
+        t_trig,
+        t_adj: 0.0,
+    };
+    (model, quality(&model, points))
+}
+
+/// Fit with `t_init` pinned to a measured two-node latency (the paper's
+/// decomposition): solves for `t_trig` by least squares and reports
+/// `t_adj = intercept − t_init`.
+pub fn fit_with_t_init(points: &[(usize, f64)], t_init: f64) -> (BarrierModel, FitQuality) {
+    let (free, _) = fit(points);
+    let model = BarrierModel {
+        t_init,
+        t_trig: free.t_trig,
+        t_adj: free.t_init - t_init,
+    };
+    (model, quality(&model, points))
+}
+
+/// Evaluate fit quality of `model` on `points`.
+pub fn quality(model: &BarrierModel, points: &[(usize, f64)]) -> FitQuality {
+    let n = points.len() as f64;
+    let mean_y: f64 = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(pn, y)| {
+            let e = y - model.predict(pn);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = points
+        .iter()
+        .map(|&(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
+    FitQuality {
+        rmse_us: (ss_res / n).sqrt(),
+        r_squared: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_myrinet_prediction_at_1024() {
+        // Abstract: "38.94µs latency over ... Myrinet" at 1024 nodes.
+        let m = BarrierModel::paper_myrinet_xp();
+        assert!((m.predict(1024) - 38.94).abs() < 0.01, "{}", m.predict(1024));
+    }
+
+    #[test]
+    fn paper_quadrics_prediction_at_1024() {
+        // Abstract: "22.13µs latency over a 1024-node Quadrics".
+        let m = BarrierModel::paper_quadrics_elan3();
+        assert!((m.predict(1024) - 22.13).abs() < 0.01, "{}", m.predict(1024));
+    }
+
+    #[test]
+    fn prediction_is_a_step_function_of_log_n() {
+        let m = BarrierModel::paper_myrinet_xp();
+        // Same ⌈log₂⌉ bucket → same prediction.
+        assert_eq!(m.predict(5), m.predict(8));
+        assert_eq!(m.predict(9), m.predict(16));
+        assert!(m.predict(9) > m.predict(8));
+    }
+
+    #[test]
+    fn two_node_prediction_uses_no_triggered_rounds() {
+        let m = BarrierModel {
+            t_init: 5.0,
+            t_trig: 100.0,
+            t_adj: 1.0,
+        };
+        assert!((m.predict(2) - 6.0).abs() < 1e-12);
+        assert!((m.predict(1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_exact_model() {
+        let truth = BarrierModel {
+            t_init: 7.44,
+            t_trig: 3.50,
+            t_adj: 0.0,
+        };
+        let ns = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        let points: Vec<(usize, f64)> = ns.iter().map(|&n| (n, truth.predict(n))).collect();
+        let (fitted, q) = fit(&points);
+        assert!((fitted.t_trig - 3.50).abs() < 1e-9);
+        assert!((fitted.t_init - 7.44).abs() < 1e-9);
+        assert!(q.rmse_us < 1e-9);
+        assert!(q.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_with_pinned_t_init_matches_paper_decomposition() {
+        let truth = BarrierModel::paper_myrinet_xp();
+        let ns = [2usize, 4, 8, 16, 64, 256, 1024];
+        let points: Vec<(usize, f64)> = ns.iter().map(|&n| (n, truth.predict(n))).collect();
+        let (fitted, q) = fit_with_t_init(&points, 3.60);
+        assert!((fitted.t_trig - 3.50).abs() < 1e-9);
+        assert!((fitted.t_adj - 3.84).abs() < 1e-9);
+        assert!(q.rmse_us < 1e-9);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = BarrierModel::paper_quadrics_elan3();
+        let ns = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        // Deterministic ±0.1 µs "noise".
+        let points: Vec<(usize, f64)> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, truth.predict(n) + if i % 2 == 0 { 0.1 } else { -0.1 }))
+            .collect();
+        let (fitted, q) = fit(&points);
+        assert!((fitted.t_trig - truth.t_trig).abs() < 0.1);
+        assert!(q.rmse_us < 0.2);
+        assert!(q.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct round counts")]
+    fn degenerate_fit_rejected() {
+        // 5..8 all share ⌈log₂⌉ = 3.
+        let points = vec![(5usize, 10.0), (6, 10.1), (7, 10.2), (8, 10.3)];
+        let _ = fit(&points);
+    }
+
+    #[test]
+    fn sweep_helper() {
+        let m = BarrierModel::paper_quadrics_elan3();
+        let sweep = m.predict_sweep(&[2, 1024]);
+        assert_eq!(sweep.len(), 2);
+        assert!((sweep[1].1 - 22.13).abs() < 0.01);
+    }
+}

@@ -1,0 +1,458 @@
+//! The rank-local program interpreter (a `GmApp`).
+
+use nicbar_core::{GroupOp, ReduceOp};
+use nicbar_gm::{GmApi, GmApp, GroupId, MsgId, MsgTag};
+use nicbar_net::NodeId;
+use nicbar_sim::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// One operation of an MPI-like program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MpiOp {
+    /// Set the value register (the operand contributed to the next
+    /// collective).
+    SetValue(u64),
+    /// Push the last collective's result onto the results log.
+    StoreResult,
+    /// Synchronize all ranks (NIC-based barrier).
+    Barrier,
+    /// Broadcast the root's value register to everyone (NIC-based binomial
+    /// tree); the result lands in the result register.
+    Bcast {
+        /// Root rank.
+        root: usize,
+    },
+    /// Combine every rank's value register (NIC-based butterfly).
+    Allreduce {
+        /// Combine operator.
+        op: ReduceOp,
+    },
+    /// Gather every rank's value register; the result register receives the
+    /// wrapping sum of all contributions (the protocol's fold; per-rank
+    /// vectors live NIC-side).
+    Allgather,
+    /// Set the vector register (the per-destination row for `Alltoall`).
+    SetVector(Vec<u64>),
+    /// Personalized all-to-all exchange of the vector register (Bruck);
+    /// the result register receives the wrapping sum of the received row.
+    Alltoall,
+    /// Post a buffered send of `bytes` to rank `to` with `tag`.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message size.
+        bytes: u32,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Block until a message from rank `from` with `tag` arrives.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Post a nonblocking send; completes (for `Wait`) when the message is
+    /// fully acknowledged. Requests are numbered in issue order per rank.
+    Isend {
+        /// Destination rank.
+        to: usize,
+        /// Message size.
+        bytes: u32,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Post a nonblocking receive for a message from `from` with `tag`.
+    Irecv {
+        /// Source rank.
+        from: usize,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Block until request `req` (issue-order index) completes.
+    Wait {
+        /// Request index.
+        req: usize,
+    },
+    /// Block until every posted request completes.
+    Waitall,
+    /// Busy the host for `us` microseconds (a compute phase).
+    Compute {
+        /// Duration in µs.
+        us: f64,
+    },
+}
+
+/// The collective signature — programs must agree on these across ranks,
+/// and each signature gets its own NIC group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum CollSig {
+    Barrier,
+    Bcast { root: usize },
+    Allreduce { op: ReduceKey },
+    Allgather,
+    Alltoall,
+}
+
+/// Hashable stand-in for [`ReduceOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum ReduceKey {
+    Sum,
+    Min,
+    Max,
+    BitOr,
+}
+
+impl From<ReduceOp> for ReduceKey {
+    fn from(op: ReduceOp) -> Self {
+        match op {
+            ReduceOp::Sum => ReduceKey::Sum,
+            ReduceOp::Min => ReduceKey::Min,
+            ReduceOp::Max => ReduceKey::Max,
+            ReduceOp::BitOr => ReduceKey::BitOr,
+        }
+    }
+}
+
+impl CollSig {
+    pub(crate) fn of(op: &MpiOp) -> Option<CollSig> {
+        match op {
+            MpiOp::Barrier => Some(CollSig::Barrier),
+            MpiOp::Bcast { root } => Some(CollSig::Bcast { root: *root }),
+            MpiOp::Allreduce { op } => Some(CollSig::Allreduce { op: (*op).into() }),
+            MpiOp::Allgather => Some(CollSig::Allgather),
+            MpiOp::Alltoall => Some(CollSig::Alltoall),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn group_op(&self, reduce: Option<ReduceOp>) -> GroupOp {
+        match self {
+            CollSig::Barrier => GroupOp::Barrier,
+            CollSig::Bcast { root } => GroupOp::Broadcast { root: *root },
+            CollSig::Allreduce { .. } => GroupOp::Allreduce {
+                op: reduce.expect("reduce op for allreduce signature"),
+            },
+            CollSig::Allgather => GroupOp::Allgather,
+            CollSig::Alltoall => GroupOp::Alltoall,
+        }
+    }
+}
+
+/// A rank-local program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MpiProgram {
+    /// The operations, executed in order.
+    pub ops: Vec<MpiOp>,
+}
+
+impl MpiProgram {
+    /// Wrap an operation list.
+    pub fn new(ops: Vec<MpiOp>) -> Self {
+        MpiProgram { ops }
+    }
+
+    /// The program's collective signature sequence (for cross-rank
+    /// compatibility checking).
+    pub(crate) fn coll_signature(&self) -> Vec<CollSig> {
+        self.ops.iter().filter_map(CollSig::of).collect()
+    }
+}
+
+/// What the interpreter is currently blocked on.
+enum Waiting {
+    Nothing,
+    Collective(GroupId),
+    Recv { from: usize, tag: u32 },
+    WaitReq(usize),
+    WaitAll,
+    Compute,
+    Finished,
+}
+
+/// A nonblocking request.
+struct Request {
+    done: bool,
+    /// For Isend: the message id to match in `on_send_done`.
+    send_msg: Option<MsgId>,
+    /// For Irecv: the (from, tag) to match on arrival.
+    recv_match: Option<(usize, u32)>,
+}
+
+/// The per-rank interpreter, driven as a `GmApp`.
+pub(crate) struct MpiProc {
+    rank: usize,
+    members: Vec<NodeId>,
+    ops: Vec<MpiOp>,
+    pc: usize,
+    /// Value register (collective operand).
+    value: u64,
+    /// Vector register (alltoall operand).
+    vector: Vec<u64>,
+    /// Result register (last collective result).
+    result: u64,
+    /// Results log (`StoreResult`).
+    pub(crate) results: Vec<u64>,
+    /// Group id per collective signature.
+    groups: HashMap<CollSig, GroupId>,
+    state: Waiting,
+    /// Nonblocking requests in issue order.
+    requests: Vec<Request>,
+    /// Early arrivals: (from_rank, tag) → lengths.
+    unexpected: HashMap<(usize, u32), VecDeque<u32>>,
+    /// Completion time.
+    pub(crate) finish: Option<SimTime>,
+}
+
+impl MpiProc {
+    pub(crate) fn new(
+        rank: usize,
+        members: Vec<NodeId>,
+        program: MpiProgram,
+        groups: HashMap<CollSig, GroupId>,
+    ) -> Self {
+        MpiProc {
+            rank,
+            members,
+            ops: program.ops,
+            pc: 0,
+            value: 0,
+            vector: Vec::new(),
+            result: 0,
+            results: Vec::new(),
+            groups,
+            state: Waiting::Nothing,
+            requests: Vec::new(),
+            unexpected: HashMap::new(),
+            finish: None,
+        }
+    }
+
+    fn rank_of(&self, node: NodeId) -> usize {
+        self.members
+            .iter()
+            .position(|&m| m == node)
+            .expect("message from outside the world")
+    }
+
+    /// Execute ops until one blocks or the program ends.
+    fn advance(&mut self, api: &mut GmApi<'_>) {
+        loop {
+            if self.pc >= self.ops.len() {
+                self.state = Waiting::Finished;
+                if self.finish.is_none() {
+                    self.finish = Some(api.now());
+                }
+                return;
+            }
+            let op = self.ops[self.pc].clone();
+            self.pc += 1;
+            match op {
+                MpiOp::SetValue(v) => {
+                    self.value = v;
+                }
+                MpiOp::SetVector(v) => {
+                    self.vector = v;
+                }
+                MpiOp::StoreResult => {
+                    self.results.push(self.result);
+                }
+                MpiOp::Barrier | MpiOp::Bcast { .. } | MpiOp::Allreduce { .. } | MpiOp::Allgather => {
+                    let sig = CollSig::of(&op).expect("collective op");
+                    let gid = *self.groups.get(&sig).expect("group allocated at build");
+                    api.collective(gid, self.value);
+                    self.state = Waiting::Collective(gid);
+                    return;
+                }
+                MpiOp::Alltoall => {
+                    let gid = *self
+                        .groups
+                        .get(&CollSig::Alltoall)
+                        .expect("group allocated at build");
+                    assert_eq!(
+                        self.vector.len(),
+                        self.members.len(),
+                        "Alltoall needs a vector register with one value per rank (SetVector)"
+                    );
+                    api.collective_vec(gid, self.vector.clone());
+                    self.state = Waiting::Collective(gid);
+                    return;
+                }
+                MpiOp::Send { to, bytes, tag } => {
+                    assert_ne!(to, self.rank, "self-send is not supported");
+                    api.send(self.members[to], bytes.max(1), MsgTag(tag));
+                }
+                MpiOp::Recv { from, tag } => {
+                    if let Some(q) = self.unexpected.get_mut(&(from, tag)) {
+                        if q.pop_front().is_some() {
+                            continue; // already here: consume and move on
+                        }
+                    }
+                    self.state = Waiting::Recv { from, tag };
+                    return;
+                }
+                MpiOp::Compute { us } => {
+                    api.set_timer(SimTime::from_us(us));
+                    self.state = Waiting::Compute;
+                    return;
+                }
+                MpiOp::Isend { to, bytes, tag } => {
+                    assert_ne!(to, self.rank, "self-send is not supported");
+                    let id = api.send(self.members[to], bytes.max(1), MsgTag(tag));
+                    self.requests.push(Request {
+                        done: false,
+                        send_msg: Some(id),
+                        recv_match: None,
+                    });
+                }
+                MpiOp::Irecv { from, tag } => {
+                    // Already-arrived messages satisfy the request at post
+                    // time (MPI's unexpected-message queue).
+                    let done = self
+                        .unexpected
+                        .get_mut(&(from, tag))
+                        .map(|q| q.pop_front().is_some())
+                        .unwrap_or(false);
+                    self.requests.push(Request {
+                        done,
+                        send_msg: None,
+                        recv_match: (!done).then_some((from, tag)),
+                    });
+                }
+                MpiOp::Wait { req } => {
+                    let r = self
+                        .requests
+                        .get(req)
+                        .unwrap_or_else(|| panic!("Wait on unposted request {req}"));
+                    if !r.done {
+                        self.state = Waiting::WaitReq(req);
+                        return;
+                    }
+                }
+                MpiOp::Waitall => {
+                    if self.requests.iter().any(|r| !r.done) {
+                        self.state = Waiting::WaitAll;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MpiProc {
+    /// After a request completed, resume if the blocked wait is satisfied.
+    fn maybe_resume(&mut self, api: &mut GmApi<'_>) {
+        let ready = match self.state {
+            Waiting::WaitReq(idx) => self.requests[idx].done,
+            Waiting::WaitAll => self.requests.iter().all(|r| r.done),
+            _ => false,
+        };
+        if ready {
+            self.state = Waiting::Nothing;
+            self.advance(api);
+        }
+    }
+}
+
+impl GmApp for MpiProc {
+    fn on_start(&mut self, api: &mut GmApi<'_>) {
+        api.post_recv(64);
+        self.advance(api);
+    }
+
+    fn on_recv(&mut self, api: &mut GmApi<'_>, src: NodeId, tag: MsgTag, len: u32) {
+        let from = self.rank_of(src);
+        if let Waiting::Recv {
+            from: want_from,
+            tag: want_tag,
+        } = self.state
+        {
+            if from == want_from && tag.0 == want_tag {
+                self.state = Waiting::Nothing;
+                self.advance(api);
+                return;
+            }
+        }
+        // Match the oldest posted, incomplete Irecv for this (from, tag).
+        if let Some(r) = self
+            .requests
+            .iter_mut()
+            .find(|r| !r.done && r.recv_match == Some((from, tag.0)))
+        {
+            r.done = true;
+            r.recv_match = None;
+            self.maybe_resume(api);
+            return;
+        }
+        self.unexpected
+            .entry((from, tag.0))
+            .or_default()
+            .push_back(len);
+    }
+
+    fn on_coll_done(&mut self, api: &mut GmApi<'_>, group: GroupId, _epoch: u64, value: u64) {
+        match self.state {
+            Waiting::Collective(gid) => {
+                assert_eq!(gid, group, "completion for the wrong collective");
+                self.result = value;
+                self.state = Waiting::Nothing;
+                self.advance(api);
+            }
+            _ => panic!("unexpected collective completion"),
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut GmApi<'_>) {
+        match self.state {
+            Waiting::Compute => {
+                self.state = Waiting::Nothing;
+                self.advance(api);
+            }
+            _ => panic!("unexpected timer"),
+        }
+    }
+
+    fn on_send_done(&mut self, api: &mut GmApi<'_>, msg_id: MsgId) {
+        // Blocking Sends are buffered (nothing to do); Isends complete
+        // their request.
+        if let Some(r) = self
+            .requests
+            .iter_mut()
+            .find(|r| r.send_msg == Some(msg_id))
+        {
+            r.done = true;
+            self.maybe_resume(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_extract_collectives_only() {
+        let p = MpiProgram::new(vec![
+            MpiOp::SetValue(1),
+            MpiOp::Barrier,
+            MpiOp::Send {
+                to: 1,
+                bytes: 8,
+                tag: 0,
+            },
+            MpiOp::Allreduce { op: ReduceOp::Max },
+            MpiOp::Bcast { root: 2 },
+        ]);
+        assert_eq!(
+            p.coll_signature(),
+            vec![
+                CollSig::Barrier,
+                CollSig::Allreduce {
+                    op: ReduceKey::Max
+                },
+                CollSig::Bcast { root: 2 },
+            ]
+        );
+    }
+}

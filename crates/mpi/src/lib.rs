@@ -1,0 +1,50 @@
+//! # nicbar-mpi — an MPI-like programming model over the NIC-based
+//! collective protocol
+//!
+//! The paper's §9 plans to "incorporate this barrier algorithm into LA-MPI
+//! to provide a more efficient barrier operation". This crate is that
+//! integration, at simulation scale: a small message-passing programming
+//! model whose collectives (`Barrier`, `Bcast`, `Allreduce`, `Allgather`)
+//! lower onto the NIC-resident collective protocol, and whose
+//! point-to-point operations use the GM send/receive path.
+//!
+//! Programs are rank-local operation lists executed with MPI's blocking
+//! semantics by a deterministic interpreter:
+//!
+//! ```
+//! use nicbar_mpi::{MpiOp, MpiProgram, MpiWorld};
+//! use nicbar_core::ReduceOp;
+//!
+//! // Four ranks: contribute rank+1, allreduce-sum, and barrier twice.
+//! let program = |rank: usize| MpiProgram::new(vec![
+//!     MpiOp::SetValue(rank as u64 + 1),
+//!     MpiOp::Allreduce { op: ReduceOp::Sum },
+//!     MpiOp::StoreResult,
+//!     MpiOp::Barrier,
+//!     MpiOp::Barrier,
+//! ]);
+//! let world = MpiWorld::new(4).programs_from(program);
+//! let report = world.run();
+//! for rank in 0..4 {
+//!     assert_eq!(report.results[rank], vec![10]); // 1+2+3+4
+//! }
+//! ```
+//!
+//! ## Semantics
+//!
+//! * Operations execute in order; collectives and `Recv` block, `Send` is
+//!   buffered (returns immediately), `Compute` burns simulated time.
+//! * Collective sequences must match across ranks (checked at build time,
+//!   like a correct MPI program); each distinct collective *signature*
+//!   (kind + root/op) gets its own NIC group, and repeated uses ride the
+//!   protocol's epoch machinery.
+//! * `Recv { from, tag }` matches by sender and tag; early arrivals are
+//!   buffered (MPI's unexpected-message queue).
+
+#![warn(missing_docs)]
+
+mod interp;
+mod world;
+
+pub use interp::{MpiOp, MpiProgram};
+pub use world::{MpiReport, MpiWorld};

@@ -1,0 +1,187 @@
+//! World assembly: validate programs, allocate collective groups, build
+//! the simulated cluster, run to completion.
+
+use crate::interp::{CollSig, MpiProc, MpiProgram};
+use nicbar_core::{GroupSpec, PaperCollective, Algorithm, ReduceOp};
+use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
+use nicbar_net::NodeId;
+use nicbar_sim::{RunOutcome, SimTime};
+use std::collections::HashMap;
+
+/// A world of `n` ranks with one program each.
+pub struct MpiWorld {
+    n: usize,
+    params: GmParams,
+    features: CollFeatures,
+    algo: Algorithm,
+    seed: u64,
+    drop_prob: f64,
+    programs: Vec<MpiProgram>,
+}
+
+/// The outcome of a world run.
+#[derive(Clone, Debug)]
+pub struct MpiReport {
+    /// Per-rank `StoreResult` logs.
+    pub results: Vec<Vec<u64>>,
+    /// Per-rank completion times (µs).
+    pub finish_us: Vec<f64>,
+    /// Wall-clock of the whole job in simulated µs (last rank to finish).
+    pub makespan_us: f64,
+    /// Final engine counters.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MpiWorld {
+    /// An `n`-rank world on the LANai-XP cluster with the paper's protocol.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "empty world");
+        MpiWorld {
+            n,
+            params: GmParams::lanai_xp(),
+            features: CollFeatures::paper(),
+            algo: Algorithm::Dissemination,
+            seed: 0x4D50,
+            drop_prob: 0.0,
+            programs: Vec::new(),
+        }
+    }
+
+    /// Replace the cluster parameter set.
+    pub fn with_params(mut self, params: GmParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replace the collective feature set (ablation studies).
+    pub fn with_features(mut self, features: CollFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Replace the barrier algorithm.
+    pub fn with_algorithm(mut self, algo: Algorithm) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Replace the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject fabric loss.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Provide each rank's program from a generator.
+    pub fn programs_from(mut self, f: impl Fn(usize) -> MpiProgram) -> Self {
+        self.programs = (0..self.n).map(f).collect();
+        self
+    }
+
+    /// Provide explicit per-rank programs.
+    pub fn with_programs(mut self, programs: Vec<MpiProgram>) -> Self {
+        assert_eq!(programs.len(), self.n, "one program per rank");
+        self.programs = programs;
+        self
+    }
+
+    /// Run the world to completion.
+    ///
+    /// # Panics
+    /// Panics if programs were not provided, if ranks disagree on the
+    /// collective sequence, or if the job deadlocks (e.g. a `Recv` with no
+    /// matching `Send`).
+    pub fn run(self) -> MpiReport {
+        assert_eq!(
+            self.programs.len(),
+            self.n,
+            "programs not provided (use programs_from / with_programs)"
+        );
+        // MPI correctness: every rank must issue the same collectives in the
+        // same order.
+        let reference = self.programs[0].coll_signature();
+        for (rank, p) in self.programs.iter().enumerate().skip(1) {
+            assert_eq!(
+                p.coll_signature(),
+                reference,
+                "rank {rank} disagrees with rank 0 on the collective sequence"
+            );
+        }
+        // Allocate one group per distinct signature, in first-use order.
+        let mut groups: HashMap<CollSig, GroupId> = HashMap::new();
+        let mut reduce_ops: HashMap<CollSig, ReduceOp> = HashMap::new();
+        for (i, op) in self.programs[0].ops.iter().enumerate() {
+            if let Some(sig) = CollSig::of(op) {
+                let next = GroupId(groups.len() as u32 + 0x100);
+                groups.entry(sig).or_insert(next);
+                if let crate::interp::MpiOp::Allreduce { op } = op {
+                    reduce_ops.entry(sig).or_insert(*op);
+                }
+                let _ = i;
+            }
+        }
+
+        let members: Vec<NodeId> = (0..self.n).map(NodeId).collect();
+        let timeout = self.params.coll_timeout;
+        let spec = GmClusterSpec::new(self.params, self.n)
+            .with_seed(self.seed)
+            .with_drop_prob(self.drop_prob)
+            .with_features(self.features);
+
+        let mut apps: Vec<Box<dyn GmApp>> = Vec::new();
+        let mut colls: Vec<Box<dyn NicCollective>> = Vec::new();
+        for (rank, program) in self.programs.into_iter().enumerate() {
+            let specs: Vec<GroupSpec> = groups
+                .iter()
+                .map(|(sig, &gid)| GroupSpec {
+                    id: gid,
+                    members: members.clone(),
+                    my_rank: rank,
+                    op: sig.group_op(reduce_ops.get(sig).copied()),
+                    algo: self.algo,
+                    timeout,
+                })
+                .collect();
+            apps.push(Box::new(MpiProc::new(
+                rank,
+                members.clone(),
+                program,
+                groups.clone(),
+            )));
+            colls.push(Box::new(PaperCollective::new(NodeId(rank), specs)));
+        }
+
+        let mut cluster = GmCluster::build(spec, apps, colls);
+        let outcome = cluster.run_until(SimTime::from_us(600_000_000.0));
+        assert_eq!(outcome, RunOutcome::Idle, "world did not drain");
+
+        let mut results = Vec::with_capacity(self.n);
+        let mut finish_us = Vec::with_capacity(self.n);
+        for rank in 0..self.n {
+            let proc = cluster.app_ref::<MpiProc>(rank);
+            let finish = proc
+                .finish
+                .unwrap_or_else(|| panic!("rank {rank} deadlocked (blocked op never completed)"));
+            results.push(proc.results.clone());
+            finish_us.push(finish.as_us());
+        }
+        let makespan_us = finish_us.iter().copied().fold(0.0, f64::max);
+        let counters = cluster
+            .engine
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        MpiReport {
+            results,
+            finish_us,
+            makespan_us,
+            counters,
+        }
+    }
+}

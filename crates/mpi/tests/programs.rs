@@ -1,0 +1,359 @@
+//! End-to-end tests of the MPI-like frontend: collectives, point-to-point
+//! matching, mixed programs, loss, and misuse detection.
+
+use nicbar_core::ReduceOp;
+use nicbar_gm::GmParams;
+use nicbar_mpi::{MpiOp, MpiProgram, MpiWorld};
+
+#[test]
+fn allreduce_sum_across_ranks() {
+    let report = MpiWorld::new(8)
+        .programs_from(|rank| {
+            MpiProgram::new(vec![
+                MpiOp::SetValue(rank as u64 + 1),
+                MpiOp::Allreduce { op: ReduceOp::Sum },
+                MpiOp::StoreResult,
+            ])
+        })
+        .run();
+    for rank in 0..8 {
+        assert_eq!(report.results[rank], vec![36], "rank {rank}");
+    }
+}
+
+#[test]
+fn bcast_then_reduce_pipeline() {
+    // Root broadcasts a seed; everyone computes rank-dependent work from it
+    // and the max is reduced back.
+    let report = MpiWorld::new(4)
+        .programs_from(|rank| {
+            let mut ops = vec![
+                MpiOp::SetValue(if rank == 0 { 500 } else { 0 }),
+                MpiOp::Bcast { root: 0 },
+                MpiOp::StoreResult, // everyone logs 500
+            ];
+            // "Compute": contribute bcast result + rank via the registers.
+            ops.push(MpiOp::SetValue(500 + rank as u64));
+            ops.push(MpiOp::Allreduce { op: ReduceOp::Max });
+            ops.push(MpiOp::StoreResult); // everyone logs 503
+            MpiProgram::new(ops)
+        })
+        .run();
+    for rank in 0..4 {
+        assert_eq!(report.results[rank], vec![500, 503], "rank {rank}");
+    }
+}
+
+#[test]
+fn point_to_point_ring_with_barriers() {
+    // Each rank sends to its right neighbour, receives from its left, with
+    // barriers separating three rounds.
+    let n = 6;
+    let report = MpiWorld::new(n)
+        .programs_from(|rank| {
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            let mut ops = Vec::new();
+            for round in 0..3u32 {
+                ops.push(MpiOp::Send {
+                    to: right,
+                    bytes: 256,
+                    tag: round,
+                });
+                ops.push(MpiOp::Recv {
+                    from: left,
+                    tag: round,
+                });
+                ops.push(MpiOp::Barrier);
+            }
+            MpiProgram::new(ops)
+        })
+        .run();
+    assert!(report.makespan_us > 0.0);
+}
+
+#[test]
+fn out_of_order_receives_are_buffered() {
+    // Rank 0 sends tags 1,2,3 immediately; rank 1 receives them in reverse
+    // order — the unexpected-message queue must hold the early ones.
+    let p0 = MpiProgram::new(vec![
+        MpiOp::Send {
+            to: 1,
+            bytes: 64,
+            tag: 1,
+        },
+        MpiOp::Send {
+            to: 1,
+            bytes: 64,
+            tag: 2,
+        },
+        MpiOp::Send {
+            to: 1,
+            bytes: 64,
+            tag: 3,
+        },
+        MpiOp::Barrier,
+    ]);
+    let p1 = MpiProgram::new(vec![
+        MpiOp::Compute { us: 100.0 }, // let everything arrive first
+        MpiOp::Recv { from: 0, tag: 3 },
+        MpiOp::Recv { from: 0, tag: 2 },
+        MpiOp::Recv { from: 0, tag: 1 },
+        MpiOp::Barrier,
+    ]);
+    let report = MpiWorld::new(2).with_programs(vec![p0, p1]).run();
+    assert!(report.makespan_us >= 100.0);
+}
+
+#[test]
+fn compute_phases_burn_simulated_time() {
+    let report = MpiWorld::new(2)
+        .programs_from(|_| {
+            MpiProgram::new(vec![
+                MpiOp::Compute { us: 250.0 },
+                MpiOp::Barrier,
+            ])
+        })
+        .run();
+    assert!(
+        report.makespan_us >= 250.0,
+        "makespan {:.2} < compute time",
+        report.makespan_us
+    );
+}
+
+#[test]
+fn repeated_collectives_reuse_epochs() {
+    let iters = 50;
+    let report = MpiWorld::new(8)
+        .programs_from(|_| {
+            MpiProgram::new((0..iters).map(|_| MpiOp::Barrier).collect())
+        })
+        .run();
+    // 8 ranks × 3 rounds × iters collective packets.
+    let coll: u64 = report
+        .counters
+        .iter()
+        .find(|(k, _)| k == "wire.coll")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert_eq!(coll, 24 * iters as u64);
+}
+
+#[test]
+fn programs_survive_packet_loss() {
+    let report = MpiWorld::new(4)
+        .with_drop_prob(0.03)
+        .with_seed(17)
+        .programs_from(|rank| {
+            MpiProgram::new(vec![
+                MpiOp::SetValue(1 << rank),
+                MpiOp::Allreduce {
+                    op: ReduceOp::BitOr,
+                },
+                MpiOp::StoreResult,
+                MpiOp::Send {
+                    to: (rank + 1) % 4,
+                    bytes: 2048,
+                    tag: 9,
+                },
+                MpiOp::Recv {
+                    from: (rank + 3) % 4,
+                    tag: 9,
+                },
+                MpiOp::Barrier,
+            ])
+        })
+        .run();
+    for rank in 0..4 {
+        assert_eq!(report.results[rank], vec![0b1111], "rank {rank}");
+    }
+}
+
+#[test]
+fn nic_collectives_beat_host_loop_on_makespan() {
+    // A barrier-heavy job finishes faster on the slower 9.1 cluster with
+    // the NIC protocol than with the direct scheme.
+    let job = |features| {
+        MpiWorld::new(8)
+            .with_params(GmParams::lanai_9_1())
+            .with_features(features)
+            .programs_from(|_| {
+                MpiProgram::new(
+                    (0..40)
+                        .flat_map(|_| [MpiOp::Compute { us: 10.0 }, MpiOp::Barrier])
+                        .collect(),
+                )
+            })
+            .run()
+            .makespan_us
+    };
+    let paper = job(nicbar_gm::CollFeatures::paper());
+    let direct = job(nicbar_gm::CollFeatures::direct());
+    assert!(
+        paper < direct,
+        "paper protocol makespan {paper:.1} should beat direct {direct:.1}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "disagrees with rank 0")]
+fn mismatched_collective_sequences_rejected() {
+    let p0 = MpiProgram::new(vec![MpiOp::Barrier, MpiOp::Barrier]);
+    let p1 = MpiProgram::new(vec![MpiOp::Barrier]);
+    let _ = MpiWorld::new(2).with_programs(vec![p0, p1]).run();
+}
+
+#[test]
+#[should_panic(expected = "deadlocked")]
+fn unmatched_recv_deadlocks_loudly() {
+    let p0 = MpiProgram::new(vec![MpiOp::Recv { from: 1, tag: 7 }]);
+    let p1 = MpiProgram::new(vec![]);
+    let _ = MpiWorld::new(2).with_programs(vec![p0, p1]).run();
+}
+
+#[test]
+fn worlds_are_deterministic() {
+    let run = || {
+        MpiWorld::new(6)
+            .with_seed(3)
+            .programs_from(|rank| {
+                MpiProgram::new(vec![
+                    MpiOp::SetValue(rank as u64),
+                    MpiOp::Allreduce { op: ReduceOp::Max },
+                    MpiOp::StoreResult,
+                    MpiOp::Barrier,
+                ])
+            })
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_us, b.makespan_us);
+    assert_eq!(a.results, b.results);
+}
+
+#[test]
+fn nonblocking_overlap_beats_blocking() {
+    // Exchange 16 KB with the neighbour while computing 100 µs. Blocking:
+    // send+recv then compute (serialized). Nonblocking: post both, compute,
+    // waitall (overlapped).
+    let n = 2;
+    let blocking = MpiWorld::new(n)
+        .programs_from(|rank| {
+            MpiProgram::new(vec![
+                MpiOp::Send {
+                    to: 1 - rank,
+                    bytes: 16_384,
+                    tag: 1,
+                },
+                MpiOp::Recv {
+                    from: 1 - rank,
+                    tag: 1,
+                },
+                MpiOp::Compute { us: 100.0 },
+                MpiOp::Barrier,
+            ])
+        })
+        .run()
+        .makespan_us;
+    let nonblocking = MpiWorld::new(n)
+        .programs_from(|rank| {
+            MpiProgram::new(vec![
+                MpiOp::Isend {
+                    to: 1 - rank,
+                    bytes: 16_384,
+                    tag: 1,
+                },
+                MpiOp::Irecv {
+                    from: 1 - rank,
+                    tag: 1,
+                },
+                MpiOp::Compute { us: 100.0 },
+                MpiOp::Waitall,
+                MpiOp::Barrier,
+            ])
+        })
+        .run()
+        .makespan_us;
+    assert!(
+        nonblocking < blocking - 10.0,
+        "overlap missing: nonblocking {nonblocking:.1} vs blocking {blocking:.1}"
+    );
+}
+
+#[test]
+fn wait_on_specific_request() {
+    // Rank 0 posts two Irecvs and waits on the *second* first.
+    let p0 = MpiProgram::new(vec![
+        MpiOp::Irecv { from: 1, tag: 10 }, // req 0
+        MpiOp::Irecv { from: 1, tag: 20 }, // req 1
+        MpiOp::Wait { req: 1 },
+        MpiOp::Wait { req: 0 },
+        MpiOp::Barrier,
+    ]);
+    let p1 = MpiProgram::new(vec![
+        MpiOp::Send {
+            to: 0,
+            bytes: 64,
+            tag: 20,
+        },
+        MpiOp::Compute { us: 50.0 },
+        MpiOp::Send {
+            to: 0,
+            bytes: 64,
+            tag: 10,
+        },
+        MpiOp::Barrier,
+    ]);
+    let report = MpiWorld::new(2).with_programs(vec![p0, p1]).run();
+    assert!(report.makespan_us >= 50.0);
+}
+
+#[test]
+fn irecv_matches_already_arrived_messages() {
+    let p0 = MpiProgram::new(vec![
+        MpiOp::Send {
+            to: 1,
+            bytes: 64,
+            tag: 5,
+        },
+        MpiOp::Barrier,
+    ]);
+    let p1 = MpiProgram::new(vec![
+        MpiOp::Compute { us: 200.0 }, // message lands during this
+        MpiOp::Irecv { from: 0, tag: 5 },
+        MpiOp::Wait { req: 0 },
+        MpiOp::Barrier,
+    ]);
+    let report = MpiWorld::new(2).with_programs(vec![p0, p1]).run();
+    // The Wait must not block at all: makespan ≈ compute + barrier.
+    assert!(report.makespan_us < 250.0);
+}
+
+#[test]
+#[should_panic(expected = "Wait on unposted request")]
+fn wait_on_unposted_request_panics() {
+    let p = MpiProgram::new(vec![MpiOp::Wait { req: 0 }]);
+    let _ = MpiWorld::new(1).with_programs(vec![p]).run();
+}
+
+#[test]
+fn alltoall_exchanges_personalized_rows() {
+    let n = 5;
+    let report = MpiWorld::new(n)
+        .programs_from(|rank| {
+            MpiProgram::new(vec![
+                MpiOp::SetVector((0..n as u64).map(|j| 1000 * rank as u64 + j).collect()),
+                MpiOp::Alltoall,
+                MpiOp::StoreResult,
+                MpiOp::Barrier,
+            ])
+        })
+        .run();
+    for me in 0..n {
+        // Fold of the received row: sum_i (1000*i + me).
+        let expect: u64 = (0..n as u64).map(|i| 1000 * i + me as u64).sum();
+        assert_eq!(report.results[me], vec![expect], "rank {me}");
+    }
+}

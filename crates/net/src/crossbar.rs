@@ -1,0 +1,147 @@
+//! Myrinet-style wormhole Clos network.
+//!
+//! Myrinet 2000 networks are built from 16-port crossbar switches. Small
+//! clusters (≤16 hosts, both clusters in the paper) hang every NIC off one
+//! crossbar. Larger systems use a Clos/spine-leaf arrangement in which each
+//! leaf dedicates half its ports to hosts and half to spines; recursing
+//! gives 3-stage, 5-stage, ... networks. Hop counts:
+//!
+//! * same switch: 1 hop,
+//! * same level-2 group (via one spine): 3 hops,
+//! * same level-3 group: 5 hops, and so on (2·L − 1 for separation level L).
+//!
+//! This matches the classic Myrinet "quarter-fill rule" networks closely
+//! enough for latency-shape studies: the 1024-node scalability projection in
+//! the paper's Fig. 8 rides on ⌈log₂N⌉ protocol steps, with hop count a
+//! second-order term.
+
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A Clos network of `radix`-port crossbars.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WormholeClos {
+    nodes: usize,
+    /// Hosts per leaf switch. With radix-16 crossbars and a 1:1
+    /// oversubscription this is 8 beyond a single switch; a single-switch
+    /// network holds up to `radix` hosts.
+    leaf_capacity: usize,
+    radix: usize,
+}
+
+impl WormholeClos {
+    /// Build a network for `nodes` hosts out of `radix`-port crossbars.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `radix < 4`.
+    pub fn new(nodes: usize, radix: usize) -> Self {
+        assert!(nodes > 0, "empty network");
+        assert!(radix >= 4, "crossbar radix must be at least 4");
+        let leaf_capacity = if nodes <= radix { nodes } else { radix / 2 };
+        WormholeClos {
+            nodes,
+            leaf_capacity,
+            radix,
+        }
+    }
+
+    /// Myrinet 2000: 16-port crossbars.
+    pub fn myrinet2000(nodes: usize) -> Self {
+        WormholeClos::new(nodes, 16)
+    }
+
+    /// Smallest group size (in hosts) that contains both nodes; level 1 is a
+    /// single leaf switch.
+    fn separation_level(&self, a: usize, b: usize) -> u32 {
+        let mut group = self.leaf_capacity;
+        let mut level = 1u32;
+        while a / group != b / group {
+            group *= self.radix / 2;
+            level += 1;
+        }
+        level
+    }
+}
+
+impl Topology for WormholeClos {
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.check(src);
+        self.check(dst);
+        if src == dst {
+            return 0;
+        }
+        2 * self.separation_level(src.0, dst.0) - 1
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.nodes <= 1 {
+            0
+        } else {
+            2 * self.separation_level(0, self.nodes - 1) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_cluster_is_one_hop() {
+        let net = WormholeClos::myrinet2000(16);
+        for i in 0..16 {
+            for j in 0..16 {
+                let expect = if i == j { 0 } else { 1 };
+                assert_eq!(net.hops(NodeId(i), NodeId(j)), expect, "{i}->{j}");
+            }
+        }
+        assert_eq!(net.diameter(), 1);
+    }
+
+    #[test]
+    fn spine_leaf_hops() {
+        // 64 hosts: leaves of 8, so 0..8 share a leaf, 0 and 9 cross a spine.
+        let net = WormholeClos::myrinet2000(64);
+        assert_eq!(net.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(net.hops(NodeId(0), NodeId(8)), 3);
+        assert_eq!(net.hops(NodeId(0), NodeId(63)), 3);
+        assert_eq!(net.diameter(), 3);
+    }
+
+    #[test]
+    fn large_network_levels() {
+        // 1024 hosts: groups of 8, 64, 512, 4096 → up to level 4 → 7 hops.
+        let net = WormholeClos::myrinet2000(1024);
+        assert_eq!(net.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(net.hops(NodeId(0), NodeId(8)), 3);
+        assert_eq!(net.hops(NodeId(0), NodeId(64)), 5);
+        assert_eq!(net.hops(NodeId(0), NodeId(512)), 7);
+        assert_eq!(net.diameter(), 7);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let net = WormholeClos::myrinet2000(128);
+        for (a, b) in [(0, 1), (3, 77), (12, 120), (64, 65)] {
+            assert_eq!(net.hops(NodeId(a), NodeId(b)), net.hops(NodeId(b), NodeId(a)));
+        }
+    }
+
+    #[test]
+    fn no_hw_broadcast() {
+        let net = WormholeClos::myrinet2000(8);
+        let all: Vec<NodeId> = (0..8).map(NodeId).collect();
+        assert!(!net.supports_hw_broadcast(NodeId(0), &all));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let net = WormholeClos::myrinet2000(8);
+        net.hops(NodeId(0), NodeId(8));
+    }
+}

@@ -1,0 +1,315 @@
+//! The fabric core: routing + contention + loss injection.
+//!
+//! [`FabricCore`] turns "NIC `src` injects a `b`-byte packet at time `t`"
+//! into "the packet reaches NIC `dst` at time `t'` (or is dropped)". Three
+//! effects stack:
+//!
+//! 1. **Routing latency** — wormhole timing over the topology's hop count.
+//! 2. **Destination-port contention** — each NIC input port is a serial
+//!    resource: concurrent arrivals queue behind one another for the port's
+//!    occupancy time plus a per-network *hot-spot serialization* cost. This
+//!    is the knob behind the paper's observation that Quadrics "is very
+//!    efficient in coping with hot-spot RDMA operations" while Myrinet is
+//!    not: `hotspot_ns` is small for Elan, large for LANai.
+//! 3. **Loss injection** — a seeded Bernoulli drop, used by the reliability
+//!    tests. The Quadrics substrate runs with `drop_prob = 0` (hardware
+//!    reliable delivery); GM runs with it configurable.
+
+use crate::timing::LinkTiming;
+use crate::topology::{NodeId, Topology};
+use nicbar_sim::{SimRng, SimTime};
+
+/// Result of injecting one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the destination NIC sees the packet (meaningless if `dropped`).
+    pub arrive: SimTime,
+    /// The packet was lost in the network.
+    pub dropped: bool,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Packets handed to the fabric.
+    pub injected: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets dropped by loss injection.
+    pub dropped: u64,
+    /// Packets that had to queue behind another arrival at the destination
+    /// port.
+    pub contended: u64,
+}
+
+/// Deterministic packet-delivery calculator over a [`Topology`].
+///
+/// ```
+/// use nicbar_net::{FabricCore, LinkTiming, NodeId, WormholeClos};
+/// use nicbar_sim::{SimRng, SimTime};
+///
+/// let mut fabric = FabricCore::new(
+///     Box::new(WormholeClos::myrinet2000(8)),
+///     LinkTiming::myrinet2000(),
+///     0,
+/// );
+/// let mut rng = SimRng::new(1);
+/// let d = fabric.send(SimTime::ZERO, NodeId(0), NodeId(5), 16, &mut rng);
+/// assert!(!d.dropped);
+/// assert!(d.arrive > SimTime::ZERO);
+/// ```
+pub struct FabricCore {
+    topology: Box<dyn Topology>,
+    timing: LinkTiming,
+    /// Probability that any given packet is lost.
+    drop_prob: f64,
+    /// Extra serialization charged per packet at a busy destination port.
+    hotspot: SimTime,
+    /// Time each destination input port is busy until.
+    rx_port_free: Vec<SimTime>,
+    stats: FabricStats,
+}
+
+impl FabricCore {
+    /// Build a fabric over `topology` with the given `timing`.
+    /// `hotspot_ns` is the extra per-packet serialization at a contended
+    /// destination port.
+    pub fn new(topology: Box<dyn Topology>, timing: LinkTiming, hotspot_ns: u64) -> Self {
+        let n = topology.num_nodes();
+        FabricCore {
+            topology,
+            timing,
+            drop_prob: 0.0,
+            hotspot: SimTime::from_ns(hotspot_ns),
+            rx_port_free: vec![SimTime::ZERO; n],
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Set the loss-injection probability (0 disables).
+    pub fn set_drop_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+    }
+
+    /// Current loss-injection probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// The link timing parameters.
+    pub fn timing(&self) -> &LinkTiming {
+        &self.timing
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Inject a unicast packet. Returns its delivery time at `dst`, after
+    /// routing latency and destination-port queuing, or a drop.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or `src == dst` (NIC-local loopback is
+    /// handled above the fabric).
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        assert_ne!(src, dst, "fabric loopback is not a thing");
+        self.stats.injected += 1;
+        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
+            self.stats.dropped += 1;
+            return Delivery {
+                arrive: SimTime::MAX,
+                dropped: true,
+            };
+        }
+        let hops = self.topology.hops(src, dst);
+        let routed = now + self.timing.latency(hops, bytes);
+        // Destination input port is a serial resource.
+        let port_free = self.rx_port_free[dst.0];
+        let (arrive, contended) = if routed >= port_free {
+            (routed, false)
+        } else {
+            (port_free, true)
+        };
+        if contended {
+            self.stats.contended += 1;
+        }
+        self.rx_port_free[dst.0] = arrive + self.timing.occupancy(bytes) + self.hotspot;
+        self.stats.delivered += 1;
+        Delivery {
+            arrive,
+            dropped: false,
+        }
+    }
+
+    /// Hardware multicast from `root` to every node in `group` (which must
+    /// satisfy [`Topology::supports_hw_broadcast`]). Returns per-destination
+    /// arrival times; the switch replicates the worm, so destinations hear
+    /// it simultaneously up to hop-count differences and no port contention
+    /// is charged.
+    ///
+    /// # Panics
+    /// Panics if the topology cannot multicast to this group.
+    pub fn hw_broadcast(
+        &mut self,
+        now: SimTime,
+        root: NodeId,
+        group: &[NodeId],
+        bytes: u32,
+    ) -> Vec<(NodeId, SimTime)> {
+        assert!(
+            self.topology.supports_hw_broadcast(root, group),
+            "topology cannot hardware-broadcast to this group"
+        );
+        self.stats.injected += 1;
+        group
+            .iter()
+            .filter(|&&n| n != root)
+            .map(|&n| {
+                self.stats.delivered += 1;
+                let hops = self.topology.hops(root, n);
+                (n, now + self.timing.latency(hops, bytes))
+            })
+            .collect()
+    }
+
+    /// Forget all port-occupancy state (e.g. between benchmark phases).
+    pub fn reset_contention(&mut self) {
+        self.rx_port_free.fill(SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::WormholeClos;
+    use crate::fattree::QuaternaryFatTree;
+
+    fn myri8() -> FabricCore {
+        FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(8)),
+            LinkTiming::myrinet2000(),
+            200,
+        )
+    }
+
+    #[test]
+    fn unicast_latency_matches_timing() {
+        let mut f = myri8();
+        let mut rng = SimRng::new(0);
+        let d = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 8, &mut rng);
+        assert!(!d.dropped);
+        assert_eq!(d.arrive, LinkTiming::myrinet2000().latency(1, 8));
+    }
+
+    #[test]
+    fn concurrent_arrivals_serialize_at_dst_port() {
+        let mut f = myri8();
+        let mut rng = SimRng::new(0);
+        let d1 = f.send(SimTime::ZERO, NodeId(1), NodeId(0), 8, &mut rng);
+        let d2 = f.send(SimTime::ZERO, NodeId(2), NodeId(0), 8, &mut rng);
+        let d3 = f.send(SimTime::ZERO, NodeId(3), NodeId(0), 8, &mut rng);
+        assert!(d2.arrive > d1.arrive);
+        assert!(d3.arrive > d2.arrive);
+        let gap = d2.arrive - d1.arrive;
+        let occupancy = LinkTiming::myrinet2000().occupancy(8) + SimTime::from_ns(200);
+        assert_eq!(gap, occupancy);
+        assert_eq!(f.stats().contended, 2);
+    }
+
+    #[test]
+    fn different_destinations_do_not_contend() {
+        let mut f = myri8();
+        let mut rng = SimRng::new(0);
+        let d1 = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 8, &mut rng);
+        let d2 = f.send(SimTime::ZERO, NodeId(2), NodeId(3), 8, &mut rng);
+        assert_eq!(d1.arrive, d2.arrive);
+        assert_eq!(f.stats().contended, 0);
+    }
+
+    #[test]
+    fn drop_injection_loses_packets() {
+        let mut f = myri8();
+        f.set_drop_prob(1.0);
+        let mut rng = SimRng::new(0);
+        let d = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 8, &mut rng);
+        assert!(d.dropped);
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.stats().delivered, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_calibrated() {
+        let mut f = myri8();
+        f.set_drop_prob(0.1);
+        let mut rng = SimRng::new(42);
+        let mut dropped = 0;
+        for i in 0..10_000u64 {
+            let t = SimTime::from_us_int(i * 100);
+            if f.send(t, NodeId(0), NodeId(1), 8, &mut rng).dropped {
+                dropped += 1;
+            }
+        }
+        assert!((800..1200).contains(&dropped), "p=0.1 dropped {dropped}/10000");
+    }
+
+    #[test]
+    fn hw_broadcast_reaches_group_simultaneously() {
+        let mut f = FabricCore::new(
+            Box::new(QuaternaryFatTree::new(8)),
+            LinkTiming::qsnet_elan3(),
+            0,
+        );
+        let group: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let arrivals = f.hw_broadcast(SimTime::ZERO, NodeId(0), &group, 4);
+        assert_eq!(arrivals.len(), 7);
+        // Same-quad nodes hear it sooner (1 hop) than cross-tree nodes (3).
+        let t_near = arrivals.iter().find(|(n, _)| *n == NodeId(1)).unwrap().1;
+        let t_far = arrivals.iter().find(|(n, _)| *n == NodeId(7)).unwrap().1;
+        assert!(t_near < t_far);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hardware-broadcast")]
+    fn hw_broadcast_rejects_fragmented_group() {
+        let mut f = FabricCore::new(
+            Box::new(QuaternaryFatTree::new(8)),
+            LinkTiming::qsnet_elan3(),
+            0,
+        );
+        let group = vec![NodeId(0), NodeId(2), NodeId(4)];
+        f.hw_broadcast(SimTime::ZERO, NodeId(0), &group, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut f = myri8();
+        let mut rng = SimRng::new(0);
+        f.send(SimTime::ZERO, NodeId(1), NodeId(1), 8, &mut rng);
+    }
+
+    #[test]
+    fn reset_contention_clears_ports() {
+        let mut f = myri8();
+        let mut rng = SimRng::new(0);
+        f.send(SimTime::ZERO, NodeId(1), NodeId(0), 8, &mut rng);
+        f.send(SimTime::ZERO, NodeId(2), NodeId(0), 8, &mut rng);
+        f.reset_contention();
+        let d = f.send(SimTime::ZERO, NodeId(3), NodeId(0), 8, &mut rng);
+        assert_eq!(d.arrive, LinkTiming::myrinet2000().latency(1, 8));
+    }
+}

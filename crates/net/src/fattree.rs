@@ -1,0 +1,137 @@
+//! Quadrics-style quaternary fat tree.
+//!
+//! QsNet interconnects Elan NICs through Elite switches arranged in a
+//! quaternary (4-ary) fat tree. A *dimension-d* network supports `4^d`
+//! hosts; the paper's Elite-16 switch is the dimension-two instance (16
+//! hosts, 8 used). Routes climb to the lowest common ancestor level `L` and
+//! descend, traversing `2·L − 1` switches.
+//!
+//! The Elite switches support a hardware multicast down the tree, but — as
+//! the paper stresses — only to a *contiguous* range of nodes. That
+//! restriction is modeled in [`Topology::supports_hw_broadcast`] and is what
+//! forces `elan_hgsync()` to fall back to the software tree when the group
+//! is fragmented.
+
+use crate::topology::{is_contiguous, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A 4-ary fat tree of Elite-style switches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuaternaryFatTree {
+    nodes: usize,
+    dimension: u32,
+}
+
+impl QuaternaryFatTree {
+    /// Fat tree with the smallest dimension that fits `nodes` hosts.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "empty network");
+        let mut dimension = 1u32;
+        while 4usize.pow(dimension) < nodes {
+            dimension += 1;
+        }
+        QuaternaryFatTree { nodes, dimension }
+    }
+
+    /// Number of switch levels (the tree's dimension).
+    pub fn dimension(&self) -> u32 {
+        self.dimension
+    }
+
+    /// Level of the lowest common ancestor of two distinct leaves
+    /// (1 = same first-level switch).
+    fn lca_level(&self, a: usize, b: usize) -> u32 {
+        let mut group = 4usize;
+        let mut level = 1u32;
+        while a / group != b / group {
+            group *= 4;
+            level += 1;
+        }
+        level
+    }
+}
+
+impl Topology for QuaternaryFatTree {
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.check(src);
+        self.check(dst);
+        if src == dst {
+            return 0;
+        }
+        2 * self.lca_level(src.0, dst.0) - 1
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.nodes <= 1 {
+            0
+        } else {
+            2 * self.lca_level(0, self.nodes - 1) - 1
+        }
+    }
+
+    /// Quadrics hardware broadcast reaches any *contiguous* range of nodes.
+    fn supports_hw_broadcast(&self, root: NodeId, nodes: &[NodeId]) -> bool {
+        self.check(root);
+        nodes.contains(&root) && is_contiguous(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_grows_with_nodes() {
+        assert_eq!(QuaternaryFatTree::new(4).dimension(), 1);
+        assert_eq!(QuaternaryFatTree::new(5).dimension(), 2);
+        assert_eq!(QuaternaryFatTree::new(16).dimension(), 2);
+        assert_eq!(QuaternaryFatTree::new(17).dimension(), 3);
+        assert_eq!(QuaternaryFatTree::new(1024).dimension(), 5);
+    }
+
+    #[test]
+    fn hops_in_elite16() {
+        // 8-node cluster on a dimension-2 tree (the paper's Quadrics rig).
+        let net = QuaternaryFatTree::new(8);
+        assert_eq!(net.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(net.hops(NodeId(0), NodeId(3)), 1); // same quad
+        assert_eq!(net.hops(NodeId(0), NodeId(4)), 3); // across the top
+        assert_eq!(net.diameter(), 3);
+    }
+
+    #[test]
+    fn hops_symmetric_and_bounded() {
+        let net = QuaternaryFatTree::new(64);
+        for (a, b) in [(0, 1), (0, 5), (0, 21), (17, 63)] {
+            let h = net.hops(NodeId(a), NodeId(b));
+            assert_eq!(h, net.hops(NodeId(b), NodeId(a)));
+            assert!(h <= net.diameter());
+        }
+        assert_eq!(net.diameter(), 2 * 3 - 1);
+    }
+
+    #[test]
+    fn hw_broadcast_requires_contiguous_range_containing_root() {
+        let net = QuaternaryFatTree::new(16);
+        let contiguous: Vec<NodeId> = (2..10).map(NodeId).collect();
+        let holey: Vec<NodeId> = [2, 3, 5, 6].map(NodeId).to_vec();
+        assert!(net.supports_hw_broadcast(NodeId(2), &contiguous));
+        assert!(net.supports_hw_broadcast(NodeId(9), &contiguous));
+        assert!(!net.supports_hw_broadcast(NodeId(0), &contiguous), "root outside group");
+        assert!(!net.supports_hw_broadcast(NodeId(2), &holey), "fragmented group");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let net = QuaternaryFatTree::new(1);
+        assert_eq!(net.diameter(), 0);
+        assert_eq!(net.hops(NodeId(0), NodeId(0)), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # nicbar-net — interconnect topology and timing models
+//!
+//! Pure (engine-independent) models of the two physical networks in the
+//! paper, shared by the `nicbar-gm` (Myrinet) and `nicbar-elan` (Quadrics)
+//! substrates:
+//!
+//! * [`crossbar::WormholeClos`] — Myrinet 2000: wormhole-routed 16-port
+//!   crossbar switches arranged as a Clos/spine-leaf network.
+//! * [`fattree::QuaternaryFatTree`] — Quadrics QsNet: Elite switches in a
+//!   quaternary fat tree (Elite-16 is the dimension-two instance used in the
+//!   paper's 8-node cluster).
+//! * [`timing::LinkTiming`] — per-hop and per-byte latency for wormhole
+//!   routing (one serialization, pipelined through hops).
+//! * [`fabric::FabricCore`] — the deliverable-latency calculator: routing +
+//!   destination-port contention (the "hot-spot" effect the paper invokes to
+//!   explain why pairwise-exchange behaves differently on the two networks) +
+//!   seeded packet-drop injection for reliability testing.
+//! * [`permute::Permutation`] — random rank→node placements, matching the
+//!   paper's randomized node-allocation methodology.
+//!
+//! Everything here is deterministic given a [`nicbar_sim::SimRng`]; the
+//! fabric holds no interior mutability and is driven by whichever simulator
+//! component owns it.
+
+#![warn(missing_docs)]
+
+pub mod crossbar;
+pub mod fabric;
+pub mod fattree;
+pub mod permute;
+pub mod timing;
+pub mod topology;
+
+pub use crossbar::WormholeClos;
+pub use fabric::{Delivery, FabricCore};
+pub use fattree::QuaternaryFatTree;
+pub use permute::Permutation;
+pub use timing::LinkTiming;
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,129 @@
+//! Rank → physical-node placements.
+//!
+//! The paper evaluates "with random permutation of the nodes" to rule out
+//! placement effects; a [`Permutation`] carries that mapping. Ranks are the
+//! logical process ids the barrier algorithms operate on; nodes are the
+//! physical NIC positions the topology charges hops for.
+
+use crate::topology::NodeId;
+use nicbar_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A bijective mapping from ranks `0..n` onto a subset of physical nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    rank_to_node: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// The identity placement: rank `i` on node `i`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            rank_to_node: (0..n).map(NodeId).collect(),
+        }
+    }
+
+    /// A uniformly random placement of `n` ranks onto nodes `0..cluster`,
+    /// drawn from `rng`.
+    ///
+    /// # Panics
+    /// Panics if `n > cluster`.
+    pub fn random(n: usize, cluster: usize, rng: &mut SimRng) -> Self {
+        assert!(n <= cluster, "more ranks than nodes");
+        let mut nodes: Vec<NodeId> = (0..cluster).map(NodeId).collect();
+        rng.shuffle(&mut nodes);
+        nodes.truncate(n);
+        Permutation {
+            rank_to_node: nodes,
+        }
+    }
+
+    /// Build from an explicit mapping.
+    ///
+    /// # Panics
+    /// Panics if the mapping contains duplicate nodes.
+    pub fn from_nodes(rank_to_node: Vec<NodeId>) -> Self {
+        let mut seen = rank_to_node.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            rank_to_node.len(),
+            "duplicate node in permutation"
+        );
+        Permutation { rank_to_node }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.rank_to_node.len()
+    }
+
+    /// True if the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rank_to_node.is_empty()
+    }
+
+    /// Physical node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.rank_to_node[rank]
+    }
+
+    /// Rank hosted on `node`, if any (linear scan; fine for setup-time use).
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        self.rank_to_node.iter().position(|&n| n == node)
+    }
+
+    /// The node set, in rank order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.rank_to_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.node_of(2), NodeId(2));
+        assert_eq!(p.rank_of(NodeId(3)), Some(3));
+        assert_eq!(p.rank_of(NodeId(4)), None);
+    }
+
+    #[test]
+    fn random_is_a_bijection() {
+        let mut rng = SimRng::new(11);
+        let p = Permutation::random(8, 16, &mut rng);
+        assert_eq!(p.len(), 8);
+        let mut nodes: Vec<usize> = p.nodes().iter().map(|n| n.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 8);
+        assert!(nodes.iter().all(|&n| n < 16));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let p1 = Permutation::random(8, 8, &mut SimRng::new(5));
+        let p2 = Permutation::random(8, 8, &mut SimRng::new(5));
+        let p3 = Permutation::random(8, 8, &mut SimRng::new(6));
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_nodes_rejected() {
+        Permutation::from_nodes(vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks than nodes")]
+    fn oversubscription_rejected() {
+        Permutation::random(9, 8, &mut SimRng::new(0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Topology abstraction.
+//!
+//! A topology answers one question for the timing model: how many switch
+//! hops separate two NICs? Both of the paper's networks are switched
+//! wormhole networks, so end-to-end latency decomposes into a per-hop
+//! routing cost plus a single serialization cost (see
+//! [`crate::timing::LinkTiming`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical node (equivalently: its NIC) in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A switched interconnect topology.
+pub trait Topology: Send + Sync {
+    /// Number of host nodes attached to the network.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of switch traversals on the route from `src` to `dst`.
+    /// `hops(x, x)` is 0 (loopback never touches the network in either
+    /// substrate; NIC-local delivery is handled above this layer).
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32;
+
+    /// The maximum hop count between any node pair.
+    fn diameter(&self) -> u32;
+
+    /// Whether the switch hardware can multicast from `root` to exactly the
+    /// given node set in one network-level operation. Quadrics requires a
+    /// *contiguous* node range (the paper's stated limitation); Myrinet has
+    /// no hardware broadcast at all.
+    fn supports_hw_broadcast(&self, root: NodeId, nodes: &[NodeId]) -> bool {
+        let _ = (root, nodes);
+        false
+    }
+
+    /// Validate a node id against this topology.
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.0 < self.num_nodes(),
+            "node {node} out of range for {}-node topology",
+            self.num_nodes()
+        );
+    }
+}
+
+/// Returns true when the sorted node ids form one contiguous run.
+pub fn is_contiguous(nodes: &[NodeId]) -> bool {
+    if nodes.is_empty() {
+        return false;
+    }
+    let mut ids: Vec<usize> = nodes.iter().map(|n| n.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len() == nodes.len() && ids[ids.len() - 1] - ids[0] + 1 == ids.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(ids: &[usize]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        assert!(is_contiguous(&n(&[0, 1, 2, 3])));
+        assert!(is_contiguous(&n(&[5, 3, 4])));
+        assert!(is_contiguous(&n(&[7])));
+        assert!(!is_contiguous(&n(&[0, 2, 3])));
+        assert!(!is_contiguous(&n(&[1, 1, 2])));
+        assert!(!is_contiguous(&n(&[])));
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

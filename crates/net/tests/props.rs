@@ -1,0 +1,104 @@
+//! Property tests for the network models: hop metrics behave like metrics,
+//! contention only ever delays, and loss respects its probability bounds.
+
+use nicbar_net::{
+    FabricCore, LinkTiming, NodeId, Permutation, QuaternaryFatTree, Topology, WormholeClos,
+};
+use nicbar_sim::{SimRng, SimTime};
+use proptest::prelude::*;
+
+fn topologies(n: usize) -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(WormholeClos::myrinet2000(n)),
+        Box::new(QuaternaryFatTree::new(n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hop counts are symmetric, zero iff loopback, and within the
+    /// diameter.
+    #[test]
+    fn hops_form_a_sane_metric(
+        n in 2usize..600,
+        a_seed in 0usize..600,
+        b_seed in 0usize..600,
+    ) {
+        let a = NodeId(a_seed % n);
+        let b = NodeId(b_seed % n);
+        for topo in topologies(n) {
+            let h = topo.hops(a, b);
+            prop_assert_eq!(h, topo.hops(b, a));
+            prop_assert_eq!(h == 0, a == b);
+            prop_assert!(h <= topo.diameter());
+        }
+    }
+
+    /// Contention never makes a packet arrive earlier than uncontended
+    /// routing, and arrivals at one port are strictly serialized.
+    #[test]
+    fn contention_only_delays(
+        n_senders in 2usize..8,
+        bytes in 0u32..512,
+    ) {
+        let n = 8;
+        let mut f = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(n)),
+            LinkTiming::myrinet2000(),
+            100,
+        );
+        let mut rng = SimRng::new(1);
+        let base = LinkTiming::myrinet2000().latency(1, bytes);
+        let mut arrivals = Vec::new();
+        for s in 1..=n_senders {
+            let d = f.send(SimTime::ZERO, NodeId(s), NodeId(0), bytes, &mut rng);
+            prop_assert!(d.arrive >= base);
+            arrivals.push(d.arrive);
+        }
+        for w in arrivals.windows(2) {
+            prop_assert!(w[1] > w[0], "port serialization violated");
+        }
+    }
+
+    /// Loss injection stays within generous binomial bounds.
+    #[test]
+    fn loss_rate_tracks_probability(p in 0.05f64..0.5, seed in 0u64..100) {
+        let mut f = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(2)),
+            LinkTiming::myrinet2000(),
+            0,
+        );
+        f.set_drop_prob(p);
+        let mut rng = SimRng::new(seed);
+        let trials = 2_000u64;
+        let mut dropped = 0u64;
+        for i in 0..trials {
+            let t = SimTime::from_us_int(i * 10);
+            if f.send(t, NodeId(0), NodeId(1), 8, &mut rng).dropped {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / trials as f64;
+        // ±5 standard deviations of a binomial.
+        let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+        prop_assert!(
+            (rate - p).abs() < 5.0 * sigma + 0.01,
+            "rate {rate:.3} vs p {p:.3}"
+        );
+    }
+
+    /// Random permutations are bijections and seed-stable.
+    #[test]
+    fn permutations_are_bijective(n in 1usize..64, extra in 0usize..32, seed in 0u64..1000) {
+        let cluster = n + extra;
+        let p1 = Permutation::random(n, cluster, &mut SimRng::new(seed));
+        let p2 = Permutation::random(n, cluster, &mut SimRng::new(seed));
+        prop_assert_eq!(&p1, &p2);
+        let mut nodes: Vec<usize> = p1.nodes().iter().map(|x| x.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), n);
+        prop_assert!(nodes.iter().all(|&x| x < cluster));
+    }
+}

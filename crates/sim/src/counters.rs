@@ -1,0 +1,173 @@
+//! Named statistics counters.
+//!
+//! The protocol claims in the paper are partly *count* claims — e.g. the
+//! NIC-based collective protocol "reduces the number of total packets by
+//! half" because ACKs are replaced by receiver-driven NACKs. Components bump
+//! named counters through [`crate::Ctx::count`]; tests snapshot/diff them to
+//! verify those claims per barrier iteration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named monotonically increasing `u64` counters.
+///
+/// Keys are `&'static str` so call sites stay allocation-free; a `BTreeMap`
+/// keeps reports deterministically ordered.
+#[derive(Default, Clone)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+/// An immutable snapshot of a [`Counters`] set, used to compute deltas over a
+/// region of simulated time (e.g. one barrier iteration).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Create an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` to counter `key` (creating it at zero first if needed).
+    #[inline]
+    pub fn add(&mut self, key: &'static str, amount: u64) {
+        *self.map.entry(key).or_insert(0) += amount;
+    }
+
+    /// Increment counter `key` by one.
+    #[inline]
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (zero if never bumped).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Freeze the current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            map: self.map.clone(),
+        }
+    }
+
+    /// Difference `self - earlier` per key. Keys absent from `earlier` count
+    /// from zero. Panics in debug builds if any counter ran backwards (they
+    /// are monotone by construction).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.map {
+            let before = earlier.map.get(k).copied().unwrap_or(0);
+            debug_assert!(*v >= before, "counter {k} ran backwards");
+            let delta = v.saturating_sub(before);
+            if delta > 0 {
+                out.insert(*k, delta);
+            }
+        }
+        CounterSnapshot { map: out }
+    }
+
+    /// Remove every counter.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl CounterSnapshot {
+    /// Value of `key` in this snapshot (zero if absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// True if no counter moved.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Debug for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k:<32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("pkt"), 0);
+        c.bump("pkt");
+        c.add("pkt", 4);
+        assert_eq!(c.get("pkt"), 5);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let mut c = Counters::new();
+        c.add("pkt", 10);
+        c.add("ack", 3);
+        let snap = c.snapshot();
+        c.add("pkt", 7);
+        c.add("nack", 1);
+        let d = c.since(&snap);
+        assert_eq!(d.get("pkt"), 7);
+        assert_eq!(d.get("ack"), 0);
+        assert_eq!(d.get("nack"), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let mut c = Counters::new();
+        c.add("x", 2);
+        let s = c.snapshot();
+        assert!(c.since(&s).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.bump("zeta");
+        c.bump("alpha");
+        c.bump("mid");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Counters::new();
+        c.bump("a");
+        c.clear();
+        assert_eq!(c.get("a"), 0);
+    }
+}

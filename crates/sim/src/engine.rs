@@ -1,0 +1,627 @@
+//! The discrete-event scheduler.
+//!
+//! An [`Engine`] owns a set of [`Component`]s and a priority queue of typed
+//! events. Each simulator in the workspace (GM/Myrinet, Elan/Quadrics)
+//! instantiates `Engine<M>` with its own message enum `M`, so event payloads
+//! are statically typed — no `Any` downcasts on the hot path.
+//!
+//! ## Determinism
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a global insertion
+//! counter. Ties in simulated time therefore resolve in scheduling order,
+//! which — combined with the seeded [`SimRng`] — makes runs bit-for-bit
+//! reproducible. The integration test suite relies on this to compare whole
+//! counter sets across reruns.
+
+use crate::counters::Counters;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceRecord};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Index of a component within an [`Engine`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ComponentId(pub usize);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Object-safe `Any` access for components, so tests and harnesses can reach
+/// into a concrete component after a run (`Engine::component_mut`).
+pub trait AsAny {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: 'static> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An actor in the simulation. Components receive events through
+/// [`Component::handle`] and react by scheduling further events via the
+/// [`Ctx`]; they must not share mutable state by any other means.
+pub trait Component<M>: AsAny {
+    /// Process one event addressed to this component.
+    fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+}
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    target: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Handle given to a component while it processes an event.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: ComponentId,
+    pending: &'a mut Vec<(SimTime, ComponentId, M)>,
+    rng: &'a mut SimRng,
+    trace: &'a mut Trace,
+    counters: &'a mut Counters,
+    halt: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Id of the component currently handling the event.
+    #[inline]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedule `msg` for `target` after `delay` (possibly zero; zero-delay
+    /// events are still delivered after the current handler returns, in
+    /// scheduling order).
+    #[inline]
+    pub fn send(&mut self, delay: SimTime, target: ComponentId, msg: M) {
+        self.pending.push((self.now + delay, target, msg));
+    }
+
+    /// Schedule `msg` for an absolute time `at` (must not be in the past).
+    #[inline]
+    pub fn send_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.pending.push((at.max(self.now), target, msg));
+    }
+
+    /// Schedule `msg` for this component after `delay`.
+    #[inline]
+    pub fn send_self(&mut self, delay: SimTime, msg: M) {
+        self.send(delay, self.self_id, msg);
+    }
+
+    /// Simulation-wide RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Bump a named counter.
+    #[inline]
+    pub fn count(&mut self, key: &'static str, amount: u64) {
+        self.counters.add(key, amount);
+    }
+
+    /// Read a named counter (rarely needed by components; used by
+    /// self-monitoring harness components).
+    #[inline]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key)
+    }
+
+    /// Emit a trace record attributed to this component.
+    #[inline]
+    pub fn trace(&mut self, label: &'static str, a: u64, b: u64) {
+        self.trace.emit(TraceRecord {
+            time: self.now,
+            component: self.self_id,
+            label,
+            a,
+            b,
+        });
+    }
+
+    /// Stop the engine after the current handler returns. Pending events are
+    /// retained (the engine can be resumed with another `run*` call).
+    #[inline]
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// Outcome of a bounded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Idle,
+    /// A component called [`Ctx::halt`].
+    Halted,
+    /// The deadline passed with events still pending.
+    DeadlineReached,
+    /// The event-count budget was exhausted with events still pending.
+    BudgetExhausted,
+}
+
+/// A deterministic discrete-event simulation engine over message type `M`.
+pub struct Engine<M: 'static> {
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    queue: BinaryHeap<Entry<M>>,
+    pending: Vec<(SimTime, ComponentId, M)>,
+    seq: u64,
+    now: SimTime,
+    rng: SimRng,
+    trace: Trace,
+    counters: Counters,
+    halted: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Engine<M> {
+    /// Create an engine whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            pending: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            trace: Trace::disabled(),
+            counters: Counters::new(),
+            halted: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Reserve a component slot, returning its id. Useful when components
+    /// need each other's ids at construction time; fill the slot later with
+    /// [`Engine::install`].
+    pub fn reserve_id(&mut self) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(None);
+        id
+    }
+
+    /// Install a component into a reserved slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied.
+    pub fn install<C: Component<M> + 'static>(&mut self, id: ComponentId, component: C) {
+        assert!(
+            self.components[id.0].is_none(),
+            "component slot {id} already occupied"
+        );
+        self.components[id.0] = Some(Box::new(component));
+    }
+
+    /// Add a component, returning its id (reserve + install in one step).
+    pub fn add<C: Component<M> + 'static>(&mut self, component: C) -> ComponentId {
+        let id = self.reserve_id();
+        self.install(id, component);
+        id
+    }
+
+    /// Number of component slots (installed or reserved).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if no components exist.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Inject an event from outside the simulation at absolute time `at`
+    /// (must be `>= now`).
+    pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        assert!(at >= self.now, "scheduling into the past");
+        self.push(at, target, msg);
+    }
+
+    /// Inject an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, msg: M) {
+        self.push(self.now + delay, target, msg);
+    }
+
+    fn push(&mut self, time: SimTime, target: ComponentId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            target,
+            msg,
+        });
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The engine-wide counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access to counters (harness use: clearing between phases).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// The trace ring.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enable tracing with the default capacity.
+    pub fn enable_trace(&mut self) {
+        self.trace.enable();
+    }
+
+    /// Mutable access to the trace (clearing between phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The engine RNG (harness use: drawing workload randomness from the
+    /// same master seed).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Downcast access to a concrete component, for post-run inspection.
+    pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        // `as_deref` yields `&dyn Component<M>` so `as_any` dispatches through
+        // the vtable to the concrete type (calling it on the `Box` directly
+        // would match the blanket impl for the box itself).
+        self.components[id.0]
+            .as_deref()
+            .and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcast mutable access to a concrete component.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.components[id.0]
+            .as_deref_mut()
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Deliver the single earliest event. Returns `false` if the queue was
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics if the event targets an empty component slot.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.events_processed += 1;
+        let mut component = self.components[entry.target.0]
+            .take()
+            .unwrap_or_else(|| panic!("event for uninstalled component {}", entry.target));
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: entry.target,
+                pending: &mut self.pending,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                counters: &mut self.counters,
+                halt: &mut self.halted,
+            };
+            component.handle(entry.msg, &mut ctx);
+        }
+        self.components[entry.target.0] = Some(component);
+        // Drain handler-scheduled events into the heap in FIFO order so that
+        // same-time events keep the order the handler issued them in. Done
+        // outside the Ctx borrow; the buffer's allocation is recycled.
+        let mut pending = std::mem::take(&mut self.pending);
+        for (time, target, msg) in pending.drain(..) {
+            self.push(time, target, msg);
+        }
+        self.pending = pending;
+        true
+    }
+
+    /// Run until the queue drains or a component halts. Returns the final
+    /// simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_bounded(SimTime::MAX, u64::MAX);
+        self.now
+    }
+
+    /// Run until `deadline` (inclusive), the queue drains, or a component
+    /// halts.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_bounded(deadline, u64::MAX)
+    }
+
+    /// Run with both a time deadline and an event-count budget — the budget
+    /// guards tests against accidental event storms (a protocol bug that
+    /// retransmits forever should fail fast, not hang).
+    pub fn run_bounded(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        self.halted = false;
+        let mut budget = max_events;
+        loop {
+            if self.halted {
+                return RunOutcome::Halted;
+            }
+            let Some(next) = self.queue.peek() else {
+                return RunOutcome::Idle;
+            };
+            if next.time > deadline {
+                return RunOutcome::DeadlineReached;
+            }
+            if budget == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            budget -= 1;
+            self.step();
+        }
+    }
+
+    /// Earliest pending event time, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Msg {
+        Tick(u32),
+        Record(u32),
+        Stop,
+    }
+
+    /// Sends `Record(i)` to a sink every microsecond, `n` times, then stops
+    /// the engine.
+    struct Ticker {
+        sink: ComponentId,
+        remaining: u32,
+    }
+
+    impl Component<Msg> for Ticker {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Tick(i) => {
+                    ctx.send(SimTime::ZERO, self.sink, Msg::Record(i));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.send_self(SimTime::MICROSECOND, Msg::Tick(i + 1));
+                    } else {
+                        ctx.send(SimTime::ZERO, self.sink, Msg::Stop);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    struct Sink {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl Component<Msg> for Sink {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Record(i) => {
+                    ctx.count("records", 1);
+                    ctx.trace("record", i as u64, 0);
+                    self.seen.push((ctx.now(), i));
+                }
+                Msg::Stop => ctx.halt(),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn build(n: u32) -> (Engine<Msg>, ComponentId, ComponentId) {
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let ticker_id = engine.reserve_id();
+        let sink_id = engine.reserve_id();
+        engine.install(
+            ticker_id,
+            Ticker {
+                sink: sink_id,
+                remaining: n,
+            },
+        );
+        engine.install(sink_id, Sink { seen: Vec::new() });
+        engine.schedule_at(SimTime::ZERO, ticker_id, Msg::Tick(0));
+        (engine, ticker_id, sink_id)
+    }
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let (mut engine, _, sink) = build(4);
+        assert_eq!(engine.run_until(SimTime::MAX), RunOutcome::Halted);
+        let sink = engine.component_ref::<Sink>(sink).unwrap();
+        let times: Vec<u64> = sink.seen.iter().map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![0, 1_000, 2_000, 3_000, 4_000]);
+        let ids: Vec<u32> = sink.seen.iter().map(|(_, i)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_resolve_in_scheduling_order() {
+        struct Collector {
+            order: Vec<u32>,
+        }
+        impl Component<Msg> for Collector {
+            fn handle(&mut self, msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
+                if let Msg::Record(i) = msg {
+                    self.order.push(i);
+                }
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let c = engine.add(Collector { order: Vec::new() });
+        // All at t=5us, scheduled 3,1,2 — must deliver 3,1,2.
+        for i in [3u32, 1, 2] {
+            engine.schedule_at(SimTime::from_us(5.0), c, Msg::Record(i));
+        }
+        engine.run();
+        assert_eq!(
+            engine.component_ref::<Collector>(c).unwrap().order,
+            vec![3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn handler_scheduled_ties_keep_issue_order() {
+        struct Burst {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for Burst {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                for i in 0..5 {
+                    ctx.send(SimTime::from_us(1.0), self.sink, Msg::Record(i));
+                }
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink_id = engine.reserve_id();
+        let burst_id = engine.reserve_id();
+        engine.install(sink_id, Sink { seen: Vec::new() });
+        engine.install(burst_id, Burst { sink: sink_id });
+        engine.schedule_at(SimTime::ZERO, burst_id, Msg::Tick(0));
+        engine.run();
+        let ids: Vec<u32> = engine
+            .component_ref::<Sink>(sink_id)
+            .unwrap()
+            .seen
+            .iter()
+            .map(|(_, i)| *i)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_deadline_stops_early() {
+        let (mut engine, _, _) = build(100);
+        let outcome = engine.run_until(SimTime::from_us(10.5));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(engine.now(), SimTime::from_us(10.0));
+        assert!(engine.pending_events() > 0);
+        // Resume to completion.
+        assert_eq!(engine.run_until(SimTime::MAX), RunOutcome::Halted);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let (mut engine, _, _) = build(1000);
+        let outcome = engine.run_bounded(SimTime::MAX, 10);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(engine.events_processed(), 10);
+    }
+
+    #[test]
+    fn queue_drain_reports_idle() {
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink = engine.add(Sink { seen: Vec::new() });
+        engine.schedule_at(SimTime::from_us(1.0), sink, Msg::Record(7));
+        assert_eq!(engine.run_until(SimTime::MAX), RunOutcome::Idle);
+        assert_eq!(engine.now(), SimTime::from_us(1.0));
+    }
+
+    #[test]
+    fn counters_and_trace_capture_activity() {
+        let (mut engine, _, _) = build(9);
+        engine.enable_trace();
+        engine.run();
+        assert_eq!(engine.counters().get("records"), 10);
+        assert_eq!(engine.trace().count("record"), 10);
+    }
+
+    #[test]
+    fn component_downcast() {
+        let (mut engine, ticker, sink) = build(1);
+        engine.run();
+        assert!(engine.component_ref::<Sink>(sink).is_some());
+        assert!(engine.component_ref::<Ticker>(sink).is_none());
+        assert!(engine.component_mut::<Ticker>(ticker).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_install_panics() {
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let id = engine.add(Sink { seen: Vec::new() });
+        engine.install(id, Sink { seen: Vec::new() });
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let (mut engine, ticker, _) = build(3);
+        engine.run();
+        engine.schedule_at(SimTime::ZERO, ticker, Msg::Tick(0));
+    }
+
+    #[test]
+    fn determinism_across_reruns() {
+        let run = || {
+            let (mut engine, _, sink) = build(50);
+            engine.run();
+            let sink = engine.component_ref::<Sink>(sink).unwrap();
+            (engine.now(), engine.events_processed(), sink.seen.clone())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,181 @@
+//! Seeded, forkable randomness for reproducible simulations.
+//!
+//! Every stochastic decision in a simulation (packet drops, benchmark skew,
+//! node permutations) draws from a [`SimRng`] derived from the run's master
+//! seed. ChaCha8 is a counter-based generator, so forked sub-streams are
+//! independent and the whole run replays bit-for-bit from the seed — the
+//! property the determinism integration tests assert.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random number generator owned by a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator (or its root ancestor) was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent sub-stream, e.g. one per NIC or one per
+    /// benchmark iteration. Streams with different `stream` values never
+    /// overlap regardless of how much either is consumed.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let mut inner = ChaCha8Rng::seed_from_u64(self.seed);
+        inner.set_stream(stream);
+        SimRng {
+            inner,
+            seed: self.seed,
+        }
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice (used for the paper's random node
+    /// permutations).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        // rand's SliceRandom would also work; implemented inline so the only
+        // RNG entry points are the methods of this type (easier to audit
+        // determinism).
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "seeds 7 and 8 produced near-identical streams");
+    }
+
+    #[test]
+    fn forks_are_independent_and_reproducible() {
+        let root = SimRng::new(99);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let mut f1_again = root.fork(1);
+        let s1: Vec<u64> = (0..16).map(|_| f1.next_u64()).collect();
+        let s2: Vec<u64> = (0..16).map(|_| f2.next_u64()).collect();
+        let s1b: Vec<u64> = (0..16).map(|_| f1_again.next_u64()).collect();
+        assert_eq!(s1, s1b, "re-forking the same stream must replay it");
+        assert_ne!(s1, s2, "different streams must differ");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(2);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(4);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // With 64 elements the identity permutation is vanishingly unlikely.
+        assert_ne!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_f64_degenerate() {
+        let mut r = SimRng::new(5);
+        assert_eq!(r.range_f64(3.0, 3.0), 3.0);
+        let x = r.range_f64(1.0, 2.0);
+        assert!((1.0..2.0).contains(&x));
+    }
+}

@@ -1,0 +1,237 @@
+//! Virtual time.
+//!
+//! All simulated latencies are kept in integer nanoseconds. The paper reports
+//! barrier latencies in microseconds, so [`SimTime`] carries µs conversion
+//! helpers; nanosecond integer arithmetic keeps event ordering exact (no FP
+//! accumulation error across the 10⁴-iteration benchmark loops).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic never distinguishes the two, mirroring plain `u64` ns counters
+/// in production event-driven simulators.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero / the empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// One nanosecond.
+    pub const NANOSECOND: SimTime = SimTime(1);
+    /// One microsecond.
+    pub const MICROSECOND: SimTime = SimTime(1_000);
+    /// One millisecond.
+    pub const MILLISECOND: SimTime = SimTime(1_000_000);
+    /// One second.
+    pub const SECOND: SimTime = SimTime(1_000_000_000);
+    /// The far future; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from integer nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from (possibly fractional) microseconds, rounding to the
+    /// nearest nanosecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        if us <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime((us * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_us_int(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds as a raw integer.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (the unit the paper reports in).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale a duration by a float factor (used when deriving per-cluster
+    /// parameter sets, e.g. NIC cycle costs scaled by clock ratio).
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// True if this is the zero time/duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_ns(1_500).as_ns(), 1_500);
+        assert_eq!(SimTime::from_us(1.5).as_ns(), 1_500);
+        assert_eq!(SimTime::from_us_int(3).as_ns(), 3_000);
+        assert!((SimTime::from_ns(2_750).as_us() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_us_rounds_to_nearest_ns() {
+        assert_eq!(SimTime::from_us(0.0004).as_ns(), 0);
+        assert_eq!(SimTime::from_us(0.0006).as_ns(), 1);
+        assert_eq!(SimTime::from_us(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(2.0);
+        let b = SimTime::from_us(0.5);
+        assert_eq!(a + b, SimTime::from_us(2.5));
+        assert_eq!(a - b, SimTime::from_us(1.5));
+        assert_eq!(a * 3, SimTime::from_us(6.0));
+        assert_eq!(a / 4, SimTime::from_us(0.5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_us(1.5)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn min_max_scale() {
+        let a = SimTime::from_us(2.0);
+        let b = SimTime::from_us(3.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.scale(1.5), SimTime::from_us(3.0));
+        assert_eq!(a.scale(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimTime = [1.0, 2.0, 3.5].iter().map(|&us| SimTime::from_us(us)).sum();
+        assert_eq!(total, SimTime::from_us(6.5));
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", SimTime::from_us(5.6)), "5.600us");
+        assert_eq!(format!("{:?}", SimTime::from_ns(123)), "0.123us");
+    }
+}
