@@ -6,7 +6,7 @@
 //! log-depth barriers beat as N grows.
 
 use crate::{spin_wait, ShmBarrier};
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The classic central barrier with sense reversal.

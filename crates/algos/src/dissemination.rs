@@ -8,7 +8,7 @@
 //! NIC protocol implements with event counters.
 
 use crate::{ceil_log2, spin_wait, ShmBarrier};
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 struct ThreadState {
@@ -28,18 +28,17 @@ struct ThreadState {
 ///
 /// let barrier = DisseminationBarrier::new(4);
 /// let turns = AtomicUsize::new(0);
-/// crossbeam::scope(|s| {
+/// std::thread::scope(|s| {
 ///     for tid in 0..4 {
 ///         let (barrier, turns) = (&barrier, &turns);
-///         s.spawn(move |_| {
+///         s.spawn(move || {
 ///             turns.fetch_add(1, Ordering::SeqCst);
 ///             barrier.wait(tid);
 ///             // Everyone has incremented by the time anyone returns.
 ///             assert_eq!(turns.load(Ordering::SeqCst), 4);
 ///         });
 ///     }
-/// })
-/// .unwrap();
+/// });
 /// ```
 pub struct DisseminationBarrier {
     n: usize,

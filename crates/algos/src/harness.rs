@@ -15,31 +15,33 @@ pub fn exercise<B: ShmBarrier + ?Sized>(barrier: &B, iterations: usize) -> Resul
     let epochs: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
     let failures: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
 
-    crossbeam::scope(|scope| {
-        for tid in 0..n {
-            let epochs = &epochs;
-            let failures = &failures;
-            scope.spawn(move |_| {
-                for iter in 1..=iterations {
-                    epochs[tid].store(iter, Ordering::Release);
-                    barrier.wait(tid);
-                    for (peer, e) in epochs.iter().enumerate() {
-                        let seen = e.load(Ordering::Acquire);
-                        if seen < iter {
-                            // Record the earliest violation; keep running so
-                            // the other threads don't deadlock.
-                            let _ = failures[tid].compare_exchange(
-                                usize::MAX,
-                                peer * 1_000_000 + iter,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            );
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for tid in 0..n {
+                let epochs = &epochs;
+                let failures = &failures;
+                scope.spawn(move || {
+                    for iter in 1..=iterations {
+                        epochs[tid].store(iter, Ordering::Release);
+                        barrier.wait(tid);
+                        for (peer, e) in epochs.iter().enumerate() {
+                            let seen = e.load(Ordering::Acquire);
+                            if seen < iter {
+                                // Record the earliest violation; keep running
+                                // so the other threads don't deadlock.
+                                let _ = failures[tid].compare_exchange(
+                                    usize::MAX,
+                                    peer * 1_000_000 + iter,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                            }
                         }
                     }
-                }
-            });
-        }
-    })
+                });
+            }
+        });
+    }))
     .map_err(|_| "a barrier thread panicked".to_string())?;
 
     for (tid, f) in failures.iter().enumerate() {

@@ -28,6 +28,7 @@ pub mod central;
 pub mod dissemination;
 pub mod harness;
 pub mod mcs_tree;
+pub mod pad;
 pub mod pairwise;
 pub mod tournament;
 
@@ -58,7 +59,7 @@ pub(crate) fn spin_wait<F: Fn() -> bool>(ready: F) {
     while !ready() {
         std::hint::spin_loop();
         spins += 1;
-        if spins % 256 == 0 {
+        if spins.is_multiple_of(256) {
             std::thread::yield_now();
         }
     }

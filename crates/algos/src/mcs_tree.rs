@@ -8,7 +8,7 @@
 //! re-arm-before-signal trick standing in for epoch banking.
 
 use crate::{spin_wait, ShmBarrier};
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 const ARITY: usize = 4;

@@ -1,0 +1,67 @@
+//! Cache-line padding for contended atomics.
+//!
+//! A minimal stand-in for `crossbeam_utils::CachePadded` (the build
+//! environment is offline): aligning each flag to 128 bytes keeps every
+//! per-thread slot on its own cache line — 128 rather than 64 to cover
+//! adjacent-line prefetching on modern x86 and the 128-byte lines of some
+//! aarch64 parts.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so neighbouring values never share a
+/// cache line (no false sharing between per-thread barrier flags).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap a value in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap, discarding the padding.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_size() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+
+    #[test]
+    fn deref_round_trips() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

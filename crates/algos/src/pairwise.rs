@@ -7,7 +7,7 @@
 //! and a post-step releasing the high threads — `⌊log₂N⌋ + 2` steps.
 
 use crate::{floor_log2, spin_wait, ShmBarrier};
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 struct ThreadState {

@@ -8,7 +8,7 @@
 //! paper's NIC schedules) amenable to pre-armed triggers.
 
 use crate::{ceil_log2, spin_wait, ShmBarrier};
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Per-round role of a thread.

@@ -13,16 +13,15 @@ const EPISODES: usize = 1000;
 /// Run `EPISODES` barrier episodes over `barrier` with its thread count.
 fn episodes<B: ShmBarrier>(barrier: &B) {
     let n = barrier.num_threads();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for tid in 0..n {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..EPISODES {
                     barrier.wait(tid);
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 fn bench_barriers(c: &mut Criterion) {

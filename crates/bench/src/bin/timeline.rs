@@ -43,10 +43,7 @@ fn main() {
     cluster.engine.enable_trace();
     let t0 = cluster.engine.now();
     cluster.run_until(SimTime::MAX);
-    println!(
-        "{:>10}  {:>5}  {:<12}  {}",
-        "t(µs)", "comp", "event", "detail"
-    );
+    println!("     t(µs)   comp  event         detail");
     for r in cluster.engine.trace().iter() {
         let rel = r.time.saturating_sub(t0).as_us();
         let detail = match r.label {
@@ -90,7 +87,7 @@ fn main() {
     let mut cluster = GmCluster::build(spec, apps, colls);
     cluster.engine.enable_trace();
     cluster.run_until(SimTime::from_us(1_000.0));
-    println!("{:>10}  {:>5}  {:<12}  {}", "t(µs)", "comp", "event", "detail");
+    println!("     t(µs)   comp  event         detail");
     for r in cluster.engine.trace().iter() {
         let detail = match r.label {
             "coll.bypass" => format!("collective packet to node {} (static path)", r.a),

@@ -1,0 +1,202 @@
+//! A tiny pretty-printing JSON writer.
+//!
+//! The build environment is offline, so `serde_json` is unavailable; the
+//! bench outputs are flat figure/series records, for which a push-down
+//! writer is entirely sufficient. Output is valid JSON with two-space
+//! indentation.
+
+/// Incremental JSON writer. Call the `open_*`/`close_*`/value methods in
+/// document order; commas and indentation are inserted automatically.
+#[derive(Default)]
+pub struct Writer {
+    out: String,
+    depth: usize,
+    /// Whether a value has already been written at the current nesting level
+    /// (controls comma insertion).
+    has_item: Vec<bool>,
+    /// A field name was just written; the next value goes on the same line.
+    after_field: bool,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_field {
+            self.after_field = false;
+            return;
+        }
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn close_container(&mut self, close: char) {
+        self.depth -= 1;
+        if self.has_item.pop() == Some(true) {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(close);
+    }
+
+    /// Begin an object (`{`).
+    pub fn open_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// End the current object (`}`).
+    pub fn close_object(&mut self) {
+        self.close_container('}');
+    }
+
+    /// Begin an array (`[`).
+    pub fn open_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// End the current array (`]`). Short arrays of plain numbers stay on
+    /// one line.
+    pub fn close_array(&mut self) {
+        self.close_container(']');
+    }
+
+    /// Write an object field name; the next write supplies its value.
+    pub fn field(&mut self, name: &str) {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\": ");
+        self.after_field = true;
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+    }
+
+    /// Write a numeric value. Integral floats print without an exponent or
+    /// trailing fraction noise; non-finite values become `null` (JSON has no
+    /// NaN/Infinity).
+    pub fn number(&mut self, v: f64) {
+        self.pre_value();
+        self.out.push_str(&render_number(v));
+    }
+
+    /// Write an array of numbers inline on one line: `[2, 1.5]`.
+    pub fn compact_array(&mut self, values: &[f64]) {
+        self.pre_value();
+        self.out.push('[');
+        for (i, &v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&render_number(v));
+        }
+        self.out.push(']');
+    }
+
+    /// Write an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&format!("{v}"));
+    }
+
+    /// Finish, returning the document (with a trailing newline).
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+fn render_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_fields() {
+        let mut w = Writer::new();
+        w.open_object();
+        w.field("a");
+        w.number(1.0);
+        w.field("b");
+        w.string("x\"y");
+        w.close_object();
+        let doc = w.finish();
+        assert_eq!(doc, "{\n  \"a\": 1,\n  \"b\": \"x\\\"y\"\n}\n");
+    }
+
+    #[test]
+    fn compact_array_stays_inline() {
+        let mut w = Writer::new();
+        w.open_array();
+        w.compact_array(&[2.0, 1.5]);
+        w.compact_array(&[4.0, 3.25]);
+        w.close_array();
+        let doc = w.finish();
+        assert!(doc.contains("[2, 1.5]"), "got: {doc}");
+        assert!(doc.contains("[4, 3.25]"), "got: {doc}");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        let mut w = Writer::new();
+        w.open_array();
+        w.number(f64::NAN);
+        w.close_array();
+        assert!(w.finish().contains("null"));
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut w = Writer::new();
+        w.open_object();
+        w.close_object();
+        assert_eq!(w.finish(), "{}\n");
+    }
+}

@@ -1,21 +1,24 @@
 //! # nicbar-bench — the harness that regenerates the paper's evaluation
 //!
 //! One binary per figure (`fig5`, `fig6`, `fig7`, `fig8`), the headline
-//! table (`table1`), and the feature ablation (`ablation`). Each binary
-//! prints the paper's series side by side with the simulated ones and
-//! writes machine-readable JSON under `results/`.
+//! table (`table1`), the feature ablation (`ablation`), and the engine
+//! throughput harness (`engine_sweep`). Each binary prints the paper's
+//! series side by side with the simulated ones and writes machine-readable
+//! JSON under `results/`.
 //!
-//! Criterion benches (`benches/figures.rs`, `benches/shm.rs`) exercise the
-//! same code paths under `cargo bench`.
+//! Criterion benches (`benches/figures.rs`, `benches/shm.rs`,
+//! `benches/engine.rs`) exercise the same code paths under `cargo bench`.
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
+pub mod json;
+pub mod seed_engine;
+
 /// One labelled curve of `(n, latency_us)` points.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Curve label (e.g. "NIC-DS").
     pub label: String,
@@ -39,7 +42,7 @@ impl Series {
 }
 
 /// A complete figure: title plus series, serialized to `results/`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Figure identifier ("fig5", ...).
     pub id: String,
@@ -89,36 +92,79 @@ impl Figure {
         }
     }
 
+    /// Render as JSON (the same shape `serde_json` used to emit for the
+    /// derive: `points` as arrays of `[n, latency]` pairs).
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.open_object();
+        w.field("id");
+        w.string(&self.id);
+        w.field("title");
+        w.string(&self.title);
+        w.field("series");
+        w.open_array();
+        for s in &self.series {
+            w.open_object();
+            w.field("label");
+            w.string(&s.label);
+            w.field("points");
+            w.open_array();
+            for &(n, v) in &s.points {
+                w.compact_array(&[n as f64, v]);
+            }
+            w.close_array();
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+        w.finish()
+    }
+
     /// Write JSON to `results/<id>.json` (creating the directory).
     pub fn save(&self) -> std::io::Result<()> {
         let dir = Path::new("results");
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("figure serializes");
-        f.write_all(json.as_bytes())?;
+        f.write_all(self.to_json().as_bytes())?;
         println!("[saved {}]", path.display());
         Ok(())
     }
 }
 
-/// Run `f` for every `n` in parallel (one OS thread per point — each point
-/// is an independent deterministic simulation).
+/// Run `f` for every `n` in parallel. Each point is an independent
+/// deterministic simulation, so the work is shared across at most
+/// `available_parallelism` OS threads pulling indices from an atomic work
+/// queue — a 40-point sweep no longer spawns 40 threads.
 pub fn parallel_sweep<F>(ns: &[usize], f: F) -> Vec<(usize, f64)>
 where
     F: Fn(usize) -> f64 + Sync,
 {
-    let mut out: Vec<(usize, f64)> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = ns
-            .iter()
-            .map(|&n| {
-                let f = &f;
-                scope.spawn(move |_| (n, f(n)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if ns.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(ns.len());
+    let next = AtomicUsize::new(0);
+    let merged = std::sync::Mutex::new(Vec::with_capacity(ns.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&n) = ns.get(i) else { break };
+                    local.push((n, f(n)));
+                }
+                merged.lock().expect("sweep worker panicked").extend(local);
+            });
+        }
+    });
+    let mut out = merged.into_inner().expect("sweep worker panicked");
     out.sort_by_key(|&(n, _)| n);
     out
 }
@@ -163,6 +209,14 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_handles_more_points_than_cores() {
+        let ns: Vec<usize> = (1..=97).collect();
+        let pts = parallel_sweep(&ns, |n| n as f64);
+        assert_eq!(pts.len(), 97);
+        assert!(pts.iter().all(|&(n, v)| v == n as f64));
+    }
+
+    #[test]
     fn figure_print_does_not_panic() {
         let fig = Figure::new(
             "t",
@@ -173,5 +227,14 @@ mod tests {
             ],
         );
         fig.print();
+    }
+
+    #[test]
+    fn figure_json_shape() {
+        let fig = Figure::new("t", "ti\"tle", vec![Series::new("a", vec![(2, 1.5)])]);
+        let j = fig.to_json();
+        assert!(j.contains("\"id\": \"t\""));
+        assert!(j.contains("\"ti\\\"tle\""));
+        assert!(j.contains("[2, 1.5]"), "got: {j}");
     }
 }

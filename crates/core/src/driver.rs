@@ -13,7 +13,7 @@ use nicbar_gm::{
     CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective,
 };
 use nicbar_net::{NodeId, Permutation};
-use nicbar_sim::{RunOutcome, SimRng, SimTime};
+use nicbar_sim::{RunOutcome, SchedulerKind, SimRng, SimTime};
 
 /// The collective group id used by the barrier benchmarks.
 pub const BARRIER_GROUP: GroupId = GroupId(0xBA);
@@ -36,6 +36,9 @@ pub struct RunCfg {
     pub drop_prob: f64,
     /// Place ranks on a random node permutation.
     pub permute: bool,
+    /// Engine event-queue implementation (differential testing of the
+    /// indexed scheduler against the classic binary heap).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for RunCfg {
@@ -47,6 +50,7 @@ impl Default for RunCfg {
             skew_us: 0.0,
             drop_prob: 0.0,
             permute: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -171,7 +175,8 @@ pub fn gm_nic_barrier(
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
         .with_drop_prob(cfg.drop_prob)
-        .with_features(features);
+        .with_features(features)
+        .with_scheduler(cfg.scheduler);
     let members = cfg.members(n);
     // apps/colls are indexed by *node*; rank r lives on members[r].
     let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
@@ -226,7 +231,8 @@ pub fn gm_host_barrier(
 ) -> BarrierStats {
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_drop_prob(cfg.drop_prob);
+        .with_drop_prob(cfg.drop_prob)
+        .with_scheduler(cfg.scheduler);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -267,7 +273,9 @@ pub fn elan_nic_barrier(
     algo: Algorithm,
     cfg: RunCfg,
 ) -> BarrierStats {
-    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let spec = ElanClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_scheduler(cfg.scheduler);
     let members = cfg.members(n);
     let chain_by_rank = build_chains(algo, &members);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
@@ -305,7 +313,9 @@ pub fn elan_gsync_barrier(
     degree: usize,
     cfg: RunCfg,
 ) -> BarrierStats {
-    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let spec = ElanClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_scheduler(cfg.scheduler);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -345,7 +355,8 @@ pub fn elan_gsync_barrier(
 pub fn elan_hw_barrier(params: ElanParams, n: usize, cfg: RunCfg) -> BarrierStats {
     let spec = ElanClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_hw_barrier();
+        .with_hw_barrier()
+        .with_scheduler(cfg.scheduler);
     let apps: Vec<Box<dyn ElanApp>> = (0..n)
         .map(|_| Box::new(ElanHwBarrierApp::new(cfg.total(), cfg.skew_us)) as Box<dyn ElanApp>)
         .collect();
@@ -405,7 +416,9 @@ fn elan_thread_collective(
     use crate::elan_thread::{ElanThreadApp, ThreadCollective};
     use nicbar_elan::ElanNic;
 
-    let spec = ElanClusterSpec::new(params, n).with_seed(cfg.seed);
+    let spec = ElanClusterSpec::new(params, n)
+        .with_seed(cfg.seed)
+        .with_scheduler(cfg.scheduler);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for &node in members.iter() {

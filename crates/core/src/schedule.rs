@@ -18,10 +18,9 @@
 //! [`disseminates`] checks the barrier correctness condition (every rank's
 //! entry causally precedes every rank's exit).
 
-use serde::{Deserialize, Serialize};
 
 /// One rank's plan for one round.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundPlan {
     /// Peer ranks this rank sends to in this round.
     pub sends: Vec<usize>,
@@ -41,7 +40,7 @@ pub struct RoundPlan {
 /// assert_eq!(s.rounds[0].sends, vec![1]);
 /// assert_eq!(s.rounds[2].recv_from, vec![4]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     /// Group size.
     pub n: usize,
@@ -52,7 +51,7 @@ pub struct Schedule {
 }
 
 /// The algorithm selector (paper §5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
     /// ⌈log₂N⌉ rounds; rank `i` sends to `(i + 2^m) mod N` in round `m`.
     Dissemination,
@@ -222,13 +221,13 @@ impl Schedule {
         let q = (rank + n - root) % n;
         let abs = |rel: usize| (rel + root) % n;
         let mut rounds = vec![RoundPlan::default(); rounds_total];
-        for m in 0..rounds_total {
+        for (m, round) in rounds.iter_mut().enumerate() {
             let d = 1usize << m;
             if q < d && q + d < n {
-                rounds[m].sends = vec![abs(q + d)];
+                round.sends = vec![abs(q + d)];
             }
             if q >= d && q < 2 * d {
-                rounds[m].recv_from = vec![abs(q - d)];
+                round.recv_from = vec![abs(q - d)];
             }
         }
         Schedule {

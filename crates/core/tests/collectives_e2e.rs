@@ -310,8 +310,10 @@ fn alltoall_delivers_personalized_rows() {
 fn alltoall_survives_packet_loss() {
     let n = 6;
     let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+    // Seed chosen so the 3% drop rate actually hits at least one
+    // payload-bearing collective packet under the in-tree ChaCha8 stream.
     let spec = GmClusterSpec::new(GmParams::lanai_xp(), n)
-        .with_seed(92)
+        .with_seed(2)
         .with_drop_prob(0.03);
     let mut apps: Vec<Box<dyn nicbar_gm::GmApp>> = Vec::new();
     let mut colls: Vec<Box<dyn nicbar_gm::NicCollective>> = Vec::new();

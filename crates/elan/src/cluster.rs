@@ -8,7 +8,7 @@ use crate::nic::ElanNic;
 use crate::params::ElanParams;
 use crate::types::{NicEvent, RdmaDesc};
 use nicbar_net::{FabricCore, NodeId, QuaternaryFatTree};
-use nicbar_sim::{ComponentId, Engine, RunOutcome, SimTime};
+use nicbar_sim::{ComponentId, Engine, RunOutcome, SchedulerKind, SimTime};
 
 /// Static description of an Elan cluster simulation.
 #[derive(Clone, Debug)]
@@ -21,6 +21,9 @@ pub struct ElanClusterSpec {
     pub seed: u64,
     /// Install the switch-level hardware barrier unit over all nodes.
     pub hw_barrier: bool,
+    /// Event-queue implementation for the engine (differential testing of
+    /// the indexed scheduler against the classic binary heap).
+    pub scheduler: SchedulerKind,
 }
 
 impl ElanClusterSpec {
@@ -31,6 +34,7 @@ impl ElanClusterSpec {
             n,
             seed: 0xE1A3,
             hw_barrier: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -43,6 +47,12 @@ impl ElanClusterSpec {
     /// Enable the hardware barrier unit.
     pub fn with_hw_barrier(mut self) -> Self {
         self.hw_barrier = true;
+        self
+    }
+
+    /// Select the engine's event-queue implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -84,7 +94,7 @@ impl ElanCluster {
     ) -> Self {
         assert_eq!(apps.len(), spec.n);
         assert_eq!(programs.len(), spec.n);
-        let mut engine: Engine<ElanEvent> = Engine::new(spec.seed);
+        let mut engine: Engine<ElanEvent> = Engine::with_scheduler(spec.seed, spec.scheduler);
         let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
         let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
         let fabric_id = engine.reserve_id();

@@ -3,6 +3,7 @@
 
 use crate::events::ElanEvent;
 use nicbar_net::FabricCore;
+use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx};
 
 /// The network component of an Elan cluster. QsNet delivers reliably in
@@ -45,7 +46,7 @@ impl Component<ElanEvent> for ElanFabric {
         else {
             panic!("Elan fabric got a non-Inject event");
         };
-        ctx.count("elan.wire", 1);
+        ctx.count_id(counter_id!("elan.wire"), 1);
         let delivery = {
             let now = ctx.now();
             let rng = ctx.rng();

@@ -5,6 +5,7 @@ use crate::events::ElanEvent;
 use crate::params::ElanParams;
 use crate::types::{DescId, EventId, TportTag};
 use nicbar_net::NodeId;
+use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
 use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime};
 
@@ -160,29 +161,29 @@ impl ElanHost {
             match action {
                 HostAction::Doorbell { desc } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
-                    ctx.count("elan.doorbell", 1);
+                    ctx.count_id(counter_id!("elan.doorbell"), 1);
                     ctx.send_at(t, self.nic, ElanEvent::Doorbell { desc });
                 }
                 HostAction::SetEvent { event } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
-                    ctx.count("elan.set_event", 1);
+                    ctx.count_id(counter_id!("elan.set_event"), 1);
                     ctx.send_at(t, self.nic, ElanEvent::SetEvent { event });
                 }
                 HostAction::ThreadDoorbell { value } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
-                    ctx.count("elan.thread_doorbell", 1);
+                    ctx.count_id(counter_id!("elan.thread_doorbell"), 1);
                     ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value });
                 }
                 HostAction::Tport { dst, tag, len } => {
                     let t = self.cpu(ctx.now(), self.params.host_tport_send);
-                    ctx.count("elan.host_tport", 1);
+                    ctx.count_id(counter_id!("elan.host_tport"), 1);
                     ctx.send_at(t, self.nic, ElanEvent::TportPost { dst, tag, len });
                 }
                 HostAction::HwSync => {
                     let epoch = self.hw_epoch;
                     self.hw_epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
-                    ctx.count("elan.hw_sync", 1);
+                    ctx.count_id(counter_id!("elan.hw_sync"), 1);
                     ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch });
                 }
                 HostAction::Timer { delay } => {

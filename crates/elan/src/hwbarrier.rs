@@ -20,6 +20,7 @@
 use crate::events::ElanEvent;
 use crate::params::ElanParams;
 use nicbar_net::{NodeId, Topology};
+use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
 use std::collections::HashMap;
 
@@ -87,7 +88,7 @@ impl Component<ElanEvent> for HwBarrierUnit {
             + self.params.hw_base
             + self.params.hw_per_level * u64::from(self.levels)
             + penalty;
-        ctx.count("elan.hw_barrier", 1);
+        ctx.count_id(counter_id!("elan.hw_barrier"), 1);
         for &nic in &self.nics {
             ctx.send_at(done, nic, ElanEvent::HwDone { epoch });
         }

@@ -12,6 +12,7 @@ use crate::thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
 use crate::types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD,
                    TPORT_WIRE_OVERHEAD};
 use nicbar_net::NodeId;
+use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
 
 /// The Elan3 NIC component.
@@ -81,7 +82,7 @@ impl ElanNic {
                 ThreadAction::Send { dst, tag, value } => {
                     assert_ne!(dst, self.node, "thread self-send");
                     let t = self.engine(ctx.now(), self.params.nic_desc_proc);
-                    ctx.count("elan.thread_sent", 1);
+                    ctx.count_id(counter_id!("elan.thread_sent"), 1);
                     ctx.send_at(
                         t,
                         self.fabric,
@@ -94,7 +95,7 @@ impl ElanNic {
                     );
                 }
                 ThreadAction::NotifyHost { cookie, value: _ } => {
-                    ctx.count("elan.host_notify", 1);
+                    ctx.count_id(counter_id!("elan.host_notify"), 1);
                     ctx.send_at(
                         self.engine_free + self.params.host_event_visible,
                         self.host,
@@ -116,7 +117,7 @@ impl ElanNic {
         let t = self.engine(ctx.now(), self.params.nic_desc_proc);
         let d = self.descs[desc.0 as usize].clone();
         assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
-        ctx.count("elan.rdma_sent", 1);
+        ctx.count_id(counter_id!("elan.rdma_sent"), 1);
         // Trace: descriptor launch (a = descriptor id, b = destination).
         ctx.trace("elan.fire", desc.0 as u64, d.dst.0 as u64);
         ctx.send_at(
@@ -153,7 +154,7 @@ impl ElanNic {
                         ctx.send_at(at.max(ctx.now()), ctx.self_id(), ElanEvent::FireDesc { desc: *d });
                     }
                     EventAction::NotifyHost { cookie } => {
-                        ctx.count("elan.host_notify", 1);
+                        ctx.count_id(counter_id!("elan.host_notify"), 1);
                         // Trace: completion surfaced (a = event id, b = cookie).
                         ctx.trace("elan.notify", ev.0 as u64, *cookie);
                         ctx.send_at(
@@ -190,7 +191,7 @@ impl Component<ElanEvent> for ElanNic {
             }
             ElanEvent::TportPost { dst, tag, len } => {
                 let t = self.engine(ctx.now(), self.params.nic_desc_proc);
-                ctx.count("elan.tport_sent", 1);
+                ctx.count_id(counter_id!("elan.tport_sent"), 1);
                 ctx.send_at(
                     t,
                     self.fabric,
@@ -225,13 +226,13 @@ impl Component<ElanEvent> for ElanNic {
                 ElanPayload::Thread { tag, value } => {
                     // Wake the thread processor: heavier than a raw event.
                     let t = self.engine(ctx.now(), self.params.nic_thread_proc);
-                    ctx.count("elan.thread_recv", 1);
+                    ctx.count_id(counter_id!("elan.thread_recv"), 1);
                     let actions = self.thread.on_msg(t, src, tag, value);
                     self.run_thread_actions(ctx, actions);
                 }
                 ElanPayload::Rdma { remote_event } => {
                     let t = self.engine(ctx.now(), self.params.nic_event_proc);
-                    ctx.count("elan.rdma_recv", 1);
+                    ctx.count_id(counter_id!("elan.rdma_recv"), 1);
                     // Trace: arrival (a = source, b = event index or MAX).
                     ctx.trace(
                         "elan.arrive",
@@ -244,7 +245,7 @@ impl Component<ElanEvent> for ElanNic {
                 }
                 ElanPayload::Tport { tag, len } => {
                     let t = self.engine(ctx.now(), self.params.nic_tport_recv);
-                    ctx.count("elan.tport_recv", 1);
+                    ctx.count_id(counter_id!("elan.tport_recv"), 1);
                     ctx.send_at(
                         t + self.params.host_event_visible,
                         self.host,

@@ -9,10 +9,9 @@
 
 use nicbar_net::LinkTiming;
 use nicbar_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// All timing parameters of a Quadrics/Elan3 cluster model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ElanParams {
     // --- Host interface ----------------------------------------------------
     /// Host cost to trigger a descriptor (library call + PIO doorbell).

@@ -8,18 +8,17 @@
 //! user-level ... triggered only upon the arrival of a remote event".
 
 use nicbar_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Index into a NIC's descriptor table.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DescId(pub u32);
 
 /// Index into a NIC's event table.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(pub u32);
 
 /// What happens when an event trips.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventAction {
     /// Launch an RDMA descriptor (the chain link).
     FireDesc(DescId),
@@ -39,7 +38,7 @@ pub enum EventAction {
 /// count is simply banked until this node's own progress catches up — the
 /// property that makes consecutive chained-RDMA barriers safe without host
 /// re-arming.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NicEvent {
     /// Total sets received so far.
     pub sets: u64,
@@ -77,7 +76,7 @@ impl NicEvent {
 }
 
 /// An RDMA descriptor armed in NIC memory.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RdmaDesc {
     /// Destination NIC.
     pub dst: NodeId,
@@ -98,7 +97,7 @@ pub const RDMA_WIRE_OVERHEAD: u32 = 32;
 pub const TPORT_WIRE_OVERHEAD: u32 = 40;
 
 /// A user-level message tag for the Tports layer.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TportTag(pub u32);
 
 #[cfg(test)]

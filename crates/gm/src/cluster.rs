@@ -7,7 +7,7 @@ use crate::host::{GmApp, GmHost};
 use crate::nic::LanaiNic;
 use crate::params::{CollFeatures, GmParams};
 use nicbar_net::{FabricCore, NodeId, WormholeClos};
-use nicbar_sim::{ComponentId, Engine, RunOutcome, SimTime};
+use nicbar_sim::{ComponentId, Engine, RunOutcome, SchedulerKind, SimTime};
 
 /// Static description of a GM cluster simulation.
 #[derive(Clone, Debug)]
@@ -24,6 +24,9 @@ pub struct GmClusterSpec {
     pub drop_prob: f64,
     /// Receive buffers pre-posted per NIC at startup.
     pub initial_recv_tokens: u32,
+    /// Event-queue implementation for the engine (differential testing of
+    /// the indexed scheduler against the classic binary heap).
+    pub scheduler: SchedulerKind,
 }
 
 impl GmClusterSpec {
@@ -37,6 +40,7 @@ impl GmClusterSpec {
             seed: 0xC0FFEE,
             drop_prob: 0.0,
             initial_recv_tokens: 64,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -55,6 +59,12 @@ impl GmClusterSpec {
     /// Replace the collective feature set.
     pub fn with_features(mut self, features: CollFeatures) -> Self {
         self.features = features;
+        self
+    }
+
+    /// Select the engine's event-queue implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -86,7 +96,7 @@ impl GmCluster {
     ) -> Self {
         assert_eq!(apps.len(), spec.n, "one app per node");
         assert_eq!(colls.len(), spec.n, "one collective engine per node");
-        let mut engine: Engine<GmEvent> = Engine::new(spec.seed);
+        let mut engine: Engine<GmEvent> = Engine::with_scheduler(spec.seed, spec.scheduler);
 
         let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
         let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();

@@ -5,6 +5,7 @@
 use crate::events::GmEvent;
 use crate::types::PacketKind;
 use nicbar_net::FabricCore;
+use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx};
 
 /// The network component of a GM cluster.
@@ -46,16 +47,16 @@ impl Component<GmEvent> for GmFabric {
             panic!("fabric got a non-Inject event");
         };
         let label = match &pkt.kind {
-            PacketKind::Data { .. } => "wire.data",
-            PacketKind::Ack { .. } => "wire.ack",
+            PacketKind::Data { .. } => counter_id!("wire.data"),
+            PacketKind::Ack { .. } => counter_id!("wire.ack"),
             PacketKind::Coll(c) => match c.kind {
-                crate::types::CollKind::Nack => "wire.coll_nack",
-                crate::types::CollKind::Ack => "wire.coll_ack",
-                _ => "wire.coll",
+                crate::types::CollKind::Nack => counter_id!("wire.coll_nack"),
+                crate::types::CollKind::Ack => counter_id!("wire.coll_ack"),
+                _ => counter_id!("wire.coll"),
             },
         };
-        ctx.count(label, 1);
-        ctx.count("wire.total", 1);
+        ctx.count_id(label, 1);
+        ctx.count_id(counter_id!("wire.total"), 1);
         let bytes = pkt.wire_bytes();
         let delivery = {
             let now = ctx.now();
@@ -65,7 +66,7 @@ impl Component<GmEvent> for GmFabric {
             self.core.send(now, src, dst, bytes, rng)
         };
         if delivery.dropped {
-            ctx.count("wire.dropped", 1);
+            ctx.count_id(counter_id!("wire.dropped"), 1);
             return;
         }
         let target = self.nics[pkt.dst.0];

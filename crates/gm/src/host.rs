@@ -14,6 +14,7 @@ use crate::events::GmEvent;
 use crate::params::GmParams;
 use crate::types::{GroupId, MsgId, MsgTag, SendToken};
 use nicbar_net::NodeId;
+use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
 use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime};
 use std::collections::HashMap;
@@ -221,7 +222,7 @@ impl GmHost {
                     msg_id,
                 } => {
                     let t = self.cpu(ctx.now(), self.params.host_send_overhead);
-                    ctx.count("gm.host_send", 1);
+                    ctx.count_id(counter_id!("gm.host_send"), 1);
                     ctx.send_at(
                         t + self.params.pio_write,
                         self.nic,
@@ -240,7 +241,7 @@ impl GmHost {
                     let this_epoch = *epoch;
                     *epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_coll_call);
-                    ctx.count("gm.host_coll", 1);
+                    ctx.count_id(counter_id!("gm.host_coll"), 1);
                     ctx.send_at(
                         t + self.params.pio_write,
                         self.nic,

@@ -41,6 +41,7 @@ use crate::events::GmEvent;
 use crate::params::{CollFeatures, GmParams};
 use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
 use nicbar_net::NodeId;
+use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
 use std::collections::VecDeque;
 
@@ -92,6 +93,7 @@ impl LanaiNic {
     ///
     /// `initial_recv_tokens` models the host library pre-posting receive
     /// buffers at startup (as GM applications do).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: NodeId,
         n: usize,
@@ -194,7 +196,7 @@ impl LanaiNic {
             if !self.send_queues[d].is_empty() {
                 // Head-of-line token blocked on the packet pool or window —
                 // the waiting the paper's §6.1/§6.2 machinery eliminates.
-                ctx.count("gm.packet_wait", 1);
+                ctx.count_id(counter_id!("gm.packet_wait"), 1);
             }
         }
         let Some(dst) = chosen else {
@@ -222,7 +224,14 @@ impl LanaiNic {
             }
             let t = self.cpu(now, cost);
             let is_nack = matches!(pkt.kind, CollKind::Nack);
-            ctx.count(if is_nack { "gm.nack_sent" } else { "gm.coll_sent" }, 1);
+            ctx.count_id(
+                if is_nack {
+                    counter_id!("gm.nack_sent")
+                } else {
+                    counter_id!("gm.coll_sent")
+                },
+                1,
+            );
             ctx.send_at(
                 t,
                 self.fabric,
@@ -309,12 +318,13 @@ impl LanaiNic {
                 tag,
             },
         };
-        ctx.count("gm.data_sent", 1);
+        ctx.count_id(counter_id!("gm.data_sent"), 1);
         ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
         self.ensure_timer(ctx);
     }
 
     /// An in-order data packet was accepted; move its payload to the host.
+    #[allow(clippy::too_many_arguments)]
     fn accept_data(
         &mut self,
         ctx: &mut Ctx<'_, GmEvent>,
@@ -358,7 +368,7 @@ impl LanaiNic {
             dst,
             kind: PacketKind::Ack { upto },
         };
-        ctx.count("gm.ack_sent", 1);
+        ctx.count_id(counter_id!("gm.ack_sent"), 1);
         ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
     }
 
@@ -380,7 +390,7 @@ impl LanaiNic {
                     if offset == 0 && self.recv_tokens == 0 {
                         // No receive buffer: GM drops the packet; the
                         // sender's timeout recovers it.
-                        ctx.count("gm.drop_no_token", 1);
+                        ctx.count_id(counter_id!("gm.drop_no_token"), 1);
                         return;
                     }
                     self.expect_seq[src.0] = expected + 1;
@@ -388,12 +398,12 @@ impl LanaiNic {
                 } else if seq < expected {
                     // Duplicate from a retransmission: re-ACK so the sender
                     // advances past it (covers lost-ACK cases).
-                    ctx.count("gm.duplicate", 1);
+                    ctx.count_id(counter_id!("gm.duplicate"), 1);
                     self.send_ack(ctx, t, src, expected.wrapping_sub(1));
                 } else {
                     // A gap: an earlier packet was lost. GM drops unexpected
                     // packets immediately (§4.2).
-                    ctx.count("gm.drop_unexpected", 1);
+                    ctx.count_id(counter_id!("gm.drop_unexpected"), 1);
                 }
             }
             PacketKind::Ack { upto } => {
@@ -425,11 +435,11 @@ impl LanaiNic {
                     // NIC-level collective ACK (ablation mode only): retire
                     // the per-message record; carries no protocol state.
                     let _ = self.cpu(now, self.params.nic_ack_process);
-                    ctx.count("gm.coll_ack_recv", 1);
+                    ctx.count_id(counter_id!("gm.coll_ack_recv"), 1);
                     return;
                 }
                 let t = self.cpu(now, self.params.nic_coll_recv);
-                ctx.count("gm.coll_recv", 1);
+                ctx.count_id(counter_id!("gm.coll_recv"), 1);
                 let actions = self.coll.on_packet(t, &cp);
                 let needs_ack =
                     !self.features.recv_driven_retx && !matches!(cp.kind, CollKind::Nack);
@@ -448,7 +458,7 @@ impl LanaiNic {
                         kind: CollKind::Ack,
                     };
                     let ta = self.cpu(ctx.now(), self.params.nic_ack_gen);
-                    ctx.count("gm.coll_ack_sent", 1);
+                    ctx.count_id(counter_id!("gm.coll_ack_sent"), 1);
                     ctx.send_at(
                         ta,
                         self.fabric,
@@ -519,7 +529,14 @@ impl LanaiNic {
                     }
                     at = self.cpu(at, cost);
                     let is_nack = matches!(pkt.kind, CollKind::Nack);
-                    ctx.count(if is_nack { "gm.nack_sent" } else { "gm.coll_sent" }, 1);
+                    ctx.count_id(
+                if is_nack {
+                    counter_id!("gm.nack_sent")
+                } else {
+                    counter_id!("gm.coll_sent")
+                },
+                1,
+            );
                     // Trace: the §6.1 bypass in action (a = destination).
                     ctx.trace("coll.bypass", dst.0 as u64, 0);
                     ctx.send_at(
@@ -585,7 +602,7 @@ impl LanaiNic {
                         tag: rec.tag,
                     },
                 };
-                ctx.count("gm.retransmit", 1);
+                ctx.count_id(counter_id!("gm.retransmit"), 1);
                 ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
             }
         }
@@ -617,7 +634,7 @@ impl Component<GmEvent> for LanaiNic {
                 let now = ctx.now();
                 let _ = self.cpu(now, self.params.nic_token_create);
                 self.send_queues[token.dst.0].push_back(token);
-                ctx.count("gm.token_posted", 1);
+                ctx.count_id(counter_id!("gm.token_posted"), 1);
                 self.kick_scheduler(ctx);
             }
             GmEvent::RecvPost { count, .. } => {
@@ -671,7 +688,7 @@ impl Component<GmEvent> for LanaiNic {
                 };
                 if done {
                     self.assembling[src.0].pop_front();
-                    ctx.count("gm.msg_delivered", 1);
+                    ctx.count_id(counter_id!("gm.msg_delivered"), 1);
                     ctx.send_at(
                         self.cpu_free + self.params.host_event_dma,
                         self.host,

@@ -16,10 +16,9 @@
 
 use nicbar_net::LinkTiming;
 use nicbar_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// All timing and sizing parameters of a GM/Myrinet cluster model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GmParams {
     // --- Host library -----------------------------------------------------
     /// Host CPU cost of a `gm_send` call (descriptor build).
@@ -194,7 +193,7 @@ impl GmParams {
 /// study. All-on is the paper's proposed scheme; all-off approximates the
 /// earlier "direct" scheme (Buntinas et al.) that layered the barrier on the
 /// point-to-point machinery.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CollFeatures {
     /// Dedicated per-group queue with a single token (skip destination
     /// queues + round-robin scheduling).

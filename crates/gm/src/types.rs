@@ -8,16 +8,15 @@
 
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A collective process-group identifier (the unit the collective protocol
 /// dedicates queues/records to).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GroupId(pub u32);
 
 /// User-level message tag (GM's notion of typed receive matching, reduced
 /// to an integer tag — sufficient for the barrier baselines).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MsgTag(pub u32);
 
 /// Host-assigned id for an outstanding send (returned by `GmApi::send`).

@@ -146,15 +146,7 @@ fn deterministic_across_identical_runs() {
         let mut cluster = pingpong_cluster(30, 4, 0.10, seed);
         cluster.run_until(SimTime::from_us(10_000_000.0));
         let t = cluster.app_ref::<PingPong>(1).finish_time;
-        let snap: Vec<(&str, u64)> = cluster
-            .engine
-            .counters()
-            .iter()
-            .map(|(k, v)| (k, v))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|(k, v)| (k, v))
-            .collect();
+        let snap: Vec<(&str, u64)> = cluster.engine.counters().iter().collect();
         (t, format!("{snap:?}"))
     };
     assert_eq!(run(9), run(9));

@@ -21,7 +21,6 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 
 /// ⌈log₂ n⌉ as f64 (0 for n ≤ 1).
 fn ceil_log2(n: usize) -> f64 {
@@ -41,7 +40,7 @@ fn ceil_log2(n: usize) -> f64 {
 /// let m = BarrierModel::paper_myrinet_xp();
 /// assert!((m.predict(1024) - 38.94).abs() < 0.01);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BarrierModel {
     /// Average two-node barrier latency.
     pub t_init: f64,
@@ -82,7 +81,7 @@ impl BarrierModel {
 }
 
 /// Goodness-of-fit summary.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FitQuality {
     /// Root-mean-square residual, µs.
     pub rmse_us: f64,

@@ -16,10 +16,9 @@
 //! second-order term.
 
 use crate::topology::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A Clos network of `radix`-port crossbars.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WormholeClos {
     nodes: usize,
     /// Hosts per leaf switch. With radix-16 crossbars and a 1:1

@@ -13,10 +13,9 @@
 //! is fragmented.
 
 use crate::topology::{is_contiguous, NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A 4-ary fat tree of Elite-style switches.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct QuaternaryFatTree {
     nodes: usize,
     dimension: u32,

@@ -7,10 +7,9 @@
 
 use crate::topology::NodeId;
 use nicbar_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A bijective mapping from ranks `0..n` onto a subset of physical nodes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Permutation {
     rank_to_node: Vec<NodeId>,
 }

@@ -13,10 +13,9 @@
 //! switches), not once per hop.
 
 use nicbar_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-network link/switch latency parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LinkTiming {
     /// Fixed cost to form and inject the routing header (ns).
     pub header_ns: u64,

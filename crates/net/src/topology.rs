@@ -6,11 +6,10 @@
 //! routing cost plus a single serialization cost (see
 //! [`crate::timing::LinkTiming`]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A physical node (equivalently: its NIC) in the cluster.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {

@@ -12,14 +12,24 @@
 //! which — combined with the seeded [`SimRng`] — makes runs bit-for-bit
 //! reproducible. The integration test suite relies on this to compare whole
 //! counter sets across reruns.
+//!
+//! ## Hot path
+//!
+//! [`Engine::step`] pops from an indexed 4-ary heap (see [`crate::queue`]),
+//! resolves the target component with a split borrow — no `Option::take` /
+//! reinstall round-trip — and hands the handler a [`Ctx`] that pushes
+//! follow-up events *directly* into the heap. The queue owns the sequence
+//! counter, so a handler's sends are keyed in issue order at push time,
+//! exactly as the old drain-a-pending-buffer design delivered them. The
+//! original `BinaryHeap` scheduler is still available via
+//! [`Engine::with_scheduler`] as a differential-testing baseline.
 
 use crate::counters::Counters;
+use crate::queue::{EventQueue, SchedulerKind, SeqCounter};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceRecord};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Index of a component within an [`Engine`].
@@ -58,44 +68,23 @@ pub trait Component<M>: AsAny {
     fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
 }
 
-struct Entry<M> {
-    time: SimTime,
-    seq: u64,
-    target: ComponentId,
-    msg: M,
-}
-
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Entry<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// Handle given to a component while it processes an event.
+///
+/// Sends go straight into the engine's event queue (which owns the sequence
+/// counter), so same-time events are delivered in exactly the order the
+/// handler issued them.
 pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: ComponentId,
-    pending: &'a mut Vec<(SimTime, ComponentId, M)>,
+    queue: &'a mut EventQueue<M>,
+    seq: &'a mut SeqCounter,
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
     counters: &'a mut Counters,
     halt: &'a mut bool,
 }
 
-impl<'a, M> Ctx<'a, M> {
+impl<M> Ctx<'_, M> {
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -113,14 +102,25 @@ impl<'a, M> Ctx<'a, M> {
     /// scheduling order).
     #[inline]
     pub fn send(&mut self, delay: SimTime, target: ComponentId, msg: M) {
-        self.pending.push((self.now + delay, target, msg));
+        self.queue.push(self.seq, self.now + delay, target, msg);
     }
 
-    /// Schedule `msg` for an absolute time `at` (must not be in the past).
+    /// Schedule `msg` for an absolute time `at`.
+    ///
+    /// A past `at` is **always clamped to the current time** — identically in
+    /// debug and release builds, so optimized and unoptimized runs deliver
+    /// the same event order. Each clamp increments the `sim.clamped_sends`
+    /// counter; a simulation that is supposed to never look backwards can
+    /// assert that counter stays zero.
     #[inline]
     pub fn send_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
-        debug_assert!(at >= self.now, "scheduling into the past");
-        self.pending.push((at.max(self.now), target, msg));
+        let at = if at < self.now {
+            self.counters.add_id(crate::counter_id!("sim.clamped_sends"), 1);
+            self.now
+        } else {
+            at
+        };
+        self.queue.push(self.seq, at, target, msg);
     }
 
     /// Schedule `msg` for this component after `delay`.
@@ -129,16 +129,38 @@ impl<'a, M> Ctx<'a, M> {
         self.send(delay, self.self_id, msg);
     }
 
+    /// Schedule a whole burst of `(delay, target, msg)` events in one queue
+    /// pass (see [`crate::queue`]); cheaper than repeated [`Ctx::send`] for
+    /// large fan-outs. Delivery order among same-time events is iteration
+    /// order, exactly as if each had been sent individually.
+    pub fn send_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, ComponentId, M)>) {
+        let now = self.now;
+        self.queue.push_batch(
+            self.seq,
+            batch
+                .into_iter()
+                .map(|(delay, target, msg)| (now + delay, target, msg)),
+        );
+    }
+
     /// Simulation-wide RNG.
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 
-    /// Bump a named counter.
+    /// Bump a named counter (interns the name; hot call sites should prefer
+    /// [`Ctx::count_id`] with a [`crate::counter_id!`]-cached id).
     #[inline]
     pub fn count(&mut self, key: &'static str, amount: u64) {
         self.counters.add(key, amount);
+    }
+
+    /// Bump a counter by interned id — the hot path: one indexed add, no
+    /// string hashing.
+    #[inline]
+    pub fn count_id(&mut self, id: crate::counters::CounterId, amount: u64) {
+        self.counters.add_id(id, amount);
     }
 
     /// Read a named counter (rarely needed by components; used by
@@ -148,9 +170,14 @@ impl<'a, M> Ctx<'a, M> {
         self.counters.get(key)
     }
 
-    /// Emit a trace record attributed to this component.
+    /// Emit a trace record attributed to this component. When tracing is
+    /// disabled (the common case) this is a single predictable branch —
+    /// the record is never built.
     #[inline]
     pub fn trace(&mut self, label: &'static str, a: u64, b: u64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
         self.trace.emit(TraceRecord {
             time: self.now,
             component: self.self_id,
@@ -184,9 +211,8 @@ pub enum RunOutcome {
 /// A deterministic discrete-event simulation engine over message type `M`.
 pub struct Engine<M: 'static> {
     components: Vec<Option<Box<dyn Component<M>>>>,
-    queue: BinaryHeap<Entry<M>>,
-    pending: Vec<(SimTime, ComponentId, M)>,
-    seq: u64,
+    queue: EventQueue<M>,
+    seq: SeqCounter,
     now: SimTime,
     rng: SimRng,
     trace: Trace,
@@ -196,13 +222,22 @@ pub struct Engine<M: 'static> {
 }
 
 impl<M: 'static> Engine<M> {
-    /// Create an engine whose RNG is seeded with `seed`.
+    /// Create an engine whose RNG is seeded with `seed`, on the default
+    /// (indexed 4-ary heap) scheduler.
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// Create an engine on a specific scheduler implementation. Both kinds
+    /// deliver events in identical `(time, seq)` order; the classic
+    /// `BinaryHeap` variant exists as the baseline for differential tests
+    /// and throughput comparisons.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
+        let (queue, seq) = EventQueue::new(kind);
         Engine {
             components: Vec::new(),
-            queue: BinaryHeap::new(),
-            pending: Vec::new(),
-            seq: 0,
+            queue,
+            seq,
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
@@ -210,6 +245,11 @@ impl<M: 'static> Engine<M> {
             halted: false,
             events_processed: 0,
         }
+    }
+
+    /// Which scheduler implementation this engine runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
     }
 
     /// Reserve a component slot, returning its id. Useful when components
@@ -254,23 +294,29 @@ impl<M: 'static> Engine<M> {
     /// (must be `>= now`).
     pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
         assert!(at >= self.now, "scheduling into the past");
-        self.push(at, target, msg);
+        self.queue.push(&mut self.seq, at, target, msg);
     }
 
     /// Inject an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, msg: M) {
-        self.push(self.now + delay, target, msg);
+        self.queue
+            .push(&mut self.seq, self.now + delay, target, msg);
     }
 
-    fn push(&mut self, time: SimTime, target: ComponentId, msg: M) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Entry {
-            time,
-            seq,
-            target,
-            msg,
-        });
+    /// Inject a batch of `(at, target, msg)` events in one queue pass —
+    /// cheaper than repeated [`Engine::schedule_at`] for large workload
+    /// set-ups. Same-time events are delivered in iteration order.
+    ///
+    /// # Panics
+    /// Panics if any event time is before `now`.
+    pub fn schedule_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, ComponentId, M)>) {
+        let now = self.now;
+        self.queue.push_batch(
+            &mut self.seq,
+            batch.into_iter().inspect(|(at, _, _)| {
+                assert!(*at >= now, "scheduling into the past");
+            }),
+        );
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -337,43 +383,61 @@ impl<M: 'static> Engine<M> {
     /// # Panics
     /// Panics if the event targets an empty component slot.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(entry.time >= self.now, "event queue went backwards");
-        self.now = entry.time;
-        self.events_processed += 1;
-        let mut component = self.components[entry.target.0]
-            .take()
-            .unwrap_or_else(|| panic!("event for uninstalled component {}", entry.target));
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: entry.target,
-                pending: &mut self.pending,
-                rng: &mut self.rng,
-                trace: &mut self.trace,
-                counters: &mut self.counters,
-                halt: &mut self.halted,
-            };
-            component.handle(entry.msg, &mut ctx);
-        }
-        self.components[entry.target.0] = Some(component);
-        // Drain handler-scheduled events into the heap in FIFO order so that
-        // same-time events keep the order the handler issued them in. Done
-        // outside the Ctx borrow; the buffer's allocation is recycled.
-        let mut pending = std::mem::take(&mut self.pending);
-        for (time, target, msg) in pending.drain(..) {
-            self.push(time, target, msg);
-        }
-        self.pending = pending;
+        self.deliver(event);
         true
+    }
+
+    /// Deliver one already-popped event to its component.
+    #[inline]
+    fn deliver(&mut self, event: crate::queue::PoppedEvent<M>) {
+        debug_assert!(event.time >= self.now, "event queue went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        // Split borrow: the target component and the Ctx fields are disjoint
+        // parts of `self`, so the handler runs without moving the component
+        // out of its slot and back.
+        let Engine {
+            components,
+            queue,
+            seq,
+            now,
+            rng,
+            trace,
+            counters,
+            halted,
+            ..
+        } = self;
+        let component = components[event.target.0]
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("event for uninstalled component {}", event.target));
+        let mut ctx = Ctx {
+            now: *now,
+            self_id: event.target,
+            queue,
+            seq,
+            rng,
+            trace,
+            counters,
+            halt: halted,
+        };
+        component.handle(event.msg, &mut ctx);
     }
 
     /// Run until the queue drains or a component halts. Returns the final
     /// simulated time.
+    ///
+    /// This is the hot loop: with no deadline and no budget to check it
+    /// pops and delivers directly, one heap-root access per event (unlike
+    /// [`Engine::run_bounded`], which must peek before committing to a pop).
     pub fn run(&mut self) -> SimTime {
-        self.run_bounded(SimTime::MAX, u64::MAX);
+        self.halted = false;
+        while !self.halted {
+            let Some(event) = self.queue.pop() else { break };
+            self.deliver(event);
+        }
         self.now
     }
 
@@ -393,10 +457,10 @@ impl<M: 'static> Engine<M> {
             if self.halted {
                 return RunOutcome::Halted;
             }
-            let Some(next) = self.queue.peek() else {
+            let Some(next) = self.queue.peek_time() else {
                 return RunOutcome::Idle;
             };
-            if next.time > deadline {
+            if next > deadline {
                 return RunOutcome::DeadlineReached;
             }
             if budget == 0 {
@@ -409,7 +473,7 @@ impl<M: 'static> Engine<M> {
 
     /// Earliest pending event time, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.time)
+        self.queue.peek_time()
     }
 
     /// Number of pending events.
@@ -472,7 +536,11 @@ mod tests {
     }
 
     fn build(n: u32) -> (Engine<Msg>, ComponentId, ComponentId) {
-        let mut engine: Engine<Msg> = Engine::new(0);
+        build_on(n, SchedulerKind::default())
+    }
+
+    fn build_on(n: u32, kind: SchedulerKind) -> (Engine<Msg>, ComponentId, ComponentId) {
+        let mut engine: Engine<Msg> = Engine::with_scheduler(0, kind);
         let ticker_id = engine.reserve_id();
         let sink_id = engine.reserve_id();
         engine.install(
@@ -553,6 +621,54 @@ mod tests {
     }
 
     #[test]
+    fn batched_sends_keep_issue_order() {
+        struct BatchBurst {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for BatchBurst {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                let sink = self.sink;
+                ctx.send_batch((0..5).map(|i| (SimTime::from_us(1.0), sink, Msg::Record(i))));
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink_id = engine.reserve_id();
+        let burst_id = engine.reserve_id();
+        engine.install(sink_id, Sink { seen: Vec::new() });
+        engine.install(burst_id, BatchBurst { sink: sink_id });
+        engine.schedule_at(SimTime::ZERO, burst_id, Msg::Tick(0));
+        engine.run();
+        let ids: Vec<u32> = engine
+            .component_ref::<Sink>(sink_id)
+            .unwrap()
+            .seen
+            .iter()
+            .map(|(_, i)| *i)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        let run = |batched: bool| {
+            let mut engine: Engine<Msg> = Engine::new(0);
+            let sink = engine.add(Sink { seen: Vec::new() });
+            let events =
+                (0..64u32).map(|i| (SimTime::from_ns((i % 7) as u64), sink, Msg::Record(i)));
+            if batched {
+                engine.schedule_batch(events);
+            } else {
+                for (at, target, msg) in events {
+                    engine.schedule_at(at, target, msg);
+                }
+            }
+            engine.run();
+            engine.component_ref::<Sink>(sink).unwrap().seen.clone()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn run_until_deadline_stops_early() {
         let (mut engine, _, _) = build(100);
         let outcome = engine.run_until(SimTime::from_us(10.5));
@@ -612,6 +728,64 @@ mod tests {
         let (mut engine, ticker, _) = build(3);
         engine.run();
         engine.schedule_at(SimTime::ZERO, ticker, Msg::Tick(0));
+    }
+
+    #[test]
+    fn send_at_clamps_past_times_and_counts() {
+        struct BackSender {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for BackSender {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                // Deliberately aim one microsecond into the past.
+                ctx.send_at(SimTime::ZERO, self.sink, Msg::Record(9));
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink_id = engine.reserve_id();
+        let back_id = engine.reserve_id();
+        engine.install(sink_id, Sink { seen: Vec::new() });
+        engine.install(back_id, BackSender { sink: sink_id });
+        engine.schedule_at(SimTime::from_us(1.0), back_id, Msg::Tick(0));
+        engine.run();
+        let sink = engine.component_ref::<Sink>(sink_id).unwrap();
+        // Clamped to the send time, not dropped or delivered early.
+        assert_eq!(sink.seen, vec![(SimTime::from_us(1.0), 9)]);
+        assert_eq!(engine.counters().get("sim.clamped_sends"), 1);
+    }
+
+    #[test]
+    fn send_at_future_times_do_not_count_as_clamped() {
+        struct FwdSender {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for FwdSender {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                ctx.send_at(SimTime::from_us(2.0), self.sink, Msg::Record(1));
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink_id = engine.reserve_id();
+        let fwd_id = engine.reserve_id();
+        engine.install(sink_id, Sink { seen: Vec::new() });
+        engine.install(fwd_id, FwdSender { sink: sink_id });
+        engine.schedule_at(SimTime::ZERO, fwd_id, Msg::Tick(0));
+        engine.run();
+        assert_eq!(engine.counters().get("sim.clamped_sends"), 0);
+        assert_eq!(engine.now(), SimTime::from_us(2.0));
+    }
+
+    #[test]
+    fn both_schedulers_run_identically() {
+        let run = |kind: SchedulerKind| {
+            let (mut engine, _, sink) = build_on(50, kind);
+            engine.run();
+            let sink = engine.component_ref::<Sink>(sink).unwrap();
+            (engine.now(), engine.events_processed(), sink.seen.clone())
+        };
+        let wheel = run(SchedulerKind::TimingWheel);
+        assert_eq!(wheel, run(SchedulerKind::Indexed4));
+        assert_eq!(wheel, run(SchedulerKind::ClassicBinaryHeap));
     }
 
     #[test]

@@ -58,12 +58,14 @@
 
 pub mod counters;
 pub mod engine;
+pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use counters::Counters;
+pub use counters::{intern, CounterId, CounterSnapshot, Counters};
 pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
+pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,820 @@
+//! Event queues: the hot-path timing wheel (default), the indexed 4-ary
+//! heap, and the reference binary heap they replaced.
+//!
+//! All queues order events by `(time, seq)` — the heaps pack it into a
+//! `u128` key (`time` in the high 64 bits, the global insertion sequence in
+//! the low 64), the wheel encodes the same order structurally (FIFO buckets
+//! per nanosecond) — so the pop order is the *total* order of keys and is
+//! therefore identical across implementations regardless of internal shape.
+//! The classic [`std::collections::BinaryHeap`] queue is kept selectable
+//! (see [`SchedulerKind`]) purely as the differential-testing and
+//! benchmarking baseline.
+//!
+//! ## Why a timing wheel
+//!
+//! Simulated delays here are nanoseconds to a few microseconds, so almost
+//! every event lands inside a small sliding window. [`WheelQueue`] exploits
+//! that: push links a slab node onto a per-nanosecond FIFO bucket (O(1), no
+//! comparisons), pop unlinks the first node of the first occupied bucket
+//! (found by a 2048-bit bitmap scan), and a depth-1 bypass short-circuits
+//! ping-pong workloads entirely. Events beyond the window fall back to the
+//! indexed heap and re-bucket when the window advances.
+//!
+//! ## Why the 4-ary indexed heap (the overflow and alternate scheduler)
+//!
+//! * **Shallower**: a 4-ary heap has half the depth of a binary heap, so a
+//!   pop does half the levels of sift-down work; the four children of node
+//!   `i` (`4i+1..4i+4`) sit in adjacent cache lines.
+//! * **Indexed**: keys (16 bytes) live in one dense vector and are all the
+//!   sift loops ever touch; message payloads sit in a slab addressed by a
+//!   parallel `u32` slot vector, so growing `M` never slows the comparisons.
+//! * **Batched**: [`IndexedHeap::push_batch`] appends a whole burst of
+//!   events and restores the heap in one pass, using Floyd's bottom-up
+//!   heapify when the batch dominates the existing contents.
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which event-queue implementation an engine runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// The hot-path timing wheel (default): O(1) push/pop for events inside
+    /// a sliding time window, with an indexed-heap overflow for the rest.
+    #[default]
+    TimingWheel,
+    /// The indexed 4-ary heap: `O(log4 n)` operations over packed keys.
+    Indexed4,
+    /// The original `BinaryHeap`-of-entries scheduler, kept as the reference
+    /// implementation for differential tests and regression baselines.
+    ClassicBinaryHeap,
+}
+
+/// Pack an event key: time in the high 64 bits, sequence in the low 64.
+#[inline(always)]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.as_ns() as u128) << 64) | seq as u128
+}
+
+/// The time half of a packed key.
+#[inline(always)]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_ns((key >> 64) as u64)
+}
+
+/// A pending event as handed back by a queue pop.
+pub(crate) struct PoppedEvent<M> {
+    pub time: SimTime,
+    pub target: ComponentId,
+    pub msg: M,
+}
+
+/// The hot-path queue: a 4-ary min-heap over packed keys with payloads in a
+/// slab.
+pub(crate) struct IndexedHeap<M> {
+    /// Heap-ordered packed `(time, seq)` keys.
+    keys: Vec<u128>,
+    /// Parallel to `keys`: slab slot of each event's payload.
+    slots: Vec<u32>,
+    /// Payload slab; `None` entries are free.
+    payload: Vec<Option<(ComponentId, M)>>,
+    /// Free slab slots.
+    free: Vec<u32>,
+}
+
+const ARITY: usize = 4;
+
+impl<M> IndexedHeap<M> {
+    fn new() -> Self {
+        IndexedHeap {
+            keys: Vec::new(),
+            slots: Vec::new(),
+            payload: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.keys.first().map(|&k| key_time(k))
+    }
+
+    /// Store a payload, returning its slab slot.
+    #[inline]
+    fn store(&mut self, target: ComponentId, msg: M) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.payload[slot as usize] = Some((target, msg));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.payload.len()).expect("event slab overflow");
+                self.payload.push(Some((target, msg)));
+                slot
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128, target: ComponentId, msg: M) {
+        let slot = self.store(target, msg);
+        self.keys.push(key);
+        self.slots.push(slot);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    /// Insert a batch of already-keyed events in one pass. When the batch is
+    /// at least as large as the existing heap, appending everything and
+    /// rebuilding bottom-up (Floyd) is cheaper than per-element sift-up.
+    fn push_batch(&mut self, batch: impl Iterator<Item = (u128, ComponentId, M)>) {
+        let before = self.keys.len();
+        for (key, target, msg) in batch {
+            let slot = self.store(target, msg);
+            self.keys.push(key);
+            self.slots.push(slot);
+        }
+        let added = self.keys.len() - before;
+        if added == 0 {
+            return;
+        }
+        if added >= before {
+            // Floyd's heap construction: sift down every internal node.
+            for i in (0..self.keys.len() / ARITY + 1).rev() {
+                self.sift_down(i);
+            }
+        } else {
+            for i in before..self.keys.len() {
+                self.sift_up(i);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<PoppedEvent<M>> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let key = self.keys[0];
+        let slot = self.slots[0];
+        let last_key = self.keys.pop().expect("non-empty");
+        let last_slot = self.slots.pop().expect("non-empty");
+        if !self.keys.is_empty() {
+            // Walk the root hole to the bottom along min-children without
+            // comparing against the displaced leaf, then sift the leaf up
+            // from there. The displaced element almost always belongs near
+            // the bottom, so this does ~1/4 of the comparisons of a
+            // classical compare-as-you-go sift-down.
+            let hole = self.hole_to_bottom();
+            self.keys[hole] = last_key;
+            self.slots[hole] = last_slot;
+            self.sift_up(hole);
+        }
+        let (target, msg) = self.payload[slot as usize]
+            .take()
+            .expect("heap slot had no payload");
+        self.free.push(slot);
+        Some(PoppedEvent {
+            time: key_time(key),
+            target,
+            msg,
+        })
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.keys[i];
+        let slot = self.slots[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.keys[parent] <= key {
+                break;
+            }
+            self.keys[i] = self.keys[parent];
+            self.slots[i] = self.slots[parent];
+            i = parent;
+        }
+        self.keys[i] = key;
+        self.slots[i] = slot;
+    }
+
+    /// Move the hole at the root down to a leaf, always following the
+    /// minimum child, and return the leaf position of the hole.
+    #[inline]
+    fn hole_to_bottom(&mut self) -> usize {
+        let len = self.keys.len();
+        let mut i = 0;
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                return i;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            let mut best = first_child;
+            let mut best_key = self.keys[first_child];
+            for c in first_child + 1..last_child {
+                if self.keys[c] < best_key {
+                    best = c;
+                    best_key = self.keys[c];
+                }
+            }
+            self.keys[i] = best_key;
+            self.slots[i] = self.slots[best];
+            i = best;
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.keys.len();
+        if i >= len {
+            return;
+        }
+        let key = self.keys[i];
+        let slot = self.slots[i];
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            let mut best = first_child;
+            let mut best_key = self.keys[first_child];
+            for c in first_child + 1..last_child {
+                if self.keys[c] < best_key {
+                    best = c;
+                    best_key = self.keys[c];
+                }
+            }
+            if best_key >= key {
+                break;
+            }
+            self.keys[i] = best_key;
+            self.slots[i] = self.slots[best];
+            i = best;
+        }
+        self.keys[i] = key;
+        self.slots[i] = slot;
+    }
+}
+
+/// The default scheduler: a timing wheel (calendar queue) over a sliding
+/// `[base, base + WHEEL_BUCKETS)` nanosecond window.
+///
+/// Discrete-event workloads here push events a handful of nanoseconds to a
+/// couple of microseconds ahead of `now`, so nearly every event lands in
+/// the window: push links a slab node onto its bucket's tail and sets a
+/// bitmap bit, pop unlinks the head node — no comparisons, no sift. Buckets
+/// are `(head, tail)` node indices into a slab whose free list is LIFO, so
+/// a ping-pong workload keeps re-using the same hot node; the whole bucket
+/// array is 16 KiB and stays cache-resident. Events beyond the window (or
+/// behind the read floor) go to an [`IndexedHeap`] overflow; when the
+/// window drains, it advances to the overflow's minimum and re-buckets
+/// everything now in range.
+///
+/// A depth-1 bypass (the classic DES "top event cache") short-circuits
+/// ping-pong workloads: a push into an empty queue parks the event in
+/// `single` and the next pop returns it without touching a bucket at all.
+/// Any push while `single` is occupied flushes it into the wheel first —
+/// the parked event was issued earlier, so flushing before the new push
+/// preserves handler-issue FIFO order exactly.
+///
+/// ## Ordering proof sketch
+///
+/// Pop must follow the total `(time, seq)` order:
+///
+/// * Same-time events share a bucket, and a bucket is FIFO — appends happen
+///   in issue order, so within a bucket delivery order *is* seq order.
+/// * Overflow events that re-bucket on a window advance are inserted in
+///   `(time, seq)` order *before* any direct push into the new window can
+///   occur (a direct push to time `t` requires `t` inside the window, and
+///   the window only reached `t` at this advance), so the FIFO property is
+///   preserved across the merge.
+/// * An in-window push behind the read floor is routed to the overflow, and
+///   the floor only moves forward, so such an event's time stays strictly
+///   below every remaining bucket time — the overflow-first pop rule
+///   delivers it in order, and an overflow/bucket time tie is impossible.
+pub(crate) struct WheelQueue<M> {
+    /// Depth-1 bypass: the sole queued event, iff `len == 1` came from a
+    /// push into an empty queue. Invariant: `single.is_some()` implies the
+    /// buckets and the overflow are empty.
+    single: Option<(u64, ComponentId, M)>,
+    /// Time (ns) of bucket 0.
+    base: u64,
+    /// Bucket index of the last bucket pop; in-window pushes behind this go
+    /// to the overflow so the scan never moves backwards.
+    floor: usize,
+    /// First non-empty bucket index, or `WHEEL_BUCKETS` when none.
+    next_bucket: usize,
+    /// Per bucket: slab index of the first queued node, or `NIL`.
+    head: Box<[u32; WHEEL_BUCKETS]>,
+    /// Per bucket: slab index of the last queued node (stale when empty).
+    tail: Box<[u32; WHEEL_BUCKETS]>,
+    /// Per node: slab index of the next node in the same bucket, or `NIL`.
+    next: Vec<u32>,
+    /// Per node: the event payload; `None` entries are free.
+    payload: Vec<Option<(ComponentId, M)>>,
+    /// Free slab nodes (LIFO, so the hottest node is re-used first).
+    free: Vec<u32>,
+    /// One bit per bucket: non-empty.
+    occupied: Box<[u64; WHEEL_WORDS]>,
+    /// Events outside the window, in full `(time, seq)` key order.
+    overflow: IndexedHeap<M>,
+    /// Total queued events (buckets + overflow).
+    len: usize,
+}
+
+/// Wheel window width in nanoseconds (and buckets). 2 µs covers the link,
+/// DMA and host-wakeup delays of both substrates while keeping the touched
+/// bucket set inside the L1 cache; longer timers take the overflow path.
+const WHEEL_BUCKETS: usize = 2048;
+const WHEEL_WORDS: usize = WHEEL_BUCKETS / 64;
+/// Null link / empty bucket marker.
+const NIL: u32 = u32::MAX;
+
+impl<M> WheelQueue<M> {
+    fn new() -> Self {
+        WheelQueue {
+            single: None,
+            base: 0,
+            floor: 0,
+            next_bucket: WHEEL_BUCKETS,
+            head: Box::new([NIL; WHEEL_BUCKETS]),
+            tail: Box::new([NIL; WHEEL_BUCKETS]),
+            next: Vec::new(),
+            payload: Vec::new(),
+            free: Vec::new(),
+            occupied: Box::new([0; WHEEL_WORDS]),
+            overflow: IndexedHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn horizon(&self) -> u64 {
+        self.base.saturating_add(WHEEL_BUCKETS as u64)
+    }
+
+    /// Append a payload node to bucket `idx`'s FIFO chain.
+    #[inline]
+    fn link(&mut self, idx: usize, target: ComponentId, msg: M) {
+        // `idx` is already < WHEEL_BUCKETS; the mask lets the compiler drop
+        // every bounds check on the fixed-size bucket arrays.
+        let idx = idx & (WHEEL_BUCKETS - 1);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.payload[slot as usize] = Some((target, msg));
+                self.next[slot as usize] = NIL;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.payload.len()).expect("wheel slab overflow");
+                self.payload.push(Some((target, msg)));
+                self.next.push(NIL);
+                slot
+            }
+        };
+        if self.head[idx] == NIL {
+            self.head[idx] = slot;
+        } else {
+            self.next[self.tail[idx] as usize] = slot;
+        }
+        self.tail[idx] = slot;
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        if idx < self.next_bucket {
+            self.next_bucket = idx;
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, seq: &mut SeqCounter, time: SimTime, target: ComponentId, msg: M) {
+        let t = time.as_ns();
+        self.len += 1;
+        if self.len == 1 {
+            self.single = Some((t, target, msg));
+            return;
+        }
+        if let Some((st, starget, smsg)) = self.single.take() {
+            // The parked event was issued earlier: route it first so a
+            // same-time tie keeps handler-issue order.
+            self.route(seq, st, starget, smsg);
+        }
+        self.route(seq, t, target, msg);
+    }
+
+    /// Place one event into a bucket or the overflow.
+    #[inline]
+    fn route(&mut self, seq: &mut SeqCounter, t: u64, target: ComponentId, msg: M) {
+        let off = t.wrapping_sub(self.base);
+        if t >= self.base && off < WHEEL_BUCKETS as u64 && off as usize >= self.floor {
+            self.link(off as usize, target, msg);
+        } else {
+            // Behind the floor or beyond the horizon: full-key heap order.
+            self.overflow.push(pack(SimTime::from_ns(t), seq.next()), target, msg);
+        }
+    }
+
+    fn pop(&mut self) -> Option<PoppedEvent<M>> {
+        if let Some((t, target, msg)) = self.single.take() {
+            self.len -= 1;
+            return Some(PoppedEvent {
+                time: SimTime::from_ns(t),
+                target,
+                msg,
+            });
+        }
+        // Fast path: no overflow pending (the common case — overflow only
+        // holds events scheduled more than a window ahead), so the first
+        // occupied bucket is the global minimum.
+        if self.overflow.len() == 0 {
+            if self.next_bucket < WHEEL_BUCKETS {
+                return self.pop_bucket(self.base + self.next_bucket as u64);
+            }
+            return None;
+        }
+        loop {
+            let bucket_time = (self.next_bucket < WHEEL_BUCKETS)
+                .then(|| self.base + self.next_bucket as u64);
+            let over_time = self.overflow.peek_time().map(|t| t.as_ns());
+            match (over_time, bucket_time) {
+                (None, None) => return None,
+                (Some(ot), None) if ot >= self.horizon() => {
+                    // Window fully drained and everything pending is beyond
+                    // it: slide the window and re-bucket.
+                    self.advance(ot);
+                    continue;
+                }
+                (Some(ot), Some(bt)) if ot >= bt => return self.pop_bucket(bt),
+                (Some(_), _) => {
+                    self.len -= 1;
+                    return self.overflow.pop();
+                }
+                (None, Some(bt)) => return self.pop_bucket(bt),
+            }
+        }
+    }
+
+    #[inline]
+    fn pop_bucket(&mut self, bucket_time: u64) -> Option<PoppedEvent<M>> {
+        let b = self.next_bucket & (WHEEL_BUCKETS - 1);
+        let slot = self.head[b];
+        debug_assert_ne!(slot, NIL, "occupied bucket empty");
+        let rest = self.next[slot as usize];
+        self.head[b] = rest;
+        let (target, msg) = self.payload[slot as usize]
+            .take()
+            .expect("wheel node had no payload");
+        self.free.push(slot);
+        self.floor = b;
+        if rest == NIL {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+            self.next_bucket = self.scan_from(b + 1);
+        }
+        self.len -= 1;
+        Some(PoppedEvent {
+            time: SimTime::from_ns(bucket_time),
+            target,
+            msg,
+        })
+    }
+
+    /// Slide the window so bucket 0 sits at `t0` (the overflow minimum) and
+    /// re-bucket every overflow event now inside the window, in key order.
+    fn advance(&mut self, t0: u64) {
+        debug_assert_eq!(self.next_bucket, WHEEL_BUCKETS, "advance with buckets live");
+        self.base = t0;
+        self.floor = 0;
+        let limit = self.horizon();
+        while let Some(t) = self.overflow.peek_time() {
+            let tn = t.as_ns();
+            if tn >= limit {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked event vanished");
+            self.link((tn - t0) as usize, e.target, e.msg);
+        }
+    }
+
+    /// First occupied bucket at or after `from`, or `WHEEL_BUCKETS`.
+    fn scan_from(&self, from: usize) -> usize {
+        let mut w = from / 64;
+        if w >= WHEEL_WORDS {
+            return WHEEL_BUCKETS;
+        }
+        let mut word = self.occupied[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+            w += 1;
+            if w == WHEEL_WORDS {
+                return WHEEL_BUCKETS;
+            }
+            word = self.occupied[w];
+        }
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        if let Some((t, _, _)) = &self.single {
+            return Some(SimTime::from_ns(*t));
+        }
+        let bucket = (self.next_bucket < WHEEL_BUCKETS)
+            .then(|| self.base + self.next_bucket as u64);
+        let over = self.overflow.peek_time().map(|t| t.as_ns());
+        match (bucket, over) {
+            (None, None) => None,
+            (Some(b), None) => Some(SimTime::from_ns(b)),
+            (None, Some(o)) => Some(SimTime::from_ns(o)),
+            (Some(b), Some(o)) => Some(SimTime::from_ns(b.min(o))),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The original scheduler: one `BinaryHeap` of whole entries, compared by
+/// the same packed key (max-heap inverted via `Reverse`-style ordering).
+pub(crate) struct ClassicHeap<M> {
+    heap: BinaryHeap<ClassicEntry<M>>,
+}
+
+struct ClassicEntry<M> {
+    key: u128,
+    target: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for ClassicEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for ClassicEntry<M> {}
+impl<M> PartialOrd for ClassicEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for ClassicEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest key pops first.
+        other.key.cmp(&self.key)
+    }
+}
+
+impl<M> ClassicHeap<M> {
+    fn new() -> Self {
+        ClassicHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+/// A queue of `(time, seq)`-ordered events. Owns the sequence counter, so
+/// insertion order is captured at push time wherever the push happens.
+pub(crate) enum EventQueue<M> {
+    Wheel(WheelQueue<M>),
+    Indexed(IndexedHeap<M>),
+    Classic(ClassicHeap<M>),
+}
+
+impl<M> EventQueue<M> {
+    pub fn new(kind: SchedulerKind) -> (Self, SeqCounter) {
+        let queue = match kind {
+            SchedulerKind::TimingWheel => EventQueue::Wheel(WheelQueue::new()),
+            SchedulerKind::Indexed4 => EventQueue::Indexed(IndexedHeap::new()),
+            SchedulerKind::ClassicBinaryHeap => EventQueue::Classic(ClassicHeap::new()),
+        };
+        (queue, SeqCounter(0))
+    }
+
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            EventQueue::Wheel(_) => SchedulerKind::TimingWheel,
+            EventQueue::Indexed(_) => SchedulerKind::Indexed4,
+            EventQueue::Classic(_) => SchedulerKind::ClassicBinaryHeap,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, seq: &mut SeqCounter, time: SimTime, target: ComponentId, msg: M) {
+        match self {
+            // The wheel assigns seq numbers itself, only on the overflow
+            // path — bucket FIFO order already encodes them.
+            EventQueue::Wheel(q) => q.push(seq, time, target, msg),
+            EventQueue::Indexed(q) => q.push(pack(time, seq.next()), target, msg),
+            EventQueue::Classic(q) => q.heap.push(ClassicEntry {
+                key: pack(time, seq.next()),
+                target,
+                msg,
+            }),
+        }
+    }
+
+    /// Insert a whole batch in one pass (see [`IndexedHeap::push_batch`]).
+    /// Sequence numbers are assigned in iteration order, so the batch is
+    /// delivered in the order it was issued, exactly as individual pushes.
+    pub fn push_batch(
+        &mut self,
+        seq: &mut SeqCounter,
+        batch: impl Iterator<Item = (SimTime, ComponentId, M)>,
+    ) {
+        match self {
+            EventQueue::Wheel(q) => {
+                for (time, target, msg) in batch {
+                    q.push(seq, time, target, msg);
+                }
+            }
+            EventQueue::Indexed(q) => {
+                q.push_batch(batch.map(|(time, target, msg)| (pack(time, seq.next()), target, msg)))
+            }
+            EventQueue::Classic(q) => {
+                for (time, target, msg) in batch {
+                    q.heap.push(ClassicEntry {
+                        key: pack(time, seq.next()),
+                        target,
+                        msg,
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<PoppedEvent<M>> {
+        match self {
+            EventQueue::Wheel(q) => q.pop(),
+            EventQueue::Indexed(q) => q.pop(),
+            EventQueue::Classic(q) => q.heap.pop().map(|e| PoppedEvent {
+                time: key_time(e.key),
+                target: e.target,
+                msg: e.msg,
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(q) => q.peek_time(),
+            EventQueue::Indexed(q) => q.peek_time(),
+            EventQueue::Classic(q) => q.heap.peek().map(|e| key_time(e.key)),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(q) => q.len(),
+            EventQueue::Indexed(q) => q.len(),
+            EventQueue::Classic(q) => q.heap.len(),
+        }
+    }
+}
+
+/// The global insertion counter: the tie-break half of every event key.
+pub(crate) struct SeqCounter(u64);
+
+impl SeqCounter {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = self.0;
+        self.0 += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<M>(q: &mut EventQueue<M>) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.time.as_ns(), e.target.0));
+        }
+        out
+    }
+
+    fn exercise(kind: SchedulerKind) -> Vec<(u64, usize)> {
+        let (mut q, mut seq) = EventQueue::new(kind);
+        // A deliberately adversarial mix: descending, ties, interleaved
+        // pops, and a batch insert.
+        for t in (0..50u64).rev() {
+            q.push(&mut seq, SimTime::from_ns(t % 7), ComponentId(t as usize), t);
+        }
+        let mut popped = Vec::new();
+        for _ in 0..10 {
+            let e = q.pop().unwrap();
+            popped.push((e.time.as_ns(), e.target.0));
+        }
+        q.push_batch(
+            &mut seq,
+            (0..100u64).map(|i| (SimTime::from_ns(i % 5), ComponentId(1000 + i as usize), i)),
+        );
+        popped.extend(drain(&mut q));
+        popped
+    }
+
+    #[test]
+    fn all_schedulers_pop_identically() {
+        let classic = exercise(SchedulerKind::ClassicBinaryHeap);
+        assert_eq!(exercise(SchedulerKind::TimingWheel), classic);
+        assert_eq!(exercise(SchedulerKind::Indexed4), classic);
+    }
+
+    #[test]
+    fn pop_order_is_time_then_seq() {
+        for kind in [
+            SchedulerKind::TimingWheel,
+            SchedulerKind::Indexed4,
+            SchedulerKind::ClassicBinaryHeap,
+        ] {
+            let (mut q, mut seq) = EventQueue::<u32>::new(kind);
+            for (i, &t) in [5u64, 1, 5, 0, 1].iter().enumerate() {
+                q.push(&mut seq, SimTime::from_ns(t), ComponentId(i), i as u32);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
+            assert_eq!(order, vec![3, 1, 4, 0, 2], "{kind:?}");
+        }
+    }
+
+    /// Push times far beyond the wheel window, interleave pops (advancing
+    /// the wheel base), then push behind the new floor — every path through
+    /// bucket / overflow / rebucketing must still yield global key order.
+    #[test]
+    fn wheel_overflow_and_rebucketing_match_classic() {
+        let run = |kind: SchedulerKind| {
+            let (mut q, mut seq) = EventQueue::<u64>::new(kind);
+            // Mix of in-window, far-future (multiple windows out), and tied
+            // times, pushed in descending order.
+            for t in (0..40u64).rev() {
+                let time = (t % 3) * 20_000 + t % 5; // 0, 20_000, 40_000 bands
+                q.push(&mut seq, SimTime::from_ns(time), ComponentId(t as usize), t);
+            }
+            let mut popped = Vec::new();
+            for _ in 0..20 {
+                let e = q.pop().unwrap();
+                popped.push((e.time.as_ns(), e.target.0));
+                // Push behind the current pop time (same-time is legal);
+                // lands behind the wheel floor → overflow path.
+                if popped.len() % 4 == 0 {
+                    q.push(
+                        &mut seq,
+                        e.time,
+                        ComponentId(9000 + popped.len()),
+                        popped.len() as u64,
+                    );
+                }
+            }
+            popped.extend(drain(&mut q));
+            popped
+        };
+        assert_eq!(
+            run(SchedulerKind::TimingWheel),
+            run(SchedulerKind::ClassicBinaryHeap)
+        );
+    }
+
+    #[test]
+    fn batch_into_empty_heap_uses_floyd_and_orders() {
+        let (mut q, mut seq) = EventQueue::<u64>::new(SchedulerKind::Indexed4);
+        q.push_batch(
+            &mut seq,
+            (0..200u64).map(|i| (SimTime::from_ns(199 - i), ComponentId(i as usize), i)),
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_ns()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(times.len(), 200);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let (mut q, mut seq) = EventQueue::<u64>::new(SchedulerKind::Indexed4);
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                q.push(&mut seq, SimTime::from_ns(i), ComponentId(0), round * 8 + i);
+            }
+            while q.pop().is_some() {}
+        }
+        if let EventQueue::Indexed(h) = &q {
+            assert!(
+                h.payload.len() <= 8,
+                "slab grew to {} for a working set of 8",
+                h.payload.len()
+            );
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -2,25 +2,65 @@
 //!
 //! Every stochastic decision in a simulation (packet drops, benchmark skew,
 //! node permutations) draws from a [`SimRng`] derived from the run's master
-//! seed. ChaCha8 is a counter-based generator, so forked sub-streams are
-//! independent and the whole run replays bit-for-bit from the seed — the
-//! property the determinism integration tests assert.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! seed. The generator is a self-contained ChaCha8 implementation (the build
+//! environment is offline, so `rand_chacha` is not available): a
+//! counter-based stream cipher, so forked sub-streams are independent and
+//! the whole run replays bit-for-bit from the seed — the property the
+//! determinism integration tests assert.
 
 /// A deterministic random number generator owned by a simulation run.
+///
+/// ChaCha8 core: the 64-bit `seed` is expanded to the 256-bit key with
+/// SplitMix64, the 64-bit `stream` selects an independent sub-stream (the
+/// cipher nonce), and a 64-bit block counter advances through the stream.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill needed".
+    cursor: usize,
     seed: u64,
 }
 
+/// One SplitMix64 step; used to expand the seed into key material.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
 impl SimRng {
-    /// Create a generator from a 64-bit seed.
+    /// Create a generator from a 64-bit seed (stream 0).
     pub fn new(seed: u64) -> Self {
+        let mut expand = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let word = splitmix64(&mut expand);
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            key,
+            stream: 0,
+            counter: 0,
+            buf: [0; 16],
+            cursor: 16,
             seed,
         }
     }
@@ -32,13 +72,85 @@ impl SimRng {
 
     /// Derive an independent sub-stream, e.g. one per NIC or one per
     /// benchmark iteration. Streams with different `stream` values never
-    /// overlap regardless of how much either is consumed.
+    /// overlap regardless of how much either is consumed (the stream id is
+    /// the ChaCha nonce).
     pub fn fork(&self, stream: u64) -> SimRng {
-        let mut inner = ChaCha8Rng::seed_from_u64(self.seed);
-        inner.set_stream(stream);
         SimRng {
-            inner,
+            key: self.key,
+            stream,
+            counter: 0,
+            buf: [0; 16],
+            cursor: 16,
             seed: self.seed,
+        }
+    }
+
+    /// Generate the next 64-byte ChaCha8 block into `buf`.
+    fn refill(&mut self) {
+        // RFC 7539 layout: constants, key, block counter, nonce — with the
+        // 64-bit counter in words 12-13 and the 64-bit stream id in 14-15.
+        let mut x: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let input = x;
+        // 8 rounds = 4 double rounds (column + diagonal).
+        for _ in 0..4 {
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, inp) in x.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = x;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// Next raw 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
         }
     }
 
@@ -49,19 +161,30 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply range reduction with a rejection step to remove
+        // the modulo bias (Lemire's method).
+        let mut m = self.next_u64() as u128 * bound as u128;
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = self.next_u64() as u128 * bound as u128;
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -69,35 +192,17 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.unit() * (hi - lo)
         }
     }
 
     /// Fisher–Yates shuffle of a slice (used for the paper's random node
     /// permutations).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        // rand's SliceRandom would also work; implemented inline so the only
-        // RNG entry points are the methods of this type (easier to audit
-        // determinism).
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i) as usize;
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -136,6 +241,21 @@ mod tests {
     }
 
     #[test]
+    fn fork_is_consumption_independent() {
+        let mut root = SimRng::new(123);
+        let pristine = root.fork(5);
+        let mut a = pristine.clone();
+        let expect: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        // Consuming the root must not perturb later forks of the same stream.
+        for _ in 0..100 {
+            root.next_u64();
+        }
+        let mut b = root.fork(5);
+        let got: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::new(1);
         assert!(!r.chance(0.0));
@@ -160,6 +280,16 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_all_residues() {
+        let mut r = SimRng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "below(7) missed a residue: {seen:?}");
+    }
+
+    #[test]
     fn shuffle_is_a_permutation() {
         let mut r = SimRng::new(4);
         let mut v: Vec<u32> = (0..64).collect();
@@ -177,5 +307,22 @@ mod tests {
         assert_eq!(r.range_f64(3.0, 3.0), 3.0);
         let x = r.range_f64(1.0, 2.0);
         assert!((1.0..2.0).contains(&x));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut r = SimRng::new(6);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "37 zero bytes is implausible");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_range() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

@@ -5,7 +5,6 @@
 //! helpers; nanosecond integer arithmetic keeps event ordering exact (no FP
 //! accumulation error across the 10⁴-iteration benchmark loops).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -15,7 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// `SimTime` is used both as an absolute timestamp and as a duration; the
 /// arithmetic never distinguishes the two, mirroring plain `u64` ns counters
 /// in production event-driven simulators.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local gate: release build, workspace tests, clippy with warnings
+# denied. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

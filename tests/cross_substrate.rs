@@ -114,6 +114,7 @@ fn soak_thousands_of_epochs_with_loss_and_skew() {
         skew_us: 5.0,
         drop_prob: 0.01,
         permute: true,
+        ..RunCfg::default()
     };
     let s = gm_nic_barrier(
         GmParams::lanai_xp(),

@@ -69,7 +69,7 @@ proptest! {
         n in 2usize..14,
         seed in 0u64..1000,
         algo in arb_algo(),
-        skew_us in prop_oneof![Just(0.0), (1.0f64..30.0)],
+        skew_us in prop_oneof![Just(0.0), 1.0f64..30.0],
         drop in prop_oneof![Just(0.0), Just(0.01), Just(0.05)],
         permute in any::<bool>(),
     ) {
@@ -80,6 +80,7 @@ proptest! {
             skew_us,
             drop_prob: drop,
             permute,
+            ..RunCfg::default()
         };
         let s = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), n, algo, cfg);
         prop_assert!(s.mean_us > 0.0);
@@ -112,7 +113,7 @@ proptest! {
         n in 2usize..14,
         seed in 0u64..1000,
         algo in arb_algo(),
-        skew_us in prop_oneof![Just(0.0), (1.0f64..30.0)],
+        skew_us in prop_oneof![Just(0.0), 1.0f64..30.0],
         permute in any::<bool>(),
     ) {
         let cfg = RunCfg {
@@ -122,6 +123,7 @@ proptest! {
             skew_us,
             drop_prob: 0.0,
             permute,
+            ..RunCfg::default()
         };
         let s = elan_nic_barrier(ElanParams::elan3(), n, algo, cfg);
         prop_assert!(s.mean_us > 0.0);
@@ -264,8 +266,8 @@ mod collective_props {
             let spec = GmClusterSpec::new(GmParams::lanai_xp(), n).with_seed(seed);
             let mut apps: Vec<Box<dyn GmApp>> = Vec::new();
             let mut colls: Vec<Box<dyn NicCollective>> = Vec::new();
-            for rank in 0..n {
-                apps.push(Box::new(CollOpApp::new(G, vec![contributions[rank]])));
+            for (rank, &contribution) in contributions.iter().enumerate() {
+                apps.push(Box::new(CollOpApp::new(G, vec![contribution])));
                 colls.push(Box::new(PaperCollective::new(
                     NodeId(rank),
                     vec![GroupSpec {
