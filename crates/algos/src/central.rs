@@ -5,8 +5,8 @@
 //! but all N threads contend on two cache lines — the baseline the
 //! log-depth barriers beat as N grows.
 
-use crate::{spin_wait, ShmBarrier};
 use crate::pad::CachePadded;
+use crate::{spin_wait, ShmBarrier};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The classic central barrier with sense reversal.

@@ -7,8 +7,8 @@
 //! neighbours race one episode ahead — the same banked-progress idea the
 //! NIC protocol implements with event counters.
 
-use crate::{ceil_log2, spin_wait, ShmBarrier};
 use crate::pad::CachePadded;
+use crate::{ceil_log2, spin_wait, ShmBarrier};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 struct ThreadState {

@@ -7,8 +7,8 @@
 //! This is the gather-broadcast shape of the paper's Fig. 2, with the
 //! re-arm-before-signal trick standing in for epoch banking.
 
-use crate::{spin_wait, ShmBarrier};
 use crate::pad::CachePadded;
+use crate::{spin_wait, ShmBarrier};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 const ARITY: usize = 4;
@@ -39,8 +39,7 @@ impl McsTreeBarrier {
         assert!(n > 0, "empty barrier");
         let nodes = (0..n)
             .map(|i| {
-                let have_child =
-                    std::array::from_fn(|j| ARITY * i + j + 1 < n);
+                let have_child = std::array::from_fn(|j| ARITY * i + j + 1 < n);
                 Node {
                     child_not_ready: std::array::from_fn(|j| AtomicBool::new(have_child[j])),
                     have_child,

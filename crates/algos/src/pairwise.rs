@@ -6,8 +6,8 @@
 //! pre-step (threads `≥ M` announce to `i − M`), the `M`-thread exchange,
 //! and a post-step releasing the high threads — `⌊log₂N⌋ + 2` steps.
 
-use crate::{floor_log2, spin_wait, ShmBarrier};
 use crate::pad::CachePadded;
+use crate::{floor_log2, spin_wait, ShmBarrier};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 struct ThreadState {

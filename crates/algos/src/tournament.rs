@@ -7,8 +7,8 @@
 //! communication partners, which is what makes the tournament (and the
 //! paper's NIC schedules) amenable to pre-armed triggers.
 
-use crate::{ceil_log2, spin_wait, ShmBarrier};
 use crate::pad::CachePadded;
+use crate::{ceil_log2, spin_wait, ShmBarrier};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Per-round role of a thread.

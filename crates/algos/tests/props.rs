@@ -3,8 +3,8 @@
 //! episode counts (bounded to keep wall time sane).
 
 use nicbar_algos::{
-    harness::exercise, CentralSenseBarrier, DisseminationBarrier, McsTreeBarrier,
-    PairwiseBarrier, ShmBarrier, TournamentBarrier,
+    harness::exercise, CentralSenseBarrier, DisseminationBarrier, McsTreeBarrier, PairwiseBarrier,
+    ShmBarrier, TournamentBarrier,
 };
 use proptest::prelude::*;
 

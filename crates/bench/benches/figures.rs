@@ -110,7 +110,9 @@ fn fig8(c: &mut Criterion) {
     };
     for n in [64usize, 256] {
         g.bench_with_input(BenchmarkId::new("quadrics_nic_ds", n), &n, |b, &n| {
-            b.iter(|| elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg).mean_us)
+            b.iter(|| {
+                elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg).mean_us
+            })
         });
         g.bench_with_input(BenchmarkId::new("myrinet_nic_ds", n), &n, |b, &n| {
             b.iter(|| {

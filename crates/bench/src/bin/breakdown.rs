@@ -6,11 +6,11 @@
 //! delivery). Uses the engine's counters and the known per-operation costs
 //! of the parameter sets.
 
+use nicbar_core::ceil_log2;
 use nicbar_core::{
     elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, gm_host_barrier, gm_nic_barrier,
     Algorithm, RunCfg,
 };
-use nicbar_core::ceil_log2;
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
 
@@ -27,7 +27,13 @@ fn main() {
 
     // --- Myrinet NIC-based -------------------------------------------------
     let p = GmParams::lanai_xp();
-    let s = gm_nic_barrier(p.clone(), CollFeatures::paper(), n, Algorithm::Dissemination, cfg);
+    let s = gm_nic_barrier(
+        p.clone(),
+        CollFeatures::paper(),
+        n,
+        Algorithm::Dissemination,
+        cfg,
+    );
     println!("Myrinet LANai-XP, NIC-based: {:.2} µs total", s.mean_us);
     let host_side = (p.host_coll_call + p.pio_write + p.host_event_dma + p.host_recv_poll).as_us();
     let nic_work = (p.nic_coll_send + p.nic_coll_recv).as_us() * rounds as f64;
@@ -57,7 +63,10 @@ fn main() {
         + p.dma_time(20)
         + p.host_event_dma)
         .as_us();
-    println!("  full p2p round trip per round     {per_round:>6.2} µs × {rounds} rounds = {:.2} µs", per_round * rounds as f64);
+    println!(
+        "  full p2p round trip per round     {per_round:>6.2} µs × {rounds} rounds = {:.2} µs",
+        per_round * rounds as f64
+    );
     println!(
         "  ACK load + serialization residual {:>6.2} µs\n",
         s.mean_us - per_round * rounds as f64
@@ -82,7 +91,10 @@ fn main() {
     // --- Comparators -----------------------------------------------------------
     let tree = elan_gsync_barrier(q.clone(), n, 4, cfg);
     let hw = elan_hw_barrier(q, n, cfg);
-    println!("Quadrics comparators: gsync tree {:.2} µs, hardware barrier {:.2} µs", tree.mean_us, hw.mean_us);
+    println!(
+        "Quadrics comparators: gsync tree {:.2} µs, hardware barrier {:.2} µs",
+        tree.mean_us, hw.mean_us
+    );
     println!("\n(The residual lines quantify how much of the naive serial sum the");
     println!(" pipeline hides — negative residual = overlap between stages.)");
 }

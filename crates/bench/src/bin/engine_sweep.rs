@@ -7,6 +7,13 @@
 //! simulation results while doing so. Writes `results/engine_sweep.json`.
 //!
 //! Run with `cargo run --release -p nicbar-bench --bin engine_sweep`.
+//!
+//! `--quick [--baseline PATH]` runs only the timing-wheel micro workloads
+//! and compares their throughput against a previously saved
+//! `results/engine_sweep.json`, exiting non-zero on a >5% geomean
+//! regression. This is the observability zero-overhead gate: the recorder
+//! and trace ring stay disabled, so any slowdown here is hot-path damage.
+//! Quick mode never overwrites the baseline.
 
 use nicbar_bench::json::Writer;
 use nicbar_bench::seed_engine::{SeedComponent, SeedCtx, SeedEngine};
@@ -265,7 +272,112 @@ fn kind_name(kind: SchedulerKind) -> &'static str {
     }
 }
 
+/// Pull `"key": "value"` out of one JSON object's text.
+fn json_str<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Pull `"key": number` out of one JSON object's text.
+fn json_num(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[start..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Timing-wheel micro rows `(workload, events_per_sec)` from a saved
+/// `engine_sweep.json`. The writer emits one flat object per row, so a
+/// split on `{` isolates each row's fields.
+fn baseline_rows(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read baseline {path}: {e} (run the full sweep first)"));
+    let mut rows = Vec::new();
+    for chunk in text.split('{') {
+        if json_str(chunk, "scheduler") != Some("timing_wheel") {
+            continue;
+        }
+        if let (Some(wl), Some(eps)) = (
+            json_str(chunk, "workload"),
+            json_num(chunk, "events_per_sec"),
+        ) {
+            rows.push((wl.to_string(), eps));
+        }
+    }
+    rows
+}
+
+/// `--quick` gate: timing-wheel micro throughput vs the saved baseline.
+/// Exits 1 on a >5% geomean regression; never writes the baseline.
+fn quick_gate(baseline_path: &str) -> ! {
+    const TOLERANCE: f64 = 0.95;
+    let baseline = baseline_rows(baseline_path);
+    assert!(
+        !baseline.is_empty(),
+        "no timing_wheel micro rows in {baseline_path}"
+    );
+    println!("== engine_sweep --quick: timing wheel vs {baseline_path} ==\n");
+    // Each micro run lasts ~10 ms, so quick mode can afford many repeats;
+    // taking the minimum over 25 runs filters out transient machine load
+    // (noise only ever slows a run down, never speeds it up).
+    const QUICK_REPEATS: usize = 25;
+    type MicroRun = fn(SchedulerKind) -> (u64, f64);
+    let runs: [(&str, MicroRun); 3] = [
+        ("ring_hop", ring_hop_run),
+        ("flows_64", flows_run),
+        ("fanout", fanout_run),
+    ];
+    let mut ratios = Vec::new();
+    for (label, run) in runs {
+        let Some(&(_, base_eps)) = baseline.iter().find(|(wl, _)| wl == label) else {
+            println!("{label:<10} not in baseline, skipped");
+            continue;
+        };
+        let mut events = 0;
+        let mut secs = f64::INFINITY;
+        for _ in 0..QUICK_REPEATS {
+            let (e, s) = run(SchedulerKind::TimingWheel);
+            events = e;
+            secs = secs.min(s);
+        }
+        let eps = events as f64 / secs;
+        let ratio = eps / base_eps;
+        println!(
+            "{label:<10} {:>10.1} Kevents/s   baseline {:>10.1}   ratio {ratio:>5.3}",
+            eps / 1e3,
+            base_eps / 1e3
+        );
+        ratios.push(ratio);
+    }
+    assert!(!ratios.is_empty(), "no workloads matched the baseline");
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("\ngeomean ratio: {geomean:.3} (gate: >= {TOLERANCE})");
+    if geomean < TOLERANCE {
+        eprintln!(
+            "engine_sweep --quick: throughput regressed {:.1}% vs baseline",
+            (1.0 - geomean) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("engine_sweep --quick: within tolerance ✓");
+    std::process::exit(0);
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--quick") {
+        let baseline = argv
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| argv.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("results/engine_sweep.json");
+        quick_gate(baseline);
+    }
+
     let kinds = [
         SchedulerKind::TimingWheel,
         SchedulerKind::Indexed4,

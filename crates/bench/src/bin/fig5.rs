@@ -5,10 +5,11 @@
 //! the host-based barrier; PE bumps above DS at non-powers of two.
 
 use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
-use nicbar_core::{gm_host_barrier, gm_nic_barrier, Algorithm};
+use nicbar_core::{gm_host_barrier, gm_nic_barrier, gm_nic_barrier_flight, Algorithm, RunCfg};
 use nicbar_gm::{CollFeatures, GmParams};
 
 fn main() {
+    let flight = std::env::args().any(|a| a == "--flight");
     let ns: Vec<usize> = (2..=16).collect();
     let cfg = figure_cfg();
 
@@ -42,4 +43,22 @@ fn main() {
         "               improvement factor @16 = 3.38x (sim {:.2}x)",
         host16 / nic16
     );
+
+    // Opt-in flight recording: a short instrumented window at 16 nodes,
+    // showing where the NIC barrier's latency goes phase by phase.
+    if flight {
+        println!();
+        let cap = gm_nic_barrier_flight(
+            GmParams::lanai_9_1(),
+            CollFeatures::paper(),
+            16,
+            Algorithm::Dissemination,
+            RunCfg {
+                warmup: 2,
+                iters: 8,
+                ..RunCfg::default()
+            },
+        );
+        nicbar_bench::flight::print_breakdown(&cap);
+    }
 }

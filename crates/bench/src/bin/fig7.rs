@@ -8,7 +8,10 @@
 //! the NIC barrier at small node counts.
 
 use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
-use nicbar_core::{elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, Algorithm};
+use nicbar_core::{
+    elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_nic_barrier_flight, Algorithm,
+    RunCfg,
+};
 use nicbar_elan::ElanParams;
 
 /// Elanlib builds its software trees 4-ary (matching the quaternary fat
@@ -16,6 +19,7 @@ use nicbar_elan::ElanParams;
 const GSYNC_DEGREE: usize = 4;
 
 fn main() {
+    let flight = std::env::args().any(|a| a == "--flight");
     let ns: Vec<usize> = (2..=8).collect();
     let cfg = figure_cfg();
 
@@ -53,4 +57,21 @@ fn main() {
         tree8 / nic8
     );
     println!("               hardware barrier = 4.20 µs (sim {hw8:.2})");
+
+    // Opt-in flight recording: a short instrumented window at 8 nodes,
+    // showing the chained-RDMA barrier's phase-by-phase latency.
+    if flight {
+        println!();
+        let cap = elan_nic_barrier_flight(
+            ElanParams::elan3(),
+            8,
+            Algorithm::Dissemination,
+            RunCfg {
+                warmup: 2,
+                iters: 8,
+                ..RunCfg::default()
+            },
+        );
+        nicbar_bench::flight::print_breakdown(&cap);
+    }
 }

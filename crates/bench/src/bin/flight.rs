@@ -1,0 +1,84 @@
+//! Flight-recorder capture of the paper's NIC barrier on both substrates.
+//!
+//! Runs a short instrumented window (2 warm-up + 8 recorded barriers) of
+//! the 4-node NIC barrier over Quadrics/Elan3 and GM/Myrinet with the trace
+//! ring and flight recorder on, then prints the per-phase latency breakdown
+//! for each capture. With `--chrome <path>` it also writes both captures as
+//! Chrome trace-event JSON (open in Perfetto or `chrome://tracing`).
+//!
+//! Options:
+//!   --nodes N        group size (default 4)
+//!   --chrome PATH    write Chrome trace JSON to PATH
+//!   --gm-only        skip the Elan capture
+//!   --elan-only      skip the GM capture
+
+use nicbar_bench::flight::{chrome_trace, print_breakdown};
+use nicbar_core::{elan_nic_barrier_flight, gm_nic_barrier_flight, Algorithm, FlightData, RunCfg};
+use nicbar_elan::ElanParams;
+use nicbar_gm::{CollFeatures, GmParams};
+
+fn main() {
+    let mut nodes = 4usize;
+    let mut chrome: Option<String> = None;
+    let mut run_gm = true;
+    let mut run_elan = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nodes takes a positive integer");
+            }
+            "--chrome" => {
+                chrome = Some(args.next().expect("--chrome takes an output path"));
+            }
+            "--gm-only" => run_elan = false,
+            "--elan-only" => run_gm = false,
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!("usage: flight [--nodes N] [--chrome PATH] [--gm-only|--elan-only]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(nodes >= 2, "a barrier needs at least 2 nodes");
+
+    // A short window: the point is a readable trace, not tight statistics.
+    let cfg = RunCfg {
+        warmup: 2,
+        iters: 8,
+        ..RunCfg::default()
+    };
+
+    let mut captures: Vec<FlightData> = Vec::new();
+    if run_elan {
+        captures.push(elan_nic_barrier_flight(
+            ElanParams::elan3(),
+            nodes,
+            Algorithm::Dissemination,
+            cfg,
+        ));
+    }
+    if run_gm {
+        captures.push(gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            nodes,
+            Algorithm::Dissemination,
+            cfg,
+        ));
+    }
+
+    for cap in &captures {
+        print_breakdown(cap);
+        println!();
+    }
+
+    if let Some(path) = chrome {
+        let json = chrome_trace(&captures);
+        std::fs::write(&path, json).expect("write Chrome trace");
+        println!("[saved {path}]");
+    }
+}

@@ -45,40 +45,41 @@ fn main() {
                 .mean_us
             }
             ("host", 0) => {
-                nicbar_core::gm_host_barrier(
+                nicbar_core::gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg)
+                    .mean_us
+            }
+            ("paper", _) => {
+                gm_nic_barrier_under_traffic(
+                    GmParams::lanai_xp(),
+                    CollFeatures::paper(),
+                    n,
+                    Algorithm::Dissemination,
+                    cfg,
+                    traffic,
+                )
+                .mean_us
+            }
+            ("direct", _) => {
+                gm_nic_barrier_under_traffic(
+                    GmParams::lanai_xp(),
+                    CollFeatures::direct(),
+                    n,
+                    Algorithm::Dissemination,
+                    cfg,
+                    traffic,
+                )
+                .mean_us
+            }
+            _ => {
+                gm_host_barrier_under_traffic(
                     GmParams::lanai_xp(),
                     n,
                     Algorithm::Dissemination,
                     cfg,
+                    traffic,
                 )
                 .mean_us
             }
-            ("paper", _) => gm_nic_barrier_under_traffic(
-                GmParams::lanai_xp(),
-                CollFeatures::paper(),
-                n,
-                Algorithm::Dissemination,
-                cfg,
-                traffic,
-            )
-            .mean_us,
-            ("direct", _) => gm_nic_barrier_under_traffic(
-                GmParams::lanai_xp(),
-                CollFeatures::direct(),
-                n,
-                Algorithm::Dissemination,
-                cfg,
-                traffic,
-            )
-            .mean_us,
-            _ => gm_host_barrier_under_traffic(
-                GmParams::lanai_xp(),
-                n,
-                Algorithm::Dissemination,
-                cfg,
-                traffic,
-            )
-            .mean_us,
         }
     };
 

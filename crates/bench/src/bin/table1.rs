@@ -34,8 +34,7 @@ fn main() {
     let o_nic16 = gm_nic_barrier(GmParams::lanai_9_1(), CollFeatures::paper(), 16, ds, cfg).mean_us;
     let o_host16 = gm_host_barrier(GmParams::lanai_9_1(), 16, ds, cfg).mean_us;
     let q_1024 = elan_nic_barrier(ElanParams::elan3(), 1024, ds, big).mean_us;
-    let m_1024 =
-        gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), 1024, ds, big).mean_us;
+    let m_1024 = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), 1024, ds, big).mean_us;
 
     println!("== Table 1 — headline results, paper vs simulation ==\n");
     println!("{:<46} {:>9} {:>11}", "metric", "paper", "simulated");
@@ -43,11 +42,21 @@ fn main() {
         println!("{m:<46} {p:>8.2}{unit} {s:>10.2}{unit}");
     };
     row("Quadrics 8-node NIC barrier", 5.60, q_nic8, "u");
-    row("  improvement over Elanlib tree", 2.48, q_tree8 / q_nic8, "x");
+    row(
+        "  improvement over Elanlib tree",
+        2.48,
+        q_tree8 / q_nic8,
+        "x",
+    );
     row("Myrinet LANai-XP 8-node NIC barrier", 14.20, m_nic8, "u");
     row("  improvement over host-based", 2.64, m_host8 / m_nic8, "x");
     row("Myrinet LANai-9.1 16-node NIC barrier", 25.72, o_nic16, "u");
-    row("  improvement over host-based", 3.38, o_host16 / o_nic16, "x");
+    row(
+        "  improvement over host-based",
+        3.38,
+        o_host16 / o_nic16,
+        "x",
+    );
     row("1024-node NIC barrier, Quadrics", 22.13, q_1024, "u");
     row("1024-node NIC barrier, Myrinet", 38.94, m_1024, "u");
     println!("\n(u = µs, x = factor; simulated values from the calibrated DES substrates)");

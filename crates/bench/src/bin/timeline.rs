@@ -3,10 +3,10 @@
 //! dispatch trace of the GM protocol — a microscope on what the simulators
 //! actually do per barrier.
 
-use nicbar_core::elan_chain::build_chains;
 use nicbar_core::elan_apps::ElanNicBarrierApp;
-use nicbar_core::{Algorithm, GroupSpec, PaperCollective, BARRIER_GROUP};
+use nicbar_core::elan_chain::build_chains;
 use nicbar_core::host_app::NicBarrierApp;
+use nicbar_core::{Algorithm, GroupSpec, PaperCollective, BARRIER_GROUP};
 use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams};
 use nicbar_gm::{GmApp, GmCluster, GmClusterSpec, GmParams, NicCollective};
 use nicbar_net::NodeId;
@@ -46,16 +46,29 @@ fn main() {
     println!("     t(µs)   comp  event         detail");
     for r in cluster.engine.trace().iter() {
         let rel = r.time.saturating_sub(t0).as_us();
-        let detail = match r.label {
-            "elan.fire" => format!("descriptor {} -> node {}", r.a, r.b),
-            "elan.arrive" => format!("RDMA from node {} sets event {}", r.a, r.b),
-            "elan.notify" => format!("event {} notifies host (cookie {:#x})", r.a, r.b),
-            other => format!("{other} a={} b={}", r.a, r.b),
-        };
-        println!("{rel:>10.3}  {:>5}  {:<12}  {detail}", r.component.0, r.label);
+        // Decoding lives on the typed event itself (SpanEvent::describe).
+        println!(
+            "{rel:>10.3}  {:>5}  {:<12}  {}",
+            r.component.0,
+            r.label(),
+            r.event.describe()
+        );
+    }
+    if cluster.engine.trace().dropped() > 0 {
+        println!(
+            "warning: trace ring dropped {} records; timeline is truncated",
+            cluster.engine.trace().dropped()
+        );
     }
     let done_at = (0..n)
-        .map(|i| *cluster.app_ref::<ElanNicBarrierApp>(i).log.completions.last().unwrap())
+        .map(|i| {
+            *cluster
+                .app_ref::<ElanNicBarrierApp>(i)
+                .log
+                .completions
+                .last()
+                .unwrap()
+        })
         .max()
         .unwrap();
     println!(
@@ -89,17 +102,25 @@ fn main() {
     cluster.run_until(SimTime::from_us(1_000.0));
     println!("     t(µs)   comp  event         detail");
     for r in cluster.engine.trace().iter() {
-        let detail = match r.label {
-            "coll.bypass" => format!("collective packet to node {} (static path)", r.a),
-            "coll.queued" => format!("collective token queued to node {} behind {}", r.a, r.b),
-            other => format!("{other} a={} b={}", r.a, r.b),
-        };
         println!(
-            "{:>10.3}  {:>5}  {:<12}  {detail}",
+            "{:>10.3}  {:>5}  {:<12}  {}",
             r.time.as_us(),
             r.component.0,
-            r.label
+            r.label(),
+            r.event.describe()
         );
     }
-    println!("\n(component ids: 0..{} hosts, {}..{} NICs, {} fabric)", n - 1, n, 2 * n - 1, 2 * n);
+    if cluster.engine.trace().dropped() > 0 {
+        println!(
+            "warning: trace ring dropped {} records; timeline is truncated",
+            cluster.engine.trace().dropped()
+        );
+    }
+    println!(
+        "\n(component ids: 0..{} hosts, {}..{} NICs, {} fabric)",
+        n - 1,
+        n,
+        2 * n - 1,
+        2 * n
+    );
 }

@@ -21,7 +21,11 @@ fn barrier_with_radix(n: usize, radix: usize, cfg: RunCfg) -> (f64, u32) {
     let mut apps: Vec<Box<dyn GmApp>> = Vec::new();
     let mut colls: Vec<Box<dyn NicCollective>> = Vec::new();
     for rank in 0..n {
-        apps.push(Box::new(NicBarrierApp::new(BARRIER_GROUP, cfg.total(), 0.0)));
+        apps.push(Box::new(NicBarrierApp::new(
+            BARRIER_GROUP,
+            cfg.total(),
+            0.0,
+        )));
         colls.push(Box::new(PaperCollective::new(
             NodeId(rank),
             vec![GroupSpec::barrier(

@@ -14,6 +14,7 @@
 use std::io::Write;
 use std::path::Path;
 
+pub mod flight;
 pub mod json;
 pub mod seed_engine;
 
@@ -37,7 +38,10 @@ impl Series {
 
     /// Latency at a given `n`, if present.
     pub fn at(&self, n: usize) -> Option<f64> {
-        self.points.iter().find(|&&(pn, _)| pn == n).map(|&(_, v)| v)
+        self.points
+            .iter()
+            .find(|&&(pn, _)| pn == n)
+            .map(|&(_, v)| v)
     }
 }
 

@@ -9,11 +9,11 @@ use crate::host_app::{HostBarrierApp, NicBarrierApp};
 use crate::protocol::{GroupSpec, PaperCollective};
 use crate::schedule::Algorithm;
 use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram};
-use nicbar_gm::{
-    CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective,
-};
+use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::{NodeId, Permutation};
-use nicbar_sim::{RunOutcome, SchedulerKind, SimRng, SimTime};
+use nicbar_sim::{
+    Engine, Histogram, RunOutcome, SchedulerKind, SimRng, SimTime, SpanSummary, TraceRecord,
+};
 
 /// The collective group id used by the barrier benchmarks.
 pub const BARRIER_GROUP: GroupId = GroupId(0xBA);
@@ -99,7 +99,10 @@ impl BarrierStats {
 
     /// Smallest single-iteration latency in the window, µs.
     pub fn min_us(&self) -> f64 {
-        self.per_iter_us.iter().copied().fold(f64::INFINITY, f64::min)
+        self.per_iter_us
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// A named counter's final value.
@@ -163,14 +166,73 @@ pub(crate) fn stats_from_logs(
     }
 }
 
-/// Run the paper's NIC-based barrier over the GM/Myrinet substrate.
-pub fn gm_nic_barrier(
+/// Everything a flight-recorded run captures: the usual statistics plus the
+/// raw trace, per-barrier span summaries, and the latency histograms. Every
+/// drop/orphan counter rides along so exporters can qualify the capture.
+#[derive(Clone, Debug)]
+pub struct FlightData {
+    /// Substrate label for exporters ("gm" or "elan").
+    pub substrate: &'static str,
+    /// Aggregate statistics of the run (same as the untraced driver).
+    pub stats: BarrierStats,
+    /// Every trace record the ring retained, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// Records the trace ring evicted (0 = complete capture).
+    pub trace_dropped: u64,
+    /// Per-barrier span summaries, in completion order.
+    pub spans: Vec<SpanSummary>,
+    /// Span summaries discarded once the recorder filled (histograms still
+    /// observed them).
+    pub spans_dropped: u64,
+    /// Span events that arrived with no open span to own them.
+    pub orphaned: u64,
+    /// Latency histograms `(name, histogram)`, name-ordered.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl FlightData {
+    /// True when any part of the capture lost data.
+    pub fn lossy(&self) -> bool {
+        self.trace_dropped > 0 || self.spans_dropped > 0
+    }
+}
+
+/// Snapshot the trace ring and flight recorder off any engine into a
+/// [`FlightData`] whose `stats` field the caller fills in afterwards.
+fn capture_observability<M>(
+    substrate: &'static str,
+    engine: &Engine<M>,
+    stats: BarrierStats,
+) -> FlightData {
+    let trace = engine.trace();
+    let rec = engine.recorder();
+    FlightData {
+        substrate,
+        stats,
+        records: trace.iter().copied().collect(),
+        trace_dropped: trace.dropped(),
+        spans: rec.completed().to_vec(),
+        spans_dropped: rec.dropped(),
+        orphaned: rec.orphaned(),
+        hists: rec
+            .hists()
+            .iter()
+            .into_iter()
+            .map(|(k, h)| (k.to_string(), h.clone()))
+            .collect(),
+    }
+}
+
+/// Build and drain a GM NIC-barrier cluster; `observe` turns on the trace
+/// ring and the flight recorder before any event runs.
+fn gm_nic_cluster(
     params: GmParams,
     features: CollFeatures,
     n: usize,
     algo: Algorithm,
-    cfg: RunCfg,
-) -> BarrierStats {
+    cfg: &RunCfg,
+    observe: bool,
+) -> GmCluster {
     let timeout = params.coll_timeout;
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
@@ -202,8 +264,18 @@ pub fn gm_nic_barrier(
     let colls: Vec<Box<dyn NicCollective>> =
         colls.into_iter().map(|c| c.expect("bijection")).collect();
     let mut cluster = GmCluster::build(spec, apps, colls);
+    if observe {
+        cluster.engine.enable_trace();
+        cluster.engine.enable_recorder();
+        cluster.engine.recorder_mut().set_participants(n as u32);
+    }
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "NIC barrier run did not drain");
+    cluster
+}
+
+/// Harvest counters and completion logs into [`BarrierStats`].
+fn gm_nic_stats(cluster: &GmCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
     let counters: Vec<(String, u64)> = cluster
         .engine
         .counters()
@@ -219,16 +291,39 @@ pub fn gm_nic_barrier(
                 .as_slice()
         })
         .collect();
-    stats_from_logs(n, &cfg, logs, counters)
+    stats_from_logs(n, cfg, logs, counters)
 }
 
-/// Run the host-based barrier baseline over the GM/Myrinet substrate.
-pub fn gm_host_barrier(
+/// Run the paper's NIC-based barrier over the GM/Myrinet substrate.
+pub fn gm_nic_barrier(
     params: GmParams,
+    features: CollFeatures,
     n: usize,
     algo: Algorithm,
     cfg: RunCfg,
 ) -> BarrierStats {
+    let cluster = gm_nic_cluster(params, features, n, algo, &cfg, false);
+    gm_nic_stats(&cluster, n, &cfg)
+}
+
+/// Run the GM NIC barrier with the flight recorder on and return the full
+/// capture. Keep `cfg.total()` small (tens of barriers): the trace ring
+/// holds 64 Ki records and the recorder 4 Ki spans before they start
+/// dropping (drops are reported, not fatal).
+pub fn gm_nic_barrier_flight(
+    params: GmParams,
+    features: CollFeatures,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> FlightData {
+    let cluster = gm_nic_cluster(params, features, n, algo, &cfg, true);
+    let stats = gm_nic_stats(&cluster, n, &cfg);
+    capture_observability("gm", &cluster.engine, stats)
+}
+
+/// Run the host-based barrier baseline over the GM/Myrinet substrate.
+pub fn gm_host_barrier(params: GmParams, n: usize, algo: Algorithm, cfg: RunCfg) -> BarrierStats {
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
         .with_drop_prob(cfg.drop_prob)
@@ -266,13 +361,15 @@ pub fn gm_host_barrier(
     stats_from_logs(n, &cfg, logs, counters)
 }
 
-/// Run the NIC-based barrier over the Quadrics substrate (chained RDMA).
-pub fn elan_nic_barrier(
+/// Build and drain a Quadrics NIC-barrier cluster (chained RDMA);
+/// `observe` turns on the trace ring and flight recorder up front.
+fn elan_nic_cluster(
     params: ElanParams,
     n: usize,
     algo: Algorithm,
-    cfg: RunCfg,
-) -> BarrierStats {
+    cfg: &RunCfg,
+    observe: bool,
+) -> ElanCluster {
     let spec = ElanClusterSpec::new(params, n)
         .with_seed(cfg.seed)
         .with_scheduler(cfg.scheduler);
@@ -286,8 +383,18 @@ pub fn elan_nic_barrier(
     }
     let apps: Vec<Box<dyn ElanApp>> = apps.into_iter().map(|a| a.expect("bijection")).collect();
     let mut cluster = ElanCluster::build(spec, apps, programs);
+    if observe {
+        cluster.engine.enable_trace();
+        cluster.engine.enable_recorder();
+        cluster.engine.recorder_mut().set_participants(n as u32);
+    }
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "elan NIC barrier did not drain");
+    cluster
+}
+
+/// Harvest counters and completion logs into [`BarrierStats`].
+fn elan_nic_stats(cluster: &ElanCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
     let counters: Vec<(String, u64)> = cluster
         .engine
         .counters()
@@ -303,7 +410,31 @@ pub fn elan_nic_barrier(
                 .as_slice()
         })
         .collect();
-    stats_from_logs(n, &cfg, logs, counters)
+    stats_from_logs(n, cfg, logs, counters)
+}
+
+/// Run the NIC-based barrier over the Quadrics substrate (chained RDMA).
+pub fn elan_nic_barrier(
+    params: ElanParams,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> BarrierStats {
+    let cluster = elan_nic_cluster(params, n, algo, &cfg, false);
+    elan_nic_stats(&cluster, n, &cfg)
+}
+
+/// Run the Quadrics NIC barrier with the flight recorder on and return the
+/// full capture. Same sizing advice as [`gm_nic_barrier_flight`].
+pub fn elan_nic_barrier_flight(
+    params: ElanParams,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+) -> FlightData {
+    let cluster = elan_nic_cluster(params, n, algo, &cfg, true);
+    let stats = elan_nic_stats(&cluster, n, &cfg);
+    capture_observability("elan", &cluster.engine, stats)
 }
 
 /// Run the Elanlib tree barrier (`elan_gsync`, hardware broadcast off).
@@ -385,7 +516,14 @@ pub fn elan_hw_barrier(params: ElanParams, n: usize, cfg: RunCfg) -> BarrierStat
 /// the paper rejected ("an extra thread does increase the processing
 /// load"). Compare with [`elan_nic_barrier`] to quantify that choice.
 pub fn elan_thread_barrier(params: ElanParams, n: usize, cfg: RunCfg) -> BarrierStats {
-    elan_thread_collective(params, n, cfg, crate::elan_thread::ThreadOp::Barrier, |_, _| 0).0
+    elan_thread_collective(
+        params,
+        n,
+        cfg,
+        crate::elan_thread::ThreadOp::Barrier,
+        |_, _| 0,
+    )
+    .0
 }
 
 /// Run a thread-processor allreduce (Moody-style NIC reduction, the

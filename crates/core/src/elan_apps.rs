@@ -5,8 +5,7 @@
 use crate::elan_chain::{CHAIN_DONE_COOKIE, ENTRY_EVENT};
 use crate::host_app::BarrierLog;
 use nicbar_elan::{
-    hw_cookie, ElanApi, ElanApp, Gsync, GsyncStep, TportTag, BCAST_TAG, GATHER_TAG,
-    GSYNC_MSG_BYTES,
+    hw_cookie, ElanApi, ElanApp, Gsync, GsyncStep, TportTag, BCAST_TAG, GATHER_TAG, GSYNC_MSG_BYTES,
 };
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;

@@ -100,7 +100,11 @@ pub fn build_chains(algo: Algorithm, members: &[NodeId]) -> Vec<NicProgram> {
                 .sum()
         };
         for gate_idx in 0..k {
-            let lo = if gate_idx == 0 { 0 } else { sends[gate_idx - 1] };
+            let lo = if gate_idx == 0 {
+                0
+            } else {
+                sends[gate_idx - 1]
+            };
             let hi = sends[gate_idx];
             let prev_links = if gate_idx == 0 {
                 1 // the host's entry set
@@ -170,7 +174,7 @@ mod tests {
         assert_eq!(extra.events.len(), 2);
         assert_eq!(extra.events[0].threshold, 1); // entry only
         assert_eq!(extra.events[1].threshold, 2); // own link + post arrival
-        // Its partner (rank 1) gates its first exchange on the pre-arrival.
+                                                  // Its partner (rank 1) gates its first exchange on the pre-arrival.
         let partner = &programs[1];
         assert_eq!(partner.events[0].threshold, 2); // entry + pre arrival
     }

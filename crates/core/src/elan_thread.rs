@@ -245,10 +245,7 @@ mod tests {
         // Round-1 send carries 1+8.
         assert!(matches!(a[0], ThreadAction::Send { value: 9, .. }));
         let a = t.on_msg(SimTime::ZERO, NodeId(2), encode(0, 1), 6);
-        assert!(matches!(
-            a[0],
-            ThreadAction::NotifyHost { value: 15, .. }
-        ));
+        assert!(matches!(a[0], ThreadAction::NotifyHost { value: 15, .. }));
         assert_eq!(t.results(), &[15]);
     }
 
@@ -264,7 +261,9 @@ mod tests {
         // The peer races into epoch 1 before our host re-enters: its message
         // must be banked (a peer can be at most one epoch ahead — it needed
         // our epoch-0 entry, which has happened).
-        assert!(t.on_msg(SimTime::ZERO, NodeId(1), encode(1, 0), 0).is_empty());
+        assert!(t
+            .on_msg(SimTime::ZERO, NodeId(1), encode(1, 0), 0)
+            .is_empty());
         // Our epoch-1 doorbell releases send + immediate completion.
         let a = t.on_doorbell(SimTime::ZERO, 0);
         assert_eq!(a.len(), 2);

@@ -26,17 +26,18 @@
 
 pub mod driver;
 pub mod elan_apps;
-pub mod elan_thread;
 pub mod elan_chain;
+pub mod elan_thread;
 pub mod host_app;
 pub mod protocol;
 pub mod schedule;
 pub mod traffic;
 
 pub use driver::{
-    elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_thread_allreduce,
-    elan_thread_barrier, gm_host_barrier, gm_nic_barrier, BarrierStats, RunCfg, BARRIER_GROUP,
+    elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_nic_barrier_flight,
+    elan_thread_allreduce, elan_thread_barrier, gm_host_barrier, gm_nic_barrier,
+    gm_nic_barrier_flight, BarrierStats, FlightData, RunCfg, BARRIER_GROUP,
 };
 pub use protocol::{GroupOp, GroupSpec, PaperCollective, ReduceOp};
-pub use traffic::{gm_host_barrier_under_traffic, gm_nic_barrier_under_traffic, TrafficCfg};
 pub use schedule::{ceil_log2, floor_log2, schedules_for, Algorithm, RoundPlan, Schedule};
+pub use traffic::{gm_host_barrier_under_traffic, gm_nic_barrier_under_traffic, TrafficCfg};

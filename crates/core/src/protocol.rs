@@ -32,7 +32,9 @@
 //! banking window is at most one epoch deep — asserted in debug builds.
 
 use crate::schedule::{Algorithm, Schedule};
-use nicbar_gm::{AllToAllItem, CollAction, CollKind, CollOperand, CollPacket, GroupId, NicCollective};
+use nicbar_gm::{
+    AllToAllItem, CollAction, CollKind, CollOperand, CollPacket, GroupId, NicCollective,
+};
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
 use std::collections::HashMap;
@@ -287,11 +289,10 @@ impl GroupState {
             let n = self.n();
             let me = self.spec.my_rank;
             let live = self.live.as_mut().expect("send without live epoch");
-            let (moving, staying): (Vec<_>, Vec<_>) =
-                live.held.drain(..).partition(|item| {
-                    let remaining = (item.dst as usize + n - me) % n;
-                    remaining & (1 << round) != 0
-                });
+            let (moving, staying): (Vec<_>, Vec<_>) = live.held.drain(..).partition(|item| {
+                let remaining = (item.dst as usize + n - me) % n;
+                remaining & (1 << round) != 0
+            });
             live.held = staying;
             return CollKind::AllToAll { items: moving };
         }
@@ -334,7 +335,10 @@ impl GroupState {
                 .map(|v| v.expect("allgather incomplete at completion"))
                 .fold(0u64, u64::wrapping_add),
             GroupOp::Alltoall => {
-                assert!(live.held.is_empty(), "undelivered alltoall items at completion");
+                assert!(
+                    live.held.is_empty(),
+                    "undelivered alltoall items at completion"
+                );
                 live.row
                     .iter()
                     .map(|v| v.expect("alltoall row incomplete at completion"))
@@ -405,6 +409,7 @@ impl GroupState {
                             round: r as u16,
                             kind: kind.clone(),
                         },
+                        retx: false,
                     });
                 }
             }
@@ -528,6 +533,7 @@ impl PaperCollective {
                     round: pkt.round,
                     kind,
                 },
+                retx: true,
             });
         }
     }
@@ -554,7 +560,14 @@ impl NicCollective for PaperCollective {
         state.host_epoch += 1;
         let n = state.n();
         let me = state.spec.my_rank;
-        let mut gathered = vec![None; if matches!(state.spec.op, GroupOp::Allgather) { n } else { 0 }];
+        let mut gathered = vec![
+            None;
+            if matches!(state.spec.op, GroupOp::Allgather) {
+                n
+            } else {
+                0
+            }
+        ];
         let mut held = Vec::new();
         let mut row = Vec::new();
         let acc = match state.spec.op {
@@ -575,7 +588,11 @@ impl NicCollective for PaperCollective {
                 let CollOperand::Vector(values) = operand else {
                     panic!("alltoall requires a vector operand (one value per rank)");
                 };
-                assert_eq!(values.len(), n, "alltoall operand must have one value per rank");
+                assert_eq!(
+                    values.len(),
+                    n,
+                    "alltoall operand must have one value per rank"
+                );
                 row = vec![None; n];
                 row[me] = Some(values[me]);
                 held = values
@@ -671,6 +688,7 @@ impl NicCollective for PaperCollective {
                         round: stall_round as u16,
                         kind: CollKind::Nack,
                     },
+                    retx: false,
                 });
             }
             // Pace further NACKs by restarting the timeout window.
@@ -682,11 +700,7 @@ impl NicCollective for PaperCollective {
     fn next_deadline(&self) -> Option<SimTime> {
         self.groups
             .values()
-            .filter_map(|s| {
-                s.live
-                    .as_ref()
-                    .map(|l| l.last_progress + s.spec.timeout)
-            })
+            .filter_map(|s| s.live.as_ref().map(|l| l.last_progress + s.spec.timeout))
             .min()
     }
 }
@@ -717,10 +731,11 @@ mod tests {
         // Dissemination round 0: send to rank 1; no completion yet.
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt } => {
+            CollAction::Send { dst, pkt, retx } => {
                 assert_eq!(*dst, NodeId(1));
                 assert_eq!(pkt.round, 0);
                 assert_eq!(pkt.kind, CollKind::Barrier);
+                assert!(!retx);
             }
             other => panic!("unexpected action {other:?}"),
         }
@@ -755,7 +770,11 @@ mod tests {
         assert_eq!(a2.len(), 1);
         assert!(matches!(
             &a2[0],
-            CollAction::HostDone { epoch: 0, value: 0, .. }
+            CollAction::HostDone {
+                epoch: 0,
+                value: 0,
+                ..
+            }
         ));
         assert_eq!(e.completed_epochs(GroupId(1)), 1);
     }
@@ -781,7 +800,12 @@ mod tests {
         };
         assert!(e.on_packet(SimTime::ZERO, &from3).is_empty());
         // The doorbell now releases the whole chain to completion at once.
-        let actions = e.on_doorbell(SimTime::from_us(5.0), GroupId(1), 0, &CollOperand::Scalar(0));
+        let actions = e.on_doorbell(
+            SimTime::from_us(5.0),
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+        );
         let sends = actions
             .iter()
             .filter(|a| matches!(a, CollAction::Send { .. }))
@@ -820,10 +844,11 @@ mod tests {
         let actions = e.on_timer(SimTime::from_us(150.0));
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt } => {
+            CollAction::Send { dst, pkt, retx } => {
                 assert_eq!(*dst, NodeId(3));
                 assert_eq!(pkt.kind, CollKind::Nack);
                 assert_eq!(pkt.round, 0);
+                assert!(!retx, "a first-time NACK is not a retransmission");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -847,10 +872,11 @@ mod tests {
         let actions = e.on_packet(SimTime::from_us(200.0), &nack);
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt } => {
+            CollAction::Send { dst, pkt, retx } => {
                 assert_eq!(*dst, NodeId(2));
                 assert_eq!(pkt.kind, CollKind::Barrier);
                 assert_eq!(pkt.round, 0);
+                assert!(*retx, "a NACK-triggered resend must be flagged retx");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -911,10 +937,7 @@ mod tests {
             kind: CollKind::Reduce { value: 32 },
         };
         let done = e0.on_packet(SimTime::from_us(1.0), &from1);
-        assert!(matches!(
-            done[0],
-            CollAction::HostDone { value: 42, .. }
-        ));
+        assert!(matches!(done[0], CollAction::HostDone { value: 42, .. }));
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //! [`disseminates`] checks the barrier correctness condition (every rank's
 //! entry causally precedes every rank's exit).
 
-
 /// One rank's plan for one round.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundPlan {
@@ -135,11 +134,7 @@ impl Schedule {
                     }
                 })
                 .collect();
-            return Schedule {
-                n,
-                rank,
-                rounds,
-            };
+            return Schedule { n, rank, rounds };
         }
         // Non-power-of-two: pre round + m_rounds exchange rounds + post round.
         let total = m_rounds + 2;
@@ -188,7 +183,11 @@ impl Schedule {
         };
         let max_depth = (0..n).map(depth_of).max().expect("n > 0");
         let my_depth = depth_of(rank);
-        let parent = if rank == 0 { None } else { Some((rank - 1) / degree) };
+        let parent = if rank == 0 {
+            None
+        } else {
+            Some((rank - 1) / degree)
+        };
         let children: Vec<usize> = (1..=degree)
             .map(|k| degree * rank + k)
             .filter(|&c| c < n)
@@ -230,11 +229,7 @@ impl Schedule {
                 round.recv_from = vec![abs(q - d)];
             }
         }
-        Schedule {
-            n,
-            rank,
-            rounds,
-        }
+        Schedule { n, rank, rounds }
     }
 
     /// Number of rounds.
@@ -278,7 +273,9 @@ pub fn floor_log2(n: usize) -> usize {
 
 /// Build all ranks' schedules for a group.
 pub fn schedules_for(algo: Algorithm, n: usize) -> Vec<Schedule> {
-    (0..n).map(|r| Schedule::for_algorithm(algo, n, r)).collect()
+    (0..n)
+        .map(|r| Schedule::for_algorithm(algo, n, r))
+        .collect()
 }
 
 /// Check global consistency: all ranks agree on the round count, and every
@@ -352,9 +349,7 @@ pub fn disseminates(schedules: &[Schedule]) -> bool {
     }
     let rounds = schedules[0].num_rounds();
     // knows[i] = set of ranks whose entry causally precedes i's current state.
-    let mut knows: Vec<Vec<bool>> = (0..n)
-        .map(|i| (0..n).map(|j| j == i).collect())
-        .collect();
+    let mut knows: Vec<Vec<bool>> = (0..n).map(|i| (0..n).map(|j| j == i).collect()).collect();
     for r in 0..rounds {
         // All sends of round r are computed from pre-round knowledge.
         let snapshot = knows.clone();
@@ -375,7 +370,9 @@ pub fn disseminates(schedules: &[Schedule]) -> bool {
 mod tests {
     use super::*;
 
-    const SIZES: &[usize] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16, 17, 24, 31, 32, 33, 64];
+    const SIZES: &[usize] = &[
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16, 17, 24, 31, 32, 33, 64,
+    ];
 
     #[test]
     fn log_helpers() {

@@ -123,7 +123,11 @@ impl BarrierUnderTrafficApp {
             BarrierMode::Nic => unreachable!("host sends in NIC mode"),
         };
         for (dst_rank, round) in sends {
-            api.send(members[dst_rank], BARRIER_MSG_BYTES, encode_tag(epoch, round));
+            api.send(
+                members[dst_rank],
+                BARRIER_MSG_BYTES,
+                encode_tag(epoch, round),
+            );
         }
         if done {
             self.complete(api);
@@ -257,9 +261,7 @@ fn finish(cluster: &mut GmCluster, n: usize, cfg: RunCfg) -> BarrierStats {
     // completed its barriers, then stop the clock.
     let deadline = SimTime::from_us(cfg.total() as f64 * 50_000.0 + 1_000_000.0);
     loop {
-        let done = (0..n).all(|i| {
-            cluster.app_ref::<BarrierUnderTrafficApp>(i).done >= cfg.total()
-        });
+        let done = (0..n).all(|i| cluster.app_ref::<BarrierUnderTrafficApp>(i).done >= cfg.total());
         if done {
             break;
         }

@@ -39,12 +39,7 @@ fn gm_nic_barrier_completes_for_all_sizes_and_algorithms() {
 #[test]
 fn gm_host_barrier_completes_and_is_slower_than_nic() {
     for n in [2usize, 4, 8, 16] {
-        let host = gm_host_barrier(
-            GmParams::lanai_xp(),
-            n,
-            Algorithm::Dissemination,
-            quick(),
-        );
+        let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, quick());
         let nic = gm_nic_barrier(
             GmParams::lanai_xp(),
             CollFeatures::paper(),
@@ -188,7 +183,11 @@ fn random_permutation_changes_little() {
         },
     );
     let rel = (base.mean_us - permuted.mean_us).abs() / base.mean_us;
-    assert!(rel < 0.15, "permutation shifted latency by {:.1}%", rel * 100.0);
+    assert!(
+        rel < 0.15,
+        "permutation shifted latency by {:.1}%",
+        rel * 100.0
+    );
 }
 
 #[test]

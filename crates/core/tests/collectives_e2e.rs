@@ -59,13 +59,13 @@ fn results(cluster: &GmCluster, rank: usize) -> Vec<u64> {
 fn broadcast_delivers_the_root_value_to_everyone() {
     let iters = 20;
     // Root (rank 2) broadcasts 1000 + epoch; other contributions ignored.
-    let cluster = run_collective(
-        8,
-        GroupOp::Broadcast { root: 2 },
-        iters,
-        0.0,
-        |rank, e| if rank == 2 { 1000 + e } else { 0xDEAD },
-    );
+    let cluster = run_collective(8, GroupOp::Broadcast { root: 2 }, iters, 0.0, |rank, e| {
+        if rank == 2 {
+            1000 + e
+        } else {
+            0xDEAD
+        }
+    });
     for rank in 0..8 {
         let got = results(&cluster, rank);
         let expect: Vec<u64> = (0..iters).map(|e| 1000 + e).collect();
@@ -77,13 +77,13 @@ fn broadcast_delivers_the_root_value_to_everyone() {
 fn broadcast_works_for_non_power_of_two_and_any_root() {
     for n in [3usize, 5, 6, 7] {
         for root in [0, n - 1] {
-            let cluster = run_collective(
-                n,
-                GroupOp::Broadcast { root },
-                5,
-                0.0,
-                |rank, e| if rank == root { 7 * e + 3 } else { 0 },
-            );
+            let cluster = run_collective(n, GroupOp::Broadcast { root }, 5, 0.0, |rank, e| {
+                if rank == root {
+                    7 * e + 3
+                } else {
+                    0
+                }
+            });
             for rank in 0..n {
                 assert_eq!(
                     results(&cluster, rank),
@@ -99,9 +99,13 @@ fn broadcast_works_for_non_power_of_two_and_any_root() {
 fn allreduce_sum_over_power_of_two_groups() {
     for n in [2usize, 4, 8, 16] {
         let iters = 10;
-        let cluster = run_collective(n, GroupOp::Allreduce { op: ReduceOp::Sum }, iters, 0.0, |rank, e| {
-            (rank as u64 + 1) * (e + 1)
-        });
+        let cluster = run_collective(
+            n,
+            GroupOp::Allreduce { op: ReduceOp::Sum },
+            iters,
+            0.0,
+            |rank, e| (rank as u64 + 1) * (e + 1),
+        );
         // sum over ranks of (rank+1)*(e+1) = (e+1) * n(n+1)/2
         let base = (n * (n + 1) / 2) as u64;
         for rank in 0..n {
@@ -114,9 +118,13 @@ fn allreduce_sum_over_power_of_two_groups() {
 #[test]
 fn allreduce_max_over_any_group_size() {
     for n in [3usize, 5, 6, 7, 8] {
-        let cluster = run_collective(n, GroupOp::Allreduce { op: ReduceOp::Max }, 5, 0.0, |rank, e| {
-            100 * e + rank as u64
-        });
+        let cluster = run_collective(
+            n,
+            GroupOp::Allreduce { op: ReduceOp::Max },
+            5,
+            0.0,
+            |rank, e| 100 * e + rank as u64,
+        );
         for rank in 0..n {
             let expect: Vec<u64> = (0..5).map(|e| 100 * e + (n as u64 - 1)).collect();
             assert_eq!(results(&cluster, rank), expect, "n={n} rank={rank}");
@@ -126,15 +134,25 @@ fn allreduce_max_over_any_group_size() {
 
 #[test]
 fn allreduce_min_and_bitor() {
-    let cluster = run_collective(6, GroupOp::Allreduce { op: ReduceOp::Min }, 3, 0.0, |rank, e| {
-        50 + 10 * e + rank as u64
-    });
+    let cluster = run_collective(
+        6,
+        GroupOp::Allreduce { op: ReduceOp::Min },
+        3,
+        0.0,
+        |rank, e| 50 + 10 * e + rank as u64,
+    );
     for rank in 0..6 {
         assert_eq!(results(&cluster, rank), vec![50, 60, 70], "rank {rank}");
     }
-    let cluster = run_collective(5, GroupOp::Allreduce { op: ReduceOp::BitOr }, 1, 0.0, |rank, _| {
-        1u64 << rank
-    });
+    let cluster = run_collective(
+        5,
+        GroupOp::Allreduce {
+            op: ReduceOp::BitOr,
+        },
+        1,
+        0.0,
+        |rank, _| 1u64 << rank,
+    );
     for rank in 0..5 {
         assert_eq!(results(&cluster, rank), vec![0b11111], "rank {rank}");
     }
@@ -164,9 +182,13 @@ fn allgather_collects_every_contribution() {
 fn collectives_survive_packet_loss() {
     // Loss injection exercises the receiver-driven NACK path for the data
     // collectives too (payloads must be retransmitted intact).
-    let cluster = run_collective(8, GroupOp::Allreduce { op: ReduceOp::Sum }, 10, 0.05, |rank, e| {
-        (rank as u64 + 1) * (e + 1)
-    });
+    let cluster = run_collective(
+        8,
+        GroupOp::Allreduce { op: ReduceOp::Sum },
+        10,
+        0.05,
+        |rank, e| (rank as u64 + 1) * (e + 1),
+    );
     let base = (8 * 9 / 2) as u64;
     for rank in 0..8 {
         let expect: Vec<u64> = (0..10).map(|e| base * (e + 1)).collect();

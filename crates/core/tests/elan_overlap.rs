@@ -2,8 +2,8 @@
 //! skewed processes race each other across consecutive barriers, and the
 //! auto-rearming NIC event counters must bank every early arrival.
 
-use nicbar_core::{elan_nic_barrier, Algorithm, RunCfg};
 use nicbar_core::elan_chain::build_chains;
+use nicbar_core::{elan_nic_barrier, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_net::NodeId;
 
@@ -23,7 +23,11 @@ fn skewed_chains_never_lose_epochs() {
             };
             let s = elan_nic_barrier(ElanParams::elan3(), 7, algo, cfg);
             // With that much skew, the mean tracks the skew, not the wire.
-            assert!(s.mean_us > 10.0, "skew should dominate, got {:.2}", s.mean_us);
+            assert!(
+                s.mean_us > 10.0,
+                "skew should dominate, got {:.2}",
+                s.mean_us
+            );
         }
     }
 }
@@ -48,7 +52,11 @@ fn one_laggard_gates_everyone() {
         "mean {:.2} inconsistent with max-of-uniform skew",
         s.mean_us
     );
-    assert!(s.max_us() <= 30.0 + 20.0, "max {:.2} implausible", s.max_us());
+    assert!(
+        s.max_us() <= 30.0 + 20.0,
+        "max {:.2} implausible",
+        s.max_us()
+    );
 }
 
 #[test]

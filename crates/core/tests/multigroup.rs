@@ -3,9 +3,7 @@
 
 use nicbar_core::host_app::BarrierLog;
 use nicbar_core::{Algorithm, GroupSpec, PaperCollective};
-use nicbar_gm::{
-    GmApi, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, MsgTag, NicCollective,
-};
+use nicbar_gm::{GmApi, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, MsgTag, NicCollective};
 use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};
 
@@ -111,10 +109,7 @@ fn overlapping_groups_interleave_without_crosstalk() {
                 app.logs.get(gidx).map(|l| &l.completions)
             })
             .collect();
-        let logs: Vec<&Vec<SimTime>> = logs
-            .into_iter()
-            .filter(|l| !l.is_empty())
-            .collect();
+        let logs: Vec<&Vec<SimTime>> = logs.into_iter().filter(|l| !l.is_empty()).collect();
         for k in 1..iters as usize {
             let min_k = logs.iter().map(|l| l[k]).min().unwrap();
             let max_prev = logs.iter().map(|l| l[k - 1]).max().unwrap();

@@ -94,13 +94,10 @@ fn thread_allreduce_is_cheap_relative_to_host_round_trips() {
     // The point of ref \[14\]: NIC-side combining costs barely more than the
     // NIC barrier itself — far below what log₂N host round trips would.
     let barrier = elan_thread_barrier(ElanParams::elan3(), 8, cfg());
-    let (reduce, _) = elan_thread_allreduce(
-        ElanParams::elan3(),
-        8,
-        cfg(),
-        ReduceOp::Sum,
-        |rank, _| rank as u64,
-    );
+    let (reduce, _) =
+        elan_thread_allreduce(ElanParams::elan3(), 8, cfg(), ReduceOp::Sum, |rank, _| {
+            rank as u64
+        });
     assert!(
         reduce.mean_us < barrier.mean_us * 1.3,
         "allreduce {:.2}µs should cost ≈ the thread barrier {:.2}µs",

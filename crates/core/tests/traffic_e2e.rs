@@ -3,8 +3,8 @@
 //! queue behind it (§6.1 made falsifiable).
 
 use nicbar_core::{
-    gm_host_barrier, gm_host_barrier_under_traffic, gm_nic_barrier,
-    gm_nic_barrier_under_traffic, Algorithm, RunCfg, TrafficCfg,
+    gm_host_barrier, gm_host_barrier_under_traffic, gm_nic_barrier, gm_nic_barrier_under_traffic,
+    Algorithm, RunCfg, TrafficCfg,
 };
 use nicbar_gm::{CollFeatures, GmParams};
 

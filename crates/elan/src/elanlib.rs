@@ -11,8 +11,8 @@
 //! *banking* counts (like the NIC event counters): a child that races ahead
 //! into the next barrier can deliver its gather early and nothing is lost.
 
-use nicbar_net::NodeId;
 use crate::types::TportTag;
+use nicbar_net::NodeId;
 
 /// Tag for gather (up-tree) messages.
 pub const GATHER_TAG: TportTag = TportTag(0xE1A0);
@@ -75,7 +75,11 @@ impl Gsync {
     pub fn new(node: usize, n: usize, degree: usize) -> Self {
         assert!(degree >= 2, "tree degree must be at least 2");
         assert!(node < n, "node out of range");
-        let parent = if node == 0 { None } else { Some((node - 1) / degree) };
+        let parent = if node == 0 {
+            None
+        } else {
+            Some((node - 1) / degree)
+        };
         let children: Vec<usize> = (1..=degree)
             .map(|k| degree * node + k)
             .filter(|&c| c < n)
@@ -154,10 +158,7 @@ impl Gsync {
                 }
             }
         }
-        if self.sent_up
-            && self.parent.is_some()
-            && self.bcasts_banked - self.bcasts_consumed >= 1
-        {
+        if self.sent_up && self.parent.is_some() && self.bcasts_banked - self.bcasts_consumed >= 1 {
             self.bcasts_consumed += 1;
             for &c in &self.children {
                 step.sends.push(GsyncSend {
@@ -190,7 +191,11 @@ mod tests {
         let mut wire: VecDeque<(usize, GsyncSend)> = VecDeque::new();
         let mut done = vec![false; n];
         let mut msgs = 0;
-        let handle = |i: usize, step: GsyncStep, wire: &mut VecDeque<(usize, GsyncSend)>, done: &mut Vec<bool>, msgs: &mut u64| {
+        let handle = |i: usize,
+                      step: GsyncStep,
+                      wire: &mut VecDeque<(usize, GsyncSend)>,
+                      done: &mut Vec<bool>,
+                      msgs: &mut u64| {
             for s in step.sends {
                 *msgs += 1;
                 wire.push_back((i, s));

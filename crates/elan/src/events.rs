@@ -30,6 +30,22 @@ pub enum ElanPayload {
     },
 }
 
+impl ElanPayload {
+    /// Detail word for an `arrive` span event: the remote event index for
+    /// an RDMA (or `u64::MAX` for a plain data RDMA), the tag for tport and
+    /// thread messages. Kept next to the payload definition so every NIC
+    /// arrival branch reports the same encoding.
+    pub fn arrive_info(&self) -> u64 {
+        match self {
+            ElanPayload::Rdma { remote_event } => {
+                remote_event.map(|e| e.0 as u64).unwrap_or(u64::MAX)
+            }
+            ElanPayload::Tport { tag, .. } => tag.0 as u64,
+            ElanPayload::Thread { tag, .. } => *tag as u64,
+        }
+    }
+}
+
 /// Events exchanged between the components of an Elan cluster simulation.
 #[derive(Clone, Debug)]
 pub enum ElanEvent {

@@ -4,7 +4,7 @@
 use crate::events::ElanEvent;
 use nicbar_net::FabricCore;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx};
+use nicbar_sim::{Component, ComponentId, Ctx, SpanEvent};
 
 /// The network component of an Elan cluster. QsNet delivers reliably in
 /// hardware, so the core's drop probability must stay zero here.
@@ -47,6 +47,12 @@ impl Component<ElanEvent> for ElanFabric {
             panic!("Elan fabric got a non-Inject event");
         };
         ctx.count_id(counter_id!("elan.wire"), 1);
+        // Span: the packet is committed to the wire.
+        ctx.span(SpanEvent::Wire {
+            src: src.0 as u64,
+            dst: dst.0 as u64,
+            bytes: bytes as u64,
+        });
         let delivery = {
             let now = ctx.now();
             let rng = ctx.rng();

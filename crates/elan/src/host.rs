@@ -7,16 +7,33 @@ use crate::types::{DescId, EventId, TportTag};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
-use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime};
+use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime, SpanEvent};
+
+/// Pseudo group id used for `op.begin`/`op.end` span events: Elan
+/// collectives have no group abstraction (one chain per cluster), so every
+/// host reports the same constant and spans are keyed by entry sequence.
+pub const ELAN_SPAN_GROUP: u64 = 0xE1;
 
 /// Actions an Elan application can request during a callback.
 enum HostAction {
-    Doorbell { desc: DescId },
-    SetEvent { event: EventId },
-    ThreadDoorbell { value: u64 },
-    Tport { dst: NodeId, tag: TportTag, len: u32 },
+    Doorbell {
+        desc: DescId,
+    },
+    SetEvent {
+        event: EventId,
+    },
+    ThreadDoorbell {
+        value: u64,
+    },
+    Tport {
+        dst: NodeId,
+        tag: TportTag,
+        len: u32,
+    },
     HwSync,
-    Timer { delay: SimTime },
+    Timer {
+        delay: SimTime,
+    },
 }
 
 /// API surface for Elan applications.
@@ -105,6 +122,10 @@ pub struct ElanHost {
     app: Box<dyn ElanApp>,
     cpu_free: SimTime,
     hw_epoch: u64,
+    /// Collective entries this host has made (span sequence numbers).
+    coll_begun: u64,
+    /// Collective completions this host has observed.
+    coll_done: u64,
 }
 
 impl ElanHost {
@@ -124,6 +145,8 @@ impl ElanHost {
             app,
             cpu_free: SimTime::ZERO,
             hw_epoch: 0,
+            coll_begun: 0,
+            coll_done: 0,
         }
     }
 
@@ -141,6 +164,17 @@ impl ElanHost {
         let start = now.max(self.cpu_free);
         self.cpu_free = start + cost;
         self.cpu_free
+    }
+
+    /// Span: this host enters its next collective operation (NIC chain,
+    /// thread collective, or hardware barrier — all lock-step, so every
+    /// host's per-entry sequence numbers agree).
+    fn span_op_begin(&mut self, ctx: &mut Ctx<'_, ElanEvent>) {
+        ctx.span(SpanEvent::OpBegin {
+            group: ELAN_SPAN_GROUP,
+            seq: self.coll_begun,
+        });
+        self.coll_begun += 1;
     }
 
     fn dispatch<F>(&mut self, ctx: &mut Ctx<'_, ElanEvent>, entry_cost: SimTime, f: F)
@@ -167,11 +201,13 @@ impl ElanHost {
                 HostAction::SetEvent { event } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.set_event"), 1);
+                    self.span_op_begin(ctx);
                     ctx.send_at(t, self.nic, ElanEvent::SetEvent { event });
                 }
                 HostAction::ThreadDoorbell { value } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.thread_doorbell"), 1);
+                    self.span_op_begin(ctx);
                     ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value });
                 }
                 HostAction::Tport { dst, tag, len } => {
@@ -184,6 +220,7 @@ impl ElanHost {
                     self.hw_epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.hw_sync"), 1);
+                    self.span_op_begin(ctx);
                     ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch });
                 }
                 HostAction::Timer { delay } => {
@@ -208,6 +245,13 @@ impl Component<ElanEvent> for ElanHost {
                 self.dispatch(ctx, poll, |app, api| app.on_recv(api, src, tag, len));
             }
             ElanEvent::HostCollDone { cookie } => {
+                // Span: completion observed, before the app callback so a
+                // re-entering app's next op.begin follows its op.end.
+                ctx.span(SpanEvent::OpEnd {
+                    group: ELAN_SPAN_GROUP,
+                    seq: self.coll_done,
+                });
+                self.coll_done += 1;
                 let poll = self.params.host_poll;
                 self.dispatch(ctx, poll, |app, api| app.on_coll_done(api, cookie));
             }

@@ -83,11 +83,11 @@ impl Component<ElanEvent> for HwBarrierUnit {
         let (_, first) = self.pending.remove(&epoch).expect("just inserted");
         // All members arrived: run the test-and-set wave.
         let spread = now.saturating_sub(first);
-        let penalty = spread.scale(self.params.hw_skew_factor).min(self.params.hw_skew_cap);
-        let done = now
-            + self.params.hw_base
-            + self.params.hw_per_level * u64::from(self.levels)
-            + penalty;
+        let penalty = spread
+            .scale(self.params.hw_skew_factor)
+            .min(self.params.hw_skew_cap);
+        let done =
+            now + self.params.hw_base + self.params.hw_per_level * u64::from(self.levels) + penalty;
         ctx.count_id(counter_id!("elan.hw_barrier"), 1);
         for &nic in &self.nics {
             ctx.send_at(done, nic, ElanEvent::HwDone { epoch });

@@ -9,11 +9,12 @@
 use crate::events::{ElanEvent, ElanPayload};
 use crate::params::ElanParams;
 use crate::thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
-use crate::types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD,
-                   TPORT_WIRE_OVERHEAD};
+use crate::types::{
+    DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD, TPORT_WIRE_OVERHEAD,
+};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
+use nicbar_sim::{Component, ComponentId, Ctx, SimTime, SpanEvent};
 
 /// The Elan3 NIC component.
 pub struct ElanNic {
@@ -96,6 +97,12 @@ impl ElanNic {
                 }
                 ThreadAction::NotifyHost { cookie, value: _ } => {
                     ctx.count_id(counter_id!("elan.host_notify"), 1);
+                    // Span: thread-processor completion (no event id; the
+                    // thread notifies directly).
+                    ctx.span(SpanEvent::Notify {
+                        unit: u64::MAX,
+                        cookie,
+                    });
                     ctx.send_at(
                         self.engine_free + self.params.host_event_visible,
                         self.host,
@@ -118,8 +125,11 @@ impl ElanNic {
         let d = self.descs[desc.0 as usize].clone();
         assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
         ctx.count_id(counter_id!("elan.rdma_sent"), 1);
-        // Trace: descriptor launch (a = descriptor id, b = destination).
-        ctx.trace("elan.fire", desc.0 as u64, d.dst.0 as u64);
+        // Span: descriptor launch.
+        ctx.span(SpanEvent::Fire {
+            unit: desc.0 as u64,
+            dst: d.dst.0 as u64,
+        });
         ctx.send_at(
             t,
             self.fabric,
@@ -151,12 +161,19 @@ impl ElanNic {
                 match action {
                     EventAction::FireDesc(d) => {
                         // Chain through the serial engine via a self event.
-                        ctx.send_at(at.max(ctx.now()), ctx.self_id(), ElanEvent::FireDesc { desc: *d });
+                        ctx.send_at(
+                            at.max(ctx.now()),
+                            ctx.self_id(),
+                            ElanEvent::FireDesc { desc: *d },
+                        );
                     }
                     EventAction::NotifyHost { cookie } => {
                         ctx.count_id(counter_id!("elan.host_notify"), 1);
-                        // Trace: completion surfaced (a = event id, b = cookie).
-                        ctx.trace("elan.notify", ev.0 as u64, *cookie);
+                        // Span: completion surfaced to the host.
+                        ctx.span(SpanEvent::Notify {
+                            unit: ev.0 as u64,
+                            cookie: *cookie,
+                        });
                         ctx.send_at(
                             at + self.params.host_event_visible,
                             self.host,
@@ -222,37 +239,39 @@ impl Component<ElanEvent> for ElanNic {
                 let actions = self.thread.on_doorbell(t, value);
                 self.run_thread_actions(ctx, actions);
             }
-            ElanEvent::Arrive { src, payload } => match payload {
-                ElanPayload::Thread { tag, value } => {
-                    // Wake the thread processor: heavier than a raw event.
-                    let t = self.engine(ctx.now(), self.params.nic_thread_proc);
-                    ctx.count_id(counter_id!("elan.thread_recv"), 1);
-                    let actions = self.thread.on_msg(t, src, tag, value);
-                    self.run_thread_actions(ctx, actions);
-                }
-                ElanPayload::Rdma { remote_event } => {
-                    let t = self.engine(ctx.now(), self.params.nic_event_proc);
-                    ctx.count_id(counter_id!("elan.rdma_recv"), 1);
-                    // Trace: arrival (a = source, b = event index or MAX).
-                    ctx.trace(
-                        "elan.arrive",
-                        src.0 as u64,
-                        remote_event.map(|e| e.0 as u64).unwrap_or(u64::MAX),
-                    );
-                    if let Some(ev) = remote_event {
-                        self.set_event(ctx, t, ev);
+            ElanEvent::Arrive { src, payload } => {
+                // Span: arrival, detail word shared across payload kinds
+                // (see `ElanPayload::arrive_info`).
+                ctx.span(SpanEvent::Arrive {
+                    src: src.0 as u64,
+                    info: payload.arrive_info(),
+                });
+                match payload {
+                    ElanPayload::Thread { tag, value } => {
+                        // Wake the thread processor: heavier than a raw event.
+                        let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                        ctx.count_id(counter_id!("elan.thread_recv"), 1);
+                        let actions = self.thread.on_msg(t, src, tag, value);
+                        self.run_thread_actions(ctx, actions);
+                    }
+                    ElanPayload::Rdma { remote_event } => {
+                        let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                        ctx.count_id(counter_id!("elan.rdma_recv"), 1);
+                        if let Some(ev) = remote_event {
+                            self.set_event(ctx, t, ev);
+                        }
+                    }
+                    ElanPayload::Tport { tag, len } => {
+                        let t = self.engine(ctx.now(), self.params.nic_tport_recv);
+                        ctx.count_id(counter_id!("elan.tport_recv"), 1);
+                        ctx.send_at(
+                            t + self.params.host_event_visible,
+                            self.host,
+                            ElanEvent::HostRecv { src, tag, len },
+                        );
                     }
                 }
-                ElanPayload::Tport { tag, len } => {
-                    let t = self.engine(ctx.now(), self.params.nic_tport_recv);
-                    ctx.count_id(counter_id!("elan.tport_recv"), 1);
-                    ctx.send_at(
-                        t + self.params.host_event_visible,
-                        self.host,
-                        ElanEvent::HostRecv { src, tag, len },
-                    );
-                }
-            },
+            }
             ElanEvent::HwDone { epoch } => {
                 // Hardware barrier completion: surface to the host like a
                 // local event.

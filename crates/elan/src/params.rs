@@ -141,6 +141,9 @@ mod tests {
             + p.nic_event_proc
             + p.host_event_visible
             + p.host_poll;
-        assert!(t > SimTime::from_us(3.5) && t < SimTime::from_us(5.0), "{t}");
+        assert!(
+            t > SimTime::from_us(3.5) && t < SimTime::from_us(5.0),
+            "{t}"
+        );
     }
 }

@@ -40,7 +40,10 @@ fn two_node_rdma_chain_ping_pong() {
             remote_event: Some(EventId(0)),
             local_event: None,
         }],
-        events: vec![NicEvent::new(1, vec![EventAction::NotifyHost { cookie: 42 }])],
+        events: vec![NicEvent::new(
+            1,
+            vec![EventAction::NotifyHost { cookie: 42 }],
+        )],
     };
     let prog1 = NicProgram {
         descs: vec![RdmaDesc {
@@ -69,7 +72,10 @@ fn two_node_rdma_chain_ping_pong() {
     assert_eq!(driver.cookies[0].1, 42);
     let rtt = driver.cookies[0].0.as_us();
     // A chained zero-byte RDMA round trip on Elan3 is a handful of µs.
-    assert!((1.0..10.0).contains(&rtt), "chained RTT {rtt:.2}us implausible");
+    assert!(
+        (1.0..10.0).contains(&rtt),
+        "chained RTT {rtt:.2}us implausible"
+    );
     assert_eq!(cluster.engine.counters().get("elan.rdma_sent"), 2);
 }
 
@@ -98,7 +104,10 @@ fn banked_event_sets_survive_fast_sender() {
     };
     let prog1 = NicProgram {
         descs: vec![],
-        events: vec![NicEvent::new(1, vec![EventAction::NotifyHost { cookie: 7 }])],
+        events: vec![NicEvent::new(
+            1,
+            vec![EventAction::NotifyHost { cookie: 7 }],
+        )],
     };
     let apps: Vec<Box<dyn ElanApp>> = vec![
         Box::new(TripleFire),

@@ -42,6 +42,10 @@ pub enum CollAction {
         dst: NodeId,
         /// The packet.
         pkt: CollPacket,
+        /// True when this send repeats an earlier one (NACK-triggered
+        /// retransmission) — lets the NIC attribute it to the retransmit
+        /// phase instead of a first-time fire.
+        retx: bool,
     },
     /// Deliver operation completion to the host.
     HostDone {

@@ -6,7 +6,7 @@ use crate::events::GmEvent;
 use crate::types::PacketKind;
 use nicbar_net::FabricCore;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx};
+use nicbar_sim::{Component, ComponentId, Ctx, SpanEvent};
 
 /// The network component of a GM cluster.
 pub struct GmFabric {
@@ -58,6 +58,13 @@ impl Component<GmEvent> for GmFabric {
         ctx.count_id(label, 1);
         ctx.count_id(counter_id!("wire.total"), 1);
         let bytes = pkt.wire_bytes();
+        // Span: committed to the wire (emitted before the loss draw so
+        // dropped packets still show their wire attempt).
+        ctx.span(SpanEvent::Wire {
+            src: pkt.src.0 as u64,
+            dst: pkt.dst.0 as u64,
+            bytes: bytes as u64,
+        });
         let delivery = {
             let now = ctx.now();
             let (src, dst) = (pkt.src, pkt.dst);

@@ -16,7 +16,7 @@ use crate::types::{GroupId, MsgId, MsgTag, SendToken};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
-use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime};
+use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime, SpanEvent};
 use std::collections::HashMap;
 
 /// Actions an application can request during a callback.
@@ -242,6 +242,11 @@ impl GmHost {
                     *epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_coll_call);
                     ctx.count_id(counter_id!("gm.host_coll"), 1);
+                    // Span: this host enters epoch `this_epoch` of `group`.
+                    ctx.span(SpanEvent::OpBegin {
+                        group: group.0 as u64,
+                        seq: this_epoch,
+                    });
                     ctx.send_at(
                         t + self.params.pio_write,
                         self.nic,
@@ -298,6 +303,12 @@ impl Component<GmEvent> for GmHost {
                 epoch,
                 value,
             } => {
+                // Span: completion observed, before the app callback so a
+                // re-entering app's next op.begin follows its op.end.
+                ctx.span(SpanEvent::OpEnd {
+                    group: group.0 as u64,
+                    seq: epoch,
+                });
                 let poll = self.params.host_recv_poll;
                 self.dispatch(ctx, poll, |app, api| {
                     app.on_coll_done(api, group, epoch, value)

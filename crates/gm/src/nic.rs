@@ -42,7 +42,7 @@ use crate::params::{CollFeatures, GmParams};
 use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
+use nicbar_sim::{Component, ComponentId, Ctx, SimTime, SpanEvent};
 use std::collections::VecDeque;
 
 /// Per-source reassembly state for a partially received message.
@@ -232,6 +232,20 @@ impl LanaiNic {
                 },
                 1,
             );
+            // Span: the queued token finally launches. The retx flag did
+            // not survive the SendToken wrapping, so a NACK-triggered
+            // resend on this ablated path reports as a fire/nack.
+            if is_nack {
+                ctx.span(SpanEvent::Nack {
+                    dst: dst as u64,
+                    round: pkt.round as u64,
+                });
+            } else {
+                ctx.span(SpanEvent::Fire {
+                    unit: pkt.group.0 as u64,
+                    dst: dst as u64,
+                });
+            }
             ctx.send_at(
                 t,
                 self.fabric,
@@ -273,7 +287,11 @@ impl LanaiNic {
         let more = (0..n).any(|d| self.queue_eligible(d));
         if more {
             self.work_scheduled = true;
-            ctx.send_at(self.cpu_free.max(ctx.now()), ctx.self_id(), GmEvent::SendWork);
+            ctx.send_at(
+                self.cpu_free.max(ctx.now()),
+                ctx.self_id(),
+                GmEvent::SendWork,
+            );
         }
     }
 
@@ -290,10 +308,7 @@ impl LanaiNic {
         tag: crate::types::MsgTag,
     ) {
         let now = ctx.now();
-        let t = self.cpu(
-            now,
-            self.params.nic_record_create + self.params.nic_inject,
-        );
+        let t = self.cpu(now, self.params.nic_record_create + self.params.nic_inject);
         let seq = self.next_seq[dst.0];
         self.next_seq[dst.0] += 1;
         self.inflight[dst.0].push_back(SendRecord {
@@ -440,6 +455,11 @@ impl LanaiNic {
                 }
                 let t = self.cpu(now, self.params.nic_coll_recv);
                 ctx.count_id(counter_id!("gm.coll_recv"), 1);
+                // Span: collective packet accepted (info = epoch).
+                ctx.span(SpanEvent::Arrive {
+                    src: cp.src.0 as u64,
+                    info: cp.epoch,
+                });
                 let actions = self.coll.on_packet(t, &cp);
                 let needs_ack =
                     !self.features.recv_driven_retx && !matches!(cp.kind, CollKind::Nack);
@@ -484,7 +504,7 @@ impl LanaiNic {
         let mut at = after;
         for action in actions {
             match action {
-                CollAction::Send { dst, pkt } => {
+                CollAction::Send { dst, pkt, retx } => {
                     assert_ne!(dst, self.node, "collective self-send");
                     if !self.features.group_queue {
                         // Group-queue ablation: the collective message is
@@ -492,13 +512,12 @@ impl LanaiNic {
                         // round-robin turn behind whatever else is queued
                         // to this destination (§6.1's problem, structural).
                         let t = self.cpu(at, self.params.nic_token_create.scale(0.5));
-                        // Trace: queue depth the collective token waits
-                        // behind (a = destination, b = depth).
-                        ctx.trace(
-                            "coll.queued",
-                            dst.0 as u64,
-                            self.send_queues[dst.0].len() as u64,
-                        );
+                        // Span: queue depth the collective token waits
+                        // behind.
+                        ctx.span(SpanEvent::Enqueue {
+                            dst: dst.0 as u64,
+                            depth: self.send_queues[dst.0].len() as u64,
+                        });
                         self.send_queues[dst.0].push_back(SendToken {
                             msg_id: 0,
                             dst,
@@ -530,15 +549,31 @@ impl LanaiNic {
                     at = self.cpu(at, cost);
                     let is_nack = matches!(pkt.kind, CollKind::Nack);
                     ctx.count_id(
-                if is_nack {
-                    counter_id!("gm.nack_sent")
-                } else {
-                    counter_id!("gm.coll_sent")
-                },
-                1,
-            );
-                    // Trace: the §6.1 bypass in action (a = destination).
-                    ctx.trace("coll.bypass", dst.0 as u64, 0);
+                        if is_nack {
+                            counter_id!("gm.nack_sent")
+                        } else {
+                            counter_id!("gm.coll_sent")
+                        },
+                        1,
+                    );
+                    // Span: the §6.1 bypass in action, attributed to the
+                    // retransmit / nack / fire phase as appropriate.
+                    if retx {
+                        ctx.span(SpanEvent::Retransmit {
+                            dst: dst.0 as u64,
+                            round: pkt.round as u64,
+                        });
+                    } else if is_nack {
+                        ctx.span(SpanEvent::Nack {
+                            dst: dst.0 as u64,
+                            round: pkt.round as u64,
+                        });
+                    } else {
+                        ctx.span(SpanEvent::Fire {
+                            unit: pkt.group.0 as u64,
+                            dst: dst.0 as u64,
+                        });
+                    }
                     ctx.send_at(
                         at,
                         self.fabric,
@@ -554,6 +589,11 @@ impl LanaiNic {
                     epoch,
                     value,
                 } => {
+                    // Span: completion event DMAed up to the host.
+                    ctx.span(SpanEvent::Notify {
+                        unit: group.0 as u64,
+                        cookie: epoch,
+                    });
                     ctx.send_at(
                         at + self.params.host_event_dma,
                         self.host,
@@ -603,6 +643,11 @@ impl LanaiNic {
                     },
                 };
                 ctx.count_id(counter_id!("gm.retransmit"), 1);
+                // Span: go-back-N re-injection (round = wire sequence).
+                ctx.span(SpanEvent::Retransmit {
+                    dst: d as u64,
+                    round: rec.seq as u64,
+                });
                 ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
             }
         }

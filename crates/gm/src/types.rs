@@ -254,7 +254,10 @@ mod tests {
         };
         assert_eq!(mk(CollKind::Barrier).wire_bytes(), COLL_BASE_BYTES);
         assert_eq!(mk(CollKind::Nack).wire_bytes(), COLL_BASE_BYTES);
-        assert_eq!(mk(CollKind::Bcast { value: 9 }).wire_bytes(), COLL_BASE_BYTES + 8);
+        assert_eq!(
+            mk(CollKind::Bcast { value: 9 }).wire_bytes(),
+            COLL_BASE_BYTES + 8
+        );
         assert_eq!(
             mk(CollKind::Gather {
                 base_rank: 0,

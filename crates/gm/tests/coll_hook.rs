@@ -38,7 +38,13 @@ impl ScriptedColl {
 }
 
 impl NicCollective for ScriptedColl {
-    fn on_doorbell(&mut self, now: SimTime, group: GroupId, epoch: u64, _operand: &nicbar_gm::CollOperand) -> Vec<CollAction> {
+    fn on_doorbell(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        epoch: u64,
+        _operand: &nicbar_gm::CollOperand,
+    ) -> Vec<CollAction> {
         assert_eq!(group, G);
         self.epoch = epoch;
         self.armed_deadline = Some(now + SimTime::from_us(10_000.0));
@@ -53,6 +59,7 @@ impl NicCollective for ScriptedColl {
                     round: 0,
                     kind: CollKind::Barrier,
                 },
+                retx: false,
             })
             .collect()
     }
@@ -193,10 +200,7 @@ fn timer_fires_while_a_deadline_is_armed() {
         fn on_start(&mut self, _api: &mut GmApi<'_>) {}
         fn on_recv(&mut self, _api: &mut GmApi<'_>, _s: NodeId, _t: MsgTag, _l: u32) {}
     }
-    let apps: Vec<Box<dyn GmApp>> = vec![
-        Box::new(OneShot { done: None }),
-        Box::new(Quiet),
-    ];
+    let apps: Vec<Box<dyn GmApp>> = vec![Box::new(OneShot { done: None }), Box::new(Quiet)];
     let colls: Vec<Box<dyn NicCollective>> = (0..2)
         .map(|i| Box::new(ScriptedColl::new(NodeId(i), 2)) as Box<dyn NicCollective>)
         .collect();

@@ -1,9 +1,7 @@
 //! End-to-end tests of the GM point-to-point protocol: ping-pong latency,
 //! multi-packet messages, loss recovery, flow control.
 
-use nicbar_gm::{
-    GmApi, GmApp, GmCluster, GmClusterSpec, GmParams, MsgId, MsgTag,
-};
+use nicbar_gm::{GmApi, GmApp, GmCluster, GmClusterSpec, GmParams, MsgId, MsgTag};
 use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};
 
@@ -150,7 +148,11 @@ fn deterministic_across_identical_runs() {
         (t, format!("{snap:?}"))
     };
     assert_eq!(run(9), run(9));
-    assert_ne!(run(9).1, run(10).1, "different seeds should differ under loss");
+    assert_ne!(
+        run(9).1,
+        run(10).1,
+        "different seeds should differ under loss"
+    );
 }
 
 /// A sender that fires `count` messages at once (stresses the send-packet
@@ -305,5 +307,8 @@ fn receive_buffer_exhaustion_recovers_via_retransmission() {
         c.get("gm.drop_no_token") > 0,
         "the buffer-starved path never triggered"
     );
-    assert!(c.get("gm.retransmit") > 0, "recovery must use retransmission");
+    assert!(
+        c.get("gm.retransmit") > 0,
+        "recovery must use retransmission"
+    );
 }

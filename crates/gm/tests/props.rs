@@ -66,7 +66,9 @@ fn run_transfer(sizes: Vec<u32>, drop: f64, seed: u64) -> Vec<(u32, u32)> {
             Box::new(Receiver { got: Vec::new() }),
         ],
     );
-    let outcome = cluster.engine.run_bounded(SimTime::from_us(60_000_000.0), 500_000_000);
+    let outcome = cluster
+        .engine
+        .run_bounded(SimTime::from_us(60_000_000.0), 500_000_000);
     assert_eq!(outcome, RunOutcome::Idle, "transfer wedged");
     cluster.app_ref::<Receiver>(1).got.clone()
 }

@@ -21,7 +21,13 @@ struct AllToAll {
 }
 
 impl NicCollective for AllToAll {
-    fn on_doorbell(&mut self, _now: SimTime, _g: GroupId, epoch: u64, _operand: &nicbar_gm::CollOperand) -> Vec<CollAction> {
+    fn on_doorbell(
+        &mut self,
+        _now: SimTime,
+        _g: GroupId,
+        epoch: u64,
+        _operand: &nicbar_gm::CollOperand,
+    ) -> Vec<CollAction> {
         self.epoch = epoch;
         (0..self.n)
             .filter(|&d| d != self.node.0)
@@ -34,6 +40,7 @@ impl NicCollective for AllToAll {
                     round: 0,
                     kind: CollKind::Barrier,
                 },
+                retx: false,
             })
             .collect()
     }
@@ -105,9 +112,9 @@ fn run(features: CollFeatures) -> GmCluster {
 fn dedicated_queue_never_queues_a_collective_message() {
     let cluster = run(CollFeatures::paper());
     let trace = cluster.engine.trace();
-    assert!(trace.count("coll.bypass") > 0, "no bypass events recorded");
+    assert!(trace.count("fire") > 0, "no bypass fire events recorded");
     assert_eq!(
-        trace.count("coll.queued"),
+        trace.count("enqueue"),
         0,
         "a collective message waited in a destination queue despite the group queue"
     );
@@ -123,14 +130,17 @@ fn ablated_queue_makes_collectives_wait_behind_bulk_tokens() {
         ..CollFeatures::paper()
     });
     let trace = cluster.engine.trace();
-    assert_eq!(trace.count("coll.bypass"), 0);
-    let queued = trace.count("coll.queued");
-    assert!(queued > 0, "collective tokens never went through the queues");
+    let queued = trace.count("enqueue");
+    assert!(
+        queued > 0,
+        "collective tokens never went through the queues"
+    );
+    // Every launched collective packet must have been enqueued first: the
+    // ablated path has no bypass, so launches (fire/nack) match enqueues.
+    assert_eq!(queued, trace.count("fire") + trace.count("nack"));
     // At least one collective token towards node 1 must have seen the bulk
     // backlog (non-zero queue depth at enqueue time).
-    let saw_backlog = trace
-        .with_label("coll.queued")
-        .any(|r| r.a == 1 && r.b > 0);
+    let saw_backlog = trace.with_label("enqueue").any(|r| r.a() == 1 && r.b() > 0);
     assert!(
         saw_backlog,
         "no collective token ever waited behind the pre-loaded bulk queue"

@@ -21,7 +21,6 @@
 
 #![warn(missing_docs)]
 
-
 /// ⌈log₂ n⌉ as f64 (0 for n ≤ 1).
 fn ceil_log2(n: usize) -> f64 {
     if n <= 1 {
@@ -161,7 +160,11 @@ pub fn quality(model: &BarrierModel, points: &[(usize, f64)]) -> FitQuality {
         .sum();
     FitQuality {
         rmse_us: (ss_res / n).sqrt(),
-        r_squared: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 },
+        r_squared: if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        },
     }
 }
 
@@ -173,14 +176,22 @@ mod tests {
     fn paper_myrinet_prediction_at_1024() {
         // Abstract: "38.94µs latency over ... Myrinet" at 1024 nodes.
         let m = BarrierModel::paper_myrinet_xp();
-        assert!((m.predict(1024) - 38.94).abs() < 0.01, "{}", m.predict(1024));
+        assert!(
+            (m.predict(1024) - 38.94).abs() < 0.01,
+            "{}",
+            m.predict(1024)
+        );
     }
 
     #[test]
     fn paper_quadrics_prediction_at_1024() {
         // Abstract: "22.13µs latency over a 1024-node Quadrics".
         let m = BarrierModel::paper_quadrics_elan3();
-        assert!((m.predict(1024) - 22.13).abs() < 0.01, "{}", m.predict(1024));
+        assert!(
+            (m.predict(1024) - 22.13).abs() < 0.01,
+            "{}",
+            m.predict(1024)
+        );
     }
 
     #[test]

@@ -257,7 +257,10 @@ impl MpiProc {
                 MpiOp::StoreResult => {
                     self.results.push(self.result);
                 }
-                MpiOp::Barrier | MpiOp::Bcast { .. } | MpiOp::Allreduce { .. } | MpiOp::Allgather => {
+                MpiOp::Barrier
+                | MpiOp::Bcast { .. }
+                | MpiOp::Allreduce { .. }
+                | MpiOp::Allgather => {
                     let sig = CollSig::of(&op).expect("collective op");
                     let gid = *self.groups.get(&sig).expect("group allocated at build");
                     api.collective(gid, self.value);
@@ -448,9 +451,7 @@ mod tests {
             p.coll_signature(),
             vec![
                 CollSig::Barrier,
-                CollSig::Allreduce {
-                    op: ReduceKey::Max
-                },
+                CollSig::Allreduce { op: ReduceKey::Max },
                 CollSig::Bcast { root: 2 },
             ]
         );

@@ -2,7 +2,7 @@
 //! the simulated cluster, run to completion.
 
 use crate::interp::{CollSig, MpiProc, MpiProgram};
-use nicbar_core::{GroupSpec, PaperCollective, Algorithm, ReduceOp};
+use nicbar_core::{Algorithm, GroupSpec, PaperCollective, ReduceOp};
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};

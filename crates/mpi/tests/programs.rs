@@ -108,12 +108,7 @@ fn out_of_order_receives_are_buffered() {
 #[test]
 fn compute_phases_burn_simulated_time() {
     let report = MpiWorld::new(2)
-        .programs_from(|_| {
-            MpiProgram::new(vec![
-                MpiOp::Compute { us: 250.0 },
-                MpiOp::Barrier,
-            ])
-        })
+        .programs_from(|_| MpiProgram::new(vec![MpiOp::Compute { us: 250.0 }, MpiOp::Barrier]))
         .run();
     assert!(
         report.makespan_us >= 250.0,
@@ -126,9 +121,7 @@ fn compute_phases_burn_simulated_time() {
 fn repeated_collectives_reuse_epochs() {
     let iters = 50;
     let report = MpiWorld::new(8)
-        .programs_from(|_| {
-            MpiProgram::new((0..iters).map(|_| MpiOp::Barrier).collect())
-        })
+        .programs_from(|_| MpiProgram::new((0..iters).map(|_| MpiOp::Barrier).collect()))
         .run();
     // 8 ranks × 3 rounds × iters collective packets.
     let coll: u64 = report

@@ -126,7 +126,10 @@ mod tests {
     fn hops_symmetric() {
         let net = WormholeClos::myrinet2000(128);
         for (a, b) in [(0, 1), (3, 77), (12, 120), (64, 65)] {
-            assert_eq!(net.hops(NodeId(a), NodeId(b)), net.hops(NodeId(b), NodeId(a)));
+            assert_eq!(
+                net.hops(NodeId(a), NodeId(b)),
+                net.hops(NodeId(b), NodeId(a))
+            );
         }
     }
 

@@ -263,7 +263,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!((800..1200).contains(&dropped), "p=0.1 dropped {dropped}/10000");
+        assert!(
+            (800..1200).contains(&dropped),
+            "p=0.1 dropped {dropped}/10000"
+        );
     }
 
     #[test]

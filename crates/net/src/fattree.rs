@@ -123,8 +123,14 @@ mod tests {
         let holey: Vec<NodeId> = [2, 3, 5, 6].map(NodeId).to_vec();
         assert!(net.supports_hw_broadcast(NodeId(2), &contiguous));
         assert!(net.supports_hw_broadcast(NodeId(9), &contiguous));
-        assert!(!net.supports_hw_broadcast(NodeId(0), &contiguous), "root outside group");
-        assert!(!net.supports_hw_broadcast(NodeId(2), &holey), "fragmented group");
+        assert!(
+            !net.supports_hw_broadcast(NodeId(0), &contiguous),
+            "root outside group"
+        );
+        assert!(
+            !net.supports_hw_broadcast(NodeId(2), &holey),
+            "fragmented group"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::counters::Counters;
 use crate::queue::{EventQueue, SchedulerKind, SeqCounter};
 use crate::rng::SimRng;
+use crate::span::{FlightRecorder, SpanEvent};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceRecord};
 use std::any::Any;
@@ -80,8 +81,13 @@ pub struct Ctx<'a, M> {
     seq: &'a mut SeqCounter,
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
+    recorder: &'a mut FlightRecorder,
     counters: &'a mut Counters,
     halt: &'a mut bool,
+    /// `trace.is_enabled() || recorder.is_enabled()`, computed once per
+    /// delivery so every [`Ctx::span`] call on the disabled path is a single
+    /// predictable branch on an already-loaded bool.
+    observing: bool,
 }
 
 impl<M> Ctx<'_, M> {
@@ -115,7 +121,8 @@ impl<M> Ctx<'_, M> {
     #[inline]
     pub fn send_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
         let at = if at < self.now {
-            self.counters.add_id(crate::counter_id!("sim.clamped_sends"), 1);
+            self.counters
+                .add_id(crate::counter_id!("sim.clamped_sends"), 1);
             self.now
         } else {
             at
@@ -170,21 +177,34 @@ impl<M> Ctx<'_, M> {
         self.counters.get(key)
     }
 
-    /// Emit a trace record attributed to this component. When tracing is
-    /// disabled (the common case) this is a single predictable branch —
-    /// the record is never built.
+    /// Emit a free-form trace record attributed to this component
+    /// (sugar for [`Ctx::span`] with a [`SpanEvent::Raw`] payload).
     #[inline]
     pub fn trace(&mut self, label: &'static str, a: u64, b: u64) {
-        if !self.trace.is_enabled() {
+        self.span(SpanEvent::Raw { label, a, b });
+    }
+
+    /// Emit a typed event attributed to this component: recorded into the
+    /// trace ring (if tracing is enabled) and folded into the flight
+    /// recorder (if recording is enabled). When both are disabled — the
+    /// common case — this is a single predictable branch and the event is
+    /// never built into a record.
+    #[inline]
+    pub fn span(&mut self, event: SpanEvent) {
+        if !self.observing {
             return;
         }
+        self.span_slow(event);
+    }
+
+    #[cold]
+    fn span_slow(&mut self, event: SpanEvent) {
         self.trace.emit(TraceRecord {
             time: self.now,
             component: self.self_id,
-            label,
-            a,
-            b,
+            event,
         });
+        self.recorder.observe(self.now, &event);
     }
 
     /// Stop the engine after the current handler returns. Pending events are
@@ -216,6 +236,7 @@ pub struct Engine<M: 'static> {
     now: SimTime,
     rng: SimRng,
     trace: Trace,
+    recorder: FlightRecorder,
     counters: Counters,
     halted: bool,
     events_processed: u64,
@@ -241,6 +262,7 @@ impl<M: 'static> Engine<M> {
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
+            recorder: FlightRecorder::disabled(),
             counters: Counters::new(),
             halted: false,
             events_processed: 0,
@@ -354,6 +376,22 @@ impl<M: 'static> Engine<M> {
         &mut self.trace
     }
 
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Enable flight recording with the default span capacity.
+    pub fn enable_recorder(&mut self) {
+        self.recorder.enable();
+    }
+
+    /// Mutable access to the flight recorder (setting participants,
+    /// clearing between phases).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
     /// The engine RNG (harness use: drawing workload randomness from the
     /// same master seed).
     pub fn rng_mut(&mut self) -> &mut SimRng {
@@ -406,6 +444,7 @@ impl<M: 'static> Engine<M> {
             now,
             rng,
             trace,
+            recorder,
             counters,
             halted,
             ..
@@ -413,6 +452,7 @@ impl<M: 'static> Engine<M> {
         let component = components[event.target.0]
             .as_deref_mut()
             .unwrap_or_else(|| panic!("event for uninstalled component {}", event.target));
+        let observing = trace.is_enabled() || recorder.is_enabled();
         let mut ctx = Ctx {
             now: *now,
             self_id: event.target,
@@ -420,8 +460,10 @@ impl<M: 'static> Engine<M> {
             seq,
             rng,
             trace,
+            recorder,
             counters,
             halt: halted,
+            observing,
         };
         component.handle(event.msg, &mut ctx);
     }
@@ -703,6 +745,49 @@ mod tests {
         engine.run();
         assert_eq!(engine.counters().get("records"), 10);
         assert_eq!(engine.trace().count("record"), 10);
+    }
+
+    #[test]
+    fn recorder_folds_spans_emitted_through_ctx() {
+        use crate::span::{Phase, SpanEvent};
+
+        struct Op {
+            sink: ComponentId,
+        }
+        impl Component<Msg> for Op {
+            fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                match msg {
+                    Msg::Tick(0) => {
+                        ctx.span(SpanEvent::OpBegin { group: 7, seq: 0 });
+                        ctx.send_self(SimTime::MICROSECOND, Msg::Tick(1));
+                    }
+                    Msg::Tick(1) => {
+                        ctx.span(SpanEvent::Fire { unit: 0, dst: 1 });
+                        ctx.send_self(SimTime::MICROSECOND, Msg::Tick(2));
+                    }
+                    Msg::Tick(2) => {
+                        ctx.span(SpanEvent::OpEnd { group: 7, seq: 0 });
+                        ctx.send(SimTime::ZERO, self.sink, Msg::Stop);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink = engine.add(Sink { seen: Vec::new() });
+        let op = engine.add(Op { sink });
+        engine.enable_recorder();
+        engine.recorder_mut().set_participants(1);
+        engine.schedule_at(SimTime::ZERO, op, Msg::Tick(0));
+        engine.run();
+        // Recorder active, trace still off: span events were folded but the
+        // ring stayed empty.
+        assert!(engine.trace().is_empty());
+        let spans = engine.recorder().completed();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].total(), SimTime::from_us(2.0));
+        assert_eq!(spans[0].phase(Phase::Fire), 1_000);
+        assert_eq!(spans[0].phase(Phase::Host), 1_000);
     }
 
     #[test]

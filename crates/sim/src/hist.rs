@@ -1,0 +1,435 @@
+//! Log2-bucketed latency histograms with interned registration.
+//!
+//! The flight recorder (see [`crate::span`]) needs cheap latency
+//! distributions — p50/p95/p99/max per protocol phase — without allocating
+//! per sample. A [`Histogram`] is a fixed array of power-of-two buckets:
+//! recording a value is a `leading_zeros` plus one indexed add, and the
+//! quantile estimates come from a cumulative walk over 65 counters.
+//!
+//! ## Interning
+//!
+//! Histogram names mirror the [`crate::counters`] scheme exactly: names are
+//! `&'static str`, interned once per process into dense [`HistId`] slots,
+//! and a [`Histograms`] set is just a `Vec<Histogram>` indexed by id. The
+//! [`crate::hist_id!`] macro caches the id in a per-call-site atomic for
+//! hot paths, and reporting ([`Histograms::iter`]) is name-ordered with
+//! empty histograms skipped — the same contract counters give tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]`, up to the full `u64` range.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise `1 + floor(log2(v))`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (used as the quantile estimate).
+#[inline]
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// where the cumulative count crosses `q * count`, clamped to the exact
+    /// max. Within a factor of 2 of the true value by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, p50={}, p95={}, p99={}, max={})",
+            self.count,
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// Dense index of an interned histogram name. Obtain one with
+/// [`intern_hist`] or the [`crate::hist_id!`] macro.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HistId(u32);
+
+impl HistId {
+    /// The dense slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        registry().lock().expect("hist registry poisoned").names[self.index()]
+    }
+
+    /// Rebuild an id from its raw index. Only meant for the
+    /// [`crate::hist_id!`] macro's cache.
+    #[doc(hidden)]
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        HistId(raw)
+    }
+}
+
+/// Process-wide name table, separate from the counter table.
+struct Registry {
+    names: Vec<&'static str>,
+    lookup: BTreeMap<&'static str, HistId>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            names: Vec::new(),
+            lookup: BTreeMap::new(),
+        })
+    })
+}
+
+/// Intern `name`, returning its process-wide dense id (idempotent).
+pub fn intern_hist(name: &'static str) -> HistId {
+    let mut reg = registry().lock().expect("hist registry poisoned");
+    if let Some(&id) = reg.lookup.get(name) {
+        return id;
+    }
+    let id = HistId(u32::try_from(reg.names.len()).expect("hist name table overflow"));
+    reg.names.push(name);
+    reg.lookup.insert(name, id);
+    id
+}
+
+fn lookup(name: &str) -> Option<HistId> {
+    registry()
+        .lock()
+        .expect("hist registry poisoned")
+        .lookup
+        .get(name)
+        .copied()
+}
+
+/// Intern a histogram name with a per-call-site cache, exactly like
+/// [`crate::counter_id!`] does for counters.
+#[macro_export]
+macro_rules! hist_id {
+    ($name:expr) => {{
+        use ::std::sync::atomic::{AtomicU32, Ordering};
+        static CACHE: AtomicU32 = AtomicU32::new(u32::MAX);
+        let cached = CACHE.load(Ordering::Relaxed);
+        if cached != u32::MAX {
+            $crate::hist::HistId::from_raw(cached)
+        } else {
+            let id = $crate::hist::intern_hist($name);
+            CACHE.store(id.index() as u32, Ordering::Relaxed);
+            id
+        }
+    }};
+}
+
+/// A set of named histograms in dense slots indexed by [`HistId`].
+#[derive(Default, Clone)]
+pub struct Histograms {
+    slots: Vec<Histogram>,
+}
+
+impl Histograms {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `v` into the histogram with interned id `id`.
+    #[inline]
+    pub fn record_id(&mut self, id: HistId, v: u64) {
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, Histogram::default);
+        }
+        self.slots[idx].record(v);
+    }
+
+    /// Record `v` into histogram `name`, interning it first (cold-path
+    /// convenience).
+    #[inline]
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.record_id(intern_hist(name), v);
+    }
+
+    /// The histogram for `name`, if any samples were recorded here.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        lookup(name)
+            .and_then(|id| self.slots.get(id.index()))
+            .filter(|h| !h.is_empty())
+    }
+
+    /// The histogram for an interned id, if any samples were recorded here.
+    pub fn get_id(&self, id: HistId) -> Option<&Histogram> {
+        self.slots.get(id.index()).filter(|h| !h.is_empty())
+    }
+
+    /// Name-ordered `(name, histogram)` pairs of the non-empty histograms.
+    pub fn iter(&self) -> Vec<(&'static str, &Histogram)> {
+        let reg = registry().lock().expect("hist registry poisoned");
+        reg.lookup
+            .iter()
+            .filter_map(|(&name, &id)| {
+                self.slots
+                    .get(id.index())
+                    .filter(|h| !h.is_empty())
+                    .map(|h| (name, h))
+            })
+            .collect()
+    }
+
+    /// True if no histogram has any samples.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|h| h.is_empty())
+    }
+
+    /// Reset every histogram.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+impl fmt::Debug for Histograms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        // 99 samples at 10 (bucket [8,15]), one at 1000.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p95(), 15);
+        // The 100th sample lands in the [512,1023] bucket, clamped to max.
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.p99(), 15);
+    }
+
+    #[test]
+    fn quantile_clamps_to_exact_max() {
+        let mut h = Histogram::new();
+        h.record(9);
+        // Upper bound of bucket [8,15] is 15, but the true max is 9.
+        assert_eq!(h.p50(), 9);
+        assert_eq!(h.p99(), 9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.sum(), 505);
+    }
+
+    #[test]
+    fn interned_ids_are_stable() {
+        let a = intern_hist("stable.hist");
+        let b = intern_hist("stable.hist");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "stable.hist");
+    }
+
+    #[test]
+    fn hist_id_macro_caches() {
+        let mut hs = Histograms::new();
+        for i in 0..10 {
+            hs.record_id(hist_id!("macro.hist"), i);
+        }
+        assert_eq!(hs.get("macro.hist").unwrap().count(), 10);
+        assert_eq!(hist_id!("macro.hist"), intern_hist("macro.hist"));
+    }
+
+    #[test]
+    fn sets_do_not_share_samples_and_iteration_is_name_ordered() {
+        let mut a = Histograms::new();
+        let mut b = Histograms::new();
+        a.record("shared.hist.name", 1);
+        b.record("shared.hist.name", 2);
+        a.record("a.first", 3);
+        assert_eq!(a.get("shared.hist.name").unwrap().count(), 1);
+        assert_eq!(b.get("shared.hist.name").unwrap().count(), 1);
+        let names: Vec<&str> = a.iter().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn empty_histograms_are_not_reported() {
+        intern_hist("ghost.hist");
+        let hs = Histograms::new();
+        assert!(hs.get("ghost.hist").is_none());
+        assert!(hs.iter().is_empty());
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`Counters`] / [`Trace`] — cheap named statistics and an optional event
 //!   trace ring used by tests to assert protocol behaviour (packet counts,
 //!   ACK counts, retransmissions, ...).
+//! * [`SpanEvent`] / [`FlightRecorder`] / [`Histogram`] — typed protocol
+//!   events, per-operation phase breakdowns, and log2-bucketed latency
+//!   histograms: the flight-recorder layer behind the `flight` binary's
+//!   Chrome-trace export and breakdown tables. Disabled by default; one
+//!   branch per emit site when off.
 //!
 //! The engine is intentionally single-threaded: determinism and debuggability
 //! matter more than parallel speed for protocol simulation, and the benchmark
@@ -58,14 +63,18 @@
 
 pub mod counters;
 pub mod engine;
+pub mod hist;
 pub mod queue;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 
 pub use counters::{intern, CounterId, CounterSnapshot, Counters};
 pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
+pub use hist::{intern_hist, HistId, Histogram, Histograms};
 pub use queue::SchedulerKind;
 pub use rng::SimRng;
+pub use span::{FlightRecorder, Phase, SpanEvent, SpanSummary, NUM_PHASES};
 pub use time::SimTime;
 pub use trace::{Trace, TraceRecord};

@@ -414,7 +414,8 @@ impl<M> WheelQueue<M> {
             self.link(off as usize, target, msg);
         } else {
             // Behind the floor or beyond the horizon: full-key heap order.
-            self.overflow.push(pack(SimTime::from_ns(t), seq.next()), target, msg);
+            self.overflow
+                .push(pack(SimTime::from_ns(t), seq.next()), target, msg);
         }
     }
 
@@ -437,8 +438,8 @@ impl<M> WheelQueue<M> {
             return None;
         }
         loop {
-            let bucket_time = (self.next_bucket < WHEEL_BUCKETS)
-                .then(|| self.base + self.next_bucket as u64);
+            let bucket_time =
+                (self.next_bucket < WHEEL_BUCKETS).then(|| self.base + self.next_bucket as u64);
             let over_time = self.overflow.peek_time().map(|t| t.as_ns());
             match (over_time, bucket_time) {
                 (None, None) => return None,
@@ -523,8 +524,8 @@ impl<M> WheelQueue<M> {
         if let Some((t, _, _)) = &self.single {
             return Some(SimTime::from_ns(*t));
         }
-        let bucket = (self.next_bucket < WHEEL_BUCKETS)
-            .then(|| self.base + self.next_bucket as u64);
+        let bucket =
+            (self.next_bucket < WHEEL_BUCKETS).then(|| self.base + self.next_bucket as u64);
         let over = self.overflow.peek_time().map(|t| t.as_ns());
         match (bucket, over) {
             (None, None) => None,
@@ -709,7 +710,12 @@ mod tests {
         // A deliberately adversarial mix: descending, ties, interleaved
         // pops, and a batch insert.
         for t in (0..50u64).rev() {
-            q.push(&mut seq, SimTime::from_ns(t % 7), ComponentId(t as usize), t);
+            q.push(
+                &mut seq,
+                SimTime::from_ns(t % 7),
+                ComponentId(t as usize),
+                t,
+            );
         }
         let mut popped = Vec::new();
         for _ in 0..10 {
@@ -791,7 +797,9 @@ mod tests {
             &mut seq,
             (0..200u64).map(|i| (SimTime::from_ns(199 - i), ComponentId(i as usize), i)),
         );
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_ns()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_ns())
+            .collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted);

@@ -286,7 +286,10 @@ mod tests {
         for _ in 0..1_000 {
             seen[r.below(7) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "below(7) missed a residue: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "below(7) missed a residue: {seen:?}"
+        );
     }
 
     #[test]

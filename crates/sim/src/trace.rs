@@ -1,29 +1,46 @@
 //! Optional event tracing.
 //!
-//! A [`Trace`] is a bounded ring of `(time, component, label, a, b)` records.
-//! It is disabled by default (zero cost beyond a branch); tests enable it to
-//! assert fine-grained protocol behaviour, e.g. "the barrier send token never
-//! waited behind a point-to-point token" or "no ACK was emitted for a
+//! A [`Trace`] is a bounded ring of `(time, component, event)` records,
+//! where the payload is a typed [`SpanEvent`] (see [`crate::span`]). It is
+//! disabled by default (zero cost beyond a branch); tests enable it to
+//! assert fine-grained protocol behaviour, e.g. "the barrier send token
+//! never waited behind a point-to-point token" or "no ACK was emitted for a
 //! collective packet".
 
 use crate::engine::ComponentId;
+use crate::span::SpanEvent;
 use crate::time::SimTime;
 use std::fmt;
 
-/// One trace record. `a` and `b` are free-form payload words whose meaning
-/// depends on `label` (documented at each emit site).
+/// One trace record: a typed event stamped with its emission time and the
+/// component that emitted it. The legacy `(label, a, b)` word view is still
+/// available through [`TraceRecord::label`], [`TraceRecord::a`] and
+/// [`TraceRecord::b`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Simulated time the record was emitted.
     pub time: SimTime,
     /// Component that emitted it.
     pub component: ComponentId,
+    /// The typed event payload.
+    pub event: SpanEvent,
+}
+
+impl TraceRecord {
     /// Static label identifying the event kind.
-    pub label: &'static str,
-    /// First payload word.
-    pub a: u64,
-    /// Second payload word.
-    pub b: u64,
+    pub fn label(&self) -> &'static str {
+        self.event.label()
+    }
+
+    /// First payload word (legacy view; meaning depends on the variant).
+    pub fn a(&self) -> u64 {
+        self.event.a()
+    }
+
+    /// Second payload word (legacy view; meaning depends on the variant).
+    pub fn b(&self) -> u64 {
+        self.event.b()
+    }
 }
 
 /// A bounded trace ring. When full, the oldest records are dropped and
@@ -118,7 +135,7 @@ impl Trace {
         &'a self,
         label: &'static str,
     ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.iter().filter(move |r| r.label == label)
+        self.iter().filter(move |r| r.label() == label)
     }
 
     /// Count of records with a given label (among retained records).
@@ -154,9 +171,7 @@ mod tests {
         TraceRecord {
             time: SimTime::from_ns(t),
             component: ComponentId(0),
-            label,
-            a,
-            b: 0,
+            event: SpanEvent::Raw { label, a, b: 0 },
         }
     }
 
@@ -174,7 +189,7 @@ mod tests {
         for i in 0..5 {
             t.emit(rec(i, "pkt", i));
         }
-        let seen: Vec<u64> = t.iter().map(|r| r.a).collect();
+        let seen: Vec<u64> = t.iter().map(|r| r.a()).collect();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
         assert_eq!(t.dropped(), 0);
     }
@@ -185,7 +200,7 @@ mod tests {
         for i in 0..7 {
             t.emit(rec(i, "pkt", i));
         }
-        let seen: Vec<u64> = t.iter().map(|r| r.a).collect();
+        let seen: Vec<u64> = t.iter().map(|r| r.a()).collect();
         assert_eq!(seen, vec![3, 4, 5, 6]);
         assert_eq!(t.dropped(), 3);
         assert_eq!(t.len(), 4);
@@ -200,8 +215,22 @@ mod tests {
         assert_eq!(t.count("ack"), 2);
         assert_eq!(t.count("pkt"), 1);
         assert_eq!(t.count("nack"), 0);
-        let acks: Vec<u64> = t.with_label("ack").map(|r| r.a).collect();
+        let acks: Vec<u64> = t.with_label("ack").map(|r| r.a()).collect();
         assert_eq!(acks, vec![1, 3]);
+    }
+
+    #[test]
+    fn typed_events_filter_by_phase_label() {
+        let mut t = Trace::with_capacity(16);
+        t.emit(TraceRecord {
+            time: SimTime::from_ns(1),
+            component: ComponentId(3),
+            event: SpanEvent::Nack { dst: 2, round: 5 },
+        });
+        assert_eq!(t.count("nack"), 1);
+        let r = t.with_label("nack").next().unwrap();
+        assert_eq!((r.a(), r.b()), (2, 5));
+        assert_eq!(r.event, SpanEvent::Nack { dst: 2, round: 5 });
     }
 
     #[test]

@@ -72,10 +72,7 @@ fn run_workload(
         engine.schedule_at(
             SimTime::from_ns(at_ns),
             ids[target % n],
-            Msg {
-                budget,
-                tag: at_ns,
-            },
+            Msg { budget, tag: at_ns },
         );
     }
     engine.run();

@@ -66,13 +66,7 @@ fn run_alltoall(n: usize) -> (f64, Vec<u64>) {
             _l: u32,
         ) {
         }
-        fn on_coll_done(
-            &mut self,
-            api: &mut nicbar::gm::GmApi<'_>,
-            _g: GroupId,
-            _e: u64,
-            v: u64,
-        ) {
+        fn on_coll_done(&mut self, api: &mut nicbar::gm::GmApi<'_>, _g: GroupId, _e: u64, v: u64) {
             self.result = Some((api.now(), v));
         }
     }
@@ -122,15 +116,28 @@ fn main() {
             0
         }
     });
-    println!("broadcast(root=3, value=424242):  {t:>6.2} µs   everyone got {:?}", vals[0]);
+    println!(
+        "broadcast(root=3, value=424242):  {t:>6.2} µs   everyone got {:?}",
+        vals[0]
+    );
     assert!(vals.iter().all(|&v| v == 424242));
 
-    let (t, vals) = run(n, GroupOp::Allreduce { op: ReduceOp::Sum }, |rank| rank as u64 + 1);
-    println!("allreduce(sum of 1..=8):          {t:>6.2} µs   everyone got {:?}", vals[0]);
+    let (t, vals) = run(n, GroupOp::Allreduce { op: ReduceOp::Sum }, |rank| {
+        rank as u64 + 1
+    });
+    println!(
+        "allreduce(sum of 1..=8):          {t:>6.2} µs   everyone got {:?}",
+        vals[0]
+    );
     assert!(vals.iter().all(|&v| v == 36));
 
-    let (t, vals) = run(n, GroupOp::Allreduce { op: ReduceOp::Max }, |rank| 10 * rank as u64);
-    println!("allreduce(max of 0,10,..,70):     {t:>6.2} µs   everyone got {:?}", vals[0]);
+    let (t, vals) = run(n, GroupOp::Allreduce { op: ReduceOp::Max }, |rank| {
+        10 * rank as u64
+    });
+    println!(
+        "allreduce(max of 0,10,..,70):     {t:>6.2} µs   everyone got {:?}",
+        vals[0]
+    );
     assert!(vals.iter().all(|&v| v == 70));
 
     let (t, vals) = run(n, GroupOp::Allgather, |rank| 1 << rank);

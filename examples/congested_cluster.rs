@@ -11,8 +11,8 @@
 //! ```
 
 use nicbar::core::{
-    gm_host_barrier, gm_host_barrier_under_traffic, gm_nic_barrier,
-    gm_nic_barrier_under_traffic, Algorithm, RunCfg, TrafficCfg,
+    gm_host_barrier, gm_host_barrier_under_traffic, gm_nic_barrier, gm_nic_barrier_under_traffic,
+    Algorithm, RunCfg, TrafficCfg,
 };
 use nicbar::gm::{CollFeatures, GmParams};
 
@@ -46,7 +46,8 @@ fn main() {
         cfg,
     )
     .mean_us;
-    let quiet_host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg).mean_us;
+    let quiet_host =
+        gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg).mean_us;
 
     for outstanding in [2u32, 4, 8] {
         let traffic = TrafficCfg {

@@ -21,7 +21,10 @@ fn main() {
     };
 
     println!("NIC-based dissemination barrier: Elan3 (calibrated) vs Elan4 (projection)\n");
-    println!("{:>6} {:>12} {:>12} {:>9}", "nodes", "Elan3 (µs)", "Elan4 (µs)", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "nodes", "Elan3 (µs)", "Elan4 (µs)", "speedup"
+    );
     let mut e3_pts = Vec::new();
     let mut e4_pts = Vec::new();
     for &n in &ns {

@@ -18,7 +18,10 @@ fn main() {
     };
     let n = 8;
 
-    println!("simulating {n}-node Myrinet (LANai-XP) cluster, {} barriers...\n", cfg.total());
+    println!(
+        "simulating {n}-node Myrinet (LANai-XP) cluster, {} barriers...\n",
+        cfg.total()
+    );
 
     let nic = gm_nic_barrier(
         GmParams::lanai_xp(),
@@ -29,16 +32,36 @@ fn main() {
     );
     let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg);
 
-    println!("NIC-based barrier (dissemination):  {:>6.2} µs", nic.mean_us);
-    println!("host-based barrier (dissemination): {:>6.2} µs", host.mean_us);
-    println!("improvement factor:                 {:>6.2}x   (paper: 2.64x)", host.mean_us / nic.mean_us);
+    println!(
+        "NIC-based barrier (dissemination):  {:>6.2} µs",
+        nic.mean_us
+    );
+    println!(
+        "host-based barrier (dissemination): {:>6.2} µs",
+        host.mean_us
+    );
+    println!(
+        "improvement factor:                 {:>6.2}x   (paper: 2.64x)",
+        host.mean_us / nic.mean_us
+    );
     println!();
     println!("wire packets per barrier:");
-    println!("  NIC-based:  {:>5.1}  (collective packets only — no ACKs, §6.3)", nic.wire_per_barrier);
-    println!("  host-based: {:>5.1}  (data + one ACK each)", host.wire_per_barrier);
+    println!(
+        "  NIC-based:  {:>5.1}  (collective packets only — no ACKs, §6.3)",
+        nic.wire_per_barrier
+    );
+    println!(
+        "  host-based: {:>5.1}  (data + one ACK each)",
+        host.wire_per_barrier
+    );
     println!();
     println!("interesting counters (NIC-based run):");
-    for key in ["wire.coll", "wire.coll_nack", "gm.coll_recv", "gm.host_coll"] {
+    for key in [
+        "wire.coll",
+        "wire.coll_nack",
+        "gm.coll_recv",
+        "gm.host_coll",
+    ] {
         println!("  {key:<16} {}", nic.counter(key));
     }
 }

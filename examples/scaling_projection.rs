@@ -34,7 +34,10 @@ fn main() {
         );
         quadrics.push((n, q.mean_us));
         myrinet.push((n, m.mean_us));
-        println!("  n={n:>5}: Quadrics {:>6.2} µs   Myrinet {:>6.2} µs", q.mean_us, m.mean_us);
+        println!(
+            "  n={n:>5}: Quadrics {:>6.2} µs   Myrinet {:>6.2} µs",
+            q.mean_us, m.mean_us
+        );
     }
 
     let (qf, qq) = fit(&quadrics);

@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
 # Full local gate: release build, workspace tests, clippy with warnings
-# denied. Run from anywhere inside the repo.
+# denied, formatting, and the observability zero-overhead gate. Run from
+# anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Formatting covers our crates only: vendor/* members are upstream code we
+# keep byte-identical, and rustfmt's `ignore` option is nightly-only.
+fmt_pkgs=()
+for manifest in crates/*/Cargo.toml; do
+    fmt_pkgs+=(-p "$(grep -m1 '^name' "$manifest" | sed 's/.*"\(.*\)"/\1/')")
+done
+cargo fmt "${fmt_pkgs[@]}" --check
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Zero-overhead gate: with the flight recorder and trace ring disabled,
+# engine throughput must stay within 5% of the saved baseline. Skipped if
+# the baseline has never been generated (run the full engine_sweep once).
+if [ -f results/engine_sweep.json ]; then
+    cargo run --release -p nicbar-bench --bin engine_sweep -- --quick
+else
+    echo "check.sh: no results/engine_sweep.json baseline, skipping --quick gate"
+fi
 
 echo "check.sh: all green"

@@ -1,9 +1,7 @@
 //! Cross-substrate comparisons: relations between the Quadrics and Myrinet
 //! results that the paper's figures imply when read together.
 
-use nicbar::core::{
-    elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg,
-};
+use nicbar::core::{elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg};
 use nicbar::elan::ElanParams;
 use nicbar::gm::{CollFeatures, GmParams};
 

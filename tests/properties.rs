@@ -2,10 +2,10 @@
 //! arbitrary group sizes, seeds, skews and loss rates; schedule-generator
 //! invariants; model-fit sanity.
 
+use nicbar::core::schedule::{disseminates, validate, Schedule};
 use nicbar::core::{
     elan_nic_barrier, gm_host_barrier, gm_nic_barrier, schedules_for, Algorithm, RunCfg,
 };
-use nicbar::core::schedule::{disseminates, validate, Schedule};
 use nicbar::elan::ElanParams;
 use nicbar::gm::{CollFeatures, GmParams};
 use proptest::prelude::*;
@@ -196,13 +196,7 @@ mod collective_props {
             _l: u32,
         ) {
         }
-        fn on_coll_done(
-            &mut self,
-            _api: &mut nicbar::gm::GmApi<'_>,
-            _g: GroupId,
-            _e: u64,
-            v: u64,
-        ) {
+        fn on_coll_done(&mut self, _api: &mut nicbar::gm::GmApi<'_>, _g: GroupId, _e: u64, v: u64) {
             self.result = Some(v);
         }
     }

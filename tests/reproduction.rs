@@ -208,7 +208,10 @@ fn pe_is_bumpy_at_non_powers_of_two_on_myrinet() {
         Algorithm::Dissemination,
         cfg(),
     );
-    assert!(pe6.mean_us > ds6.mean_us, "PE must pay its extra steps at n=6");
+    assert!(
+        pe6.mean_us > ds6.mean_us,
+        "PE must pay its extra steps at n=6"
+    );
     assert!(
         (pe8.mean_us - ds8.mean_us).abs() < 0.5,
         "PE and DS coincide at powers of two"

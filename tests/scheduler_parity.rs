@@ -51,14 +51,7 @@ fn fig5_gm_point_is_identical_across_schedulers() {
 
 #[test]
 fn fig7_elan_point_is_identical_across_schedulers() {
-    let run = |kind| {
-        elan_nic_barrier(
-            ElanParams::elan3(),
-            8,
-            Algorithm::Dissemination,
-            cfg(kind),
-        )
-    };
+    let run = |kind| elan_nic_barrier(ElanParams::elan3(), 8, Algorithm::Dissemination, cfg(kind));
     let wheel = run(SchedulerKind::TimingWheel);
     let indexed = run(SchedulerKind::Indexed4);
     let classic = run(SchedulerKind::ClassicBinaryHeap);
@@ -77,7 +70,11 @@ fn barrier_stats_counters_are_name_ordered() {
         Algorithm::Dissemination,
         cfg(SchedulerKind::default()),
     );
-    let names: Vec<&str> = stats.counters.iter().map(|(name, _)| name.as_str()).collect();
+    let names: Vec<&str> = stats
+        .counters
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect();
     let mut sorted = names.clone();
     sorted.sort_unstable();
     assert_eq!(names, sorted, "BarrierStats counters must be name-ordered");
