@@ -122,7 +122,7 @@ pub(crate) fn stats_from_logs(
     logs: Vec<&[SimTime]>,
     counters: Vec<(String, u64)>,
 ) -> BarrierStats {
-    let total = cfg.total() as usize;
+    let total = usize::try_from(cfg.total()).expect("iteration count exceeds usize");
     for (i, log) in logs.iter().enumerate() {
         assert_eq!(
             log.len(),
@@ -147,7 +147,7 @@ pub(crate) fn stats_from_logs(
         .map(|k| logs.iter().map(|l| l[k]).max().expect("n >= 1"))
         .collect();
     assert!(cfg.warmup >= 1, "need at least one warm-up iteration");
-    let w = cfg.warmup as usize;
+    let w = usize::try_from(cfg.warmup).expect("warmup count exceeds usize");
     let per_iter_us: Vec<f64> = (w..total)
         .map(|k| (global[k] - global[k - 1]).as_us())
         .collect();
@@ -267,7 +267,10 @@ fn gm_nic_cluster(
     if observe {
         cluster.engine.enable_trace();
         cluster.engine.enable_recorder();
-        cluster.engine.recorder_mut().set_participants(n as u32);
+        cluster
+            .engine
+            .recorder_mut()
+            .set_participants(u32::try_from(n).expect("participant count exceeds u32"));
     }
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "NIC barrier run did not drain");
@@ -386,7 +389,10 @@ fn elan_nic_cluster(
     if observe {
         cluster.engine.enable_trace();
         cluster.engine.enable_recorder();
-        cluster.engine.recorder_mut().set_participants(n as u32);
+        cluster
+            .engine
+            .recorder_mut()
+            .set_participants(u32::try_from(n).expect("participant count exceeds u32"));
     }
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "elan NIC barrier did not drain");
@@ -561,7 +567,13 @@ fn elan_thread_collective(
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for &node in members.iter() {
         let contribs: Vec<u64> = (0..cfg.total())
-            .map(|e| contribution(members.iter().position(|&m| m == node).unwrap(), e))
+            .map(|e| {
+                let rank = members
+                    .iter()
+                    .position(|&m| m == node)
+                    .expect("members are a permutation of the node set");
+                contribution(rank, e)
+            })
             .collect();
         apps[node.0] = Some(Box::new(ElanThreadApp::new(contribs)));
     }

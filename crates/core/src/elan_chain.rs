@@ -37,6 +37,12 @@ pub const CHAIN_DONE_COOKIE: u64 = 0xBA44;
 /// at index 0.
 pub const ENTRY_EVENT: EventId = EventId(0);
 
+/// Checked index → u32 conversion for event/descriptor IDs. Chain programs
+/// have at most a few events per rank; overflow means a corrupt schedule.
+fn event_idx(i: usize) -> u32 {
+    u32::try_from(i).expect("event index exceeds u32")
+}
+
 /// Rounds in which a rank sends, ascending.
 fn send_rounds(s: &Schedule) -> Vec<usize> {
     (0..s.num_rounds())
@@ -49,8 +55,8 @@ fn send_rounds(s: &Schedule) -> Vec<usize> {
 fn consuming_event(dst_schedule: &Schedule, r: usize) -> EventId {
     let sends = send_rounds(dst_schedule);
     match sends.iter().position(|&s| s > r) {
-        Some(gate_idx) => EventId(gate_idx as u32),
-        None => EventId(sends.len() as u32), // the done event
+        Some(gate_idx) => EventId(event_idx(gate_idx)),
+        None => EventId(event_idx(sends.len())), // the done event
     }
 }
 
@@ -69,18 +75,18 @@ pub fn build_chains(algo: Algorithm, members: &[NodeId]) -> Vec<NicProgram> {
         let sched = &schedules[rank];
         let sends = send_rounds(sched);
         let k = sends.len();
-        let done_event = EventId(k as u32);
+        let done_event = EventId(event_idx(k));
 
         let mut descs: Vec<RdmaDesc> = Vec::new();
         let mut desc_ids_per_gate: Vec<Vec<DescId>> = vec![Vec::new(); k];
         for (gate_idx, &round) in sends.iter().enumerate() {
             let next_gate = if gate_idx + 1 < k {
-                EventId(gate_idx as u32 + 1)
+                EventId(event_idx(gate_idx + 1))
             } else {
                 done_event
             };
             for &dst_rank in &sched.rounds[round].sends {
-                let id = DescId(descs.len() as u32);
+                let id = DescId(event_idx(descs.len()));
                 descs.push(RdmaDesc {
                     dst: members[dst_rank],
                     bytes: 0, // pure event-fire RDMA: the barrier carries no data

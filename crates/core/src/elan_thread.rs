@@ -19,7 +19,7 @@ use crate::schedule::Schedule;
 use nicbar_elan::{ElanApi, ElanApp, ElanThread, ThreadAction};
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Completion cookie for thread-based collectives.
 pub const THREAD_DONE_COOKIE: u64 = 0x7442;
@@ -38,7 +38,10 @@ pub enum ThreadOp {
 
 fn encode(epoch: u64, round: usize) -> u32 {
     assert!(epoch < (1 << 24), "epoch too large for tag");
-    ((epoch as u32) << 8) | round as u32
+    assert!(round < 256, "round too large for tag");
+    let epoch = u32::try_from(epoch).expect("checked by the 24-bit assert above");
+    let round = u32::try_from(round).expect("checked by the 8-bit assert above");
+    (epoch << 8) | round
 }
 
 fn decode(tag: u32) -> (u64, usize) {
@@ -59,7 +62,7 @@ pub struct ThreadCollective {
     /// Next round whose send has not been issued (live epoch).
     next_send_round: usize,
     /// Banked arrivals: (epoch, round) → value.
-    banked: HashMap<(u64, usize), u64>,
+    banked: BTreeMap<(u64, usize), u64>,
     /// Results per completed epoch (test observability).
     results: Vec<u64>,
 }
@@ -82,7 +85,7 @@ impl ThreadCollective {
             completed: 0,
             acc: 0,
             next_send_round: 0,
-            banked: HashMap::new(),
+            banked: BTreeMap::new(),
             results: Vec::new(),
         }
     }
@@ -206,7 +209,8 @@ impl ElanApp for ElanThreadApp {
         self.done += 1;
         self.log.completions.push(api.now());
         if self.done < self.iters {
-            api.thread_doorbell(self.contributions[self.done as usize]);
+            let next = usize::try_from(self.done).expect("iteration count exceeds usize");
+            api.thread_doorbell(self.contributions[next]);
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::schedule::{Algorithm, Schedule};
 use nicbar_gm::{GmApi, GmApp, GroupId, MsgTag};
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Barrier message payload size (one integer, as in the paper).
 pub const BARRIER_MSG_BYTES: u32 = 4;
@@ -22,7 +22,9 @@ pub const BARRIER_MSG_BYTES: u32 = 4;
 pub fn encode_tag(epoch: u64, round: usize) -> MsgTag {
     assert!(epoch < (1 << 24), "epoch too large for tag encoding");
     assert!(round < 256, "round too large for tag encoding");
-    MsgTag(((epoch as u32) << 8) | round as u32)
+    let epoch = u32::try_from(epoch).expect("checked by the 24-bit assert above");
+    let round = u32::try_from(round).expect("checked by the 8-bit assert above");
+    MsgTag((epoch << 8) | round)
 }
 
 /// Decode a tag produced by [`encode_tag`].
@@ -39,7 +41,7 @@ pub struct HostScheduleRunner {
     completed: u64,
     live: bool,
     next_send_round: usize,
-    banked: HashMap<(u64, usize), u64>,
+    banked: BTreeMap<(u64, usize), u64>,
 }
 
 /// Sends requested by the runner: `(destination rank, round)`.
@@ -54,7 +56,7 @@ impl HostScheduleRunner {
             completed: 0,
             live: false,
             next_send_round: 0,
-            banked: HashMap::new(),
+            banked: BTreeMap::new(),
         }
     }
 
@@ -325,7 +327,8 @@ impl GmApp for CollOpApp {
         self.results.push((api.now(), value));
         let next = epoch + 1;
         if next < self.iters {
-            api.collective(self.group, self.contributions[next as usize]);
+            let next = usize::try_from(next).expect("iteration count exceeds usize");
+            api.collective(self.group, self.contributions[next]);
         }
     }
 }

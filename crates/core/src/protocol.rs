@@ -37,7 +37,7 @@ use nicbar_gm::{
 };
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Combine operator for allreduce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,9 +185,9 @@ struct GroupState {
     completed: u64,
     live: Option<LiveEpoch>,
     /// Arrivals banked per (epoch, round).
-    banked: HashMap<(u64, usize), RoundArrivals>,
+    banked: BTreeMap<(u64, usize), RoundArrivals>,
     /// Sent payloads of recently completed epochs, for late NACKs.
-    archive: HashMap<u64, Vec<Option<CollKind>>>,
+    archive: BTreeMap<u64, Vec<Option<CollKind>>>,
     nacks_sent: u64,
     retransmits: u64,
     /// Completed alltoall rows per epoch (test observability).
@@ -209,8 +209,8 @@ impl GroupState {
             host_epoch: 0,
             completed: 0,
             live: None,
-            banked: HashMap::new(),
-            archive: HashMap::new(),
+            banked: BTreeMap::new(),
+            archive: BTreeMap::new(),
             nacks_sent: 0,
             retransmits: 0,
             rows_history: Vec::new(),
@@ -315,7 +315,7 @@ impl GroupState {
                     })
                     .collect();
                 CollKind::Gather {
-                    base_rank: base as u32,
+                    base_rank: u32::try_from(base).expect("group rank exceeds u32"),
                     values,
                 }
             }
@@ -406,7 +406,7 @@ impl GroupState {
                             src: my_node,
                             group: self.spec.id,
                             epoch,
-                            round: r as u16,
+                            round: u16::try_from(r).expect("round exceeds u16 tag width"),
                             kind: kind.clone(),
                         },
                         retx: false,
@@ -450,13 +450,15 @@ impl GroupState {
 /// The NIC-resident collective engine implementing the paper's protocol.
 pub struct PaperCollective {
     node: NodeId,
-    groups: HashMap<GroupId, GroupState>,
+    // BTreeMap, not HashMap: `on_timer` iterates this map and emits NACK
+    // sends in iteration order, so the order must be keyed, not hashed.
+    groups: BTreeMap<GroupId, GroupState>,
 }
 
 impl PaperCollective {
     /// Build the engine for `node` serving the given groups.
     pub fn new(node: NodeId, specs: Vec<GroupSpec>) -> Self {
-        let mut groups = HashMap::new();
+        let mut groups = BTreeMap::new();
         for spec in specs {
             assert_eq!(
                 spec.members[spec.my_rank], node,
@@ -600,8 +602,8 @@ impl NicCollective for PaperCollective {
                     .enumerate()
                     .filter(|&(dst, _)| dst != me)
                     .map(|(dst, &value)| AllToAllItem {
-                        origin: me as u32,
-                        dst: dst as u32,
+                        origin: u32::try_from(me).expect("group rank exceeds u32"),
+                        dst: u32::try_from(dst).expect("group rank exceeds u32"),
                         value,
                     })
                     .collect();
@@ -685,7 +687,7 @@ impl NicCollective for PaperCollective {
                         src: my_node,
                         group: state.spec.id,
                         epoch,
-                        round: stall_round as u16,
+                        round: u16::try_from(stall_round).expect("round exceeds u16 tag width"),
                         kind: CollKind::Nack,
                     },
                     retx: false,
@@ -706,6 +708,7 @@ impl NicCollective for PaperCollective {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 mod tests {
     use super::*;
 

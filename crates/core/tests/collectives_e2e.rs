@@ -1,6 +1,7 @@
 //! End-to-end tests of the §9 extension collectives over the GM substrate:
 //! NIC-forwarded broadcast, allreduce, allgather — all through the same
 //! NIC-based collective protocol (static packets, bit vectors, NACKs).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 
 use nicbar_core::host_app::CollOpApp;
 use nicbar_core::{Algorithm, GroupOp, GroupSpec, PaperCollective, ReduceOp};

@@ -1,5 +1,6 @@
 //! Multiple collective groups sharing NICs concurrently — the protocol
 //! must keep per-group state (queues, bit vectors, epochs) fully isolated.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 
 use nicbar_core::host_app::BarrierLog;
 use nicbar_core::{Algorithm, GroupSpec, PaperCollective};

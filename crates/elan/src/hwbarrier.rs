@@ -22,7 +22,7 @@ use crate::params::ElanParams;
 use nicbar_net::{NodeId, Topology};
 use nicbar_sim::counter_id;
 use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The switch-resident barrier combining unit.
 pub struct HwBarrierUnit {
@@ -31,7 +31,7 @@ pub struct HwBarrierUnit {
     params: ElanParams,
     levels: u32,
     /// epoch → (arrivals so far, first arrival time)
-    pending: HashMap<u64, (usize, SimTime)>,
+    pending: BTreeMap<u64, (usize, SimTime)>,
 }
 
 impl HwBarrierUnit {
@@ -58,7 +58,7 @@ impl HwBarrierUnit {
             nics,
             params,
             levels,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! End-to-end tests of the Elan substrate: chained RDMA descriptors, tport
 //! messaging, the gsync tree barrier over the simulated cluster, and the
 //! hardware barrier.
+#![allow(clippy::unwrap_used)] // test code: panicking on bad state is the point
 
 use nicbar_elan::{
     hw_cookie, DescId, ElanApi, ElanApp, ElanCluster, ElanClusterSpec, ElanNic, ElanParams,

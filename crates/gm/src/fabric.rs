@@ -82,6 +82,7 @@ impl Component<GmEvent> for GmFabric {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
 mod tests {
     use super::*;
     use crate::types::{CollKind, CollPacket, GroupId, MsgTag, Packet};

@@ -17,7 +17,7 @@ use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
 use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime, SpanEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Actions an application can request during a callback.
 enum HostAction {
@@ -153,7 +153,7 @@ pub struct GmHost {
     /// Host CPU busy-until (the process is single-threaded).
     cpu_free: SimTime,
     next_msg_id: MsgId,
-    coll_epochs: HashMap<GroupId, u64>,
+    coll_epochs: BTreeMap<GroupId, u64>,
 }
 
 impl GmHost {
@@ -173,7 +173,7 @@ impl GmHost {
             app,
             cpu_free: SimTime::ZERO,
             next_msg_id: 1,
-            coll_epochs: HashMap::new(),
+            coll_epochs: BTreeMap::new(),
         }
     }
 

@@ -2,6 +2,7 @@
 //! doorbell dispatch, action execution order, timer arming, host
 //! completion delivery, and the ablation paths (queued collective tokens,
 //! per-packet ACK traffic).
+#![allow(clippy::unwrap_used)] // test code: panicking on bad state is the point
 
 use nicbar_gm::{
     CollAction, CollFeatures, CollKind, CollPacket, GmApi, GmApp, GmCluster, GmClusterSpec,

@@ -1,5 +1,6 @@
 //! End-to-end tests of the GM point-to-point protocol: ping-pong latency,
 //! multi-packet messages, loss recovery, flow control.
+#![allow(clippy::unwrap_used)] // test code: panicking on bad state is the point
 
 use nicbar_gm::{GmApi, GmApp, GmCluster, GmClusterSpec, GmParams, MsgId, MsgTag};
 use nicbar_net::NodeId;

@@ -1,0 +1,18 @@
+//! PI002 fixture: wildcard arms in SpanEvent/Phase matches would silently
+//! swallow newly added variants in exporters.
+
+pub fn phase_code(e: &SpanEvent) -> u32 {
+    match e {
+        SpanEvent::Fire { .. } => 1,
+        SpanEvent::Wire { .. } => 2,
+        _ => 0, //~ PI002
+    }
+}
+
+pub fn guarded(p: &Phase, x: u32) -> u32 {
+    match p {
+        Phase::Host => 0,
+        _ if x > 0 => 1, //~ PI002
+        Phase::Wire => 2,
+    }
+}

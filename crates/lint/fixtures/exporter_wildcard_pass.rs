@@ -1,0 +1,35 @@
+//! Negative fixture: exhaustive SpanEvent matches, wildcard matches over
+//! unrelated types, and tuple-position wildcards all pass.
+
+pub fn phase_code(e: &SpanEvent) -> u32 {
+    match e {
+        SpanEvent::Fire { .. } => 1,
+        SpanEvent::Wire { .. } => 2,
+        SpanEvent::Arrive { .. } => 3,
+    }
+}
+
+pub fn unrelated(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => 0,
+    }
+}
+
+pub fn tuple_positions(e: &SpanEvent, x: u32) -> u32 {
+    match (e, x) {
+        (SpanEvent::Fire { .. }, _) => 1,
+        (SpanEvent::Wire { .. }, n) => n,
+        (SpanEvent::Arrive { .. }, _) => 3,
+    }
+}
+
+pub fn nested(e: &SpanEvent, x: u32) -> u32 {
+    match e {
+        SpanEvent::Fire { .. } => match x {
+            0 => 1,
+            _ => 0,
+        },
+        SpanEvent::Wire { .. } => 2,
+    }
+}

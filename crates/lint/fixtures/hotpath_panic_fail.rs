@@ -1,0 +1,13 @@
+//! PI003 fixture: panicking calls on the NIC hot path.
+
+pub fn pop(q: &mut Vec<u32>) -> u32 {
+    q.pop().unwrap() //~ PI003
+}
+
+pub fn lookup(v: Option<u32>) -> u32 {
+    v.expect("present") //~ PI003
+}
+
+pub fn reject() {
+    panic!("unexpected event"); //~ PI003
+}

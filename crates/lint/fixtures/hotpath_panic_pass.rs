@@ -1,0 +1,23 @@
+//! Negative fixture: debug_assert bodies and #[cfg(test)] modules are
+//! exempt from PI003, and `unwrap_or`-style total methods never match.
+
+pub fn pop(q: &mut Vec<u32>) -> Option<u32> {
+    debug_assert!(!q.is_empty(), "queue underflow");
+    q.pop()
+}
+
+pub fn checked(v: Option<u32>) -> u32 {
+    debug_assert_eq!(v.map(|x| x + 1).unwrap(), 1);
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| w.expect("boom")).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! PI001 fixture: bare narrowing casts in protocol bookkeeping paths.
+
+pub fn pack(epoch: u64, round: usize) -> u32 {
+    ((epoch as u32) << 8) | round as u32 //~ PI001 PI001
+}
+
+pub fn tag_round(r: usize) -> u16 {
+    r as u16 //~ PI001
+}
+
+pub fn widening_is_fine(x: u32, y: u16) -> u64 {
+    (x as u64) + (y as usize as u64)
+}

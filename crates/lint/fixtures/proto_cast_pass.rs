@@ -1,0 +1,11 @@
+//! Negative fixture: checked conversions in bookkeeping paths pass.
+
+pub fn pack(epoch: u64, round: usize) -> u32 {
+    let epoch = u32::try_from(epoch).expect("epoch exceeds the 24-bit tag window");
+    let round = u32::try_from(round).expect("round exceeds the 8-bit tag window");
+    (epoch << 8) | round
+}
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

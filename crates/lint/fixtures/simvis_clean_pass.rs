@@ -1,0 +1,29 @@
+//! Negative fixture: deterministic state, and hash-collection names that
+//! appear only in comments, strings and raw strings, must all pass.
+
+use std::collections::BTreeMap;
+
+// A HashMap mentioned in a comment is not a finding.
+/* Neither is a HashSet in a block comment, /* even nested */. */
+
+pub struct State<'a> {
+    pending: BTreeMap<u64, u64>,
+    label: &'a str,
+}
+
+impl<'a> State<'a> {
+    pub fn new() -> Self {
+        State {
+            pending: BTreeMap::new(),
+            label: "HashMap in a string is fine",
+        }
+    }
+
+    pub fn raw(&self) -> &'static str {
+        r#"HashSet in a raw "quoted" string is fine"#
+    }
+
+    pub fn ch(&self) -> char {
+        'H'
+    }
+}

@@ -1,0 +1,19 @@
+//! ND003 fixture: hash-ordered collections in sim-visible state must be
+//! flagged at every occurrence (use sites included).
+
+use std::collections::HashMap; //~ ND003
+use std::collections::HashSet; //~ ND003
+
+pub struct State {
+    pending: HashMap<u64, u64>, //~ ND003
+    seen: HashSet<u64>, //~ ND003
+}
+
+impl State {
+    pub fn new() -> Self {
+        State {
+            pending: HashMap::new(), //~ ND003
+            seen: HashSet::new(), //~ ND003
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! ND001/ND002/ND004 fixture: wall clocks, entropy RNGs and environment
+//! reads in sim-visible code. `std::time::Instant` counts twice on one
+//! line (the path and the type name are separate occurrences).
+
+pub fn wall_clock() -> std::time::Instant { //~ ND001 ND001
+    std::time::Instant::now() //~ ND001 ND001
+}
+
+pub fn system_time() -> u64 {
+    let _t = SystemTime::now(); //~ ND001
+    0
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng(); //~ ND002
+    let seeded = SimRng::from_entropy(); //~ ND002
+    rng.next() ^ seeded.next()
+}
+
+pub fn environment() -> Option<String> {
+    std::env::var("NICBAR_MODE").ok() //~ ND004 ND004
+}

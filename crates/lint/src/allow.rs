@@ -1,0 +1,153 @@
+//! The checked-in allowlist (`lint.toml` at the repo root).
+//!
+//! Each `[[allow]]` table records one audited exception: a rule id, the
+//! file it applies to, an optional `line_contains` substring narrowing it
+//! to specific lines, a `count` capping how many findings it may absorb
+//! (so a file cannot silently accumulate new violations behind a blanket
+//! entry), and a mandatory human `reason`.
+//!
+//! The parser covers exactly the TOML subset the file uses — `[[allow]]`
+//! headers, `key = "string"` and `key = integer` pairs, `#` comments —
+//! because the offline build has no `toml` crate.
+
+/// One audited exception.
+#[derive(Clone, Debug, Default)]
+pub struct AllowEntry {
+    /// Rule id this entry silences.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// If set, only findings whose source line contains this substring.
+    pub line_contains: Option<String>,
+    /// Maximum findings this entry may absorb.
+    pub count: u64,
+    /// Why the exception is sound (mandatory).
+    pub reason: String,
+    /// How many findings this entry absorbed during the scan.
+    pub used: u64,
+    /// Line in lint.toml where the entry starts (for diagnostics).
+    pub decl_line: u32,
+}
+
+/// Parse `lint.toml`. Returns entries or a (line, message) error.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, (u32, String)> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut in_entry = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry {
+                count: u64::MAX,
+                decl_line: lineno,
+                ..AllowEntry::default()
+            });
+            in_entry = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err((lineno, format!("unknown table {line}")));
+        }
+        if !in_entry {
+            return Err((lineno, "key outside [[allow]] table".to_string()));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((lineno, format!("expected key = value, got {line}")));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let entry = entries
+            .last_mut()
+            .unwrap_or_else(|| unreachable!("in_entry"));
+        let as_string = |v: &str| -> Result<String, (u32, String)> {
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| (lineno, format!("{key} must be a quoted string")))?;
+            Ok(v.to_string())
+        };
+        match key {
+            "rule" => entry.rule = as_string(value)?,
+            "path" => entry.path = as_string(value)?,
+            "line_contains" => entry.line_contains = Some(as_string(value)?),
+            "reason" => entry.reason = as_string(value)?,
+            "count" => {
+                entry.count = value
+                    .parse()
+                    .map_err(|_| (lineno, format!("count must be an integer, got {value}")))?;
+            }
+            other => return Err((lineno, format!("unknown key {other}"))),
+        }
+    }
+    for e in &entries {
+        if e.rule.is_empty() || e.path.is_empty() {
+            return Err((e.decl_line, "entry needs both rule and path".to_string()));
+        }
+        if e.reason.is_empty() {
+            return Err((
+                e.decl_line,
+                format!("entry for {} in {} needs a reason", e.rule, e.path),
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+impl AllowEntry {
+    /// Does this entry (with remaining capacity) cover a finding on
+    /// `line_text` of `path` for `rule`?
+    pub fn covers(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        self.used < self.count
+            && self.rule == rule
+            && self.path == path
+            && self
+                .line_contains
+                .as_ref()
+                .is_none_or(|s| line_text.contains(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_defaults() {
+        let src = r#"
+# comment
+[[allow]]
+rule = "ND003"
+path = "crates/core/src/traffic.rs"
+line_contains = "HashSet<MsgId>"
+count = 1
+reason = "order never observed"
+
+[[allow]]
+rule = "PI003"
+path = "crates/gm/src/nic.rs"
+reason = "audited invariant expects"
+"#;
+        let entries = parse(src).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].count, 1);
+        assert_eq!(entries[1].count, u64::MAX);
+        assert!(entries[0].covers("ND003", "crates/core/src/traffic.rs", "x: HashSet<MsgId>,"));
+        assert!(!entries[0].covers("ND003", "crates/core/src/traffic.rs", "other line"));
+        assert!(entries[1].covers("PI003", "crates/gm/src/nic.rs", "anything"));
+    }
+
+    #[test]
+    fn missing_reason_rejected() {
+        let src = "[[allow]]\nrule = \"ND003\"\npath = \"x.rs\"\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let src = "[[allow]]\nrule = \"ND003\"\npath = \"x.rs\"\nreason = \"r\"\nbogus = 1\n";
+        assert!(parse(src).is_err());
+    }
+}

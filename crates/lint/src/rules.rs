@@ -1,0 +1,591 @@
+//! The rule catalogue and the token-level checkers.
+//!
+//! Rules are grouped by what they protect (see `DESIGN.md`, "Static
+//! analysis & determinism guarantees"):
+//!
+//! * `ND***` — no nondeterminism sources in sim-visible code. The DES is
+//!   bit-deterministic (same seed ⇒ same event order ⇒ same trace); wall
+//!   clocks, entropy-seeded RNGs, hash-order iteration and environment
+//!   reads would all silently break that.
+//! * `PI***` — protocol invariants: checked-width arithmetic in the NIC
+//!   bit-vector bookkeeping, exhaustive `SpanEvent`/`Phase` matches in
+//!   exporters, and no panicking calls on the NIC hot path.
+//! * `LY***` — layering: substrate-independent crates must not depend on
+//!   backend crates (checked from the crate graph, not source text).
+
+use crate::lexer::{lex, Tok, Token};
+
+/// A single rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`ND001`...).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// `(id, one-line description)` for every rule, in report order.
+pub const CATALOGUE: &[(&str, &str)] = &[
+    (
+        "ND001",
+        "wall-clock time (std::time / Instant / SystemTime) in sim-visible code",
+    ),
+    (
+        "ND002",
+        "entropy-seeded randomness (thread_rng / from_entropy / OsRng) anywhere",
+    ),
+    (
+        "ND003",
+        "HashMap/HashSet in sim-visible state (iteration order can reach event order)",
+    ),
+    (
+        "ND004",
+        "std::env reads outside bench binaries (runs must not depend on the environment)",
+    ),
+    (
+        "PI001",
+        "bare narrowing `as` cast in protocol bit-vector bookkeeping (use try_from)",
+    ),
+    (
+        "PI002",
+        "wildcard `_ =>` arm in a SpanEvent/Phase match (new variants would be silently swallowed)",
+    ),
+    (
+        "PI003",
+        "panic!/unwrap/expect on the NIC hot path outside debug_assert",
+    ),
+    (
+        "LY001",
+        "layering: sim/net must not depend on backend crates (elan/gm/core/mpi/bench)",
+    ),
+];
+
+/// Which rule families apply to a file (decided from its path, or forced
+/// by fixture category in `--fixtures` mode).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    /// ND001/ND002/ND004: sim-visible code (everything but bench binaries).
+    pub nondet: bool,
+    /// ND003 specifically (same scope as `nondet` in the real tree).
+    pub hash_state: bool,
+    /// PI001: protocol bit-vector bookkeeping files.
+    pub proto: bool,
+    /// PI003: NIC hot-path files.
+    pub hotpath: bool,
+    /// PI002: applies everywhere source is scanned.
+    pub exporter: bool,
+}
+
+impl Scope {
+    /// The scope for a repo-relative path, or `None` if the file is not
+    /// scanned at all (vendor, the lint crate itself).
+    pub fn for_path(path: &str) -> Option<Scope> {
+        if path.starts_with("vendor/") || path.starts_with("crates/lint/") {
+            return None;
+        }
+        let bench = path.starts_with("crates/bench/");
+        let proto = matches!(
+            path,
+            "crates/core/src/protocol.rs"
+                | "crates/core/src/host_app.rs"
+                | "crates/core/src/elan_thread.rs"
+                | "crates/core/src/elan_chain.rs"
+        );
+        let hotpath = matches!(path, "crates/gm/src/nic.rs" | "crates/elan/src/nic.rs");
+        Some(Scope {
+            nondet: !bench,
+            hash_state: !bench,
+            proto,
+            hotpath,
+            exporter: true,
+        })
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// `a :: b` starting at `i` (where `a` is already matched at `i`).
+fn path_seg(toks: &[Token], i: usize, next: &str) -> bool {
+    punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':') && ident_at(toks, i + 3) == Some(next)
+}
+
+/// Token index ranges covered by `#[cfg(test)] mod ... { ... }` blocks and
+/// by `debug_assert*!(...)` argument lists — excluded from PI003.
+fn excluded_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // #[cfg(test)]
+        if punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '[')
+            && ident_at(toks, i + 2) == Some("cfg")
+            && punct_at(toks, i + 3, '(')
+            && ident_at(toks, i + 4) == Some("test")
+            && punct_at(toks, i + 5, ')')
+            && punct_at(toks, i + 6, ']')
+        {
+            // Skip any further attributes, then expect an item; find its
+            // opening brace and the matching close.
+            let mut j = i + 7;
+            while punct_at(toks, j, '#') {
+                // skip a whole #[...] group
+                let mut depth = 0usize;
+                j += 1; // at '['
+                loop {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct('[')) => depth += 1,
+                        Some(Tok::Punct(']')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        None => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Find the item's opening '{' (skipping e.g. `mod tests`).
+            while j < toks.len() && !punct_at(toks, j, '{') {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if punct_at(toks, j, '{') {
+                    depth += 1;
+                } else if punct_at(toks, j, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            ranges.push((start, j));
+            i = j + 1;
+            continue;
+        }
+        // debug_assert! / debug_assert_eq! / debug_assert_ne! ( ... )
+        if let Some(name) = ident_at(toks, i) {
+            if name.starts_with("debug_assert") && punct_at(toks, i + 1, '!') {
+                let mut j = i + 2; // at '(' (or '[' / '{', all legal)
+                let (open, close) = match toks.get(j).map(|t| &t.tok) {
+                    Some(Tok::Punct('(')) => ('(', ')'),
+                    Some(Tok::Punct('[')) => ('[', ']'),
+                    Some(Tok::Punct('{')) => ('{', '}'),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let start = j;
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if punct_at(toks, j, open) {
+                        depth += 1;
+                    } else if punct_at(toks, j, close) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                ranges.push((start, j));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| i >= a && i <= b)
+}
+
+/// Scan one file's source under `scope`; `path` is used only for reporting.
+pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
+    let toks = lex(src);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    let excluded = if scope.hotpath {
+        excluded_ranges(&toks)
+    } else {
+        Vec::new()
+    };
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        let Some(ident) = ident_at(&toks, i) else {
+            continue;
+        };
+        // --- ND001: wall-clock time -------------------------------------
+        if scope.nondet {
+            if ident == "std" && path_seg(&toks, i, "time") {
+                push(&mut out, "ND001", line, "use of std::time".to_string());
+            }
+            if ident == "Instant" || ident == "SystemTime" {
+                push(&mut out, "ND001", line, format!("use of {ident}"));
+            }
+        }
+        // --- ND002: entropy randomness ----------------------------------
+        if scope.nondet && matches!(ident, "thread_rng" | "from_entropy" | "OsRng") {
+            push(&mut out, "ND002", line, format!("use of {ident}"));
+        }
+        // --- ND003: hash-ordered state ----------------------------------
+        if scope.hash_state && matches!(ident, "HashMap" | "HashSet") {
+            push(
+                &mut out,
+                "ND003",
+                line,
+                format!("{ident} in sim-visible code (use BTreeMap/BTreeSet or dense-ID Vec)"),
+            );
+        }
+        // --- ND004: environment reads -----------------------------------
+        if scope.nondet {
+            if ident == "std" && path_seg(&toks, i, "env") {
+                push(&mut out, "ND004", line, "use of std::env".to_string());
+            } else if ident == "env"
+                && punct_at(&toks, i + 1, ':')
+                && punct_at(&toks, i + 2, ':')
+                && matches!(
+                    ident_at(&toks, i + 3),
+                    Some("var" | "vars" | "var_os" | "args" | "args_os")
+                )
+            {
+                push(&mut out, "ND004", line, "environment read".to_string());
+            }
+        }
+        // --- PI001: narrowing casts -------------------------------------
+        if scope.proto
+            && ident == "as"
+            && matches!(
+                ident_at(&toks, i + 1),
+                Some("u8" | "u16" | "u32" | "i8" | "i16" | "i32")
+            )
+        {
+            push(
+                &mut out,
+                "PI001",
+                line,
+                format!(
+                    "bare `as {}` narrowing cast in bookkeeping path (use try_from)",
+                    ident_at(&toks, i + 1).unwrap_or_default()
+                ),
+            );
+        }
+        // --- PI003: hot-path panics -------------------------------------
+        if scope.hotpath && !in_ranges(&excluded, i) {
+            if ident == "panic" && punct_at(&toks, i + 1, '!') {
+                push(
+                    &mut out,
+                    "PI003",
+                    line,
+                    "panic! on the NIC hot path".to_string(),
+                );
+            }
+            if matches!(ident, "unwrap" | "expect") && i > 0 && punct_at(&toks, i - 1, '.') {
+                push(
+                    &mut out,
+                    "PI003",
+                    line,
+                    format!(".{ident}() on the NIC hot path"),
+                );
+            }
+        }
+        // --- PI002: wildcard arms in SpanEvent/Phase matches ------------
+        if scope.exporter && ident == "match" {
+            scan_match(&toks, i, path, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Inspect one `match` whose keyword sits at `kw`: if its arm *patterns*
+/// name `SpanEvent::` or `Phase::` and an arm-level `_ =>` (or
+/// `_ if ... =>`) exists, flag it.
+///
+/// Only pattern positions count: a match over some other type whose arm
+/// *bodies* construct or emit span events (common in tests and drivers) is
+/// not an exporter and must not be flagged. Pattern position is tracked
+/// with a small state machine: everything from the body's `{` (or from an
+/// arm-ending `,` / block close back to depth 1) up to the next `=>` is
+/// pattern + guard; everything after `=>` is body.
+fn scan_match(toks: &[Token], kw: usize, path: &str, out: &mut Vec<Finding>) {
+    // Find the body's opening brace: the first '{' at bracket/paren depth 0
+    // after the scrutinee expression.
+    let mut i = kw + 1;
+    let mut depth = 0isize;
+    let body_open = loop {
+        match toks.get(i).map(|t| &t.tok) {
+            None => return,
+            Some(Tok::Punct('(' | '[')) => depth += 1,
+            Some(Tok::Punct(')' | ']')) => depth -= 1,
+            Some(Tok::Punct('{')) if depth == 0 => break i,
+            _ => {}
+        }
+        i += 1;
+    };
+    // Walk the body, tracking brace depth (relative: body '{' = 1) and
+    // paren/bracket depth within it.
+    let mut brace = 0isize;
+    let mut inner = 0isize;
+    let mut in_pattern = true;
+    let mut span_in_pattern = false;
+    let mut wildcard_at: Option<u32> = None;
+    let mut i = body_open;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => brace += 1,
+            Tok::Punct('}') => {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+                // A `{ ... }` arm body closing back to depth 1 ends the
+                // arm; the next tokens are the next arm's pattern.
+                if brace == 1 && inner == 0 {
+                    in_pattern = true;
+                }
+            }
+            Tok::Punct('(' | '[') => inner += 1,
+            Tok::Punct(')' | ']') => inner -= 1,
+            Tok::Punct('=')
+                if brace == 1 && inner == 0 && in_pattern && punct_at(toks, i + 1, '>') =>
+            {
+                in_pattern = false;
+                i += 1; // skip the '>'
+            }
+            Tok::Punct(',') if brace == 1 && inner == 0 => in_pattern = true,
+            // Any inner depth: tuple patterns like `(SpanEvent::X, _)`
+            // still make this an exporter match.
+            Tok::Ident(s)
+                if (s == "SpanEvent" || s == "Phase")
+                    && punct_at(toks, i + 1, ':')
+                    && in_pattern
+                    && brace >= 1 =>
+            {
+                span_in_pattern = true;
+            }
+            // `_` lexes as an identifier. An arm-level wildcard sits in
+            // pattern position at brace depth 1 / bracket depth 0 and is
+            // followed by `=>` or a guard `if`.
+            Tok::Ident(s)
+                if s == "_"
+                    && in_pattern
+                    && brace == 1
+                    && inner == 0
+                    && wildcard_at.is_none()
+                    && (ident_at(toks, i + 1) == Some("if")
+                        || (punct_at(toks, i + 1, '=') && punct_at(toks, i + 2, '>'))) =>
+            {
+                wildcard_at = Some(toks[i].line);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if span_in_pattern {
+        if let Some(line) = wildcard_at {
+            out.push(Finding {
+                rule: "PI002",
+                path: path.to_string(),
+                line,
+                message: "wildcard `_ =>` arm in a match over SpanEvent/Phase".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope_all() -> Scope {
+        Scope {
+            nondet: true,
+            hash_state: true,
+            proto: true,
+            hotpath: true,
+            exporter: true,
+        }
+    }
+
+    fn rules_of(src: &str, scope: Scope) -> Vec<&'static str> {
+        scan_source("t.rs", src, scope)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn hash_collections_flagged_outside_strings() {
+        let src = r#"
+            use std::collections::HashMap;
+            // HashMap in a comment is fine
+            let s = "HashMap in a string is fine";
+            let m: HashMap<u32, u32> = HashMap::new();
+        "#;
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "ND003").count(), 3);
+    }
+
+    #[test]
+    fn wall_clock_and_env_flagged() {
+        let src = "let t = std::time::Instant::now(); let v = std::env::var(\"X\");";
+        let rules = rules_of(src, scope_all());
+        assert!(rules.contains(&"ND001"));
+        assert!(rules.contains(&"ND004"));
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_but_widening_not() {
+        let src = "let a = x as u16; let b = y as u64; let c = z as usize;";
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "PI001").count(), 1);
+    }
+
+    #[test]
+    fn hot_path_panic_flagged_outside_tests_and_debug_assert() {
+        let src = r#"
+            fn hot(x: Option<u32>) -> u32 {
+                debug_assert!(x.clone().unwrap() > 0);
+                x.unwrap()
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) { x.unwrap(); panic!("boom"); }
+            }
+        "#;
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "PI003").count(), 1);
+    }
+
+    #[test]
+    fn span_event_wildcard_match_flagged() {
+        let flagged = r#"
+            fn f(e: &SpanEvent) -> u32 {
+                match e {
+                    SpanEvent::Fire { .. } => 1,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert_eq!(rules_of(flagged, scope_all()), vec!["PI002"]);
+        let exhaustive = r#"
+            fn f(e: &SpanEvent) -> u32 {
+                match e {
+                    SpanEvent::Fire { .. } => 1,
+                    SpanEvent::Wire { .. } => 2,
+                }
+            }
+        "#;
+        assert!(rules_of(exhaustive, scope_all()).is_empty());
+        let unrelated = r#"
+            fn f(x: u32) -> u32 {
+                match x {
+                    0 => 1,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert!(rules_of(unrelated, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn nested_unrelated_match_inside_span_match_is_clean() {
+        let src = r#"
+            fn f(e: &SpanEvent, x: u32) -> u32 {
+                match e {
+                    SpanEvent::Fire { .. } => match x {
+                        0 => 1,
+                        _ => 0,
+                    },
+                    SpanEvent::Wire { .. } => 2,
+                }
+            }
+        "#;
+        // The inner wildcard is at brace depth 2 of the outer match, and the
+        // inner match body has no SpanEvent:: patterns.
+        assert!(rules_of(src, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn span_events_in_arm_bodies_do_not_make_a_match_an_exporter() {
+        // A match over `Msg` that *emits* spans in its bodies is not an
+        // exporter: the wildcard is fine.
+        let src = r#"
+            fn f(msg: Msg, ctx: &mut Ctx) {
+                match msg {
+                    Msg::Tick(0) => {
+                        ctx.span(SpanEvent::OpBegin { group: 7, seq: 0 });
+                    }
+                    Msg::Tick(1) => ctx.span(SpanEvent::Fire { unit: 0, dst: 1 }),
+                    _ => unreachable!(),
+                }
+            }
+        "#;
+        assert!(rules_of(src, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn tuple_pattern_full_wildcard_is_flagged_but_positional_is_not() {
+        let flagged = r#"
+            fn f(e: &SpanEvent, x: u32) -> u32 {
+                match (e, x) {
+                    (SpanEvent::Fire { .. }, _) => 1,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert_eq!(rules_of(flagged, scope_all()), vec!["PI002"]);
+        let positional = r#"
+            fn f(e: &SpanEvent, x: u32) -> u32 {
+                match (e, x) {
+                    (SpanEvent::Fire { .. }, _) => 1,
+                    (SpanEvent::Wire { .. }, n) => n,
+                }
+            }
+        "#;
+        assert!(rules_of(positional, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn scope_gates_rules() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new(); let a = x as u16;";
+        let none = Scope::default();
+        assert!(scan_source("t.rs", src, none).is_empty());
+        let nd_only = Scope {
+            hash_state: true,
+            ..Scope::default()
+        };
+        assert_eq!(rules_of(src, nd_only), vec!["ND003", "ND003"]);
+    }
+}

@@ -4,7 +4,7 @@ use nicbar_core::{GroupOp, ReduceOp};
 use nicbar_gm::{GmApi, GmApp, GroupId, MsgId, MsgTag};
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One operation of an MPI-like program.
 #[derive(Clone, Debug, PartialEq)]
@@ -85,7 +85,7 @@ pub enum MpiOp {
 
 /// The collective signature — programs must agree on these across ranks,
 /// and each signature gets its own NIC group.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum CollSig {
     Barrier,
     Bcast { root: usize },
@@ -94,8 +94,8 @@ pub(crate) enum CollSig {
     Alltoall,
 }
 
-/// Hashable stand-in for [`ReduceOp`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Hashable, orderable stand-in for [`ReduceOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum ReduceKey {
     Sum,
     Min,
@@ -194,12 +194,12 @@ pub(crate) struct MpiProc {
     /// Results log (`StoreResult`).
     pub(crate) results: Vec<u64>,
     /// Group id per collective signature.
-    groups: HashMap<CollSig, GroupId>,
+    groups: BTreeMap<CollSig, GroupId>,
     state: Waiting,
     /// Nonblocking requests in issue order.
     requests: Vec<Request>,
     /// Early arrivals: (from_rank, tag) → lengths.
-    unexpected: HashMap<(usize, u32), VecDeque<u32>>,
+    unexpected: BTreeMap<(usize, u32), VecDeque<u32>>,
     /// Completion time.
     pub(crate) finish: Option<SimTime>,
 }
@@ -209,7 +209,7 @@ impl MpiProc {
         rank: usize,
         members: Vec<NodeId>,
         program: MpiProgram,
-        groups: HashMap<CollSig, GroupId>,
+        groups: BTreeMap<CollSig, GroupId>,
     ) -> Self {
         MpiProc {
             rank,
@@ -223,7 +223,7 @@ impl MpiProc {
             groups,
             state: Waiting::Nothing,
             requests: Vec::new(),
-            unexpected: HashMap::new(),
+            unexpected: BTreeMap::new(),
             finish: None,
         }
     }

@@ -6,7 +6,7 @@ use nicbar_core::{Algorithm, GroupSpec, PaperCollective, ReduceOp};
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A world of `n` ranks with one program each.
 pub struct MpiWorld {
@@ -113,11 +113,14 @@ impl MpiWorld {
             );
         }
         // Allocate one group per distinct signature, in first-use order.
-        let mut groups: HashMap<CollSig, GroupId> = HashMap::new();
-        let mut reduce_ops: HashMap<CollSig, ReduceOp> = HashMap::new();
+        // BTreeMap, not HashMap: `groups.iter()` below builds each rank's
+        // GroupSpec list in map order, which must be deterministic.
+        let mut groups: BTreeMap<CollSig, GroupId> = BTreeMap::new();
+        let mut reduce_ops: BTreeMap<CollSig, ReduceOp> = BTreeMap::new();
         for (i, op) in self.programs[0].ops.iter().enumerate() {
             if let Some(sig) = CollSig::of(op) {
-                let next = GroupId(groups.len() as u32 + 0x100);
+                let next =
+                    GroupId(u32::try_from(groups.len()).expect("group count exceeds u32") + 0x100);
                 groups.entry(sig).or_insert(next);
                 if let crate::interp::MpiOp::Allreduce { op } = op {
                     reduce_ops.entry(sig).or_insert(*op);

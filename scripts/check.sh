@@ -17,6 +17,13 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Static analysis: nicbar-lint enforces the determinism and protocol
+# invariants (rule catalogue in DESIGN.md). The fixture self-test runs
+# first so a broken rule cannot silently pass the workspace; the workspace
+# scan then fails on any finding not covered by an audited lint.toml entry.
+cargo run --release -q -p nicbar-lint -- --fixtures
+cargo run --release -q -p nicbar-lint
+
 # Zero-overhead gate: with the flight recorder and trace ring disabled,
 # engine throughput must stay within 5% of the saved baseline. Skipped if
 # the baseline has never been generated (run the full engine_sweep once).
