@@ -7,7 +7,7 @@
 //! This harness runs all three NIC-based algorithms (plus GB at two tree
 //! degrees) on both substrates so §5.2's dismissal is reproducible.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
+use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
@@ -39,7 +39,14 @@ fn main() {
         "algo_compare_gm",
         "§5.2 — NIC-based barrier algorithms, Myrinet LANai-XP (µs)",
         gm_series,
-    );
+    )
+    .with_manifest(Manifest::new(
+        cfg.seed,
+        format!(
+            "gm lanai-xp, n=2..=16, warmup={}, iters={}",
+            cfg.warmup, cfg.iters
+        ),
+    ));
     fig.print();
     fig.save().expect("write results/algo_compare_gm.json");
 
@@ -58,7 +65,14 @@ fn main() {
         "algo_compare_elan",
         "§5.2 — NIC-based barrier algorithms, Quadrics Elan3 (µs)",
         elan_series,
-    );
+    )
+    .with_manifest(Manifest::new(
+        cfg.seed,
+        format!(
+            "elan3, n=2..=16, warmup={}, iters={}",
+            cfg.warmup, cfg.iters
+        ),
+    ));
     fig.print();
     fig.save().expect("write results/algo_compare_elan.json");
 

@@ -15,7 +15,7 @@
 //! and trace ring stay disabled, so any slowdown here is hot-path damage.
 //! Quick mode never overwrites the baseline.
 
-use nicbar_bench::json::Writer;
+use nicbar_bench::json::{Manifest, Writer};
 use nicbar_bench::seed_engine::{SeedComponent, SeedCtx, SeedEngine};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
@@ -488,6 +488,11 @@ fn main() {
 
     let mut w = Writer::new();
     w.open_object();
+    Manifest::new(
+        nicbar_core::RunCfg::default().seed,
+        "engine_sweep: scheduler micro-benchmarks + figure-point replays",
+    )
+    .emit(&mut w);
     w.field("micro");
     w.open_array();
     for (label, rows) in &micro {

@@ -5,7 +5,7 @@
 //! smaller than the 9.1 cluster's factor because the faster host CPU and
 //! PCI-X bus leave less overhead for the NIC to remove.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
+use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{gm_host_barrier, gm_nic_barrier, Algorithm};
 use nicbar_gm::{CollFeatures, GmParams};
 
@@ -32,7 +32,14 @@ fn main() {
             Series::new("Host-DS", curve("host", Algorithm::Dissemination)),
             Series::new("Host-PE", curve("host", Algorithm::PairwiseExchange)),
         ],
-    );
+    )
+    .with_manifest(Manifest::new(
+        cfg.seed,
+        format!(
+            "gm lanai-xp, n=2..=8, warmup={}, iters={}",
+            cfg.warmup, cfg.iters
+        ),
+    ));
     fig.print();
     fig.save().expect("write results/fig6.json");
 

@@ -6,11 +6,16 @@
 //! Paper anchors: 5.60 µs NIC barrier at 8 nodes, 2.48× better than the
 //! tree barrier; the hardware barrier sits flat near 4.2 µs and loses to
 //! the NIC barrier at small node counts.
+//!
+//! Writes `results/fig7.json` (the figure) and `results/BENCH_fig7.json`
+//! (the perf trajectory: median + p99 per node count with the run
+//! manifest embedded). `--quick` shrinks the sweep for CI smoke runs;
+//! `--flight` adds a phase-breakdown capture.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
+use nicbar_bench::{figure_cfg, parallel_sweep_map, trajectory, Figure, Manifest, Series};
 use nicbar_core::{
     elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_nic_barrier_flight, Algorithm,
-    RunCfg,
+    BarrierStats, RunCfg,
 };
 use nicbar_elan::ElanParams;
 
@@ -20,37 +25,87 @@ const GSYNC_DEGREE: usize = 4;
 
 fn main() {
     let flight = std::env::args().any(|a| a == "--flight");
-    let ns: Vec<usize> = (2..=8).collect();
-    let cfg = figure_cfg();
-
-    let nic = |algo: Algorithm| {
-        parallel_sweep(&ns, |n| {
-            elan_nic_barrier(ElanParams::elan3(), n, algo, cfg).mean_us
-        })
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        (2..=8).collect()
     };
-    let gsync = parallel_sweep(&ns, |n| {
-        elan_gsync_barrier(ElanParams::elan3(), n, GSYNC_DEGREE, cfg).mean_us
+    let cfg = if quick {
+        RunCfg {
+            warmup: 10,
+            iters: 100,
+            ..RunCfg::default()
+        }
+    } else {
+        figure_cfg()
+    };
+
+    let nic = |algo: Algorithm| -> Vec<(usize, BarrierStats)> {
+        parallel_sweep_map(&ns, |n| elan_nic_barrier(ElanParams::elan3(), n, algo, cfg))
+    };
+    let gsync = parallel_sweep_map(&ns, |n| {
+        elan_gsync_barrier(ElanParams::elan3(), n, GSYNC_DEGREE, cfg)
     });
-    let hw = parallel_sweep(&ns, |n| {
-        elan_hw_barrier(ElanParams::elan3(), n, cfg).mean_us
-    });
+    let hw = parallel_sweep_map(&ns, |n| elan_hw_barrier(ElanParams::elan3(), n, cfg));
+
+    let sweeps: Vec<(&str, Vec<(usize, BarrierStats)>)> = vec![
+        ("NIC-Barrier-DS", nic(Algorithm::Dissemination)),
+        ("NIC-Barrier-PE", nic(Algorithm::PairwiseExchange)),
+        ("Elan-Barrier", gsync),
+        ("Elan-HW-Barrier", hw),
+    ];
+
+    let manifest = Manifest::new(
+        cfg.seed,
+        format!(
+            "elan3, n={}..={}, gsync_degree={}, warmup={}, iters={}, quick={}",
+            ns.first().copied().unwrap_or(0),
+            ns.last().copied().unwrap_or(0),
+            GSYNC_DEGREE,
+            cfg.warmup,
+            cfg.iters,
+            quick
+        ),
+    );
 
     let fig = Figure::new(
         "fig7",
         "Fig. 7 — Barrier latency (µs), Quadrics/Elan3, 8-node 700 MHz cluster",
-        vec![
-            Series::new("NIC-Barrier-DS", nic(Algorithm::Dissemination)),
-            Series::new("NIC-Barrier-PE", nic(Algorithm::PairwiseExchange)),
-            Series::new("Elan-Barrier", gsync),
-            Series::new("Elan-HW-Barrier", hw),
-        ],
-    );
+        sweeps
+            .iter()
+            .map(|(label, pts)| {
+                Series::new(
+                    *label,
+                    pts.iter().map(|&(n, ref s)| (n, s.mean_us)).collect(),
+                )
+            })
+            .collect(),
+    )
+    .with_manifest(manifest.clone());
     fig.print();
-    fig.save().expect("write results/fig7.json");
+    // Quick (CI) sweeps refresh the BENCH trajectory below but must not
+    // downgrade the tracked full-fidelity figure artifact.
+    if !quick {
+        fig.save().expect("write results/fig7.json");
+    }
 
-    let nic8 = fig.series[0].at(8).unwrap();
-    let tree8 = fig.series[2].at(8).unwrap();
-    let hw8 = fig.series[3].at(8).unwrap();
+    let traj: Vec<(&str, Vec<trajectory::TrajectoryPoint>)> = sweeps
+        .iter()
+        .map(|(label, pts)| {
+            (
+                *label,
+                pts.iter()
+                    .map(|&(n, ref s)| trajectory::point(n, s))
+                    .collect(),
+            )
+        })
+        .collect();
+    trajectory::save("fig7", &traj, &manifest).expect("write results/BENCH_fig7.json");
+
+    let nic8 = fig.series[0].at(8).expect("NIC point at 8");
+    let tree8 = fig.series[2].at(8).expect("tree point at 8");
+    let hw8 = fig.series[3].at(8).expect("hw point at 8");
     println!("\npaper anchors: NIC @8 = 5.60 µs (sim {nic8:.2}),");
     println!(
         "               vs tree barrier = 2.48x (sim {:.2}x),",

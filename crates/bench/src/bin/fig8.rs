@@ -5,7 +5,7 @@
 //!
 //! Paper anchors: 22.13 µs (Quadrics) and 38.94 µs (Myrinet) at 1024.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Series};
+use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
@@ -58,7 +58,11 @@ fn main() {
             Series::new("Myrinet-Model (paper)", m_paper),
             Series::new("Myrinet-Model (refit)", m_fit.predict_sweep(&ns)),
         ],
-    );
+    )
+    .with_manifest(Manifest::new(
+        figure_cfg().seed,
+        "elan3 + gm lanai-xp dissemination, n=2..=1024, iters scaled down past 64 nodes",
+    ));
     fig.print();
     fig.save().expect("write results/fig8.json");
 

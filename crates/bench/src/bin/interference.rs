@@ -3,7 +3,7 @@
 //! queuing argument. Compares the paper protocol, the direct scheme and
 //! the host-based barrier on the LANai-XP cluster.
 
-use nicbar_bench::{Figure, Series};
+use nicbar_bench::{Figure, Manifest, Series};
 use nicbar_core::{
     gm_host_barrier_under_traffic, gm_nic_barrier_under_traffic, Algorithm, RunCfg, TrafficCfg,
 };
@@ -95,7 +95,14 @@ fn main() {
             Series::new("NIC (direct)", series("direct")),
             Series::new("Host-based", series("host")),
         ],
-    );
+    )
+    .with_manifest(Manifest::new(
+        cfg.seed,
+        format!(
+            "gm lanai-xp, n={n}, loads=0..=8, warmup={}, iters={}",
+            cfg.warmup, cfg.iters
+        ),
+    ));
     fig.print();
     fig.save().expect("write results/interference.json");
 

@@ -1,0 +1,156 @@
+//! `why-slow` — explain where every nanosecond of a barrier goes.
+//!
+//! Runs a short instrumented window of the paper's NIC barrier with the
+//! causal netdump on, extracts each barrier's critical path from the
+//! packet DAG, and prints it edge by edge: host→NIC handoff, NIC compute,
+//! wire time, port queuing, NACK/retransmission detours, plus the
+//! per-rank completion slack and the aggregate attribution table.
+//!
+//! Options:
+//!   --nodes N          group size (default 8)
+//!   --substrate S      gm | elan (default gm)
+//!   --drop P           GM fabric drop probability (default 0.0)
+//!   --seed S           master seed (default 42)
+//!   --iters N          recorded barriers (default 4)
+//!   --jsonl PATH       also dump every packet record as JSONL to PATH
+//!   --check            gate mode: exit nonzero unless every barrier has a
+//!                      non-empty critical path with >= 95% wall-time
+//!                      coverage and the dump dropped zero records
+
+use nicbar_bench::{critpath, netdump};
+use nicbar_core::{elan_nic_barrier_flight, gm_nic_barrier_flight, Algorithm, FlightData, RunCfg};
+use nicbar_elan::ElanParams;
+use nicbar_gm::{CollFeatures, GmParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: why-slow [--nodes N] [--substrate gm|elan] [--drop P] \
+         [--seed S] [--iters N] [--jsonl PATH] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut nodes = 8usize;
+    let mut substrate = "gm".to_string();
+    let mut drop_prob = 0.0f64;
+    let mut seed = 42u64;
+    let mut iters = 4u64;
+    let mut jsonl_path: Option<String> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => nodes = v,
+                None => usage(),
+            },
+            "--substrate" => match args.next() {
+                Some(v) if v == "gm" || v == "elan" => substrate = v,
+                _ => usage(),
+            },
+            "--drop" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => drop_prob = v,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => usage(),
+            },
+            "--jsonl" => match args.next() {
+                Some(v) => jsonl_path = Some(v),
+                None => usage(),
+            },
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+    assert!(nodes >= 2, "a barrier needs at least 2 nodes");
+
+    let cfg = RunCfg {
+        warmup: 2,
+        iters,
+        seed,
+        drop_prob,
+        ..RunCfg::default()
+    };
+    let cap: FlightData = match substrate.as_str() {
+        "gm" => gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            nodes,
+            Algorithm::Dissemination,
+            cfg,
+        ),
+        _ => elan_nic_barrier_flight(ElanParams::elan3(), nodes, Algorithm::Dissemination, cfg),
+    };
+
+    println!(
+        "== why-slow: {} barrier, {} nodes, seed {}, drop {} ==",
+        cap.substrate, nodes, seed, drop_prob
+    );
+    println!(
+        "netdump: {} records, {} dropped",
+        cap.packets.len(),
+        cap.packets_dropped
+    );
+
+    let paths = critpath::analyze(&cap.packets);
+    print!("{}", critpath::render(&paths));
+
+    if let Some(path) = jsonl_path {
+        let text = netdump::jsonl(&cap.packets);
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("wrote {} packet records to {path}", cap.packets.len()),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        if paths.is_empty() {
+            eprintln!("check FAILED: no completed barrier spans in the dump");
+            failed = true;
+        }
+        if cap.packets_dropped > 0 {
+            eprintln!(
+                "check FAILED: netdump dropped {} records",
+                cap.packets_dropped
+            );
+            failed = true;
+        }
+        for p in &paths {
+            if p.edges.is_empty() {
+                eprintln!(
+                    "check FAILED: barrier (group {:#x}, seq {}) has an empty critical path",
+                    p.group, p.seq
+                );
+                failed = true;
+            }
+            if p.coverage_pct() < 95.0 {
+                eprintln!(
+                    "check FAILED: barrier (group {:#x}, seq {}) coverage {:.1}% < 95%",
+                    p.group,
+                    p.seq,
+                    p.coverage_pct()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check OK: {} barriers, all critical paths non-empty with >= 95% coverage, \
+             0 dropped records",
+            paths.len()
+        );
+    }
+}

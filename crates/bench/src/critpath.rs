@@ -1,0 +1,451 @@
+//! Critical-path extraction over causal netdumps.
+//!
+//! A netdump ([`nicbar_sim::NetDump`]) is a DAG: every wire-visible record
+//! carries the id of the record that caused it, and emitters thread the
+//! *last-enabling* stimulus as the parent at every join (the packet that
+//! completed a round, the set that tripped a counting event). Walking
+//! parents back from the last rank's `host-exit` therefore yields the
+//! critical path of the barrier exactly — every nanosecond of the span's
+//! wall time lands on one edge of the chain, plus a leading "entry skew"
+//! edge from the first rank's `host-enter` to the chain's root.
+//!
+//! Per barrier the analyzer reports the chain edge by edge (with per-edge
+//! attribution: host→NIC handoff, NIC compute, wire time, NACK/retransmit
+//! detours), the per-rank completion slack, and the coverage residual —
+//! which is zero for a complete dump and explicitly non-zero when records
+//! were dropped and the walk hit a hole.
+
+use nicbar_sim::{chain_to, CausalKind, PacketRecord, SimTime, NO_KEY, NO_NODE};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One edge of a barrier's critical path: the step that produced `kind` at
+/// `at`, taking `dur` since its parent record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathEdge {
+    /// What happened at the downstream end of the edge.
+    pub kind: CausalKind,
+    /// Attribution bucket (`host->nic`, `wire`, `nack-detour`, ...).
+    pub label: &'static str,
+    /// Source node of the step (`NO_NODE` if not node-specific).
+    pub src: u32,
+    /// Destination node of the step (`NO_NODE` for local steps).
+    pub dst: u32,
+    /// Simulated time at which the edge completes.
+    pub at: SimTime,
+    /// Time attributed to this edge (downstream time − upstream time).
+    pub dur: SimTime,
+    /// Destination-port queuing wait, for `wire` edges (the link-occupancy
+    /// tag; distinguishes "slow link" from "busy port").
+    pub port_wait: SimTime,
+}
+
+/// The critical path of one barrier span, keyed `(group, seq)`.
+#[derive(Clone, Debug)]
+pub struct BarrierPath {
+    /// Collective group id.
+    pub group: u64,
+    /// Operation sequence (epoch) within the group.
+    pub seq: u64,
+    /// First `host-enter` of the span (wall-clock start).
+    pub begin: SimTime,
+    /// Last `host-exit` of the span (wall-clock end).
+    pub end: SimTime,
+    /// Node whose `host-enter` roots the critical chain.
+    pub root_node: u32,
+    /// Node whose `host-exit` ends the chain (the last rank out).
+    pub end_node: u32,
+    /// Time between the first rank's entry and the chain root's entry —
+    /// the part of the wall time spent waiting for the critical rank to
+    /// even start.
+    pub entry_skew: SimTime,
+    /// The chain, root first.
+    pub edges: Vec<PathEdge>,
+    /// Wall time not covered by `entry_skew + Σ edges`. Zero on a complete
+    /// dump; positive when the parent walk hit a dropped record.
+    pub residual: SimTime,
+    /// True when the walk stopped at a hole instead of a `host-enter`.
+    pub truncated: bool,
+    /// Per-rank slack `(node, last_exit − own_exit)`, node-ordered. The
+    /// critical rank has slack 0.
+    pub slack: Vec<(u32, SimTime)>,
+}
+
+impl BarrierPath {
+    /// End-to-end wall time of the span.
+    pub fn wall(&self) -> SimTime {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// Fraction of the wall time attributed to critical-path edges (plus
+    /// entry skew), in percent. 100.0 for a complete dump.
+    pub fn coverage_pct(&self) -> f64 {
+        let wall = self.wall().as_ns();
+        if wall == 0 {
+            return 100.0;
+        }
+        let covered = wall.saturating_sub(self.residual.as_ns());
+        covered as f64 / wall as f64 * 100.0
+    }
+
+    /// Number of detour edges (NACK, retransmission, drop) on the path.
+    pub fn detour_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.kind.is_detour()).count()
+    }
+
+    /// Total time spent on detour edges.
+    pub fn detour_time(&self) -> SimTime {
+        self.edges
+            .iter()
+            .filter(|e| e.kind.is_detour())
+            .fold(SimTime::ZERO, |acc, e| acc + e.dur)
+    }
+
+    /// Total destination-port queuing wait along the path's wire edges.
+    pub fn port_wait(&self) -> SimTime {
+        self.edges
+            .iter()
+            .fold(SimTime::ZERO, |acc, e| acc + e.port_wait)
+    }
+
+    /// Sum of `entry_skew` and all edge durations.
+    pub fn covered(&self) -> SimTime {
+        self.edges
+            .iter()
+            .fold(self.entry_skew, |acc, e| acc + e.dur)
+    }
+}
+
+/// Extract the critical path of every completed barrier span in `records`.
+/// Spans are keyed `(group, seq)` off their `host-exit` records and
+/// returned in key order. Records must be in id order (as
+/// [`nicbar_sim::NetDump`] emits them).
+pub fn analyze(records: &[PacketRecord]) -> Vec<BarrierPath> {
+    // Group the span boundary records by key.
+    let mut enters: BTreeMap<(u64, u64), Vec<&PacketRecord>> = BTreeMap::new();
+    let mut exits: BTreeMap<(u64, u64), Vec<&PacketRecord>> = BTreeMap::new();
+    for r in records {
+        if r.group == NO_KEY {
+            continue;
+        }
+        match r.kind {
+            CausalKind::HostEnter => enters.entry((r.group, r.seq)).or_default().push(r),
+            CausalKind::HostExit => exits.entry((r.group, r.seq)).or_default().push(r),
+            CausalKind::HostPost
+            | CausalKind::NicDispatch
+            | CausalKind::DmaStart
+            | CausalKind::DmaDone
+            | CausalKind::Fire
+            | CausalKind::Wire
+            | CausalKind::Drop
+            | CausalKind::Arrive
+            | CausalKind::Nack
+            | CausalKind::Retransmit
+            | CausalKind::Notify => {}
+        }
+    }
+    let mut out = Vec::new();
+    for (&(group, seq), span_exits) in &exits {
+        let Some(span_enters) = enters.get(&(group, seq)) else {
+            continue; // exit without any recorded entry: not analyzable
+        };
+        let begin = span_enters
+            .iter()
+            .map(|r| r.time)
+            .min()
+            .expect("non-empty by construction");
+        // The last rank out ends the barrier; ties break on record id so
+        // the choice is deterministic.
+        let last = span_exits
+            .iter()
+            .copied()
+            .max_by_key(|r| (r.time, r.id))
+            .expect("non-empty by construction");
+        let chain = chain_to(records, last.id);
+        let root = chain
+            .first()
+            .copied()
+            .expect("chain includes `last` itself");
+        let truncated = root.parent.is_some() || root.kind != CausalKind::HostEnter;
+        let entry_skew = if truncated {
+            SimTime::ZERO
+        } else {
+            root.time.saturating_sub(begin)
+        };
+        let edges: Vec<PathEdge> = chain
+            .windows(2)
+            .map(|w| {
+                let (p, c) = (w[0], w[1]);
+                PathEdge {
+                    kind: c.kind,
+                    label: c.kind.edge_label(),
+                    src: c.src,
+                    dst: c.dst,
+                    at: c.time,
+                    dur: c.time.saturating_sub(p.time),
+                    port_wait: if c.kind == CausalKind::Wire {
+                        SimTime::from_ns(c.b)
+                    } else {
+                        SimTime::ZERO
+                    },
+                }
+            })
+            .collect();
+        let mut slack: Vec<(u32, SimTime)> = span_exits
+            .iter()
+            .map(|r| (r.src, last.time.saturating_sub(r.time)))
+            .collect();
+        slack.sort_unstable();
+        let wall = last.time.saturating_sub(begin);
+        let covered = edges.iter().fold(entry_skew, |acc, e| acc + e.dur);
+        out.push(BarrierPath {
+            group,
+            seq,
+            begin,
+            end: last.time,
+            root_node: root.src,
+            end_node: last.src,
+            entry_skew,
+            edges,
+            residual: wall.saturating_sub(covered),
+            truncated,
+            slack,
+        });
+    }
+    out
+}
+
+/// Aggregate attribution across many paths: `(label, total, edges)` in
+/// descending total-time order (ties broken by label for determinism).
+pub fn attribution(paths: &[BarrierPath]) -> Vec<(&'static str, SimTime, usize)> {
+    let mut by_label: BTreeMap<&'static str, (SimTime, usize)> = BTreeMap::new();
+    for p in paths {
+        if p.entry_skew > SimTime::ZERO {
+            let e = by_label.entry("entry-skew").or_default();
+            e.0 += p.entry_skew;
+            e.1 += 1;
+        }
+        for e in &p.edges {
+            let a = by_label.entry(e.label).or_default();
+            a.0 += e.dur;
+            a.1 += 1;
+        }
+    }
+    let mut out: Vec<(&'static str, SimTime, usize)> = by_label
+        .into_iter()
+        .map(|(label, (t, n))| (label, t, n))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    out
+}
+
+fn fmt_node(n: u32) -> String {
+    if n == NO_NODE {
+        "-".to_string()
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Render one path as a deterministic, human-readable transcript.
+pub fn render_one(p: &BarrierPath) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "barrier (group {:#x}, seq {}): {:.3} µs wall, critical path {} edges, \
+         coverage {:.1}% (residual {:.3} µs)",
+        p.group,
+        p.seq,
+        p.wall().as_us(),
+        p.edges.len(),
+        p.coverage_pct(),
+        p.residual.as_us(),
+    );
+    if p.truncated {
+        let _ = writeln!(out, "  WARNING: chain truncated at a dropped record");
+    }
+    if p.entry_skew > SimTime::ZERO {
+        let _ = writeln!(
+            out,
+            "  {:>10} {:>9.3} µs  node {} entered last",
+            "entry-skew",
+            p.entry_skew.as_us(),
+            p.root_node
+        );
+    }
+    for e in &p.edges {
+        let route = match (e.src, e.dst) {
+            (s, d) if s != NO_NODE && d != NO_NODE && s != d => {
+                format!("{} -> {}", fmt_node(s), fmt_node(d))
+            }
+            (s, _) => format!("node {}", fmt_node(s)),
+        };
+        let mut note = String::new();
+        if e.kind.is_detour() {
+            note.push_str("  [detour]");
+        }
+        if e.port_wait > SimTime::ZERO {
+            let _ = write!(note, "  (port wait {:.3} µs)", e.port_wait.as_us());
+        }
+        let _ = writeln!(
+            out,
+            "  {:>14} {:>9.3} µs  {:<14} {}{}",
+            e.kind.name(),
+            e.dur.as_us(),
+            e.label,
+            route,
+            note
+        );
+    }
+    let laggards: Vec<String> = p
+        .slack
+        .iter()
+        .map(|(node, s)| format!("{}:{:.3}", node, s.as_us()))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  slack (µs by rank): {}  [critical rank {}]",
+        laggards.join(" "),
+        p.end_node
+    );
+    if p.detour_edges() > 0 {
+        let _ = writeln!(
+            out,
+            "  detours: {} edges, {:.3} µs (NACK/retransmit/drop on the critical path)",
+            p.detour_edges(),
+            p.detour_time().as_us()
+        );
+    }
+    out
+}
+
+/// Render every path plus the aggregate attribution table.
+pub fn render(paths: &[BarrierPath]) -> String {
+    let mut out = String::new();
+    for p in paths {
+        out.push_str(&render_one(p));
+    }
+    if paths.is_empty() {
+        out.push_str("(no completed barrier spans in the dump)\n");
+        return out;
+    }
+    let total_wall: u64 = paths.iter().map(|p| p.wall().as_ns()).sum();
+    let _ = writeln!(
+        out,
+        "\n== attribution over {} barriers ({:.3} µs total wall) ==",
+        paths.len(),
+        total_wall as f64 / 1_000.0
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>12} {:>8} {:>7}",
+        "bucket", "total µs", "share", "edges"
+    );
+    for (label, t, n) in attribution(paths) {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>12.3} {:>7.1}% {:>7}",
+            label,
+            t.as_us(),
+            if total_wall > 0 {
+                t.as_ns() as f64 / total_wall as f64 * 100.0
+            } else {
+                0.0
+            },
+            n
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
+mod tests {
+    use super::*;
+    use nicbar_sim::{CauseId, ComponentId, NetDump, PacketLog};
+
+    fn rec(
+        dump: &mut NetDump,
+        t: u64,
+        parent: CauseId,
+        kind: CausalKind,
+        node: u32,
+        key: Option<(u64, u64)>,
+    ) -> CauseId {
+        let mut log = PacketLog::new(parent, kind).at_node(node);
+        if let Some((g, s)) = key {
+            log = log.key(g, s);
+        }
+        dump.record(SimTime::from_ns(t), ComponentId(0), log)
+    }
+
+    /// Two ranks; rank 1 enters late and its chain dominates.
+    #[test]
+    fn critical_path_follows_parents_and_covers_wall() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        let k = Some((7, 0));
+        let e0 = rec(&mut d, 0, CauseId::NONE, CausalKind::HostEnter, 0, k);
+        let _x0 = rec(&mut d, 500, e0, CausalKind::HostExit, 0, k);
+        let e1 = rec(&mut d, 100, CauseId::NONE, CausalKind::HostEnter, 1, k);
+        let f1 = rec(&mut d, 300, e1, CausalKind::Fire, 1, k);
+        let x1 = rec(&mut d, 900, f1, CausalKind::HostExit, 1, k);
+        let paths = analyze(d.records());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!((p.group, p.seq), (7, 0));
+        assert_eq!(p.begin, SimTime::from_ns(0));
+        assert_eq!(p.end, SimTime::from_ns(900));
+        assert_eq!(p.root_node, 1);
+        assert_eq!(p.end_node, 1);
+        assert_eq!(p.entry_skew, SimTime::from_ns(100));
+        assert_eq!(p.edges.len(), 2, "fire + host-exit");
+        assert_eq!(p.residual, SimTime::ZERO);
+        assert!((p.coverage_pct() - 100.0).abs() < 1e-9);
+        assert!(!p.truncated);
+        // rank 0 finished 400 ns early; rank 1 is critical.
+        assert_eq!(
+            p.slack,
+            vec![(0, SimTime::from_ns(400)), (1, SimTime::ZERO),]
+        );
+        let _ = x1;
+    }
+
+    #[test]
+    fn truncated_chain_reports_residual() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        let k = Some((7, 0));
+        let _e = rec(&mut d, 0, CauseId::NONE, CausalKind::HostEnter, 0, k);
+        // Exit whose parent id was never recorded (simulates a dropped
+        // record / capacity overflow).
+        let hole = CauseId(999);
+        let _x = rec(&mut d, 1_000, hole, CausalKind::HostExit, 0, k);
+        let paths = analyze(d.records());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert!(p.truncated);
+        assert!(p.residual > SimTime::ZERO);
+        assert!(p.coverage_pct() < 100.0);
+        let text = render_one(p);
+        assert!(text.contains("truncated"), "got: {text}");
+    }
+
+    #[test]
+    fn attribution_groups_by_label() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        let k = Some((1, 0));
+        let e = rec(&mut d, 0, CauseId::NONE, CausalKind::HostEnter, 0, k);
+        let n = rec(&mut d, 10, e, CausalKind::Nack, 0, k);
+        let r = rec(&mut d, 30, n, CausalKind::Retransmit, 0, k);
+        let _x = rec(&mut d, 100, r, CausalKind::HostExit, 0, k);
+        let paths = analyze(d.records());
+        let attr = attribution(&paths);
+        let labels: Vec<&str> = attr.iter().map(|&(l, _, _)| l).collect();
+        assert!(labels.contains(&"nack-detour"));
+        assert!(labels.contains(&"retransmit-detour"));
+        assert_eq!(paths[0].detour_edges(), 2);
+        assert_eq!(paths[0].detour_time(), SimTime::from_ns(30));
+    }
+}

@@ -334,6 +334,8 @@ mod tests {
             spans_dropped: 0,
             orphaned: 0,
             hists: Vec::new(),
+            packets: Vec::new(),
+            packets_dropped: 0,
         };
         let json = chrome_trace(std::slice::from_ref(&cap));
         assert!(json.contains("\"0:trace_dropped\": 6"), "got:\n{json}");

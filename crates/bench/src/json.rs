@@ -5,6 +5,86 @@
 //! writer is entirely sufficient. Output is valid JSON with two-space
 //! indentation.
 
+/// A run manifest embedded in every `results/*.json` artifact: enough to
+/// reproduce the run (seed, config summary + hash) and to tell which build
+/// produced it (git revision, schema version).
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Artifact schema version; bump when the JSON shape changes.
+    pub schema: u32,
+    /// Master seed of the runs behind the artifact.
+    pub seed: u64,
+    /// Human-readable configuration summary.
+    pub config: String,
+    /// FNV-1a hash of `config` (quick equality check across artifacts).
+    pub config_hash: u64,
+    /// Git revision of the producing tree ("unknown" outside a checkout).
+    pub git_rev: String,
+}
+
+/// Current manifest schema version.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+impl Manifest {
+    /// Build a manifest for `seed` and a config summary string.
+    pub fn new(seed: u64, config: impl Into<String>) -> Self {
+        let config = config.into();
+        Manifest {
+            schema: MANIFEST_SCHEMA,
+            seed,
+            config_hash: fnv1a(config.as_bytes()),
+            config,
+            git_rev: git_rev(),
+        }
+    }
+
+    /// Emit as a `"manifest": {...}` field on the writer's current object.
+    pub fn emit(&self, w: &mut Writer) {
+        w.field("manifest");
+        w.open_object();
+        w.field("schema");
+        w.uint(self.schema as u64);
+        w.field("seed");
+        w.uint(self.seed);
+        w.field("config");
+        w.string(&self.config);
+        w.field("config_hash");
+        w.string(&format!("{:016x}", self.config_hash));
+        w.field("git_rev");
+        w.string(&self.git_rev);
+        w.close_object();
+    }
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The producing git revision, resolved once per process ("unknown" when
+/// git or the repository is unavailable).
+fn git_rev() -> String {
+    use std::sync::OnceLock;
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+    .clone()
+}
+
 /// Incremental JSON writer. Call the `open_*`/`close_*`/value methods in
 /// document order; commas and indentation are inserted automatically.
 #[derive(Default)]

@@ -14,9 +14,14 @@
 use std::io::Write;
 use std::path::Path;
 
+pub mod critpath;
 pub mod flight;
 pub mod json;
+pub mod netdump;
 pub mod seed_engine;
+pub mod trajectory;
+
+pub use json::{Manifest, MANIFEST_SCHEMA};
 
 /// One labelled curve of `(n, latency_us)` points.
 #[derive(Clone, Debug)]
@@ -54,6 +59,8 @@ pub struct Figure {
     pub title: String,
     /// The curves.
     pub series: Vec<Series>,
+    /// Run manifest embedded in the artifact (seed, config hash, git rev).
+    pub manifest: Option<Manifest>,
 }
 
 impl Figure {
@@ -63,7 +70,14 @@ impl Figure {
             id: id.into(),
             title: title.into(),
             series,
+            manifest: None,
         }
+    }
+
+    /// Attach a run manifest, embedded under `"manifest"` in the JSON.
+    pub fn with_manifest(mut self, manifest: Manifest) -> Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// Print as an aligned text table.
@@ -105,6 +119,9 @@ impl Figure {
         w.string(&self.id);
         w.field("title");
         w.string(&self.title);
+        if let Some(m) = &self.manifest {
+            m.emit(&mut w);
+        }
         w.field("series");
         w.open_array();
         for s in &self.series {
@@ -143,6 +160,17 @@ impl Figure {
 pub fn parallel_sweep<F>(ns: &[usize], f: F) -> Vec<(usize, f64)>
 where
     F: Fn(usize) -> f64 + Sync,
+{
+    parallel_sweep_map(ns, f)
+}
+
+/// Generic [`parallel_sweep`]: collect any `Send` result per point, in
+/// `n` order. Used where a sweep needs the full [`nicbar_core::BarrierStats`]
+/// (per-iteration samples for median/p99), not just the mean.
+pub fn parallel_sweep_map<T, F>(ns: &[usize], f: F) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,113 @@
+//! Pcap-style JSONL exporter for causal netdumps.
+//!
+//! One JSON object per line, one line per [`PacketRecord`], id-ordered —
+//! the streaming-friendly shape external tools (jq, pandas) ingest
+//! directly. Sentinel fields (`NO_NODE` nodes, `NO_KEY` keys) are omitted
+//! rather than emitted as magic numbers.
+
+use crate::json::Writer;
+use nicbar_sim::{PacketRecord, NO_KEY, NO_NODE};
+
+/// Render one record as a single-line JSON object (no trailing newline).
+pub fn record_line(r: &PacketRecord) -> String {
+    let mut w = Writer::new();
+    w.open_object();
+    w.field("id");
+    w.uint(r.id.0);
+    if r.parent.is_some() {
+        w.field("parent");
+        w.uint(r.parent.0);
+    }
+    w.field("t_ns");
+    w.uint(r.time.as_ns());
+    w.field("comp");
+    w.uint(r.component.0 as u64);
+    w.field("kind");
+    w.string(r.kind.name());
+    if r.src != NO_NODE {
+        w.field("src");
+        w.uint(r.src as u64);
+    }
+    if r.dst != NO_NODE {
+        w.field("dst");
+        w.uint(r.dst as u64);
+    }
+    if r.group != NO_KEY {
+        w.field("group");
+        w.uint(r.group);
+        w.field("seq");
+        w.uint(r.seq);
+    }
+    if r.a != 0 {
+        w.field("a");
+        w.uint(r.a);
+    }
+    if r.b != 0 {
+        w.field("b");
+        w.uint(r.b);
+    }
+    w.close_object();
+    // The shared writer pretty-prints; JSONL wants one record per line.
+    w.finish().replace(['\n'], "").replace("  ", " ")
+}
+
+/// Render a whole dump as JSONL (one record per line, id order).
+pub fn jsonl(records: &[PacketRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        out.push_str(&record_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
+mod tests {
+    use super::*;
+    use nicbar_sim::{CausalKind, CauseId, ComponentId, NetDump, PacketLog, SimTime};
+
+    #[test]
+    fn lines_are_one_object_each_and_omit_sentinels() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        let root = d.record(
+            SimTime::from_ns(5),
+            ComponentId(2),
+            PacketLog::new(CauseId::NONE, CausalKind::HostEnter).key(0xba, 3),
+        );
+        d.record(
+            SimTime::from_ns(9),
+            ComponentId(3),
+            PacketLog::new(root, CausalKind::Fire)
+                .nodes(0, 1)
+                .detail(4, 0),
+        );
+        let text = jsonl(d.records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"kind\": \"host-enter\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            !lines[0].contains("\"parent\""),
+            "root has no parent field: {}",
+            lines[0]
+        );
+        assert!(
+            !lines[0].contains("\"src\""),
+            "sentinel omitted: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"group\": 186"));
+        assert!(lines[1].contains("\"parent\": 1"), "{}", lines[1]);
+        assert!(lines[1].contains("\"src\": 0"));
+        assert!(lines[1].contains("\"dst\": 1"));
+        // Every line parses as a standalone object: starts `{`, ends `}`.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "not JSONL: {l}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Perf-trajectory artifacts (`results/BENCH_*.json`).
+//!
+//! A trajectory is the distribution-aware companion of a figure: per node
+//! count it records the median and p99 barrier latency (from the full
+//! per-iteration sample vector, not just the mean), with the run manifest
+//! embedded so the artifact states which seed, config, and git revision
+//! produced it. The `BENCH_` prefix marks the files the CI gate tracks
+//! across commits.
+
+use crate::json::{Manifest, Writer};
+use nicbar_core::BarrierStats;
+use std::path::{Path, PathBuf};
+
+/// One node count's latency summary.
+#[derive(Clone, Debug)]
+pub struct TrajectoryPoint {
+    /// Group size.
+    pub n: usize,
+    /// Mean latency over the measured window, µs.
+    pub mean_us: f64,
+    /// Median (p50) latency, µs.
+    pub median_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Measured iterations behind the quantiles.
+    pub iters: usize,
+}
+
+/// Summarize one sweep point from its full stats. Quantiles use the
+/// nearest-rank method over the sorted per-iteration samples.
+pub fn point(n: usize, stats: &BarrierStats) -> TrajectoryPoint {
+    let mut v = stats.per_iter_us.clone();
+    v.sort_by(f64::total_cmp);
+    let q = |f: f64| -> f64 {
+        if v.is_empty() {
+            return stats.mean_us;
+        }
+        let idx = ((v.len() as f64 - 1.0) * f).round() as usize;
+        v[idx.min(v.len() - 1)]
+    };
+    TrajectoryPoint {
+        n,
+        mean_us: stats.mean_us,
+        median_us: q(0.5),
+        p99_us: q(0.99),
+        iters: v.len(),
+    }
+}
+
+/// Render a trajectory artifact as JSON.
+pub fn to_json(
+    bench: &str,
+    series: &[(&str, Vec<TrajectoryPoint>)],
+    manifest: &Manifest,
+) -> String {
+    let mut w = Writer::new();
+    w.open_object();
+    w.field("bench");
+    w.string(bench);
+    manifest.emit(&mut w);
+    w.field("series");
+    w.open_array();
+    for (label, points) in series {
+        w.open_object();
+        w.field("label");
+        w.string(label);
+        w.field("points");
+        w.open_array();
+        for p in points {
+            w.open_object();
+            w.field("n");
+            w.uint(p.n as u64);
+            w.field("mean_us");
+            w.number(p.mean_us);
+            w.field("median_us");
+            w.number(p.median_us);
+            w.field("p99_us");
+            w.number(p.p99_us);
+            w.field("iters");
+            w.uint(p.iters as u64);
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+    w.finish()
+}
+
+/// Write `results/BENCH_<bench>.json` and return its path.
+pub fn save(
+    bench: &str,
+    series: &[(&str, Vec<TrajectoryPoint>)],
+    manifest: &Manifest,
+) -> std::io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, to_json(bench, series, manifest))?;
+    println!("[saved {}]", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[f64]) -> BarrierStats {
+        BarrierStats {
+            n: 4,
+            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+            per_iter_us: samples.to_vec(),
+            wire_per_barrier: 0.0,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_over_sorted_samples() {
+        let s = stats(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let p = point(4, &s);
+        assert_eq!(p.median_us, 3.0);
+        assert_eq!(p.p99_us, 5.0);
+        assert_eq!(p.iters, 5);
+    }
+
+    #[test]
+    fn artifact_embeds_the_manifest() {
+        let m = Manifest::new(7, "test config");
+        let pts = vec![point(2, &stats(&[1.0, 2.0]))];
+        let json = to_json("figX", &[("NIC-DS", pts)], &m);
+        assert!(json.contains("\"bench\": \"figX\""));
+        assert!(json.contains("\"manifest\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"config\": \"test config\""));
+        assert!(json.contains("\"median_us\""));
+        assert!(json.contains("\"p99_us\""));
+    }
+}

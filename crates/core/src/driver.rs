@@ -12,7 +12,8 @@ use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram}
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::{NodeId, Permutation};
 use nicbar_sim::{
-    Engine, Histogram, RunOutcome, SchedulerKind, SimRng, SimTime, SpanSummary, TraceRecord,
+    Engine, Histogram, PacketRecord, RunOutcome, SchedulerKind, SimRng, SimTime, SpanSummary,
+    TraceRecord,
 };
 
 /// The collective group id used by the barrier benchmarks.
@@ -188,12 +189,18 @@ pub struct FlightData {
     pub orphaned: u64,
     /// Latency histograms `(name, histogram)`, name-ordered.
     pub hists: Vec<(String, Histogram)>,
+    /// Causal netdump: every wire-visible event with its parent id, in
+    /// record order (id order). Feed to `nicbar_bench`'s critical-path
+    /// analyzer.
+    pub packets: Vec<PacketRecord>,
+    /// Packet records the netdump discarded once full (0 = complete DAG).
+    pub packets_dropped: u64,
 }
 
 impl FlightData {
     /// True when any part of the capture lost data.
     pub fn lossy(&self) -> bool {
-        self.trace_dropped > 0 || self.spans_dropped > 0
+        self.trace_dropped > 0 || self.spans_dropped > 0 || self.packets_dropped > 0
     }
 }
 
@@ -206,6 +213,7 @@ fn capture_observability<M>(
 ) -> FlightData {
     let trace = engine.trace();
     let rec = engine.recorder();
+    let dump = engine.netdump();
     FlightData {
         substrate,
         stats,
@@ -220,6 +228,8 @@ fn capture_observability<M>(
             .into_iter()
             .map(|(k, h)| (k.to_string(), h.clone()))
             .collect(),
+        packets: dump.records().to_vec(),
+        packets_dropped: dump.dropped(),
     }
 }
 
@@ -267,6 +277,7 @@ fn gm_nic_cluster(
     if observe {
         cluster.engine.enable_trace();
         cluster.engine.enable_recorder();
+        cluster.engine.enable_netdump();
         cluster
             .engine
             .recorder_mut()
@@ -389,6 +400,7 @@ fn elan_nic_cluster(
     if observe {
         cluster.engine.enable_trace();
         cluster.engine.enable_recorder();
+        cluster.engine.enable_netdump();
         cluster
             .engine
             .recorder_mut()

@@ -36,7 +36,7 @@ use nicbar_gm::{
     AllToAllItem, CollAction, CollKind, CollOperand, CollPacket, GroupId, NicCollective,
 };
 use nicbar_net::NodeId;
-use nicbar_sim::SimTime;
+use nicbar_sim::{CauseId, SimTime};
 use std::collections::BTreeMap;
 
 /// Combine operator for allreduce.
@@ -173,6 +173,11 @@ struct LiveEpoch {
     last_progress: SimTime,
     /// What was sent in each round (for NACK retransmission).
     sent_payloads: Vec<Option<CollKind>>,
+    /// Netdump id of the record that last advanced this epoch (the doorbell
+    /// dispatch or the most recent consumed arrival). Sends and completions
+    /// emitted by a transition parent on this; timer NACKs for a stalled
+    /// epoch parent on it too, tying the detour to the point of the stall.
+    cause: CauseId,
 }
 
 /// One group's protocol state.
@@ -355,6 +360,7 @@ impl GroupState {
                 return;
             };
             let epoch = live.epoch;
+            let cause = live.cause;
             let r = live.next_send_round;
             if r > 0 && !self.round_satisfied(epoch, r - 1) {
                 return; // stalled: waiting for round r-1 arrivals
@@ -386,6 +392,7 @@ impl GroupState {
                     group: self.spec.id,
                     epoch,
                     value,
+                    cause,
                 });
                 return;
             }
@@ -410,6 +417,7 @@ impl GroupState {
                             kind: kind.clone(),
                         },
                         retx: false,
+                        cause,
                     });
                 }
             }
@@ -498,7 +506,7 @@ impl PaperCollective {
         &self.groups[&id].rows_history
     }
 
-    fn handle_nack(&mut self, pkt: &CollPacket, actions: &mut Vec<CollAction>) {
+    fn handle_nack(&mut self, pkt: &CollPacket, cause: CauseId, actions: &mut Vec<CollAction>) {
         let my_node = self.node;
         let state = self.group_mut(pkt.group);
         let round = pkt.round as usize;
@@ -536,6 +544,7 @@ impl PaperCollective {
                     kind,
                 },
                 retx: true,
+                cause,
             });
         }
     }
@@ -548,6 +557,7 @@ impl NicCollective for PaperCollective {
         group: GroupId,
         epoch: u64,
         operand: &CollOperand,
+        cause: CauseId,
     ) -> Vec<CollAction> {
         let my_node = self.node;
         let state = self.group_mut(group);
@@ -620,16 +630,17 @@ impl NicCollective for PaperCollective {
             row,
             last_progress: now,
             sent_payloads: vec![None; rounds],
+            cause,
         });
         let mut actions = Vec::new();
         state.try_progress(now, my_node, &mut actions);
         actions
     }
 
-    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket) -> Vec<CollAction> {
+    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket, cause: CauseId) -> Vec<CollAction> {
         let mut actions = Vec::new();
         if matches!(pkt.kind, CollKind::Nack) {
-            self.handle_nack(pkt, &mut actions);
+            self.handle_nack(pkt, cause, &mut actions);
             return actions;
         }
         if matches!(pkt.kind, CollKind::Ack) {
@@ -650,6 +661,13 @@ impl NicCollective for PaperCollective {
             return actions; // stale duplicate of a finished epoch
         }
         state.bank(pkt, sender_rank);
+        // This arrival is the epoch's latest stimulus: anything the
+        // progress sweep emits was enabled (last) by it.
+        if let Some(live) = state.live.as_mut() {
+            if live.epoch == pkt.epoch {
+                live.cause = cause;
+            }
+        }
         state.try_progress(now, my_node, &mut actions);
         actions
     }
@@ -665,6 +683,10 @@ impl NicCollective for PaperCollective {
                 continue;
             }
             let epoch = live.epoch;
+            // Timer NACKs are a detour off the stalled epoch: parent them on
+            // the record that last advanced it, so the analyzer's chain shows
+            // stall → nack → retransmit → arrival in causal order.
+            let stall_cause = live.cause;
             let r = live.next_send_round;
             if r == 0 {
                 continue; // nothing expected yet
@@ -691,6 +713,7 @@ impl NicCollective for PaperCollective {
                         kind: CollKind::Nack,
                     },
                     retx: false,
+                    cause: stall_cause,
                 });
             }
             // Pace further NACKs by restarting the timeout window.
@@ -730,11 +753,17 @@ mod tests {
     #[test]
     fn doorbell_emits_round_zero_sends() {
         let mut e = barrier_engine(4, 0);
-        let actions = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let actions = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         // Dissemination round 0: send to rank 1; no completion yet.
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt, retx } => {
+            CollAction::Send { dst, pkt, retx, .. } => {
                 assert_eq!(*dst, NodeId(1));
                 assert_eq!(pkt.round, 0);
                 assert_eq!(pkt.kind, CollKind::Barrier);
@@ -749,7 +778,13 @@ mod tests {
         // Drive rank 0 of a 4-rank dissemination barrier by hand: expects
         // round 0 from rank 3, round 1 from rank 2.
         let mut e = barrier_engine(4, 0);
-        let a0 = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let a0 = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         assert_eq!(a0.len(), 1);
         let from3 = CollPacket {
             src: NodeId(3),
@@ -758,7 +793,7 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        let a1 = e.on_packet(SimTime::from_us(1.0), &from3);
+        let a1 = e.on_packet(SimTime::from_us(1.0), &from3, CauseId::NONE);
         // Round 0 satisfied → round 1 send to rank 2.
         assert_eq!(a1.len(), 1);
         assert!(matches!(&a1[0], CollAction::Send { dst, .. } if *dst == NodeId(2)));
@@ -769,7 +804,7 @@ mod tests {
             round: 1,
             kind: CollKind::Barrier,
         };
-        let a2 = e.on_packet(SimTime::from_us(2.0), &from2);
+        let a2 = e.on_packet(SimTime::from_us(2.0), &from2, CauseId::NONE);
         assert_eq!(a2.len(), 1);
         assert!(matches!(
             &a2[0],
@@ -793,7 +828,7 @@ mod tests {
             round: 1,
             kind: CollKind::Barrier,
         };
-        assert!(e.on_packet(SimTime::ZERO, &from2).is_empty());
+        assert!(e.on_packet(SimTime::ZERO, &from2, CauseId::NONE).is_empty());
         let from3 = CollPacket {
             src: NodeId(3),
             group: GroupId(1),
@@ -801,13 +836,14 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        assert!(e.on_packet(SimTime::ZERO, &from3).is_empty());
+        assert!(e.on_packet(SimTime::ZERO, &from3, CauseId::NONE).is_empty());
         // The doorbell now releases the whole chain to completion at once.
         let actions = e.on_doorbell(
             SimTime::from_us(5.0),
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
+            CauseId::NONE,
         );
         let sends = actions
             .iter()
@@ -824,7 +860,13 @@ mod tests {
     #[test]
     fn duplicate_arrivals_are_idempotent() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         let from3 = CollPacket {
             src: NodeId(3),
             group: GroupId(1),
@@ -832,8 +874,8 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        let a1 = e.on_packet(SimTime::ZERO, &from3);
-        let a2 = e.on_packet(SimTime::ZERO, &from3);
+        let a1 = e.on_packet(SimTime::ZERO, &from3, CauseId::NONE);
+        let a2 = e.on_packet(SimTime::ZERO, &from3, CauseId::NONE);
         assert_eq!(a1.len(), 1);
         assert!(a2.is_empty(), "duplicate must not re-trigger sends");
     }
@@ -841,13 +883,19 @@ mod tests {
     #[test]
     fn timer_nacks_exactly_the_missing_sender() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         // Nothing arrived; after the timeout the stall round is 0 and the
         // missing sender is rank 3.
         let actions = e.on_timer(SimTime::from_us(150.0));
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt, retx } => {
+            CollAction::Send { dst, pkt, retx, .. } => {
                 assert_eq!(*dst, NodeId(3));
                 assert_eq!(pkt.kind, CollKind::Nack);
                 assert_eq!(pkt.round, 0);
@@ -863,7 +911,13 @@ mod tests {
     #[test]
     fn nacked_sender_retransmits_from_bit_vector() {
         let mut e = barrier_engine(4, 1);
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         // Rank 2 claims it never got our round-0 message.
         let nack = CollPacket {
             src: NodeId(2),
@@ -872,10 +926,10 @@ mod tests {
             round: 0,
             kind: CollKind::Nack,
         };
-        let actions = e.on_packet(SimTime::from_us(200.0), &nack);
+        let actions = e.on_packet(SimTime::from_us(200.0), &nack, CauseId::NONE);
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            CollAction::Send { dst, pkt, retx } => {
+            CollAction::Send { dst, pkt, retx, .. } => {
                 assert_eq!(*dst, NodeId(2));
                 assert_eq!(pkt.kind, CollKind::Barrier);
                 assert_eq!(pkt.round, 0);
@@ -889,7 +943,13 @@ mod tests {
     #[test]
     fn nack_for_unsent_round_is_ignored() {
         let mut e = barrier_engine(4, 1);
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
         // Round 1 not sent yet (round 0 arrival missing).
         let nack = CollPacket {
             src: NodeId(3),
@@ -898,7 +958,9 @@ mod tests {
             round: 1,
             kind: CollKind::Nack,
         };
-        assert!(e.on_packet(SimTime::from_us(200.0), &nack).is_empty());
+        assert!(e
+            .on_packet(SimTime::from_us(200.0), &nack, CauseId::NONE)
+            .is_empty());
         assert_eq!(e.retransmits(GroupId(1)), 0);
     }
 
@@ -906,8 +968,20 @@ mod tests {
     #[should_panic(expected = "before the previous operation completed")]
     fn pipelined_doorbells_rejected() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 0, &CollOperand::Scalar(0));
-        let _ = e.on_doorbell(SimTime::ZERO, GroupId(1), 1, &CollOperand::Scalar(0));
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
+        let _ = e.on_doorbell(
+            SimTime::ZERO,
+            GroupId(1),
+            1,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
     }
 
     #[test]
@@ -921,7 +995,13 @@ mod tests {
             timeout: SimTime::from_us(100.0),
         };
         let mut e0 = PaperCollective::new(NodeId(0), vec![spec(0)]);
-        let a = e0.on_doorbell(SimTime::ZERO, GroupId(2), 0, &CollOperand::Scalar(10));
+        let a = e0.on_doorbell(
+            SimTime::ZERO,
+            GroupId(2),
+            0,
+            &CollOperand::Scalar(10),
+            CauseId::NONE,
+        );
         // Round 0 send carries our contribution.
         let sent = a
             .iter()
@@ -939,7 +1019,7 @@ mod tests {
             round: 0,
             kind: CollKind::Reduce { value: 32 },
         };
-        let done = e0.on_packet(SimTime::from_us(1.0), &from1);
+        let done = e0.on_packet(SimTime::from_us(1.0), &from1, CauseId::NONE);
         assert!(matches!(done[0], CollAction::HostDone { value: 42, .. }));
     }
 

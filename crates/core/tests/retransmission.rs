@@ -12,7 +12,7 @@ use nicbar_core::{
 };
 use nicbar_gm::{CollAction, CollFeatures, CollKind, CollOperand, GmParams, NicCollective};
 use nicbar_net::NodeId;
-use nicbar_sim::SimTime;
+use nicbar_sim::{CauseId, SimTime};
 
 const TIMEOUT: SimTime = SimTime(10_000);
 
@@ -41,8 +41,8 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
 
     // Both ranks enter the barrier; 2-node dissemination is one round with
     // one send each way.
-    let a0 = c0.on_doorbell(t0, BARRIER_GROUP, 0, &op);
-    let a1 = c1.on_doorbell(t0, BARRIER_GROUP, 0, &op);
+    let a0 = c0.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE);
+    let a1 = c1.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE);
     let sends = |actions: &[CollAction]| {
         actions
             .iter()
@@ -58,7 +58,7 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
         CollAction::Send { pkt, .. } => pkt.clone(),
         other => panic!("expected a send, got {other:?}"),
     };
-    let done0 = c0.on_packet(SimTime(1_000), &pkt_1to0);
+    let done0 = c0.on_packet(SimTime(1_000), &pkt_1to0, CauseId::NONE);
     assert!(
         done0
             .iter()
@@ -81,9 +81,9 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
     assert_eq!(c1.nacks_sent(BARRIER_GROUP), 1);
 
     // The NACK reaches rank 0, which retransmits from its static packet.
-    let retx_actions = c0.on_packet(SimTime(21_000), &nack_pkt);
+    let retx_actions = c0.on_packet(SimTime(21_000), &nack_pkt, CauseId::NONE);
     let retx_pkt = match &retx_actions[..] {
-        [CollAction::Send { pkt, retx, dst }] => {
+        [CollAction::Send { pkt, retx, dst, .. }] => {
             assert_eq!(*dst, NodeId(1));
             assert_eq!(pkt.kind, CollKind::Barrier);
             assert!(*retx, "a NACK-triggered resend must be flagged retx");
@@ -95,7 +95,7 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
 
     // The retransmission completes rank 1. Exactly one loss was injected;
     // the accessors report exactly one NACK and one retransmission.
-    let done1 = c1.on_packet(SimTime(22_000), &retx_pkt);
+    let done1 = c1.on_packet(SimTime(22_000), &retx_pkt, CauseId::NONE);
     assert!(done1
         .iter()
         .any(|a| matches!(a, CollAction::HostDone { epoch: 0, .. })));

@@ -2,6 +2,7 @@
 
 use crate::types::{DescId, TportTag};
 use nicbar_net::NodeId;
+use nicbar_sim::CauseId;
 
 /// What an Elan network transaction carries.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,12 +63,16 @@ pub enum ElanEvent {
         tag: TportTag,
         /// Message length.
         len: u32,
+        /// Netdump id of the NIC's arrival record for this message.
+        cause: CauseId,
     },
     /// A NIC event with a `NotifyHost` action tripped (chained-RDMA barrier
     /// completion), or the hardware barrier finished.
     HostCollDone {
         /// Opaque cookie identifying which operation completed.
         cookie: u64,
+        /// Netdump id of the NIC's `notify` record.
+        cause: CauseId,
     },
 
     // --- NIC-bound ---
@@ -75,22 +80,30 @@ pub enum ElanEvent {
     Doorbell {
         /// Descriptor to fire.
         desc: DescId,
+        /// Netdump id of the host's posting record.
+        cause: CauseId,
     },
     /// Host doorbell: set a NIC event from user space (Elan3 lets the host
     /// poke event words directly; used as the per-barrier entry trigger).
     SetEvent {
         /// Event to set.
         event: crate::types::EventId,
+        /// Netdump id of the host's `host-enter` record.
+        cause: CauseId,
     },
     /// Chain continuation: an event action launches another descriptor.
     FireDesc {
         /// Descriptor to fire.
         desc: DescId,
+        /// Netdump id of the record that tripped the chain link.
+        cause: CauseId,
     },
     /// Host posts a thread doorbell (operand delivered to the NIC thread).
     ThreadPost {
         /// Operand.
         value: u64,
+        /// Netdump id of the host's `host-enter` record.
+        cause: CauseId,
     },
     /// Host posts a tport send.
     TportPost {
@@ -100,11 +113,15 @@ pub enum ElanEvent {
         tag: TportTag,
         /// Length.
         len: u32,
+        /// Netdump id of the host's posting record.
+        cause: CauseId,
     },
     /// Host enters the hardware barrier.
     HwSyncPost {
         /// Barrier epoch (for sanity checking).
         epoch: u64,
+        /// Netdump id of the host's `host-enter` record.
+        cause: CauseId,
     },
     /// A network transaction arrived at this NIC.
     Arrive {
@@ -112,11 +129,15 @@ pub enum ElanEvent {
         src: NodeId,
         /// Payload.
         payload: ElanPayload,
+        /// Netdump id of the fabric's `wire` record.
+        cause: CauseId,
     },
     /// The hardware barrier unit reports completion to this NIC.
     HwDone {
         /// Completed epoch.
         epoch: u64,
+        /// Netdump id of the barrier unit's combining-wave record.
+        cause: CauseId,
     },
 
     // --- fabric-bound ---
@@ -130,6 +151,8 @@ pub enum ElanEvent {
         bytes: u32,
         /// Payload.
         payload: ElanPayload,
+        /// Netdump id of the sender's `fire` record.
+        cause: CauseId,
     },
 
     // --- hardware-barrier-unit-bound ---
@@ -139,5 +162,7 @@ pub enum ElanEvent {
         node: NodeId,
         /// Barrier epoch.
         epoch: u64,
+        /// Netdump id of the NIC's forwarding record.
+        cause: CauseId,
     },
 }

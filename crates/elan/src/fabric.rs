@@ -4,7 +4,7 @@
 use crate::events::ElanEvent;
 use nicbar_net::FabricCore;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SpanEvent};
+use nicbar_sim::{CausalKind, Component, ComponentId, Ctx, PacketLog, SpanEvent};
 
 /// The network component of an Elan cluster. QsNet delivers reliably in
 /// hardware, so the core's drop probability must stay zero here.
@@ -42,6 +42,7 @@ impl Component<ElanEvent> for ElanFabric {
             dst,
             bytes,
             payload,
+            cause,
         } = msg
         else {
             panic!("Elan fabric got a non-Inject event");
@@ -59,10 +60,21 @@ impl Component<ElanEvent> for ElanFabric {
             self.core.send(now, src, dst, bytes, rng)
         };
         debug_assert!(!delivery.dropped);
+        // Netdump: wire traversal with the link-occupancy tag (bytes +
+        // destination-port queuing wait).
+        let wire = ctx.packet(
+            PacketLog::new(cause, CausalKind::Wire)
+                .nodes(src.0 as u32, dst.0 as u32)
+                .detail(bytes as u64, delivery.port_wait.as_ns()),
+        );
         ctx.send_at(
             delivery.arrive,
             self.nics[dst.0],
-            ElanEvent::Arrive { src, payload },
+            ElanEvent::Arrive {
+                src,
+                payload,
+                cause: wire,
+            },
         );
     }
 }

@@ -7,7 +7,9 @@ use crate::types::{DescId, EventId, TportTag};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
-use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime, SpanEvent};
+use nicbar_sim::{
+    CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimRng, SimTime, SpanEvent,
+};
 
 /// Pseudo group id used for `op.begin`/`op.end` span events: Elan
 /// collectives have no group abstraction (one chain per cluster), so every
@@ -168,13 +170,20 @@ impl ElanHost {
 
     /// Span: this host enters its next collective operation (NIC chain,
     /// thread collective, or hardware barrier — all lock-step, so every
-    /// host's per-entry sequence numbers agree).
-    fn span_op_begin(&mut self, ctx: &mut Ctx<'_, ElanEvent>) {
+    /// host's per-entry sequence numbers agree). Returns the `host-enter`
+    /// netdump record, the chain root of this rank's contribution.
+    fn span_op_begin(&mut self, ctx: &mut Ctx<'_, ElanEvent>) -> CauseId {
         ctx.span(SpanEvent::OpBegin {
             group: ELAN_SPAN_GROUP,
             seq: self.coll_begun,
         });
+        let cause = ctx.packet(
+            PacketLog::new(CauseId::NONE, CausalKind::HostEnter)
+                .at_node(self.node.0 as u32)
+                .key(ELAN_SPAN_GROUP, self.coll_begun),
+        );
         self.coll_begun += 1;
+        cause
     }
 
     fn dispatch<F>(&mut self, ctx: &mut Ctx<'_, ElanEvent>, entry_cost: SimTime, f: F)
@@ -196,32 +205,54 @@ impl ElanHost {
                 HostAction::Doorbell { desc } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.doorbell"), 1);
-                    ctx.send_at(t, self.nic, ElanEvent::Doorbell { desc });
+                    // Netdump: chain root for a raw descriptor launch.
+                    let cause = ctx.packet(
+                        PacketLog::new(CauseId::NONE, CausalKind::HostPost)
+                            .at_node(self.node.0 as u32)
+                            .detail(desc.0 as u64, 0),
+                    );
+                    ctx.send_at(t, self.nic, ElanEvent::Doorbell { desc, cause });
                 }
                 HostAction::SetEvent { event } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.set_event"), 1);
-                    self.span_op_begin(ctx);
-                    ctx.send_at(t, self.nic, ElanEvent::SetEvent { event });
+                    let cause = self.span_op_begin(ctx);
+                    ctx.send_at(t, self.nic, ElanEvent::SetEvent { event, cause });
                 }
                 HostAction::ThreadDoorbell { value } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.thread_doorbell"), 1);
-                    self.span_op_begin(ctx);
-                    ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value });
+                    let cause = self.span_op_begin(ctx);
+                    ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value, cause });
                 }
                 HostAction::Tport { dst, tag, len } => {
                     let t = self.cpu(ctx.now(), self.params.host_tport_send);
                     ctx.count_id(counter_id!("elan.host_tport"), 1);
-                    ctx.send_at(t, self.nic, ElanEvent::TportPost { dst, tag, len });
+                    // Netdump: chain root for a host-level message (the
+                    // Elanlib tree barrier's hops each start here).
+                    let cause = ctx.packet(
+                        PacketLog::new(CauseId::NONE, CausalKind::HostPost)
+                            .nodes(self.node.0 as u32, dst.0 as u32)
+                            .detail(len as u64, 0),
+                    );
+                    ctx.send_at(
+                        t,
+                        self.nic,
+                        ElanEvent::TportPost {
+                            dst,
+                            tag,
+                            len,
+                            cause,
+                        },
+                    );
                 }
                 HostAction::HwSync => {
                     let epoch = self.hw_epoch;
                     self.hw_epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.hw_sync"), 1);
-                    self.span_op_begin(ctx);
-                    ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch });
+                    let cause = self.span_op_begin(ctx);
+                    ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch, cause });
                 }
                 HostAction::Timer { delay } => {
                     ctx.send_at(self.cpu_free + delay, ctx.self_id(), ElanEvent::AppTimer);
@@ -240,17 +271,36 @@ impl Component<ElanEvent> for ElanHost {
             ElanEvent::AppTimer => {
                 self.dispatch(ctx, SimTime::ZERO, |app, api| app.on_timer(api));
             }
-            ElanEvent::HostRecv { src, tag, len } => {
+            ElanEvent::HostRecv {
+                src,
+                tag,
+                len,
+                cause,
+            } => {
+                // Netdump: host-level delivery (tport messaging has no
+                // separate notify stage; the arrival surfaces directly).
+                ctx.packet(
+                    PacketLog::new(cause, CausalKind::Notify)
+                        .nodes(src.0 as u32, self.node.0 as u32)
+                        .detail(tag.0 as u64, len as u64),
+                );
                 let poll = self.params.host_poll;
                 self.dispatch(ctx, poll, |app, api| app.on_recv(api, src, tag, len));
             }
-            ElanEvent::HostCollDone { cookie } => {
+            ElanEvent::HostCollDone { cookie, cause } => {
                 // Span: completion observed, before the app callback so a
                 // re-entering app's next op.begin follows its op.end.
                 ctx.span(SpanEvent::OpEnd {
                     group: ELAN_SPAN_GROUP,
                     seq: self.coll_done,
                 });
+                // Netdump: this rank's chain ends here.
+                ctx.packet(
+                    PacketLog::new(cause, CausalKind::HostExit)
+                        .at_node(self.node.0 as u32)
+                        .key(ELAN_SPAN_GROUP, self.coll_done)
+                        .detail(cookie, 0),
+                );
                 self.coll_done += 1;
                 let poll = self.params.host_poll;
                 self.dispatch(ctx, poll, |app, api| app.on_coll_done(api, cookie));

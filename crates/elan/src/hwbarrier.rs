@@ -21,7 +21,7 @@ use crate::events::ElanEvent;
 use crate::params::ElanParams;
 use nicbar_net::{NodeId, Topology};
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SimTime};
+use nicbar_sim::{CausalKind, Component, ComponentId, Ctx, PacketLog, SimTime, NO_NODE};
 use std::collections::BTreeMap;
 
 /// The switch-resident barrier combining unit.
@@ -70,7 +70,7 @@ impl HwBarrierUnit {
 
 impl Component<ElanEvent> for HwBarrierUnit {
     fn handle(&mut self, msg: ElanEvent, ctx: &mut Ctx<'_, ElanEvent>) {
-        let ElanEvent::HwArrive { node, epoch } = msg else {
+        let ElanEvent::HwArrive { node, epoch, cause } = msg else {
             panic!("hw barrier unit got unexpected event");
         };
         debug_assert!(self.group.contains(&node));
@@ -89,8 +89,15 @@ impl Component<ElanEvent> for HwBarrierUnit {
         let done =
             now + self.params.hw_base + self.params.hw_per_level * u64::from(self.levels) + penalty;
         ctx.count_id(counter_id!("elan.hw_barrier"), 1);
+        // Netdump: one record for the combining wave, parented on the last
+        // arrival (the enabling stimulus of the whole release broadcast).
+        let wave = ctx.packet(
+            PacketLog::new(cause, CausalKind::Fire)
+                .nodes(node.0 as u32, NO_NODE)
+                .detail(epoch, penalty.as_ns()),
+        );
         for &nic in &self.nics {
-            ctx.send_at(done, nic, ElanEvent::HwDone { epoch });
+            ctx.send_at(done, nic, ElanEvent::HwDone { epoch, cause: wave });
         }
     }
 }

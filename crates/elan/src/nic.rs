@@ -14,7 +14,7 @@ use crate::types::{
 };
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SimTime, SpanEvent};
+use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
 
 /// The Elan3 NIC component.
 pub struct ElanNic {
@@ -77,13 +77,25 @@ impl ElanNic {
     /// Execute thread actions: sends go through the descriptor path (the
     /// thread issues RDMAs like anything else on the NIC), completions to
     /// the host.
-    fn run_thread_actions(&mut self, ctx: &mut Ctx<'_, ElanEvent>, actions: Vec<ThreadAction>) {
+    fn run_thread_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, ElanEvent>,
+        actions: Vec<ThreadAction>,
+        cause: CauseId,
+    ) {
         for action in actions {
             match action {
                 ThreadAction::Send { dst, tag, value } => {
                     assert_ne!(dst, self.node, "thread self-send");
                     let t = self.engine(ctx.now(), self.params.nic_desc_proc);
                     ctx.count_id(counter_id!("elan.thread_sent"), 1);
+                    // Netdump: thread-processor send, parented on the
+                    // doorbell/message that woke the thread.
+                    let fire = ctx.packet(
+                        PacketLog::new(cause, CausalKind::Fire)
+                            .nodes(self.node.0 as u32, dst.0 as u32)
+                            .detail(tag as u64, value),
+                    );
                     ctx.send_at(
                         t,
                         self.fabric,
@@ -92,6 +104,7 @@ impl ElanNic {
                             dst,
                             bytes: THREAD_MSG_BYTES,
                             payload: ElanPayload::Thread { tag, value },
+                            cause: fire,
                         },
                     );
                 }
@@ -103,10 +116,18 @@ impl ElanNic {
                         unit: u64::MAX,
                         cookie,
                     });
+                    let notify = ctx.packet(
+                        PacketLog::new(cause, CausalKind::Notify)
+                            .at_node(self.node.0 as u32)
+                            .detail(cookie, 0),
+                    );
                     ctx.send_at(
                         self.engine_free + self.params.host_event_visible,
                         self.host,
-                        ElanEvent::HostCollDone { cookie },
+                        ElanEvent::HostCollDone {
+                            cookie,
+                            cause: notify,
+                        },
                     );
                 }
             }
@@ -120,7 +141,7 @@ impl ElanNic {
     }
 
     /// Launch a descriptor: inject the RDMA and set its local event.
-    fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId) {
+    fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId, cause: CauseId) {
         let t = self.engine(ctx.now(), self.params.nic_desc_proc);
         let d = self.descs[desc.0 as usize].clone();
         assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
@@ -130,6 +151,13 @@ impl ElanNic {
             unit: desc.0 as u64,
             dst: d.dst.0 as u64,
         });
+        // Netdump: descriptor launch, parented on whatever tripped it (the
+        // host doorbell or the chain link's event record).
+        let fire = ctx.packet(
+            PacketLog::new(cause, CausalKind::Fire)
+                .nodes(self.node.0 as u32, d.dst.0 as u32)
+                .detail(desc.0 as u64, (RDMA_WIRE_OVERHEAD + d.bytes) as u64),
+        );
         ctx.send_at(
             t,
             self.fabric,
@@ -140,17 +168,28 @@ impl ElanNic {
                 payload: ElanPayload::Rdma {
                     remote_event: d.remote_event,
                 },
+                cause: fire,
             },
         );
         if let Some(le) = d.local_event {
             // The local "issued" event trips as soon as the descriptor is
             // processed; it gates the next chain link on our own progress.
-            self.set_event(ctx, t, le);
+            self.set_event(ctx, t, le, fire);
         }
     }
 
     /// Set an event; run any tripped actions.
-    fn set_event(&mut self, ctx: &mut Ctx<'_, ElanEvent>, at: SimTime, ev: EventId) {
+    /// Set an event; run any tripped actions. `cause` is the netdump record
+    /// of the stimulus performing the `set` — in a counting event the trip
+    /// happens on the *last* set, so tripped actions correctly parent on the
+    /// last-enabling stimulus.
+    fn set_event(
+        &mut self,
+        ctx: &mut Ctx<'_, ElanEvent>,
+        at: SimTime,
+        ev: EventId,
+        cause: CauseId,
+    ) {
         let trips = self.events[ev.0 as usize].set();
         if trips == 0 {
             return;
@@ -164,7 +203,7 @@ impl ElanNic {
                         ctx.send_at(
                             at.max(ctx.now()),
                             ctx.self_id(),
-                            ElanEvent::FireDesc { desc: *d },
+                            ElanEvent::FireDesc { desc: *d, cause },
                         );
                     }
                     EventAction::NotifyHost { cookie } => {
@@ -174,10 +213,18 @@ impl ElanNic {
                             unit: ev.0 as u64,
                             cookie: *cookie,
                         });
+                        let notify = ctx.packet(
+                            PacketLog::new(cause, CausalKind::Notify)
+                                .at_node(self.node.0 as u32)
+                                .detail(*cookie, ev.0 as u64),
+                        );
                         ctx.send_at(
                             at + self.params.host_event_visible,
                             self.host,
-                            ElanEvent::HostCollDone { cookie: *cookie },
+                            ElanEvent::HostCollDone {
+                                cookie: *cookie,
+                                cause: notify,
+                            },
                         );
                     }
                 }
@@ -199,16 +246,32 @@ impl ElanNic {
 impl Component<ElanEvent> for ElanNic {
     fn handle(&mut self, msg: ElanEvent, ctx: &mut Ctx<'_, ElanEvent>) {
         match msg {
-            ElanEvent::Doorbell { desc } | ElanEvent::FireDesc { desc } => {
-                self.fire_desc(ctx, desc);
+            ElanEvent::Doorbell { desc, cause } | ElanEvent::FireDesc { desc, cause } => {
+                self.fire_desc(ctx, desc, cause);
             }
-            ElanEvent::SetEvent { event } => {
+            ElanEvent::SetEvent { event, cause } => {
                 let t = self.engine(ctx.now(), self.params.nic_event_proc);
-                self.set_event(ctx, t, event);
+                // Netdump: the NIC picks up the host's event poke.
+                let dispatch = ctx.packet(
+                    PacketLog::new(cause, CausalKind::NicDispatch)
+                        .at_node(self.node.0 as u32)
+                        .detail(event.0 as u64, 0),
+                );
+                self.set_event(ctx, t, event, dispatch);
             }
-            ElanEvent::TportPost { dst, tag, len } => {
+            ElanEvent::TportPost {
+                dst,
+                tag,
+                len,
+                cause,
+            } => {
                 let t = self.engine(ctx.now(), self.params.nic_desc_proc);
                 ctx.count_id(counter_id!("elan.tport_sent"), 1);
+                let fire = ctx.packet(
+                    PacketLog::new(cause, CausalKind::Fire)
+                        .nodes(self.node.0 as u32, dst.0 as u32)
+                        .detail(tag.0 as u64, len as u64),
+                );
                 ctx.send_at(
                     t,
                     self.fabric,
@@ -217,48 +280,70 @@ impl Component<ElanEvent> for ElanNic {
                         dst,
                         bytes: TPORT_WIRE_OVERHEAD + len,
                         payload: ElanPayload::Tport { tag, len },
+                        cause: fire,
                     },
                 );
             }
-            ElanEvent::HwSyncPost { epoch } => {
+            ElanEvent::HwSyncPost { epoch, cause } => {
                 let unit = self
                     .hw_unit
                     .expect("hardware barrier used on a cluster without a hw unit");
                 let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                // Netdump: readiness forwarded to the switch-level unit.
+                let fire = ctx.packet(
+                    PacketLog::new(cause, CausalKind::Fire)
+                        .at_node(self.node.0 as u32)
+                        .detail(epoch, 0),
+                );
                 ctx.send_at(
                     t,
                     unit,
                     ElanEvent::HwArrive {
                         node: self.node,
                         epoch,
+                        cause: fire,
                     },
                 );
             }
-            ElanEvent::ThreadPost { value } => {
+            ElanEvent::ThreadPost { value, cause } => {
                 let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                let dispatch = ctx.packet(
+                    PacketLog::new(cause, CausalKind::NicDispatch)
+                        .at_node(self.node.0 as u32)
+                        .detail(value, 0),
+                );
                 let actions = self.thread.on_doorbell(t, value);
-                self.run_thread_actions(ctx, actions);
+                self.run_thread_actions(ctx, actions, dispatch);
             }
-            ElanEvent::Arrive { src, payload } => {
+            ElanEvent::Arrive {
+                src,
+                payload,
+                cause,
+            } => {
                 // Span: arrival, detail word shared across payload kinds
                 // (see `ElanPayload::arrive_info`).
                 ctx.span(SpanEvent::Arrive {
                     src: src.0 as u64,
                     info: payload.arrive_info(),
                 });
+                let arrive = ctx.packet(
+                    PacketLog::new(cause, CausalKind::Arrive)
+                        .nodes(src.0 as u32, self.node.0 as u32)
+                        .detail(payload.arrive_info(), 0),
+                );
                 match payload {
                     ElanPayload::Thread { tag, value } => {
                         // Wake the thread processor: heavier than a raw event.
                         let t = self.engine(ctx.now(), self.params.nic_thread_proc);
                         ctx.count_id(counter_id!("elan.thread_recv"), 1);
                         let actions = self.thread.on_msg(t, src, tag, value);
-                        self.run_thread_actions(ctx, actions);
+                        self.run_thread_actions(ctx, actions, arrive);
                     }
                     ElanPayload::Rdma { remote_event } => {
                         let t = self.engine(ctx.now(), self.params.nic_event_proc);
                         ctx.count_id(counter_id!("elan.rdma_recv"), 1);
                         if let Some(ev) = remote_event {
-                            self.set_event(ctx, t, ev);
+                            self.set_event(ctx, t, ev, arrive);
                         }
                     }
                     ElanPayload::Tport { tag, len } => {
@@ -267,20 +352,31 @@ impl Component<ElanEvent> for ElanNic {
                         ctx.send_at(
                             t + self.params.host_event_visible,
                             self.host,
-                            ElanEvent::HostRecv { src, tag, len },
+                            ElanEvent::HostRecv {
+                                src,
+                                tag,
+                                len,
+                                cause: arrive,
+                            },
                         );
                     }
                 }
             }
-            ElanEvent::HwDone { epoch } => {
+            ElanEvent::HwDone { epoch, cause } => {
                 // Hardware barrier completion: surface to the host like a
                 // local event.
                 let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                let notify = ctx.packet(
+                    PacketLog::new(cause, CausalKind::Notify)
+                        .at_node(self.node.0 as u32)
+                        .detail(hw_cookie(epoch), 0),
+                );
                 ctx.send_at(
                     t + self.params.host_event_visible,
                     self.host,
                     ElanEvent::HostCollDone {
                         cookie: hw_cookie(epoch),
+                        cause: notify,
                     },
                 );
             }

@@ -10,7 +10,7 @@
 use crate::types::{CollPacket, GroupId};
 use nicbar_net::NodeId;
 use nicbar_sim::engine::AsAny;
-use nicbar_sim::SimTime;
+use nicbar_sim::{CauseId, SimTime};
 
 /// The host's operand to a collective doorbell.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +46,12 @@ pub enum CollAction {
         /// retransmission) — lets the NIC attribute it to the retransmit
         /// phase instead of a first-time fire.
         retx: bool,
+        /// Netdump id of the stimulus that caused this send — the record
+        /// the NIC's `fire`/`nack`/`retransmit` record will parent on. For
+        /// doorbell/packet-triggered sends this is the stimulus record; for
+        /// timer-generated NACKs it is the record that last advanced the
+        /// stalled epoch.
+        cause: CauseId,
     },
     /// Deliver operation completion to the host.
     HostDone {
@@ -55,6 +61,9 @@ pub enum CollAction {
         epoch: u64,
         /// Result value (0 for barrier).
         value: u64,
+        /// Netdump id of the stimulus that completed the operation (the
+        /// last-enabling arrival or the doorbell itself).
+        cause: CauseId,
     },
 }
 
@@ -66,17 +75,21 @@ pub enum CollAction {
 /// [`NicCollective::next_deadline`], which the NIC uses to arm its timer
 /// sweep.
 pub trait NicCollective: AsAny + 'static {
-    /// Host posted a collective doorbell with its operand.
+    /// Host posted a collective doorbell with its operand. `cause` is the
+    /// netdump id of the NIC's dispatch record for the doorbell; actions it
+    /// enables must carry it (or [`CauseId::NONE`] when the dump is off).
     fn on_doorbell(
         &mut self,
         now: SimTime,
         group: GroupId,
         epoch: u64,
         operand: &CollOperand,
+        cause: CauseId,
     ) -> Vec<CollAction>;
 
-    /// A collective packet arrived from the wire.
-    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket) -> Vec<CollAction>;
+    /// A collective packet arrived from the wire. `cause` is the netdump id
+    /// of the NIC's arrival record for this packet.
+    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket, cause: CauseId) -> Vec<CollAction>;
 
     /// Timer sweep: emit NACKs for overdue expected packets, retransmit
     /// NACKed sends, etc.
@@ -97,11 +110,12 @@ impl NicCollective for NullCollective {
         group: GroupId,
         _epoch: u64,
         _operand: &CollOperand,
+        _cause: CauseId,
     ) -> Vec<CollAction> {
         panic!("no collective engine installed on this NIC (group {group:?})");
     }
 
-    fn on_packet(&mut self, _now: SimTime, pkt: &CollPacket) -> Vec<CollAction> {
+    fn on_packet(&mut self, _now: SimTime, pkt: &CollPacket, _cause: CauseId) -> Vec<CollAction> {
         panic!("unexpected collective packet {pkt:?} on a NIC with no collective engine");
     }
 
@@ -128,7 +142,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "no collective engine")]
     fn null_collective_rejects_doorbells() {
-        NullCollective.on_doorbell(SimTime::ZERO, GroupId(0), 0, &CollOperand::Scalar(0));
+        NullCollective.on_doorbell(
+            SimTime::ZERO,
+            GroupId(0),
+            0,
+            &CollOperand::Scalar(0),
+            CauseId::NONE,
+        );
     }
 
     #[test]

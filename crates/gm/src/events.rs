@@ -6,6 +6,7 @@
 use crate::collective::CollOperand;
 use crate::types::{GroupId, MsgId, MsgTag, Packet, SendToken};
 use nicbar_net::NodeId;
+use nicbar_sim::CauseId;
 
 /// Events exchanged between the components of a GM cluster simulation.
 #[derive(Clone, Debug)]
@@ -40,6 +41,9 @@ pub enum GmEvent {
         /// Operation result (0 for barrier; reduced value for allreduce,
         /// broadcast payload for bcast).
         value: u64,
+        /// Netdump id of the NIC's `notify` record (the host's `host-exit`
+        /// record parents here).
+        cause: CauseId,
     },
 
     // ------------------------------------------------------------------
@@ -62,6 +66,8 @@ pub enum GmEvent {
         epoch: u64,
         /// Host-contributed operand.
         operand: CollOperand,
+        /// Netdump id of the host's `host-enter` record.
+        cause: CauseId,
     },
     /// Continuation of the NIC send scheduler (self-scheduled).
     SendWork,
@@ -79,6 +85,8 @@ pub enum GmEvent {
         total_len: u32,
         /// User tag.
         tag: MsgTag,
+        /// Netdump id of the `dma-start` record for this transfer.
+        cause: CauseId,
     },
     /// NIC→host payload DMA finished for a received packet.
     DmaToHostDone {
@@ -94,6 +102,8 @@ pub enum GmEvent {
         total_len: u32,
         /// First byte carried by this packet.
         offset: u32,
+        /// Netdump id of the `dma-start` record for this transfer.
+        cause: CauseId,
     },
     /// A packet arrived from the fabric.
     Arrive(Packet),

@@ -6,7 +6,7 @@ use crate::events::GmEvent;
 use crate::types::PacketKind;
 use nicbar_net::FabricCore;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SpanEvent};
+use nicbar_sim::{CausalKind, Component, ComponentId, Ctx, PacketLog, SpanEvent};
 
 /// The network component of a GM cluster.
 pub struct GmFabric {
@@ -43,7 +43,7 @@ impl GmFabric {
 
 impl Component<GmEvent> for GmFabric {
     fn handle(&mut self, msg: GmEvent, ctx: &mut Ctx<'_, GmEvent>) {
-        let GmEvent::Inject(pkt) = msg else {
+        let GmEvent::Inject(mut pkt) = msg else {
             panic!("fabric got a non-Inject event");
         };
         let label = match &pkt.kind {
@@ -72,10 +72,31 @@ impl Component<GmEvent> for GmFabric {
             let rng = ctx.rng();
             self.core.send(now, src, dst, bytes, rng)
         };
+        // Netdump: the wire record carries the link-occupancy tag (bytes +
+        // destination-port queuing wait), so the analyzer can separate
+        // "slow link" from "busy port".
+        let mut log = PacketLog::new(pkt.cause, CausalKind::Wire)
+            .nodes(pkt.src.0 as u32, pkt.dst.0 as u32)
+            .detail(
+                bytes as u64,
+                if delivery.dropped {
+                    0
+                } else {
+                    delivery.port_wait.as_ns()
+                },
+            );
+        if let PacketKind::Coll(c) = &pkt.kind {
+            log = log.key(c.group.0 as u64, c.epoch);
+        }
+        let wire = ctx.packet(log);
         if delivery.dropped {
             ctx.count_id(counter_id!("wire.dropped"), 1);
+            ctx.packet(
+                PacketLog::new(wire, CausalKind::Drop).nodes(pkt.src.0 as u32, pkt.dst.0 as u32),
+            );
             return;
         }
+        pkt.cause = wire;
         let target = self.nics[pkt.dst.0];
         ctx.send_at(delivery.arrive, target, GmEvent::Arrive(pkt));
     }
@@ -106,6 +127,7 @@ mod tests {
             src: NodeId(src),
             dst: NodeId(dst),
             kind,
+            cause: nicbar_sim::CauseId::NONE,
         }
     }
 

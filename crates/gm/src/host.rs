@@ -16,7 +16,9 @@ use crate::types::{GroupId, MsgId, MsgTag, SendToken};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
 use nicbar_sim::engine::AsAny;
-use nicbar_sim::{Component, ComponentId, Ctx, SimRng, SimTime, SpanEvent};
+use nicbar_sim::{
+    CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimRng, SimTime, SpanEvent,
+};
 use std::collections::BTreeMap;
 
 /// Actions an application can request during a callback.
@@ -223,6 +225,12 @@ impl GmHost {
                 } => {
                     let t = self.cpu(ctx.now(), self.params.host_send_overhead);
                     ctx.count_id(counter_id!("gm.host_send"), 1);
+                    // Netdump: chain root for this message's data packets.
+                    let cause = ctx.packet(
+                        PacketLog::new(CauseId::NONE, CausalKind::HostPost)
+                            .nodes(self.node.0 as u32, dst.0 as u32)
+                            .detail(len as u64, 0),
+                    );
                     ctx.send_at(
                         t + self.params.pio_write,
                         self.nic,
@@ -233,6 +241,7 @@ impl GmHost {
                             tag,
                             offset: 0,
                             coll: None,
+                            cause,
                         }),
                     );
                 }
@@ -247,6 +256,13 @@ impl GmHost {
                         group: group.0 as u64,
                         seq: this_epoch,
                     });
+                    // Netdump: chain root of this rank's contribution to the
+                    // barrier DAG.
+                    let cause = ctx.packet(
+                        PacketLog::new(CauseId::NONE, CausalKind::HostEnter)
+                            .at_node(self.node.0 as u32)
+                            .key(group.0 as u64, this_epoch),
+                    );
                     ctx.send_at(
                         t + self.params.pio_write,
                         self.nic,
@@ -254,6 +270,7 @@ impl GmHost {
                             group,
                             epoch: this_epoch,
                             operand,
+                            cause,
                         },
                     );
                 }
@@ -302,6 +319,7 @@ impl Component<GmEvent> for GmHost {
                 group,
                 epoch,
                 value,
+                cause,
             } => {
                 // Span: completion observed, before the app callback so a
                 // re-entering app's next op.begin follows its op.end.
@@ -309,6 +327,14 @@ impl Component<GmEvent> for GmHost {
                     group: group.0 as u64,
                     seq: epoch,
                 });
+                // Netdump: this rank's chain ends here; the analyzer keys
+                // spans off these records.
+                ctx.packet(
+                    PacketLog::new(cause, CausalKind::HostExit)
+                        .at_node(self.node.0 as u32)
+                        .key(group.0 as u64, epoch)
+                        .detail(value, 0),
+                );
                 let poll = self.params.host_recv_poll;
                 self.dispatch(ctx, poll, |app, api| {
                     app.on_coll_done(api, group, epoch, value)

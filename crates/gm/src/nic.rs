@@ -42,7 +42,7 @@ use crate::params::{CollFeatures, GmParams};
 use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
 use nicbar_net::NodeId;
 use nicbar_sim::counter_id;
-use nicbar_sim::{Component, ComponentId, Ctx, SimTime, SpanEvent};
+use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
 use std::collections::VecDeque;
 
 /// Per-source reassembly state for a partially received message.
@@ -246,6 +246,21 @@ impl LanaiNic {
                     dst: dst as u64,
                 });
             }
+            // Netdump: the token's stored cause covers the queuing wait —
+            // the edge from protocol decision to actual launch.
+            let fire = ctx.packet(
+                PacketLog::new(
+                    token.cause,
+                    if is_nack {
+                        CausalKind::Nack
+                    } else {
+                        CausalKind::Fire
+                    },
+                )
+                .nodes(self.node.0 as u32, dst as u32)
+                .key(pkt.group.0 as u64, pkt.epoch)
+                .detail(pkt.round as u64, 0),
+            );
             ctx.send_at(
                 t,
                 self.fabric,
@@ -253,6 +268,7 @@ impl LanaiNic {
                     src: self.node,
                     dst: NodeId(dst),
                     kind: PacketKind::Coll(pkt),
+                    cause: fire,
                 }),
             );
         } else {
@@ -265,22 +281,40 @@ impl LanaiNic {
 
             let token = self.send_queues[dst].front_mut().expect("checked above");
             let payload = (token.len - token.offset).min(self.params.mtu);
-            let ev = GmEvent::DmaToNicDone {
-                dst: NodeId(dst),
-                msg_id: token.msg_id,
-                offset: token.offset,
-                payload,
-                total_len: token.len,
-                tag: token.tag,
-            };
+            let (msg_id, offset, total_len, tag, token_cause) = (
+                token.msg_id,
+                token.offset,
+                token.len,
+                token.tag,
+                token.cause,
+            );
             token.offset += payload;
             if token.offset >= token.len {
                 self.send_queues[dst].pop_front();
             }
 
+            // Netdump: payload DMA begins (parent: the host post).
+            let dma_cause = ctx.packet(
+                PacketLog::new(token_cause, CausalKind::DmaStart)
+                    .nodes(self.node.0 as u32, dst as u32)
+                    .detail(payload as u64, 0),
+            );
+
             // Payload crosses the I/O bus into the claimed buffer.
             let dma_done = self.dma(t, payload);
-            ctx.send_at(dma_done, ctx.self_id(), ev);
+            ctx.send_at(
+                dma_done,
+                ctx.self_id(),
+                GmEvent::DmaToNicDone {
+                    dst: NodeId(dst),
+                    msg_id,
+                    offset,
+                    payload,
+                    total_len,
+                    tag,
+                    cause: dma_cause,
+                },
+            );
         }
 
         // More eligible work? Keep the scheduler hot.
@@ -306,11 +340,23 @@ impl LanaiNic {
         payload: u32,
         total_len: u32,
         tag: crate::types::MsgTag,
+        cause: CauseId,
     ) {
         let now = ctx.now();
         let t = self.cpu(now, self.params.nic_record_create + self.params.nic_inject);
         let seq = self.next_seq[dst.0];
         self.next_seq[dst.0] += 1;
+        // Netdump: DMA completed, then the packet commits to the fabric.
+        let dma_done = ctx.packet(
+            PacketLog::new(cause, CausalKind::DmaDone)
+                .nodes(self.node.0 as u32, dst.0 as u32)
+                .detail(payload as u64, 0),
+        );
+        let fire = ctx.packet(
+            PacketLog::new(dma_done, CausalKind::Fire)
+                .nodes(self.node.0 as u32, dst.0 as u32)
+                .detail(seq as u64, 0),
+        );
         self.inflight[dst.0].push_back(SendRecord {
             seq,
             msg_id,
@@ -320,6 +366,7 @@ impl LanaiNic {
             payload,
             sent_at: t,
             retries: 0,
+            cause: fire,
         });
         let pkt = Packet {
             src: self.node,
@@ -332,6 +379,7 @@ impl LanaiNic {
                 total_len,
                 tag,
             },
+            cause: fire,
         };
         ctx.count_id(counter_id!("gm.data_sent"), 1);
         ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
@@ -350,6 +398,7 @@ impl LanaiNic {
         payload: u32,
         total_len: u32,
         tag: crate::types::MsgTag,
+        cause: CauseId,
     ) {
         let t = self.cpu(after, self.params.nic_recv_match);
         if offset == 0 {
@@ -360,6 +409,12 @@ impl LanaiNic {
                 total_len,
             });
         }
+        // Netdump: NIC→host payload DMA begins.
+        let dma_cause = ctx.packet(
+            PacketLog::new(cause, CausalKind::DmaStart)
+                .nodes(src.0 as u32, self.node.0 as u32)
+                .detail(payload as u64, 0),
+        );
         let dma_done = self.dma(t, payload);
         ctx.send_at(
             dma_done,
@@ -371,17 +426,32 @@ impl LanaiNic {
                 payload,
                 total_len,
                 offset,
+                cause: dma_cause,
             },
         );
     }
 
     /// Send a cumulative ACK to `dst` from the per-peer static packet.
-    fn send_ack(&mut self, ctx: &mut Ctx<'_, GmEvent>, after: SimTime, dst: NodeId, upto: u32) {
+    /// `cause` is the netdump record the ACK responds to.
+    fn send_ack(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        after: SimTime,
+        dst: NodeId,
+        upto: u32,
+        cause: CauseId,
+    ) {
         let t = self.cpu(after, self.params.nic_ack_gen);
+        let fire = ctx.packet(
+            PacketLog::new(cause, CausalKind::Fire)
+                .nodes(self.node.0 as u32, dst.0 as u32)
+                .detail(upto as u64, 0),
+        );
         let pkt = Packet {
             src: self.node,
             dst,
             kind: PacketKind::Ack { upto },
+            cause: fire,
         };
         ctx.count_id(counter_id!("gm.ack_sent"), 1);
         ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
@@ -400,6 +470,11 @@ impl LanaiNic {
             } => {
                 let src = pkt.src;
                 let t = self.cpu(now, self.params.nic_seq_check);
+                let arrive = ctx.packet(
+                    PacketLog::new(pkt.cause, CausalKind::Arrive)
+                        .nodes(src.0 as u32, self.node.0 as u32)
+                        .detail(seq as u64, 0),
+                );
                 let expected = self.expect_seq[src.0];
                 if seq == expected {
                     if offset == 0 && self.recv_tokens == 0 {
@@ -409,12 +484,12 @@ impl LanaiNic {
                         return;
                     }
                     self.expect_seq[src.0] = expected + 1;
-                    self.accept_data(ctx, t, src, seq, offset, payload, total_len, tag);
+                    self.accept_data(ctx, t, src, seq, offset, payload, total_len, tag, arrive);
                 } else if seq < expected {
                     // Duplicate from a retransmission: re-ACK so the sender
                     // advances past it (covers lost-ACK cases).
                     ctx.count_id(counter_id!("gm.duplicate"), 1);
-                    self.send_ack(ctx, t, src, expected.wrapping_sub(1));
+                    self.send_ack(ctx, t, src, expected.wrapping_sub(1), arrive);
                 } else {
                     // A gap: an earlier packet was lost. GM drops unexpected
                     // packets immediately (§4.2).
@@ -424,6 +499,11 @@ impl LanaiNic {
             PacketKind::Ack { upto } => {
                 let src = pkt.src;
                 let t = self.cpu(now, self.params.nic_ack_process);
+                ctx.packet(
+                    PacketLog::new(pkt.cause, CausalKind::Arrive)
+                        .nodes(src.0 as u32, self.node.0 as u32)
+                        .detail(upto as u64, 0),
+                );
                 let q = &mut self.inflight[src.0];
                 let mut completed_msgs: Vec<u64> = Vec::new();
                 while let Some(front) = q.front() {
@@ -460,7 +540,15 @@ impl LanaiNic {
                     src: cp.src.0 as u64,
                     info: cp.epoch,
                 });
-                let actions = self.coll.on_packet(t, &cp);
+                // Netdump: the arrival record is the cause handed to the
+                // protocol engine — every action it enables chains here.
+                let arrive = ctx.packet(
+                    PacketLog::new(pkt.cause, CausalKind::Arrive)
+                        .nodes(cp.src.0 as u32, self.node.0 as u32)
+                        .key(cp.group.0 as u64, cp.epoch)
+                        .detail(cp.round as u64, 0),
+                );
+                let actions = self.coll.on_packet(t, &cp, arrive);
                 let needs_ack =
                     !self.features.recv_driven_retx && !matches!(cp.kind, CollKind::Nack);
                 self.run_coll_actions(ctx, t, actions);
@@ -479,6 +567,12 @@ impl LanaiNic {
                     };
                     let ta = self.cpu(ctx.now(), self.params.nic_ack_gen);
                     ctx.count_id(counter_id!("gm.coll_ack_sent"), 1);
+                    let ack_fire = ctx.packet(
+                        PacketLog::new(arrive, CausalKind::Fire)
+                            .nodes(self.node.0 as u32, cp.src.0 as u32)
+                            .key(cp.group.0 as u64, cp.epoch)
+                            .detail(cp.round as u64, 0),
+                    );
                     ctx.send_at(
                         ta,
                         self.fabric,
@@ -486,6 +580,7 @@ impl LanaiNic {
                             src: self.node,
                             dst: cp.src,
                             kind: PacketKind::Coll(ack),
+                            cause: ack_fire,
                         }),
                     );
                 }
@@ -504,7 +599,12 @@ impl LanaiNic {
         let mut at = after;
         for action in actions {
             match action {
-                CollAction::Send { dst, pkt, retx } => {
+                CollAction::Send {
+                    dst,
+                    pkt,
+                    retx,
+                    cause,
+                } => {
                     assert_ne!(dst, self.node, "collective self-send");
                     if !self.features.group_queue {
                         // Group-queue ablation: the collective message is
@@ -518,6 +618,9 @@ impl LanaiNic {
                             dst: dst.0 as u64,
                             depth: self.send_queues[dst.0].len() as u64,
                         });
+                        // The fire record is emitted when the token finally
+                        // launches (`send_work`), so the queuing wait shows
+                        // up as the edge from `cause` to that record.
                         self.send_queues[dst.0].push_back(SendToken {
                             msg_id: 0,
                             dst,
@@ -525,6 +628,7 @@ impl LanaiNic {
                             tag: crate::types::MsgTag(0),
                             offset: 0,
                             coll: Some(pkt),
+                            cause,
                         });
                         at = t;
                         self.kick_scheduler(ctx);
@@ -574,6 +678,24 @@ impl LanaiNic {
                             dst: dst.0 as u64,
                         });
                     }
+                    // Netdump: NACK-triggered resends and the NACKs
+                    // themselves are distinct kinds, so the analyzer can
+                    // name the recovery detour on a critical path.
+                    let fire = ctx.packet(
+                        PacketLog::new(
+                            cause,
+                            if retx {
+                                CausalKind::Retransmit
+                            } else if is_nack {
+                                CausalKind::Nack
+                            } else {
+                                CausalKind::Fire
+                            },
+                        )
+                        .nodes(self.node.0 as u32, dst.0 as u32)
+                        .key(pkt.group.0 as u64, pkt.epoch)
+                        .detail(pkt.round as u64, 0),
+                    );
                     ctx.send_at(
                         at,
                         self.fabric,
@@ -581,6 +703,7 @@ impl LanaiNic {
                             src: self.node,
                             dst,
                             kind: PacketKind::Coll(pkt),
+                            cause: fire,
                         }),
                     );
                 }
@@ -588,12 +711,19 @@ impl LanaiNic {
                     group,
                     epoch,
                     value,
+                    cause,
                 } => {
                     // Span: completion event DMAed up to the host.
                     ctx.span(SpanEvent::Notify {
                         unit: group.0 as u64,
                         cookie: epoch,
                     });
+                    let notify = ctx.packet(
+                        PacketLog::new(cause, CausalKind::Notify)
+                            .at_node(self.node.0 as u32)
+                            .key(group.0 as u64, epoch)
+                            .detail(value, 0),
+                    );
                     ctx.send_at(
                         at + self.params.host_event_dma,
                         self.host,
@@ -601,6 +731,7 @@ impl LanaiNic {
                             group,
                             epoch,
                             value,
+                            cause: notify,
                         },
                     );
                 }
@@ -630,7 +761,8 @@ impl LanaiNic {
                 let rec = &mut self.inflight[d][i];
                 rec.sent_at = t;
                 rec.retries += 1;
-                let pkt = Packet {
+                let (seq, orig_cause) = (rec.seq, rec.cause);
+                let mut pkt = Packet {
                     src: self.node,
                     dst: NodeId(d),
                     kind: PacketKind::Data {
@@ -641,13 +773,20 @@ impl LanaiNic {
                         total_len: rec.total_len,
                         tag: rec.tag,
                     },
+                    cause: CauseId::NONE,
                 };
                 ctx.count_id(counter_id!("gm.retransmit"), 1);
                 // Span: go-back-N re-injection (round = wire sequence).
                 ctx.span(SpanEvent::Retransmit {
                     dst: d as u64,
-                    round: rec.seq as u64,
+                    round: seq as u64,
                 });
+                // Netdump: the detour parents on the original injection.
+                pkt.cause = ctx.packet(
+                    PacketLog::new(orig_cause, CausalKind::Retransmit)
+                        .nodes(self.node.0 as u32, d as u32)
+                        .detail(seq as u64, 0),
+                );
                 ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
             }
         }
@@ -689,6 +828,7 @@ impl Component<GmEvent> for LanaiNic {
                 group,
                 epoch,
                 operand,
+                cause,
             } => {
                 let now = ctx.now();
                 // Doorbell decode: one token for the whole operation, front
@@ -696,7 +836,12 @@ impl Component<GmEvent> for LanaiNic {
                 // the per-message queue costs are charged structurally when
                 // each send takes its round-robin turn.
                 let t = self.cpu(now, self.params.nic_coll_send.scale(0.5));
-                let actions = self.coll.on_doorbell(t, group, epoch, &operand);
+                let dispatch = ctx.packet(
+                    PacketLog::new(cause, CausalKind::NicDispatch)
+                        .at_node(self.node.0 as u32)
+                        .key(group.0 as u64, epoch),
+                );
+                let actions = self.coll.on_doorbell(t, group, epoch, &operand, dispatch);
                 self.run_coll_actions(ctx, t, actions);
             }
             GmEvent::SendWork => {
@@ -710,8 +855,9 @@ impl Component<GmEvent> for LanaiNic {
                 payload,
                 total_len,
                 tag,
+                cause,
             } => {
-                self.on_dma_to_nic_done(ctx, dst, msg_id, offset, payload, total_len, tag);
+                self.on_dma_to_nic_done(ctx, dst, msg_id, offset, payload, total_len, tag, cause);
             }
             GmEvent::DmaToHostDone {
                 src,
@@ -720,9 +866,15 @@ impl Component<GmEvent> for LanaiNic {
                 payload,
                 total_len,
                 offset,
+                cause,
             } => {
                 let now = ctx.now();
-                self.send_ack(ctx, now, src, seq);
+                let dma_done = ctx.packet(
+                    PacketLog::new(cause, CausalKind::DmaDone)
+                        .nodes(src.0 as u32, self.node.0 as u32)
+                        .detail(payload as u64, 0),
+                );
+                self.send_ack(ctx, now, src, seq, dma_done);
                 let done = {
                     let asm = self.assembling[src.0]
                         .front_mut()
@@ -825,6 +977,7 @@ mod tests {
             tag: crate::types::MsgTag(0),
             offset: 0,
             coll: None,
+            cause: CauseId::NONE,
         });
         assert!(n.queue_eligible(1));
         // Exhaust the packet pool: data token blocked…
@@ -844,6 +997,7 @@ mod tests {
                 round: 0,
                 kind: CollKind::Barrier,
             }),
+            cause: CauseId::NONE,
         });
         assert!(n.queue_eligible(2));
     }

@@ -7,7 +7,7 @@
 //! ACKs.
 
 use nicbar_net::NodeId;
-use nicbar_sim::SimTime;
+use nicbar_sim::{CauseId, SimTime};
 
 /// A collective process-group identifier (the unit the collective protocol
 /// dedicates queues/records to).
@@ -44,6 +44,9 @@ pub struct SendToken {
     pub offset: u32,
     /// A collective packet riding the point-to-point queues (ablation).
     pub coll: Option<CollPacket>,
+    /// Causal parent for netdump records emitted when this token launches
+    /// ([`CauseId::NONE`] when the netdump is off).
+    pub cause: CauseId,
 }
 
 /// A posted receive buffer, NIC side.
@@ -73,6 +76,9 @@ pub struct SendRecord {
     pub sent_at: SimTime,
     /// Number of times this record has been retransmitted.
     pub retries: u32,
+    /// Netdump id of the original injection — timer retransmissions parent
+    /// their records here, tying the detour to the packet it repeats.
+    pub cause: CauseId,
 }
 
 /// On-the-wire packet kinds of the point-to-point protocol, plus the
@@ -114,6 +120,10 @@ pub struct Packet {
     pub dst: NodeId,
     /// Kind + kind-specific fields.
     pub kind: PacketKind,
+    /// Causal netdump id of the last record describing this packet — the
+    /// fabric and the receiving NIC parent their records on it, which is
+    /// what stitches per-hop records into one chain.
+    pub cause: CauseId,
 }
 
 /// GM wire header size (bytes) for data packets — route + type + seq etc.
@@ -229,6 +239,7 @@ mod tests {
                 total_len: 100,
                 tag: MsgTag(0),
             },
+            cause: CauseId::NONE,
         };
         assert_eq!(p.wire_bytes(), 116);
     }
@@ -239,6 +250,7 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(1),
             kind: PacketKind::Ack { upto: 7 },
+            cause: CauseId::NONE,
         };
         assert_eq!(p.wire_bytes(), ACK_BYTES);
     }

@@ -45,7 +45,9 @@ impl NicCollective for ScriptedColl {
         group: GroupId,
         epoch: u64,
         _operand: &nicbar_gm::CollOperand,
+        cause: nicbar_sim::CauseId,
     ) -> Vec<CollAction> {
+        let _ = cause;
         assert_eq!(group, G);
         self.epoch = epoch;
         self.armed_deadline = Some(now + SimTime::from_us(10_000.0));
@@ -61,11 +63,17 @@ impl NicCollective for ScriptedColl {
                     kind: CollKind::Barrier,
                 },
                 retx: false,
+                cause: nicbar_sim::CauseId::NONE,
             })
             .collect()
     }
 
-    fn on_packet(&mut self, _now: SimTime, pkt: &CollPacket) -> Vec<CollAction> {
+    fn on_packet(
+        &mut self,
+        _now: SimTime,
+        pkt: &CollPacket,
+        _cause: nicbar_sim::CauseId,
+    ) -> Vec<CollAction> {
         assert_eq!(pkt.group, G);
         self.got += 1;
         if self.got == self.n - 1 {
@@ -74,6 +82,7 @@ impl NicCollective for ScriptedColl {
                 group: G,
                 epoch: self.epoch,
                 value: 7,
+                cause: nicbar_sim::CauseId::NONE,
             }]
         } else {
             Vec::new()

@@ -27,7 +27,9 @@ impl NicCollective for AllToAll {
         _g: GroupId,
         epoch: u64,
         _operand: &nicbar_gm::CollOperand,
+        cause: nicbar_sim::CauseId,
     ) -> Vec<CollAction> {
+        let _ = cause;
         self.epoch = epoch;
         (0..self.n)
             .filter(|&d| d != self.node.0)
@@ -41,16 +43,23 @@ impl NicCollective for AllToAll {
                     kind: CollKind::Barrier,
                 },
                 retx: false,
+                cause: nicbar_sim::CauseId::NONE,
             })
             .collect()
     }
-    fn on_packet(&mut self, _now: SimTime, _pkt: &CollPacket) -> Vec<CollAction> {
+    fn on_packet(
+        &mut self,
+        _now: SimTime,
+        _pkt: &CollPacket,
+        _cause: nicbar_sim::CauseId,
+    ) -> Vec<CollAction> {
         self.got += 1;
         if self.got == self.n - 1 {
             vec![CollAction::HostDone {
                 group: G,
                 epoch: self.epoch,
                 value: 0,
+                cause: nicbar_sim::CauseId::NONE,
             }]
         } else {
             Vec::new()

@@ -1,5 +1,5 @@
-//! PI002 fixture: wildcard arms in SpanEvent/Phase matches would silently
-//! swallow newly added variants in exporters.
+//! PI002 fixture: wildcard arms in SpanEvent/Phase/CausalKind matches
+//! would silently swallow newly added variants in exporters.
 
 pub fn phase_code(e: &SpanEvent) -> u32 {
     match e {
@@ -14,5 +14,13 @@ pub fn guarded(p: &Phase, x: u32) -> u32 {
         Phase::Host => 0,
         _ if x > 0 => 1, //~ PI002
         Phase::Wire => 2,
+    }
+}
+
+pub fn causal_label(k: CausalKind) -> &'static str {
+    match k {
+        CausalKind::Wire => "wire",
+        CausalKind::Nack => "nack",
+        _ => "other", //~ PI002
     }
 }

@@ -33,3 +33,11 @@ pub fn nested(e: &SpanEvent, x: u32) -> u32 {
         SpanEvent::Wire { .. } => 2,
     }
 }
+
+pub fn causal_label(k: CausalKind) -> &'static str {
+    match k {
+        CausalKind::Wire => "wire",
+        CausalKind::Nack => "nack",
+        CausalKind::Retransmit => "retransmit",
+    }
+}

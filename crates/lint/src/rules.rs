@@ -8,7 +8,7 @@
 //!   clocks, entropy-seeded RNGs, hash-order iteration and environment
 //!   reads would all silently break that.
 //! * `PI***` — protocol invariants: checked-width arithmetic in the NIC
-//!   bit-vector bookkeeping, exhaustive `SpanEvent`/`Phase` matches in
+//!   bit-vector bookkeeping, exhaustive `SpanEvent`/`Phase`/`CausalKind` matches in
 //!   exporters, and no panicking calls on the NIC hot path.
 //! * `LY***` — layering: substrate-independent crates must not depend on
 //!   backend crates (checked from the crate graph, not source text).
@@ -52,7 +52,7 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     ),
     (
         "PI002",
-        "wildcard `_ =>` arm in a SpanEvent/Phase match (new variants would be silently swallowed)",
+        "wildcard `_ =>` arm in a SpanEvent/Phase/CausalKind match (new variants would be silently swallowed)",
     ),
     (
         "PI003",
@@ -319,7 +319,7 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
                 );
             }
         }
-        // --- PI002: wildcard arms in SpanEvent/Phase matches ------------
+        // --- PI002: wildcard arms in SpanEvent/Phase/CausalKind matches -
         if scope.exporter && ident == "match" {
             scan_match(&toks, i, path, &mut out);
         }
@@ -329,7 +329,7 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
 }
 
 /// Inspect one `match` whose keyword sits at `kw`: if its arm *patterns*
-/// name `SpanEvent::` or `Phase::` and an arm-level `_ =>` (or
+/// name `SpanEvent::`, `Phase::` or `CausalKind::` and an arm-level `_ =>` (or
 /// `_ if ... =>`) exists, flag it.
 ///
 /// Only pattern positions count: a match over some other type whose arm
@@ -387,7 +387,7 @@ fn scan_match(toks: &[Token], kw: usize, path: &str, out: &mut Vec<Finding>) {
             // Any inner depth: tuple patterns like `(SpanEvent::X, _)`
             // still make this an exporter match.
             Tok::Ident(s)
-                if (s == "SpanEvent" || s == "Phase")
+                if (s == "SpanEvent" || s == "Phase" || s == "CausalKind")
                     && punct_at(toks, i + 1, ':')
                     && in_pattern
                     && brace >= 1 =>
@@ -418,7 +418,8 @@ fn scan_match(toks: &[Token], kw: usize, path: &str, out: &mut Vec<Finding>) {
                 rule: "PI002",
                 path: path.to_string(),
                 line,
-                message: "wildcard `_ =>` arm in a match over SpanEvent/Phase".to_string(),
+                message: "wildcard `_ =>` arm in a match over SpanEvent/Phase/CausalKind"
+                    .to_string(),
             });
         }
     }
@@ -517,6 +518,28 @@ mod tests {
             }
         "#;
         assert!(rules_of(unrelated, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn causal_kind_wildcard_match_flagged() {
+        let flagged = r#"
+            fn f(k: CausalKind) -> &'static str {
+                match k {
+                    CausalKind::Wire => "wire",
+                    _ => "other",
+                }
+            }
+        "#;
+        assert_eq!(rules_of(flagged, scope_all()), vec!["PI002"]);
+        let exhaustive = r#"
+            fn f(k: CausalKind) -> u32 {
+                match k {
+                    CausalKind::Wire => 1,
+                    CausalKind::Nack => 2,
+                }
+            }
+        "#;
+        assert!(rules_of(exhaustive, scope_all()).is_empty());
     }
 
     #[test]

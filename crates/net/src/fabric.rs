@@ -26,6 +26,11 @@ pub struct Delivery {
     pub arrive: SimTime,
     /// The packet was lost in the network.
     pub dropped: bool,
+    /// How long the packet queued behind other arrivals at the destination
+    /// input port (zero when the port was free). This is the link-occupancy
+    /// tag the causal netdump attaches to every wire record, so the
+    /// critical-path analyzer can tell "slow link" apart from "busy port".
+    pub port_wait: SimTime,
 }
 
 /// Aggregate fabric statistics.
@@ -133,6 +138,7 @@ impl FabricCore {
             return Delivery {
                 arrive: SimTime::MAX,
                 dropped: true,
+                port_wait: SimTime::ZERO,
             };
         }
         let hops = self.topology.hops(src, dst);
@@ -152,6 +158,7 @@ impl FabricCore {
         Delivery {
             arrive,
             dropped: false,
+            port_wait: arrive - routed,
         }
     }
 
@@ -228,6 +235,10 @@ mod tests {
         let occupancy = LinkTiming::myrinet2000().occupancy(8) + SimTime::from_ns(200);
         assert_eq!(gap, occupancy);
         assert_eq!(f.stats().contended, 2);
+        // The queuing wait is tagged on the delivery itself.
+        assert_eq!(d1.port_wait, SimTime::ZERO);
+        assert_eq!(d2.port_wait, occupancy);
+        assert_eq!(d3.port_wait, occupancy + occupancy);
     }
 
     #[test]

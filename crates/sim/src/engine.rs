@@ -24,6 +24,7 @@
 //! original `BinaryHeap` scheduler is still available via
 //! [`Engine::with_scheduler`] as a differential-testing baseline.
 
+use crate::causal::{CauseId, NetDump, PacketLog};
 use crate::counters::Counters;
 use crate::queue::{EventQueue, SchedulerKind, SeqCounter};
 use crate::rng::SimRng;
@@ -82,12 +83,16 @@ pub struct Ctx<'a, M> {
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
     recorder: &'a mut FlightRecorder,
+    netdump: &'a mut NetDump,
     counters: &'a mut Counters,
     halt: &'a mut bool,
     /// `trace.is_enabled() || recorder.is_enabled()`, computed once per
     /// delivery so every [`Ctx::span`] call on the disabled path is a single
     /// predictable branch on an already-loaded bool.
     observing: bool,
+    /// `netdump.is_enabled()`, computed once per delivery for the same
+    /// reason: [`Ctx::packet`] on the disabled path is one branch.
+    dumping: bool,
 }
 
 impl<M> Ctx<'_, M> {
@@ -207,6 +212,23 @@ impl<M> Ctx<'_, M> {
         self.recorder.observe(self.now, &event);
     }
 
+    /// Record a wire-visible event into the causal netdump, returning its
+    /// [`CauseId`] so follow-on events can name it as their parent. When the
+    /// netdump is disabled — the common case — this is a single predictable
+    /// branch and returns [`CauseId::NONE`].
+    #[inline]
+    pub fn packet(&mut self, log: PacketLog) -> CauseId {
+        if !self.dumping {
+            return CauseId::NONE;
+        }
+        self.packet_slow(log)
+    }
+
+    #[cold]
+    fn packet_slow(&mut self, log: PacketLog) -> CauseId {
+        self.netdump.record(self.now, self.self_id, log)
+    }
+
     /// Stop the engine after the current handler returns. Pending events are
     /// retained (the engine can be resumed with another `run*` call).
     #[inline]
@@ -237,6 +259,7 @@ pub struct Engine<M: 'static> {
     rng: SimRng,
     trace: Trace,
     recorder: FlightRecorder,
+    netdump: NetDump,
     counters: Counters,
     halted: bool,
     events_processed: u64,
@@ -263,6 +286,7 @@ impl<M: 'static> Engine<M> {
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
             recorder: FlightRecorder::disabled(),
+            netdump: NetDump::disabled(),
             counters: Counters::new(),
             halted: false,
             events_processed: 0,
@@ -392,6 +416,22 @@ impl<M: 'static> Engine<M> {
         &mut self.recorder
     }
 
+    /// The causal netdump.
+    pub fn netdump(&self) -> &NetDump {
+        &self.netdump
+    }
+
+    /// Enable causal packet capture with the default record capacity.
+    pub fn enable_netdump(&mut self) {
+        self.netdump.enable();
+    }
+
+    /// Mutable access to the netdump (clearing between phases, draining
+    /// records after a run).
+    pub fn netdump_mut(&mut self) -> &mut NetDump {
+        &mut self.netdump
+    }
+
     /// The engine RNG (harness use: drawing workload randomness from the
     /// same master seed).
     pub fn rng_mut(&mut self) -> &mut SimRng {
@@ -445,6 +485,7 @@ impl<M: 'static> Engine<M> {
             rng,
             trace,
             recorder,
+            netdump,
             counters,
             halted,
             ..
@@ -453,6 +494,7 @@ impl<M: 'static> Engine<M> {
             .as_deref_mut()
             .unwrap_or_else(|| panic!("event for uninstalled component {}", event.target));
         let observing = trace.is_enabled() || recorder.is_enabled();
+        let dumping = netdump.is_enabled();
         let mut ctx = Ctx {
             now: *now,
             self_id: event.target,
@@ -461,9 +503,11 @@ impl<M: 'static> Engine<M> {
             rng,
             trace,
             recorder,
+            netdump,
             counters,
             halt: halted,
             observing,
+            dumping,
         };
         component.handle(event.msg, &mut ctx);
     }

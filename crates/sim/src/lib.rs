@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod counters;
 pub mod engine;
 pub mod hist;
@@ -70,6 +71,9 @@ pub mod span;
 pub mod time;
 pub mod trace;
 
+pub use causal::{
+    chain_to, find, CausalKind, CauseId, NetDump, PacketLog, PacketRecord, NO_KEY, NO_NODE,
+};
 pub use counters::{intern, CounterId, CounterSnapshot, Counters};
 pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
 pub use hist::{intern_hist, HistId, Histogram, Histograms};

@@ -14,6 +14,7 @@ done
 cargo fmt "${fmt_pkgs[@]}" --check
 
 cargo build --release --workspace
+cargo build --examples --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -32,5 +33,24 @@ if [ -f results/engine_sweep.json ]; then
 else
     echo "check.sh: no results/engine_sweep.json baseline, skipping --quick gate"
 fi
+
+# Causal-observability smoke: why-slow on an 8-node lossy GM sim must
+# produce a non-empty critical path for every barrier, attribute >= 95%
+# of each span's wall time to its edges, and drop zero netdump records
+# (--check exits nonzero otherwise).
+cargo run --release -q -p nicbar-bench --bin why-slow -- \
+    --nodes 8 --drop 0.02 --seed 7 --check > /dev/null
+echo "check.sh: why-slow smoke OK"
+
+# Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps regenerate
+# results/BENCH_fig5.json and results/BENCH_fig7.json (median + p99 per
+# node count, run manifest embedded).
+cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
+cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
+for f in results/BENCH_fig5.json results/BENCH_fig7.json; do
+    [ -s "$f" ] || { echo "check.sh: missing $f" >&2; exit 1; }
+    grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; exit 1; }
+done
+echo "check.sh: BENCH artifacts OK"
 
 echo "check.sh: all green"

@@ -14,11 +14,11 @@ use nicbar::gm::{CollFeatures, GmParams};
 
 /// Byte-exact projection of everything a run observes: trace records in
 /// emission order, span summaries in completion order, histograms,
-/// counters and the final latency statistics.
+/// counters, causal packet records and the final latency statistics.
 fn witness(f: &FlightData) -> String {
     format!(
-        "substrate={}\nrecords={:?}\ntrace_dropped={}\nspans={:?}\nspans_dropped={}\norphaned={}\nhists={:?}\nstats={:?}\n",
-        f.substrate, f.records, f.trace_dropped, f.spans, f.spans_dropped, f.orphaned, f.hists, f.stats
+        "substrate={}\nrecords={:?}\ntrace_dropped={}\nspans={:?}\nspans_dropped={}\norphaned={}\nhists={:?}\nstats={:?}\npackets={:?}\npackets_dropped={}\n",
+        f.substrate, f.records, f.trace_dropped, f.spans, f.spans_dropped, f.orphaned, f.hists, f.stats, f.packets, f.packets_dropped
     )
 }
 
@@ -91,5 +91,38 @@ fn elan_8_node_run_is_bit_deterministic() {
             .zip(b.bytes())
             .position(|(x, y)| x != y)
             .unwrap_or_else(|| a.len().min(b.len()))
+    );
+}
+
+/// The `why-slow` report and the JSONL netdump are derived artifacts of
+/// the same run; both must be byte-identical across same-seed runs, or
+/// the analyzer itself has nondeterminism (map iteration, float
+/// formatting drift, unordered slack).
+#[test]
+fn why_slow_report_is_byte_identical_across_same_seed_runs() {
+    use nicbar_bench::{critpath, netdump};
+
+    let report = || {
+        let cap = gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            8,
+            Algorithm::Dissemination,
+            lossy_cfg(0xD0_0DAD),
+        );
+        let paths = critpath::analyze(&cap.packets);
+        (critpath::render(&paths), netdump::jsonl(&cap.packets))
+    };
+    let (text_a, jsonl_a) = report();
+    let (text_b, jsonl_b) = report();
+    assert!(text_a == text_b, "why-slow report diverged across same-seed runs");
+    assert!(jsonl_a == jsonl_b, "JSONL netdump diverged across same-seed runs");
+    assert!(
+        text_a.contains("critical path"),
+        "report is non-empty: {text_a}"
+    );
+    assert!(
+        text_a.contains("[detour]"),
+        "lossy run surfaces a NACK/retransmit detour:\n{text_a}"
     );
 }
