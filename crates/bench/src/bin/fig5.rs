@@ -5,32 +5,23 @@
 //! the host-based barrier; PE bumps above DS at non-powers of two.
 //!
 //! Writes `results/fig5.json` (the figure, mean latency per node count)
-//! and `results/BENCH_fig5.json` (the perf trajectory: median + p99 per
-//! node count with the run manifest embedded). `--quick` shrinks the
-//! sweep for CI smoke runs; `--flight` adds a phase-breakdown capture.
+//! and `BENCH_fig5.json` at the repo root (the perf trajectory: median +
+//! p99 per node count with the run manifest embedded). `--quick` shrinks
+//! the sweep for CI smoke runs; `--flight` adds a phase-breakdown capture.
 
-use nicbar_bench::{figure_cfg, parallel_sweep_map, trajectory, Figure, Manifest, Series};
+use nicbar_bench::{fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series};
 use nicbar_core::{
     gm_host_barrier, gm_nic_barrier, gm_nic_barrier_flight, Algorithm, BarrierStats, RunCfg,
 };
 use nicbar_gm::{CollFeatures, GmParams};
 
 fn main() {
-    let flight = std::env::args().any(|a| a == "--flight");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = fig_args();
+    let (quick, flight, cfg) = (args.quick, args.flight, args.cfg);
     let ns: Vec<usize> = if quick {
         vec![2, 4, 8, 16]
     } else {
         (2..=16).collect()
-    };
-    let cfg = if quick {
-        RunCfg {
-            warmup: 10,
-            iters: 100,
-            ..RunCfg::default()
-        }
-    } else {
-        figure_cfg()
     };
 
     let curve = |mode: &'static str, algo: Algorithm| -> Vec<(usize, BarrierStats)> {
@@ -95,7 +86,7 @@ fn main() {
             )
         })
         .collect();
-    trajectory::save("fig5", &traj, &manifest).expect("write results/BENCH_fig5.json");
+    trajectory::save("fig5", &traj, &manifest).expect("write BENCH_fig5.json");
 
     let top = *ns.last().expect("non-empty sweep");
     let nic16 = fig.series[0].at(top).expect("NIC point at top n");

@@ -7,12 +7,12 @@
 //! tree barrier; the hardware barrier sits flat near 4.2 µs and loses to
 //! the NIC barrier at small node counts.
 //!
-//! Writes `results/fig7.json` (the figure) and `results/BENCH_fig7.json`
-//! (the perf trajectory: median + p99 per node count with the run
-//! manifest embedded). `--quick` shrinks the sweep for CI smoke runs;
+//! Writes `results/fig7.json` (the figure) and `BENCH_fig7.json` at the
+//! repo root (the perf trajectory: median + p99 per node count with the
+//! run manifest embedded). `--quick` shrinks the sweep for CI smoke runs;
 //! `--flight` adds a phase-breakdown capture.
 
-use nicbar_bench::{figure_cfg, parallel_sweep_map, trajectory, Figure, Manifest, Series};
+use nicbar_bench::{fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series};
 use nicbar_core::{
     elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_nic_barrier_flight, Algorithm,
     BarrierStats, RunCfg,
@@ -24,21 +24,12 @@ use nicbar_elan::ElanParams;
 const GSYNC_DEGREE: usize = 4;
 
 fn main() {
-    let flight = std::env::args().any(|a| a == "--flight");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = fig_args();
+    let (quick, flight, cfg) = (args.quick, args.flight, args.cfg);
     let ns: Vec<usize> = if quick {
         vec![2, 4, 8]
     } else {
         (2..=8).collect()
-    };
-    let cfg = if quick {
-        RunCfg {
-            warmup: 10,
-            iters: 100,
-            ..RunCfg::default()
-        }
-    } else {
-        figure_cfg()
     };
 
     let nic = |algo: Algorithm| -> Vec<(usize, BarrierStats)> {
@@ -101,7 +92,7 @@ fn main() {
             )
         })
         .collect();
-    trajectory::save("fig7", &traj, &manifest).expect("write results/BENCH_fig7.json");
+    trajectory::save("fig7", &traj, &manifest).expect("write BENCH_fig7.json");
 
     let nic8 = fig.series[0].at(8).expect("NIC point at 8");
     let tree8 = fig.series[2].at(8).expect("tree point at 8");

@@ -1,0 +1,257 @@
+//! Beyond the paper: scalability of the NIC-based barrier to 4096 nodes.
+//!
+//! Sweeps N ∈ {16, 64, 256, 1024, 4096} for NIC-DS and NIC-PE on both
+//! substrates (Myrinet LANai-XP, Quadrics Elan3), with per-point engine
+//! throughput (events per wall-clock second) and process peak RSS — the
+//! evidence that the protocol's steady state is allocation-free and the
+//! simulator's memory stays flat enough to host a 4096-node cluster.
+//!
+//! The dissemination sweep is checked against the paper's analytical form
+//! `T = A + (⌈log₂N⌉−1)·T_trig` (EXPERIMENTS.md refit): the binary exits
+//! nonzero unless each substrate's DS curve fits the staircase at every
+//! measured N. Writes `BENCH_scale.json` at the repo root. `--quick` caps
+//! the sweep at 256 nodes for CI smoke runs.
+
+use nicbar_bench::{fig_args, json::Writer, trajectory, Manifest};
+use nicbar_core::{
+    build_elan_nic_cluster, build_gm_nic_cluster, elan_nic_stats, gm_nic_stats, Algorithm,
+    BarrierStats, RunCfg,
+};
+use nicbar_elan::ElanParams;
+use nicbar_gm::{CollFeatures, GmParams};
+use nicbar_model::fit;
+use nicbar_sim::RunOutcome;
+use std::time::Instant;
+
+/// One sweep point's full measurement.
+struct ScalePoint {
+    n: usize,
+    stats: BarrierStats,
+    /// Engine events processed during the run (not the build).
+    events: u64,
+    /// Wall-clock seconds spent draining the engine.
+    run_s: f64,
+    /// Process peak RSS (VmHWM) after the point, KiB. Monotone across the
+    /// sweep — the high-water mark, not a per-point footprint.
+    peak_rss_kb: u64,
+}
+
+/// `VmHWM` from `/proc/self/status`, KiB (0 where unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Iteration counts per node count: large clusters cost ~N·log₂N events
+/// per epoch, so scale the epoch count down to keep the whole sweep under
+/// a minute while leaving enough steady-state epochs to time.
+fn cfg_for(n: usize, quick: bool) -> RunCfg {
+    let iters = match n {
+        0..=64 => 400,
+        65..=256 => 100,
+        257..=1024 => 40,
+        _ => 12,
+    };
+    let iters = if quick { iters.min(50) } else { iters };
+    RunCfg {
+        warmup: 10,
+        iters,
+        ..RunCfg::default()
+    }
+}
+
+fn sweep(substrate: &str, algo: Algorithm, ns: &[usize], quick: bool) -> Vec<ScalePoint> {
+    ns.iter()
+        .map(|&n| {
+            let cfg = cfg_for(n, quick);
+            let (events, run_s, stats) = match substrate {
+                "gm" => {
+                    let mut cluster = build_gm_nic_cluster(
+                        GmParams::lanai_xp(),
+                        CollFeatures::paper(),
+                        n,
+                        algo,
+                        &cfg,
+                        false,
+                    );
+                    let t = Instant::now();
+                    let outcome = cluster.run_until(cfg.deadline());
+                    let run_s = t.elapsed().as_secs_f64();
+                    assert_eq!(outcome, RunOutcome::Idle, "gm n={n} did not drain");
+                    (
+                        cluster.engine.events_processed(),
+                        run_s,
+                        gm_nic_stats(&cluster, n, &cfg),
+                    )
+                }
+                _ => {
+                    let mut cluster =
+                        build_elan_nic_cluster(ElanParams::elan3(), n, algo, &cfg, false);
+                    let t = Instant::now();
+                    let outcome = cluster.run_until(cfg.deadline());
+                    let run_s = t.elapsed().as_secs_f64();
+                    assert_eq!(outcome, RunOutcome::Idle, "elan n={n} did not drain");
+                    (
+                        cluster.engine.events_processed(),
+                        run_s,
+                        elan_nic_stats(&cluster, n, &cfg),
+                    )
+                }
+            };
+            ScalePoint {
+                n,
+                stats,
+                events,
+                run_s,
+                peak_rss_kb: peak_rss_kb(),
+            }
+        })
+        .collect()
+}
+
+/// Assert the dissemination curve is the model's ⌈log₂N⌉ staircase: a
+/// least-squares fit of `T = A + (⌈log₂N⌉−1)·T_trig` must explain the
+/// sweep (R² ≥ 0.97) with every measured point within 15% of the line.
+fn check_staircase(label: &str, points: &[ScalePoint]) {
+    let sweep: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.stats.mean_us)).collect();
+    let (model, quality) = fit(&sweep);
+    println!(
+        "{label}: T = {:.2} + (ceil(log2 N)-1) * {:.2}   (RMSE {:.2} µs, R² {:.4})",
+        model.t_init, model.t_trig, quality.rmse_us, quality.r_squared
+    );
+    assert!(
+        quality.r_squared >= 0.97,
+        "{label}: DS sweep is not a log2 staircase (R² {:.4})",
+        quality.r_squared
+    );
+    for &(n, measured) in &sweep {
+        let predicted = model.predict(n);
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel <= 0.15,
+            "{label}: n={n} off the staircase: measured {measured:.2} µs vs model {predicted:.2} µs ({:.1}%)",
+            rel * 100.0
+        );
+    }
+}
+
+fn print_table(label: &str, points: &[ScalePoint]) {
+    println!("\n== {label} ==");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>9} {:>12}",
+        "nodes", "mean µs", "events", "Mev/s", "wall s", "peak RSS MB"
+    );
+    for p in points {
+        println!(
+            "{:>6} {:>10.2} {:>12} {:>10.2} {:>9.2} {:>12.1}",
+            p.n,
+            p.stats.mean_us,
+            p.events,
+            p.events as f64 / p.run_s / 1e6,
+            p.run_s,
+            p.peak_rss_kb as f64 / 1024.0
+        );
+    }
+}
+
+fn main() {
+    let args = fig_args();
+    let ns: Vec<usize> = if args.quick {
+        vec![16, 64, 256]
+    } else {
+        vec![16, 64, 256, 1024, 4096]
+    };
+
+    let t_all = Instant::now();
+    let sweeps: Vec<(&str, Vec<ScalePoint>)> = vec![
+        (
+            "gm NIC-DS",
+            sweep("gm", Algorithm::Dissemination, &ns, args.quick),
+        ),
+        (
+            "gm NIC-PE",
+            sweep("gm", Algorithm::PairwiseExchange, &ns, args.quick),
+        ),
+        (
+            "elan NIC-DS",
+            sweep("elan", Algorithm::Dissemination, &ns, args.quick),
+        ),
+        (
+            "elan NIC-PE",
+            sweep("elan", Algorithm::PairwiseExchange, &ns, args.quick),
+        ),
+    ];
+
+    for (label, points) in &sweeps {
+        print_table(label, points);
+    }
+    println!(
+        "\ntotal sweep wall clock: {:.1} s",
+        t_all.elapsed().as_secs_f64()
+    );
+
+    println!();
+    check_staircase("gm NIC-DS", &sweeps[0].1);
+    check_staircase("elan NIC-DS", &sweeps[2].1);
+    println!("staircase check: both DS curves fit the ceil(log2 N) model ✓");
+
+    let manifest = Manifest::new(
+        RunCfg::default().seed,
+        format!(
+            "gm lanai-xp + elan3, DS + PE, n={:?}, warmup=10, iters scaled by n, quick={}",
+            ns, args.quick
+        ),
+    );
+
+    // BENCH_scale.json: the trajectory schema (median/p99 per point) plus a
+    // throughput section with events/sec and peak RSS per point.
+    let mut w = Writer::new();
+    w.open_object();
+    w.field("bench");
+    w.string("scale");
+    manifest.emit(&mut w);
+    w.field("series");
+    w.open_array();
+    for (label, points) in &sweeps {
+        w.open_object();
+        w.field("label");
+        w.string(label);
+        w.field("points");
+        w.open_array();
+        for p in points {
+            let tp = trajectory::point(p.n, &p.stats);
+            w.open_object();
+            w.field("n");
+            w.uint(p.n as u64);
+            w.field("mean_us");
+            w.number(tp.mean_us);
+            w.field("median_us");
+            w.number(tp.median_us);
+            w.field("p99_us");
+            w.number(tp.p99_us);
+            w.field("iters");
+            w.uint(tp.iters as u64);
+            w.field("events");
+            w.uint(p.events);
+            w.field("events_per_sec");
+            w.number(p.events as f64 / p.run_s);
+            w.field("wall_s");
+            w.number(p.run_s);
+            w.field("peak_rss_kb");
+            w.uint(p.peak_rss_kb);
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+    std::fs::write("BENCH_scale.json", w.finish()).expect("write BENCH_scale.json");
+    println!("[saved BENCH_scale.json]");
+}

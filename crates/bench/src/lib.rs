@@ -223,6 +223,34 @@ pub fn criterion_cfg() -> nicbar_core::RunCfg {
     }
 }
 
+/// CI-smoke iteration counts used by the figure binaries under `--quick`.
+pub fn quick_cfg() -> nicbar_core::RunCfg {
+    nicbar_core::RunCfg {
+        warmup: 10,
+        iters: 100,
+        ..nicbar_core::RunCfg::default()
+    }
+}
+
+/// The command-line options every figure binary understands, parsed once.
+#[derive(Clone, Copy, Debug)]
+pub struct FigArgs {
+    /// `--quick`: CI smoke mode — shrink the sweep and iteration counts.
+    pub quick: bool,
+    /// `--flight`: opt into a flight-recorded capture after the sweep.
+    pub flight: bool,
+    /// [`quick_cfg`] under `--quick`, [`figure_cfg`] otherwise.
+    pub cfg: nicbar_core::RunCfg,
+}
+
+/// Parse the figure binaries' shared flags from `std::env::args`.
+pub fn fig_args() -> FigArgs {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let flight = std::env::args().any(|a| a == "--flight");
+    let cfg = if quick { quick_cfg() } else { figure_cfg() };
+    FigArgs { quick, flight, cfg }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,16 @@
-//! Perf-trajectory artifacts (`results/BENCH_*.json`).
+//! Perf-trajectory artifacts (`BENCH_*.json`, at the repository root).
 //!
 //! A trajectory is the distribution-aware companion of a figure: per node
 //! count it records the median and p99 barrier latency (from the full
 //! per-iteration sample vector, not just the mean), with the run manifest
 //! embedded so the artifact states which seed, config, and git revision
 //! produced it. The `BENCH_` prefix marks the files the CI gate tracks
-//! across commits.
+//! across commits; they live at the repo root (not under `results/`) so
+//! the perf trajectory is visible at the top level of every checkout.
 
 use crate::json::{Manifest, Writer};
 use nicbar_core::BarrierStats;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// One node count's latency summary.
 #[derive(Clone, Debug)]
@@ -88,15 +89,14 @@ pub fn to_json(
     w.finish()
 }
 
-/// Write `results/BENCH_<bench>.json` and return its path.
+/// Write `BENCH_<bench>.json` at the repository root (the working
+/// directory of a `cargo run` invocation) and return its path.
 pub fn save(
     bench: &str,
     series: &[(&str, Vec<TrajectoryPoint>)],
     manifest: &Manifest,
 ) -> std::io::Result<PathBuf> {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("BENCH_{bench}.json"));
+    let path = PathBuf::from(format!("BENCH_{bench}.json"));
     std::fs::write(&path, to_json(bench, series, manifest))?;
     println!("[saved {}]", path.display());
     Ok(path)

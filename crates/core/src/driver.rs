@@ -62,8 +62,11 @@ impl RunCfg {
         self.warmup + self.iters
     }
 
-    fn deadline(&self) -> SimTime {
-        // Generous: no realistic barrier exceeds 10 ms even under loss.
+    /// Simulated-time budget for a run: generous (no realistic barrier
+    /// exceeds 10 ms even under loss), so hitting it means a hang. Public
+    /// for callers that drive a cluster built with
+    /// [`build_gm_nic_cluster`] / [`build_elan_nic_cluster`] themselves.
+    pub fn deadline(&self) -> SimTime {
         SimTime::from_us(self.total() as f64 * 10_000.0 + 1_000_000.0)
     }
 
@@ -233,9 +236,13 @@ fn capture_observability<M>(
     }
 }
 
-/// Build and drain a GM NIC-barrier cluster; `observe` turns on the trace
-/// ring and the flight recorder before any event runs.
-fn gm_nic_cluster(
+/// Build a GM NIC-barrier cluster without running it; `observe` turns on
+/// the trace ring and the flight recorder before any event runs. Callers
+/// that need to separate construction cost from execution cost (allocation
+/// accounting, throughput measurement) drive
+/// `cluster.run_until(cfg.deadline())` themselves and harvest results with
+/// [`gm_nic_stats`].
+pub fn build_gm_nic_cluster(
     params: GmParams,
     features: CollFeatures,
     n: usize,
@@ -283,13 +290,27 @@ fn gm_nic_cluster(
             .recorder_mut()
             .set_participants(u32::try_from(n).expect("participant count exceeds u32"));
     }
+    cluster
+}
+
+/// Build and drain a GM NIC-barrier cluster.
+fn gm_nic_cluster(
+    params: GmParams,
+    features: CollFeatures,
+    n: usize,
+    algo: Algorithm,
+    cfg: &RunCfg,
+    observe: bool,
+) -> GmCluster {
+    let mut cluster = build_gm_nic_cluster(params, features, n, algo, cfg, observe);
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "NIC barrier run did not drain");
     cluster
 }
 
-/// Harvest counters and completion logs into [`BarrierStats`].
-fn gm_nic_stats(cluster: &GmCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
+/// Harvest counters and completion logs of a drained GM NIC-barrier
+/// cluster into [`BarrierStats`].
+pub fn gm_nic_stats(cluster: &GmCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
     let counters: Vec<(String, u64)> = cluster
         .engine
         .counters()
@@ -375,9 +396,11 @@ pub fn gm_host_barrier(params: GmParams, n: usize, algo: Algorithm, cfg: RunCfg)
     stats_from_logs(n, &cfg, logs, counters)
 }
 
-/// Build and drain a Quadrics NIC-barrier cluster (chained RDMA);
-/// `observe` turns on the trace ring and flight recorder up front.
-fn elan_nic_cluster(
+/// Build a Quadrics NIC-barrier cluster (chained RDMA) without running it;
+/// `observe` turns on the trace ring and flight recorder up front. See
+/// [`build_gm_nic_cluster`] for when to use the split form; harvest with
+/// [`elan_nic_stats`] after draining.
+pub fn build_elan_nic_cluster(
     params: ElanParams,
     n: usize,
     algo: Algorithm,
@@ -406,13 +429,26 @@ fn elan_nic_cluster(
             .recorder_mut()
             .set_participants(u32::try_from(n).expect("participant count exceeds u32"));
     }
+    cluster
+}
+
+/// Build and drain a Quadrics NIC-barrier cluster.
+fn elan_nic_cluster(
+    params: ElanParams,
+    n: usize,
+    algo: Algorithm,
+    cfg: &RunCfg,
+    observe: bool,
+) -> ElanCluster {
+    let mut cluster = build_elan_nic_cluster(params, n, algo, cfg, observe);
     let outcome = cluster.run_until(cfg.deadline());
     assert_eq!(outcome, RunOutcome::Idle, "elan NIC barrier did not drain");
     cluster
 }
 
-/// Harvest counters and completion logs into [`BarrierStats`].
-fn elan_nic_stats(cluster: &ElanCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
+/// Harvest counters and completion logs of a drained Quadrics NIC-barrier
+/// cluster into [`BarrierStats`].
+pub fn elan_nic_stats(cluster: &ElanCluster, n: usize, cfg: &RunCfg) -> BarrierStats {
     let counters: Vec<(String, u64)> = cluster
         .engine
         .counters()

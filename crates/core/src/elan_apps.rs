@@ -27,7 +27,7 @@ impl ElanNicBarrierApp {
             iters,
             skew_us,
             done: 0,
-            log: BarrierLog::default(),
+            log: BarrierLog::with_capacity(iters),
         }
     }
 }
@@ -79,7 +79,7 @@ impl ElanGsyncApp {
             iters,
             skew_us,
             pending_enter: false,
-            log: BarrierLog::default(),
+            log: BarrierLog::with_capacity(iters),
         }
     }
 
@@ -149,7 +149,7 @@ impl ElanHwBarrierApp {
             iters,
             skew_us,
             done: 0,
-            log: BarrierLog::default(),
+            log: BarrierLog::with_capacity(iters),
         }
     }
 }

@@ -152,6 +152,18 @@ pub struct BarrierLog {
     pub completions: Vec<SimTime>,
 }
 
+impl BarrierLog {
+    /// A log with room for `iters` completions, so steady-state pushes
+    /// never reallocate (the zero-allocation gate measures the run).
+    pub fn with_capacity(iters: u64) -> Self {
+        BarrierLog {
+            completions: Vec::with_capacity(
+                usize::try_from(iters).expect("iteration count exceeds usize"),
+            ),
+        }
+    }
+}
+
 /// The host-based barrier benchmark application (`Host-DS` / `Host-PE`).
 pub struct HostBarrierApp {
     runner: HostScheduleRunner,
@@ -181,7 +193,7 @@ impl HostBarrierApp {
             members,
             iters,
             skew_us,
-            log: BarrierLog::default(),
+            log: BarrierLog::with_capacity(iters),
             pending_enter: false,
         }
     }
@@ -254,7 +266,7 @@ impl NicBarrierApp {
             group,
             iters,
             skew_us,
-            log: BarrierLog::default(),
+            log: BarrierLog::with_capacity(iters),
             done: 0,
         }
     }

@@ -30,10 +30,20 @@
 //! opens that epoch. A simple induction (completion of epoch `e` requires
 //! every rank's entry into `e`) bounds arrivals to `host_epoch + 1`, so the
 //! banking window is at most one epoch deep — asserted in debug builds.
+//!
+//! ## Allocation-free steady state
+//!
+//! The one-epoch banking bound means at most two epochs' arrivals coexist,
+//! so banking needs no map: a fixed array of `2 × num_rounds` slots indexed
+//! by `(epoch parity, round)` holds every arrival, with each slot's payload
+//! vector sized once at construction. The per-epoch `sent_payloads` vector
+//! rotates through a two-deep recycle (live → archive → spare → live), so a
+//! barrier in steady state touches the heap zero times per operation — the
+//! root `alloc_steady` test counts.
 
 use crate::schedule::{Algorithm, Schedule};
 use nicbar_gm::{
-    AllToAllItem, CollAction, CollKind, CollOperand, CollPacket, GroupId, NicCollective,
+    ActionBuf, AllToAllItem, CollAction, CollKind, CollOperand, CollPacket, GroupId, NicCollective,
 };
 use nicbar_net::NodeId;
 use nicbar_sim::{CauseId, SimTime};
@@ -148,9 +158,16 @@ impl GroupSpec {
     }
 }
 
-/// Per-(epoch, round) arrival bookkeeping: the paper's bit vector.
+/// Per-(epoch parity, round) arrival bookkeeping: the paper's bit vector.
+///
+/// Because banking is at most one epoch deep (module docs), two epochs'
+/// arrivals never share a parity, so a fixed `2 × num_rounds` array of these
+/// slots replaces a keyed map. `epoch` tags which epoch currently owns the
+/// slot; a slot is recycled in place (mask cleared, payloads zeroed) when an
+/// arrival two epochs later claims it.
 #[derive(Clone, Debug, Default)]
-struct RoundArrivals {
+struct RoundSlot {
+    epoch: u64,
     mask: u64,
     payloads: Vec<Option<CollKind>>,
 }
@@ -189,10 +206,20 @@ struct GroupState {
     /// Epochs fully completed.
     completed: u64,
     live: Option<LiveEpoch>,
-    /// Arrivals banked per (epoch, round).
-    banked: BTreeMap<(u64, usize), RoundArrivals>,
-    /// Sent payloads of recently completed epochs, for late NACKs.
-    archive: BTreeMap<u64, Vec<Option<CollKind>>>,
+    /// Arrival slots indexed `(epoch & 1) * num_rounds + round`; payload
+    /// vectors sized once at construction, reused forever.
+    slots: Vec<RoundSlot>,
+    /// Epoch whose sent payloads `archive` holds, for late NACKs. Exactly
+    /// one epoch deep: a NACK for anything older can only come from a
+    /// requester that has itself already completed that epoch (it reached
+    /// the current one), so its retransmission would be filtered as a stale
+    /// duplicate anyway.
+    archive_epoch: Option<u64>,
+    /// Sent payloads of the most recently completed epoch.
+    archive: Vec<Option<CollKind>>,
+    /// Recycled `sent_payloads` storage for the next doorbell (the vector
+    /// the previous completion displaced from `archive`).
+    spare_payloads: Vec<Option<CollKind>>,
     nacks_sent: u64,
     retransmits: u64,
     /// Completed alltoall rows per epoch (test observability).
@@ -208,14 +235,23 @@ impl GroupState {
                 "round {r} expects more than 64 messages; widen the bit vector"
             );
         }
+        let slots = (0..2 * schedule.num_rounds())
+            .map(|i| RoundSlot {
+                epoch: 0,
+                mask: 0,
+                payloads: vec![None; schedule.rounds[i % schedule.num_rounds()].recv_from.len()],
+            })
+            .collect();
         GroupState {
             spec,
             schedule,
             host_epoch: 0,
             completed: 0,
             live: None,
-            banked: BTreeMap::new(),
-            archive: BTreeMap::new(),
+            slots,
+            archive_epoch: None,
+            archive: Vec::new(),
+            spare_payloads: Vec::new(),
             nacks_sent: 0,
             retransmits: 0,
             rows_history: Vec::new(),
@@ -230,6 +266,10 @@ impl GroupState {
         self.spec.members.iter().position(|&m| m == node)
     }
 
+    fn slot_index(&self, epoch: u64, round: usize) -> usize {
+        (epoch & 1) as usize * self.schedule.num_rounds() + round
+    }
+
     fn round_satisfied(&self, epoch: u64, round: usize) -> bool {
         let expected = self.schedule.rounds[round].recv_from.len();
         if expected == 0 {
@@ -240,21 +280,28 @@ impl GroupState {
         } else {
             (1u64 << expected) - 1
         };
-        self.banked
-            .get(&(epoch, round))
-            .map(|b| b.mask & full == full)
-            .unwrap_or(false)
+        let slot = &self.slots[self.slot_index(epoch, round)];
+        slot.epoch == epoch && slot.mask & full == full
     }
 
     /// Fold the consumed round's payloads into the accumulator state.
     fn consume_round(&mut self, epoch: u64, round: usize) {
-        let Some(arrivals) = self.banked.remove(&(epoch, round)) else {
-            debug_assert!(self.schedule.rounds[round].recv_from.is_empty());
+        if self.schedule.rounds[round].recv_from.is_empty() {
             return;
-        };
-        let live = self.live.as_mut().expect("consume without live epoch");
-        for payload in arrivals.payloads.into_iter().flatten() {
-            match (&self.spec.op, payload) {
+        }
+        let idx = self.slot_index(epoch, round);
+        let GroupState {
+            spec, live, slots, ..
+        } = self;
+        let slot = &mut slots[idx];
+        debug_assert_eq!(
+            slot.epoch, epoch,
+            "consuming a round the slot does not hold"
+        );
+        slot.mask = 0;
+        let live = live.as_mut().expect("consume without live epoch");
+        for payload in slot.payloads.iter_mut().filter_map(Option::take) {
+            match (&spec.op, payload) {
                 (GroupOp::Barrier, CollKind::Barrier) => {}
                 (GroupOp::Broadcast { .. }, CollKind::Bcast { value }) => {
                     live.acc = value;
@@ -271,7 +318,7 @@ impl GroupState {
                 }
                 (GroupOp::Alltoall, CollKind::AllToAll { items }) => {
                     for item in items {
-                        if item.dst as usize == self.spec.my_rank {
+                        if item.dst as usize == spec.my_rank {
                             live.row[item.origin as usize] = Some(item.value);
                         } else {
                             live.held.push(item);
@@ -354,7 +401,7 @@ impl GroupState {
 
     /// Drive the round frontier as far as arrivals allow; emit sends and,
     /// on completion, the host notification.
-    fn try_progress(&mut self, now: SimTime, my_node: NodeId, actions: &mut Vec<CollAction>) {
+    fn try_progress(&mut self, now: SimTime, my_node: NodeId, actions: &mut ActionBuf) {
         loop {
             let Some(live) = self.live.as_ref() else {
                 return;
@@ -383,10 +430,15 @@ impl GroupState {
                     self.rows_history.push(row);
                 }
                 let live = self.live.take().expect("checked above");
-                self.archive.insert(epoch, live.sent_payloads);
-                // Keep only the most recent completed epoch's payloads; a
-                // NACK can lag at most one epoch behind (see module docs).
-                self.archive.retain(|&e, _| e + 1 >= epoch);
+                // Rotate the payload storage: the just-sent vector becomes
+                // the archive (serving late NACKs for this epoch), and the
+                // vector it displaces is cleared and kept as the spare the
+                // next doorbell will reuse. Steady state: two vectors, zero
+                // allocations.
+                let mut retired = std::mem::replace(&mut self.archive, live.sent_payloads);
+                self.archive_epoch = Some(epoch);
+                retired.clear();
+                self.spare_payloads = retired;
                 self.completed = epoch + 1;
                 actions.push(CollAction::HostDone {
                     group: self.spec.id,
@@ -439,14 +491,26 @@ impl GroupState {
                     sender_rank, self.spec.id
                 )
             });
-        let expected = self.schedule.rounds[round].recv_from.len();
-        let entry = self
-            .banked
-            .entry((pkt.epoch, round))
-            .or_insert_with(|| RoundArrivals {
-                mask: 0,
-                payloads: vec![None; expected],
-            });
+        let idx = self.slot_index(pkt.epoch, round);
+        let entry = &mut self.slots[idx];
+        if entry.epoch != pkt.epoch {
+            // Recycle the slot in place. Safe because banking is one epoch
+            // deep: before any epoch-e arrival lands, epoch e−2 (the slot's
+            // previous same-parity owner) has completed locally, so its
+            // arrivals were consumed; any residue here is duplicate
+            // retransmissions of a finished epoch.
+            debug_assert!(
+                entry.mask == 0 || entry.epoch + 2 <= pkt.epoch,
+                "parity slot collision: epoch {} arrivals over unconsumed epoch {}",
+                pkt.epoch,
+                entry.epoch
+            );
+            entry.epoch = pkt.epoch;
+            entry.mask = 0;
+            for p in entry.payloads.iter_mut() {
+                *p = None;
+            }
+        }
         if entry.mask & (1u64 << slot) != 0 {
             return; // duplicate retransmission
         }
@@ -506,7 +570,7 @@ impl PaperCollective {
         &self.groups[&id].rows_history
     }
 
-    fn handle_nack(&mut self, pkt: &CollPacket, cause: CauseId, actions: &mut Vec<CollAction>) {
+    fn handle_nack(&mut self, pkt: &CollPacket, cause: CauseId, actions: &mut ActionBuf) {
         let my_node = self.node;
         let state = self.group_mut(pkt.group);
         let round = pkt.round as usize;
@@ -519,6 +583,11 @@ impl PaperCollective {
             "NACK from a non-target of round {round}"
         );
         // Locate the payload we sent (or would send) for (epoch, round).
+        let archived = |state: &GroupState| -> Option<CollKind> {
+            (state.archive_epoch == Some(pkt.epoch))
+                .then(|| state.archive[round].clone())
+                .flatten()
+        };
         let payload: Option<CollKind> = if let Some(live) = state.live.as_ref() {
             if live.epoch == pkt.epoch {
                 if round < live.next_send_round {
@@ -527,10 +596,10 @@ impl PaperCollective {
                     None // not sent yet; the normal path will deliver it
                 }
             } else {
-                state.archive.get(&pkt.epoch).and_then(|v| v[round].clone())
+                archived(state)
             }
         } else {
-            state.archive.get(&pkt.epoch).and_then(|v| v[round].clone())
+            archived(state)
         };
         if let Some(kind) = payload {
             state.retransmits += 1;
@@ -558,7 +627,8 @@ impl NicCollective for PaperCollective {
         epoch: u64,
         operand: &CollOperand,
         cause: CauseId,
-    ) -> Vec<CollAction> {
+        actions: &mut ActionBuf,
+    ) {
         let my_node = self.node;
         let state = self.group_mut(group);
         assert_eq!(
@@ -621,6 +691,11 @@ impl NicCollective for PaperCollective {
             }
         };
         let rounds = state.schedule.num_rounds();
+        // Reuse the vector retired by the completion before last; only the
+        // first two doorbells ever allocate it.
+        let mut sent_payloads = std::mem::take(&mut state.spare_payloads);
+        sent_payloads.clear();
+        sent_payloads.resize(rounds, None);
         state.live = Some(LiveEpoch {
             epoch,
             next_send_round: 0,
@@ -629,22 +704,25 @@ impl NicCollective for PaperCollective {
             held,
             row,
             last_progress: now,
-            sent_payloads: vec![None; rounds],
+            sent_payloads,
             cause,
         });
-        let mut actions = Vec::new();
-        state.try_progress(now, my_node, &mut actions);
-        actions
+        state.try_progress(now, my_node, actions);
     }
 
-    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket, cause: CauseId) -> Vec<CollAction> {
-        let mut actions = Vec::new();
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &CollPacket,
+        cause: CauseId,
+        actions: &mut ActionBuf,
+    ) {
         if matches!(pkt.kind, CollKind::Nack) {
-            self.handle_nack(pkt, cause, &mut actions);
-            return actions;
+            self.handle_nack(pkt, cause, actions);
+            return;
         }
         if matches!(pkt.kind, CollKind::Ack) {
-            return actions; // NIC-level ablation traffic; no protocol state
+            return; // NIC-level ablation traffic; no protocol state
         }
         let my_node = self.node;
         let state = self.group_mut(pkt.group);
@@ -658,7 +736,7 @@ impl NicCollective for PaperCollective {
             state.host_epoch
         );
         if pkt.epoch < state.completed {
-            return actions; // stale duplicate of a finished epoch
+            return; // stale duplicate of a finished epoch
         }
         state.bank(pkt, sender_rank);
         // This arrival is the epoch's latest stimulus: anything the
@@ -668,13 +746,11 @@ impl NicCollective for PaperCollective {
                 live.cause = cause;
             }
         }
-        state.try_progress(now, my_node, &mut actions);
-        actions
+        state.try_progress(now, my_node, actions);
     }
 
-    fn on_timer(&mut self, now: SimTime) -> Vec<CollAction> {
+    fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf) {
         let my_node = self.node;
-        let mut actions = Vec::new();
         for state in self.groups.values_mut() {
             let Some(live) = state.live.as_ref() else {
                 continue;
@@ -692,16 +768,23 @@ impl NicCollective for PaperCollective {
                 continue; // nothing expected yet
             }
             let stall_round = r - 1;
-            let expected = state.schedule.rounds[stall_round].recv_from.clone();
-            let have = state
-                .banked
-                .get(&(epoch, stall_round))
-                .map(|b| b.mask)
-                .unwrap_or(0);
-            for (slot, &sender_rank) in expected.iter().enumerate() {
+            let idx = state.slot_index(epoch, stall_round);
+            let have = {
+                let bank = &state.slots[idx];
+                if bank.epoch == epoch {
+                    bank.mask
+                } else {
+                    0
+                }
+            };
+            // Indexed iteration, not a clone of `recv_from`: the NACK path
+            // must not allocate either (a lossy steady state is still a
+            // steady state).
+            for slot in 0..state.schedule.rounds[stall_round].recv_from.len() {
                 if have & (1u64 << slot) != 0 {
                     continue;
                 }
+                let sender_rank = state.schedule.rounds[stall_round].recv_from[slot];
                 state.nacks_sent += 1;
                 actions.push(CollAction::Send {
                     dst: state.spec.members[sender_rank],
@@ -719,7 +802,6 @@ impl NicCollective for PaperCollective {
             // Pace further NACKs by restarting the timeout window.
             state.live.as_mut().expect("checked above").last_progress = now;
         }
-        actions
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
@@ -750,15 +832,41 @@ mod tests {
         PaperCollective::new(NodeId(rank), vec![spec])
     }
 
+    // Collect-into-Vec shims over the out-param API, so assertions can
+    // stay slice-shaped.
+    fn doorbell(
+        e: &mut PaperCollective,
+        now: SimTime,
+        group: GroupId,
+        epoch: u64,
+        operand: &CollOperand,
+    ) -> Vec<CollAction> {
+        let mut buf = ActionBuf::new();
+        e.on_doorbell(now, group, epoch, operand, CauseId::NONE, &mut buf);
+        buf.drain().collect()
+    }
+
+    fn packet(e: &mut PaperCollective, now: SimTime, pkt: &CollPacket) -> Vec<CollAction> {
+        let mut buf = ActionBuf::new();
+        e.on_packet(now, pkt, CauseId::NONE, &mut buf);
+        buf.drain().collect()
+    }
+
+    fn timer(e: &mut PaperCollective, now: SimTime) -> Vec<CollAction> {
+        let mut buf = ActionBuf::new();
+        e.on_timer(now, &mut buf);
+        buf.drain().collect()
+    }
+
     #[test]
     fn doorbell_emits_round_zero_sends() {
         let mut e = barrier_engine(4, 0);
-        let actions = e.on_doorbell(
+        let actions = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         // Dissemination round 0: send to rank 1; no completion yet.
         assert_eq!(actions.len(), 1);
@@ -778,12 +886,12 @@ mod tests {
         // Drive rank 0 of a 4-rank dissemination barrier by hand: expects
         // round 0 from rank 3, round 1 from rank 2.
         let mut e = barrier_engine(4, 0);
-        let a0 = e.on_doorbell(
+        let a0 = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         assert_eq!(a0.len(), 1);
         let from3 = CollPacket {
@@ -793,7 +901,7 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        let a1 = e.on_packet(SimTime::from_us(1.0), &from3, CauseId::NONE);
+        let a1 = packet(&mut e, SimTime::from_us(1.0), &from3);
         // Round 0 satisfied → round 1 send to rank 2.
         assert_eq!(a1.len(), 1);
         assert!(matches!(&a1[0], CollAction::Send { dst, .. } if *dst == NodeId(2)));
@@ -804,7 +912,7 @@ mod tests {
             round: 1,
             kind: CollKind::Barrier,
         };
-        let a2 = e.on_packet(SimTime::from_us(2.0), &from2, CauseId::NONE);
+        let a2 = packet(&mut e, SimTime::from_us(2.0), &from2);
         assert_eq!(a2.len(), 1);
         assert!(matches!(
             &a2[0],
@@ -828,7 +936,7 @@ mod tests {
             round: 1,
             kind: CollKind::Barrier,
         };
-        assert!(e.on_packet(SimTime::ZERO, &from2, CauseId::NONE).is_empty());
+        assert!(packet(&mut e, SimTime::ZERO, &from2).is_empty());
         let from3 = CollPacket {
             src: NodeId(3),
             group: GroupId(1),
@@ -836,14 +944,14 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        assert!(e.on_packet(SimTime::ZERO, &from3, CauseId::NONE).is_empty());
+        assert!(packet(&mut e, SimTime::ZERO, &from3).is_empty());
         // The doorbell now releases the whole chain to completion at once.
-        let actions = e.on_doorbell(
+        let actions = doorbell(
+            &mut e,
             SimTime::from_us(5.0),
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         let sends = actions
             .iter()
@@ -860,12 +968,12 @@ mod tests {
     #[test]
     fn duplicate_arrivals_are_idempotent() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         let from3 = CollPacket {
             src: NodeId(3),
@@ -874,25 +982,60 @@ mod tests {
             round: 0,
             kind: CollKind::Barrier,
         };
-        let a1 = e.on_packet(SimTime::ZERO, &from3, CauseId::NONE);
-        let a2 = e.on_packet(SimTime::ZERO, &from3, CauseId::NONE);
+        let a1 = packet(&mut e, SimTime::ZERO, &from3);
+        let a2 = packet(&mut e, SimTime::ZERO, &from3);
         assert_eq!(a1.len(), 1);
         assert!(a2.is_empty(), "duplicate must not re-trigger sends");
     }
 
     #[test]
+    fn parity_slots_recycle_across_epochs() {
+        // A 2-rank barrier has one round (recv from the peer). Run many
+        // epochs, always delivering the peer's packet one epoch early (the
+        // deepest banking the protocol allows), so every epoch exercises
+        // slot retagging on both parities.
+        let spec = GroupSpec::barrier(
+            GroupId(1),
+            members(2),
+            0,
+            Algorithm::Dissemination,
+            SimTime::from_us(100.0),
+        );
+        let mut e = PaperCollective::new(NodeId(0), vec![spec]);
+        // Epoch 0's arrival lands before its doorbell.
+        let peer = |epoch| CollPacket {
+            src: NodeId(1),
+            group: GroupId(1),
+            epoch,
+            round: 0,
+            kind: CollKind::Barrier,
+        };
+        assert!(packet(&mut e, SimTime::ZERO, &peer(0)).is_empty());
+        for epoch in 0..64 {
+            let t = SimTime::from_us(epoch as f64);
+            let actions = doorbell(&mut e, t, GroupId(1), epoch, &CollOperand::Scalar(0));
+            // Arrival already banked → send + completion in one sweep.
+            assert_eq!(actions.len(), 2, "epoch {epoch}: {actions:?}");
+            assert!(matches!(actions[1], CollAction::HostDone { .. }));
+            // Bank the next epoch's arrival early (one epoch ahead).
+            assert!(packet(&mut e, t, &peer(epoch + 1)).is_empty());
+        }
+        assert_eq!(e.completed_epochs(GroupId(1)), 64);
+    }
+
+    #[test]
     fn timer_nacks_exactly_the_missing_sender() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         // Nothing arrived; after the timeout the stall round is 0 and the
         // missing sender is rank 3.
-        let actions = e.on_timer(SimTime::from_us(150.0));
+        let actions = timer(&mut e, SimTime::from_us(150.0));
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             CollAction::Send { dst, pkt, retx, .. } => {
@@ -905,18 +1048,18 @@ mod tests {
         }
         assert_eq!(e.nacks_sent(GroupId(1)), 1);
         // Immediately after, the window restarts: no NACK storm.
-        assert!(e.on_timer(SimTime::from_us(151.0)).is_empty());
+        assert!(timer(&mut e, SimTime::from_us(151.0)).is_empty());
     }
 
     #[test]
     fn nacked_sender_retransmits_from_bit_vector() {
         let mut e = barrier_engine(4, 1);
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         // Rank 2 claims it never got our round-0 message.
         let nack = CollPacket {
@@ -926,7 +1069,7 @@ mod tests {
             round: 0,
             kind: CollKind::Nack,
         };
-        let actions = e.on_packet(SimTime::from_us(200.0), &nack, CauseId::NONE);
+        let actions = packet(&mut e, SimTime::from_us(200.0), &nack);
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             CollAction::Send { dst, pkt, retx, .. } => {
@@ -943,12 +1086,12 @@ mod tests {
     #[test]
     fn nack_for_unsent_round_is_ignored() {
         let mut e = barrier_engine(4, 1);
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
         // Round 1 not sent yet (round 0 arrival missing).
         let nack = CollPacket {
@@ -958,9 +1101,7 @@ mod tests {
             round: 1,
             kind: CollKind::Nack,
         };
-        assert!(e
-            .on_packet(SimTime::from_us(200.0), &nack, CauseId::NONE)
-            .is_empty());
+        assert!(packet(&mut e, SimTime::from_us(200.0), &nack).is_empty());
         assert_eq!(e.retransmits(GroupId(1)), 0);
     }
 
@@ -968,19 +1109,19 @@ mod tests {
     #[should_panic(expected = "before the previous operation completed")]
     fn pipelined_doorbells_rejected() {
         let mut e = barrier_engine(4, 0);
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             0,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
-        let _ = e.on_doorbell(
+        let _ = doorbell(
+            &mut e,
             SimTime::ZERO,
             GroupId(1),
             1,
             &CollOperand::Scalar(0),
-            CauseId::NONE,
         );
     }
 
@@ -995,12 +1136,12 @@ mod tests {
             timeout: SimTime::from_us(100.0),
         };
         let mut e0 = PaperCollective::new(NodeId(0), vec![spec(0)]);
-        let a = e0.on_doorbell(
+        let a = doorbell(
+            &mut e0,
             SimTime::ZERO,
             GroupId(2),
             0,
             &CollOperand::Scalar(10),
-            CauseId::NONE,
         );
         // Round 0 send carries our contribution.
         let sent = a
@@ -1019,7 +1160,7 @@ mod tests {
             round: 0,
             kind: CollKind::Reduce { value: 32 },
         };
-        let done = e0.on_packet(SimTime::from_us(1.0), &from1, CauseId::NONE);
+        let done = packet(&mut e0, SimTime::from_us(1.0), &from1);
         assert!(matches!(done[0], CollAction::HostDone { value: 42, .. }));
     }
 

@@ -10,7 +10,9 @@
 use nicbar_core::{
     gm_nic_barrier_flight, Algorithm, GroupSpec, PaperCollective, RunCfg, BARRIER_GROUP,
 };
-use nicbar_gm::{CollAction, CollFeatures, CollKind, CollOperand, GmParams, NicCollective};
+use nicbar_gm::{
+    ActionBuf, CollAction, CollFeatures, CollKind, CollOperand, GmParams, NicCollective,
+};
 use nicbar_net::NodeId;
 use nicbar_sim::{CauseId, SimTime};
 
@@ -39,10 +41,15 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
     let t0 = SimTime::ZERO;
     let op = CollOperand::Scalar(0);
 
+    let drain = |buf: &mut ActionBuf| buf.drain().collect::<Vec<_>>();
+    let mut buf = ActionBuf::new();
+
     // Both ranks enter the barrier; 2-node dissemination is one round with
     // one send each way.
-    let a0 = c0.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE);
-    let a1 = c1.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE);
+    c0.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE, &mut buf);
+    let a0 = drain(&mut buf);
+    c1.on_doorbell(t0, BARRIER_GROUP, 0, &op, CauseId::NONE, &mut buf);
+    let a1 = drain(&mut buf);
     let sends = |actions: &[CollAction]| {
         actions
             .iter()
@@ -58,7 +65,8 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
         CollAction::Send { pkt, .. } => pkt.clone(),
         other => panic!("expected a send, got {other:?}"),
     };
-    let done0 = c0.on_packet(SimTime(1_000), &pkt_1to0, CauseId::NONE);
+    c0.on_packet(SimTime(1_000), &pkt_1to0, CauseId::NONE, &mut buf);
+    let done0 = drain(&mut buf);
     assert!(
         done0
             .iter()
@@ -69,7 +77,8 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
     // Rank 1's timer expires on the missing round-0 packet: one NACK back
     // to rank 0.
     assert!(c1.next_deadline().is_some(), "deadline armed while waiting");
-    let nacks = c1.on_timer(SimTime(20_000));
+    c1.on_timer(SimTime(20_000), &mut buf);
+    let nacks = drain(&mut buf);
     let nack_pkt = match &nacks[..] {
         [CollAction::Send { pkt, retx, .. }] => {
             assert_eq!(pkt.kind, CollKind::Nack);
@@ -81,7 +90,8 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
     assert_eq!(c1.nacks_sent(BARRIER_GROUP), 1);
 
     // The NACK reaches rank 0, which retransmits from its static packet.
-    let retx_actions = c0.on_packet(SimTime(21_000), &nack_pkt, CauseId::NONE);
+    c0.on_packet(SimTime(21_000), &nack_pkt, CauseId::NONE, &mut buf);
+    let retx_actions = drain(&mut buf);
     let retx_pkt = match &retx_actions[..] {
         [CollAction::Send { pkt, retx, dst, .. }] => {
             assert_eq!(*dst, NodeId(1));
@@ -95,7 +105,8 @@ fn withheld_packet_drives_exactly_one_nack_and_one_retransmit() {
 
     // The retransmission completes rank 1. Exactly one loss was injected;
     // the accessors report exactly one NACK and one retransmission.
-    let done1 = c1.on_packet(SimTime(22_000), &retx_pkt, CauseId::NONE);
+    c1.on_packet(SimTime(22_000), &retx_pkt, CauseId::NONE, &mut buf);
+    let done1 = drain(&mut buf);
     assert!(done1
         .iter()
         .any(|a| matches!(a, CollAction::HostDone { epoch: 0, .. })));

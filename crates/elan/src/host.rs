@@ -128,6 +128,10 @@ pub struct ElanHost {
     coll_begun: u64,
     /// Collective completions this host has observed.
     coll_done: u64,
+    /// Reusable buffer for the actions requested during one callback —
+    /// lent to [`ElanApi`] via `mem::take` and reclaimed after the drain so
+    /// steady-state dispatches do not allocate.
+    action_scratch: Vec<HostAction>,
 }
 
 impl ElanHost {
@@ -149,6 +153,7 @@ impl ElanHost {
             hw_epoch: 0,
             coll_begun: 0,
             coll_done: 0,
+            action_scratch: Vec::new(),
         }
     }
 
@@ -196,11 +201,11 @@ impl ElanHost {
             node: self.node,
             n: self.n,
             rng: ctx.rng(),
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
         };
         f(self.app.as_mut(), &mut api);
-        let actions = api.actions;
-        for action in actions {
+        let mut actions = api.actions;
+        for action in actions.drain(..) {
             match action {
                 HostAction::Doorbell { desc } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
@@ -259,6 +264,7 @@ impl ElanHost {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 }
 

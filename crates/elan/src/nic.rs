@@ -143,7 +143,7 @@ impl ElanNic {
     /// Launch a descriptor: inject the RDMA and set its local event.
     fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId, cause: CauseId) {
         let t = self.engine(ctx.now(), self.params.nic_desc_proc);
-        let d = self.descs[desc.0 as usize].clone();
+        let d = self.descs[desc.0 as usize];
         assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
         ctx.count_id(counter_id!("elan.rdma_sent"), 1);
         // Span: descriptor launch.
@@ -194,16 +194,18 @@ impl ElanNic {
         if trips == 0 {
             return;
         }
-        let actions = self.events[ev.0 as usize].actions.clone();
+        // Indexed iteration with `Copy` actions: an event trip is on every
+        // barrier's critical path, so it must not clone the action list.
         for _ in 0..trips {
-            for action in &actions {
+            for i in 0..self.events[ev.0 as usize].actions.len() {
+                let action = self.events[ev.0 as usize].actions[i];
                 match action {
                     EventAction::FireDesc(d) => {
                         // Chain through the serial engine via a self event.
                         ctx.send_at(
                             at.max(ctx.now()),
                             ctx.self_id(),
-                            ElanEvent::FireDesc { desc: *d, cause },
+                            ElanEvent::FireDesc { desc: d, cause },
                         );
                     }
                     EventAction::NotifyHost { cookie } => {
@@ -211,18 +213,18 @@ impl ElanNic {
                         // Span: completion surfaced to the host.
                         ctx.span(SpanEvent::Notify {
                             unit: ev.0 as u64,
-                            cookie: *cookie,
+                            cookie,
                         });
                         let notify = ctx.packet(
                             PacketLog::new(cause, CausalKind::Notify)
                                 .at_node(self.node.0 as u32)
-                                .detail(*cookie, ev.0 as u64),
+                                .detail(cookie, ev.0 as u64),
                         );
                         ctx.send_at(
                             at + self.params.host_event_visible,
                             self.host,
                             ElanEvent::HostCollDone {
-                                cookie: *cookie,
+                                cookie,
                                 cause: notify,
                             },
                         );

@@ -18,7 +18,11 @@ pub struct DescId(pub u32);
 pub struct EventId(pub u32);
 
 /// What happens when an event trips.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Copy` is load-bearing: the NIC hot path iterates a tripped event's
+/// action list by index and copies each entry out, instead of cloning the
+/// whole `Vec` per trip (one barrier epoch trips every gate event once).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventAction {
     /// Launch an RDMA descriptor (the chain link).
     FireDesc(DescId),
@@ -76,7 +80,10 @@ impl NicEvent {
 }
 
 /// An RDMA descriptor armed in NIC memory.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Copy` (no heap inside): firing a descriptor reads it out of the table
+/// without cloning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RdmaDesc {
     /// Destination NIC.
     pub dst: NodeId,

@@ -67,11 +67,62 @@ pub enum CollAction {
     },
 }
 
+/// The reusable action scratch the NIC hands to its collective engine.
+///
+/// The engine appends with [`ActionBuf::push`]; the NIC drains in place with
+/// [`ActionBuf::drain`] and keeps the buffer (and its capacity) for the next
+/// stimulus. Ownership rule: the *caller* clears after draining — an engine
+/// must never clear a buffer it is handed, only append, so callers can batch
+/// several stimuli into one drain if they choose.
+#[derive(Debug, Default)]
+pub struct ActionBuf {
+    actions: Vec<CollAction>,
+}
+
+impl ActionBuf {
+    /// An empty buffer (no capacity reserved yet).
+    pub fn new() -> Self {
+        ActionBuf::default()
+    }
+
+    /// Append one action.
+    pub fn push(&mut self, action: CollAction) {
+        self.actions.push(action);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Read-only view of the buffered actions.
+    pub fn as_slice(&self) -> &[CollAction] {
+        &self.actions
+    }
+
+    /// Drain all buffered actions in order, keeping the capacity.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, CollAction> {
+        self.actions.drain(..)
+    }
+
+    /// Drop all buffered actions, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+}
+
 /// A NIC-resident collective protocol engine.
 ///
 /// Implementations must be deterministic state machines: every method is a
-/// pure transition on `(state, stimulus) → (state, actions)`. Time-dependent
-/// behaviour (the receiver-driven NACK timer) is expressed through
+/// pure transition on `(state, stimulus) → (state, actions)`, with the
+/// actions appended to the caller-owned [`ActionBuf`] (steady state stays
+/// allocation-free once its capacity is warm). Time-dependent behaviour (the
+/// receiver-driven NACK timer) is expressed through
 /// [`NicCollective::next_deadline`], which the NIC uses to arm its timer
 /// sweep.
 pub trait NicCollective: AsAny + 'static {
@@ -85,15 +136,22 @@ pub trait NicCollective: AsAny + 'static {
         epoch: u64,
         operand: &CollOperand,
         cause: CauseId,
-    ) -> Vec<CollAction>;
+        actions: &mut ActionBuf,
+    );
 
     /// A collective packet arrived from the wire. `cause` is the netdump id
     /// of the NIC's arrival record for this packet.
-    fn on_packet(&mut self, now: SimTime, pkt: &CollPacket, cause: CauseId) -> Vec<CollAction>;
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &CollPacket,
+        cause: CauseId,
+        actions: &mut ActionBuf,
+    );
 
     /// Timer sweep: emit NACKs for overdue expected packets, retransmit
     /// NACKed sends, etc.
-    fn on_timer(&mut self, now: SimTime) -> Vec<CollAction>;
+    fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf);
 
     /// Earliest future instant at which `on_timer` needs to run, if any.
     fn next_deadline(&self) -> Option<SimTime>;
@@ -111,17 +169,22 @@ impl NicCollective for NullCollective {
         _epoch: u64,
         _operand: &CollOperand,
         _cause: CauseId,
-    ) -> Vec<CollAction> {
+        _actions: &mut ActionBuf,
+    ) {
         panic!("no collective engine installed on this NIC (group {group:?})");
     }
 
-    fn on_packet(&mut self, _now: SimTime, pkt: &CollPacket, _cause: CauseId) -> Vec<CollAction> {
+    fn on_packet(
+        &mut self,
+        _now: SimTime,
+        pkt: &CollPacket,
+        _cause: CauseId,
+        _actions: &mut ActionBuf,
+    ) {
         panic!("unexpected collective packet {pkt:?} on a NIC with no collective engine");
     }
 
-    fn on_timer(&mut self, _now: SimTime) -> Vec<CollAction> {
-        Vec::new()
-    }
+    fn on_timer(&mut self, _now: SimTime, _actions: &mut ActionBuf) {}
 
     fn next_deadline(&self) -> Option<SimTime> {
         None
@@ -135,7 +198,9 @@ mod tests {
     #[test]
     fn null_collective_times_out_quietly() {
         let mut n = NullCollective;
-        assert!(n.on_timer(SimTime::ZERO).is_empty());
+        let mut buf = ActionBuf::new();
+        n.on_timer(SimTime::ZERO, &mut buf);
+        assert!(buf.is_empty());
         assert_eq!(n.next_deadline(), None);
     }
 
@@ -148,7 +213,32 @@ mod tests {
             0,
             &CollOperand::Scalar(0),
             CauseId::NONE,
+            &mut ActionBuf::new(),
         );
+    }
+
+    #[test]
+    fn action_buf_drains_in_order_and_keeps_capacity() {
+        let mut buf = ActionBuf::new();
+        for epoch in 0..4 {
+            buf.push(CollAction::HostDone {
+                group: GroupId(1),
+                epoch,
+                value: 0,
+                cause: CauseId::NONE,
+            });
+        }
+        assert_eq!(buf.len(), 4);
+        let epochs: Vec<u64> = buf
+            .drain()
+            .map(|a| match a {
+                CollAction::HostDone { epoch, .. } => epoch,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3]);
+        assert!(buf.is_empty());
+        assert!(buf.actions.capacity() >= 4, "capacity must be retained");
     }
 
     #[test]

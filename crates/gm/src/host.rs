@@ -156,6 +156,11 @@ pub struct GmHost {
     cpu_free: SimTime,
     next_msg_id: MsgId,
     coll_epochs: BTreeMap<GroupId, u64>,
+    /// Reusable buffer for the actions an application requests during one
+    /// callback. Lent to [`GmApi`] via `mem::take`, drained here, and put
+    /// back so its capacity is reused — in the steady state a dispatch does
+    /// not allocate.
+    action_scratch: Vec<HostAction>,
 }
 
 impl GmHost {
@@ -176,6 +181,7 @@ impl GmHost {
             cpu_free: SimTime::ZERO,
             next_msg_id: 1,
             coll_epochs: BTreeMap::new(),
+            action_scratch: Vec::new(),
         }
     }
 
@@ -210,12 +216,12 @@ impl GmHost {
             node: self.node,
             n: self.n,
             rng: ctx.rng(),
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
             next_msg_id: &mut self.next_msg_id,
         };
         f(self.app.as_mut(), &mut api);
-        let actions = api.actions;
-        for action in actions {
+        let mut actions = api.actions;
+        for action in actions.drain(..) {
             match action {
                 HostAction::Send {
                     dst,
@@ -290,6 +296,7 @@ impl GmHost {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 }
 

@@ -34,7 +34,7 @@ pub mod params;
 pub mod types;
 
 pub use cluster::{GmCluster, GmClusterSpec};
-pub use collective::{CollAction, CollOperand, NicCollective, NullCollective};
+pub use collective::{ActionBuf, CollAction, CollOperand, NicCollective, NullCollective};
 pub use events::GmEvent;
 pub use host::{GmApi, GmApp, GmHost};
 pub use nic::LanaiNic;

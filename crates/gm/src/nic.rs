@@ -36,7 +36,7 @@
 //! cites to explain pairwise-exchange's behaviour on Myrinet. The DMA engine
 //! is a second serial resource that overlaps the CPU.
 
-use crate::collective::{CollAction, NicCollective};
+use crate::collective::{ActionBuf, CollAction, NicCollective};
 use crate::events::GmEvent;
 use crate::params::{CollFeatures, GmParams};
 use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
@@ -52,9 +52,63 @@ struct Assembly {
     total_len: u32,
 }
 
+/// Point-to-point protocol state: per-peer queues and sequence tracking,
+/// O(n) per NIC and therefore O(n²) per cluster. Allocated lazily on the
+/// first p2p stimulus, so a collective-only simulation (the paper's barrier,
+/// and the 4096-node `fig_scale` sweep) keeps every NIC at O(1) memory.
+struct P2pState {
+    // --- send side ---
+    send_queues: Vec<VecDeque<SendToken>>,
+    rr_cursor: usize,
+    next_seq: Vec<u32>,
+    inflight: Vec<VecDeque<SendRecord>>,
+
+    // --- receive side ---
+    expect_seq: Vec<u32>,
+    /// Per-source FIFO of messages being reassembled. Packets from one
+    /// source arrive in seq order and host DMAs complete in order, so the
+    /// front entry is always the message whose payload lands next.
+    assembling: Vec<VecDeque<Assembly>>,
+}
+
+impl P2pState {
+    fn new(n: usize) -> Self {
+        P2pState {
+            send_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            rr_cursor: 0,
+            next_seq: vec![0; n],
+            inflight: (0..n).map(|_| VecDeque::new()).collect(),
+            expect_seq: vec![0; n],
+            assembling: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Is the front token of queue `d` launchable right now?
+    fn queue_eligible(
+        &self,
+        d: usize,
+        window: usize,
+        free_packets: usize,
+        static_packet: bool,
+    ) -> bool {
+        let Some(front) = self.send_queues[d].front() else {
+            return false;
+        };
+        if front.coll.is_some() {
+            // A collective token riding the p2p queues (group-queue
+            // ablation): its payload is NIC-resident, so it only needs a
+            // buffer when the static packet is also ablated.
+            static_packet || free_packets > 0
+        } else {
+            self.inflight[d].len() < window && free_packets > 0
+        }
+    }
+}
+
 /// The Myrinet LANai NIC component.
 pub struct LanaiNic {
     node: NodeId,
+    n: usize,
     params: GmParams,
     features: CollFeatures,
     fabric: ComponentId,
@@ -65,24 +119,21 @@ pub struct LanaiNic {
     /// DMA engine busy-until (serial resource, overlaps the CPU).
     dma_free: SimTime,
 
-    // --- send side ---
-    send_queues: Vec<VecDeque<SendToken>>,
-    rr_cursor: usize,
+    // --- point-to-point (lazy: None until the first p2p stimulus) ---
+    p2p: Option<Box<P2pState>>,
     free_packets: usize,
-    next_seq: Vec<u32>,
-    inflight: Vec<VecDeque<SendRecord>>,
     work_scheduled: bool,
-
-    // --- receive side ---
-    expect_seq: Vec<u32>,
     recv_tokens: u32,
-    /// Per-source FIFO of messages being reassembled. Packets from one
-    /// source arrive in seq order and host DMAs complete in order, so the
-    /// front entry is always the message whose payload lands next.
-    assembling: Vec<VecDeque<Assembly>>,
 
     // --- collective ---
     coll: Box<dyn NicCollective>,
+    /// Reusable scratch the collective engine fills and
+    /// [`LanaiNic::run_coll_actions`] drains; taken out of `self` around
+    /// each engine call (leaving an empty, allocation-free placeholder) and
+    /// put back with its capacity intact.
+    coll_buf: ActionBuf,
+    /// Reusable scratch for message ids completed by a cumulative ACK.
+    ack_scratch: Vec<u64>,
 
     // --- timer ---
     timer_armed: bool,
@@ -106,6 +157,7 @@ impl LanaiNic {
     ) -> Self {
         LanaiNic {
             node,
+            n,
             free_packets: params.send_packet_pool,
             params,
             features,
@@ -113,17 +165,20 @@ impl LanaiNic {
             host,
             cpu_free: SimTime::ZERO,
             dma_free: SimTime::ZERO,
-            send_queues: (0..n).map(|_| VecDeque::new()).collect(),
-            rr_cursor: 0,
-            next_seq: vec![0; n],
-            inflight: (0..n).map(|_| VecDeque::new()).collect(),
+            p2p: None,
             work_scheduled: false,
-            expect_seq: vec![0; n],
             recv_tokens: initial_recv_tokens,
-            assembling: (0..n).map(|_| VecDeque::new()).collect(),
             coll,
+            coll_buf: ActionBuf::new(),
+            ack_scratch: Vec::new(),
             timer_armed: false,
         }
+    }
+
+    /// The p2p state, allocated on first use.
+    fn p2p_mut(&mut self) -> &mut P2pState {
+        let n = self.n;
+        self.p2p.get_or_insert_with(|| Box::new(P2pState::new(n)))
     }
 
     /// Occupy the NIC processor for `cost`, starting no earlier than `now`;
@@ -147,7 +202,10 @@ impl LanaiNic {
         if self.timer_armed {
             return;
         }
-        let p2p_pending = self.inflight.iter().any(|q| !q.is_empty());
+        let p2p_pending = self
+            .p2p
+            .as_ref()
+            .is_some_and(|p| p.inflight.iter().any(|q| !q.is_empty()));
         if p2p_pending || self.coll.next_deadline().is_some() {
             self.timer_armed = true;
             ctx.send_self(self.params.timer_interval, GmEvent::TimerCheck);
@@ -165,35 +223,33 @@ impl LanaiNic {
         }
     }
 
-    /// Is the front token of queue `d` launchable right now?
-    fn queue_eligible(&self, d: usize) -> bool {
-        let Some(front) = self.send_queues[d].front() else {
-            return false;
-        };
-        if front.coll.is_some() {
-            // A collective token riding the p2p queues (group-queue
-            // ablation): its payload is NIC-resident, so it only needs a
-            // buffer when the static packet is also ablated.
-            self.features.static_packet || self.free_packets > 0
-        } else {
-            self.inflight[d].len() < self.params.window && self.free_packets > 0
-        }
-    }
-
     /// One scheduler pass: launch at most one packet, then reschedule if
     /// more work is eligible.
     fn send_work(&mut self, ctx: &mut Ctx<'_, GmEvent>) {
+        // Take the p2p box out of `self` for the pass: the scheduler reads
+        // its queues while also charging `self.cpu`, and the split keeps
+        // both borrows legal without cloning anything.
+        let Some(mut p2p) = self.p2p.take() else {
+            return; // no p2p state yet: nothing can be queued
+        };
+        self.send_work_inner(ctx, &mut p2p);
+        self.p2p = Some(p2p);
+    }
+
+    fn send_work_inner(&mut self, ctx: &mut Ctx<'_, GmEvent>, p2p: &mut P2pState) {
         let now = ctx.now();
-        let n = self.send_queues.len();
+        let n = self.n;
+        let window = self.params.window;
+        let static_packet = self.features.static_packet;
         // Round-robin scan for a destination with an eligible token.
         let mut chosen: Option<usize> = None;
         for k in 0..n {
-            let d = (self.rr_cursor + k) % n;
-            if self.queue_eligible(d) {
+            let d = (p2p.rr_cursor + k) % n;
+            if p2p.queue_eligible(d, window, self.free_packets, static_packet) {
                 chosen = Some(d);
                 break;
             }
-            if !self.send_queues[d].is_empty() {
+            if !p2p.send_queues[d].is_empty() {
                 // Head-of-line token blocked on the packet pool or window —
                 // the waiting the paper's §6.1/§6.2 machinery eliminates.
                 ctx.count_id(counter_id!("gm.packet_wait"), 1);
@@ -202,9 +258,9 @@ impl LanaiNic {
         let Some(dst) = chosen else {
             return; // nothing eligible; re-kicked on token/ACK arrival
         };
-        self.rr_cursor = (dst + 1) % n;
+        p2p.rr_cursor = (dst + 1) % n;
 
-        if self.send_queues[dst]
+        if p2p.send_queues[dst]
             .front()
             .expect("eligible queue")
             .coll
@@ -213,7 +269,7 @@ impl LanaiNic {
             // Launch a queued collective token: no payload DMA (the value
             // lives in NIC memory); buffer claim only under static-packet
             // ablation.
-            let token = self.send_queues[dst].pop_front().expect("checked");
+            let token = p2p.send_queues[dst].pop_front().expect("checked");
             let pkt = token.coll.expect("checked");
             let mut cost = self.params.nic_sched_pass + self.params.nic_coll_send;
             if !self.features.static_packet {
@@ -279,7 +335,7 @@ impl LanaiNic {
             );
             self.free_packets -= 1;
 
-            let token = self.send_queues[dst].front_mut().expect("checked above");
+            let token = p2p.send_queues[dst].front_mut().expect("checked above");
             let payload = (token.len - token.offset).min(self.params.mtu);
             let (msg_id, offset, total_len, tag, token_cause) = (
                 token.msg_id,
@@ -290,7 +346,7 @@ impl LanaiNic {
             );
             token.offset += payload;
             if token.offset >= token.len {
-                self.send_queues[dst].pop_front();
+                p2p.send_queues[dst].pop_front();
             }
 
             // Netdump: payload DMA begins (parent: the host post).
@@ -318,7 +374,7 @@ impl LanaiNic {
         }
 
         // More eligible work? Keep the scheduler hot.
-        let more = (0..n).any(|d| self.queue_eligible(d));
+        let more = (0..n).any(|d| p2p.queue_eligible(d, window, self.free_packets, static_packet));
         if more {
             self.work_scheduled = true;
             ctx.send_at(
@@ -344,8 +400,12 @@ impl LanaiNic {
     ) {
         let now = ctx.now();
         let t = self.cpu(now, self.params.nic_record_create + self.params.nic_inject);
-        let seq = self.next_seq[dst.0];
-        self.next_seq[dst.0] += 1;
+        let seq = {
+            let p2p = self.p2p_mut();
+            let seq = p2p.next_seq[dst.0];
+            p2p.next_seq[dst.0] += 1;
+            seq
+        };
         // Netdump: DMA completed, then the packet commits to the fabric.
         let dma_done = ctx.packet(
             PacketLog::new(cause, CausalKind::DmaDone)
@@ -357,7 +417,7 @@ impl LanaiNic {
                 .nodes(self.node.0 as u32, dst.0 as u32)
                 .detail(seq as u64, 0),
         );
-        self.inflight[dst.0].push_back(SendRecord {
+        self.p2p_mut().inflight[dst.0].push_back(SendRecord {
             seq,
             msg_id,
             end_offset: offset + payload,
@@ -404,7 +464,7 @@ impl LanaiNic {
         if offset == 0 {
             // New message: reserve the receive buffer.
             self.recv_tokens -= 1;
-            self.assembling[src.0].push_back(Assembly {
+            self.p2p_mut().assembling[src.0].push_back(Assembly {
                 received: 0,
                 total_len,
             });
@@ -475,7 +535,7 @@ impl LanaiNic {
                         .nodes(src.0 as u32, self.node.0 as u32)
                         .detail(seq as u64, 0),
                 );
-                let expected = self.expect_seq[src.0];
+                let expected = self.p2p_mut().expect_seq[src.0];
                 if seq == expected {
                     if offset == 0 && self.recv_tokens == 0 {
                         // No receive buffer: GM drops the packet; the
@@ -483,7 +543,7 @@ impl LanaiNic {
                         ctx.count_id(counter_id!("gm.drop_no_token"), 1);
                         return;
                     }
-                    self.expect_seq[src.0] = expected + 1;
+                    self.p2p_mut().expect_seq[src.0] = expected + 1;
                     self.accept_data(ctx, t, src, seq, offset, payload, total_len, tag, arrive);
                 } else if seq < expected {
                     // Duplicate from a retransmission: re-ACK so the sender
@@ -504,25 +564,33 @@ impl LanaiNic {
                         .nodes(src.0 as u32, self.node.0 as u32)
                         .detail(upto as u64, 0),
                 );
-                let q = &mut self.inflight[src.0];
-                let mut completed_msgs: Vec<u64> = Vec::new();
-                while let Some(front) = q.front() {
-                    if front.seq > upto {
-                        break;
-                    }
-                    let rec = q.pop_front().expect("front checked");
-                    self.free_packets += 1;
-                    if rec.end_offset >= rec.total_len {
-                        completed_msgs.push(rec.msg_id);
+                // Reusable scratch for completed message ids: ACK bursts in
+                // steady state must not touch the heap.
+                let mut completed = std::mem::take(&mut self.ack_scratch);
+                let mut freed = 0;
+                {
+                    let q = &mut self.p2p_mut().inflight[src.0];
+                    while let Some(front) = q.front() {
+                        if front.seq > upto {
+                            break;
+                        }
+                        let rec = q.pop_front().expect("front checked");
+                        freed += 1;
+                        if rec.end_offset >= rec.total_len {
+                            completed.push(rec.msg_id);
+                        }
                     }
                 }
-                for msg_id in completed_msgs {
+                self.free_packets += freed;
+                for &msg_id in completed.iter() {
                     ctx.send_at(
                         t + self.params.host_event_dma,
                         self.host,
                         GmEvent::SendDone { msg_id },
                     );
                 }
+                completed.clear();
+                self.ack_scratch = completed;
                 self.kick_scheduler(ctx);
             }
             PacketKind::Coll(cp) => {
@@ -548,10 +616,12 @@ impl LanaiNic {
                         .key(cp.group.0 as u64, cp.epoch)
                         .detail(cp.round as u64, 0),
                 );
-                let actions = self.coll.on_packet(t, &cp, arrive);
+                let mut buf = std::mem::take(&mut self.coll_buf);
+                self.coll.on_packet(t, &cp, arrive, &mut buf);
                 let needs_ack =
                     !self.features.recv_driven_retx && !matches!(cp.kind, CollKind::Nack);
-                self.run_coll_actions(ctx, t, actions);
+                self.run_coll_actions(ctx, t, &mut buf);
+                self.coll_buf = buf;
                 if needs_ack {
                     // Ablated reliability: acknowledge every collective
                     // packet like a point-to-point message would be. The
@@ -588,16 +658,18 @@ impl LanaiNic {
         }
     }
 
-    /// Execute actions returned by the collective engine, charging the
-    /// collective (or ablated) cost model.
+    /// Execute the actions the collective engine buffered, charging the
+    /// collective (or ablated) cost model. Drains `actions` in place; the
+    /// caller owns the buffer (normally `self.coll_buf`, taken out around
+    /// the engine call) and puts it back to keep its capacity.
     fn run_coll_actions(
         &mut self,
         ctx: &mut Ctx<'_, GmEvent>,
         after: SimTime,
-        actions: Vec<CollAction>,
+        actions: &mut ActionBuf,
     ) {
         let mut at = after;
-        for action in actions {
+        for action in actions.drain() {
             match action {
                 CollAction::Send {
                     dst,
@@ -616,12 +688,12 @@ impl LanaiNic {
                         // behind.
                         ctx.span(SpanEvent::Enqueue {
                             dst: dst.0 as u64,
-                            depth: self.send_queues[dst.0].len() as u64,
+                            depth: self.p2p_mut().send_queues[dst.0].len() as u64,
                         });
                         // The fire record is emitted when the token finally
                         // launches (`send_work`), so the queuing wait shows
                         // up as the edge from `cause` to that record.
-                        self.send_queues[dst.0].push_back(SendToken {
+                        self.p2p_mut().send_queues[dst.0].push_back(SendToken {
                             msg_id: 0,
                             dst,
                             len: 0,
@@ -746,8 +818,26 @@ impl LanaiNic {
         self.timer_armed = false;
         let now = ctx.now();
         let timeout = self.params.ack_timeout;
-        for d in 0..self.inflight.len() {
-            let overdue = self.inflight[d]
+        if let Some(mut p2p) = self.p2p.take() {
+            self.retransmit_sweep(ctx, &mut p2p, now, timeout);
+            self.p2p = Some(p2p);
+        }
+        let mut buf = std::mem::take(&mut self.coll_buf);
+        self.coll.on_timer(now.max(self.cpu_free), &mut buf);
+        self.run_coll_actions(ctx, now.max(self.cpu_free), &mut buf);
+        self.coll_buf = buf;
+        self.ensure_timer(ctx);
+    }
+
+    fn retransmit_sweep(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        p2p: &mut P2pState,
+        now: SimTime,
+        timeout: SimTime,
+    ) {
+        for d in 0..p2p.inflight.len() {
+            let overdue = p2p.inflight[d]
                 .front()
                 .map(|r| now.saturating_sub(r.sent_at) >= timeout)
                 .unwrap_or(false);
@@ -756,9 +846,9 @@ impl LanaiNic {
             }
             // Go-back-N: re-inject every unacked packet to this destination
             // (payloads are still in the NIC's claimed buffers).
-            for i in 0..self.inflight[d].len() {
+            for i in 0..p2p.inflight[d].len() {
                 let t = self.cpu(now, self.params.nic_inject);
-                let rec = &mut self.inflight[d][i];
+                let rec = &mut p2p.inflight[d][i];
                 rec.sent_at = t;
                 rec.retries += 1;
                 let (seq, orig_cause) = (rec.seq, rec.cause);
@@ -790,9 +880,6 @@ impl LanaiNic {
                 ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
             }
         }
-        let actions = self.coll.on_timer(now.max(self.cpu_free));
-        self.run_coll_actions(ctx, now.max(self.cpu_free), actions);
-        self.ensure_timer(ctx);
     }
 
     /// The installed collective engine (downcast access for tests).
@@ -817,7 +904,7 @@ impl Component<GmEvent> for LanaiNic {
             GmEvent::SendPost(token) => {
                 let now = ctx.now();
                 let _ = self.cpu(now, self.params.nic_token_create);
-                self.send_queues[token.dst.0].push_back(token);
+                self.p2p_mut().send_queues[token.dst.0].push_back(token);
                 ctx.count_id(counter_id!("gm.token_posted"), 1);
                 self.kick_scheduler(ctx);
             }
@@ -841,8 +928,11 @@ impl Component<GmEvent> for LanaiNic {
                         .at_node(self.node.0 as u32)
                         .key(group.0 as u64, epoch),
                 );
-                let actions = self.coll.on_doorbell(t, group, epoch, &operand, dispatch);
-                self.run_coll_actions(ctx, t, actions);
+                let mut buf = std::mem::take(&mut self.coll_buf);
+                self.coll
+                    .on_doorbell(t, group, epoch, &operand, dispatch, &mut buf);
+                self.run_coll_actions(ctx, t, &mut buf);
+                self.coll_buf = buf;
             }
             GmEvent::SendWork => {
                 self.work_scheduled = false;
@@ -876,7 +966,7 @@ impl Component<GmEvent> for LanaiNic {
                 );
                 self.send_ack(ctx, now, src, seq, dma_done);
                 let done = {
-                    let asm = self.assembling[src.0]
+                    let asm = self.p2p_mut().assembling[src.0]
                         .front_mut()
                         .expect("assembly state for arriving payload");
                     asm.received += payload;
@@ -884,7 +974,7 @@ impl Component<GmEvent> for LanaiNic {
                     asm.received >= asm.total_len
                 };
                 if done {
-                    self.assembling[src.0].pop_front();
+                    self.p2p_mut().assembling[src.0].pop_front();
                     ctx.count_id(counter_id!("gm.msg_delivered"), 1);
                     ctx.send_at(
                         self.cpu_free + self.params.host_event_dma,
@@ -966,11 +1056,12 @@ mod tests {
 
     #[test]
     fn queue_eligibility_rules() {
-        let mut n = nic();
+        let window = GmParams::lanai_xp().window;
+        let mut p2p = P2pState::new(4);
         // Empty queues: nothing eligible.
-        assert!(!n.queue_eligible(1));
+        assert!(!p2p.queue_eligible(1, window, 16, false));
         // A data token is eligible while packets and window allow.
-        n.send_queues[1].push_back(SendToken {
+        p2p.send_queues[1].push_back(SendToken {
             msg_id: 1,
             dst: NodeId(1),
             len: 100,
@@ -979,12 +1070,11 @@ mod tests {
             coll: None,
             cause: CauseId::NONE,
         });
-        assert!(n.queue_eligible(1));
+        assert!(p2p.queue_eligible(1, window, 16, false));
         // Exhaust the packet pool: data token blocked…
-        n.free_packets = 0;
-        assert!(!n.queue_eligible(1));
+        assert!(!p2p.queue_eligible(1, window, 0, false));
         // …but a collective token with the static packet still flies.
-        n.send_queues[2].push_back(SendToken {
+        p2p.send_queues[2].push_back(SendToken {
             msg_id: 0,
             dst: NodeId(2),
             len: 0,
@@ -999,6 +1089,15 @@ mod tests {
             }),
             cause: CauseId::NONE,
         });
-        assert!(n.queue_eligible(2));
+        assert!(p2p.queue_eligible(2, window, 0, true));
+    }
+
+    #[test]
+    fn p2p_state_is_lazy() {
+        let n = nic();
+        assert!(
+            n.p2p.is_none(),
+            "a freshly built NIC must not pay the O(n) p2p footprint"
+        );
     }
 }

@@ -5,8 +5,8 @@
 #![allow(clippy::unwrap_used)] // test code: panicking on bad state is the point
 
 use nicbar_gm::{
-    CollAction, CollFeatures, CollKind, CollPacket, GmApi, GmApp, GmCluster, GmClusterSpec,
-    GmParams, GroupId, MsgTag, NicCollective,
+    ActionBuf, CollAction, CollFeatures, CollKind, CollPacket, GmApi, GmApp, GmCluster,
+    GmClusterSpec, GmParams, GroupId, MsgTag, NicCollective,
 };
 use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};
@@ -46,14 +46,14 @@ impl NicCollective for ScriptedColl {
         epoch: u64,
         _operand: &nicbar_gm::CollOperand,
         cause: nicbar_sim::CauseId,
-    ) -> Vec<CollAction> {
+        actions: &mut ActionBuf,
+    ) {
         let _ = cause;
         assert_eq!(group, G);
         self.epoch = epoch;
         self.armed_deadline = Some(now + SimTime::from_us(10_000.0));
-        (0..self.n)
-            .filter(|&d| d != self.node.0)
-            .map(|d| CollAction::Send {
+        for d in (0..self.n).filter(|&d| d != self.node.0) {
+            actions.push(CollAction::Send {
                 dst: NodeId(d),
                 pkt: CollPacket {
                     src: self.node,
@@ -64,8 +64,8 @@ impl NicCollective for ScriptedColl {
                 },
                 retx: false,
                 cause: nicbar_sim::CauseId::NONE,
-            })
-            .collect()
+            });
+        }
     }
 
     fn on_packet(
@@ -73,25 +73,23 @@ impl NicCollective for ScriptedColl {
         _now: SimTime,
         pkt: &CollPacket,
         _cause: nicbar_sim::CauseId,
-    ) -> Vec<CollAction> {
+        actions: &mut ActionBuf,
+    ) {
         assert_eq!(pkt.group, G);
         self.got += 1;
         if self.got == self.n - 1 {
             self.armed_deadline = None;
-            vec![CollAction::HostDone {
+            actions.push(CollAction::HostDone {
                 group: G,
                 epoch: self.epoch,
                 value: 7,
                 cause: nicbar_sim::CauseId::NONE,
-            }]
-        } else {
-            Vec::new()
+            });
         }
     }
 
-    fn on_timer(&mut self, _now: SimTime) -> Vec<CollAction> {
+    fn on_timer(&mut self, _now: SimTime, _actions: &mut ActionBuf) {
         self.timer_calls += 1;
-        Vec::new()
     }
 
     fn next_deadline(&self) -> Option<SimTime> {

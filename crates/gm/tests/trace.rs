@@ -4,8 +4,8 @@
 //! destination queue.
 
 use nicbar_gm::{
-    CollAction, CollFeatures, CollKind, CollPacket, GmApi, GmApp, GmCluster, GmClusterSpec,
-    GmParams, GroupId, MsgTag, NicCollective,
+    ActionBuf, CollAction, CollFeatures, CollKind, CollPacket, GmApi, GmApp, GmCluster,
+    GmClusterSpec, GmParams, GroupId, MsgTag, NicCollective,
 };
 use nicbar_net::NodeId;
 use nicbar_sim::SimTime;
@@ -28,12 +28,12 @@ impl NicCollective for AllToAll {
         epoch: u64,
         _operand: &nicbar_gm::CollOperand,
         cause: nicbar_sim::CauseId,
-    ) -> Vec<CollAction> {
+        actions: &mut ActionBuf,
+    ) {
         let _ = cause;
         self.epoch = epoch;
-        (0..self.n)
-            .filter(|&d| d != self.node.0)
-            .map(|d| CollAction::Send {
+        for d in (0..self.n).filter(|&d| d != self.node.0) {
+            actions.push(CollAction::Send {
                 dst: NodeId(d),
                 pkt: CollPacket {
                     src: self.node,
@@ -44,30 +44,27 @@ impl NicCollective for AllToAll {
                 },
                 retx: false,
                 cause: nicbar_sim::CauseId::NONE,
-            })
-            .collect()
+            });
+        }
     }
     fn on_packet(
         &mut self,
         _now: SimTime,
         _pkt: &CollPacket,
         _cause: nicbar_sim::CauseId,
-    ) -> Vec<CollAction> {
+        actions: &mut ActionBuf,
+    ) {
         self.got += 1;
         if self.got == self.n - 1 {
-            vec![CollAction::HostDone {
+            actions.push(CollAction::HostDone {
                 group: G,
                 epoch: self.epoch,
                 value: 0,
                 cause: nicbar_sim::CauseId::NONE,
-            }]
-        } else {
-            Vec::new()
+            });
         }
     }
-    fn on_timer(&mut self, _now: SimTime) -> Vec<CollAction> {
-        Vec::new()
-    }
+    fn on_timer(&mut self, _now: SimTime, _actions: &mut ActionBuf) {}
     fn next_deadline(&self) -> Option<SimTime> {
         None
     }

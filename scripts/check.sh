@@ -42,12 +42,26 @@ cargo run --release -q -p nicbar-bench --bin why-slow -- \
     --nodes 8 --drop 0.02 --seed 7 --check > /dev/null
 echo "check.sh: why-slow smoke OK"
 
+# Allocation gate: a steady-state NIC barrier must not touch the heap.
+# The counting-allocator test runs in its own binary (process-wide
+# allocator, single test), release mode so the measurement matches the
+# shipped hot path.
+cargo test --release -q --test alloc_steady
+echo "check.sh: allocation gate OK"
+
+# Scalability smoke: the quick sweep (16/64/256 nodes, both substrates,
+# DS + PE) must complete and both dissemination curves must fit the
+# ceil(log2 N) staircase — fig_scale exits nonzero otherwise.
+cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
+echo "check.sh: fig_scale smoke OK"
+
 # Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps regenerate
-# results/BENCH_fig5.json and results/BENCH_fig7.json (median + p99 per
-# node count, run manifest embedded).
+# BENCH_fig5.json and BENCH_fig7.json at the repo root (median + p99 per
+# node count, run manifest embedded). BENCH_scale.json was refreshed by
+# the fig_scale smoke above.
 cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
 cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
-for f in results/BENCH_fig5.json results/BENCH_fig7.json; do
+for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json; do
     [ -s "$f" ] || { echo "check.sh: missing $f" >&2; exit 1; }
     grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; exit 1; }
 done

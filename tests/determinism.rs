@@ -115,8 +115,14 @@ fn why_slow_report_is_byte_identical_across_same_seed_runs() {
     };
     let (text_a, jsonl_a) = report();
     let (text_b, jsonl_b) = report();
-    assert!(text_a == text_b, "why-slow report diverged across same-seed runs");
-    assert!(jsonl_a == jsonl_b, "JSONL netdump diverged across same-seed runs");
+    assert!(
+        text_a == text_b,
+        "why-slow report diverged across same-seed runs"
+    );
+    assert!(
+        jsonl_a == jsonl_b,
+        "JSONL netdump diverged across same-seed runs"
+    );
     assert!(
         text_a.contains("critical path"),
         "report is non-empty: {text_a}"

@@ -177,6 +177,49 @@ fn thousand_node_projections_have_the_right_magnitude() {
 }
 
 #[test]
+fn thousand_node_dissemination_matches_the_log2_staircase_model() {
+    // EXPERIMENTS.md refits the paper's `T = A + (⌈log₂N⌉−1)·T_trig` to
+    // the simulated 2–1024 sweeps: Quadrics A=2.72, T_trig=1.59; Myrinet
+    // A=5.01, T_trig=4.67 (both R² > 0.99). The 1024-node point must stay
+    // on those staircases — this is the scalability regression gate.
+    let big = RunCfg {
+        warmup: 10,
+        iters: 100,
+        ..RunCfg::default()
+    };
+    let refit_quadrics = nicbar::model::BarrierModel {
+        t_init: 2.72,
+        t_trig: 1.59,
+        t_adj: 0.0,
+    };
+    let refit_myrinet = nicbar::model::BarrierModel {
+        t_init: 5.01,
+        t_trig: 4.67,
+        t_adj: 0.0,
+    };
+    let q = elan_nic_barrier(ElanParams::elan3(), 1024, Algorithm::Dissemination, big);
+    assert!(
+        within(q.mean_us, refit_quadrics.predict(1024), 0.10),
+        "Quadrics @1024 = {:.2}µs vs staircase model {:.2}µs",
+        q.mean_us,
+        refit_quadrics.predict(1024)
+    );
+    let m = gm_nic_barrier(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        1024,
+        Algorithm::Dissemination,
+        big,
+    );
+    assert!(
+        within(m.mean_us, refit_myrinet.predict(1024), 0.10),
+        "Myrinet @1024 = {:.2}µs vs staircase model {:.2}µs",
+        m.mean_us,
+        refit_myrinet.predict(1024)
+    );
+}
+
+#[test]
 fn pe_is_bumpy_at_non_powers_of_two_on_myrinet() {
     // §8.1: "The pairwise-exchange algorithm tends to have a larger latency
     // over non-power of two number of nodes for the extra step it takes."
