@@ -20,7 +20,7 @@ use nicbar_bench::seed_engine::{SeedComponent, SeedCtx, SeedEngine};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
-use nicbar_sim::{Component, ComponentId, Ctx, Engine, SchedulerKind, SimTime};
+use nicbar_sim::{Component, ComponentId, Ctx, Engine, EngineSel, SchedulerKind, SimTime};
 use std::time::Instant;
 
 const RING_EVENTS: u64 = 400_000;
@@ -230,6 +230,76 @@ fn fig5_run(kind: SchedulerKind) -> (f64, f64) {
     (stats.mean_us, start.elapsed().as_secs_f64())
 }
 
+/// The fig5 point under an explicit execution engine: simulated mean and
+/// wall seconds.
+fn fig5_engine_run(engine: EngineSel, shards: usize) -> (f64, f64) {
+    // 5000 iterations ≈ 100 ms of wall per run: long enough that the
+    // ±1 ms scheduling jitter of a shared single-CPU CI host cannot fake
+    // a 5% overhead, short enough to keep the gate interactive.
+    let cfg = RunCfg {
+        warmup: 50,
+        iters: 5000,
+        engine,
+        shards,
+        ..RunCfg::default()
+    };
+    let start = Instant::now();
+    let stats = gm_nic_barrier(
+        GmParams::lanai_9_1(),
+        CollFeatures::paper(),
+        16,
+        Algorithm::Dissemination,
+        cfg,
+    );
+    (stats.mean_us, start.elapsed().as_secs_f64())
+}
+
+/// The parallel engine at one shard must be a cheap wrapper around the
+/// sequential core: same simulated latency, and ≤5% wall-clock overhead on
+/// the fig5 figure point. Each repeat times the two engines back to back
+/// and the gate takes the *best pair ratio* — host-load drift (a shared CI
+/// box that slows down mid-gate) hits both halves of a pair equally, where
+/// independent min-of-N on each side can charge one engine for a slow
+/// phase the other never saw. Returns `(seq_wall_s, par_wall_s)` (the best
+/// pair) for the JSON report.
+fn parallel_one_shard_gate() -> (f64, f64) {
+    const GATE_REPEATS: usize = 7;
+    let mut best: Option<(f64, f64)> = None;
+    // Alternate which engine goes first each repeat, so same-pair ordering
+    // cannot systematically favor one side either.
+    for r in 0..GATE_REPEATS {
+        let (seq, par) = if r % 2 == 0 {
+            let s = fig5_engine_run(EngineSel::Sequential, 1);
+            let p = fig5_engine_run(EngineSel::Parallel, 1);
+            (s, p)
+        } else {
+            let p = fig5_engine_run(EngineSel::Parallel, 1);
+            let s = fig5_engine_run(EngineSel::Sequential, 1);
+            (s, p)
+        };
+        assert_eq!(
+            seq.0, par.0,
+            "parallel engine at 1 shard changed the simulated latency"
+        );
+        if best.is_none_or(|(bs, bp)| par.1 / seq.1 < bp / bs) {
+            best = Some((seq.1, par.1));
+        }
+    }
+    let (seq_s, par_s) = best.expect("at least one repeat");
+    let overhead = par_s / seq_s - 1.0;
+    println!(
+        "parallel 1-shard overhead on fig5_n16: sequential {seq_s:.3} s, parallel {par_s:.3} s ({:+.1}%)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "parallel engine at 1 shard is {:.1}% slower than sequential (gate: 5%)",
+        overhead * 100.0
+    );
+    println!("parallel 1-shard overhead within 5% ✓");
+    (seq_s, par_s)
+}
+
 fn fig7_run(kind: SchedulerKind) -> (f64, f64) {
     let start = Instant::now();
     let stats = elan_nic_barrier(
@@ -362,7 +432,8 @@ fn quick_gate(baseline_path: &str) -> ! {
         );
         std::process::exit(1);
     }
-    println!("engine_sweep --quick: within tolerance ✓");
+    println!("engine_sweep --quick: within tolerance ✓\n");
+    parallel_one_shard_gate();
     std::process::exit(0);
 }
 
@@ -484,7 +555,9 @@ fn main() {
     }
     let geomean_seed =
         (vs_seed.iter().map(|&(_, s)| s.ln()).sum::<f64>() / vs_seed.len() as f64).exp();
-    println!("\nmicro geomean vs seed: {geomean_seed:.2}x");
+    println!("\nmicro geomean vs seed: {geomean_seed:.2}x\n");
+
+    let (seq_wall, par1_wall) = parallel_one_shard_gate();
 
     let mut w = Writer::new();
     w.open_object();
@@ -544,6 +617,17 @@ fn main() {
     }
     w.field("geomean");
     w.number(geomean_seed);
+    w.close_object();
+    w.field("parallel_one_shard");
+    w.open_object();
+    w.field("point");
+    w.string("fig5_n16");
+    w.field("sequential_wall_s");
+    w.number(seq_wall);
+    w.field("parallel_wall_s");
+    w.number(par1_wall);
+    w.field("overhead");
+    w.number(par1_wall / seq_wall - 1.0);
     w.close_object();
     w.close_object();
 

@@ -1,16 +1,27 @@
-//! Beyond the paper: scalability of the NIC-based barrier to 4096 nodes.
+//! Beyond the paper: scalability of the NIC-based barrier to 65,536 nodes.
 //!
-//! Sweeps N ∈ {16, 64, 256, 1024, 4096} for NIC-DS and NIC-PE on both
-//! substrates (Myrinet LANai-XP, Quadrics Elan3), with per-point engine
-//! throughput (events per wall-clock second) and process peak RSS — the
-//! evidence that the protocol's steady state is allocation-free and the
-//! simulator's memory stays flat enough to host a 4096-node cluster.
+//! Sweeps N ∈ {16 .. 65,536} for NIC-DS and NIC-PE on both substrates
+//! (Myrinet LANai-XP, Quadrics Elan3), with per-point engine throughput
+//! (events per wall-clock second) and process peak RSS — the evidence that
+//! the protocol's steady state is allocation-free and the simulator's
+//! memory stays O(N), flat enough to host a 65,536-node cluster.
 //!
 //! The dissemination sweep is checked against the paper's analytical form
 //! `T = A + (⌈log₂N⌉−1)·T_trig` (EXPERIMENTS.md refit): the binary exits
 //! nonzero unless each substrate's DS curve fits the staircase at every
-//! measured N. Writes `BENCH_scale.json` at the repo root. `--quick` caps
-//! the sweep at 256 nodes for CI smoke runs.
+//! measured N. Writes `BENCH_scale.json` at the repo root.
+//!
+//! Flags (see [`nicbar_bench::fig_args`]):
+//! * `--quick` sub-samples the grid for CI smoke runs while keeping the
+//!   65,536-node gm NIC-DS point.
+//! * `--engine <auto|sequential|parallel>` and `--shards <K>` select the
+//!   execution engine for the main sweeps.
+//!
+//! After the sweeps, a dedicated engine-comparison series re-runs the
+//! 4096-node gm NIC-DS point sequentially and with the rank-sharded
+//! parallel engine at several shard counts, recording wall-clock speedup.
+//! The ≥3× speedup expectation at 8 shards is asserted only when the host
+//! actually has ≥8 hardware threads.
 
 use nicbar_bench::{fig_args, json::Writer, trajectory, Manifest};
 use nicbar_core::{
@@ -20,7 +31,7 @@ use nicbar_core::{
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
 use nicbar_model::fit;
-use nicbar_sim::RunOutcome;
+use nicbar_sim::{EngineSel, RunOutcome};
 use std::time::Instant;
 
 /// One sweep point's full measurement.
@@ -49,69 +60,83 @@ fn peak_rss_kb() -> u64 {
 }
 
 /// Iteration counts per node count: large clusters cost ~N·log₂N events
-/// per epoch, so scale the epoch count down to keep the whole sweep under
-/// a minute while leaving enough steady-state epochs to time.
-fn cfg_for(n: usize, quick: bool) -> RunCfg {
-    let iters = match n {
-        0..=64 => 400,
-        65..=256 => 100,
-        257..=1024 => 40,
-        _ => 12,
+/// per epoch, so scale the epoch count down to keep the whole sweep around
+/// a minute while leaving enough steady-state epochs to time. The engine
+/// reaches its periodic steady state after the first epoch (the fabric is
+/// deterministic), so even the 65,536-node point needs only a couple of
+/// measured iterations for an exact mean.
+fn cfg_for(n: usize, quick: bool, base: &RunCfg) -> RunCfg {
+    let (warmup, iters) = match n {
+        0..=64 => (10, 400),
+        65..=256 => (10, 100),
+        257..=1024 => (10, 40),
+        1025..=4096 => (10, 12),
+        4097..=16384 => (2, 4),
+        _ => (1, 2),
     };
     let iters = if quick { iters.min(50) } else { iters };
     RunCfg {
-        warmup: 10,
+        warmup,
         iters,
+        engine: base.engine,
+        shards: base.shards,
         ..RunCfg::default()
     }
 }
 
-fn sweep(substrate: &str, algo: Algorithm, ns: &[usize], quick: bool) -> Vec<ScalePoint> {
-    ns.iter()
-        .map(|&n| {
-            let cfg = cfg_for(n, quick);
-            let (events, run_s, stats) = match substrate {
-                "gm" => {
-                    let mut cluster = build_gm_nic_cluster(
-                        GmParams::lanai_xp(),
-                        CollFeatures::paper(),
-                        n,
-                        algo,
-                        &cfg,
-                        false,
-                    );
-                    let t = Instant::now();
-                    let outcome = cluster.run_until(cfg.deadline());
-                    let run_s = t.elapsed().as_secs_f64();
-                    assert_eq!(outcome, RunOutcome::Idle, "gm n={n} did not drain");
-                    (
-                        cluster.engine.events_processed(),
-                        run_s,
-                        gm_nic_stats(&cluster, n, &cfg),
-                    )
-                }
-                _ => {
-                    let mut cluster =
-                        build_elan_nic_cluster(ElanParams::elan3(), n, algo, &cfg, false);
-                    let t = Instant::now();
-                    let outcome = cluster.run_until(cfg.deadline());
-                    let run_s = t.elapsed().as_secs_f64();
-                    assert_eq!(outcome, RunOutcome::Idle, "elan n={n} did not drain");
-                    (
-                        cluster.engine.events_processed(),
-                        run_s,
-                        elan_nic_stats(&cluster, n, &cfg),
-                    )
-                }
-            };
-            ScalePoint {
+/// Run one (substrate, algo, n) point and measure it.
+fn run_point(substrate: &str, algo: Algorithm, n: usize, cfg: &RunCfg) -> ScalePoint {
+    let (events, run_s, stats) = match substrate {
+        "gm" => {
+            let mut cluster = build_gm_nic_cluster(
+                GmParams::lanai_xp(),
+                CollFeatures::paper(),
                 n,
-                stats,
-                events,
+                algo,
+                cfg,
+                false,
+            );
+            let t = Instant::now();
+            let outcome = cluster.run_until(cfg.deadline());
+            let run_s = t.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Idle, "gm n={n} did not drain");
+            (
+                cluster.engine.events_processed(),
                 run_s,
-                peak_rss_kb: peak_rss_kb(),
-            }
-        })
+                gm_nic_stats(&cluster, n, cfg),
+            )
+        }
+        _ => {
+            let mut cluster = build_elan_nic_cluster(ElanParams::elan3(), n, algo, cfg, false);
+            let t = Instant::now();
+            let outcome = cluster.run_until(cfg.deadline());
+            let run_s = t.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Idle, "elan n={n} did not drain");
+            (
+                cluster.engine.events_processed(),
+                run_s,
+                elan_nic_stats(&cluster, n, cfg),
+            )
+        }
+    };
+    ScalePoint {
+        n,
+        stats,
+        events,
+        run_s,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn sweep(
+    substrate: &str,
+    algo: Algorithm,
+    ns: &[usize],
+    quick: bool,
+    base: &RunCfg,
+) -> Vec<ScalePoint> {
+    ns.iter()
+        .map(|&n| run_point(substrate, algo, n, &cfg_for(n, quick, base)))
         .collect()
 }
 
@@ -160,31 +185,123 @@ fn print_table(label: &str, points: &[ScalePoint]) {
     }
 }
 
+/// One row of the engine-comparison series: the 4096-node gm NIC-DS point
+/// under a given engine configuration.
+struct EnginePoint {
+    engine: &'static str,
+    shards: usize,
+    wall_s: f64,
+    mean_us: f64,
+    events: u64,
+}
+
+/// Re-run the 4096-node gm NIC-DS point sequentially and rank-sharded, so
+/// BENCH_scale.json carries a wall-clock speedup series for the parallel
+/// engine. Latency means must be byte-identical across engines (the
+/// conservative windows never reorder cross-shard delivery).
+fn engine_series(quick: bool) -> Vec<EnginePoint> {
+    const N: usize = 4096;
+    let shard_counts: &[usize] = if quick { &[8] } else { &[2, 4, 8] };
+    let mut cfg = cfg_for(N, quick, &RunCfg::default());
+    cfg.engine = EngineSel::Sequential;
+    let seq = run_point("gm", Algorithm::Dissemination, N, &cfg);
+    let mut out = vec![EnginePoint {
+        engine: "sequential",
+        shards: 1,
+        wall_s: seq.run_s,
+        mean_us: seq.stats.mean_us,
+        events: seq.events,
+    }];
+    for &shards in shard_counts {
+        cfg.engine = EngineSel::Parallel;
+        cfg.shards = shards;
+        let par = run_point("gm", Algorithm::Dissemination, N, &cfg);
+        assert_eq!(
+            par.stats.mean_us, seq.stats.mean_us,
+            "parallel engine changed the simulated barrier latency at {shards} shards"
+        );
+        out.push(EnginePoint {
+            engine: "parallel",
+            shards,
+            wall_s: par.run_s,
+            mean_us: par.stats.mean_us,
+            events: par.events,
+        });
+    }
+
+    println!("\n== engine comparison (gm NIC-DS, n=4096) ==");
+    println!(
+        "{:>12} {:>7} {:>9} {:>10} {:>9}",
+        "engine", "shards", "wall s", "mean µs", "speedup"
+    );
+    for p in &out {
+        println!(
+            "{:>12} {:>7} {:>9.2} {:>10.2} {:>8.2}x",
+            p.engine,
+            p.shards,
+            p.wall_s,
+            p.mean_us,
+            seq.run_s / p.wall_s
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if let Some(p8) = out.iter().find(|p| p.engine == "parallel" && p.shards == 8) {
+        let speedup = seq.run_s / p8.wall_s;
+        if cores >= 8 {
+            assert!(
+                speedup >= 3.0,
+                "8-shard parallel engine only {speedup:.2}x over sequential on {cores} cores"
+            );
+        } else {
+            println!("(speedup gate skipped: host has {cores} hardware threads, needs >= 8)");
+        }
+    }
+    out
+}
+
 fn main() {
     let args = fig_args();
-    let ns: Vec<usize> = if args.quick {
-        vec![16, 64, 256]
+    // Full grid per (substrate, algo); `--quick` sub-samples but keeps the
+    // 65,536-node gm NIC-DS headline point. The PE sweeps stop at 4096:
+    // pairwise-exchange is the paper's counterexample algorithm and its
+    // large-N behaviour is already visible there.
+    let ds_full: Vec<usize> = vec![16, 64, 256, 1024, 4096, 16384, 65536];
+    let pe_full: Vec<usize> = vec![16, 64, 256, 1024, 4096];
+    let (gm_ds, elan_ds, pe): (Vec<usize>, Vec<usize>, Vec<usize>) = if args.quick {
+        (
+            vec![16, 256, 4096, 65536],
+            vec![16, 256, 1024],
+            vec![16, 256],
+        )
     } else {
-        vec![16, 64, 256, 1024, 4096]
+        (ds_full.clone(), ds_full, pe_full)
     };
 
     let t_all = Instant::now();
+    let base = args.cfg;
     let sweeps: Vec<(&str, Vec<ScalePoint>)> = vec![
         (
             "gm NIC-DS",
-            sweep("gm", Algorithm::Dissemination, &ns, args.quick),
+            sweep("gm", Algorithm::Dissemination, &gm_ds, args.quick, &base),
         ),
         (
             "gm NIC-PE",
-            sweep("gm", Algorithm::PairwiseExchange, &ns, args.quick),
+            sweep("gm", Algorithm::PairwiseExchange, &pe, args.quick, &base),
         ),
         (
             "elan NIC-DS",
-            sweep("elan", Algorithm::Dissemination, &ns, args.quick),
+            sweep(
+                "elan",
+                Algorithm::Dissemination,
+                &elan_ds,
+                args.quick,
+                &base,
+            ),
         ),
         (
             "elan NIC-PE",
-            sweep("elan", Algorithm::PairwiseExchange, &ns, args.quick),
+            sweep("elan", Algorithm::PairwiseExchange, &pe, args.quick, &base),
         ),
     ];
 
@@ -201,16 +318,24 @@ fn main() {
     check_staircase("elan NIC-DS", &sweeps[2].1);
     println!("staircase check: both DS curves fit the ceil(log2 N) model ✓");
 
+    let engines = engine_series(args.quick);
+
+    let (sel, shards) = base.engine.resolve(base.shards);
     let manifest = Manifest::new(
         RunCfg::default().seed,
         format!(
-            "gm lanai-xp + elan3, DS + PE, n={:?}, warmup=10, iters scaled by n, quick={}",
-            ns, args.quick
+            "gm lanai-xp + elan3, DS to n={}, PE to n={}, iters scaled by n, quick={}, engine={}, shards={}",
+            sweeps[0].1.last().map_or(0, |p| p.n),
+            sweeps[1].1.last().map_or(0, |p| p.n),
+            args.quick,
+            if sel { "parallel" } else { "sequential" },
+            shards,
         ),
     );
 
     // BENCH_scale.json: the trajectory schema (median/p99 per point) plus a
-    // throughput section with events/sec and peak RSS per point.
+    // throughput section with events/sec and peak RSS per point, and an
+    // `engine_series` section with the sequential-vs-sharded wall clocks.
     let mut w = Writer::new();
     w.open_object();
     w.field("bench");
@@ -251,6 +376,33 @@ fn main() {
         w.close_object();
     }
     w.close_array();
+    w.field("engine_series");
+    w.open_object();
+    w.field("label");
+    w.string("gm NIC-DS n=4096, sequential vs rank-sharded parallel");
+    w.field("host_threads");
+    w.uint(std::thread::available_parallelism().map_or(1, usize::from) as u64);
+    w.field("points");
+    w.open_array();
+    let seq_wall = engines[0].wall_s;
+    for p in &engines {
+        w.open_object();
+        w.field("engine");
+        w.string(p.engine);
+        w.field("shards");
+        w.uint(p.shards as u64);
+        w.field("wall_s");
+        w.number(p.wall_s);
+        w.field("mean_us");
+        w.number(p.mean_us);
+        w.field("events");
+        w.uint(p.events);
+        w.field("speedup");
+        w.number(seq_wall / p.wall_s);
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
     w.close_object();
     std::fs::write("BENCH_scale.json", w.finish()).expect("write BENCH_scale.json");
     println!("[saved BENCH_scale.json]");

@@ -7,8 +7,9 @@
 use nicbar_core::host_app::NicBarrierApp;
 use nicbar_core::{Algorithm, GroupSpec, PaperCollective, RunCfg, BARRIER_GROUP};
 use nicbar_gm::{GmApp, GmCluster, GmClusterSpec, GmParams, NicCollective};
-use nicbar_net::{FabricCore, NodeId, Topology, WormholeClos};
+use nicbar_net::{NodeId, Topology, WireModel, WormholeClos};
 use nicbar_sim::{RunOutcome, SimTime};
+use std::sync::Arc;
 
 /// Like `gm_nic_barrier` but with an explicit crossbar radix.
 fn barrier_with_radix(n: usize, radix: usize, cfg: RunCfg) -> (f64, u32) {
@@ -38,15 +39,10 @@ fn barrier_with_radix(n: usize, radix: usize, cfg: RunCfg) -> (f64, u32) {
         )));
     }
     let mut cluster = GmCluster::build(spec, apps, colls);
-    // Swap the fabric for one with the requested radix.
+    // Swap every NIC onto a wire model with the requested radix.
     let topo = WormholeClos::new(n, radix);
     let diameter = topo.diameter();
-    let core = FabricCore::new(Box::new(topo), link, hotspot);
-    cluster
-        .engine
-        .component_mut::<nicbar_gm::fabric::GmFabric>(cluster.fabric)
-        .expect("fabric component")
-        .replace_core(core);
+    cluster.set_wire_model(Arc::new(WireModel::new(Box::new(topo), link, hotspot)));
     let outcome = cluster.engine.run_bounded(
         SimTime::from_us(cfg.total() as f64 * 10_000.0 + 1_000_000.0),
         2_000_000_000,

@@ -239,15 +239,40 @@ pub struct FigArgs {
     pub quick: bool,
     /// `--flight`: opt into a flight-recorded capture after the sweep.
     pub flight: bool,
-    /// [`quick_cfg`] under `--quick`, [`figure_cfg`] otherwise.
+    /// [`quick_cfg`] under `--quick`, [`figure_cfg`] otherwise, with
+    /// `--engine`/`--shards` already threaded in.
     pub cfg: nicbar_core::RunCfg,
 }
 
-/// Parse the figure binaries' shared flags from `std::env::args`.
+/// Parse the figure binaries' shared flags from `std::env::args`:
+/// `--quick`, `--flight`, `--engine <auto|sequential|parallel>` and
+/// `--shards <K>`.
 pub fn fig_args() -> FigArgs {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let flight = std::env::args().any(|a| a == "--flight");
-    let cfg = if quick { quick_cfg() } else { figure_cfg() };
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flight = args.iter().any(|a| a == "--flight");
+    let mut cfg = if quick { quick_cfg() } else { figure_cfg() };
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .as_str()
+        })
+    };
+    if let Some(engine) = value_of("--engine") {
+        cfg.engine = match engine {
+            "auto" => nicbar_sim::EngineSel::Auto,
+            "sequential" => nicbar_sim::EngineSel::Sequential,
+            "parallel" => nicbar_sim::EngineSel::Parallel,
+            other => panic!("--engine must be auto|sequential|parallel, got {other}"),
+        };
+    }
+    if let Some(shards) = value_of("--shards") {
+        cfg.shards = shards
+            .parse()
+            .unwrap_or_else(|_| panic!("--shards must be a positive integer, got {shards}"));
+        assert!(cfg.shards >= 1, "--shards must be >= 1");
+    }
     FigArgs { quick, flight, cfg }
 }
 

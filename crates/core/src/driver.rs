@@ -12,8 +12,8 @@ use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram}
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::{NodeId, Permutation};
 use nicbar_sim::{
-    Engine, Histogram, PacketRecord, RunOutcome, SchedulerKind, SimRng, SimTime, SpanSummary,
-    TraceRecord,
+    EngineSel, ExecEngine, Histogram, PacketRecord, RunOutcome, SchedulerKind, SimRng, SimTime,
+    SpanSummary, TraceRecord,
 };
 
 /// The collective group id used by the barrier benchmarks.
@@ -40,6 +40,10 @@ pub struct RunCfg {
     /// Engine event-queue implementation (differential testing of the
     /// indexed scheduler against the classic binary heap).
     pub scheduler: SchedulerKind,
+    /// Engine flavour ([`EngineSel::Auto`]: parallel iff `shards > 1`).
+    pub engine: EngineSel,
+    /// Worker shards for the parallel engine.
+    pub shards: usize,
 }
 
 impl Default for RunCfg {
@@ -52,6 +56,8 @@ impl Default for RunCfg {
             drop_prob: 0.0,
             permute: false,
             scheduler: SchedulerKind::default(),
+            engine: EngineSel::Auto,
+            shards: 1,
         }
     }
 }
@@ -209,9 +215,9 @@ impl FlightData {
 
 /// Snapshot the trace ring and flight recorder off any engine into a
 /// [`FlightData`] whose `stats` field the caller fills in afterwards.
-fn capture_observability<M>(
+fn capture_observability<M: Send + 'static>(
     substrate: &'static str,
-    engine: &Engine<M>,
+    engine: &ExecEngine<M>,
     stats: BarrierStats,
 ) -> FlightData {
     let trace = engine.trace();
@@ -255,8 +261,13 @@ pub fn build_gm_nic_cluster(
         .with_seed(cfg.seed)
         .with_drop_prob(cfg.drop_prob)
         .with_features(features)
-        .with_scheduler(cfg.scheduler);
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members = cfg.members(n);
+    // One shared membership list for every rank's GroupSpec: at 65,536
+    // nodes a per-rank copy would be 34 GB.
+    let shared: std::sync::Arc<[NodeId]> = members.as_slice().into();
     // apps/colls are indexed by *node*; rank r lives on members[r].
     let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
     let mut colls: Vec<Option<Box<dyn NicCollective>>> = (0..n).map(|_| None).collect();
@@ -270,7 +281,7 @@ pub fn build_gm_nic_cluster(
             node,
             vec![GroupSpec::barrier(
                 BARRIER_GROUP,
-                members.clone(),
+                shared.clone(),
                 rank,
                 algo,
                 timeout,
@@ -362,7 +373,9 @@ pub fn gm_host_barrier(params: GmParams, n: usize, algo: Algorithm, cfg: RunCfg)
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
         .with_drop_prob(cfg.drop_prob)
-        .with_scheduler(cfg.scheduler);
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -409,7 +422,9 @@ pub fn build_elan_nic_cluster(
 ) -> ElanCluster {
     let spec = ElanClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_scheduler(cfg.scheduler);
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members = cfg.members(n);
     let chain_by_rank = build_chains(algo, &members);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
@@ -500,7 +515,9 @@ pub fn elan_gsync_barrier(
 ) -> BarrierStats {
     let spec = ElanClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_scheduler(cfg.scheduler);
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -610,7 +627,9 @@ fn elan_thread_collective(
 
     let spec = ElanClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_scheduler(cfg.scheduler);
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for &node in members.iter() {

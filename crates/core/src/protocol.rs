@@ -48,6 +48,7 @@ use nicbar_gm::{
 use nicbar_net::NodeId;
 use nicbar_sim::{CauseId, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Combine operator for allreduce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,8 +110,10 @@ pub enum GroupOp {
 pub struct GroupSpec {
     /// Group identifier (shared across members).
     pub id: GroupId,
-    /// Member nodes in rank order.
-    pub members: Vec<NodeId>,
+    /// Member nodes in rank order. Shared (`Arc`) because every rank's spec
+    /// lists the same membership: one allocation per group, not per rank,
+    /// which is what keeps a 65,536-node sweep at O(n) instead of O(n²).
+    pub members: Arc<[NodeId]>,
     /// This NIC's rank within the group.
     pub my_rank: usize,
     /// The operation this group performs.
@@ -126,14 +129,14 @@ impl GroupSpec {
     /// A barrier group over `members` with `my_rank`, using `algo`.
     pub fn barrier(
         id: GroupId,
-        members: Vec<NodeId>,
+        members: impl Into<Arc<[NodeId]>>,
         my_rank: usize,
         algo: Algorithm,
         timeout: SimTime,
     ) -> Self {
         GroupSpec {
             id,
-            members,
+            members: members.into(),
             my_rank,
             op: GroupOp::Barrier,
             algo,
@@ -817,7 +820,7 @@ impl NicCollective for PaperCollective {
 mod tests {
     use super::*;
 
-    fn members(n: usize) -> Vec<NodeId> {
+    fn members(n: usize) -> Arc<[NodeId]> {
         (0..n).map(NodeId).collect()
     }
 

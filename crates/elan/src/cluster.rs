@@ -1,14 +1,17 @@
 //! Elan cluster assembly.
 
 use crate::events::ElanEvent;
-use crate::fabric::ElanFabric;
 use crate::host::{ElanApp, ElanHost};
 use crate::hwbarrier::HwBarrierUnit;
 use crate::nic::ElanNic;
 use crate::params::ElanParams;
 use crate::types::{NicEvent, RdmaDesc};
-use nicbar_net::{FabricCore, NodeId, QuaternaryFatTree};
-use nicbar_sim::{ComponentId, Engine, RunOutcome, SchedulerKind, SimTime};
+use nicbar_net::{NodeId, QuaternaryFatTree, WireModel, WireRx};
+use nicbar_sim::{
+    ComponentId, Engine, EngineSel, ExecEngine, ParallelEngine, RunOutcome, SchedulerKind,
+    ShardMap, SimTime,
+};
+use std::sync::Arc;
 
 /// Static description of an Elan cluster simulation.
 #[derive(Clone, Debug)]
@@ -24,6 +27,13 @@ pub struct ElanClusterSpec {
     /// Event-queue implementation for the engine (differential testing of
     /// the indexed scheduler against the classic binary heap).
     pub scheduler: SchedulerKind,
+    /// Which engine flavour to build ([`EngineSel::Auto`]: parallel iff
+    /// `shards > 1`). The hardware barrier unit is a single component with
+    /// sub-lookahead links to every NIC, so `hw_barrier` clusters always
+    /// build sequential regardless of this selection.
+    pub engine: EngineSel,
+    /// Worker shards for the parallel engine (clamped to `[1, n]`).
+    pub shards: usize,
 }
 
 impl ElanClusterSpec {
@@ -35,6 +45,8 @@ impl ElanClusterSpec {
             seed: 0xE1A3,
             hw_barrier: false,
             scheduler: SchedulerKind::default(),
+            engine: EngineSel::Auto,
+            shards: 1,
         }
     }
 
@@ -55,6 +67,18 @@ impl ElanClusterSpec {
         self.scheduler = scheduler;
         self
     }
+
+    /// Select the engine flavour.
+    pub fn with_engine(mut self, engine: EngineSel) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Request `shards` parallel worker shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 /// Per-node NIC programming: the descriptor and event tables armed from
@@ -70,14 +94,12 @@ pub struct NicProgram {
 
 /// A built Elan cluster.
 pub struct ElanCluster {
-    /// The discrete-event engine.
-    pub engine: Engine<ElanEvent>,
+    /// The discrete-event engine (sequential or parallel).
+    pub engine: ExecEngine<ElanEvent>,
     /// Host components by node index.
     pub hosts: Vec<ComponentId>,
     /// NIC components by node index.
     pub nics: Vec<ComponentId>,
-    /// The fabric component.
-    pub fabric: ComponentId,
     /// The hardware barrier unit, when enabled.
     pub hw_unit: Option<ComponentId>,
     /// Number of nodes.
@@ -97,7 +119,6 @@ impl ElanCluster {
         let mut engine: Engine<ElanEvent> = Engine::with_scheduler(spec.seed, spec.scheduler);
         let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
         let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
-        let fabric_id = engine.reserve_id();
         let hw_id = if spec.hw_barrier {
             Some(engine.reserve_id())
         } else {
@@ -112,8 +133,11 @@ impl ElanCluster {
                 HwBarrierUnit::new(group, nic_ids.clone(), &topology, spec.params.clone()),
             );
         }
-        let core = FabricCore::new(Box::new(topology), spec.params.link, spec.params.hotspot_ns);
-        engine.install(fabric_id, ElanFabric::new(core, nic_ids.clone()));
+        let model = Arc::new(WireModel::new(
+            Box::new(topology),
+            spec.params.link,
+            spec.params.hotspot_ns,
+        ));
 
         let mut apps = apps;
         let mut programs = programs;
@@ -125,7 +149,8 @@ impl ElanCluster {
                 ElanNic::new(
                     NodeId(i),
                     spec.params.clone(),
-                    fabric_id,
+                    WireRx::new(Arc::clone(&model)),
+                    nic_ids[0],
                     host_ids[i],
                     hw_id,
                     prog.descs,
@@ -140,11 +165,23 @@ impl ElanCluster {
         for &h in &host_ids {
             engine.schedule_at(SimTime::ZERO, h, ElanEvent::AppStart);
         }
+
+        // Layout is [hosts 0..n][NICs n..2n]; a component's node is its id
+        // mod n. The hardware barrier unit has no node and exchanges
+        // sub-lookahead messages with every NIC, so its presence forces the
+        // sequential engine.
+        let (parallel, shards) = spec.engine.resolve(spec.shards);
+        let engine = if parallel && hw_id.is_none() {
+            let map = ShardMap::by_node(2 * spec.n, spec.n, shards, |c| c % spec.n);
+            ExecEngine::Par(ParallelEngine::new(engine, map, model.min_latency()))
+        } else {
+            ExecEngine::Seq(engine)
+        };
+
         ElanCluster {
             engine,
             hosts: host_ids,
             nics: nic_ids,
-            fabric: fabric_id,
             hw_unit: hw_id,
             n: spec.n,
         }

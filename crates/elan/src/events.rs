@@ -129,7 +129,7 @@ pub enum ElanEvent {
         src: NodeId,
         /// Payload.
         payload: ElanPayload,
-        /// Netdump id of the fabric's `wire` record.
+        /// Netdump id of the receiving NIC's `wire` record.
         cause: CauseId,
     },
     /// The hardware barrier unit reports completion to this NIC.
@@ -140,8 +140,9 @@ pub enum ElanEvent {
         cause: CauseId,
     },
 
-    // --- fabric-bound ---
-    /// A NIC injected a transaction.
+    // --- destination-NIC-bound ---
+    /// A transaction presents at the destination NIC's input port after
+    /// its routed flight; the receiver resolves port contention.
     Inject {
         /// Source node.
         src: NodeId,

@@ -100,7 +100,7 @@ impl<'a> ElanApi<'a> {
 }
 
 /// A simulated process on a Quadrics node.
-pub trait ElanApp: AsAny + 'static {
+pub trait ElanApp: AsAny + Send + 'static {
     /// Process start (t = 0).
     fn on_start(&mut self, api: &mut ElanApi<'_>);
     /// A tport message arrived.

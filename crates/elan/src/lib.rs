@@ -15,7 +15,10 @@
 //!   synchronization caveats modeled.
 //! * [`elanlib::Gsync`] — the Elanlib tree gather-broadcast barrier
 //!   (`elan_gsync()`), host-driven at every level.
-//! * [`fabric::ElanFabric`] — hardware-reliable fat-tree delivery.
+//! * the wire model ([`nicbar_net::WireModel`] / [`nicbar_net::WireRx`]) —
+//!   hardware-reliable fat-tree delivery, with destination-port contention
+//!   resolved at each receiving NIC. There is no central fabric component,
+//!   so clusters shard cleanly across the parallel engine.
 //! * [`cluster::ElanCluster`] — assembly and run helpers.
 
 #![warn(missing_docs)]
@@ -23,7 +26,6 @@
 pub mod cluster;
 pub mod elanlib;
 pub mod events;
-pub mod fabric;
 pub mod host;
 pub mod hwbarrier;
 pub mod nic;

@@ -12,7 +12,7 @@ use crate::thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
 use crate::types::{
     DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD, TPORT_WIRE_OVERHEAD,
 };
-use nicbar_net::NodeId;
+use nicbar_net::{NodeId, WireRx};
 use nicbar_sim::counter_id;
 use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
 
@@ -20,7 +20,12 @@ use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, Si
 pub struct ElanNic {
     node: NodeId,
     params: ElanParams,
-    fabric: ComponentId,
+    /// This NIC's wire receive port (shared routing model + private
+    /// destination-port contention state). QsNet is hardware-reliable, so
+    /// the model's drop probability must be zero (asserted at build).
+    wire: WireRx,
+    /// Component id of NIC 0; NIC `d` is `nic0 + d` (contiguous layout).
+    nic0: ComponentId,
     host: ComponentId,
     /// The switch-level hardware barrier unit, if the cluster has one.
     hw_unit: Option<ComponentId>,
@@ -41,10 +46,12 @@ impl ElanNic {
     /// Build a NIC with pre-armed descriptor/event tables (the "set up from
     /// user level" step of §7; its one-time cost is not on the per-barrier
     /// critical path).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: NodeId,
         params: ElanParams,
-        fabric: ComponentId,
+        wire: WireRx,
+        nic0: ComponentId,
         host: ComponentId,
         hw_unit: Option<ComponentId>,
         descs: Vec<RdmaDesc>,
@@ -55,10 +62,16 @@ impl ElanNic {
                 assert!((e as usize) < events.len(), "dangling local event");
             }
         }
+        assert_eq!(
+            wire.model().drop_prob(),
+            0.0,
+            "QsNet is hardware-reliable; loss injection is a GM-only concept"
+        );
         ElanNic {
             node,
             params,
-            fabric,
+            wire,
+            nic0,
             host,
             hw_unit,
             engine_free: SimTime::ZERO,
@@ -96,16 +109,13 @@ impl ElanNic {
                             .nodes(self.node.0 as u32, dst.0 as u32)
                             .detail(tag as u64, value),
                     );
-                    ctx.send_at(
+                    self.inject(
+                        ctx,
                         t,
-                        self.fabric,
-                        ElanEvent::Inject {
-                            src: self.node,
-                            dst,
-                            bytes: THREAD_MSG_BYTES,
-                            payload: ElanPayload::Thread { tag, value },
-                            cause: fire,
-                        },
+                        dst,
+                        THREAD_MSG_BYTES,
+                        ElanPayload::Thread { tag, value },
+                        fire,
                     );
                 }
                 ThreadAction::NotifyHost { cookie, value: _ } => {
@@ -140,6 +150,73 @@ impl ElanNic {
         self.engine_free
     }
 
+    /// Commit a packet to the wire at time `t`: routed flight latency from
+    /// the shared wire model, presenting at the destination NIC's input
+    /// port as an [`ElanEvent::Inject`]. Port contention resolves there,
+    /// at the receiver.
+    fn inject(
+        &mut self,
+        ctx: &mut Ctx<'_, ElanEvent>,
+        t: SimTime,
+        dst: NodeId,
+        bytes: u32,
+        payload: ElanPayload,
+        cause: CauseId,
+    ) {
+        let flight = self.wire.model().flight(self.node, dst, bytes);
+        let target = ComponentId(self.nic0.0 + dst.0);
+        ctx.send_at(
+            t + flight,
+            target,
+            ElanEvent::Inject {
+                src: self.node,
+                dst,
+                bytes,
+                payload,
+                cause,
+            },
+        );
+    }
+
+    /// A packet presents at this NIC's input port after its routed flight:
+    /// admit it through the port (contention in arrival order) and hand it
+    /// to the protocol as an [`ElanEvent::Arrive`]. QsNet never drops.
+    fn on_inject(
+        &mut self,
+        ctx: &mut Ctx<'_, ElanEvent>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        payload: ElanPayload,
+        cause: CauseId,
+    ) {
+        debug_assert_eq!(dst, self.node, "packet presented at the wrong NIC");
+        ctx.count_id(counter_id!("elan.wire"), 1);
+        // Span: the wire crossing.
+        ctx.span(SpanEvent::Wire {
+            src: src.0 as u64,
+            dst: dst.0 as u64,
+            bytes: bytes as u64,
+        });
+        let admission = self.wire.admit(ctx.now(), bytes);
+        // Netdump: wire traversal with the link-occupancy tag (bytes +
+        // destination-port queuing wait).
+        let wire = ctx.packet(
+            PacketLog::new(cause, CausalKind::Wire)
+                .nodes(src.0 as u32, dst.0 as u32)
+                .detail(bytes as u64, admission.port_wait.as_ns()),
+        );
+        ctx.send_at(
+            admission.arrive,
+            ctx.self_id(),
+            ElanEvent::Arrive {
+                src,
+                payload,
+                cause: wire,
+            },
+        );
+    }
+
     /// Launch a descriptor: inject the RDMA and set its local event.
     fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId, cause: CauseId) {
         let t = self.engine(ctx.now(), self.params.nic_desc_proc);
@@ -158,18 +235,15 @@ impl ElanNic {
                 .nodes(self.node.0 as u32, d.dst.0 as u32)
                 .detail(desc.0 as u64, (RDMA_WIRE_OVERHEAD + d.bytes) as u64),
         );
-        ctx.send_at(
+        self.inject(
+            ctx,
             t,
-            self.fabric,
-            ElanEvent::Inject {
-                src: self.node,
-                dst: d.dst,
-                bytes: RDMA_WIRE_OVERHEAD + d.bytes,
-                payload: ElanPayload::Rdma {
-                    remote_event: d.remote_event,
-                },
-                cause: fire,
+            d.dst,
+            RDMA_WIRE_OVERHEAD + d.bytes,
+            ElanPayload::Rdma {
+                remote_event: d.remote_event,
             },
+            fire,
         );
         if let Some(le) = d.local_event {
             // The local "issued" event trips as soon as the descriptor is
@@ -274,16 +348,13 @@ impl Component<ElanEvent> for ElanNic {
                         .nodes(self.node.0 as u32, dst.0 as u32)
                         .detail(tag.0 as u64, len as u64),
                 );
-                ctx.send_at(
+                self.inject(
+                    ctx,
                     t,
-                    self.fabric,
-                    ElanEvent::Inject {
-                        src: self.node,
-                        dst,
-                        bytes: TPORT_WIRE_OVERHEAD + len,
-                        payload: ElanPayload::Tport { tag, len },
-                        cause: fire,
-                    },
+                    dst,
+                    TPORT_WIRE_OVERHEAD + len,
+                    ElanPayload::Tport { tag, len },
+                    fire,
                 );
             }
             ElanEvent::HwSyncPost { epoch, cause } => {
@@ -316,6 +387,15 @@ impl Component<ElanEvent> for ElanNic {
                 );
                 let actions = self.thread.on_doorbell(t, value);
                 self.run_thread_actions(ctx, actions, dispatch);
+            }
+            ElanEvent::Inject {
+                src,
+                dst,
+                bytes,
+                payload,
+                cause,
+            } => {
+                self.on_inject(ctx, src, dst, bytes, payload, cause);
             }
             ElanEvent::Arrive {
                 src,

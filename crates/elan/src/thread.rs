@@ -42,7 +42,7 @@ pub enum ThreadAction {
 }
 
 /// A handler running on the Elan thread processor.
-pub trait ElanThread: AsAny + 'static {
+pub trait ElanThread: AsAny + Send + 'static {
     /// The host posted a thread doorbell with an operand.
     fn on_doorbell(&mut self, now: SimTime, value: u64) -> Vec<ThreadAction>;
     /// A thread message arrived from a peer NIC.

@@ -1,13 +1,18 @@
-//! Cluster assembly: wire hosts, NICs and the fabric into one engine.
+//! Cluster assembly: wire hosts and NICs into one engine (sequential or
+//! rank-sharded parallel — the wire model has no central component, so the
+//! choice is free).
 
 use crate::collective::{NicCollective, NullCollective};
 use crate::events::GmEvent;
-use crate::fabric::GmFabric;
 use crate::host::{GmApp, GmHost};
 use crate::nic::LanaiNic;
 use crate::params::{CollFeatures, GmParams};
-use nicbar_net::{FabricCore, NodeId, WormholeClos};
-use nicbar_sim::{ComponentId, Engine, RunOutcome, SchedulerKind, SimTime};
+use nicbar_net::{NodeId, WireModel, WireRx, WormholeClos};
+use nicbar_sim::{
+    ComponentId, Engine, EngineSel, ExecEngine, ParallelEngine, RunOutcome, SchedulerKind,
+    ShardMap, SimTime,
+};
+use std::sync::Arc;
 
 /// Static description of a GM cluster simulation.
 #[derive(Clone, Debug)]
@@ -20,13 +25,18 @@ pub struct GmClusterSpec {
     pub n: usize,
     /// Master seed for all randomness in the run.
     pub seed: u64,
-    /// Fabric loss-injection probability.
+    /// Wire loss-injection probability.
     pub drop_prob: f64,
     /// Receive buffers pre-posted per NIC at startup.
     pub initial_recv_tokens: u32,
     /// Event-queue implementation for the engine (differential testing of
     /// the indexed scheduler against the classic binary heap).
     pub scheduler: SchedulerKind,
+    /// Which engine flavour to build ([`EngineSel::Auto`]: parallel iff
+    /// `shards > 1`).
+    pub engine: EngineSel,
+    /// Worker shards for the parallel engine (clamped to `[1, n]`).
+    pub shards: usize,
 }
 
 impl GmClusterSpec {
@@ -41,6 +51,8 @@ impl GmClusterSpec {
             drop_prob: 0.0,
             initial_recv_tokens: 64,
             scheduler: SchedulerKind::default(),
+            engine: EngineSel::Auto,
+            shards: 1,
         }
     }
 
@@ -67,19 +79,29 @@ impl GmClusterSpec {
         self.scheduler = scheduler;
         self
     }
+
+    /// Select the engine flavour.
+    pub fn with_engine(mut self, engine: EngineSel) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Request `shards` parallel worker shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 /// A built GM cluster: the engine plus the component directory.
 pub struct GmCluster {
-    /// The discrete-event engine; run it with [`GmCluster::run_until`] or
-    /// directly.
-    pub engine: Engine<GmEvent>,
+    /// The discrete-event engine (sequential or parallel); run it with
+    /// [`GmCluster::run_until`] or directly.
+    pub engine: ExecEngine<GmEvent>,
     /// Host components by node index.
     pub hosts: Vec<ComponentId>,
     /// NIC components by node index.
     pub nics: Vec<ComponentId>,
-    /// The fabric component.
-    pub fabric: ComponentId,
     /// Number of nodes.
     pub n: usize,
 }
@@ -100,15 +122,15 @@ impl GmCluster {
 
         let host_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
         let nic_ids: Vec<ComponentId> = (0..spec.n).map(|_| engine.reserve_id()).collect();
-        let fabric_id = engine.reserve_id();
 
-        let mut core = FabricCore::new(
-            Box::new(WormholeClos::myrinet2000(spec.n)),
-            spec.params.link,
-            spec.params.hotspot_ns,
+        let model = Arc::new(
+            WireModel::new(
+                Box::new(WormholeClos::myrinet2000(spec.n)),
+                spec.params.link,
+                spec.params.hotspot_ns,
+            )
+            .with_drop_prob(spec.drop_prob),
         );
-        core.set_drop_prob(spec.drop_prob);
-        engine.install(fabric_id, GmFabric::new(core, nic_ids.clone()));
 
         let mut colls = colls;
         let mut apps = apps;
@@ -123,7 +145,8 @@ impl GmCluster {
                     spec.n,
                     spec.params.clone(),
                     spec.features,
-                    fabric_id,
+                    WireRx::new(Arc::clone(&model)),
+                    nic_ids[0],
                     host_ids[i],
                     coll,
                     spec.initial_recv_tokens,
@@ -137,11 +160,22 @@ impl GmCluster {
         for &h in &host_ids {
             engine.schedule_at(SimTime::ZERO, h, GmEvent::AppStart);
         }
+
+        // Layout is [hosts 0..n][NICs n..2n], so a component's node is its
+        // id mod n. Host↔NIC traffic is zero-lookahead and must co-locate;
+        // only the wire crossing (≥ min_latency) goes cross-shard.
+        let (parallel, shards) = spec.engine.resolve(spec.shards);
+        let engine = if parallel {
+            let map = ShardMap::by_node(2 * spec.n, spec.n, shards, |c| c % spec.n);
+            ExecEngine::Par(ParallelEngine::new(engine, map, model.min_latency()))
+        } else {
+            ExecEngine::Seq(engine)
+        };
+
         GmCluster {
             engine,
             hosts: host_ids,
             nics: nic_ids,
-            fabric: fabric_id,
             n: spec.n,
         }
     }
@@ -165,6 +199,24 @@ impl GmCluster {
             "event budget exhausted — runaway protocol loop?"
         );
         outcome
+    }
+
+    /// Swap every NIC onto a different wire model (topology ablations).
+    /// On the parallel engine the replacement's minimum latency must not
+    /// undercut the lookahead the shard windows were built with.
+    pub fn set_wire_model(&mut self, model: Arc<WireModel>) {
+        if let ExecEngine::Par(par) = &self.engine {
+            assert!(
+                model.min_latency() >= par.lookahead(),
+                "replacement wire model undercuts the engine's lookahead"
+            );
+        }
+        for &nic in &self.nics {
+            self.engine
+                .component_mut::<LanaiNic>(nic)
+                .expect("NIC component")
+                .set_wire_model(Arc::clone(&model));
+        }
     }
 
     /// Downcast host `i`'s application.

@@ -125,7 +125,7 @@ impl ActionBuf {
 /// receiver-driven NACK timer) is expressed through
 /// [`NicCollective::next_deadline`], which the NIC uses to arm its timer
 /// sweep.
-pub trait NicCollective: AsAny + 'static {
+pub trait NicCollective: AsAny + Send + 'static {
     /// Host posted a collective doorbell with its operand. `cause` is the
     /// netdump id of the NIC's dispatch record for the doorbell; actions it
     /// enables must carry it (or [`CauseId::NONE`] when the dump is off).

@@ -105,14 +105,15 @@ pub enum GmEvent {
         /// Netdump id of the `dma-start` record for this transfer.
         cause: CauseId,
     },
-    /// A packet arrived from the fabric.
+    /// A packet cleared this NIC's input port (wire flight + contention).
     Arrive(Packet),
     /// Periodic retransmission sweep.
     TimerCheck,
 
     // ------------------------------------------------------------------
-    // Fabric-bound events
+    // Destination-NIC-bound events
     // ------------------------------------------------------------------
-    /// A NIC handed a packet to the network.
+    /// A packet presents at the destination NIC's input port after its
+    /// routed flight; the receiver resolves port contention and loss.
     Inject(Packet),
 }

@@ -125,7 +125,7 @@ impl<'a> GmApi<'a> {
 ///
 /// The `AsAny` supertrait lets harnesses downcast a finished application to
 /// its concrete type to read out measurements.
-pub trait GmApp: AsAny + 'static {
+pub trait GmApp: AsAny + Send + 'static {
     /// The process started (t = 0).
     fn on_start(&mut self, api: &mut GmApi<'_>);
     /// A message arrived.

@@ -11,8 +11,10 @@
 //!   queues with round-robin scheduling, a bounded send-packet pool, MTU
 //!   packetization with host↔NIC DMA, per-packet send records,
 //!   ACK/timeout/go-back-N retransmission, and receive-token matching.
-//! * [`fabric::GmFabric`] — the wormhole crossbar network with loss
-//!   injection.
+//! * the wire model ([`nicbar_net::WireModel`] / [`nicbar_net::WireRx`]) —
+//!   wormhole routing shared by every NIC, with destination-port contention
+//!   and loss injection resolved at each receiving NIC. There is no central
+//!   fabric component, so clusters shard cleanly across the parallel engine.
 //! * [`collective::NicCollective`] — the hook where `nicbar-core` plugs the
 //!   paper's NIC-based collective protocol into the NIC, with
 //!   [`params::CollFeatures`] ablation toggles.
@@ -27,7 +29,6 @@
 pub mod cluster;
 pub mod collective;
 pub mod events;
-pub mod fabric;
 pub mod host;
 pub mod nic;
 pub mod params;

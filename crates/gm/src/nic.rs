@@ -40,10 +40,11 @@ use crate::collective::{ActionBuf, CollAction, NicCollective};
 use crate::events::GmEvent;
 use crate::params::{CollFeatures, GmParams};
 use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
-use nicbar_net::NodeId;
+use nicbar_net::{NodeId, WireModel, WireRx};
 use nicbar_sim::counter_id;
 use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Per-source reassembly state for a partially received message.
 #[derive(Clone, Copy, Debug)]
@@ -111,7 +112,11 @@ pub struct LanaiNic {
     n: usize,
     params: GmParams,
     features: CollFeatures,
-    fabric: ComponentId,
+    /// This NIC's wire receive port (shared routing model + private
+    /// destination-port contention state).
+    wire: WireRx,
+    /// Component id of NIC 0; NIC `d` is `nic0 + d` (contiguous layout).
+    nic0: ComponentId,
     host: ComponentId,
 
     /// LANai processor busy-until (serial resource).
@@ -150,7 +155,8 @@ impl LanaiNic {
         n: usize,
         params: GmParams,
         features: CollFeatures,
-        fabric: ComponentId,
+        wire: WireRx,
+        nic0: ComponentId,
         host: ComponentId,
         coll: Box<dyn NicCollective>,
         initial_recv_tokens: u32,
@@ -161,7 +167,8 @@ impl LanaiNic {
             free_packets: params.send_packet_pool,
             params,
             features,
-            fabric,
+            wire,
+            nic0,
             host,
             cpu_free: SimTime::ZERO,
             dma_free: SimTime::ZERO,
@@ -317,15 +324,15 @@ impl LanaiNic {
                 .key(pkt.group.0 as u64, pkt.epoch)
                 .detail(pkt.round as u64, 0),
             );
-            ctx.send_at(
+            self.inject(
+                ctx,
                 t,
-                self.fabric,
-                GmEvent::Inject(Packet {
+                Packet {
                     src: self.node,
                     dst: NodeId(dst),
                     kind: PacketKind::Coll(pkt),
                     cause: fire,
-                }),
+                },
             );
         } else {
             // Scheduler pass + buffer claim burn NIC cycles.
@@ -442,7 +449,7 @@ impl LanaiNic {
             cause: fire,
         };
         ctx.count_id(counter_id!("gm.data_sent"), 1);
-        ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+        self.inject(ctx, t, pkt);
         self.ensure_timer(ctx);
     }
 
@@ -514,7 +521,7 @@ impl LanaiNic {
             cause: fire,
         };
         ctx.count_id(counter_id!("gm.ack_sent"), 1);
-        ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+        self.inject(ctx, t, pkt);
     }
 
     fn on_arrive(&mut self, ctx: &mut Ctx<'_, GmEvent>, pkt: Packet) {
@@ -643,15 +650,15 @@ impl LanaiNic {
                             .key(cp.group.0 as u64, cp.epoch)
                             .detail(cp.round as u64, 0),
                     );
-                    ctx.send_at(
+                    self.inject(
+                        ctx,
                         ta,
-                        self.fabric,
-                        GmEvent::Inject(Packet {
+                        Packet {
                             src: self.node,
                             dst: cp.src,
                             kind: PacketKind::Coll(ack),
                             cause: ack_fire,
-                        }),
+                        },
                     );
                 }
             }
@@ -768,15 +775,15 @@ impl LanaiNic {
                         .key(pkt.group.0 as u64, pkt.epoch)
                         .detail(pkt.round as u64, 0),
                     );
-                    ctx.send_at(
+                    self.inject(
+                        ctx,
                         at,
-                        self.fabric,
-                        GmEvent::Inject(Packet {
+                        Packet {
                             src: self.node,
                             dst,
                             kind: PacketKind::Coll(pkt),
                             cause: fire,
-                        }),
+                        },
                     );
                 }
                 CollAction::HostDone {
@@ -877,9 +884,92 @@ impl LanaiNic {
                         .nodes(self.node.0 as u32, d as u32)
                         .detail(seq as u64, 0),
                 );
-                ctx.send_at(t, self.fabric, GmEvent::Inject(pkt));
+                self.inject(ctx, t, pkt);
             }
         }
+    }
+
+    /// Commit `pkt` to the wire at time `t`: the routed flight latency
+    /// comes from the shared (immutable) wire model, and the packet
+    /// presents at the destination NIC's input port as a
+    /// [`GmEvent::Inject`]. Contention and the loss draw resolve there,
+    /// in [`LanaiNic::on_inject`] — the receiver owns the wire's only
+    /// mutable state, which is what lets clusters shard.
+    fn inject(&mut self, ctx: &mut Ctx<'_, GmEvent>, t: SimTime, pkt: Packet) {
+        let flight = self.wire.model().flight(pkt.src, pkt.dst, pkt.wire_bytes());
+        let target = ComponentId(self.nic0.0 + pkt.dst.0);
+        ctx.send_at(t + flight, target, GmEvent::Inject(pkt));
+    }
+
+    /// A packet presents at this NIC's input port after its routed
+    /// flight. Port contention (arrival order at *this* port), the loss
+    /// draw (this NIC's RNG), the wire counters, and the wire/drop
+    /// netdump records all happen here at the receiver.
+    fn on_inject(&mut self, ctx: &mut Ctx<'_, GmEvent>, mut pkt: Packet) {
+        debug_assert_eq!(pkt.dst, self.node, "packet presented at the wrong NIC");
+        let label = match &pkt.kind {
+            PacketKind::Data { .. } => counter_id!("wire.data"),
+            PacketKind::Ack { .. } => counter_id!("wire.ack"),
+            PacketKind::Coll(c) => match c.kind {
+                CollKind::Nack => counter_id!("wire.coll_nack"),
+                CollKind::Ack => counter_id!("wire.coll_ack"),
+                _ => counter_id!("wire.coll"),
+            },
+        };
+        ctx.count_id(label, 1);
+        ctx.count_id(counter_id!("wire.total"), 1);
+        let bytes = pkt.wire_bytes();
+        // Span: the wire crossing (emitted before the loss draw so dropped
+        // packets still show their attempt).
+        ctx.span(SpanEvent::Wire {
+            src: pkt.src.0 as u64,
+            dst: pkt.dst.0 as u64,
+            bytes: bytes as u64,
+        });
+        // Loss is drawn before the port admission: a dropped packet never
+        // occupies the port (it died somewhere in the switch stages).
+        let p = self.wire.model().drop_prob();
+        let dropped = p > 0.0 && ctx.rng().chance(p);
+        let admitted = if dropped {
+            None
+        } else {
+            Some(self.wire.admit(ctx.now(), bytes))
+        };
+        // Netdump: the wire record carries the link-occupancy tag (bytes +
+        // destination-port queuing wait), so the analyzer can separate
+        // "slow link" from "busy port".
+        let mut log = PacketLog::new(pkt.cause, CausalKind::Wire)
+            .nodes(pkt.src.0 as u32, pkt.dst.0 as u32)
+            .detail(bytes as u64, admitted.map_or(0, |a| a.port_wait.as_ns()));
+        if let PacketKind::Coll(c) = &pkt.kind {
+            log = log.key(c.group.0 as u64, c.epoch);
+        }
+        let wire = ctx.packet(log);
+        let Some(admission) = admitted else {
+            ctx.count_id(counter_id!("wire.dropped"), 1);
+            ctx.packet(
+                PacketLog::new(wire, CausalKind::Drop).nodes(pkt.src.0 as u32, pkt.dst.0 as u32),
+            );
+            return;
+        };
+        pkt.cause = wire;
+        ctx.send_at(admission.arrive, ctx.self_id(), GmEvent::Arrive(pkt));
+    }
+
+    /// Swap in a different wire model (topology ablations). The new model
+    /// must cover the same node count; receive-port state resets.
+    pub fn set_wire_model(&mut self, model: Arc<WireModel>) {
+        assert_eq!(
+            model.topology().num_nodes(),
+            self.wire.model().topology().num_nodes(),
+            "replacement wire model must cover the same nodes"
+        );
+        self.wire = WireRx::new(model);
+    }
+
+    /// The shared wire model this NIC sends through.
+    pub fn wire_model(&self) -> &Arc<WireModel> {
+        self.wire.model()
     }
 
     /// The installed collective engine (downcast access for tests).
@@ -987,6 +1077,7 @@ impl Component<GmEvent> for LanaiNic {
                     );
                 }
             }
+            GmEvent::Inject(pkt) => self.on_inject(ctx, pkt),
             GmEvent::Arrive(pkt) => self.on_arrive(ctx, pkt),
             GmEvent::TimerCheck => self.on_timer(ctx),
             other => panic!("NIC {:?} got unexpected event {other:?}", self.node),
@@ -999,6 +1090,17 @@ mod tests {
     use super::*;
     use crate::collective::NullCollective;
     use crate::params::{CollFeatures, GmParams};
+    use crate::types::{MsgTag, Packet};
+    use nicbar_net::{LinkTiming, WormholeClos};
+    use nicbar_sim::Engine;
+
+    fn wire_model(n: usize) -> Arc<WireModel> {
+        Arc::new(WireModel::new(
+            Box::new(WormholeClos::myrinet2000(n)),
+            LinkTiming::myrinet2000(),
+            GmParams::lanai_xp().hotspot_ns,
+        ))
+    }
 
     fn nic() -> LanaiNic {
         LanaiNic::new(
@@ -1006,11 +1108,100 @@ mod tests {
             4,
             GmParams::lanai_xp(),
             CollFeatures::paper(),
+            WireRx::new(wire_model(4)),
             ComponentId(100),
             ComponentId(200),
             Box::new(NullCollective),
             16,
         )
+    }
+
+    /// A host stand-in that swallows every completion event.
+    struct SinkHost;
+    impl Component<GmEvent> for SinkHost {
+        fn handle(&mut self, _msg: GmEvent, _ctx: &mut Ctx<'_, GmEvent>) {}
+    }
+
+    /// Minimal two-NIC engine: NICs at components 0 and 1, sink hosts at
+    /// 2 and 3.
+    fn two_nics(model: Arc<WireModel>) -> Engine<GmEvent> {
+        let mut engine: Engine<GmEvent> = Engine::new(7);
+        for node in 0..2usize {
+            let id = engine.add(LanaiNic::new(
+                NodeId(node),
+                2,
+                GmParams::lanai_xp(),
+                CollFeatures::paper(),
+                WireRx::new(Arc::clone(&model)),
+                ComponentId(0),
+                ComponentId(2 + node),
+                Box::new(NullCollective),
+                16,
+            ));
+            assert_eq!(id, ComponentId(node));
+        }
+        engine.add(SinkHost);
+        engine.add(SinkHost);
+        engine
+    }
+
+    fn data_packet(src: usize, dst: usize) -> Packet {
+        Packet {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            kind: PacketKind::Data {
+                seq: 0,
+                msg_id: 1,
+                offset: 0,
+                payload: 4,
+                total_len: 4,
+                tag: MsgTag(0),
+            },
+            cause: CauseId::NONE,
+        }
+    }
+
+    #[test]
+    fn wire_counts_and_delivery() {
+        let model = wire_model(2);
+        let mut engine = two_nics(Arc::clone(&model));
+        let flight = model.flight(NodeId(0), NodeId(1), data_packet(0, 1).wire_bytes());
+        // Present a data packet at NIC 1's port, as `inject` would.
+        engine.schedule_at(flight, ComponentId(1), GmEvent::Inject(data_packet(0, 1)));
+        engine.run();
+        assert_eq!(engine.counters().get("wire.data"), 1);
+        // The receiver's cumulative ACK crosses the wire back.
+        assert_eq!(engine.counters().get("wire.ack"), 1);
+        assert_eq!(engine.counters().get("wire.total"), 2);
+        assert_eq!(engine.counters().get("wire.dropped"), 0);
+        // The packet was admitted and processed (sequence check counts it).
+        assert_eq!(engine.counters().get("gm.msg_delivered"), 1);
+    }
+
+    #[test]
+    fn dropped_packets_never_arrive() {
+        let model = Arc::new(
+            WireModel::new(
+                Box::new(WormholeClos::myrinet2000(2)),
+                LinkTiming::myrinet2000(),
+                0,
+            )
+            .with_drop_prob(1.0),
+        );
+        let mut engine = two_nics(model);
+        engine.schedule_at(
+            SimTime::from_ns(500),
+            ComponentId(1),
+            GmEvent::Inject(data_packet(0, 1)),
+        );
+        engine.run();
+        assert_eq!(engine.counters().get("wire.data"), 1);
+        assert_eq!(engine.counters().get("wire.dropped"), 1);
+        assert_eq!(
+            engine.counters().get("gm.msg_delivered"),
+            0,
+            "a dropped packet must never reach the protocol"
+        );
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! ND005 corpus, clean side: querying the host's parallelism and naming
+//! threads in comments or strings is fine — only spawning threads or
+//! creating channels is concurrency.
+
+fn core_count() -> usize {
+    // std::thread::spawn would be flagged here; asking how many cores the
+    // host has is not concurrency.
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn describe() -> &'static str {
+    "the parallel engine calls thread::scope internally"
+}

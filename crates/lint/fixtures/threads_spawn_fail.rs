@@ -1,0 +1,20 @@
+//! ND005 corpus: hand-rolled concurrency in sim-visible code. Worker
+//! threads belong to the parallel engine (`crates/sim/src/parallel.rs`);
+//! anywhere else they reintroduce scheduling nondeterminism.
+
+fn bad_spawn() {
+    let h = std::thread::spawn(|| 42); //~ ND005
+    let _ = h.join();
+}
+
+fn bad_scope(xs: &mut [u32]) {
+    std::thread::scope(|s| { //~ ND005
+        s.spawn(|| xs.len());
+    });
+}
+
+fn bad_channel() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>(); //~ ND005
+    tx.send(1).ok();
+    let _ = rx.recv();
+}

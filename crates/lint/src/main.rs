@@ -336,6 +336,8 @@ fn fixture_scope(name: &str) -> Option<Scope> {
     if name.starts_with("simvis_") {
         scope.nondet = true;
         scope.hash_state = true;
+    } else if name.starts_with("threads_") {
+        scope.threads = true;
     } else if name.starts_with("proto_") {
         scope.proto = true;
     } else if name.starts_with("hotpath_") {

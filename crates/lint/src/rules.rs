@@ -47,6 +47,10 @@ pub const CATALOGUE: &[(&str, &str)] = &[
         "std::env reads outside bench binaries (runs must not depend on the environment)",
     ),
     (
+        "ND005",
+        "threads/channels (thread::spawn, thread::scope, mpsc) outside the parallel engine (crates/sim/src/parallel.rs)",
+    ),
+    (
         "PI001",
         "bare narrowing `as` cast in protocol bit-vector bookkeeping (use try_from)",
     ),
@@ -72,6 +76,11 @@ pub struct Scope {
     pub nondet: bool,
     /// ND003 specifically (same scope as `nondet` in the real tree).
     pub hash_state: bool,
+    /// ND005: no hand-rolled concurrency in sim-visible code. All worker
+    /// threads belong to the rank-sharded parallel engine, whose merge
+    /// discipline keeps the run deterministic; a stray `thread::spawn` or
+    /// channel elsewhere reintroduces scheduling nondeterminism.
+    pub threads: bool,
     /// PI001: protocol bit-vector bookkeeping files.
     pub proto: bool,
     /// PI003: NIC hot-path files.
@@ -96,9 +105,15 @@ impl Scope {
                 | "crates/core/src/elan_chain.rs"
         );
         let hotpath = matches!(path, "crates/gm/src/nic.rs" | "crates/elan/src/nic.rs");
+        // The parallel engine owns all worker threads; the algos crate is
+        // the *real-threads* shared-memory reference harness (its whole
+        // point is concurrency and it never runs inside the DES).
+        let threads =
+            !bench && path != "crates/sim/src/parallel.rs" && !path.starts_with("crates/algos/");
         Some(Scope {
             nondet: !bench,
             hash_state: !bench,
+            threads,
             proto,
             hotpath,
             exporter: true,
@@ -282,6 +297,26 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
                 push(&mut out, "ND004", line, "environment read".to_string());
             }
         }
+        // --- ND005: threads/channels outside the parallel engine --------
+        if scope.threads {
+            if ident == "thread" && (path_seg(&toks, i, "spawn") || path_seg(&toks, i, "scope")) {
+                let what = ident_at(&toks, i + 3).unwrap_or_default();
+                push(
+                    &mut out,
+                    "ND005",
+                    line,
+                    format!("thread::{what} outside crates/sim/src/parallel.rs"),
+                );
+            }
+            if ident == "mpsc" {
+                push(
+                    &mut out,
+                    "ND005",
+                    line,
+                    "mpsc channel outside crates/sim/src/parallel.rs".to_string(),
+                );
+            }
+        }
         // --- PI001: narrowing casts -------------------------------------
         if scope.proto
             && ident == "as"
@@ -433,6 +468,7 @@ mod tests {
         Scope {
             nondet: true,
             hash_state: true,
+            threads: true,
             proto: true,
             hotpath: true,
             exporter: true,
@@ -464,6 +500,30 @@ mod tests {
         let rules = rules_of(src, scope_all());
         assert!(rules.contains(&"ND001"));
         assert!(rules.contains(&"ND004"));
+    }
+
+    #[test]
+    fn threads_and_channels_flagged() {
+        let src = r#"
+            let h = std::thread::spawn(|| {});
+            std::thread::scope(|s| {});
+            let (tx, rx) = std::sync::mpsc::channel::<u32>();
+            // thread::spawn in a comment is fine
+            let s = "thread::spawn in a string is fine";
+        "#;
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "ND005").count(), 3);
+        // Out of scope (the parallel engine itself, the algos harness,
+        // bench binaries): nothing flagged.
+        let exempt = Scope {
+            threads: false,
+            ..scope_all()
+        };
+        assert!(rules_of(src, exempt).iter().all(|r| *r != "ND005"));
+        // `available_parallelism` and thread-local storage are not
+        // concurrency primitives and stay legal everywhere.
+        let benign = "let n = std::thread::available_parallelism();";
+        assert!(rules_of(benign, scope_all()).is_empty());
     }
 
     #[test]

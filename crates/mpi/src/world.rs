@@ -143,7 +143,7 @@ impl MpiWorld {
                 .iter()
                 .map(|(sig, &gid)| GroupSpec {
                     id: gid,
-                    members: members.clone(),
+                    members: members.clone().into(),
                     my_rank: rank,
                     op: sig.group_op(reduce_ops.get(sig).copied()),
                     algo: self.algo,

@@ -15,6 +15,10 @@
 //!   destination-port contention (the "hot-spot" effect the paper invokes to
 //!   explain why pairwise-exchange behaves differently on the two networks) +
 //!   seeded packet-drop injection for reliability testing.
+//! * [`wire::WireModel`] / [`wire::WireRx`] — the same physics split along
+//!   ownership lines (immutable routing shared by all NICs, one receive
+//!   port owned by each destination NIC) so clusters can shard across the
+//!   parallel engine without cross-shard mutable state.
 //! * [`permute::Permutation`] — random rank→node placements, matching the
 //!   paper's randomized node-allocation methodology.
 //!
@@ -30,6 +34,7 @@ pub mod fattree;
 pub mod permute;
 pub mod timing;
 pub mod topology;
+pub mod wire;
 
 pub use crossbar::WormholeClos;
 pub use fabric::{Delivery, FabricCore};
@@ -37,3 +42,4 @@ pub use fattree::QuaternaryFatTree;
 pub use permute::Permutation;
 pub use timing::LinkTiming;
 pub use topology::{NodeId, Topology};
+pub use wire::{Admission, WireModel, WireRx};

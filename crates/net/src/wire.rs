@@ -1,0 +1,226 @@
+//! The sharded-friendly wire model: routing shared, contention per NIC.
+//!
+//! [`crate::fabric::FabricCore`] models the whole network as one object —
+//! convenient, but a single mutable component pins every packet of an
+//! N-node cluster to one engine shard. This module splits the same physics
+//! along ownership lines so clusters can run on the parallel engine:
+//!
+//! * [`WireModel`] — the *immutable* network description (topology, link
+//!   timing, hot-spot cost, loss probability), shared by every NIC through
+//!   an [`Arc`]. Senders use it to compute routing latency; that latency is
+//!   also the conservative lookahead that funds the parallel engine's time
+//!   windows ([`WireModel::min_latency`]).
+//! * [`WireRx`] — one NIC's *receive port*: the only mutable wire state a
+//!   packet touches at its destination. Owned by the destination NIC
+//!   component, so destination-port contention resolves wherever that NIC
+//!   lives — no cross-shard mutable state.
+//!
+//! The physics is identical to [`FabricCore::send`]: a packet committed at
+//! `t` reaches the destination port at `t + latency(hops, bytes)` (the
+//! in-flight time — an event travelling NIC→NIC), and the port then admits
+//! it no earlier than the previous packet's occupancy ends, charging the
+//! hot-spot serialization on top. The one semantic shift: contention
+//! resolves in *arrival* order at the port rather than in injection order
+//! across the whole network — which is what a real input port does.
+//!
+//! [`FabricCore::send`]: crate::fabric::FabricCore::send
+
+use crate::timing::LinkTiming;
+use crate::topology::{NodeId, Topology};
+use nicbar_sim::SimTime;
+use std::sync::Arc;
+
+/// Immutable description of the network: everything a sender needs to
+/// compute in-flight latency, and everything a receive port needs to admit
+/// packets. Shared by all NICs via [`Arc`] (it is `Send + Sync`).
+pub struct WireModel {
+    topology: Box<dyn Topology>,
+    timing: LinkTiming,
+    /// Extra serialization charged per packet at a busy destination port.
+    hotspot: SimTime,
+    /// Probability that any given packet is lost (drawn at the receiver).
+    drop_prob: f64,
+}
+
+impl WireModel {
+    /// Build a wire model over `topology` with the given `timing`.
+    /// `hotspot_ns` is the extra per-packet serialization at a contended
+    /// destination port.
+    pub fn new(topology: Box<dyn Topology>, timing: LinkTiming, hotspot_ns: u64) -> Self {
+        WireModel {
+            topology,
+            timing,
+            hotspot: SimTime::from_ns(hotspot_ns),
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Set the loss-injection probability (0 disables). Builder-style
+    /// because the model is immutable once shared.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Current loss-injection probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// The link timing parameters.
+    pub fn timing(&self) -> &LinkTiming {
+        &self.timing
+    }
+
+    /// In-flight latency of a `bytes`-byte packet from `src` to `dst`:
+    /// the delay between the sender committing the packet and the packet
+    /// presenting at the destination's input port.
+    ///
+    /// # Panics
+    /// Panics on `src == dst` (NIC-local loopback never touches the wire).
+    pub fn flight(&self, src: NodeId, dst: NodeId, bytes: u32) -> SimTime {
+        assert_ne!(src, dst, "fabric loopback is not a thing");
+        self.timing.latency(self.topology.hops(src, dst), bytes)
+    }
+
+    /// The minimum in-flight latency of *any* packet: one switch hop, zero
+    /// payload. Every cross-NIC message takes at least this long, which
+    /// makes it the conservative lookahead for the parallel engine.
+    pub fn min_latency(&self) -> SimTime {
+        self.timing.latency(1, 0)
+    }
+}
+
+/// One NIC's receive port: a serial resource admitting arriving packets.
+///
+/// Owned by the destination NIC component; [`WireRx::admit`] replicates the
+/// destination-port half of [`crate::fabric::FabricCore::send`] exactly
+/// (occupancy + hot-spot serialization; a dropped packet never occupies the
+/// port — the loss draw happens *before* calling `admit`).
+pub struct WireRx {
+    model: Arc<WireModel>,
+    /// Time this input port is busy until.
+    port_free: SimTime,
+}
+
+/// What the port did with one arriving packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// When the packet is fully admitted (processing can start).
+    pub arrive: SimTime,
+    /// How long it queued behind earlier arrivals (zero if the port was
+    /// free) — the link-occupancy tag on the causal netdump's wire records.
+    pub port_wait: SimTime,
+}
+
+impl WireRx {
+    /// A receive port over the shared wire model.
+    pub fn new(model: Arc<WireModel>) -> Self {
+        WireRx {
+            model,
+            port_free: SimTime::ZERO,
+        }
+    }
+
+    /// The shared wire model.
+    pub fn model(&self) -> &Arc<WireModel> {
+        &self.model
+    }
+
+    /// Admit a packet presenting at the port at time `routed` (its routed
+    /// arrival time). The port is serially occupied for the packet's
+    /// serialization plus the hot-spot cost.
+    pub fn admit(&mut self, routed: SimTime, bytes: u32) -> Admission {
+        let arrive = routed.max(self.port_free);
+        self.port_free = arrive + self.model.timing.occupancy(bytes) + self.model.hotspot;
+        Admission {
+            arrive,
+            port_wait: arrive - routed,
+        }
+    }
+
+    /// Forget port-occupancy state (between benchmark phases).
+    pub fn reset(&mut self) {
+        self.port_free = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::WormholeClos;
+    use crate::fabric::FabricCore;
+    use nicbar_sim::SimRng;
+
+    fn model() -> Arc<WireModel> {
+        Arc::new(WireModel::new(
+            Box::new(WormholeClos::myrinet2000(8)),
+            LinkTiming::myrinet2000(),
+            200,
+        ))
+    }
+
+    #[test]
+    fn flight_matches_fabric_routing() {
+        let m = model();
+        let mut fabric = FabricCore::new(
+            Box::new(WormholeClos::myrinet2000(8)),
+            LinkTiming::myrinet2000(),
+            200,
+        );
+        let mut rng = SimRng::new(0);
+        for (s, d, b) in [(0usize, 1usize, 8u32), (0, 5, 64), (3, 7, 0)] {
+            let fab = fabric.send(SimTime::ZERO, NodeId(s), NodeId(d), b, &mut rng);
+            assert_eq!(m.flight(NodeId(s), NodeId(d), b), fab.arrive);
+        }
+    }
+
+    #[test]
+    fn admissions_serialize_like_the_fabric_port() {
+        let m = model();
+        let mut rx = WireRx::new(Arc::clone(&m));
+        let routed = m.flight(NodeId(1), NodeId(0), 8);
+        let a1 = rx.admit(routed, 8);
+        let a2 = rx.admit(routed, 8);
+        let a3 = rx.admit(routed, 8);
+        assert_eq!(a1.arrive, routed);
+        assert_eq!(a1.port_wait, SimTime::ZERO);
+        let occupancy = LinkTiming::myrinet2000().occupancy(8) + SimTime::from_ns(200);
+        assert_eq!(a2.arrive - a1.arrive, occupancy);
+        assert_eq!(a2.port_wait, occupancy);
+        assert_eq!(a3.port_wait, occupancy + occupancy);
+    }
+
+    #[test]
+    fn min_latency_is_one_hop_zero_bytes() {
+        let m = model();
+        assert_eq!(m.min_latency(), LinkTiming::myrinet2000().latency(1, 0));
+        assert_eq!(m.min_latency().as_ns(), 450);
+        // No packet can beat it.
+        for d in 1..8usize {
+            assert!(m.flight(NodeId(0), NodeId(d), 0) >= m.min_latency());
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_port() {
+        let m = model();
+        let mut rx = WireRx::new(m);
+        rx.admit(SimTime::from_ns(100), 8);
+        rx.reset();
+        let a = rx.admit(SimTime::from_ns(100), 8);
+        assert_eq!(a.port_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        model().flight(NodeId(2), NodeId(2), 8);
+    }
+}

@@ -227,6 +227,20 @@ impl Counters {
     pub fn clear(&mut self) {
         self.slots.clear();
     }
+
+    /// Move every count into `target` (element-wise add) and zero `self`.
+    /// Used by the parallel engine to fold per-shard counters into the
+    /// merged set after each run; ids are process-global, so slot indices
+    /// agree across instances.
+    pub fn drain_into(&mut self, target: &mut Counters) {
+        if target.slots.len() < self.slots.len() {
+            target.slots.resize(self.slots.len(), 0);
+        }
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            target.slots[idx] += *slot;
+            *slot = 0;
+        }
+    }
 }
 
 impl CounterSnapshot {
@@ -353,6 +367,23 @@ mod tests {
         b.add_id(id, 7);
         assert_eq!(a.get_id(id), 5);
         assert_eq!(b.get_id(id), 7);
+    }
+
+    #[test]
+    fn drain_into_folds_and_zeroes() {
+        let mut shard = Counters::new();
+        let mut base = Counters::new();
+        shard.add("drain.a", 5);
+        shard.add("drain.b", 2);
+        base.add("drain.a", 1);
+        shard.drain_into(&mut base);
+        assert_eq!(base.get("drain.a"), 6);
+        assert_eq!(base.get("drain.b"), 2);
+        assert_eq!(shard.get("drain.a"), 0);
+        assert!(shard.snapshot().is_empty());
+        // Draining again is a no-op.
+        shard.drain_into(&mut base);
+        assert_eq!(base.get("drain.a"), 6);
     }
 
     #[test]

@@ -5,34 +5,59 @@
 //! instantiates `Engine<M>` with its own message enum `M`, so event payloads
 //! are statically typed — no `Any` downcasts on the hot path.
 //!
-//! ## Determinism
+//! ## Determinism: content-based event keys
 //!
-//! Events are ordered by `(time, seq)` where `seq` is a global insertion
-//! counter. Ties in simulated time therefore resolve in scheduling order,
-//! which — combined with the seeded [`SimRng`] — makes runs bit-for-bit
-//! reproducible. The integration test suite relies on this to compare whole
-//! counter sets across reruns.
+//! Events are ordered by a 128-bit key: simulated time in the high 64 bits
+//! and a *content subkey* in the low 64. The subkey is `(source << 40) |
+//! count`, where `source` identifies who scheduled the event (0 for
+//! external [`Engine::schedule_at`] injections, `component id + 1` for
+//! handler sends) and `count` is that source's cumulative send counter. The
+//! key is therefore a pure function of the simulation's own causal history
+//! — *not* of global insertion order — so the same event carries the same
+//! key whether the engine runs alone or as one shard of the parallel
+//! engine ([`crate::parallel`]), and ties in simulated time resolve
+//! identically everywhere: per source, sends deliver in issue order (FIFO);
+//! across sources, by source id. Combined with per-component RNG streams
+//! (forked once from the master seed, independent of draw order elsewhere)
+//! this makes runs bit-for-bit reproducible across reruns, schedulers, and
+//! shard counts. The integration test suite relies on this to compare whole
+//! counter sets across engines.
 //!
 //! ## Hot path
 //!
-//! [`Engine::step`] pops from an indexed 4-ary heap (see [`crate::queue`]),
+//! [`Engine::step`] pops from a timing wheel (see [`crate::queue`]),
 //! resolves the target component with a split borrow — no `Option::take` /
-//! reinstall round-trip — and hands the handler a [`Ctx`] that pushes
-//! follow-up events *directly* into the heap. The queue owns the sequence
-//! counter, so a handler's sends are keyed in issue order at push time,
-//! exactly as the old drain-a-pending-buffer design delivered them. The
-//! original `BinaryHeap` scheduler is still available via
-//! [`Engine::with_scheduler`] as a differential-testing baseline.
+//! reinstall round-trip — and hands the handler a [`Ctx`] that keys and
+//! pushes follow-up events *directly* into the queue. The original
+//! `BinaryHeap` scheduler is still available via [`Engine::with_scheduler`]
+//! as a differential-testing baseline.
 
 use crate::causal::{CauseId, NetDump, PacketLog};
 use crate::counters::Counters;
-use crate::queue::{EventQueue, SchedulerKind, SeqCounter};
+use crate::parallel::{RawEvent, RawObs, ShardLink};
+use crate::queue::{pack, EventQueue, PoppedEvent, SchedulerKind};
 use crate::rng::SimRng;
 use crate::span::{FlightRecorder, SpanEvent};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceRecord};
 use std::any::Any;
 use std::fmt;
+
+/// Bits of the event subkey holding the per-source send count; the
+/// remaining high bits hold the source id (component id + 1, or 0 for
+/// external injections).
+pub(crate) const SUB_BITS: u32 = 40;
+/// Mask of the count field.
+pub(crate) const COUNT_MASK: u64 = (1 << SUB_BITS) - 1;
+
+/// Per-component event-source state: the cumulative send count (the count
+/// half of every subkey this component generates) and its private RNG
+/// stream, forked lazily from the engine's master seed.
+#[derive(Default)]
+pub(crate) struct SourceState {
+    pub(crate) count: u64,
+    pub(crate) rng: Option<Box<SimRng>>,
+}
 
 /// Index of a component within an [`Engine`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -65,33 +90,49 @@ impl<T: 'static> AsAny for T {
 /// An actor in the simulation. Components receive events through
 /// [`Component::handle`] and react by scheduling further events via the
 /// [`Ctx`]; they must not share mutable state by any other means.
-pub trait Component<M>: AsAny {
+///
+/// `Send` is required so a component can be owned by a worker thread of the
+/// parallel engine; components never run concurrently with themselves and
+/// need no internal synchronization.
+pub trait Component<M>: AsAny + Send {
     /// Process one event addressed to this component.
     fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
 }
 
 /// Handle given to a component while it processes an event.
 ///
-/// Sends go straight into the engine's event queue (which owns the sequence
-/// counter), so same-time events are delivered in exactly the order the
-/// handler issued them.
+/// Sends are keyed `(time, source, per-source count)` at push time and go
+/// straight into the engine's event queue, so a handler's same-time sends
+/// are delivered in exactly the order it issued them.
 pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: ComponentId,
+    /// Precomputed `(self_id + 1) << SUB_BITS` — the source half of every
+    /// subkey this handler generates.
+    sub_hi: u64,
+    /// This component's cumulative send count (the count half).
+    count: &'a mut u64,
     queue: &'a mut EventQueue<M>,
-    seq: &'a mut SeqCounter,
-    rng: &'a mut SimRng,
+    /// This component's private RNG stream, forked lazily from `master`.
+    rng_slot: &'a mut Option<Box<SimRng>>,
+    master: &'a SimRng,
     trace: &'a mut Trace,
     recorder: &'a mut FlightRecorder,
     netdump: &'a mut NetDump,
     counters: &'a mut Counters,
     halt: &'a mut bool,
-    /// `trace.is_enabled() || recorder.is_enabled()`, computed once per
-    /// delivery so every [`Ctx::span`] call on the disabled path is a single
-    /// predictable branch on an already-loaded bool.
+    /// Present when this engine runs as a shard of the parallel engine:
+    /// routes cross-shard sends into per-destination outboxes.
+    link: Option<&'a mut ShardLink<M>>,
+    /// Present when a shard must capture observability locally for the
+    /// deterministic post-run merge (see [`crate::parallel`]).
+    raw: Option<&'a mut RawObs>,
+    /// True when span events have any live consumer (trace ring, flight
+    /// recorder, or raw shard capture), computed once per delivery so every
+    /// [`Ctx::span`] call on the disabled path is a single predictable
+    /// branch on an already-loaded bool.
     observing: bool,
-    /// `netdump.is_enabled()`, computed once per delivery for the same
-    /// reason: [`Ctx::packet`] on the disabled path is one branch.
+    /// Same, for [`Ctx::packet`] (netdump or raw shard capture).
     dumping: bool,
 }
 
@@ -108,12 +149,25 @@ impl<M> Ctx<'_, M> {
         self.self_id
     }
 
+    /// Key and enqueue one event: locally, or — when running as a shard and
+    /// the target lives elsewhere — into the cross-shard outbox.
+    #[inline]
+    fn dispatch(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        debug_assert!(*self.count < COUNT_MASK, "per-source send count overflow");
+        let key = pack(at, self.sub_hi | *self.count);
+        *self.count += 1;
+        match self.link.as_deref_mut() {
+            Some(link) if !link.is_local(target) => link.deposit(key, at, target, msg),
+            _ => self.queue.push(key, target, msg),
+        }
+    }
+
     /// Schedule `msg` for `target` after `delay` (possibly zero; zero-delay
     /// events are still delivered after the current handler returns, in
     /// scheduling order).
     #[inline]
     pub fn send(&mut self, delay: SimTime, target: ComponentId, msg: M) {
-        self.queue.push(self.seq, self.now + delay, target, msg);
+        self.dispatch(self.now + delay, target, msg);
     }
 
     /// Schedule `msg` for an absolute time `at`.
@@ -132,7 +186,7 @@ impl<M> Ctx<'_, M> {
         } else {
             at
         };
-        self.queue.push(self.seq, at, target, msg);
+        self.dispatch(at, target, msg);
     }
 
     /// Schedule `msg` for this component after `delay`.
@@ -147,18 +201,36 @@ impl<M> Ctx<'_, M> {
     /// order, exactly as if each had been sent individually.
     pub fn send_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, ComponentId, M)>) {
         let now = self.now;
-        self.queue.push_batch(
-            self.seq,
-            batch
-                .into_iter()
-                .map(|(delay, target, msg)| (now + delay, target, msg)),
-        );
+        if self.link.is_some() {
+            // Sharded: each event may route to a different outbox; the keys
+            // are content-based, so per-item dispatch delivers identically.
+            for (delay, target, msg) in batch {
+                self.dispatch(now + delay, target, msg);
+            }
+            return;
+        }
+        let sub_hi = self.sub_hi;
+        let Ctx { queue, count, .. } = self;
+        queue.push_batch(batch.into_iter().map(|(delay, target, msg)| {
+            let key = pack(now + delay, sub_hi | **count);
+            **count += 1;
+            (key, target, msg)
+        }));
     }
 
-    /// Simulation-wide RNG.
+    /// This component's private RNG stream.
+    ///
+    /// Forked from the engine's master seed on first use, keyed by component
+    /// id — so a component's draw sequence depends only on its own history,
+    /// not on how many draws *other* components made. That independence is
+    /// what keeps randomized runs bit-identical between the sequential
+    /// engine and any sharding of the parallel one.
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
-        self.rng
+        let master = self.master;
+        let id = self.self_id.0 as u64;
+        self.rng_slot
+            .get_or_insert_with(|| Box::new(master.fork(id + 1)))
     }
 
     /// Bump a named counter (interns the name; hot call sites should prefer
@@ -204,6 +276,12 @@ impl<M> Ctx<'_, M> {
 
     #[cold]
     fn span_slow(&mut self, event: SpanEvent) {
+        // A shard captures raw span events for the deterministic post-run
+        // merge; only the merged replay feeds the real trace/recorder.
+        if let Some(raw) = self.raw.as_deref_mut() {
+            raw.spans.push((self.now, self.self_id, event));
+            return;
+        }
         self.trace.emit(TraceRecord {
             time: self.now,
             component: self.self_id,
@@ -226,6 +304,11 @@ impl<M> Ctx<'_, M> {
 
     #[cold]
     fn packet_slow(&mut self, log: PacketLog) -> CauseId {
+        // Shards hand out provisional ids; the merge remaps them to the
+        // real, sequential-identical netdump ids.
+        if let Some(raw) = self.raw.as_deref_mut() {
+            return raw.record_packet(self.now, self.self_id, log);
+        }
         self.netdump.record(self.now, self.self_id, log)
     }
 
@@ -251,39 +334,49 @@ pub enum RunOutcome {
 }
 
 /// A deterministic discrete-event simulation engine over message type `M`.
+///
+/// Fields are `pub(crate)` so the parallel engine (`crate::parallel`) can
+/// split one built engine into per-shard engines and merge results back;
+/// everything outside this crate goes through the accessor methods.
 pub struct Engine<M: 'static> {
-    components: Vec<Option<Box<dyn Component<M>>>>,
-    queue: EventQueue<M>,
-    seq: SeqCounter,
-    now: SimTime,
-    rng: SimRng,
-    trace: Trace,
-    recorder: FlightRecorder,
-    netdump: NetDump,
-    counters: Counters,
-    halted: bool,
-    events_processed: u64,
+    pub(crate) components: Vec<Option<Box<dyn Component<M>>>>,
+    pub(crate) queue: EventQueue<M>,
+    pub(crate) now: SimTime,
+    /// Master RNG: never drawn from directly, only forked per component.
+    pub(crate) rng: SimRng,
+    /// Per-component source state (send count + private RNG stream), one
+    /// record per component so a delivery's lookup is a single indexed
+    /// access on one cache line.
+    pub(crate) srcs: Vec<SourceState>,
+    /// Send count of the external source (`schedule_*` injections).
+    pub(crate) ext_count: u64,
+    pub(crate) trace: Trace,
+    pub(crate) recorder: FlightRecorder,
+    pub(crate) netdump: NetDump,
+    pub(crate) counters: Counters,
+    pub(crate) halted: bool,
+    pub(crate) events_processed: u64,
 }
 
 impl<M: 'static> Engine<M> {
     /// Create an engine whose RNG is seeded with `seed`, on the default
-    /// (indexed 4-ary heap) scheduler.
+    /// (timing wheel) scheduler.
     pub fn new(seed: u64) -> Self {
         Self::with_scheduler(seed, SchedulerKind::default())
     }
 
-    /// Create an engine on a specific scheduler implementation. Both kinds
-    /// deliver events in identical `(time, seq)` order; the classic
-    /// `BinaryHeap` variant exists as the baseline for differential tests
-    /// and throughput comparisons.
+    /// Create an engine on a specific scheduler implementation. All kinds
+    /// deliver events in identical key order; the classic `BinaryHeap`
+    /// variant exists as the baseline for differential tests and throughput
+    /// comparisons.
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
-        let (queue, seq) = EventQueue::new(kind);
         Engine {
             components: Vec::new(),
-            queue,
-            seq,
+            queue: EventQueue::new(kind),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
+            srcs: Vec::new(),
+            ext_count: 0,
             trace: Trace::disabled(),
             recorder: FlightRecorder::disabled(),
             netdump: NetDump::disabled(),
@@ -303,7 +396,12 @@ impl<M: 'static> Engine<M> {
     /// [`Engine::install`].
     pub fn reserve_id(&mut self) -> ComponentId {
         let id = ComponentId(self.components.len());
+        debug_assert!(
+            (self.components.len() as u64) + 1 < (1 << (64 - SUB_BITS)),
+            "component count exceeds the event-key source field"
+        );
         self.components.push(None);
+        self.srcs.push(SourceState::default());
         id
     }
 
@@ -337,16 +435,20 @@ impl<M: 'static> Engine<M> {
     }
 
     /// Inject an event from outside the simulation at absolute time `at`
-    /// (must be `>= now`).
+    /// (must be `>= now`). External injections are key source 0: at equal
+    /// times they deliver before any handler-scheduled event, in injection
+    /// order.
     pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
         assert!(at >= self.now, "scheduling into the past");
-        self.queue.push(&mut self.seq, at, target, msg);
+        debug_assert!(self.ext_count < COUNT_MASK, "external send count overflow");
+        let key = pack(at, self.ext_count);
+        self.ext_count += 1;
+        self.queue.push(key, target, msg);
     }
 
     /// Inject an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, msg: M) {
-        self.queue
-            .push(&mut self.seq, self.now + delay, target, msg);
+        self.schedule_at(self.now + delay, target, msg);
     }
 
     /// Inject a batch of `(at, target, msg)` events in one queue pass —
@@ -357,12 +459,15 @@ impl<M: 'static> Engine<M> {
     /// Panics if any event time is before `now`.
     pub fn schedule_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, ComponentId, M)>) {
         let now = self.now;
-        self.queue.push_batch(
-            &mut self.seq,
-            batch.into_iter().inspect(|(at, _, _)| {
-                assert!(*at >= now, "scheduling into the past");
-            }),
-        );
+        let Engine {
+            queue, ext_count, ..
+        } = self;
+        queue.push_batch(batch.into_iter().map(|(at, target, msg)| {
+            assert!(at >= now, "scheduling into the past");
+            let key = pack(at, *ext_count);
+            *ext_count += 1;
+            (key, target, msg)
+        }));
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -432,12 +537,6 @@ impl<M: 'static> Engine<M> {
         &mut self.netdump
     }
 
-    /// The engine RNG (harness use: drawing workload randomness from the
-    /// same master seed).
-    pub fn rng_mut(&mut self) -> &mut SimRng {
-        &mut self.rng
-    }
-
     /// Downcast access to a concrete component, for post-run inspection.
     pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
         // `as_deref` yields `&dyn Component<M>` so `as_any` dispatches through
@@ -464,25 +563,39 @@ impl<M: 'static> Engine<M> {
         let Some(event) = self.queue.pop() else {
             return false;
         };
-        self.deliver(event);
+        self.deliver(event, None, None);
         true
     }
 
     /// Deliver one already-popped event to its component.
+    ///
+    /// `link` is present when this engine runs as a shard of the parallel
+    /// engine (cross-shard sends go to outboxes); `raw` is present when the
+    /// shard must additionally capture observability for the deterministic
+    /// post-run merge.
     #[inline]
-    fn deliver(&mut self, event: crate::queue::PoppedEvent<M>) {
+    pub(crate) fn deliver(
+        &mut self,
+        event: PoppedEvent<M>,
+        link: Option<&mut ShardLink<M>>,
+        mut raw: Option<&mut RawObs>,
+    ) {
         debug_assert!(event.time >= self.now, "event queue went backwards");
         self.now = event.time;
         self.events_processed += 1;
+        let (record_spans, record_pkts, s0, p0) = match raw.as_deref() {
+            Some(r) => (r.record_spans, r.record_pkts, r.spans.len(), r.pkts.len()),
+            None => (false, false, 0, 0),
+        };
         // Split borrow: the target component and the Ctx fields are disjoint
         // parts of `self`, so the handler runs without moving the component
         // out of its slot and back.
         let Engine {
             components,
             queue,
-            seq,
             now,
             rng,
+            srcs,
             trace,
             recorder,
             netdump,
@@ -493,36 +606,51 @@ impl<M: 'static> Engine<M> {
         let component = components[event.target.0]
             .as_deref_mut()
             .unwrap_or_else(|| panic!("event for uninstalled component {}", event.target));
-        let observing = trace.is_enabled() || recorder.is_enabled();
-        let dumping = netdump.is_enabled();
+        let observing = trace.is_enabled() || recorder.is_enabled() || record_spans;
+        let dumping = netdump.is_enabled() || record_pkts;
+        let src = &mut srcs[event.target.0];
         let mut ctx = Ctx {
             now: *now,
             self_id: event.target,
+            sub_hi: (event.target.0 as u64 + 1) << SUB_BITS,
+            count: &mut src.count,
             queue,
-            seq,
-            rng,
+            rng_slot: &mut src.rng,
+            master: rng,
             trace,
             recorder,
             netdump,
             counters,
             halt: halted,
+            link,
+            raw: raw.as_deref_mut(),
             observing,
             dumping,
         };
         component.handle(event.msg, &mut ctx);
+        if let Some(r) = raw {
+            // The merge needs an entry for *every* delivered event — even
+            // record-less ones — because the cross-shard merge order is
+            // decided by delivered-event keys, not by record keys.
+            r.events.push(RawEvent {
+                key: event.key,
+                spans: (r.spans.len() - s0) as u32,
+                pkts: (r.pkts.len() - p0) as u32,
+            });
+        }
     }
 
     /// Run until the queue drains or a component halts. Returns the final
     /// simulated time.
     ///
     /// This is the hot loop: with no deadline and no budget to check it
-    /// pops and delivers directly, one heap-root access per event (unlike
+    /// pops and delivers directly, one queue access per event (unlike
     /// [`Engine::run_bounded`], which must peek before committing to a pop).
     pub fn run(&mut self) -> SimTime {
         self.halted = false;
         while !self.halted {
             let Some(event) = self.queue.pop() else { break };
-            self.deliver(event);
+            self.deliver(event, None, None);
         }
         self.now
     }
@@ -555,6 +683,37 @@ impl<M: 'static> Engine<M> {
             budget -= 1;
             self.step();
         }
+    }
+
+    /// Deliver every pending event with `time < end_ns` — one conservative
+    /// window of a sharded run, capped at `max` deliveries (the parallel
+    /// engine passes an exact budget in the single-shard case, `u64::MAX`
+    /// otherwise). Cross-shard sends go to `link`'s outboxes; observability
+    /// (when enabled) is captured into `raw` for the deterministic post-run
+    /// merge. Returns the number of events delivered. Stops early if a
+    /// component halts (`self.halted` is *not* reset here — the parallel
+    /// engine owns halt propagation).
+    pub(crate) fn run_window(
+        &mut self,
+        end_ns: u64,
+        max: u64,
+        link: &mut ShardLink<M>,
+        mut raw: Option<&mut RawObs>,
+    ) -> u64 {
+        link.window_end_ns = end_ns;
+        let mut delivered = 0;
+        while !self.halted && delivered < max {
+            let Some(next) = self.queue.peek_time() else {
+                break;
+            };
+            if next.as_ns() >= end_ns {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event vanished");
+            self.deliver(event, Some(link), raw.as_deref_mut());
+            delivered += 1;
+        }
+        delivered
     }
 
     /// Earliest pending event time, if any.
@@ -754,6 +913,41 @@ mod tests {
         assert_eq!(run(true), run(false));
     }
 
+    /// Same-time sends from different components interleave by component id
+    /// (the key's source field), regardless of issue order — the property
+    /// the parallel merge depends on.
+    #[test]
+    fn cross_component_ties_order_by_source_id() {
+        struct At {
+            sink: ComponentId,
+            tag: u32,
+        }
+        impl Component<Msg> for At {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                // Absolute target time, so both components aim at the same
+                // instant even though their handlers fire at different times.
+                ctx.send_at(SimTime::from_us(1.0), self.sink, Msg::Record(self.tag));
+            }
+        }
+        let mut engine: Engine<Msg> = Engine::new(0);
+        let sink = engine.add(Sink { seen: Vec::new() });
+        let a = engine.add(At { sink, tag: 10 });
+        let b = engine.add(At { sink, tag: 20 });
+        // Fire b's handler before a's: both aim at the same instant, and
+        // the sink still sees a's message (lower component id) first.
+        engine.schedule_at(SimTime::ZERO, b, Msg::Tick(0));
+        engine.schedule_at(SimTime::from_ns(1), a, Msg::Tick(0));
+        engine.run();
+        let ids: Vec<u32> = engine
+            .component_ref::<Sink>(sink)
+            .unwrap()
+            .seen
+            .iter()
+            .map(|(_, i)| *i)
+            .collect();
+        assert_eq!(ids, vec![10, 20]);
+    }
+
     #[test]
     fn run_until_deadline_stops_early() {
         let (mut engine, _, _) = build(100);
@@ -902,6 +1096,43 @@ mod tests {
         engine.run();
         assert_eq!(engine.counters().get("sim.clamped_sends"), 0);
         assert_eq!(engine.now(), SimTime::from_us(2.0));
+    }
+
+    /// Each component's RNG stream is independent of every other
+    /// component's draw volume — the property that keeps randomized runs
+    /// identical across shard counts.
+    #[test]
+    fn component_rng_streams_are_draw_independent() {
+        struct Drawer {
+            draws: usize,
+            got: Vec<u64>,
+        }
+        impl Component<Msg> for Drawer {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                for _ in 0..self.draws {
+                    let v = ctx.rng().next_u64();
+                    self.got.push(v);
+                }
+            }
+        }
+        let run = |other_draws: usize| {
+            let mut engine: Engine<Msg> = Engine::new(7);
+            let a = engine.add(Drawer {
+                draws: 3,
+                got: Vec::new(),
+            });
+            let b = engine.add(Drawer {
+                draws: other_draws,
+                got: Vec::new(),
+            });
+            engine.schedule_at(SimTime::ZERO, b, Msg::Tick(0));
+            engine.schedule_at(SimTime::MICROSECOND, a, Msg::Tick(0));
+            engine.run();
+            engine.component_ref::<Drawer>(a).unwrap().got.clone()
+        };
+        // However many draws b makes (even before a runs), a's stream is
+        // unchanged.
+        assert_eq!(run(0), run(17));
     }
 
     #[test]

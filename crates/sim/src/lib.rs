@@ -5,10 +5,13 @@
 //!
 //! * [`SimTime`] — a nanosecond-resolution virtual clock with convenient
 //!   microsecond conversions (the paper reports all latencies in µs).
-//! * [`Engine`] — a typed discrete-event scheduler. Events are ordered by
-//!   `(time, insertion sequence)`, which makes every run fully deterministic:
-//!   two events scheduled for the same instant are always delivered in the
-//!   order they were scheduled.
+//! * [`Engine`] — a typed discrete-event scheduler. Events are ordered by a
+//!   *content-based* key `(time, source, per-source count)`: per source,
+//!   same-time events deliver in the order they were scheduled; across
+//!   sources, by source id. Because the key is a pure function of the
+//!   simulation's own causal history, every run is fully deterministic —
+//!   bit-for-bit identical across reruns, scheduler implementations, and
+//!   shard counts of the parallel engine.
 //! * [`Component`] — the actor trait. NICs, hosts, buses and fabrics are all
 //!   components that interact *only* through scheduled events, so the
 //!   simulated concurrency is explicit and there is no hidden shared state.
@@ -24,10 +27,13 @@
 //!   Chrome-trace export and breakdown tables. Disabled by default; one
 //!   branch per emit site when off.
 //!
-//! The engine is intentionally single-threaded: determinism and debuggability
-//! matter more than parallel speed for protocol simulation, and the benchmark
-//! harness instead parallelises across *independent simulations* (one per
-//! cluster size / seed) with OS threads.
+//! * [`ParallelEngine`] — a rank-sharded conservative parallel executor: one
+//!   built [`Engine`] split across worker threads by a [`ShardMap`], run in
+//!   lookahead-bounded time windows, with results (counters, traces, causal
+//!   netdump, final clock) *byte-identical* to the sequential engine at any
+//!   shard count. [`ExecEngine`] wraps either flavour behind one API so
+//!   harnesses pick an engine per run. See [`parallel`] for the protocol and
+//!   the identity argument.
 //!
 //! ## Example
 //!
@@ -65,6 +71,8 @@ pub mod causal;
 pub mod counters;
 pub mod engine;
 pub mod hist;
+pub mod parallel;
+pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod span;
@@ -77,6 +85,8 @@ pub use causal::{
 pub use counters::{intern, CounterId, CounterSnapshot, Counters};
 pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
 pub use hist::{intern_hist, HistId, Histogram, Histograms};
+pub use parallel::{EngineSel, ExecEngine, ParallelEngine};
+pub use partition::{node_shard, ShardMap};
 pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use span::{FlightRecorder, Phase, SpanEvent, SpanSummary, NUM_PHASES};

@@ -1,0 +1,1173 @@
+//! Rank-sharded conservative parallel execution of an [`Engine`].
+//!
+//! [`ParallelEngine`] partitions a fully-built engine's components across
+//! worker threads (one shard each, see [`crate::partition`]), each running
+//! its own event queue, and synchronizes them with the classic conservative
+//! time-window protocol: all shards repeatedly agree on a window
+//! `[H, H + L)` — `H` the global minimum pending event time, `L` the
+//! *lookahead* — and execute their local events inside it without any
+//! further coordination. `L` is the minimum cross-shard message latency
+//! (one switch hop of the modelled fabric, bytes = 0), so an event executed
+//! at time `t` can only schedule onto another shard at `t + L` or later —
+//! never inside the current window. Cross-shard sends travel through
+//! per-pair mailboxes and are integrated before the next window is chosen.
+//!
+//! ## Why the result is byte-identical to the sequential engine
+//!
+//! Event keys are content-based (`(time, source, per-source count)` — see
+//! [`crate::engine`]), so an event's key does not depend on which thread
+//! pushed it or when. Within one shard, events are delivered in exactly the
+//! order the sequential engine would deliver them *restricted to that
+//! shard*: same-time event creation is always intra-shard (cross-shard
+//! arrivals lag by ≥ `L`), so each shard's pending set — and therefore its
+//! pop sequence — evolves independently of the interleaving. Per-component
+//! RNG streams and per-source send counts make every handler's behaviour a
+//! function of its own delivery sequence alone. The global sequential
+//! delivery order is then reconstructible after the fact: it is the k-way
+//! merge of the per-shard delivery sequences that always takes the stream
+//! whose *head event key* is smallest (the sequential engine's pending-set
+//! minimum always lives at the head of exactly one shard's stream).
+//!
+//! ## Deterministic observability merge
+//!
+//! Trace records, flight-recorder folds, and causal netdump records must
+//! appear in the *global* delivery order to be byte-identical with a
+//! sequential run. Each shard therefore captures raw per-delivery
+//! observability ([`RawObs`]) — one entry per delivered event (record-less
+//! events included; the merge order is decided by delivered-event keys, not
+//! record keys) — and after the run the shards' streams are k-way merged by
+//! head event key and replayed into the real trace/recorder/netdump.
+//! Netdump ids are assigned at replay time, so they match the sequential
+//! run exactly; during the run shards hand out *provisional* ids
+//! (`(shard + 1) << 40 | index`) which the replay remaps — including ids
+//! that components stored and re-use as causal parents many windows later.
+//!
+//! ## Scratch ownership and steady-state allocation
+//!
+//! Every mutable structure is owned by exactly one thread at any time:
+//! shard state (engine, outboxes, raw capture) by its worker during a
+//! window, mailbox vectors by the mutex that hands them between a sender's
+//! deposit and the receiver's next integration phase. Buffers are recycled
+//! by `mem::swap` — a deposited outbox vector becomes the receiver's next
+//! scratch and vice versa — so a steady-state window allocates nothing;
+//! the counting-allocator gate (`tests/alloc_steady.rs`) enforces this.
+//!
+//! ## Documented divergences from the sequential engine
+//!
+//! * **Event budget** ([`ParallelEngine::run_bounded`]): enforced at window
+//!   granularity (the run stops at the first window boundary at or past the
+//!   budget), not per event. Time deadlines are exact.
+//! * **Halt**: a [`crate::Ctx::halt`] stops the halting shard immediately
+//!   but other shards finish the current window first. The barrier driver
+//!   layer never halts mid-protocol, so the parity witness is unaffected.
+
+use crate::causal::{CauseId, NetDump, PacketLog};
+use crate::engine::{ComponentId, Engine, RunOutcome};
+use crate::partition::ShardMap;
+use crate::queue::{pack, SchedulerKind};
+use crate::span::{FlightRecorder, SpanEvent};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceRecord};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Routes a shard's sends: local targets to the local queue, cross-shard
+/// targets into per-destination outboxes.
+pub(crate) struct ShardLink<M> {
+    table: Arc<Vec<u32>>,
+    my_shard: u32,
+    /// End (exclusive, ns) of the window currently executing; cross-shard
+    /// sends must land at or beyond it (the lookahead guarantee).
+    pub(crate) window_end_ns: u64,
+    /// One outbox per destination shard (own slot unused).
+    pub(crate) outboxes: Vec<Vec<(u128, ComponentId, M)>>,
+}
+
+impl<M> ShardLink<M> {
+    #[inline]
+    pub(crate) fn is_local(&self, target: ComponentId) -> bool {
+        self.table[target.0] == self.my_shard
+    }
+
+    #[inline]
+    pub(crate) fn deposit(&mut self, key: u128, at: SimTime, target: ComponentId, msg: M) {
+        debug_assert!(
+            at.as_ns() >= self.window_end_ns,
+            "cross-shard send at {at} lands inside the current window \
+             (end {} ns): the lookahead is overstated",
+            self.window_end_ns
+        );
+        let shard = self.table[target.0] as usize;
+        self.outboxes[shard].push((key, target, msg));
+    }
+}
+
+/// Per-delivery observability summary: how many raw span/packet records the
+/// handler of the event with this key emitted.
+pub(crate) struct RawEvent {
+    pub(crate) key: u128,
+    pub(crate) spans: u32,
+    pub(crate) pkts: u32,
+}
+
+/// Bit position of the shard tag inside a provisional [`CauseId`].
+const PKT_TAG_SHIFT: u32 = 40;
+const PKT_IDX_MASK: u64 = (1 << PKT_TAG_SHIFT) - 1;
+
+/// A shard's raw observability capture for the deterministic post-run
+/// merge: one [`RawEvent`] per delivered event, plus the span/packet
+/// payloads in emission order.
+pub(crate) struct RawObs {
+    pub(crate) record_spans: bool,
+    pub(crate) record_pkts: bool,
+    pub(crate) events: Vec<RawEvent>,
+    pub(crate) spans: Vec<(SimTime, ComponentId, SpanEvent)>,
+    pub(crate) pkts: Vec<(SimTime, ComponentId, PacketLog)>,
+    /// Packets already merged in earlier runs: the global raw index of
+    /// `pkts[0]` (provisional ids must stay valid across run calls).
+    pub(crate) pkt_base: u64,
+    /// `(shard + 1) << PKT_TAG_SHIFT`, baked into provisional ids.
+    shard_tag: u64,
+}
+
+impl RawObs {
+    fn new(shard: usize) -> Self {
+        RawObs {
+            record_spans: false,
+            record_pkts: false,
+            events: Vec::new(),
+            spans: Vec::new(),
+            pkts: Vec::new(),
+            pkt_base: 0,
+            shard_tag: (shard as u64 + 1) << PKT_TAG_SHIFT,
+        }
+    }
+
+    /// Capture one packet record, returning its provisional id.
+    pub(crate) fn record_packet(
+        &mut self,
+        time: SimTime,
+        component: ComponentId,
+        log: PacketLog,
+    ) -> CauseId {
+        let idx = self.pkt_base + self.pkts.len() as u64;
+        debug_assert!(idx <= PKT_IDX_MASK, "provisional packet index overflow");
+        self.pkts.push((time, component, log));
+        CauseId(self.shard_tag | idx)
+    }
+}
+
+#[inline]
+fn is_provisional(id: CauseId) -> bool {
+    id.0 > PKT_IDX_MASK
+}
+
+/// One worker shard: its engine slice plus the cross-shard plumbing.
+struct ShardState<M: 'static> {
+    engine: Engine<M>,
+    link: ShardLink<M>,
+    raw: RawObs,
+    /// Recycled buffer for draining inbound mailboxes.
+    scratch: Vec<(u128, ComponentId, M)>,
+}
+
+/// One cross-shard mailbox: `(event key, destination, message)` triples
+/// appended by the sender's window and drained by the receiver at the next
+/// window boundary.
+type Mailbox<M> = Mutex<Vec<(u128, ComponentId, M)>>;
+
+/// The rank-sharded conservative parallel engine.
+///
+/// Wraps a fully-built (but not yet run) [`Engine`], splitting its
+/// components, queue, and RNG streams across `shards` workers. All result
+/// surfaces — counters, trace, flight recorder, netdump, `now`,
+/// `events_processed` — are byte-identical to running the original engine
+/// sequentially, for any shard count (see the module docs for why).
+pub struct ParallelEngine<M: 'static> {
+    /// The residual original engine: owns the merged observability, the
+    /// counters, the clock, and the external send counter. Its component
+    /// slots and queue are empty (moved into the shards).
+    base: Engine<M>,
+    shards: Vec<ShardState<M>>,
+    table: Arc<Vec<u32>>,
+    /// Conservative lookahead: minimum cross-shard message latency (ns).
+    lookahead_ns: u64,
+    /// Per-pair mailboxes, indexed `[from * K + to]`.
+    mail: Vec<Mailbox<M>>,
+    /// Per shard: global raw packet index → real netdump id.
+    pkt_remap: Vec<Vec<CauseId>>,
+}
+
+impl<M: Send + 'static> ParallelEngine<M> {
+    /// Split `engine` across `map.shards()` workers with the given
+    /// conservative lookahead (the minimum latency of any cross-shard
+    /// message; typically the fabric's one-hop zero-byte latency).
+    ///
+    /// # Panics
+    /// Panics if the map does not cover the engine's components or if the
+    /// lookahead is zero (a zero lookahead admits no parallel window).
+    pub fn new(mut engine: Engine<M>, map: ShardMap, lookahead: SimTime) -> Self {
+        assert!(
+            map.table().len() == engine.len(),
+            "shard map covers {} components, engine has {}",
+            map.table().len(),
+            engine.len()
+        );
+        assert!(!lookahead.is_zero(), "parallel engine needs lookahead > 0");
+        let k = map.shards();
+        let table = Arc::new(map.into_table());
+        let num = engine.len();
+        let kind = engine.scheduler_kind();
+        let mut shards: Vec<ShardState<M>> = (0..k)
+            .map(|s| ShardState {
+                engine: Engine::shard_shell(&engine, num, kind),
+                link: ShardLink {
+                    table: Arc::clone(&table),
+                    my_shard: s as u32,
+                    window_end_ns: 0,
+                    outboxes: (0..k).map(|_| Vec::new()).collect(),
+                },
+                raw: RawObs::new(s),
+                scratch: Vec::new(),
+            })
+            .collect();
+        // Move every component (and its RNG stream and send count) to its
+        // owning shard.
+        for c in 0..num {
+            let s = table[c] as usize;
+            let sh = &mut shards[s].engine;
+            sh.components[c] = engine.components[c].take();
+            sh.srcs[c] = std::mem::take(&mut engine.srcs[c]);
+        }
+        // Route the pending (externally scheduled) events to their shards,
+        // keys preserved.
+        while let Some(ev) = engine.queue.pop() {
+            let s = table[ev.target.0] as usize;
+            shards[s].engine.queue.push(ev.key, ev.target, ev.msg);
+        }
+        let mail = (0..k * k).map(|_| Mutex::new(Vec::new())).collect();
+        ParallelEngine {
+            base: engine,
+            shards,
+            table,
+            lookahead_ns: lookahead.as_ns(),
+            mail,
+            pkt_remap: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead window width.
+    pub fn lookahead(&self) -> SimTime {
+        SimTime::from_ns(self.lookahead_ns)
+    }
+
+    /// Which scheduler implementation the shard queues run on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.base.queue.kind()
+    }
+
+    /// Current simulated time (maximum over shard clocks — the timestamp of
+    /// the globally last delivered event, as in the sequential engine).
+    pub fn now(&self) -> SimTime {
+        self.base.now
+    }
+
+    /// Total events delivered (all shards).
+    pub fn events_processed(&self) -> u64 {
+        self.base.events_processed
+    }
+
+    /// The merged counters.
+    pub fn counters(&self) -> &crate::counters::Counters {
+        &self.base.counters
+    }
+
+    /// Mutable access to the merged counters.
+    pub fn counters_mut(&mut self) -> &mut crate::counters::Counters {
+        &mut self.base.counters
+    }
+
+    /// The merged trace ring.
+    pub fn trace(&self) -> &Trace {
+        &self.base.trace
+    }
+
+    /// Enable tracing (merged deterministically after each run).
+    pub fn enable_trace(&mut self) {
+        self.base.trace.enable();
+    }
+
+    /// Mutable access to the merged trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.base.trace
+    }
+
+    /// The merged flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.base.recorder
+    }
+
+    /// Enable flight recording.
+    pub fn enable_recorder(&mut self) {
+        self.base.recorder.enable();
+    }
+
+    /// Mutable access to the merged flight recorder.
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.base.recorder
+    }
+
+    /// The merged causal netdump.
+    pub fn netdump(&self) -> &NetDump {
+        &self.base.netdump
+    }
+
+    /// Enable causal packet capture.
+    pub fn enable_netdump(&mut self) {
+        self.base.netdump.enable();
+    }
+
+    /// Mutable access to the merged netdump.
+    pub fn netdump_mut(&mut self) -> &mut NetDump {
+        &mut self.base.netdump
+    }
+
+    /// Downcast access to a concrete component (routed to its shard).
+    pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        self.shards[self.table[id.0] as usize]
+            .engine
+            .component_ref(id)
+    }
+
+    /// Downcast mutable access to a concrete component.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.shards[self.table[id.0] as usize]
+            .engine
+            .component_mut(id)
+    }
+
+    /// Inject an event from outside the simulation (key source 0, exactly
+    /// as [`Engine::schedule_at`] — same count, same key, same delivery).
+    pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        assert!(at >= self.base.now, "scheduling into the past");
+        let key = pack(at, self.base.ext_count);
+        self.base.ext_count += 1;
+        let s = self.table[target.0] as usize;
+        self.shards[s].engine.queue.push(key, target, msg);
+    }
+
+    /// Inject an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, msg: M) {
+        self.schedule_at(self.base.now + delay, target, msg);
+    }
+
+    /// Earliest pending event time across all shards.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.engine.queue.peek_time())
+            .min()
+    }
+
+    /// Total pending events across all shards.
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.queue.len()).sum()
+    }
+
+    /// Run until every queue drains or a component halts. Returns the final
+    /// simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_bounded(SimTime::MAX, u64::MAX);
+        self.base.now
+    }
+
+    /// Run until `deadline` (inclusive), every queue drains, or a component
+    /// halts.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_bounded(deadline, u64::MAX)
+    }
+
+    /// Run with a time deadline and an event budget. The deadline is exact
+    /// (identical delivered-event set to the sequential engine); the budget
+    /// is enforced at window granularity — see the module docs.
+    pub fn run_bounded(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let k = self.shards.len();
+        let deadline_ns = deadline.as_ns();
+        // With one shard there is no cross-shard traffic, so the whole run
+        // is a single window: the sequential loop plus once-per-call
+        // overhead. This is what the engine-sweep overhead gate measures.
+        let lookahead = if k == 1 { u64::MAX } else { self.lookahead_ns };
+        let record_spans = self.base.trace.is_enabled() || self.base.recorder.is_enabled();
+        let record_pkts = self.base.netdump.is_enabled();
+        let obs = record_spans || record_pkts;
+        for sh in &mut self.shards {
+            sh.engine.halted = false;
+            sh.raw.record_spans = record_spans;
+            sh.raw.record_pkts = record_pkts;
+        }
+        let mins: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let events: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let halted = AtomicBool::new(false);
+        let barrier = Barrier::new(k);
+        if k == 1 {
+            // One shard needs no worker thread: run the window loop on the
+            // calling thread (a 1-party barrier never blocks, the atomics
+            // are uncontended). This keeps the 1-shard flavour a thin
+            // wrapper over the sequential core — the property the
+            // engine-sweep overhead gate measures.
+            shard_worker(
+                0,
+                1,
+                &mut self.shards[0],
+                &mins,
+                &events,
+                &halted,
+                &barrier,
+                &self.mail,
+                deadline_ns,
+                max_events,
+                lookahead,
+                obs,
+            );
+        } else {
+            let mail = &self.mail;
+            let mins = &mins;
+            let events = &events;
+            let halted = &halted;
+            let barrier = &barrier;
+            std::thread::scope(|scope| {
+                for (me, state) in self.shards.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        shard_worker(
+                            me,
+                            k,
+                            state,
+                            mins,
+                            events,
+                            halted,
+                            barrier,
+                            mail,
+                            deadline_ns,
+                            max_events,
+                            lookahead,
+                            obs,
+                        );
+                    });
+                }
+            });
+        }
+        // Single-threaded epilogue: fold shard results into the base engine.
+        let delivered: u64 = events.iter().map(|e| e.load(Ordering::Relaxed)).sum();
+        self.base.events_processed += delivered;
+        for sh in &mut self.shards {
+            sh.engine.counters.drain_into(&mut self.base.counters);
+            if sh.engine.now > self.base.now {
+                self.base.now = sh.engine.now;
+            }
+        }
+        if obs {
+            self.merge_observability();
+        }
+        // Reconstruct the (unanimous) worker decision from the final
+        // published state, in the same priority order the workers used.
+        if halted.load(Ordering::Relaxed) {
+            return RunOutcome::Halted;
+        }
+        let h = mins
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        if h == u64::MAX {
+            RunOutcome::Idle
+        } else if h > deadline_ns {
+            RunOutcome::DeadlineReached
+        } else {
+            RunOutcome::BudgetExhausted
+        }
+    }
+
+    /// Replay each shard's raw observability into the base trace, flight
+    /// recorder, and netdump, in the exact global delivery order: a k-way
+    /// merge that always takes the shard whose *head delivered-event key*
+    /// is smallest. Packet parents recorded under provisional shard ids are
+    /// remapped to the real ids assigned here.
+    fn merge_observability(&mut self) {
+        let ParallelEngine {
+            base,
+            shards,
+            pkt_remap,
+            ..
+        } = self;
+        let k = shards.len();
+        let mut cursors = vec![(0usize, 0usize, 0usize); k];
+        loop {
+            let mut best: Option<(u128, usize)> = None;
+            for (s, sh) in shards.iter().enumerate() {
+                if let Some(ev) = sh.raw.events.get(cursors[s].0) {
+                    if best.is_none_or(|(bk, _)| ev.key < bk) {
+                        best = Some((ev.key, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let (e, sp, pk) = cursors[s];
+            let raw = &shards[s].raw;
+            let ev = &raw.events[e];
+            for (time, component, event) in &raw.spans[sp..sp + ev.spans as usize] {
+                base.trace.emit(TraceRecord {
+                    time: *time,
+                    component: *component,
+                    event: *event,
+                });
+                base.recorder.observe(*time, event);
+            }
+            for (time, component, log) in &raw.pkts[pk..pk + ev.pkts as usize] {
+                let mut log = *log;
+                if is_provisional(log.parent) {
+                    let from = ((log.parent.0 >> PKT_TAG_SHIFT) - 1) as usize;
+                    let idx = (log.parent.0 & PKT_IDX_MASK) as usize;
+                    log.parent = pkt_remap[from][idx];
+                }
+                let real = base.netdump.record(*time, *component, log);
+                debug_assert!(
+                    real.0 <= PKT_IDX_MASK,
+                    "netdump id space collided with provisional shard ids"
+                );
+                pkt_remap[s].push(real);
+            }
+            cursors[s] = (e + 1, sp + ev.spans as usize, pk + ev.pkts as usize);
+        }
+        for (s, sh) in shards.iter_mut().enumerate() {
+            debug_assert_eq!(cursors[s].1, sh.raw.spans.len(), "unmerged spans");
+            debug_assert_eq!(cursors[s].2, sh.raw.pkts.len(), "unmerged packets");
+            sh.raw.pkt_base += sh.raw.pkts.len() as u64;
+            sh.raw.events.clear();
+            sh.raw.spans.clear();
+            sh.raw.pkts.clear();
+        }
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    /// An empty shard-sized shell sharing `proto`'s clock, master RNG, and
+    /// scheduler kind; components are moved in by the parallel split.
+    fn shard_shell(proto: &Engine<M>, num: usize, kind: SchedulerKind) -> Engine<M> {
+        let mut shell = Engine::with_scheduler(0, kind);
+        shell.rng = proto.rng.clone();
+        shell.now = proto.now;
+        shell.components = (0..num).map(|_| None).collect();
+        shell.srcs = (0..num).map(|_| Default::default()).collect();
+        shell
+    }
+}
+
+/// Which engine flavour a cluster builder should produce. Spec structs
+/// carry one of these plus a requested shard count; [`EngineSel::resolve`]
+/// turns the pair into the concrete choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineSel {
+    /// Parallel iff more than one shard was requested (the sane default:
+    /// a one-shard parallel engine is pure overhead).
+    #[default]
+    Auto,
+    /// Always the sequential engine, whatever the shard count — the
+    /// byte-identity oracle, and the only flavour that can single-step.
+    Sequential,
+    /// Always the parallel engine, even at one shard. Exists so the
+    /// engine-overhead gate can measure the windowing machinery's cost
+    /// against the sequential baseline.
+    Parallel,
+}
+
+impl EngineSel {
+    /// Resolve the selection against a requested shard count (clamped to
+    /// at least 1): returns `(use_parallel, effective_shards)`.
+    pub fn resolve(self, shards: usize) -> (bool, usize) {
+        let shards = shards.max(1);
+        match self {
+            EngineSel::Auto => (shards > 1, shards),
+            EngineSel::Sequential => (false, 1),
+            EngineSel::Parallel => (true, shards),
+        }
+    }
+}
+
+/// Either engine flavour behind one API, so a harness can pick sequential
+/// or parallel execution per run without duplicating its driver code.
+///
+/// Every accessor matches the underlying engines' semantics exactly; the
+/// two produce byte-identical results (see [`crate::parallel`]), so
+/// switching variants never changes what a harness observes — only how
+/// much wall-clock it takes to observe it.
+pub enum ExecEngine<M: 'static> {
+    /// The plain single-threaded engine.
+    Seq(Engine<M>),
+    /// The rank-sharded conservative parallel engine.
+    Par(ParallelEngine<M>),
+}
+
+impl<M: Send + 'static> ExecEngine<M> {
+    /// `"sequential"` or `"parallel"` — recorded in results manifests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecEngine::Seq(_) => "sequential",
+            ExecEngine::Par(_) => "parallel",
+        }
+    }
+
+    /// Number of worker shards (1 for the sequential engine).
+    pub fn shards(&self) -> usize {
+        match self {
+            ExecEngine::Seq(_) => 1,
+            ExecEngine::Par(p) => p.shards(),
+        }
+    }
+
+    /// Which scheduler implementation the event queue(s) run on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        match self {
+            ExecEngine::Seq(e) => e.scheduler_kind(),
+            ExecEngine::Par(p) => p.scheduler_kind(),
+        }
+    }
+
+    /// Run until the queue drains or a component halts; returns final time.
+    pub fn run(&mut self) -> SimTime {
+        match self {
+            ExecEngine::Seq(e) => e.run(),
+            ExecEngine::Par(p) => p.run(),
+        }
+    }
+
+    /// Run until `deadline` (inclusive), drain, or halt.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        match self {
+            ExecEngine::Seq(e) => e.run_until(deadline),
+            ExecEngine::Par(p) => p.run_until(deadline),
+        }
+    }
+
+    /// Run with a time deadline and an event budget (window-granular on the
+    /// parallel engine — see [`ParallelEngine::run_bounded`]).
+    pub fn run_bounded(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        match self {
+            ExecEngine::Seq(e) => e.run_bounded(deadline, max_events),
+            ExecEngine::Par(p) => p.run_bounded(deadline, max_events),
+        }
+    }
+
+    /// Deliver the single earliest event (sequential engine only).
+    ///
+    /// # Panics
+    /// Panics on the parallel engine: single-stepping is inherently a
+    /// sequential-timeline operation.
+    pub fn step(&mut self) -> bool {
+        match self {
+            ExecEngine::Seq(e) => e.step(),
+            ExecEngine::Par(_) => {
+                panic!("step(): single-stepping needs the sequential engine")
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            ExecEngine::Seq(e) => e.now(),
+            ExecEngine::Par(p) => p.now(),
+        }
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            ExecEngine::Seq(e) => e.events_processed(),
+            ExecEngine::Par(p) => p.events_processed(),
+        }
+    }
+
+    /// Earliest pending event time across all queues.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        match self {
+            ExecEngine::Seq(e) => e.next_event_time(),
+            ExecEngine::Par(p) => p.next_event_time(),
+        }
+    }
+
+    /// Total pending events across all queues.
+    pub fn pending_events(&self) -> usize {
+        match self {
+            ExecEngine::Seq(e) => e.pending_events(),
+            ExecEngine::Par(p) => p.pending_events(),
+        }
+    }
+
+    /// Inject an event from outside the simulation at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        match self {
+            ExecEngine::Seq(e) => e.schedule_at(at, target, msg),
+            ExecEngine::Par(p) => p.schedule_at(at, target, msg),
+        }
+    }
+
+    /// Inject an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, msg: M) {
+        match self {
+            ExecEngine::Seq(e) => e.schedule_in(delay, target, msg),
+            ExecEngine::Par(p) => p.schedule_in(delay, target, msg),
+        }
+    }
+
+    /// The engine-wide (merged) counters.
+    pub fn counters(&self) -> &crate::counters::Counters {
+        match self {
+            ExecEngine::Seq(e) => e.counters(),
+            ExecEngine::Par(p) => p.counters(),
+        }
+    }
+
+    /// Mutable counters access (clearing between phases).
+    pub fn counters_mut(&mut self) -> &mut crate::counters::Counters {
+        match self {
+            ExecEngine::Seq(e) => e.counters_mut(),
+            ExecEngine::Par(p) => p.counters_mut(),
+        }
+    }
+
+    /// The (merged) trace ring.
+    pub fn trace(&self) -> &Trace {
+        match self {
+            ExecEngine::Seq(e) => e.trace(),
+            ExecEngine::Par(p) => p.trace(),
+        }
+    }
+
+    /// Enable tracing.
+    pub fn enable_trace(&mut self) {
+        match self {
+            ExecEngine::Seq(e) => e.enable_trace(),
+            ExecEngine::Par(p) => p.enable_trace(),
+        }
+    }
+
+    /// Mutable trace access.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        match self {
+            ExecEngine::Seq(e) => e.trace_mut(),
+            ExecEngine::Par(p) => p.trace_mut(),
+        }
+    }
+
+    /// The (merged) flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        match self {
+            ExecEngine::Seq(e) => e.recorder(),
+            ExecEngine::Par(p) => p.recorder(),
+        }
+    }
+
+    /// Enable flight recording.
+    pub fn enable_recorder(&mut self) {
+        match self {
+            ExecEngine::Seq(e) => e.enable_recorder(),
+            ExecEngine::Par(p) => p.enable_recorder(),
+        }
+    }
+
+    /// Mutable flight-recorder access.
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        match self {
+            ExecEngine::Seq(e) => e.recorder_mut(),
+            ExecEngine::Par(p) => p.recorder_mut(),
+        }
+    }
+
+    /// The (merged) causal netdump.
+    pub fn netdump(&self) -> &NetDump {
+        match self {
+            ExecEngine::Seq(e) => e.netdump(),
+            ExecEngine::Par(p) => p.netdump(),
+        }
+    }
+
+    /// Enable causal packet capture.
+    pub fn enable_netdump(&mut self) {
+        match self {
+            ExecEngine::Seq(e) => e.enable_netdump(),
+            ExecEngine::Par(p) => p.enable_netdump(),
+        }
+    }
+
+    /// Mutable netdump access.
+    pub fn netdump_mut(&mut self) -> &mut NetDump {
+        match self {
+            ExecEngine::Seq(e) => e.netdump_mut(),
+            ExecEngine::Par(p) => p.netdump_mut(),
+        }
+    }
+
+    /// Downcast access to a concrete component.
+    pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        match self {
+            ExecEngine::Seq(e) => e.component_ref(id),
+            ExecEngine::Par(p) => p.component_ref(id),
+        }
+    }
+
+    /// Downcast mutable access to a concrete component.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        match self {
+            ExecEngine::Seq(e) => e.component_mut(id),
+            ExecEngine::Par(p) => p.component_mut(id),
+        }
+    }
+}
+
+/// One worker's run loop: the two-barrier conservative window protocol.
+///
+/// Every shared write happens in phase A (before barrier 1) or in the
+/// execute phase (between the barriers); every decision input is read
+/// between barrier 1 and the execute phase, from values that can no longer
+/// change — so all workers compute the identical decision every iteration.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<M: Send + 'static>(
+    me: usize,
+    k: usize,
+    state: &mut ShardState<M>,
+    mins: &[AtomicU64],
+    events: &[AtomicU64],
+    halted: &AtomicBool,
+    barrier: &Barrier,
+    mail: &[Mailbox<M>],
+    deadline_ns: u64,
+    max_events: u64,
+    lookahead: u64,
+    obs: bool,
+) {
+    let ShardState {
+        engine,
+        link,
+        raw,
+        scratch,
+    } = state;
+    let mut delivered_total: u64 = 0;
+    loop {
+        // Phase A: integrate inbound mail, publish queue minimum / event
+        // count / halt flag.
+        for from in 0..k {
+            if from == me {
+                continue;
+            }
+            {
+                let mut slot = mail[from * k + me].lock().expect("mailbox poisoned");
+                std::mem::swap(&mut *slot, scratch);
+            }
+            for (key, target, msg) in scratch.drain(..) {
+                engine.queue.push(key, target, msg);
+            }
+        }
+        if engine.halted {
+            halted.store(true, Ordering::Relaxed);
+        }
+        mins[me].store(
+            engine.queue.peek_time().map_or(u64::MAX, |t| t.as_ns()),
+            Ordering::Relaxed,
+        );
+        events[me].store(delivered_total, Ordering::Relaxed);
+        barrier.wait();
+        // Decide: identical on every worker. Priority order matches the
+        // sequential engine: halt, idle, deadline, budget.
+        if halted.load(Ordering::Relaxed) {
+            break;
+        }
+        let h = mins
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .min()
+            .expect("at least one shard");
+        if h == u64::MAX || h > deadline_ns {
+            break;
+        }
+        let total: u64 = events.iter().map(|e| e.load(Ordering::Relaxed)).sum();
+        if total >= max_events {
+            break;
+        }
+        let window_end = h
+            .saturating_add(lookahead)
+            .min(deadline_ns.saturating_add(1));
+        // With one shard the budget can be exact; with several it is
+        // enforced at window granularity by the check above.
+        let window_budget = if k == 1 { max_events - total } else { u64::MAX };
+        delivered_total += engine.run_window(
+            window_end,
+            window_budget,
+            link,
+            if obs { Some(raw) } else { None },
+        );
+        // Deposit outboxes: swap the full vector into the mailbox and take
+        // the (empty) mailbox vector back as the next outbox — no
+        // steady-state allocation.
+        for (to, outbox) in link.outboxes.iter_mut().enumerate() {
+            if to == me || outbox.is_empty() {
+                continue;
+            }
+            let mut slot = mail[me * k + to].lock().expect("mailbox poisoned");
+            debug_assert!(slot.is_empty(), "mailbox not drained by receiver");
+            std::mem::swap(&mut *slot, outbox);
+        }
+        barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::CausalKind;
+    use crate::counters::CounterSnapshot;
+    use crate::engine::Component;
+    use crate::partition::ShardMap;
+
+    const HOP_NS: u64 = 500;
+
+    #[derive(Clone, Copy)]
+    enum PMsg {
+        Token { hops: u32, cause: CauseId },
+    }
+
+    /// Ring node: logs arrival, emits a span + packet record, forwards the
+    /// token with a jittered (RNG-drawn) delay of at least one hop.
+    struct Node {
+        idx: usize,
+        next: ComponentId,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Component<PMsg> for Node {
+        fn handle(&mut self, msg: PMsg, ctx: &mut crate::Ctx<'_, PMsg>) {
+            let PMsg::Token { hops, cause } = msg;
+            self.log.push((ctx.now().as_ns(), hops));
+            ctx.count("ring.hops", 1);
+            ctx.trace("hop", hops as u64, self.idx as u64);
+            let wire = ctx.packet(
+                PacketLog::new(cause, CausalKind::Wire)
+                    .nodes(self.idx as u32, self.next.0 as u32)
+                    .detail(hops as u64, 0),
+            );
+            if hops > 0 {
+                let jitter = ctx.rng().below(100);
+                ctx.send(
+                    SimTime::from_ns(HOP_NS + jitter),
+                    self.next,
+                    PMsg::Token {
+                        hops: hops - 1,
+                        cause: wire,
+                    },
+                );
+            }
+        }
+    }
+
+    fn build_ring(n: usize, tokens: usize) -> Engine<PMsg> {
+        let mut engine: Engine<PMsg> = Engine::new(0xBA77E5);
+        let ids: Vec<ComponentId> = (0..n).map(|_| engine.reserve_id()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            engine.install(
+                id,
+                Node {
+                    idx: i,
+                    next: ids[(i + 1) % n],
+                    log: Vec::new(),
+                },
+            );
+        }
+        for t in 0..tokens {
+            engine.schedule_at(
+                SimTime::from_ns(t as u64 * 3),
+                ids[t % n],
+                PMsg::Token {
+                    hops: 40,
+                    cause: CauseId::NONE,
+                },
+            );
+        }
+        engine
+    }
+
+    struct Observed {
+        now: SimTime,
+        events: u64,
+        counters: CounterSnapshot,
+        logs: Vec<Vec<(u64, u32)>>,
+        trace: Vec<crate::TraceRecord>,
+        pkts: Vec<crate::PacketRecord>,
+        outcome: RunOutcome,
+    }
+
+    fn run_seq(n: usize, tokens: usize, deadline: SimTime) -> Observed {
+        let mut e = build_ring(n, tokens);
+        e.enable_trace();
+        e.enable_netdump();
+        let outcome = e.run_until(deadline);
+        Observed {
+            now: e.now(),
+            events: e.events_processed(),
+            counters: e.counters().snapshot(),
+            logs: (0..n)
+                .map(|i| e.component_ref::<Node>(ComponentId(i)).unwrap().log.clone())
+                .collect(),
+            trace: e.trace().iter().copied().collect(),
+            pkts: e.netdump().records().to_vec(),
+            outcome,
+        }
+    }
+
+    fn run_par(n: usize, tokens: usize, deadline: SimTime, shards: usize) -> Observed {
+        let engine = build_ring(n, tokens);
+        let map = ShardMap::by_node(n, n, shards, |c| c);
+        let mut p = ParallelEngine::new(engine, map, SimTime::from_ns(HOP_NS));
+        p.enable_trace();
+        p.enable_netdump();
+        let outcome = p.run_until(deadline);
+        Observed {
+            now: p.now(),
+            events: p.events_processed(),
+            counters: p.counters().snapshot(),
+            logs: (0..n)
+                .map(|i| p.component_ref::<Node>(ComponentId(i)).unwrap().log.clone())
+                .collect(),
+            trace: p.trace().iter().copied().collect(),
+            pkts: p.netdump().records().to_vec(),
+            outcome,
+        }
+    }
+
+    fn assert_same(a: &Observed, b: &Observed, what: &str) {
+        assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+        assert_eq!(a.now, b.now, "{what}: final time");
+        assert_eq!(a.events, b.events, "{what}: events processed");
+        assert_eq!(a.counters, b.counters, "{what}: counters");
+        assert_eq!(a.logs, b.logs, "{what}: per-node logs");
+        assert_eq!(a.trace, b.trace, "{what}: trace records");
+        assert_eq!(a.pkts, b.pkts, "{what}: netdump records");
+    }
+
+    #[test]
+    fn parallel_ring_matches_sequential_at_every_shard_count() {
+        let seq = run_seq(12, 12, SimTime::MAX);
+        assert_eq!(seq.outcome, RunOutcome::Idle);
+        assert!(seq.events > 0);
+        for shards in [1usize, 2, 3, 5, 12] {
+            let par = run_par(12, 12, SimTime::MAX, shards);
+            assert_same(&seq, &par, &format!("{shards} shards"));
+        }
+    }
+
+    #[test]
+    fn deadline_outcome_and_event_set_match() {
+        let deadline = SimTime::from_ns(HOP_NS * 10 + 37);
+        let seq = run_seq(8, 8, deadline);
+        assert_eq!(seq.outcome, RunOutcome::DeadlineReached);
+        for shards in [2usize, 4] {
+            let par = run_par(8, 8, deadline, shards);
+            assert_same(&seq, &par, &format!("deadline, {shards} shards"));
+        }
+    }
+
+    #[test]
+    fn netdump_parent_chains_survive_the_merge() {
+        let seq = run_seq(6, 3, SimTime::MAX);
+        let par = run_par(6, 3, SimTime::MAX, 3);
+        // Walk a causal chain from the last record in both dumps: identical
+        // ids all the way up proves the provisional-id remap is exact.
+        let last = seq.pkts.last().unwrap().id;
+        let chain_s: Vec<CauseId> = crate::chain_to(&seq.pkts, last)
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        let chain_p: Vec<CauseId> = crate::chain_to(&par.pkts, last)
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert!(chain_s.len() > 5, "chain unexpectedly short");
+        assert_eq!(chain_s, chain_p);
+        // No provisional id may leak into the merged dump.
+        for r in &par.pkts {
+            assert!(!is_provisional(r.id));
+            assert!(!is_provisional(r.parent));
+        }
+    }
+
+    #[test]
+    fn resumed_runs_keep_merging_consistently() {
+        // Split one run into several run_until calls: cross-call provisional
+        // parent remaps and count/clock continuity must all hold.
+        let n = 8;
+        let full = run_seq(n, 4, SimTime::MAX);
+        let engine = build_ring(n, 4);
+        let map = ShardMap::by_node(n, n, 4, |c| c);
+        let mut p = ParallelEngine::new(engine, map, SimTime::from_ns(HOP_NS));
+        p.enable_trace();
+        p.enable_netdump();
+        let mut outcome = RunOutcome::Idle;
+        for slice in 1..=100u64 {
+            outcome = p.run_until(SimTime::from_ns(slice * 1_000));
+            if outcome == RunOutcome::Idle {
+                break;
+            }
+        }
+        assert_eq!(outcome, RunOutcome::Idle);
+        assert_eq!(p.now(), full.now);
+        assert_eq!(p.events_processed(), full.events);
+        let pkts: Vec<crate::PacketRecord> = p.netdump().records().to_vec();
+        assert_eq!(pkts, full.pkts);
+        let trace: Vec<crate::TraceRecord> = p.trace().iter().copied().collect();
+        assert_eq!(trace, full.trace);
+    }
+
+    #[test]
+    fn external_schedule_between_runs_matches_sequential() {
+        let drive = |par_shards: Option<usize>| -> (SimTime, u64, CounterSnapshot) {
+            let engine = build_ring(6, 2);
+            match par_shards {
+                None => {
+                    let mut e = engine;
+                    e.run_until(SimTime::from_us(2.0));
+                    e.schedule_at(
+                        e.now() + SimTime::from_ns(50),
+                        ComponentId(3),
+                        PMsg::Token {
+                            hops: 9,
+                            cause: CauseId::NONE,
+                        },
+                    );
+                    e.run_until(SimTime::MAX);
+                    (e.now(), e.events_processed(), e.counters().snapshot())
+                }
+                Some(k) => {
+                    let map = ShardMap::by_node(6, 6, k, |c| c);
+                    let mut p = ParallelEngine::new(engine, map, SimTime::from_ns(HOP_NS));
+                    p.run_until(SimTime::from_us(2.0));
+                    p.schedule_at(
+                        p.now() + SimTime::from_ns(50),
+                        ComponentId(3),
+                        PMsg::Token {
+                            hops: 9,
+                            cause: CauseId::NONE,
+                        },
+                    );
+                    p.run_until(SimTime::MAX);
+                    (p.now(), p.events_processed(), p.counters().snapshot())
+                }
+            }
+        };
+        let seq = drive(None);
+        assert_eq!(seq, drive(Some(2)));
+        assert_eq!(seq, drive(Some(3)));
+    }
+}

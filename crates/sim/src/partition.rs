@@ -1,0 +1,127 @@
+//! Component → shard partitioning for the parallel engine.
+//!
+//! The parallel engine ([`crate::parallel`]) assigns every component to
+//! exactly one worker shard. Correctness only needs the *co-location*
+//! invariant: components that exchange zero-lookahead messages (a host and
+//! its own NIC, a NIC and its receive port) must share a shard, because
+//! only cross-fabric messages carry the link latency that funds the
+//! conservative lookahead window. Both cluster backends lay components out
+//! as `[hosts 0..n][NICs n..2n]`, so "everything belonging to node `j`"
+//! is simply every component id congruent to `j` mod `n` — and nodes are
+//! then split into `shards` contiguous, balanced ranges.
+//!
+//! Contiguous ranges (rather than round-robin) keep each shard's dissemination
+//! peers — which are `rank ± 2^k` — partially local at the low rounds, which
+//! slightly reduces cross-shard mail volume.
+
+use crate::engine::ComponentId;
+
+/// A complete component → shard assignment.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    table: Vec<u32>,
+    shards: u32,
+}
+
+/// Shard of node `node` when `nodes` nodes are split into `shards`
+/// balanced contiguous ranges: `node * shards / nodes`.
+#[inline]
+pub fn node_shard(node: usize, nodes: usize, shards: usize) -> u32 {
+    debug_assert!(node < nodes);
+    ((node as u64 * shards as u64) / nodes as u64) as u32
+}
+
+impl ShardMap {
+    /// Build a map for `components` component slots over `nodes` nodes,
+    /// with `node_of` giving each component's owning node. Nodes are split
+    /// into `shards` balanced contiguous ranges; `shards` is clamped to
+    /// `[1, nodes]`.
+    pub fn by_node(
+        components: usize,
+        nodes: usize,
+        shards: usize,
+        node_of: impl Fn(usize) -> usize,
+    ) -> ShardMap {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let shards = shards.clamp(1, nodes);
+        let table = (0..components)
+            .map(|c| node_shard(node_of(c), nodes, shards))
+            .collect();
+        ShardMap {
+            table,
+            shards: shards as u32,
+        }
+    }
+
+    /// The trivial single-shard map (every component on shard 0).
+    pub fn single(components: usize) -> ShardMap {
+        ShardMap {
+            table: vec![0; components],
+            shards: 1,
+        }
+    }
+
+    /// Number of shards this map distributes over.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Shard owning component `id`.
+    #[inline]
+    pub fn shard_of(&self, id: ComponentId) -> u32 {
+        self.table[id.0]
+    }
+
+    /// The raw component → shard table.
+    pub fn table(&self) -> &[u32] {
+        &self.table
+    }
+
+    pub(crate) fn into_table(self) -> Vec<u32> {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_and_balanced() {
+        let n = 10;
+        let map = ShardMap::by_node(2 * n, n, 4, |c| c % n);
+        // Host j and NIC j share a shard.
+        for j in 0..n {
+            assert_eq!(
+                map.shard_of(ComponentId(j)),
+                map.shard_of(ComponentId(n + j)),
+                "host and NIC of node {j} split across shards"
+            );
+        }
+        // Shards are contiguous in node order and non-decreasing.
+        let shards: Vec<u32> = (0..n).map(|j| map.shard_of(ComponentId(j))).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*shards.last().unwrap(), 3);
+        // Balanced: every shard owns 2 or 3 of the 10 nodes.
+        for s in 0..4u32 {
+            let owned = shards.iter().filter(|&&x| x == s).count();
+            assert!((2..=3).contains(&owned), "shard {s} owns {owned} nodes");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_nodes() {
+        let map = ShardMap::by_node(4, 2, 16, |c| c % 2);
+        assert_eq!(map.shards(), 2);
+        let map = ShardMap::by_node(4, 2, 0, |c| c % 2);
+        assert_eq!(map.shards(), 1);
+        assert!(map.table().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn single_puts_everything_on_shard_zero() {
+        let map = ShardMap::single(7);
+        assert_eq!(map.shards(), 1);
+        assert!(map.table().iter().all(|&s| s == 0));
+    }
+}

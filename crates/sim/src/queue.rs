@@ -1,11 +1,15 @@
 //! Event queues: the hot-path timing wheel (default), the indexed 4-ary
 //! heap, and the reference binary heap they replaced.
 //!
-//! All queues order events by `(time, seq)` — the heaps pack it into a
-//! `u128` key (`time` in the high 64 bits, the global insertion sequence in
-//! the low 64), the wheel encodes the same order structurally (FIFO buckets
-//! per nanosecond) — so the pop order is the *total* order of keys and is
-//! therefore identical across implementations regardless of internal shape.
+//! All queues order events by a *content-based* 128-bit key: simulated time
+//! in the high 64 bits and a `(source, per-source count)` subkey in the low
+//! 64 (see `crate::engine`). The key is a pure function of *who scheduled
+//! the event and when*, never of global insertion order — so the same event
+//! gets the same key whether the simulation runs on one thread or is
+//! sharded across many, and the pop order is the total order of keys
+//! regardless of the order pushes happened to arrive in. That property is
+//! what lets the parallel engine (`crate::parallel`) drain per-shard queues
+//! independently and still reproduce the sequential engine byte for byte.
 //! The classic [`std::collections::BinaryHeap`] queue is kept selectable
 //! (see [`SchedulerKind`]) purely as the differential-testing and
 //! benchmarking baseline.
@@ -14,11 +18,12 @@
 //!
 //! Simulated delays here are nanoseconds to a few microseconds, so almost
 //! every event lands inside a small sliding window. [`WheelQueue`] exploits
-//! that: push links a slab node onto a per-nanosecond FIFO bucket (O(1), no
-//! comparisons), pop unlinks the first node of the first occupied bucket
-//! (found by a 2048-bit bitmap scan), and a depth-1 bypass short-circuits
-//! ping-pong workloads entirely. Events beyond the window fall back to the
-//! indexed heap and re-bucket when the window advances.
+//! that: push links a slab node onto a per-nanosecond bucket kept sorted by
+//! subkey (almost always a tail append), pop unlinks the first node of the
+//! first occupied bucket (found by a 2048-bit bitmap scan), and a depth-1
+//! bypass short-circuits ping-pong workloads entirely. Events beyond the
+//! window fall back to the indexed heap and re-bucket when the window
+//! advances.
 //!
 //! ## Why the 4-ary indexed heap (the overflow and alternate scheduler)
 //!
@@ -51,20 +56,21 @@ pub enum SchedulerKind {
     ClassicBinaryHeap,
 }
 
-/// Pack an event key: time in the high 64 bits, sequence in the low 64.
+/// Pack an event key: time in the high 64 bits, subkey in the low 64.
 #[inline(always)]
-fn pack(time: SimTime, seq: u64) -> u128 {
-    ((time.as_ns() as u128) << 64) | seq as u128
+pub(crate) fn pack(time: SimTime, subkey: u64) -> u128 {
+    ((time.as_ns() as u128) << 64) | subkey as u128
 }
 
 /// The time half of a packed key.
 #[inline(always)]
-fn key_time(key: u128) -> SimTime {
+pub(crate) fn key_time(key: u128) -> SimTime {
     SimTime::from_ns((key >> 64) as u64)
 }
 
 /// A pending event as handed back by a queue pop.
 pub(crate) struct PoppedEvent<M> {
+    pub key: u128,
     pub time: SimTime,
     pub target: ComponentId,
     pub msg: M,
@@ -73,7 +79,7 @@ pub(crate) struct PoppedEvent<M> {
 /// The hot-path queue: a 4-ary min-heap over packed keys with payloads in a
 /// slab.
 pub(crate) struct IndexedHeap<M> {
-    /// Heap-ordered packed `(time, seq)` keys.
+    /// Heap-ordered packed `(time, subkey)` keys.
     keys: Vec<u128>,
     /// Parallel to `keys`: slab slot of each event's payload.
     slots: Vec<u32>,
@@ -103,6 +109,11 @@ impl<M> IndexedHeap<M> {
     #[inline]
     fn peek_time(&self) -> Option<SimTime> {
         self.keys.first().map(|&k| key_time(k))
+    }
+
+    #[inline]
+    fn peek_key(&self) -> Option<u128> {
+        self.keys.first().copied()
     }
 
     /// Store a payload, returning its slab slot.
@@ -179,6 +190,7 @@ impl<M> IndexedHeap<M> {
             .expect("heap slot had no payload");
         self.free.push(slot);
         Some(PoppedEvent {
+            key,
             time: key_time(key),
             target,
             msg,
@@ -267,10 +279,10 @@ impl<M> IndexedHeap<M> {
 ///
 /// Discrete-event workloads here push events a handful of nanoseconds to a
 /// couple of microseconds ahead of `now`, so nearly every event lands in
-/// the window: push links a slab node onto its bucket's tail and sets a
-/// bitmap bit, pop unlinks the head node — no comparisons, no sift. Buckets
-/// are `(head, tail)` node indices into a slab whose free list is LIFO, so
-/// a ping-pong workload keeps re-using the same hot node; the whole bucket
+/// the window: push links a slab node into its bucket (almost always a tail
+/// append) and sets a bitmap bit, pop unlinks the head node. Buckets are
+/// `(head, tail)` node indices into a slab whose free list is LIFO, so a
+/// ping-pong workload keeps re-using the same hot node; the whole bucket
 /// array is 16 KiB and stays cache-resident. Events beyond the window (or
 /// behind the read floor) go to an [`IndexedHeap`] overflow; when the
 /// window drains, it advances to the overflow's minimum and re-buckets
@@ -279,30 +291,32 @@ impl<M> IndexedHeap<M> {
 /// A depth-1 bypass (the classic DES "top event cache") short-circuits
 /// ping-pong workloads: a push into an empty queue parks the event in
 /// `single` and the next pop returns it without touching a bucket at all.
-/// Any push while `single` is occupied flushes it into the wheel first —
-/// the parked event was issued earlier, so flushing before the new push
-/// preserves handler-issue FIFO order exactly.
+/// Any push while `single` is occupied flushes it into the wheel first.
 ///
 /// ## Ordering proof sketch
 ///
-/// Pop must follow the total `(time, seq)` order:
+/// Pop must follow the total `(time, subkey)` key order among the events
+/// currently pending:
 ///
-/// * Same-time events share a bucket, and a bucket is FIFO — appends happen
-///   in issue order, so within a bucket delivery order *is* seq order.
+/// * Same-time events share a bucket, and each bucket chain is kept sorted
+///   by subkey on insert — so within a bucket delivery order *is* key
+///   order. (Unlike a global insertion counter, content subkeys do not
+///   arrive in increasing order: a later push from a lower-numbered source
+///   carries a smaller subkey. The sorted insert restores the total order;
+///   the common case — monotone subkeys — is still a tail append.)
 /// * Overflow events that re-bucket on a window advance are inserted in
-///   `(time, seq)` order *before* any direct push into the new window can
-///   occur (a direct push to time `t` requires `t` inside the window, and
-///   the window only reached `t` at this advance), so the FIFO property is
-///   preserved across the merge.
+///   key order *before* any direct push into the new window can occur, so
+///   the sorted-chain property is established by tail appends alone.
 /// * An in-window push behind the read floor is routed to the overflow, and
 ///   the floor only moves forward, so such an event's time stays strictly
 ///   below every remaining bucket time — the overflow-first pop rule
-///   delivers it in order, and an overflow/bucket time tie is impossible.
+///   delivers it in order, and an overflow/bucket *time* tie is impossible
+///   (full keys are compared anyway, for safety).
 pub(crate) struct WheelQueue<M> {
     /// Depth-1 bypass: the sole queued event, iff `len == 1` came from a
     /// push into an empty queue. Invariant: `single.is_some()` implies the
     /// buckets and the overflow are empty.
-    single: Option<(u64, ComponentId, M)>,
+    single: Option<(u128, ComponentId, M)>,
     /// Time (ns) of bucket 0.
     base: u64,
     /// Bucket index of the last bucket pop; in-window pushes behind this go
@@ -316,13 +330,15 @@ pub(crate) struct WheelQueue<M> {
     tail: Box<[u32; WHEEL_BUCKETS]>,
     /// Per node: slab index of the next node in the same bucket, or `NIL`.
     next: Vec<u32>,
+    /// Per node: the low 64 bits of the event key (bucket = the high bits).
+    subkeys: Vec<u64>,
     /// Per node: the event payload; `None` entries are free.
     payload: Vec<Option<(ComponentId, M)>>,
     /// Free slab nodes (LIFO, so the hottest node is re-used first).
     free: Vec<u32>,
     /// One bit per bucket: non-empty.
     occupied: Box<[u64; WHEEL_WORDS]>,
-    /// Events outside the window, in full `(time, seq)` key order.
+    /// Events outside the window, in full `(time, subkey)` key order.
     overflow: IndexedHeap<M>,
     /// Total queued events (buckets + overflow).
     len: usize,
@@ -346,6 +362,7 @@ impl<M> WheelQueue<M> {
             head: Box::new([NIL; WHEEL_BUCKETS]),
             tail: Box::new([NIL; WHEEL_BUCKETS]),
             next: Vec::new(),
+            subkeys: Vec::new(),
             payload: Vec::new(),
             free: Vec::new(),
             occupied: Box::new([0; WHEEL_WORDS]),
@@ -359,31 +376,53 @@ impl<M> WheelQueue<M> {
         self.base.saturating_add(WHEEL_BUCKETS as u64)
     }
 
-    /// Append a payload node to bucket `idx`'s FIFO chain.
+    /// Insert a payload node into bucket `idx`'s chain, keeping the chain
+    /// sorted by subkey. Monotone pushes — the overwhelmingly common case —
+    /// take the tail-append fast path.
     #[inline]
-    fn link(&mut self, idx: usize, target: ComponentId, msg: M) {
+    fn link(&mut self, idx: usize, subkey: u64, target: ComponentId, msg: M) {
         // `idx` is already < WHEEL_BUCKETS; the mask lets the compiler drop
         // every bounds check on the fixed-size bucket arrays.
         let idx = idx & (WHEEL_BUCKETS - 1);
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.payload[slot as usize] = Some((target, msg));
+                self.subkeys[slot as usize] = subkey;
                 self.next[slot as usize] = NIL;
                 slot
             }
             None => {
                 let slot = u32::try_from(self.payload.len()).expect("wheel slab overflow");
                 self.payload.push(Some((target, msg)));
+                self.subkeys.push(subkey);
                 self.next.push(NIL);
                 slot
             }
         };
+        let tail = self.tail[idx];
         if self.head[idx] == NIL {
             self.head[idx] = slot;
+            self.tail[idx] = slot;
+        } else if self.subkeys[tail as usize] <= subkey {
+            self.next[tail as usize] = slot;
+            self.tail[idx] = slot;
         } else {
-            self.next[self.tail[idx] as usize] = slot;
+            // Out-of-order subkey: walk the (short) chain to the insertion
+            // point. The chain stays sorted, so the walk stops at the first
+            // larger subkey.
+            let mut prev = NIL;
+            let mut cur = self.head[idx];
+            while cur != NIL && self.subkeys[cur as usize] <= subkey {
+                prev = cur;
+                cur = self.next[cur as usize];
+            }
+            self.next[slot as usize] = cur;
+            if prev == NIL {
+                self.head[idx] = slot;
+            } else {
+                self.next[prev as usize] = slot;
+            }
         }
-        self.tail[idx] = slot;
         self.occupied[idx / 64] |= 1 << (idx % 64);
         if idx < self.next_bucket {
             self.next_bucket = idx;
@@ -391,76 +430,89 @@ impl<M> WheelQueue<M> {
     }
 
     #[inline]
-    fn push(&mut self, seq: &mut SeqCounter, time: SimTime, target: ComponentId, msg: M) {
-        let t = time.as_ns();
+    fn push(&mut self, key: u128, target: ComponentId, msg: M) {
         self.len += 1;
         if self.len == 1 {
-            self.single = Some((t, target, msg));
+            self.single = Some((key, target, msg));
             return;
         }
-        if let Some((st, starget, smsg)) = self.single.take() {
-            // The parked event was issued earlier: route it first so a
-            // same-time tie keeps handler-issue order.
-            self.route(seq, st, starget, smsg);
+        if let Some((skey, starget, smsg)) = self.single.take() {
+            self.route(skey, starget, smsg);
         }
-        self.route(seq, t, target, msg);
+        self.route(key, target, msg);
     }
 
     /// Place one event into a bucket or the overflow.
     #[inline]
-    fn route(&mut self, seq: &mut SeqCounter, t: u64, target: ComponentId, msg: M) {
+    fn route(&mut self, key: u128, target: ComponentId, msg: M) {
+        let t = (key >> 64) as u64;
         let off = t.wrapping_sub(self.base);
         if t >= self.base && off < WHEEL_BUCKETS as u64 && off as usize >= self.floor {
-            self.link(off as usize, target, msg);
+            self.link(off as usize, key as u64, target, msg);
         } else {
             // Behind the floor or beyond the horizon: full-key heap order.
-            self.overflow
-                .push(pack(SimTime::from_ns(t), seq.next()), target, msg);
+            self.overflow.push(key, target, msg);
         }
     }
 
+    /// Full key of the head of the first occupied bucket, if any.
+    #[inline]
+    fn bucket_head_key(&self) -> Option<u128> {
+        if self.next_bucket >= WHEEL_BUCKETS {
+            return None;
+        }
+        let b = self.next_bucket & (WHEEL_BUCKETS - 1);
+        let head = self.head[b];
+        debug_assert_ne!(head, NIL, "occupied bucket empty");
+        Some(pack(
+            SimTime::from_ns(self.base + self.next_bucket as u64),
+            self.subkeys[head as usize],
+        ))
+    }
+
     fn pop(&mut self) -> Option<PoppedEvent<M>> {
-        if let Some((t, target, msg)) = self.single.take() {
+        if let Some((key, target, msg)) = self.single.take() {
             self.len -= 1;
             return Some(PoppedEvent {
-                time: SimTime::from_ns(t),
+                key,
+                time: key_time(key),
                 target,
                 msg,
             });
         }
         // Fast path: no overflow pending (the common case — overflow only
         // holds events scheduled more than a window ahead), so the first
-        // occupied bucket is the global minimum.
+        // occupied bucket's head is the global minimum.
         if self.overflow.len() == 0 {
             if self.next_bucket < WHEEL_BUCKETS {
-                return self.pop_bucket(self.base + self.next_bucket as u64);
+                return self.pop_bucket();
             }
             return None;
         }
         loop {
-            let bucket_time =
-                (self.next_bucket < WHEEL_BUCKETS).then(|| self.base + self.next_bucket as u64);
-            let over_time = self.overflow.peek_time().map(|t| t.as_ns());
-            match (over_time, bucket_time) {
+            let bucket_key = self.bucket_head_key();
+            let over_key = self.overflow.peek_key();
+            match (over_key, bucket_key) {
                 (None, None) => return None,
-                (Some(ot), None) if ot >= self.horizon() => {
+                (Some(ok), None) if (ok >> 64) as u64 >= self.horizon() => {
                     // Window fully drained and everything pending is beyond
                     // it: slide the window and re-bucket.
-                    self.advance(ot);
+                    self.advance((ok >> 64) as u64);
                     continue;
                 }
-                (Some(ot), Some(bt)) if ot >= bt => return self.pop_bucket(bt),
+                (Some(ok), Some(bk)) if ok >= bk => return self.pop_bucket(),
                 (Some(_), _) => {
                     self.len -= 1;
                     return self.overflow.pop();
                 }
-                (None, Some(bt)) => return self.pop_bucket(bt),
+                (None, Some(_)) => return self.pop_bucket(),
             }
         }
     }
 
     #[inline]
-    fn pop_bucket(&mut self, bucket_time: u64) -> Option<PoppedEvent<M>> {
+    fn pop_bucket(&mut self) -> Option<PoppedEvent<M>> {
+        let bucket_time = self.base + self.next_bucket as u64;
         let b = self.next_bucket & (WHEEL_BUCKETS - 1);
         let slot = self.head[b];
         debug_assert_ne!(slot, NIL, "occupied bucket empty");
@@ -469,6 +521,7 @@ impl<M> WheelQueue<M> {
         let (target, msg) = self.payload[slot as usize]
             .take()
             .expect("wheel node had no payload");
+        let subkey = self.subkeys[slot as usize];
         self.free.push(slot);
         self.floor = b;
         if rest == NIL {
@@ -477,6 +530,7 @@ impl<M> WheelQueue<M> {
         }
         self.len -= 1;
         Some(PoppedEvent {
+            key: pack(SimTime::from_ns(bucket_time), subkey),
             time: SimTime::from_ns(bucket_time),
             target,
             msg,
@@ -496,7 +550,7 @@ impl<M> WheelQueue<M> {
                 break;
             }
             let e = self.overflow.pop().expect("peeked event vanished");
-            self.link((tn - t0) as usize, e.target, e.msg);
+            self.link((tn - t0) as usize, e.key as u64, e.target, e.msg);
         }
     }
 
@@ -521,8 +575,8 @@ impl<M> WheelQueue<M> {
 
     #[inline]
     fn peek_time(&self) -> Option<SimTime> {
-        if let Some((t, _, _)) = &self.single {
-            return Some(SimTime::from_ns(*t));
+        if let Some((key, _, _)) = &self.single {
+            return Some(key_time(*key));
         }
         let bucket =
             (self.next_bucket < WHEEL_BUCKETS).then(|| self.base + self.next_bucket as u64);
@@ -579,8 +633,9 @@ impl<M> ClassicHeap<M> {
     }
 }
 
-/// A queue of `(time, seq)`-ordered events. Owns the sequence counter, so
-/// insertion order is captured at push time wherever the push happens.
+/// A queue of key-ordered events. Keys are assigned by the engine (content
+/// based: time, scheduling source, per-source count), so a queue is a pure
+/// priority structure with no ordering state of its own.
 pub(crate) enum EventQueue<M> {
     Wheel(WheelQueue<M>),
     Indexed(IndexedHeap<M>),
@@ -588,13 +643,12 @@ pub(crate) enum EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
-    pub fn new(kind: SchedulerKind) -> (Self, SeqCounter) {
-        let queue = match kind {
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
             SchedulerKind::TimingWheel => EventQueue::Wheel(WheelQueue::new()),
             SchedulerKind::Indexed4 => EventQueue::Indexed(IndexedHeap::new()),
             SchedulerKind::ClassicBinaryHeap => EventQueue::Classic(ClassicHeap::new()),
-        };
-        (queue, SeqCounter(0))
+        }
     }
 
     pub fn kind(&self) -> SchedulerKind {
@@ -606,44 +660,26 @@ impl<M> EventQueue<M> {
     }
 
     #[inline]
-    pub fn push(&mut self, seq: &mut SeqCounter, time: SimTime, target: ComponentId, msg: M) {
+    pub fn push(&mut self, key: u128, target: ComponentId, msg: M) {
         match self {
-            // The wheel assigns seq numbers itself, only on the overflow
-            // path — bucket FIFO order already encodes them.
-            EventQueue::Wheel(q) => q.push(seq, time, target, msg),
-            EventQueue::Indexed(q) => q.push(pack(time, seq.next()), target, msg),
-            EventQueue::Classic(q) => q.heap.push(ClassicEntry {
-                key: pack(time, seq.next()),
-                target,
-                msg,
-            }),
+            EventQueue::Wheel(q) => q.push(key, target, msg),
+            EventQueue::Indexed(q) => q.push(key, target, msg),
+            EventQueue::Classic(q) => q.heap.push(ClassicEntry { key, target, msg }),
         }
     }
 
     /// Insert a whole batch in one pass (see [`IndexedHeap::push_batch`]).
-    /// Sequence numbers are assigned in iteration order, so the batch is
-    /// delivered in the order it was issued, exactly as individual pushes.
-    pub fn push_batch(
-        &mut self,
-        seq: &mut SeqCounter,
-        batch: impl Iterator<Item = (SimTime, ComponentId, M)>,
-    ) {
+    pub fn push_batch(&mut self, batch: impl Iterator<Item = (u128, ComponentId, M)>) {
         match self {
             EventQueue::Wheel(q) => {
-                for (time, target, msg) in batch {
-                    q.push(seq, time, target, msg);
+                for (key, target, msg) in batch {
+                    q.push(key, target, msg);
                 }
             }
-            EventQueue::Indexed(q) => {
-                q.push_batch(batch.map(|(time, target, msg)| (pack(time, seq.next()), target, msg)))
-            }
+            EventQueue::Indexed(q) => q.push_batch(batch),
             EventQueue::Classic(q) => {
-                for (time, target, msg) in batch {
-                    q.heap.push(ClassicEntry {
-                        key: pack(time, seq.next()),
-                        target,
-                        msg,
-                    });
+                for (key, target, msg) in batch {
+                    q.heap.push(ClassicEntry { key, target, msg });
                 }
             }
         }
@@ -655,6 +691,7 @@ impl<M> EventQueue<M> {
             EventQueue::Wheel(q) => q.pop(),
             EventQueue::Indexed(q) => q.pop(),
             EventQueue::Classic(q) => q.heap.pop().map(|e| PoppedEvent {
+                key: e.key,
                 time: key_time(e.key),
                 target: e.target,
                 msg: e.msg,
@@ -681,21 +718,26 @@ impl<M> EventQueue<M> {
     }
 }
 
-/// The global insertion counter: the tie-break half of every event key.
-pub(crate) struct SeqCounter(u64);
-
-impl SeqCounter {
-    #[inline]
-    fn next(&mut self) -> u64 {
-        let s = self.0;
-        self.0 += 1;
-        s
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Single-source key generator: reproduces the classic "global insertion
+    /// order" tie-break the engine's per-source counts generalize.
+    struct KeyGen {
+        count: u64,
+    }
+
+    impl KeyGen {
+        fn new() -> Self {
+            KeyGen { count: 0 }
+        }
+        fn key(&mut self, t: u64) -> u128 {
+            let k = pack(SimTime::from_ns(t), self.count);
+            self.count += 1;
+            k
+        }
+    }
 
     fn drain<M>(q: &mut EventQueue<M>) -> Vec<(u64, usize)> {
         let mut out = Vec::new();
@@ -706,26 +748,19 @@ mod tests {
     }
 
     fn exercise(kind: SchedulerKind) -> Vec<(u64, usize)> {
-        let (mut q, mut seq) = EventQueue::new(kind);
+        let mut q = EventQueue::new(kind);
+        let mut gen = KeyGen::new();
         // A deliberately adversarial mix: descending, ties, interleaved
         // pops, and a batch insert.
         for t in (0..50u64).rev() {
-            q.push(
-                &mut seq,
-                SimTime::from_ns(t % 7),
-                ComponentId(t as usize),
-                t,
-            );
+            q.push(gen.key(t % 7), ComponentId(t as usize), t);
         }
         let mut popped = Vec::new();
         for _ in 0..10 {
             let e = q.pop().unwrap();
             popped.push((e.time.as_ns(), e.target.0));
         }
-        q.push_batch(
-            &mut seq,
-            (0..100u64).map(|i| (SimTime::from_ns(i % 5), ComponentId(1000 + i as usize), i)),
-        );
+        q.push_batch((0..100u64).map(|i| (gen.key(i % 5), ComponentId(1000 + i as usize), i)));
         popped.extend(drain(&mut q));
         popped
     }
@@ -738,18 +773,51 @@ mod tests {
     }
 
     #[test]
-    fn pop_order_is_time_then_seq() {
+    fn pop_order_is_time_then_subkey() {
         for kind in [
             SchedulerKind::TimingWheel,
             SchedulerKind::Indexed4,
             SchedulerKind::ClassicBinaryHeap,
         ] {
-            let (mut q, mut seq) = EventQueue::<u32>::new(kind);
+            let mut q = EventQueue::<u32>::new(kind);
+            let mut gen = KeyGen::new();
             for (i, &t) in [5u64, 1, 5, 0, 1].iter().enumerate() {
-                q.push(&mut seq, SimTime::from_ns(t), ComponentId(i), i as u32);
+                q.push(gen.key(t), ComponentId(i), i as u32);
             }
             let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
             assert_eq!(order, vec![3, 1, 4, 0, 2], "{kind:?}");
+        }
+    }
+
+    /// Same-time events pushed with *descending* subkeys (a later push from
+    /// a lower-numbered source) must still pop in subkey order — this is
+    /// the sorted-bucket-insert path the content-key scheme depends on.
+    #[test]
+    fn same_time_descending_subkeys_pop_in_key_order() {
+        for kind in [
+            SchedulerKind::TimingWheel,
+            SchedulerKind::Indexed4,
+            SchedulerKind::ClassicBinaryHeap,
+        ] {
+            let mut q = EventQueue::<u64>::new(kind);
+            // Two time buckets, each receiving subkeys in descending and
+            // then interleaved order.
+            for (t, sub) in [
+                (10u64, 50u64),
+                (10, 30),
+                (20, 9),
+                (10, 40),
+                (20, 3),
+                (10, 35),
+            ] {
+                q.push(
+                    pack(SimTime::from_ns(t), sub),
+                    ComponentId(sub as usize),
+                    sub,
+                );
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
+            assert_eq!(order, vec![30, 35, 40, 50, 3, 9], "{kind:?}");
         }
     }
 
@@ -759,12 +827,13 @@ mod tests {
     #[test]
     fn wheel_overflow_and_rebucketing_match_classic() {
         let run = |kind: SchedulerKind| {
-            let (mut q, mut seq) = EventQueue::<u64>::new(kind);
+            let mut q = EventQueue::<u64>::new(kind);
+            let mut gen = KeyGen::new();
             // Mix of in-window, far-future (multiple windows out), and tied
             // times, pushed in descending order.
             for t in (0..40u64).rev() {
                 let time = (t % 3) * 20_000 + t % 5; // 0, 20_000, 40_000 bands
-                q.push(&mut seq, SimTime::from_ns(time), ComponentId(t as usize), t);
+                q.push(gen.key(time), ComponentId(t as usize), t);
             }
             let mut popped = Vec::new();
             for _ in 0..20 {
@@ -774,8 +843,7 @@ mod tests {
                 // lands behind the wheel floor → overflow path.
                 if popped.len() % 4 == 0 {
                     q.push(
-                        &mut seq,
-                        e.time,
+                        gen.key(e.time.as_ns()),
                         ComponentId(9000 + popped.len()),
                         popped.len() as u64,
                     );
@@ -792,11 +860,9 @@ mod tests {
 
     #[test]
     fn batch_into_empty_heap_uses_floyd_and_orders() {
-        let (mut q, mut seq) = EventQueue::<u64>::new(SchedulerKind::Indexed4);
-        q.push_batch(
-            &mut seq,
-            (0..200u64).map(|i| (SimTime::from_ns(199 - i), ComponentId(i as usize), i)),
-        );
+        let mut q = EventQueue::<u64>::new(SchedulerKind::Indexed4);
+        let mut gen = KeyGen::new();
+        q.push_batch((0..200u64).map(|i| (gen.key(199 - i), ComponentId(i as usize), i)));
         let times: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.time.as_ns())
             .collect();
@@ -808,10 +874,11 @@ mod tests {
 
     #[test]
     fn slab_slots_are_recycled() {
-        let (mut q, mut seq) = EventQueue::<u64>::new(SchedulerKind::Indexed4);
+        let mut q = EventQueue::<u64>::new(SchedulerKind::Indexed4);
+        let mut gen = KeyGen::new();
         for round in 0..10u64 {
             for i in 0..8u64 {
-                q.push(&mut seq, SimTime::from_ns(i), ComponentId(0), round * 8 + i);
+                q.push(gen.key(i), ComponentId(0), round * 8 + i);
             }
             while q.pop().is_some() {}
         }
@@ -824,5 +891,26 @@ mod tests {
         } else {
             unreachable!();
         }
+    }
+
+    /// The wheel's popped keys must round-trip exactly (bucket time + stored
+    /// subkey), including through the single-event bypass and rebucketing.
+    #[test]
+    fn popped_keys_are_exact_on_every_path() {
+        let mut q = EventQueue::<u64>::new(SchedulerKind::TimingWheel);
+        let keys = [
+            pack(SimTime::from_ns(5), 77),        // bypass path
+            pack(SimTime::from_ns(5), 12),        // bucket path
+            pack(SimTime::from_ns(100_000), 3),   // overflow + advance
+            pack(SimTime::from_ns(100_000), 900), // overflow tie time
+        ];
+        for (i, &k) in keys.iter().enumerate() {
+            q.push(k, ComponentId(i), i as u64);
+        }
+        let mut got: Vec<u128> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
     }
 }

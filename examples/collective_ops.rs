@@ -26,7 +26,7 @@ fn run(n: usize, op: GroupOp, contribution: impl Fn(usize) -> u64) -> (f64, Vec<
             NodeId(rank),
             vec![GroupSpec {
                 id: GROUP,
-                members: members.clone(),
+                members: members.clone().into(),
                 my_rank: rank,
                 op,
                 algo: Algorithm::Dissemination,
@@ -84,7 +84,7 @@ fn run_alltoall(n: usize) -> (f64, Vec<u64>) {
             NodeId(rank),
             vec![GroupSpec {
                 id: GROUP,
-                members: members.clone(),
+                members: members.clone().into(),
                 my_rank: rank,
                 op: GroupOp::Alltoall,
                 algo: Algorithm::Dissemination,

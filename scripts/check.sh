@@ -28,11 +28,22 @@ cargo run --release -q -p nicbar-lint
 # Zero-overhead gate: with the flight recorder and trace ring disabled,
 # engine throughput must stay within 5% of the saved baseline. Skipped if
 # the baseline has never been generated (run the full engine_sweep once).
+# The quick gate also asserts the parallel engine at one shard stays
+# within 5% of the sequential engine on the fig5 figure point.
 if [ -f results/engine_sweep.json ]; then
     cargo run --release -p nicbar-bench --bin engine_sweep -- --quick
 else
     echo "check.sh: no results/engine_sweep.json baseline, skipping --quick gate"
 fi
+
+# Parallel-engine parity smoke: the rank-sharded engine must reproduce the
+# sequential run byte-for-byte — counters, spans, causal packet records and
+# barrier latencies — at 2..8 shards on both substrates, with loss, and the
+# one-shard Auto case must take the sequential fast path
+# (tests/parallel_parity.rs; release so the windowed loop matches the
+# shipped hot path).
+cargo test --release -q --test parallel_parity
+echo "check.sh: parallel engine parity OK"
 
 # Causal-observability smoke: why-slow on an 8-node lossy GM sim must
 # produce a non-empty critical path for every barrier, attribute >= 95%
@@ -49,9 +60,13 @@ echo "check.sh: why-slow smoke OK"
 cargo test --release -q --test alloc_steady
 echo "check.sh: allocation gate OK"
 
-# Scalability smoke: the quick sweep (16/64/256 nodes, both substrates,
-# DS + PE) must complete and both dissemination curves must fit the
-# ceil(log2 N) staircase — fig_scale exits nonzero otherwise.
+# Scalability smoke: the quick sweep (sub-sampled grid up to the 65,536-node
+# gm NIC-DS point) must complete, both dissemination curves must fit the
+# ceil(log2 N) staircase, and the engine-comparison series must reproduce
+# the sequential latency bit-for-bit under sharding. On hosts with >= 8
+# hardware threads fig_scale additionally asserts the 8-shard parallel
+# engine beats sequential by >= 3x on the 4096-node gm point (skipped with
+# a visible message on smaller hosts) — fig_scale exits nonzero otherwise.
 cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
 echo "check.sh: fig_scale smoke OK"
 

@@ -15,7 +15,7 @@
 use nicbar_core::{build_elan_nic_cluster, build_gm_nic_cluster, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
-use nicbar_sim::RunOutcome;
+use nicbar_sim::{EngineSel, RunOutcome};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -49,17 +49,19 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const N: usize = 8;
 const WARMUP: u64 = 50;
 
-fn cfg(iters: u64) -> RunCfg {
+fn cfg(iters: u64, engine: EngineSel, shards: usize) -> RunCfg {
     RunCfg {
         warmup: WARMUP,
         iters,
+        engine,
+        shards,
         ..RunCfg::default()
     }
 }
 
 /// Allocator calls made while *draining* (not building) a GM NIC-DS run.
-fn gm_drain_allocs(algo: Algorithm, iters: u64) -> u64 {
-    let cfg = cfg(iters);
+fn gm_drain_allocs(algo: Algorithm, iters: u64, engine: EngineSel, shards: usize) -> u64 {
+    let cfg = cfg(iters, engine, shards);
     let mut cluster = build_gm_nic_cluster(
         GmParams::lanai_xp(),
         CollFeatures::paper(),
@@ -77,8 +79,8 @@ fn gm_drain_allocs(algo: Algorithm, iters: u64) -> u64 {
 }
 
 /// Allocator calls made while draining an Elan NIC-DS run.
-fn elan_drain_allocs(algo: Algorithm, iters: u64) -> u64 {
-    let cfg = cfg(iters);
+fn elan_drain_allocs(algo: Algorithm, iters: u64, engine: EngineSel, shards: usize) -> u64 {
+    let cfg = cfg(iters, engine, shards);
     let mut cluster = build_elan_nic_cluster(ElanParams::elan3(), N, algo, &cfg, false);
     let deadline = cfg.deadline();
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
@@ -95,8 +97,17 @@ fn assert_delta_free(substrate: &str, measure: impl Fn(u64) -> u64) {
     // a cold cluster must grow the event queue during its first epochs.
     let first = measure(20);
     assert!(first > 0, "{substrate}: counting allocator saw no traffic");
-    let base = measure(100);
-    let double = measure(200);
+    // The counting allocator is process-wide, so a window can be
+    // contaminated by the *harness*: libtest's main thread sits blocked in
+    // a channel `recv` while the test thread runs, and lazily allocates
+    // its receiver context (two small allocations) at a
+    // scheduler-dependent moment — on a busy one-CPU host that can land
+    // tens of milliseconds in, i.e. inside any window. Every such
+    // contaminant is one-shot and additive, so the minimum of two runs
+    // per window is the uncontaminated count; a real per-epoch allocation
+    // inflates every run and still trips the gate.
+    let base = measure(100).min(measure(100));
+    let double = measure(200).min(measure(200));
     assert_eq!(
         double,
         base,
@@ -112,16 +123,26 @@ fn steady_state_barrier_allocates_nothing() {
     // Dissemination is the paper's headline algorithm; both substrates
     // must run it allocation-free in the steady state.
     assert_delta_free("gm NIC-DS", |iters| {
-        gm_drain_allocs(Algorithm::Dissemination, iters)
+        gm_drain_allocs(Algorithm::Dissemination, iters, EngineSel::Sequential, 1)
     });
     assert_delta_free("elan NIC-DS", |iters| {
-        elan_drain_allocs(Algorithm::Dissemination, iters)
+        elan_drain_allocs(Algorithm::Dissemination, iters, EngineSel::Sequential, 1)
     });
     // Pairwise exchange exercises the multi-peer rounds at n = 8 too.
     assert_delta_free("gm NIC-PE", |iters| {
-        gm_drain_allocs(Algorithm::PairwiseExchange, iters)
+        gm_drain_allocs(Algorithm::PairwiseExchange, iters, EngineSel::Sequential, 1)
     });
     assert_delta_free("elan NIC-PE", |iters| {
-        elan_drain_allocs(Algorithm::PairwiseExchange, iters)
+        elan_drain_allocs(Algorithm::PairwiseExchange, iters, EngineSel::Sequential, 1)
+    });
+    // The rank-sharded parallel engine must hold the same property: after
+    // warm-up its windows run out of recycled scratch buffers and settled
+    // queues, so extra steady-state epochs allocate exactly nothing on any
+    // worker thread (the counting allocator is process-wide).
+    assert_delta_free("gm NIC-DS parallel x2", |iters| {
+        gm_drain_allocs(Algorithm::Dissemination, iters, EngineSel::Parallel, 2)
+    });
+    assert_delta_free("elan NIC-DS parallel x2", |iters| {
+        elan_drain_allocs(Algorithm::Dissemination, iters, EngineSel::Parallel, 2)
     });
 }

@@ -1,0 +1,163 @@
+//! Rank-sharded parallel engine parity: the conservative windowed engine
+//! must be an *implementation detail* — same seed, same cluster, same
+//! byte-exact observable run as the sequential engine, at any shard count.
+//!
+//! "Observable run" is the full flight capture: trace records in emission
+//! order, span summaries, histograms, counters, causal packet records and
+//! the final latency statistics. The parallel engine merges per-shard
+//! observability streams in delivered-event order, so every byte must
+//! agree, not just the aggregate latencies.
+
+use nicbar::core::{
+    build_gm_nic_cluster, elan_nic_barrier_flight, gm_nic_barrier_flight, Algorithm, FlightData,
+    RunCfg,
+};
+use nicbar::elan::ElanParams;
+use nicbar::gm::{CollFeatures, GmParams};
+use nicbar::sim::EngineSel;
+
+/// Byte-exact projection of everything a run observes (same shape as
+/// `tests/determinism.rs`).
+fn witness(f: &FlightData) -> String {
+    format!(
+        "substrate={}\nrecords={:?}\ntrace_dropped={}\nspans={:?}\nspans_dropped={}\norphaned={}\nhists={:?}\nstats={:?}\npackets={:?}\npackets_dropped={}\n",
+        f.substrate, f.records, f.trace_dropped, f.spans, f.spans_dropped, f.orphaned, f.hists, f.stats, f.packets, f.packets_dropped
+    )
+}
+
+fn cfg(engine: EngineSel, shards: usize) -> RunCfg {
+    RunCfg {
+        warmup: 5,
+        iters: 40,
+        skew_us: 1.0,
+        engine,
+        shards,
+        ..RunCfg::default()
+    }
+}
+
+fn first_divergence(a: &str, b: &str) -> usize {
+    a.bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+fn assert_parity(label: &str, seq: &FlightData, par: &FlightData) {
+    let a = witness(seq);
+    let b = witness(par);
+    if a != b {
+        let at = first_divergence(&a, &b);
+        let lo = at.saturating_sub(120);
+        panic!(
+            "{label}: parallel run diverges from sequential at byte {at}\nsequential: ...{}\nparallel:   ...{}",
+            &a[lo..(at + 120).min(a.len())],
+            &b[lo..(at + 120).min(b.len())],
+        );
+    }
+}
+
+fn gm_flight(n: usize, algo: Algorithm, engine: EngineSel, shards: usize) -> FlightData {
+    gm_nic_barrier_flight(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        n,
+        algo,
+        cfg(engine, shards),
+    )
+}
+
+fn elan_flight(n: usize, algo: Algorithm, engine: EngineSel, shards: usize) -> FlightData {
+    elan_nic_barrier_flight(ElanParams::elan3(), n, algo, cfg(engine, shards))
+}
+
+#[test]
+fn gm_parallel_matches_sequential_byte_for_byte() {
+    for algo in [Algorithm::Dissemination, Algorithm::PairwiseExchange] {
+        for n in [16, 256] {
+            let seq = gm_flight(n, algo, EngineSel::Sequential, 1);
+            for shards in [2, 5, 8] {
+                let par = gm_flight(n, algo, EngineSel::Parallel, shards);
+                assert_parity(&format!("gm {algo:?} n={n} shards={shards}"), &seq, &par);
+            }
+        }
+    }
+}
+
+#[test]
+fn elan_parallel_matches_sequential_byte_for_byte() {
+    for algo in [Algorithm::Dissemination, Algorithm::PairwiseExchange] {
+        for n in [16, 256] {
+            let seq = elan_flight(n, algo, EngineSel::Sequential, 1);
+            for shards in [2, 5, 8] {
+                let par = elan_flight(n, algo, EngineSel::Parallel, shards);
+                assert_parity(&format!("elan {algo:?} n={n} shards={shards}"), &seq, &par);
+            }
+        }
+    }
+}
+
+/// Packet loss draws happen on the receiving NIC's private RNG stream, so
+/// sharding must not change which packets drop — the NACK/retransmit
+/// detours have to replay identically.
+#[test]
+fn gm_lossy_parallel_matches_sequential() {
+    let lossy = |engine, shards| {
+        gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            16,
+            Algorithm::Dissemination,
+            RunCfg {
+                warmup: 10,
+                iters: 80,
+                drop_prob: 0.02,
+                skew_us: 2.0,
+                engine,
+                shards,
+                ..RunCfg::default()
+            },
+        )
+    };
+    let seq = lossy(EngineSel::Sequential, 1);
+    assert!(
+        seq.packets
+            .iter()
+            .any(|p| format!("{p:?}").contains("Drop")),
+        "lossy config produced no drops; the test is vacuous"
+    );
+    for shards in [2, 4] {
+        let par = lossy(EngineSel::Parallel, shards);
+        assert_parity(&format!("gm lossy shards={shards}"), &seq, &par);
+    }
+}
+
+/// `Auto` with one shard must take the sequential fast path — no worker
+/// threads, no windowing — while `Parallel` at one shard goes through the
+/// parallel machinery and still reproduces the same run.
+#[test]
+fn one_shard_engine_selection() {
+    let auto = build_gm_nic_cluster(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        16,
+        Algorithm::Dissemination,
+        &cfg(EngineSel::Auto, 1),
+        false,
+    );
+    assert_eq!(auto.engine.kind(), "sequential");
+
+    let par = build_gm_nic_cluster(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        16,
+        Algorithm::Dissemination,
+        &cfg(EngineSel::Parallel, 1),
+        false,
+    );
+    assert_eq!(par.engine.kind(), "parallel");
+
+    let seq = gm_flight(16, Algorithm::Dissemination, EngineSel::Sequential, 1);
+    let one = gm_flight(16, Algorithm::Dissemination, EngineSel::Parallel, 1);
+    assert_parity("gm 1-shard degenerate", &seq, &one);
+}

@@ -228,7 +228,7 @@ mod collective_props {
                     NodeId(rank),
                     vec![GroupSpec {
                         id: G,
-                        members: members.clone(),
+                        members: members.clone().into(),
                         my_rank: rank,
                         op: GroupOp::Alltoall,
                         algo: Algorithm::Dissemination,
@@ -266,7 +266,7 @@ mod collective_props {
                     NodeId(rank),
                     vec![GroupSpec {
                         id: G,
-                        members: members.clone(),
+                        members: members.clone().into(),
                         my_rank: rank,
                         op: GroupOp::Allreduce { op: ReduceOp::Max },
                         algo: Algorithm::Dissemination,

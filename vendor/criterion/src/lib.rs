@@ -180,7 +180,10 @@ impl BenchmarkGroup<'_> {
             Some(s) => {
                 let thrpt = self.throughput.map(|t| match t {
                     Throughput::Elements(n) => {
-                        format!("  thrpt: {}/s", si(n as f64 / s.median.as_secs_f64(), "elem"))
+                        format!(
+                            "  thrpt: {}/s",
+                            si(n as f64 / s.median.as_secs_f64(), "elem")
+                        )
                     }
                     Throughput::Bytes(n) => {
                         format!("  thrpt: {}/s", si(n as f64 / s.median.as_secs_f64(), "B"))

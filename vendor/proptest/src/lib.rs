@@ -276,12 +276,12 @@ pub mod collection {
 
 /// Everything a property-test module needs, in one import.
 pub mod prelude {
+    /// `prop::collection::vec(...)`-style paths resolve through this alias.
+    pub use crate as prop;
     pub use crate::{
         any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
         proptest, Any, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
     };
-    /// `prop::collection::vec(...)`-style paths resolve through this alias.
-    pub use crate as prop;
 }
 
 /// Runner used by the expansion of [`proptest!`]. Not part of the public
