@@ -635,4 +635,33 @@ fn main() {
     let path = "results/engine_sweep.json";
     std::fs::write(path, w.finish()).expect("write engine_sweep.json");
     println!("\n[saved {path}]");
+
+    // `--prof`: profile the fig5 point on the parallel engine so the sweep
+    // can explain its own parallel wall times, not just report them.
+    if argv.iter().any(|a| a == "--prof") {
+        let cfg = RunCfg {
+            warmup: 50,
+            iters: 5000,
+            engine: EngineSel::Parallel,
+            shards: 2,
+            ..RunCfg::default()
+        };
+        let mut cluster = nicbar_core::build_gm_nic_cluster(
+            GmParams::lanai_9_1(),
+            CollFeatures::paper(),
+            16,
+            Algorithm::Dissemination,
+            &cfg,
+            false,
+        );
+        if let Some((prof, wall_s)) =
+            nicbar_bench::engineprof::profile_run(&mut cluster.engine, cfg.deadline())
+        {
+            println!();
+            print!(
+                "{}",
+                nicbar_bench::engineprof::report(&prof, "fig5_n16 NIC-DS", wall_s)
+            );
+        }
+    }
 }

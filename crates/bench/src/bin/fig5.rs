@@ -9,11 +9,15 @@
 //! p99 per node count with the run manifest embedded). `--quick` shrinks
 //! the sweep for CI smoke runs; `--flight` adds a phase-breakdown capture.
 
-use nicbar_bench::{fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series};
+use nicbar_bench::{
+    engineprof, fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series,
+};
 use nicbar_core::{
-    gm_host_barrier, gm_nic_barrier, gm_nic_barrier_flight, Algorithm, BarrierStats, RunCfg,
+    build_gm_nic_cluster, gm_host_barrier, gm_nic_barrier, gm_nic_barrier_flight, Algorithm,
+    BarrierStats, RunCfg,
 };
 use nicbar_gm::{CollFeatures, GmParams};
+use nicbar_sim::EngineSel;
 
 fn main() {
     let args = fig_args();
@@ -115,5 +119,34 @@ fn main() {
             },
         );
         nicbar_bench::flight::print_breakdown(&cap);
+    }
+
+    // Opt-in engine self-profile: rerun the top point on the parallel
+    // engine with the shard profiler armed and explain where the engine's
+    // own wall time went.
+    if args.prof {
+        let shards = cfg.shards.max(2);
+        let prof_cfg = RunCfg {
+            engine: EngineSel::Parallel,
+            shards,
+            ..cfg
+        };
+        let mut cluster = build_gm_nic_cluster(
+            GmParams::lanai_9_1(),
+            CollFeatures::paper(),
+            top,
+            Algorithm::Dissemination,
+            &prof_cfg,
+            false,
+        );
+        if let Some((prof, wall_s)) =
+            engineprof::profile_run(&mut cluster.engine, prof_cfg.deadline())
+        {
+            println!();
+            print!(
+                "{}",
+                engineprof::report(&prof, &format!("fig5 NIC-DS, {top} nodes"), wall_s)
+            );
+        }
     }
 }

@@ -12,12 +12,15 @@
 //! run manifest embedded). `--quick` shrinks the sweep for CI smoke runs;
 //! `--flight` adds a phase-breakdown capture.
 
-use nicbar_bench::{fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series};
+use nicbar_bench::{
+    engineprof, fig_args, parallel_sweep_map, trajectory, Figure, Manifest, Series,
+};
 use nicbar_core::{
-    elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier, elan_nic_barrier_flight, Algorithm,
-    BarrierStats, RunCfg,
+    build_elan_nic_cluster, elan_gsync_barrier, elan_hw_barrier, elan_nic_barrier,
+    elan_nic_barrier_flight, Algorithm, BarrierStats, RunCfg,
 };
 use nicbar_elan::ElanParams;
+use nicbar_sim::EngineSel;
 
 /// Elanlib builds its software trees 4-ary (matching the quaternary fat
 /// tree's natural branching).
@@ -119,5 +122,32 @@ fn main() {
             },
         );
         nicbar_bench::flight::print_breakdown(&cap);
+    }
+
+    // Opt-in engine self-profile of the 8-node chained-RDMA barrier on the
+    // parallel engine.
+    if args.prof {
+        let shards = cfg.shards.max(2);
+        let prof_cfg = RunCfg {
+            engine: EngineSel::Parallel,
+            shards,
+            ..cfg
+        };
+        let mut cluster = build_elan_nic_cluster(
+            ElanParams::elan3(),
+            8,
+            Algorithm::Dissemination,
+            &prof_cfg,
+            false,
+        );
+        if let Some((prof, wall_s)) =
+            engineprof::profile_run(&mut cluster.engine, prof_cfg.deadline())
+        {
+            println!();
+            print!(
+                "{}",
+                engineprof::report(&prof, "fig7 NIC-Barrier-DS, 8 nodes", wall_s)
+            );
+        }
     }
 }

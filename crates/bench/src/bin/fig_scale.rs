@@ -320,6 +320,35 @@ fn main() {
 
     let engines = engine_series(args.quick);
 
+    // Opt-in engine self-profile: the engine-comparison point with the
+    // shard profiler armed — the run `engine_prof` studies, inline.
+    if args.prof {
+        let n = if args.quick { 256 } else { 4096 };
+        let shards = base.shards.max(2);
+        let prof_cfg = RunCfg {
+            engine: EngineSel::Parallel,
+            shards,
+            ..cfg_for(n, args.quick, &base)
+        };
+        let mut cluster = build_gm_nic_cluster(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            n,
+            Algorithm::Dissemination,
+            &prof_cfg,
+            false,
+        );
+        if let Some((prof, wall_s)) =
+            nicbar_bench::engineprof::profile_run(&mut cluster.engine, prof_cfg.deadline())
+        {
+            println!();
+            print!(
+                "{}",
+                nicbar_bench::engineprof::report(&prof, &format!("gm NIC-DS, {n} nodes"), wall_s)
+            );
+        }
+    }
+
     let (sel, shards) = base.engine.resolve(base.shards);
     let manifest = Manifest::new(
         RunCfg::default().seed,
@@ -336,10 +365,10 @@ fn main() {
     // BENCH_scale.json: the trajectory schema (median/p99 per point) plus a
     // throughput section with events/sec and peak RSS per point, and an
     // `engine_series` section with the sequential-vs-sharded wall clocks.
+    // The body below is one run; `trajectory::append_run` adds it to the
+    // tracked history instead of truncating it.
     let mut w = Writer::new();
     w.open_object();
-    w.field("bench");
-    w.string("scale");
     manifest.emit(&mut w);
     w.field("series");
     w.open_array();
@@ -404,6 +433,6 @@ fn main() {
     w.close_array();
     w.close_object();
     w.close_object();
-    std::fs::write("BENCH_scale.json", w.finish()).expect("write BENCH_scale.json");
+    trajectory::append_run("scale", &w.finish()).expect("write BENCH_scale.json");
     println!("[saved BENCH_scale.json]");
 }

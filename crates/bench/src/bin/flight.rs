@@ -11,17 +11,32 @@
 //!   --chrome PATH    write Chrome trace JSON to PATH
 //!   --gm-only        skip the Elan capture
 //!   --elan-only      skip the GM capture
+//!   --engine E       sequential | parallel | auto (default auto)
+//!   --shards K       parallel worker shards (default 1)
+//!
+//! Each breakdown stamps which engine produced it; everything else is
+//! byte-identical across engines and shard counts.
 
 use nicbar_bench::flight::{chrome_trace, print_breakdown};
 use nicbar_core::{elan_nic_barrier_flight, gm_nic_barrier_flight, Algorithm, FlightData, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
+use nicbar_sim::EngineSel;
 
 fn main() {
     let mut nodes = 4usize;
     let mut chrome: Option<String> = None;
     let mut run_gm = true;
     let mut run_elan = true;
+    let mut engine = EngineSel::Auto;
+    let mut shards = 1usize;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: flight [--nodes N] [--chrome PATH] [--gm-only|--elan-only] \
+             [--engine sequential|parallel|auto] [--shards K]"
+        );
+        std::process::exit(2);
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,10 +51,19 @@ fn main() {
             }
             "--gm-only" => run_elan = false,
             "--elan-only" => run_gm = false,
+            "--engine" => match args.next().as_deref() {
+                Some("sequential") => engine = EngineSel::Sequential,
+                Some("parallel") => engine = EngineSel::Parallel,
+                Some("auto") => engine = EngineSel::Auto,
+                _ => usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = v,
+                _ => usage(),
+            },
             other => {
                 eprintln!("unknown option {other}");
-                eprintln!("usage: flight [--nodes N] [--chrome PATH] [--gm-only|--elan-only]");
-                std::process::exit(2);
+                usage();
             }
         }
     }
@@ -49,6 +73,8 @@ fn main() {
     let cfg = RunCfg {
         warmup: 2,
         iters: 8,
+        engine,
+        shards,
         ..RunCfg::default()
     };
 

@@ -13,19 +13,26 @@
 //!   --seed S           master seed (default 42)
 //!   --iters N          recorded barriers (default 4)
 //!   --jsonl PATH       also dump every packet record as JSONL to PATH
+//!   --engine E         sequential | parallel | auto (default auto)
+//!   --shards K         parallel worker shards (default 1)
 //!   --check            gate mode: exit nonzero unless every barrier has a
 //!                      non-empty critical path with >= 95% wall-time
 //!                      coverage and the dump dropped zero records
+//!
+//! The header stamps which engine produced the run; everything below it is
+//! byte-identical across engines and shard counts.
 
-use nicbar_bench::{critpath, netdump};
+use nicbar_bench::{critpath, flight, netdump};
 use nicbar_core::{elan_nic_barrier_flight, gm_nic_barrier_flight, Algorithm, FlightData, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
+use nicbar_sim::EngineSel;
 
 fn usage() -> ! {
     eprintln!(
         "usage: why-slow [--nodes N] [--substrate gm|elan] [--drop P] \
-         [--seed S] [--iters N] [--jsonl PATH] [--check]"
+         [--seed S] [--iters N] [--jsonl PATH] \
+         [--engine sequential|parallel|auto] [--shards K] [--check]"
     );
     std::process::exit(2);
 }
@@ -37,6 +44,8 @@ fn main() {
     let mut seed = 42u64;
     let mut iters = 4u64;
     let mut jsonl_path: Option<String> = None;
+    let mut engine = EngineSel::Auto;
+    let mut shards = 1usize;
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +74,16 @@ fn main() {
                 Some(v) => jsonl_path = Some(v),
                 None => usage(),
             },
+            "--engine" => match args.next().as_deref() {
+                Some("sequential") => engine = EngineSel::Sequential,
+                Some("parallel") => engine = EngineSel::Parallel,
+                Some("auto") => engine = EngineSel::Auto,
+                _ => usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = v,
+                _ => usage(),
+            },
             "--check" => check = true,
             _ => usage(),
         }
@@ -76,6 +95,8 @@ fn main() {
         iters,
         seed,
         drop_prob,
+        engine,
+        shards,
         ..RunCfg::default()
     };
     let cap: FlightData = match substrate.as_str() {
@@ -93,6 +114,7 @@ fn main() {
         "== why-slow: {} barrier, {} nodes, seed {}, drop {} ==",
         cap.substrate, nodes, seed, drop_prob
     );
+    println!("engine: {}", flight::engine_stamp(&cap));
     println!(
         "netdump: {} records, {} dropped",
         cap.packets.len(),

@@ -21,6 +21,18 @@ fn us(ns: u64) -> f64 {
     ns as f64 / 1_000.0
 }
 
+/// The producing engine, rendered for stamps: `"sequential"` or
+/// `"parallel(K)"`. Simulation results are byte-identical across engines;
+/// the stamp makes a cross-engine diff of exporter output self-describing
+/// (the *only* line that may differ names the engine).
+pub fn engine_stamp(cap: &FlightData) -> String {
+    if cap.engine == "parallel" {
+        format!("parallel({})", cap.shards)
+    } else {
+        cap.engine.to_string()
+    }
+}
+
 /// Render one or more captures as Chrome trace-event JSON (the "JSON Object
 /// Format": a `traceEvents` array plus metadata). Each capture gets its own
 /// `pid`; barrier spans sit on a dedicated track, trace records on one
@@ -140,6 +152,8 @@ pub fn chrome_trace(captures: &[FlightData]) -> String {
         w.uint(cap.spans_dropped);
         w.field(&format!("{}:{}", pid, "orphaned"));
         w.uint(cap.orphaned);
+        w.field(&format!("{}:{}", pid, "engine"));
+        w.string(&engine_stamp(cap));
     }
     w.close_object();
     w.close_object();
@@ -158,6 +172,7 @@ pub fn breakdown(cap: &FlightData) -> String {
         "== flight capture: {} barrier, {} nodes ==",
         cap.substrate, cap.stats.n
     );
+    let _ = writeln!(out, "engine: {}", engine_stamp(cap));
     let _ = writeln!(
         out,
         "spans: {} captured, {} trace records retained",
@@ -321,6 +336,8 @@ mod tests {
 
         let cap = FlightData {
             substrate: "gm",
+            engine: "sequential",
+            shards: 1,
             stats: BarrierStats {
                 n: 1,
                 mean_us: 0.0,
@@ -341,6 +358,31 @@ mod tests {
         assert!(json.contains("\"0:trace_dropped\": 6"), "got:\n{json}");
         let text = breakdown(&cap);
         assert!(text.contains("dropped 6 records"), "got:\n{text}");
+    }
+
+    #[test]
+    fn exporters_stamp_the_producing_engine() {
+        let cap = capture();
+        assert_eq!(cap.engine, "sequential");
+        assert!(breakdown(&cap).contains("engine: sequential"));
+        assert!(chrome_trace(std::slice::from_ref(&cap)).contains("\"0:engine\": \"sequential\""));
+
+        let par = gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            4,
+            Algorithm::Dissemination,
+            RunCfg {
+                warmup: 1,
+                iters: 4,
+                engine: nicbar_sim::EngineSel::Parallel,
+                shards: 2,
+                ..RunCfg::default()
+            },
+        );
+        assert_eq!((par.engine, par.shards), ("parallel", 2));
+        assert!(breakdown(&par).contains("engine: parallel(2)"));
+        assert!(chrome_trace(std::slice::from_ref(&par)).contains("\"0:engine\": \"parallel(2)\""));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::io::Write;
 use std::path::Path;
 
 pub mod critpath;
+pub mod engineprof;
 pub mod flight;
 pub mod json;
 pub mod netdump;
@@ -239,18 +240,22 @@ pub struct FigArgs {
     pub quick: bool,
     /// `--flight`: opt into a flight-recorded capture after the sweep.
     pub flight: bool,
+    /// `--prof`: arm the engine self-profiler and print an `engine-prof`
+    /// report for one parallel run after the sweep.
+    pub prof: bool,
     /// [`quick_cfg`] under `--quick`, [`figure_cfg`] otherwise, with
     /// `--engine`/`--shards` already threaded in.
     pub cfg: nicbar_core::RunCfg,
 }
 
 /// Parse the figure binaries' shared flags from `std::env::args`:
-/// `--quick`, `--flight`, `--engine <auto|sequential|parallel>` and
-/// `--shards <K>`.
+/// `--quick`, `--flight`, `--prof`, `--engine <auto|sequential|parallel>`
+/// and `--shards <K>`.
 pub fn fig_args() -> FigArgs {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let flight = args.iter().any(|a| a == "--flight");
+    let prof = args.iter().any(|a| a == "--prof");
     let mut cfg = if quick { quick_cfg() } else { figure_cfg() };
     let value_of = |flag: &str| -> Option<&str> {
         args.iter().position(|a| a == flag).map(|i| {
@@ -273,7 +278,12 @@ pub fn fig_args() -> FigArgs {
             .unwrap_or_else(|_| panic!("--shards must be a positive integer, got {shards}"));
         assert!(cfg.shards >= 1, "--shards must be >= 1");
     }
-    FigArgs { quick, flight, cfg }
+    FigArgs {
+        quick,
+        flight,
+        prof,
+        cfg,
+    }
 }
 
 #[cfg(test)]

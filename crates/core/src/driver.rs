@@ -183,6 +183,12 @@ pub(crate) fn stats_from_logs(
 pub struct FlightData {
     /// Substrate label for exporters ("gm" or "elan").
     pub substrate: &'static str,
+    /// Which execution engine produced the run ("sequential" or
+    /// "parallel"). Results are byte-identical across engines, so the
+    /// exporters stamp this to make cross-engine diffs self-describing.
+    pub engine: &'static str,
+    /// Worker shard count of the producing engine (1 when sequential).
+    pub shards: usize,
     /// Aggregate statistics of the run (same as the untraced driver).
     pub stats: BarrierStats,
     /// Every trace record the ring retained, in emission order.
@@ -225,6 +231,8 @@ fn capture_observability<M: Send + 'static>(
     let dump = engine.netdump();
     FlightData {
         substrate,
+        engine: engine.kind(),
+        shards: engine.shards(),
         stats,
         records: trace.iter().copied().collect(),
         trace_dropped: trace.dropped(),

@@ -1,0 +1,16 @@
+//! OB001 fixture: the approved telemetry paths — registry counters and
+//! buffer rendering — produce no findings. A `println!` in a comment or a
+//! string literal is data, not telemetry.
+
+use std::fmt::Write as _;
+
+fn record(telemetry: &mut Telemetry, events: u64) {
+    // println!("tempting, but no") — commented out is fine
+    telemetry.add(metric_id!("engine.events"), events);
+    telemetry.observe(metric_id!("engine.window.events"), events);
+}
+
+fn render(out: &mut String, events: u64) {
+    let banner = "println! inside a string is fine";
+    let _ = writeln!(out, "{banner}: {events}");
+}

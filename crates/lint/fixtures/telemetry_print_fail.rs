@@ -1,0 +1,18 @@
+//! OB001 fixture: ad-hoc print telemetry in engine code must be flagged;
+//! prints inside `#[cfg(test)]` are fine.
+
+fn report_progress(windows: u64, events: u64) {
+    println!("windows: {windows}"); //~ OB001
+    eprintln!("events: {events}"); //~ OB001
+    print!("partial"); //~ OB001
+    eprint!("partial err"); //~ OB001
+    let _ = dbg!(windows); //~ OB001
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("this is a test, printing is allowed");
+    }
+}

@@ -325,9 +325,9 @@ fn transitive(graph: &BTreeMap<String, (String, Vec<String>)>, start: &str) -> V
 // ---------------------------------------------------------------------------
 
 /// Fixture scope from the filename prefix. `simvis_` files run the ND
-/// rules, `proto_` PI001, `hotpath_` PI003, `exporter_` PI002; every
-/// fixture also runs the exporter rule (it is workspace-wide in the real
-/// scan).
+/// rules, `proto_` PI001, `hotpath_` PI003, `exporter_` PI002,
+/// `telemetry_` OB001; every fixture also runs the exporter rule (it is
+/// workspace-wide in the real scan).
 fn fixture_scope(name: &str) -> Option<Scope> {
     let mut scope = Scope {
         exporter: true,
@@ -342,6 +342,8 @@ fn fixture_scope(name: &str) -> Option<Scope> {
         scope.proto = true;
     } else if name.starts_with("hotpath_") {
         scope.hotpath = true;
+    } else if name.starts_with("telemetry_") {
+        scope.telemetry = true;
     } else if !name.starts_with("exporter_") {
         return None;
     }

@@ -63,6 +63,10 @@ pub const CATALOGUE: &[(&str, &str)] = &[
         "panic!/unwrap/expect on the NIC hot path outside debug_assert",
     ),
     (
+        "OB001",
+        "ad-hoc println!/eprintln!/dbg! telemetry in crates/sim (route metrics through the telemetry registry)",
+    ),
+    (
         "LY001",
         "layering: sim/net must not depend on backend crates (elan/gm/core/mpi/bench)",
     ),
@@ -87,6 +91,12 @@ pub struct Scope {
     pub hotpath: bool,
     /// PI002: applies everywhere source is scanned.
     pub exporter: bool,
+    /// OB001: the engine crate (`crates/sim/`) must report through the
+    /// typed telemetry registry, never by printing. A stray `println!` in
+    /// the engine is invisible to the profiler's exporters, corrupts any
+    /// harness that parses engine output, and (from a worker shard)
+    /// interleaves nondeterministically.
+    pub telemetry: bool,
 }
 
 impl Scope {
@@ -117,6 +127,7 @@ impl Scope {
             proto,
             hotpath,
             exporter: true,
+            telemetry: path.starts_with("crates/sim/"),
         })
     }
 }
@@ -249,7 +260,9 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         });
     };
 
-    let excluded = if scope.hotpath {
+    // PI003 and OB001 both exempt `#[cfg(test)]` blocks (tests may panic
+    // and may print).
+    let excluded = if scope.hotpath || scope.telemetry {
         excluded_ranges(&toks)
     } else {
         Vec::new()
@@ -353,6 +366,19 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
                     format!(".{ident}() on the NIC hot path"),
                 );
             }
+        }
+        // --- OB001: ad-hoc print telemetry in the engine crate ----------
+        if scope.telemetry
+            && !in_ranges(&excluded, i)
+            && matches!(ident, "println" | "eprintln" | "print" | "eprint" | "dbg")
+            && punct_at(&toks, i + 1, '!')
+        {
+            push(
+                &mut out,
+                "OB001",
+                line,
+                format!("{ident}! in crates/sim (route telemetry through the metrics registry)"),
+            );
         }
         // --- PI002: wildcard arms in SpanEvent/Phase/CausalKind matches -
         if scope.exporter && ident == "match" {
@@ -472,6 +498,7 @@ mod tests {
             proto: true,
             hotpath: true,
             exporter: true,
+            telemetry: true,
         }
     }
 
@@ -658,6 +685,34 @@ mod tests {
             }
         "#;
         assert!(rules_of(positional, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn print_telemetry_flagged_outside_tests() {
+        let src = r#"
+            fn report(n: u64) {
+                println!("events: {n}");
+                eprintln!("warning");
+                dbg!(n);
+                // println! in a comment is fine
+                let s = "println! in a string is fine";
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t() { println!("tests may print"); }
+            }
+        "#;
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "OB001").count(), 3);
+        // Out of scope (bench binaries, other crates): nothing flagged.
+        let exempt = Scope {
+            telemetry: false,
+            ..scope_all()
+        };
+        assert!(rules_of(src, exempt).iter().all(|r| *r != "OB001"));
+        // `writeln!` into a buffer is rendering, not telemetry.
+        let benign = "use std::fmt::Write; fn f(out: &mut String) { writeln!(out, \"x\").ok(); }";
+        assert!(rules_of(benign, scope_all()).iter().all(|r| *r != "OB001"));
     }
 
     #[test]

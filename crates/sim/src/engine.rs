@@ -725,6 +725,13 @@ impl<M: 'static> Engine<M> {
     pub fn pending_events(&self) -> usize {
         self.queue.len()
     }
+
+    /// Queue depth for the shard self-profiler's high-water tracking —
+    /// same value as [`Engine::pending_events`], named for intent at the
+    /// profiling call site.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
 }
 
 #[cfg(test)]

@@ -376,8 +376,65 @@ mod tests {
         let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_owns_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        // With one sample, every quantile is that sample (clamped to max).
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p95(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.quantile(0.0), 777);
+        assert_eq!(h.quantile(1.0), 777);
+    }
+
+    #[test]
+    fn max_value_saturates_top_bucket_and_sum() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        // Both samples land in the top bucket and quantiles stay sane.
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        // Merging two saturated histograms must not overflow either.
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    proptest::proptest! {
+        /// Quantiles are monotone in `q` for any sample set: p50 <= p95 <= p99
+        /// <= max, and every estimate is bounded by the exact max.
+        #[test]
+        fn quantiles_are_monotone(samples in proptest::collection::vec(proptest::any::<u64>(), 0..64)) {
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+            proptest::prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+            proptest::prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+            proptest::prop_assert!(p99 <= h.max(), "p99 {p99} > max {}", h.max());
+            if !samples.is_empty() {
+                let true_min = *samples.iter().min().unwrap();
+                // A quantile estimate never undershoots the smallest sample.
+                proptest::prop_assert!(p50 >= true_min.min(h.p50()));
+                proptest::prop_assert!(h.quantile(1.0) == h.max());
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!   shard count. [`ExecEngine`] wraps either flavour behind one API so
 //!   harnesses pick an engine per run. See [`parallel`] for the protocol and
 //!   the identity argument.
+//! * [`Telemetry`] / [`EngineProf`] — the engine's *self*-observability: a
+//!   typed metrics registry (counters / gauges / log2 histograms behind
+//!   interned [`MetricId`]s) and the per-shard window profiler that the
+//!   `engine_prof` bench binary turns into timelines and bottleneck
+//!   attributions. Zero-cost unless armed with
+//!   [`ParallelEngine::enable_prof`]. See [`telemetry`].
 //!
 //! ## Example
 //!
@@ -76,6 +82,7 @@ pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod span;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -90,5 +97,9 @@ pub use partition::{node_shard, ShardMap};
 pub use queue::SchedulerKind;
 pub use rng::SimRng;
 pub use span::{FlightRecorder, Phase, SpanEvent, SpanSummary, NUM_PHASES};
+pub use telemetry::{
+    intern_metric, EngineProf, MetricId, MetricValue, ProfAttribution, ProfClock, ShardProf,
+    ShardProfData, Telemetry, WindowRec,
+};
 pub use time::SimTime;
 pub use trace::{Trace, TraceRecord};

@@ -66,6 +66,7 @@ use crate::engine::{ComponentId, Engine, RunOutcome};
 use crate::partition::ShardMap;
 use crate::queue::{pack, SchedulerKind};
 use crate::span::{FlightRecorder, SpanEvent};
+use crate::telemetry::{EngineProf, ProfClock, ShardProf};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -169,6 +170,11 @@ struct ShardState<M: 'static> {
     raw: RawObs,
     /// Recycled buffer for draining inbound mailboxes.
     scratch: Vec<(u128, ComponentId, M)>,
+    /// Self-profiler, armed by [`ParallelEngine::enable_prof`]. `None` is
+    /// the zero-cost default: every hook in the worker loop is one
+    /// `Option` branch per *window*, and the disabled path allocates
+    /// nothing (the steady-state allocation gate runs with it off).
+    prof: Option<Box<ShardProf>>,
 }
 
 /// One cross-shard mailbox: `(event key, destination, message)` triples
@@ -196,6 +202,8 @@ pub struct ParallelEngine<M: 'static> {
     mail: Vec<Mailbox<M>>,
     /// Per shard: global raw packet index → real netdump id.
     pkt_remap: Vec<Vec<CauseId>>,
+    /// Components per shard (partition balance, reported by the profiler).
+    shard_sizes: Vec<usize>,
 }
 
 impl<M: Send + 'static> ParallelEngine<M> {
@@ -215,6 +223,7 @@ impl<M: Send + 'static> ParallelEngine<M> {
         );
         assert!(!lookahead.is_zero(), "parallel engine needs lookahead > 0");
         let k = map.shards();
+        let shard_sizes = map.shard_sizes();
         let table = Arc::new(map.into_table());
         let num = engine.len();
         let kind = engine.scheduler_kind();
@@ -229,6 +238,7 @@ impl<M: Send + 'static> ParallelEngine<M> {
                 },
                 raw: RawObs::new(s),
                 scratch: Vec::new(),
+                prof: None,
             })
             .collect();
         // Move every component (and its RNG stream and send count) to its
@@ -253,7 +263,35 @@ impl<M: Send + 'static> ParallelEngine<M> {
             lookahead_ns: lookahead.as_ns(),
             mail,
             pkt_remap: (0..k).map(|_| Vec::new()).collect(),
+            shard_sizes,
         }
+    }
+
+    /// Arm the per-shard self-profiler (see [`crate::telemetry`]). All
+    /// shards share one wall-clock epoch so their timelines align; calling
+    /// this again restarts the capture from empty.
+    pub fn enable_prof(&mut self) {
+        let k = self.shards.len();
+        let clock = ProfClock::new();
+        for sh in &mut self.shards {
+            sh.prof = Some(Box::new(ShardProf::new(k, clock)));
+        }
+    }
+
+    /// Snapshot the self-profiler capture, or `None` if
+    /// [`ParallelEngine::enable_prof`] was never called.
+    pub fn prof_snapshot(&self) -> Option<EngineProf> {
+        let mut data = Vec::with_capacity(self.shards.len());
+        for (s, sh) in self.shards.iter().enumerate() {
+            let mut d = sh.prof.as_ref()?.data(s as u32);
+            d.components = self.shard_sizes.get(s).copied().unwrap_or(0);
+            data.push(d);
+        }
+        Some(EngineProf {
+            shards: self.shards.len(),
+            lookahead_ns: self.lookahead_ns,
+            data,
+        })
     }
 
     /// Number of worker shards.
@@ -827,6 +865,25 @@ impl<M: Send + 'static> ExecEngine<M> {
             ExecEngine::Par(p) => p.component_mut(id),
         }
     }
+
+    /// Arm the parallel engine's self-profiler. A no-op on the sequential
+    /// engine: it has no shard structure to profile, and its "profile"
+    /// would be one busy lane — run the parallel flavour to see where the
+    /// wall time goes.
+    pub fn enable_prof(&mut self) {
+        if let ExecEngine::Par(p) = self {
+            p.enable_prof();
+        }
+    }
+
+    /// The self-profiler capture, if armed (always `None` on the
+    /// sequential engine).
+    pub fn prof_snapshot(&self) -> Option<EngineProf> {
+        match self {
+            ExecEngine::Seq(_) => None,
+            ExecEngine::Par(p) => p.prof_snapshot(),
+        }
+    }
 }
 
 /// One worker's run loop: the two-barrier conservative window protocol.
@@ -855,11 +912,16 @@ fn shard_worker<M: Send + 'static>(
         link,
         raw,
         scratch,
+        prof,
     } = state;
     let mut delivered_total: u64 = 0;
     loop {
         // Phase A: integrate inbound mail, publish queue minimum / event
         // count / halt flag.
+        if let Some(p) = prof.as_deref_mut() {
+            p.window_open();
+        }
+        let mut received: u64 = 0;
         for from in 0..k {
             if from == me {
                 continue;
@@ -868,9 +930,13 @@ fn shard_worker<M: Send + 'static>(
                 let mut slot = mail[from * k + me].lock().expect("mailbox poisoned");
                 std::mem::swap(&mut *slot, scratch);
             }
+            received += scratch.len() as u64;
             for (key, target, msg) in scratch.drain(..) {
                 engine.queue.push(key, target, msg);
             }
+        }
+        if let Some(p) = prof.as_deref_mut() {
+            p.drain_end(received);
         }
         if engine.halted {
             halted.store(true, Ordering::Relaxed);
@@ -880,10 +946,19 @@ fn shard_worker<M: Send + 'static>(
             Ordering::Relaxed,
         );
         events[me].store(delivered_total, Ordering::Relaxed);
+        if let Some(p) = prof.as_deref_mut() {
+            p.idle_begin();
+        }
         barrier.wait();
+        if let Some(p) = prof.as_deref_mut() {
+            p.idle_end();
+        }
         // Decide: identical on every worker. Priority order matches the
         // sequential engine: halt, idle, deadline, budget.
         if halted.load(Ordering::Relaxed) {
+            if let Some(p) = prof.as_deref_mut() {
+                p.commit_window();
+            }
             break;
         }
         let h = mins
@@ -892,24 +967,39 @@ fn shard_worker<M: Send + 'static>(
             .min()
             .expect("at least one shard");
         if h == u64::MAX || h > deadline_ns {
+            if let Some(p) = prof.as_deref_mut() {
+                p.commit_window();
+            }
             break;
         }
         let total: u64 = events.iter().map(|e| e.load(Ordering::Relaxed)).sum();
         if total >= max_events {
+            if let Some(p) = prof.as_deref_mut() {
+                p.commit_window();
+            }
             break;
         }
         let window_end = h
             .saturating_add(lookahead)
             .min(deadline_ns.saturating_add(1));
+        if let Some(p) = prof.as_deref_mut() {
+            p.busy_begin(h, window_end, engine.queue_depth() as u64);
+        }
         // With one shard the budget can be exact; with several it is
         // enforced at window granularity by the check above.
         let window_budget = if k == 1 { max_events - total } else { u64::MAX };
-        delivered_total += engine.run_window(
+        let delivered = engine.run_window(
             window_end,
             window_budget,
             link,
             if obs { Some(raw) } else { None },
         );
+        delivered_total += delivered;
+        if let Some(p) = prof.as_deref_mut() {
+            let advance = engine.now.as_ns().saturating_sub(h);
+            p.busy_end(delivered, advance);
+            p.drain_begin();
+        }
         // Deposit outboxes: swap the full vector into the mailbox and take
         // the (empty) mailbox vector back as the next outbox — no
         // steady-state allocation.
@@ -917,11 +1007,22 @@ fn shard_worker<M: Send + 'static>(
             if to == me || outbox.is_empty() {
                 continue;
             }
+            if let Some(p) = prof.as_deref_mut() {
+                p.deposit(to, outbox.len() as u64);
+            }
             let mut slot = mail[me * k + to].lock().expect("mailbox poisoned");
             debug_assert!(slot.is_empty(), "mailbox not drained by receiver");
             std::mem::swap(&mut *slot, outbox);
         }
+        if let Some(p) = prof.as_deref_mut() {
+            p.drain_end(0);
+            p.idle_begin();
+        }
         barrier.wait();
+        if let Some(p) = prof.as_deref_mut() {
+            p.idle_end();
+            p.commit_window();
+        }
     }
 }
 
@@ -1169,5 +1270,64 @@ mod tests {
         let seq = drive(None);
         assert_eq!(seq, drive(Some(2)));
         assert_eq!(seq, drive(Some(3)));
+    }
+
+    /// The self-profiler must not perturb the run (byte-identity holds with
+    /// it armed) and its capture must account for the workers' wall time.
+    #[test]
+    fn profiled_run_is_identical_and_accounts_for_wall_time() {
+        let seq = run_seq(12, 12, SimTime::MAX);
+        let n = 12;
+        let engine = build_ring(n, 12);
+        let map = ShardMap::by_node(n, n, 3, |c| c);
+        let mut p = ParallelEngine::new(engine, map, SimTime::from_ns(HOP_NS));
+        p.enable_trace();
+        p.enable_netdump();
+        assert!(p.prof_snapshot().is_none(), "profiler off by default");
+        p.enable_prof();
+        let outcome = p.run_until(SimTime::MAX);
+        let par = Observed {
+            now: p.now(),
+            events: p.events_processed(),
+            counters: p.counters().snapshot(),
+            logs: (0..n)
+                .map(|i| p.component_ref::<Node>(ComponentId(i)).unwrap().log.clone())
+                .collect(),
+            trace: p.trace().iter().copied().collect(),
+            pkts: p.netdump().records().to_vec(),
+            outcome,
+        };
+        assert_same(&seq, &par, "profiled 3-shard run");
+
+        let prof = p.prof_snapshot().expect("profiler armed");
+        assert_eq!(prof.shards, 3);
+        assert_eq!(prof.lookahead_ns, HOP_NS);
+        assert_eq!(
+            prof.total_events(),
+            p.events_processed(),
+            "profiler event count disagrees with the engine"
+        );
+        // The two-barrier protocol runs every shard through the same
+        // window sequence.
+        let wins: Vec<u64> = prof.data.iter().map(|d| d.window_count).collect();
+        assert!(wins.iter().all(|&w| w == wins[0]), "{wins:?}");
+        assert!(wins[0] > 1, "multi-window run expected");
+        // Partition sizes ride along (12 components over 3 shards).
+        assert_eq!(
+            prof.data.iter().map(|d| d.components).sum::<usize>(),
+            n,
+            "shard component sizes must cover the engine"
+        );
+        // Wall-time accounting: the hooks bracket drain/idle/busy, so the
+        // tracked phases must cover (almost) all measured worker wall time.
+        assert!(
+            prof.accounted_fraction() > 0.90,
+            "only {:.1}% of worker wall time accounted",
+            prof.accounted_fraction() * 100.0
+        );
+        let att = prof.attribution();
+        assert_eq!(att.idle_ns, att.imbalance_ns + att.stall_ns);
+        let (dominant, share) = att.dominant();
+        assert!(share > 0.0 && share <= 1.0, "{dominant}: share {share}");
     }
 }

@@ -77,6 +77,17 @@ impl ShardMap {
         &self.table
     }
 
+    /// Components assigned to each shard, shard-index order. The engine
+    /// self-profiler reports these next to per-shard busy times so a
+    /// partition imbalance is visible at a glance.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards as usize];
+        for &s in &self.table {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
     pub(crate) fn into_table(self) -> Vec<u32> {
         self.table
     }
@@ -123,5 +134,17 @@ mod tests {
         let map = ShardMap::single(7);
         assert_eq!(map.shards(), 1);
         assert!(map.table().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn shard_sizes_sum_to_component_count() {
+        let n = 10;
+        let map = ShardMap::by_node(2 * n, n, 4, |c| c % n);
+        let sizes = map.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 2 * n);
+        // Balanced contiguous split: 2 or 3 nodes (4 or 6 components) each.
+        assert!(sizes.iter().all(|&s| s == 4 || s == 6), "{sizes:?}");
+        assert_eq!(ShardMap::single(7).shard_sizes(), vec![7]);
     }
 }

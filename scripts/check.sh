@@ -36,6 +36,21 @@ else
     echo "check.sh: no results/engine_sweep.json baseline, skipping --quick gate"
 fi
 
+# Engine self-profiler smoke: a profiled 2-shard 64-node run must account
+# for >= 95% of worker wall time and name a dominant bottleneck
+# (engine_prof --check exits nonzero otherwise). On hosts with >= 8
+# hardware threads the full gate also profiles 8 shards x 4096 nodes and
+# asserts the profiler-DISABLED path stays within 2 percentage points of
+# the committed one-shard overhead baseline in results/engine_sweep.json.
+cargo run --release -q -p nicbar-bench --bin engine_prof -- --quick --check > /dev/null
+echo "check.sh: engine_prof smoke OK"
+if [ "$(nproc 2>/dev/null || echo 1)" -ge 8 ] && [ -f results/engine_sweep.json ]; then
+    cargo run --release -q -p nicbar-bench --bin engine_prof -- --check > /dev/null
+    echo "check.sh: engine_prof full gate OK"
+else
+    echo "check.sh: < 8 hardware threads or no baseline, skipping full engine_prof gate"
+fi
+
 # Parallel-engine parity smoke: the rank-sharded engine must reproduce the
 # sequential run byte-for-byte — counters, spans, causal packet records and
 # barrier latencies — at 2..8 shards on both substrates, with loss, and the
@@ -70,16 +85,31 @@ echo "check.sh: allocation gate OK"
 cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
 echo "check.sh: fig_scale smoke OK"
 
-# Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps regenerate
-# BENCH_fig5.json and BENCH_fig7.json at the repo root (median + p99 per
-# node count, run manifest embedded). BENCH_scale.json was refreshed by
-# the fig_scale smoke above.
+# Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps append a run
+# to BENCH_fig5.json and BENCH_fig7.json at the repo root (median + p99
+# per node count, one manifest-stamped entry per run). BENCH_scale.json
+# gained its run from the fig_scale smoke above. The trajectory is
+# append-only: the number of manifest-stamped runs in each artifact must
+# never decrease across a regeneration (the writer caps the history at
+# MAX_RUNS, so "not fewer than before, and at least one" is the invariant).
+# (grep -c prints 0 *and* exits 1 on zero matches; missing file prints
+# nothing — normalize both to a plain number.)
+count_runs() { grep -c '"manifest"' "$1" 2>/dev/null || true; }
+runs_before_fig5=$(count_runs BENCH_fig5.json); runs_before_fig5=${runs_before_fig5:-0}
+runs_before_fig7=$(count_runs BENCH_fig7.json); runs_before_fig7=${runs_before_fig7:-0}
 cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
 cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
 for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json; do
     [ -s "$f" ] || { echo "check.sh: missing $f" >&2; exit 1; }
     grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; exit 1; }
+    grep -q '"runs"' "$f" || { echo "check.sh: $f is not an append-only trajectory" >&2; exit 1; }
 done
-echo "check.sh: BENCH artifacts OK"
+runs_after_fig5=$(count_runs BENCH_fig5.json); runs_after_fig5=${runs_after_fig5:-0}
+runs_after_fig7=$(count_runs BENCH_fig7.json); runs_after_fig7=${runs_after_fig7:-0}
+if [ "$runs_after_fig5" -lt "$runs_before_fig5" ] || [ "$runs_after_fig7" -lt "$runs_before_fig7" ]; then
+    echo "check.sh: trajectory shrank (fig5 $runs_before_fig5 -> $runs_after_fig5, fig7 $runs_before_fig7 -> $runs_after_fig7)" >&2
+    exit 1
+fi
+echo "check.sh: BENCH artifacts OK (fig5 runs: $runs_after_fig5, fig7 runs: $runs_after_fig7)"
 
 echo "check.sh: all green"

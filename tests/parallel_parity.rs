@@ -161,3 +161,75 @@ fn one_shard_engine_selection() {
     let one = gm_flight(16, Algorithm::Dissemination, EngineSel::Parallel, 1);
     assert_parity("gm 1-shard degenerate", &seq, &one);
 }
+
+/// Drop every line that carries the engine stamp — the one *intentional*
+/// difference between exporter outputs of different engines.
+fn strip_engine_stamp(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with("engine: ") && !l.contains(":engine\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The rendered exporter artifacts — flight breakdown, Chrome trace,
+/// critical-path report, packet JSONL — must be byte-identical across
+/// engines once the self-describing engine-stamp line is removed, and that
+/// stamp must name the actual producer.
+#[test]
+fn exporter_output_is_byte_identical_across_engines() {
+    use nicbar_bench::{critpath, flight, netdump};
+
+    type FlightRun = fn(EngineSel, usize) -> FlightData;
+    let cases: [(&str, FlightRun); 2] = [
+        ("gm", |e, s| gm_flight(16, Algorithm::Dissemination, e, s)),
+        ("elan", |e, s| elan_flight(16, Algorithm::Dissemination, e, s)),
+    ];
+    for (substrate, run) in cases {
+        let seq = run(EngineSel::Sequential, 1);
+        let seq_breakdown = flight::breakdown(&seq);
+        let seq_chrome = flight::chrome_trace(std::slice::from_ref(&seq));
+        let seq_crit = critpath::render(&critpath::analyze(&seq.packets));
+        let seq_jsonl = netdump::jsonl(&seq.packets);
+        assert!(
+            seq_breakdown.contains("engine: sequential"),
+            "{substrate}: breakdown lacks the sequential stamp"
+        );
+        assert!(seq_chrome.contains("\"0:engine\": \"sequential\""));
+
+        for shards in [2, 8] {
+            let par = run(EngineSel::Parallel, shards);
+            let label = format!("{substrate} shards={shards}");
+            let par_breakdown = flight::breakdown(&par);
+            assert!(
+                par_breakdown.contains(&format!("engine: parallel({shards})")),
+                "{label}: breakdown lacks the parallel stamp:\n{par_breakdown}"
+            );
+            assert_eq!(
+                strip_engine_stamp(&seq_breakdown),
+                strip_engine_stamp(&par_breakdown),
+                "{label}: breakdown differs beyond the engine stamp"
+            );
+
+            let par_chrome = flight::chrome_trace(std::slice::from_ref(&par));
+            assert!(par_chrome.contains(&format!("\"0:engine\": \"parallel({shards})\"")));
+            assert_eq!(
+                strip_engine_stamp(&seq_chrome),
+                strip_engine_stamp(&par_chrome),
+                "{label}: Chrome trace differs beyond the engine stamp"
+            );
+
+            // The critical-path report and the packet JSONL carry no stamp
+            // at all: byte-identical, full stop.
+            assert_eq!(
+                seq_crit,
+                critpath::render(&critpath::analyze(&par.packets)),
+                "{label}: critical-path report differs"
+            );
+            assert_eq!(
+                seq_jsonl,
+                netdump::jsonl(&par.packets),
+                "{label}: packet JSONL differs"
+            );
+        }
+    }
+}
