@@ -18,6 +18,9 @@
 //!   --check            gate mode: exit nonzero unless every barrier has a
 //!                      non-empty critical path with >= 95% wall-time
 //!                      coverage and the dump dropped zero records
+//!   --replay PATH      skip the simulation: re-ingest a JSONL netdump
+//!                      (ours, or a `nicbar-verify --trace-out`
+//!                      counterexample) and run the analysis on it
 //!
 //! The header stamps which engine produced the run; everything below it is
 //! byte-identical across engines and shard counts.
@@ -32,9 +35,86 @@ fn usage() -> ! {
     eprintln!(
         "usage: why-slow [--nodes N] [--substrate gm|elan] [--drop P] \
          [--seed S] [--iters N] [--jsonl PATH] \
-         [--engine sequential|parallel|auto] [--shards K] [--check]"
+         [--engine sequential|parallel|auto] [--shards K] [--check] \
+         [--replay PATH]"
     );
     std::process::exit(2);
+}
+
+/// Re-ingest an exported JSONL netdump and run the causal analysis on it.
+/// Counterexample traces from `nicbar-verify` usually end *at* the violating
+/// transition — before any barrier completes — so when no span closes, the
+/// replay prints the causal chain to the last event instead of a critical
+/// path.
+fn replay(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match netdump::parse_line(line) {
+            Some(r) => records.push(r),
+            None => {
+                eprintln!("error: {path}:{}: unparseable record: {line}", lineno + 1);
+                return 1;
+            }
+        }
+    }
+    println!(
+        "== why-slow --replay: {} records from {path} ==",
+        records.len()
+    );
+    if records.is_empty() {
+        eprintln!("error: trace is empty");
+        return 1;
+    }
+
+    let mut kind_counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut detours = 0usize;
+    for r in &records {
+        match kind_counts.iter_mut().find(|(n, _)| *n == r.kind.name()) {
+            Some((_, c)) => *c += 1,
+            None => kind_counts.push((r.kind.name(), 1)),
+        }
+        detours += usize::from(r.kind.is_detour());
+    }
+    let counts: Vec<String> = kind_counts
+        .iter()
+        .map(|(n, c)| format!("{n} x{c}"))
+        .collect();
+    println!("events: {}", counts.join(", "));
+    println!("detour events (nack/retransmit/drop): {detours}");
+
+    let paths = critpath::analyze(&records);
+    if paths.is_empty() {
+        println!(
+            "no completed barrier span in this trace (it ends at the violating \
+             transition); causal chain to the final event:"
+        );
+        let last = records.last().expect("nonempty").id;
+        for r in nicbar_sim::chain_to(&records, last) {
+            println!(
+                "  t={:>6}ns  node {:>2}  {}",
+                r.time.as_ns(),
+                if r.src == nicbar_sim::NO_NODE {
+                    "-".to_string()
+                } else {
+                    r.src.to_string()
+                },
+                r.kind.name()
+            );
+        }
+    } else {
+        print!("{}", critpath::render(&paths));
+    }
+    0
 }
 
 fn main() {
@@ -47,6 +127,7 @@ fn main() {
     let mut engine = EngineSel::Auto;
     let mut shards = 1usize;
     let mut check = false;
+    let mut replay_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,8 +166,15 @@ fn main() {
                 _ => usage(),
             },
             "--check" => check = true,
+            "--replay" => match args.next() {
+                Some(v) => replay_path = Some(v),
+                None => usage(),
+            },
             _ => usage(),
         }
+    }
+    if let Some(path) = replay_path {
+        std::process::exit(replay(&path));
     }
     assert!(nodes >= 2, "a barrier needs at least 2 nodes");
 

@@ -6,7 +6,7 @@
 //! rather than emitted as magic numbers.
 
 use crate::json::Writer;
-use nicbar_sim::{PacketRecord, NO_KEY, NO_NODE};
+use nicbar_sim::{CausalKind, CauseId, ComponentId, PacketRecord, SimTime, NO_KEY, NO_NODE};
 
 /// Render one record as a single-line JSON object (no trailing newline).
 pub fn record_line(r: &PacketRecord) -> String {
@@ -61,6 +61,59 @@ pub fn jsonl(records: &[PacketRecord]) -> String {
     out
 }
 
+/// Parse one [`record_line`]-shaped JSONL line back into a [`PacketRecord`]
+/// (the inverse used by `why-slow --replay`). Omitted optional fields come
+/// back as their sentinels. Returns `None` on anything malformed — the
+/// schema is flat (no nested objects, no strings containing `,` or `"`),
+/// so splitting on commas is exact, not approximate.
+pub fn parse_line(line: &str) -> Option<PacketRecord> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut r = PacketRecord {
+        id: CauseId::NONE,
+        parent: CauseId::NONE,
+        time: SimTime::ZERO,
+        component: ComponentId(0),
+        kind: CausalKind::HostEnter,
+        src: NO_NODE,
+        dst: NO_NODE,
+        group: NO_KEY,
+        seq: NO_KEY,
+        a: 0,
+        b: 0,
+    };
+    let mut saw_id = false;
+    let mut saw_kind = false;
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = value.trim();
+        if key == "kind" {
+            let name = value.strip_prefix('"')?.strip_suffix('"')?;
+            r.kind = CausalKind::from_name(name)?;
+            saw_kind = true;
+            continue;
+        }
+        let n: u64 = value.parse().ok()?;
+        match key {
+            "id" => {
+                r.id = CauseId(n);
+                saw_id = true;
+            }
+            "parent" => r.parent = CauseId(n),
+            "t_ns" => r.time = SimTime::from_ns(n),
+            "comp" => r.component = ComponentId(n as usize),
+            "src" => r.src = n as u32,
+            "dst" => r.dst = n as u32,
+            "group" => r.group = n,
+            "seq" => r.seq = n,
+            "a" => r.a = n,
+            "b" => r.b = n,
+            _ => return None,
+        }
+    }
+    (saw_id && saw_kind).then_some(r)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)] // test code
 mod tests {
@@ -109,5 +162,53 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not JSONL: {l}");
         }
+    }
+
+    #[test]
+    fn parse_line_round_trips_every_kind_and_sentinel() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        let root = d.record(
+            SimTime::from_ns(5),
+            ComponentId(2),
+            PacketLog::new(CauseId::NONE, CausalKind::HostEnter).key(0xba, 3),
+        );
+        let mut parent = root;
+        for kind in [
+            CausalKind::NicDispatch,
+            CausalKind::DmaStart,
+            CausalKind::DmaDone,
+            CausalKind::Fire,
+            CausalKind::Wire,
+            CausalKind::Drop,
+            CausalKind::Arrive,
+            CausalKind::Nack,
+            CausalKind::Retransmit,
+            CausalKind::Notify,
+            CausalKind::HostExit,
+        ] {
+            parent = d.record(
+                SimTime::from_ns(parent.0 * 10),
+                ComponentId(1),
+                PacketLog::new(parent, kind).nodes(0, 1).detail(7, 9),
+            );
+        }
+        for r in d.records() {
+            let parsed = parse_line(&record_line(r)).unwrap();
+            assert_eq!(&parsed, r, "round-trip must be exact");
+        }
+    }
+
+    #[test]
+    fn parse_line_rejects_malformed_input() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"id\": 1}").is_none(), "kind is mandatory");
+        assert!(
+            parse_line("{\"kind\": \"fire\"}").is_none(),
+            "id is mandatory"
+        );
+        assert!(parse_line("{\"id\": 1, \"kind\": \"no-such-kind\"}").is_none());
+        assert!(parse_line("{\"id\": 1, \"kind\": \"fire\", \"mystery\": 2}").is_none());
     }
 }

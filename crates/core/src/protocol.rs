@@ -201,6 +201,7 @@ struct LiveEpoch {
 }
 
 /// One group's protocol state.
+#[derive(Clone)]
 struct GroupState {
     spec: GroupSpec,
     schedule: Schedule,
@@ -227,6 +228,10 @@ struct GroupState {
     retransmits: u64,
     /// Completed alltoall rows per epoch (test observability).
     rows_history: Vec<Vec<u64>>,
+    /// Fault injection for the model checker: when set, `try_progress`
+    /// "forgets" to record what it sent, reproducing the protocol bug the
+    /// `PR002` lint guards against. Never set outside `nicbar-verify`.
+    fault_skip_payload_record: bool,
 }
 
 impl GroupState {
@@ -258,6 +263,7 @@ impl GroupState {
             nacks_sent: 0,
             retransmits: 0,
             rows_history: Vec::new(),
+            fault_skip_payload_record: false,
         }
     }
 
@@ -458,7 +464,11 @@ impl GroupState {
                 Some(self.payload_for_round(r))
             };
             let live = self.live.as_mut().expect("checked above");
-            live.sent_payloads[r] = payload.clone();
+            live.sent_payloads[r] = if self.fault_skip_payload_record {
+                None // injected bug: send without the bit-vector/payload record
+            } else {
+                payload.clone()
+            };
             if let Some(kind) = payload {
                 for &dst_rank in &self.schedule.rounds[r].sends {
                     let dst = self.spec.members[dst_rank];
@@ -523,6 +533,11 @@ impl GroupState {
 }
 
 /// The NIC-resident collective engine implementing the paper's protocol.
+///
+/// `Clone` exists for the model checker (`nicbar-verify`), which forks the
+/// engine at every explored interleaving point; the simulator itself never
+/// clones a NIC.
+#[derive(Clone)]
 pub struct PaperCollective {
     node: NodeId,
     // BTreeMap, not HashMap: `on_timer` iterates this map and emits NACK
@@ -618,6 +633,172 @@ impl PaperCollective {
                 retx: true,
                 cause,
             });
+        }
+    }
+}
+
+/// FNV-1a over the bytes `Hash` implementations feed it — a deterministic,
+/// dependency-free 64-bit hasher for protocol-state fingerprints. (The std
+/// `DefaultHasher` would work today but its algorithm is explicitly
+/// unspecified; fingerprints must be stable across toolchains.)
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Model-checker hooks (`nicbar-verify`).
+///
+/// The checker explores the *real* engine — these methods only expose what
+/// exhaustive exploration needs: canonical state identity, machine-checkable
+/// invariants, time canonicalization (so states differing only in wall-clock
+/// bookkeeping merge), and one injectable protocol bug for validating that
+/// the checker actually catches violations.
+impl PaperCollective {
+    /// Canonical 64-bit fingerprint of the protocol-visible state.
+    ///
+    /// Excludes observability-only fields (`nacks_sent`, `retransmits`,
+    /// `rows_history`), causal bookkeeping (`cause`) and wall-clock pacing
+    /// (`last_progress`, which [`PaperCollective::canonicalize_times`]
+    /// zeroes before fingerprinting): two states with equal fingerprints
+    /// are behaviourally equivalent under the checker's abstract clock.
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for (id, g) in &self.groups {
+            id.hash(&mut h);
+            g.host_epoch.hash(&mut h);
+            g.completed.hash(&mut h);
+            g.archive_epoch.hash(&mut h);
+            g.archive.hash(&mut h);
+            match g.live.as_ref() {
+                None => 0u8.hash(&mut h),
+                Some(l) => {
+                    1u8.hash(&mut h);
+                    l.epoch.hash(&mut h);
+                    l.next_send_round.hash(&mut h);
+                    l.acc.hash(&mut h);
+                    l.gathered.hash(&mut h);
+                    l.held.hash(&mut h);
+                    l.row.hash(&mut h);
+                    l.sent_payloads.hash(&mut h);
+                }
+            }
+            for s in &g.slots {
+                s.epoch.hash(&mut h);
+                s.mask.hash(&mut h);
+                s.payloads.hash(&mut h);
+            }
+            g.fault_skip_payload_record.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Zero every live epoch's `last_progress` so states that differ only
+    /// in NACK-pacing timestamps collapse to one fingerprint. The checker
+    /// calls this after every transition; timer firings are then modelled
+    /// as happening exactly at [`NicCollective::next_deadline`].
+    pub fn canonicalize_times(&mut self) {
+        for g in self.groups.values_mut() {
+            if let Some(live) = g.live.as_mut() {
+                live.last_progress = SimTime::ZERO;
+            }
+        }
+    }
+
+    /// Machine-checkable protocol invariants, verified by the model checker
+    /// after every transition (release builds skip the `debug_assert!`s on
+    /// the hot path; these cover the same ground and more, off it).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, g) in &self.groups {
+            if g.completed > g.host_epoch {
+                return Err(format!(
+                    "group {id:?}: completed {} epochs but host only entered {}",
+                    g.completed, g.host_epoch
+                ));
+            }
+            if let Some(l) = g.live.as_ref() {
+                if l.epoch + 1 != g.host_epoch {
+                    return Err(format!(
+                        "group {id:?}: live epoch {} does not match host epoch {}",
+                        l.epoch, g.host_epoch
+                    ));
+                }
+                if l.next_send_round > g.schedule.num_rounds() {
+                    return Err(format!(
+                        "group {id:?}: send frontier {} beyond the {}-round schedule",
+                        l.next_send_round,
+                        g.schedule.num_rounds()
+                    ));
+                }
+                if l.sent_payloads.len() != g.schedule.num_rounds() {
+                    return Err(format!(
+                        "group {id:?}: sent_payloads sized {} for a {}-round schedule",
+                        l.sent_payloads.len(),
+                        g.schedule.num_rounds()
+                    ));
+                }
+                for r in 0..l.next_send_round {
+                    if !g.schedule.rounds[r].sends.is_empty() && l.sent_payloads[r].is_none() {
+                        return Err(format!(
+                            "group {id:?}: round {r} sends issued without a sent_payloads \
+                             record — NACKs for this round can never be served"
+                        ));
+                    }
+                }
+            }
+            for (i, s) in g.slots.iter().enumerate() {
+                let round = i % g.schedule.num_rounds();
+                let expected = g.schedule.rounds[round].recv_from.len();
+                let full: u64 = if expected == 0 {
+                    0
+                } else if expected == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << expected) - 1
+                };
+                if s.mask & !full != 0 {
+                    return Err(format!(
+                        "group {id:?}: slot {i} bit vector {:#x} has bits beyond the {} \
+                         expected senders of round {round}",
+                        s.mask, expected
+                    ));
+                }
+                for (slot, p) in s.payloads.iter().enumerate() {
+                    let have = s.mask & (1u64 << slot) != 0;
+                    if have && p.is_none() {
+                        return Err(format!(
+                            "group {id:?}: slot {i} mask bit {slot} set without a banked \
+                             payload"
+                        ));
+                    }
+                    if !have && p.is_some() {
+                        return Err(format!(
+                            "group {id:?}: slot {i} holds a payload at {slot} outside its \
+                             bit vector"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inject the `skip-payload-record` protocol bug into every group (see
+    /// [`GroupState::fault_skip_payload_record`]). Model-checker use only.
+    #[doc(hidden)]
+    pub fn inject_skip_payload_record(&mut self) {
+        for g in self.groups.values_mut() {
+            g.fault_skip_payload_record = true;
         }
     }
 }

@@ -913,7 +913,11 @@ impl LanaiNic {
             PacketKind::Coll(c) => match c.kind {
                 CollKind::Nack => counter_id!("wire.coll_nack"),
                 CollKind::Ack => counter_id!("wire.coll_ack"),
-                _ => counter_id!("wire.coll"),
+                CollKind::Barrier
+                | CollKind::Bcast { .. }
+                | CollKind::Reduce { .. }
+                | CollKind::Gather { .. }
+                | CollKind::AllToAll { .. } => counter_id!("wire.coll"),
             },
         };
         ctx.count_id(label, 1);

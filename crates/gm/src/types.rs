@@ -146,7 +146,11 @@ impl Packet {
 }
 
 /// The collective message kinds the NIC-based collective protocol moves.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Ord`/`Hash` exist for the model checker (`nicbar-verify`), which keeps
+/// in-flight packets as a canonically sorted set and fingerprints protocol
+/// state; the ordering itself carries no protocol meaning.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CollKind {
     /// A barrier notification ("I reached round `round` of epoch `epoch`").
     Barrier,
@@ -184,7 +188,7 @@ pub enum CollKind {
 }
 
 /// One personalized alltoall item in transit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AllToAllItem {
     /// Originating rank.
     pub origin: u32,
@@ -195,7 +199,7 @@ pub struct AllToAllItem {
 }
 
 /// A collective-protocol packet (fits in the padded static send packet).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CollPacket {
     /// Sender NIC.
     pub src: NodeId,

@@ -1,0 +1,18 @@
+//! PR001 fixture: a catch-all arm in a match over a protocol state-machine
+//! enum silently swallows variants added later. Either enumerate every
+//! variant or make the arm a terminal (panic!/unreachable!) dead end.
+
+pub fn label(kind: &CollKind) -> u32 {
+    match kind {
+        CollKind::Barrier => 0,
+        CollKind::Nack => 1,
+        _ => 2, //~ PR001
+    }
+}
+
+pub fn route(ev: GmEvent, fallback: u32) -> u32 {
+    match ev {
+        GmEvent::Doorbell(d) => d.rank,
+        other => fallback, //~ PR001
+    }
+}

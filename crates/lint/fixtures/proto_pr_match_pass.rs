@@ -1,0 +1,30 @@
+//! Negative PR001 fixture: exhaustive matches over protocol enums,
+//! terminal catch-alls, and catch-alls over non-protocol enums are all
+//! legal.
+
+pub fn label(kind: &CollKind) -> u32 {
+    match kind {
+        CollKind::Barrier => 0,
+        CollKind::Bcast { .. } => 1,
+        CollKind::Reduce { .. } => 2,
+        CollKind::Gather { .. } => 3,
+        CollKind::AllToAll { .. } => 4,
+        CollKind::Nack => 5,
+    }
+}
+
+pub fn route(ev: GmEvent) -> u32 {
+    match ev {
+        GmEvent::Doorbell(d) => d.rank,
+        other => panic!("unroutable NIC event {other:?}"),
+    }
+}
+
+pub fn spin(state: LocalPhase, fallback: u32) -> u32 {
+    // LocalPhase is not a protocol state-machine enum; a defaulting
+    // catch-all is fine here.
+    match state {
+        LocalPhase::Warm => 1,
+        _ => fallback,
+    }
+}

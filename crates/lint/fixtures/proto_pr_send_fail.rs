@@ -1,0 +1,19 @@
+//! PR002 fixture: a first-transmission send (`retx: false`, not a NACK)
+//! must record the payload in `sent_payloads` somewhere in the same
+//! function, or the receiver-driven NACK path can never service a
+//! retransmission for it.
+
+pub struct Emitter {
+    round: usize,
+}
+
+impl Emitter {
+    pub fn broadcast(&mut self, dst: u32, pkt: CollPacket, actions: &mut ActionBuf) {
+        actions.push(CollAction::Send { //~ PR002
+            dst,
+            pkt,
+            retx: false,
+            cause: Cause::Fanout,
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! Negative PR002 fixture: first transmissions that record the payload,
+//! retransmissions (`retx: true`), and NACK control traffic are all
+//! legal.
+
+pub struct Emitter {
+    round: usize,
+}
+
+impl Emitter {
+    pub fn broadcast(&mut self, live: &mut RoundState, dst: u32, pkt: CollPacket, actions: &mut ActionBuf) {
+        live.sent_payloads[self.round] = Some(pkt.clone());
+        actions.push(CollAction::Send {
+            dst,
+            pkt,
+            retx: false,
+            cause: Cause::Fanout,
+        });
+    }
+
+    pub fn service_nack(&mut self, dst: u32, pkt: CollPacket, actions: &mut ActionBuf) {
+        actions.push(CollAction::Send {
+            dst,
+            pkt,
+            retx: true,
+            cause: Cause::NackService,
+        });
+    }
+
+    pub fn complain(&mut self, dst: u32, actions: &mut ActionBuf) {
+        actions.push(CollAction::Send {
+            dst,
+            pkt: CollPacket { kind: CollKind::Nack, round: self.round },
+            retx: false,
+            cause: Cause::Timeout,
+        });
+    }
+}

@@ -1,0 +1,17 @@
+//! PR003 fixture: a NicCollective timeout handler that neither emits a
+//! NACK, reaches a terminal/completion state, nor delegates is a silent
+//! stall — the protocol's liveness argument rests on timeouts always
+//! making progress.
+
+pub struct StuckCollective {
+    ticks: u64,
+}
+
+impl NicCollective for StuckCollective {
+    fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf) { //~ PR003
+        // Bookkeeping only: no Nack, no completion, no delegation.
+        self.ticks += 1;
+        let _ = now;
+        let _ = actions;
+    }
+}

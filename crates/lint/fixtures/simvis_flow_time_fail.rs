@@ -1,0 +1,29 @@
+//! Flow-sensitivity fixture for ND001: the *same* wall clock is legal
+//! while it only feeds metrics, and flagged the moment its taint reaches
+//! a sim-visible sink — with the finding at the sink, not the source.
+//! This is the ProfClock pattern that used to need 4 allowlist entries.
+
+pub struct ProfClock {
+    epoch: Instant,
+    total_ns: u64,
+}
+
+impl ProfClock {
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub fn lap(&mut self) {
+        // Metrics-only use of the taint: accumulated into host-side
+        // bookkeeping, never into sim time. Not a finding.
+        self.total_ns += self.now_ns();
+    }
+}
+
+pub fn drive(clock: &ProfClock, ctx: &mut Ctx) {
+    // The taint crosses a method call (`now_ns` is resolved through the
+    // receiver's declared type) and a local binding before hitting the
+    // engine sink — the finding lands on the sink line.
+    let t = clock.now_ns();
+    ctx.send_at(SimTime::from_ns(t), 7); //~ ND001
+}

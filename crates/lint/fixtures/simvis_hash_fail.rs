@@ -1,19 +1,46 @@
-//! ND003 fixture: hash-ordered collections in sim-visible state must be
-//! flagged at every occurrence (use sites included).
+//! ND003 fixture: hash-order *iteration* in sim-visible state. Insertion
+//! and membership tests are deterministic and legal; anything observing
+//! iteration order (which could reach event order) is flagged at the
+//! observation site.
 
-use std::collections::HashMap; //~ ND003
-use std::collections::HashSet; //~ ND003
+use std::collections::{HashMap, HashSet};
 
 pub struct State {
-    pending: HashMap<u64, u64>, //~ ND003
-    seen: HashSet<u64>, //~ ND003
+    pending: HashMap<u64, u64>,
+    seen: HashSet<u64>,
 }
 
 impl State {
-    pub fn new() -> Self {
-        State {
-            pending: HashMap::new(), //~ ND003
-            seen: HashSet::new(), //~ ND003
-        }
+    pub fn insert(&mut self, k: u64, v: u64) {
+        self.pending.insert(k, v);
+        self.seen.insert(k);
     }
+
+    pub fn has(&self, k: u64) -> bool {
+        self.seen.contains(&k)
+    }
+
+    pub fn total(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.pending.iter() { //~ ND003
+            acc += v;
+        }
+        acc
+    }
+
+    pub fn first_key(&self) -> Option<u64> {
+        self.pending.keys().next().copied() //~ ND003
+    }
+
+    pub fn forget(&mut self) {
+        self.seen.drain(); //~ ND003
+    }
+}
+
+pub fn order_sum(set: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for v in set { //~ ND003
+        acc += v;
+    }
+    acc
 }

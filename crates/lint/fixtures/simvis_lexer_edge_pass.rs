@@ -1,0 +1,25 @@
+//! Negative fixture (lexer regression): raw identifiers, multi-hash raw
+//! strings, byte raw strings and deeply nested block comments must not
+//! leak tokens that look like rule keywords or desync the parser.
+
+pub fn r#loop(r#type: u64) -> u64 {
+    // The pre-fix lexer split `r#match` into `r` `#` `match`, leaking a
+    // `match` keyword token into pattern scanning.
+    let r#match = r#type + 1;
+    r#match
+}
+
+/* nested /* comment /* mentioning Instant, thread_rng() and
+   std::env::var("X") */ still */ closed */
+
+/* star-heavy **/
+/*/ tricky open-close /*/ inner */ done */
+
+pub fn raw_strings(ctx: &mut Ctx) -> &'static str {
+    ctx.count(1);
+    r##"thread_rng() and a "quoted" std::env::var("X") inside"##
+}
+
+pub fn byte_raw() -> &'static [u8] {
+    br#"for v in set.iter() { HashSet iteration in a byte string }"#
+}

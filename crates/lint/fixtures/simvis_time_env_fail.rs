@@ -1,14 +1,30 @@
-//! ND001/ND002/ND004 fixture: wall clocks, entropy RNGs and environment
-//! reads in sim-visible code. `std::time::Instant` counts twice on one
-//! line (the path and the type name are separate occurrences).
+//! ND001/ND002/ND004 fixture: entropy RNGs and environment reads are
+//! flagged at the keyword (they are nondeterministic wherever the value
+//! goes); wall-clock taint is flagged only where it *reaches a
+//! sim-visible sink*, reported at the sink line — taint propagates
+//! through bindings and call chains to get there.
 
-pub fn wall_clock() -> std::time::Instant { //~ ND001 ND001
-    std::time::Instant::now() //~ ND001 ND001
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
 }
 
-pub fn system_time() -> u64 {
-    let _t = SystemTime::now(); //~ ND001
-    0
+pub fn stamp(ctx: &mut Ctx) {
+    let t0 = wall_clock();
+    let ns = elapsed_ns(t0);
+    ctx.schedule_at(SimTime::from_ns(ns), 0); //~ ND001
+}
+
+fn elapsed_ns(t: std::time::Instant) -> u64 {
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn system_time(ctx: &mut Ctx) {
+    let wall = SystemTime::now();
+    ctx.count(since_epoch(wall)); //~ ND001
+}
+
+fn since_epoch(t: SystemTime) -> u64 {
+    t.duration_since(UNIX_EPOCH).unwrap_or_default().as_secs()
 }
 
 pub fn entropy() -> u64 {

@@ -150,4 +150,55 @@ reason = "audited invariant expects"
         let src = "[[allow]]\nrule = \"ND003\"\npath = \"x.rs\"\nreason = \"r\"\nbogus = 1\n";
         assert!(parse(src).is_err());
     }
+
+    #[test]
+    fn count_cap_exhausts() {
+        let src = "[[allow]]\nrule = \"PI003\"\npath = \"a.rs\"\ncount = 2\nreason = \"r\"\n";
+        let mut entries = parse(src).expect("parse");
+        let e = &mut entries[0];
+        // Absorb exactly `count` findings the way the scanner does, then
+        // the entry must stop covering: a blanket entry cannot silently
+        // absorb a violation added after the audit.
+        for _ in 0..2 {
+            assert!(e.covers("PI003", "a.rs", "expect(...)"));
+            e.used += 1;
+        }
+        assert!(!e.covers("PI003", "a.rs", "expect(...)"));
+    }
+
+    #[test]
+    fn line_contains_mismatch_rejects_rule_and_path_match() {
+        let src = "[[allow]]\nrule = \"ND003\"\npath = \"a.rs\"\n\
+                   line_contains = \"HashSet<MsgId>\"\nreason = \"r\"\n";
+        let entries = parse(src).expect("parse");
+        // Same rule, same file, different line text: not covered — the
+        // narrowing substring pins the exception to the audited site.
+        assert!(!entries[0].covers("ND003", "a.rs", "for v in self.other.iter() {"));
+        // And rule/path mismatches never consult line_contains at all.
+        assert!(!entries[0].covers("ND001", "a.rs", "x: HashSet<MsgId>,"));
+        assert!(!entries[0].covers("ND003", "b.rs", "x: HashSet<MsgId>,"));
+    }
+
+    #[test]
+    fn first_matching_entry_absorbs_then_overflow_falls_through() {
+        // Two entries covering the same (rule, path): the scanner's
+        // first-match-wins loop must drain the first entry's cap before
+        // the second absorbs anything, so neither is reported stale.
+        let src = "[[allow]]\nrule = \"PI003\"\npath = \"a.rs\"\ncount = 1\nreason = \"r1\"\n\
+                   [[allow]]\nrule = \"PI003\"\npath = \"a.rs\"\ncount = 1\nreason = \"r2\"\n";
+        let mut entries = parse(src).expect("parse");
+        for _ in 0..2 {
+            let e = entries
+                .iter_mut()
+                .find(|e| e.covers("PI003", "a.rs", "expect(...)"))
+                .expect("an entry still has capacity");
+            e.used += 1;
+        }
+        assert_eq!(entries[0].used, 1);
+        assert_eq!(entries[1].used, 1);
+        // A third finding exceeds both caps and must fall through.
+        assert!(!entries
+            .iter()
+            .any(|e| e.covers("PI003", "a.rs", "expect(...)")));
+    }
 }

@@ -132,6 +132,31 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             continue;
         }
+        // Raw identifiers: `r#match`, `r#type`. Must be checked before the
+        // raw-string branch (`r#"` is a string, `r#m` is an identifier) and
+        // before the plain-identifier branch (which would stop at the `#`
+        // and leave a stray keyword token behind — a stray `match` ident
+        // derails the match-arm scanner in `rules`). The token keeps its
+        // `r#` prefix so keyword comparisons never mistake `r#match` for
+        // the `match` keyword.
+        if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+            let mut ident = String::from("r#");
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    ident.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Ident(ident),
+                line,
+            });
+            continue;
+        }
         // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
         if (c == 'r' || c == 'b') && raw_string_lookahead(&cur) {
             let mut raw = false;
@@ -340,5 +365,78 @@ mod tests {
         let ids = idents(r#"let s = "a \" HashMap \" b"; let t = ok;"#);
         assert!(!ids.contains(&"HashMap".to_string()));
         assert!(ids.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens_with_prefix() {
+        // `r#match` must not decay into `r`, `#`, `match`: the stray
+        // `match` keyword would send the match-arm scanner into arbitrary
+        // following tokens (regression fixture simvis_lexer_edge_pass.rs).
+        let toks = lex("let r#match = 5; fn r#type() {} r#Instant");
+        let ids: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"r#match".to_string()), "{ids:?}");
+        assert!(ids.contains(&"r#type".to_string()), "{ids:?}");
+        assert!(ids.contains(&"r#Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"match".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!toks.iter().any(|t| t.tok == Tok::Punct('#')), "{toks:?}");
+    }
+
+    #[test]
+    fn raw_string_prefix_still_wins_over_raw_ident() {
+        // `r#"..."#` is a raw string, not a raw identifier.
+        let toks = lex(r###"let s = r#"HashMap"#; let ok = 1;"###);
+        let ids = idents(r###"let s = r#"HashMap"#; let ok = 1;"###);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(toks.iter().any(|t| t.tok == Tok::Lit));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_exact_hash_count() {
+        // The `"#` inside an `r##"…"##` body is content, not a close.
+        let ids = idents(r#####"let s = r##"x "# Instant "##; let ok = 1;"#####);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn byte_raw_strings_and_byte_chars() {
+        let ids = idents(r##"let b = br#"HashSet " inside"#; let c = b'x'; let ok = 1;"##);
+        assert!(!ids.contains(&"HashSet".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"x".to_string()), "{ids:?}");
+        assert!(ids.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn deeply_nested_and_star_heavy_block_comments() {
+        for src in [
+            "/* a /* b /* c */ b */ a */ let ok = 1;",
+            "/*/**/*/ let ok = 1;",
+            "/* ** /* x **/ y **/ let ok = 1;",
+            "/* \" unclosed quote in comment */ let ok = 1;",
+            "/* line1\n line2 /* inner\n */ outer */ let ok = 1;",
+        ] {
+            let ids = idents(src);
+            assert_eq!(ids, vec!["let", "ok"], "src: {src}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_spanning_lines_keep_line_numbers() {
+        let toks = lex("let s = r#\"a\nb\nc\"#;\nlet ok = 1;");
+        let ok_line = toks
+            .iter()
+            .find_map(|t| match &t.tok {
+                Tok::Ident(s) if s == "ok" => Some(t.line),
+                _ => None,
+            })
+            .expect("ok token");
+        assert_eq!(ok_line, 4);
     }
 }

@@ -6,30 +6,45 @@
 //! cargo run --release -p nicbar-lint              # scan the workspace
 //! cargo run --release -p nicbar-lint -- --fixtures # rule self-test corpus
 //! cargo run --release -p nicbar-lint -- --root <dir>
+//! cargo run --release -p nicbar-lint -- --format json
 //! ```
 //!
 //! The scan walks every `.rs` file under `crates/*` (vendor and the lint
-//! crate itself excluded), applies the rule catalogue of [`rules`], checks
-//! the crate graph for layering violations, subtracts the audited
-//! exceptions in `lint.toml`, prints a per-rule summary table and exits
-//! nonzero if any unallowlisted finding remains. `--fixtures` instead runs
-//! every file in `crates/lint/fixtures/` against the rules and asserts the
-//! `//~ RULE` markers line-for-line — the corpus the rules are developed
-//! against.
+//! crate itself excluded), parses each into an item tree, applies the
+//! token-level rule catalogue of [`rules`], runs the flow-sensitive
+//! nondeterminism analysis of [`flow`] over the whole workspace at once
+//! (so taint crosses crate boundaries), checks the crate graph for
+//! layering violations, subtracts the audited exceptions in `lint.toml`,
+//! prints a per-rule summary table and exits nonzero if any unallowlisted
+//! finding remains — or if an allowlist entry matched nothing (stale
+//! exceptions must not outlive the code they excuse). `--fixtures` instead
+//! runs every file in `crates/lint/fixtures/` against the rules and
+//! asserts the `//~ RULE` markers line-for-line — the corpus the rules are
+//! developed against. `--format json` emits machine-readable findings.
 
 mod allow;
+mod flow;
 mod lexer;
+mod parser;
 mod rules;
 
+use parser::FileTree;
 use rules::{Finding, Scope};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fixtures = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,8 +56,18 @@ fn main() -> ExitCode {
                 };
                 root = Some(PathBuf::from(dir));
             }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format expects human|json, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument {other} (expected --fixtures / --root <dir>)");
+                eprintln!(
+                    "unknown argument {other} (expected --fixtures / --root <dir> / --format <human|json>)"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -57,7 +82,7 @@ fn main() -> ExitCode {
     if fixtures {
         run_fixtures(&root)
     } else {
-        run_scan(&root)
+        run_scan(&root, format)
     }
 }
 
@@ -97,15 +122,35 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
     }
 }
 
+/// Minimal JSON string escaping for the `--format json` output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Workspace scan
 // ---------------------------------------------------------------------------
 
-fn run_scan(root: &Path) -> ExitCode {
+fn run_scan(root: &Path, format: Format) -> ExitCode {
     let mut files = Vec::new();
     collect_rs(root, &root.join("crates"), &mut files);
 
-    let mut findings: Vec<(Finding, String)> = Vec::new(); // finding + source line text
+    // Pass 1: parse every in-scope file (the flow analysis needs the whole
+    // workspace at once so taint can cross crate boundaries).
+    let mut trees: Vec<(FileTree, Scope)> = Vec::new();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
     for rel in &files {
         let Some(scope) = Scope::for_path(rel) else {
             continue;
@@ -117,17 +162,31 @@ fn run_scan(root: &Path) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let lines: Vec<&str> = src.lines().collect();
-        for f in rules::scan_source(rel, &src, scope) {
-            let text = lines
-                .get(f.line as usize - 1)
-                .copied()
-                .unwrap_or("")
-                .to_string();
+        trees.push((parser::parse(rel, lexer::lex(&src)), scope));
+        sources.insert(rel.clone(), src);
+    }
+
+    // Pass 2: token-level rules per file, then the workspace flow analysis.
+    let mut findings: Vec<(Finding, String)> = Vec::new(); // finding + source line text
+    let line_text = |path: &str, line: u32| -> String {
+        sources
+            .get(path)
+            .and_then(|src| src.lines().nth(line as usize - 1))
+            .unwrap_or("")
+            .to_string()
+    };
+    for (tree, scope) in &trees {
+        for f in rules::scan_file(tree, *scope) {
+            let text = line_text(&f.path, f.line);
             findings.push((f, text));
         }
     }
+    for f in flow::analyze(&trees) {
+        let text = line_text(&f.path, f.line);
+        findings.push((f, text));
+    }
     findings.extend(check_layering(root).into_iter().map(|f| (f, String::new())));
+    findings.sort_by(|(a, _), (b, _)| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
     // Subtract the allowlist.
     let allow_src = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
@@ -152,44 +211,99 @@ fn run_scan(root: &Path) -> ExitCode {
             unallowed.push(pair);
         }
     }
+    // Stale entries are failures, not warnings: an audited exception that
+    // matches nothing either outlived the code it excused or was never
+    // needed — both mean lint.toml no longer reflects the tree.
+    let stale: Vec<&allow::AllowEntry> = allowlist.iter().filter(|e| e.used == 0).collect();
 
-    for (f, text) in &unallowed {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
-        if !text.is_empty() {
-            println!("    {}", text.trim());
+    if format == Format::Json {
+        let mut out = String::from("{\"findings\":[");
+        let mut first = true;
+        for (f, text) in &findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"text\":\"{}\"}}",
+                f.rule,
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                json_escape(text.trim()),
+            ));
         }
-    }
-    for e in &allowlist {
-        if e.used == 0 {
+        out.push_str("],\"unallowed\":[");
+        for (i, (f, _)) in unallowed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                f.rule,
+                json_escape(&f.path),
+                f.line
+            ));
+        }
+        out.push_str("],\"stale_allowlist\":[");
+        for (i, e) in stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"decl_line\":{}}}",
+                json_escape(&e.rule),
+                json_escape(&e.path),
+                e.decl_line
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"total_findings\":{}}}",
+            trees.len(),
+            findings.len()
+        ));
+        println!("{out}");
+    } else {
+        for (f, text) in &unallowed {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            if !text.is_empty() {
+                println!("    {}", text.trim());
+            }
+        }
+        for e in &stale {
             println!(
-                "lint.toml:{}: warning: stale allowlist entry ({} in {}) matched nothing",
+                "lint.toml:{}: stale allowlist entry ({} in {}) matched nothing — remove it",
                 e.decl_line, e.rule, e.path
             );
         }
-    }
 
-    // Summary table.
-    println!();
-    println!("rule    findings  allowed  description");
-    println!("-----   --------  -------  -----------");
-    for (rule, desc) in rules::CATALOGUE {
-        let total = findings.iter().filter(|(f, _)| f.rule == *rule).count() as u64;
-        let allowed = allowed_per_rule.get(rule).copied().unwrap_or(0);
-        println!("{rule:<7} {total:>8}  {allowed:>7}  {desc}");
+        // Summary table.
+        println!();
+        println!("rule    findings  allowed  description");
+        println!("-----   --------  -------  -----------");
+        for (rule, desc) in rules::CATALOGUE {
+            let total = findings.iter().filter(|(f, _)| f.rule == *rule).count() as u64;
+            let allowed = allowed_per_rule.get(rule).copied().unwrap_or(0);
+            println!("{rule:<7} {total:>8}  {allowed:>7}  {desc}");
+        }
+        println!();
+        if unallowed.is_empty() && stale.is_empty() {
+            println!(
+                "nicbar-lint: {} files scanned, {} finding(s), all allowlisted — OK",
+                trees.len(),
+                findings.len()
+            );
+        } else {
+            println!(
+                "nicbar-lint: {} unallowlisted finding(s), {} stale allowlist entrie(s) — add a fix or an audited lint.toml entry",
+                unallowed.len(),
+                stale.len()
+            );
+        }
     }
-    println!();
-    if unallowed.is_empty() {
-        println!(
-            "nicbar-lint: {} files scanned, {} finding(s), all allowlisted — OK",
-            files.len(),
-            findings.len()
-        );
+    if unallowed.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "nicbar-lint: {} unallowlisted finding(s) — add a fix or an audited lint.toml entry",
-            unallowed.len()
-        );
         ExitCode::FAILURE
     }
 }
@@ -199,7 +313,8 @@ fn run_scan(root: &Path) -> ExitCode {
 // ---------------------------------------------------------------------------
 
 /// `(crate, forbidden transitive dependencies)`; substrate-independent
-/// layers must never pull in a backend.
+/// layers must never pull in a backend — and nothing but the tooling layer
+/// may depend on the model checker.
 const LAYERING: &[(&str, &[&str])] = &[
     (
         "nicbar-sim",
@@ -210,6 +325,7 @@ const LAYERING: &[(&str, &[&str])] = &[
             "nicbar-core",
             "nicbar-mpi",
             "nicbar-bench",
+            "nicbar-verify",
         ],
     ),
     (
@@ -220,10 +336,23 @@ const LAYERING: &[(&str, &[&str])] = &[
             "nicbar-core",
             "nicbar-mpi",
             "nicbar-bench",
+            "nicbar-verify",
         ],
     ),
-    ("nicbar-gm", &["nicbar-elan", "nicbar-core", "nicbar-bench"]),
-    ("nicbar-elan", &["nicbar-gm", "nicbar-core", "nicbar-bench"]),
+    (
+        "nicbar-gm",
+        &[
+            "nicbar-elan",
+            "nicbar-core",
+            "nicbar-bench",
+            "nicbar-verify",
+        ],
+    ),
+    (
+        "nicbar-elan",
+        &["nicbar-gm", "nicbar-core", "nicbar-bench", "nicbar-verify"],
+    ),
+    ("nicbar-core", &["nicbar-bench", "nicbar-verify"]),
 ];
 
 fn check_layering(root: &Path) -> Vec<Finding> {
@@ -325,9 +454,9 @@ fn transitive(graph: &BTreeMap<String, (String, Vec<String>)>, start: &str) -> V
 // ---------------------------------------------------------------------------
 
 /// Fixture scope from the filename prefix. `simvis_` files run the ND
-/// rules, `proto_` PI001, `hotpath_` PI003, `exporter_` PI002,
-/// `telemetry_` OB001; every fixture also runs the exporter rule (it is
-/// workspace-wide in the real scan).
+/// rules, `proto_` the PI001/PR*** family, `hotpath_` PI003, `exporter_`
+/// PI002, `telemetry_` OB001; every fixture also runs the exporter rule
+/// (it is workspace-wide in the real scan).
 fn fixture_scope(name: &str) -> Option<Scope> {
     let mut scope = Scope {
         exporter: true,
@@ -385,7 +514,13 @@ fn run_fixtures(root: &Path) -> ExitCode {
             }
         }
         total_expected += expected.len();
-        let mut got: Vec<(u32, String)> = rules::scan_source(rel, &src, scope)
+        // Each fixture is analyzed as its own one-file workspace: token
+        // rules plus the flow analysis (so fixtures can exercise taint
+        // propagation through local call chains).
+        let ws = vec![(parser::parse(rel, lexer::lex(&src)), scope)];
+        let mut findings = rules::scan_file(&ws[0].0, scope);
+        findings.extend(flow::analyze(&ws));
+        let mut got: Vec<(u32, String)> = findings
             .into_iter()
             .map(|f| (f.line, f.rule.to_string()))
             .collect();

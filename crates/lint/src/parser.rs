@@ -1,0 +1,784 @@
+//! A lightweight item-tree parser over the lexer's token stream.
+//!
+//! The offline environment has no `syn`, so — in the same spirit as the
+//! vendored `proptest` work-alike — this is a purpose-built recursive
+//! descent over `crate::lexer` tokens that recovers exactly the structure
+//! the flow-sensitive rules need:
+//!
+//! * functions, with their signature and body token ranges, owning `impl`
+//!   type and trait, unit-vs-value return, and whether they live under
+//!   `#[cfg(test)]` / `#[test]`;
+//! * struct fields with their flattened type text (so `self.epoch` can be
+//!   typed when `epoch: Instant`);
+//! * enum definitions with variant names;
+//! * `match` bodies split into arms (pattern range, body range).
+//!
+//! Precision is deliberately bounded: nested items inside function bodies
+//! are not re-entered (the body is an opaque token range), generics are
+//! skipped by bracket balance, and types are kept as flattened text. Every
+//! consumer treats "could not resolve" as "do not report" — the parser can
+//! only make rules more precise, never louder.
+
+use crate::lexer::{Tok, Token};
+
+/// One function (or method) item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` target type (`PaperCollective` for methods).
+    pub owner: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` blocks.
+    pub trait_of: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `[fn_kw, body_open)` — name, params, return type.
+    pub sig: (usize, usize),
+    /// Token indices of the body `{` and its matching `}` (inclusive), or
+    /// `None` for a bodiless trait-method signature.
+    pub body: Option<(usize, usize)>,
+    /// Whether the signature declares a non-unit return type.
+    pub returns_value: bool,
+    /// Inside `#[cfg(test)]` or marked `#[test]` — exempt from flow rules.
+    pub in_test: bool,
+}
+
+/// One struct field with its flattened type text.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Struct the field belongs to.
+    pub owner: String,
+    /// Field name.
+    pub name: String,
+    /// Flattened type text, e.g. `Vec<Option<CollKind>>`.
+    pub ty: String,
+    /// 1-based declaration line (kept for future rules; nothing reads it
+    /// yet).
+    #[allow(dead_code)]
+    pub line: u32,
+}
+
+/// One enum definition. The PR rules currently match on `Enum::` path
+/// patterns rather than variant lists, so these fields are recorded but
+/// not yet consumed (the parser tests assert they parse correctly).
+#[derive(Clone, Debug)]
+#[allow(dead_code)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// The parsed view of one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileTree {
+    /// Repo-relative path.
+    pub path: String,
+    /// The token stream the ranges index into.
+    pub toks: Vec<Token>,
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct fields.
+    pub fields: Vec<Field>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+}
+
+/// One arm of a `match` body.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchArm {
+    /// Token range `[start, end)` of the pattern (including any guard).
+    pub pat: (usize, usize),
+    /// Token range `[start, end)` of the arm body.
+    pub body: (usize, usize),
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Skip a balanced `#[...]` attribute starting at the `#`; returns the
+/// index just past the closing `]` and whether the attribute is
+/// `cfg(test)` or `test`.
+fn skip_attr(toks: &[Token], i: usize) -> (usize, bool) {
+    debug_assert!(punct_at(toks, i, '#'));
+    let mut j = i + 1; // at '[' (or '!' for inner attrs)
+    if punct_at(toks, j, '!') {
+        j += 1;
+    }
+    if !punct_at(toks, j, '[') {
+        return (i + 1, false);
+    }
+    let is_test = (ident_at(toks, j + 1) == Some("cfg")
+        && punct_at(toks, j + 2, '(')
+        && ident_at(toks, j + 3) == Some("test"))
+        || (ident_at(toks, j + 1) == Some("test") && punct_at(toks, j + 2, ']'));
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if punct_at(toks, j, '[') {
+            depth += 1;
+        } else if punct_at(toks, j, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, is_test);
+            }
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+/// Index of the matching close brace for the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    debug_assert!(punct_at(toks, open, '{'));
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if punct_at(toks, j, '{') {
+            depth += 1;
+        } else if punct_at(toks, j, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generics group starting at `<`; tolerates the
+/// shift-ambiguity by plain angle counting (types in item position do not
+/// contain comparison operators).
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    if !punct_at(toks, i, '<') {
+        return i;
+    }
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < toks.len() {
+        if punct_at(toks, j, '<') {
+            depth += 1;
+        } else if punct_at(toks, j, '>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Flatten a token range into readable text (`Vec < Option < T > >` →
+/// `Vec<Option<T>>`).
+pub fn flatten(toks: &[Token], range: (usize, usize)) -> String {
+    let mut out = String::new();
+    for t in &toks[range.0..range.1.min(toks.len())] {
+        match &t.tok {
+            Tok::Ident(s) => {
+                if out
+                    .chars()
+                    .last()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+            Tok::Punct(c) => out.push(*c),
+            Tok::Lit => out.push('#'),
+        }
+    }
+    out
+}
+
+/// Parse one file. `path` is carried for reporting only.
+pub fn parse(path: &str, toks: Vec<Token>) -> FileTree {
+    let mut tree = FileTree {
+        path: path.to_string(),
+        toks,
+        ..FileTree::default()
+    };
+    let end = tree.toks.len();
+    parse_items(&mut tree, 0, end, None, None, false);
+    tree
+}
+
+/// Walk `[lo, hi)` collecting items; `owner`/`trait_of` describe an
+/// enclosing `impl`, `in_test` an enclosing test context.
+fn parse_items(
+    tree: &mut FileTree,
+    lo: usize,
+    hi: usize,
+    owner: Option<&str>,
+    trait_of: Option<&str>,
+    in_test: bool,
+) {
+    let mut i = lo;
+    let mut attr_test = false;
+    while i < hi {
+        if punct_at(&tree.toks, i, '#') {
+            let (next, is_test) = skip_attr(&tree.toks, i);
+            attr_test |= is_test;
+            i = next;
+            continue;
+        }
+        let Some(word) = ident_at(&tree.toks, i) else {
+            // A stray brace group in item position (e.g. a const
+            // initializer) is skipped wholesale.
+            if punct_at(&tree.toks, i, '{') {
+                i = matching_brace(&tree.toks, i) + 1;
+            } else {
+                i += 1;
+            }
+            attr_test = false;
+            continue;
+        };
+        match word {
+            "impl" => {
+                // impl<G> Type { } | impl Trait for Type { } | impl Type::Assoc …
+                let mut j = skip_generics(&tree.toks, i + 1);
+                let first = ident_at(&tree.toks, j).map(str::to_string);
+                // Scan to the body '{', noting a `for` that splits
+                // trait from target type.
+                let mut target = first.clone();
+                let mut tr = None;
+                while j < hi && !punct_at(&tree.toks, j, '{') {
+                    if ident_at(&tree.toks, j) == Some("for") {
+                        tr = first.clone();
+                        target = ident_at(&tree.toks, j + 1).map(str::to_string);
+                    }
+                    j += 1;
+                }
+                if j < hi {
+                    let close = matching_brace(&tree.toks, j);
+                    parse_items(
+                        tree,
+                        j + 1,
+                        close,
+                        target.as_deref(),
+                        tr.as_deref(),
+                        in_test || attr_test,
+                    );
+                    i = close + 1;
+                } else {
+                    i = j;
+                }
+            }
+            "mod" => {
+                let mut j = i + 1;
+                while j < hi && !punct_at(&tree.toks, j, '{') && !punct_at(&tree.toks, j, ';') {
+                    j += 1;
+                }
+                if punct_at(&tree.toks, j, '{') {
+                    let close = matching_brace(&tree.toks, j);
+                    parse_items(tree, j + 1, close, None, None, in_test || attr_test);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "trait" => {
+                let mut j = i + 1;
+                while j < hi && !punct_at(&tree.toks, j, '{') {
+                    j += 1;
+                }
+                if j < hi {
+                    let close = matching_brace(&tree.toks, j);
+                    parse_items(tree, j + 1, close, None, None, in_test || attr_test);
+                    i = close + 1;
+                } else {
+                    i = j;
+                }
+            }
+            "fn" => {
+                let line = tree.toks[i].line;
+                let name = ident_at(&tree.toks, i + 1).unwrap_or("").to_string();
+                // Signature: scan to the body '{' or a ';' at zero
+                // paren/bracket depth (angle depth is ignored: a `->`
+                // return arrow or brace cannot hide inside generics).
+                let mut j = i + 2;
+                let mut depth = 0isize;
+                let mut arrow_at: Option<usize> = None;
+                while j < hi {
+                    match &tree.toks[j].tok {
+                        Tok::Punct('(' | '[') => depth += 1,
+                        Tok::Punct(')' | ']') => depth -= 1,
+                        Tok::Punct('-') if depth == 0 && punct_at(&tree.toks, j + 1, '>') => {
+                            arrow_at = Some(j);
+                        }
+                        Tok::Punct('{') if depth == 0 => break,
+                        Tok::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let returns_value = arrow_at.is_some_and(|a| {
+                    // `-> ()` is unit; anything else is a value.
+                    !(punct_at(&tree.toks, a + 2, '(') && punct_at(&tree.toks, a + 3, ')'))
+                });
+                let body = if punct_at(&tree.toks, j, '{') {
+                    Some((j, matching_brace(&tree.toks, j)))
+                } else {
+                    None
+                };
+                tree.fns.push(FnItem {
+                    name,
+                    owner: owner.map(str::to_string),
+                    trait_of: trait_of.map(str::to_string),
+                    line,
+                    sig: (i, j),
+                    body,
+                    returns_value,
+                    in_test: in_test || attr_test,
+                });
+                i = body.map_or(j + 1, |(_, close)| close + 1);
+            }
+            "struct" => {
+                let name = ident_at(&tree.toks, i + 1).unwrap_or("").to_string();
+                let mut j = skip_generics(&tree.toks, i + 2);
+                while j < hi && !punct_at(&tree.toks, j, '{') && !punct_at(&tree.toks, j, ';') {
+                    // Tuple struct `struct X(...);` — skip the parens.
+                    if punct_at(&tree.toks, j, '(') {
+                        let mut d = 0isize;
+                        while j < hi {
+                            if punct_at(&tree.toks, j, '(') {
+                                d += 1;
+                            } else if punct_at(&tree.toks, j, ')') {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    j += 1;
+                }
+                if punct_at(&tree.toks, j, '{') {
+                    let close = matching_brace(&tree.toks, j);
+                    parse_fields(tree, &name, j + 1, close);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "enum" => {
+                let name = ident_at(&tree.toks, i + 1).unwrap_or("").to_string();
+                let line = tree.toks[i].line;
+                let mut j = skip_generics(&tree.toks, i + 2);
+                while j < hi && !punct_at(&tree.toks, j, '{') {
+                    j += 1;
+                }
+                if j < hi {
+                    let close = matching_brace(&tree.toks, j);
+                    let variants = parse_variants(&tree.toks, j + 1, close);
+                    tree.enums.push(EnumDef {
+                        name,
+                        variants,
+                        line,
+                    });
+                    i = close + 1;
+                } else {
+                    i = j;
+                }
+            }
+            _ => {
+                // `use`, `const`, `static`, `type`, `pub`, `unsafe`, … —
+                // advance; braces in non-item positions are skipped by the
+                // stray-brace arm above.
+                i += 1;
+                // `pub`/`unsafe`/`async`/`default` qualify the next item:
+                // keep the pending test attribute alive for them.
+                if matches!(
+                    word,
+                    "pub" | "unsafe" | "async" | "default" | "extern" | "crate"
+                ) {
+                    continue;
+                }
+            }
+        }
+        attr_test = false;
+    }
+}
+
+/// Parse `name: Type,` fields of a struct body `[lo, hi)`.
+fn parse_fields(tree: &mut FileTree, owner: &str, lo: usize, hi: usize) {
+    let mut i = lo;
+    while i < hi {
+        if punct_at(&tree.toks, i, '#') {
+            let (next, _) = skip_attr(&tree.toks, i);
+            i = next;
+            continue;
+        }
+        if ident_at(&tree.toks, i) == Some("pub") {
+            i += 1;
+            // `pub(crate)` etc.
+            if punct_at(&tree.toks, i, '(') {
+                while i < hi && !punct_at(&tree.toks, i, ')') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        let Some(name) = ident_at(&tree.toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !punct_at(&tree.toks, i + 1, ':') {
+            i += 1;
+            continue;
+        }
+        let line = tree.toks[i].line;
+        // Type: tokens until a ',' at zero depth or the struct close.
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        let mut inner = 0isize;
+        while j < hi {
+            match &tree.toks[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct('(' | '[' | '{') => inner += 1,
+                Tok::Punct(')' | ']' | '}') => inner -= 1,
+                Tok::Punct(',') if angle <= 0 && inner <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        tree.fields.push(Field {
+            owner: owner.to_string(),
+            name: name.to_string(),
+            ty: flatten(&tree.toks, (i + 2, j)),
+            line,
+        });
+        i = j + 1;
+    }
+}
+
+/// Variant names of an enum body `[lo, hi)`.
+fn parse_variants(toks: &[Token], lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        if punct_at(toks, i, '#') {
+            let (next, _) = skip_attr(toks, i);
+            i = next;
+            continue;
+        }
+        if let Some(name) = ident_at(toks, i) {
+            out.push(name.to_string());
+        }
+        // Skip payload and discriminant to the ',' at zero depth.
+        let mut depth = 0isize;
+        while i < hi {
+            match &toks[i].tok {
+                Tok::Punct('(' | '[' | '{') => depth += 1,
+                Tok::Punct(')' | ']' | '}') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Split the `match` whose keyword sits at `kw` into arms. Returns an
+/// empty vec if no body brace is found.
+pub fn match_arms(toks: &[Token], kw: usize) -> Vec<MatchArm> {
+    // Find the body's '{' at zero paren/bracket depth past the scrutinee.
+    let mut i = kw + 1;
+    let mut depth = 0isize;
+    let body_open = loop {
+        match toks.get(i).map(|t| &t.tok) {
+            None => return Vec::new(),
+            Some(Tok::Punct('(' | '[')) => depth += 1,
+            Some(Tok::Punct(')' | ']')) => depth -= 1,
+            Some(Tok::Punct('{')) if depth == 0 => break i,
+            _ => {}
+        }
+        i += 1;
+    };
+    let body_close = matching_brace(toks, body_open);
+    let mut arms = Vec::new();
+    let mut i = body_open + 1;
+    while i < body_close {
+        // Pattern (+ optional guard): up to `=>` at zero inner depth.
+        let pat_start = i;
+        let mut inner = 0isize;
+        while i < body_close {
+            match &toks[i].tok {
+                Tok::Punct('(' | '[' | '{') => inner += 1,
+                Tok::Punct(')' | ']' | '}') => inner -= 1,
+                Tok::Punct('=') if inner == 0 && punct_at(toks, i + 1, '>') => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= body_close {
+            break;
+        }
+        let pat = (pat_start, i);
+        i += 2; // past '=>'
+        let body_start = i;
+        let body_end = if punct_at(toks, i, '{') {
+            let close = matching_brace(toks, i);
+            i = close + 1;
+            // Optional trailing comma.
+            if punct_at(toks, i, ',') {
+                i += 1;
+            }
+            close + 1
+        } else {
+            // Expression arm: to the ',' at zero depth or the match close.
+            let mut inner = 0isize;
+            while i < body_close {
+                match &toks[i].tok {
+                    Tok::Punct('(' | '[' | '{') => inner += 1,
+                    Tok::Punct(')' | ']' | '}') => inner -= 1,
+                    Tok::Punct(',') if inner == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            let e = i;
+            i += 1; // past the ','
+            e
+        };
+        if pat.1 > pat.0 {
+            arms.push(MatchArm {
+                pat,
+                body: (body_start, body_end),
+            });
+        }
+    }
+    arms
+}
+
+/// Is the arm pattern a catch-all: `_`, a lone binding identifier, or a
+/// tuple of those (`(op, payload)`)? Guarded arms (`x if cond`) still
+/// count — the guard does not make the coverage exhaustive.
+pub fn is_catch_all_pattern(toks: &[Token], arm: &MatchArm) -> bool {
+    let (lo, hi) = arm.pat;
+    // Strip a trailing guard: `pat if cond`.
+    let mut end = hi;
+    let mut depth = 0isize;
+    for (j, tok) in toks.iter().enumerate().take(hi).skip(lo) {
+        match &tok.tok {
+            Tok::Punct('(' | '[' | '{') => depth += 1,
+            Tok::Punct(')' | ']' | '}') => depth -= 1,
+            Tok::Ident(s) if s == "if" && depth == 0 => {
+                end = j;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let range: Vec<&Tok> = toks[lo..end].iter().map(|t| &t.tok).collect();
+    let is_binding = |t: &Tok| matches!(t, Tok::Ident(s) if s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_'));
+    match range.as_slice() {
+        [t] => is_binding(t),
+        _ => {
+            // `( a , b , … )` of bindings only.
+            if !matches!(range.first(), Some(Tok::Punct('('))) {
+                return false;
+            }
+            if !matches!(range.last(), Some(Tok::Punct(')'))) {
+                return false;
+            }
+            range[1..range.len() - 1]
+                .iter()
+                .all(|t| matches!(t, Tok::Punct(',')) || is_binding(t))
+        }
+    }
+}
+
+/// Does the arm body consist solely of a terminating macro call —
+/// `panic!(...)`, `unreachable!(...)`, `todo!(...)`? Such arms are
+/// *terminal states*: the transition is handled by declaring it
+/// impossible, which PI003/PR001 treat as an audited dead end.
+pub fn is_terminal_body(toks: &[Token], arm: &MatchArm) -> bool {
+    let (mut lo, hi) = arm.body;
+    // Unwrap a `{ ... }` block body.
+    if punct_at(toks, lo, '{') && matching_brace(toks, lo) + 1 >= hi {
+        lo += 1;
+    }
+    matches!(ident_at(toks, lo), Some("panic" | "unreachable" | "todo"))
+        && punct_at(toks, lo + 1, '!')
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> FileTree {
+        parse("t.rs", lex(src))
+    }
+
+    #[test]
+    fn fns_with_owner_trait_and_return() {
+        let src = r#"
+            impl NicCollective for PaperCollective {
+                fn on_timer(&mut self, now: SimTime) {}
+                fn next_deadline(&self) -> Option<SimTime> { None }
+            }
+            fn free() -> u64 { 0 }
+            fn unit() -> () {}
+            trait T { fn sig(&self) -> u32; }
+        "#;
+        let t = tree_of(src);
+        let names: Vec<(&str, Option<&str>, Option<&str>, bool)> = t
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.owner.as_deref(),
+                    f.trait_of.as_deref(),
+                    f.returns_value,
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (
+                    "on_timer",
+                    Some("PaperCollective"),
+                    Some("NicCollective"),
+                    false
+                ),
+                (
+                    "next_deadline",
+                    Some("PaperCollective"),
+                    Some("NicCollective"),
+                    true
+                ),
+                ("free", None, None, true),
+                ("unit", None, None, false),
+                ("sig", None, None, true),
+            ]
+        );
+        assert!(t.fns[4].body.is_none(), "trait sig has no body");
+    }
+
+    #[test]
+    fn cfg_test_and_test_attr_mark_fns() {
+        let src = r#"
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+            #[test]
+            fn top_level_case() {}
+        "#;
+        let t = tree_of(src);
+        let flags: Vec<(&str, bool)> = t.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("prod", false),
+                ("helper", true),
+                ("case", true),
+                ("top_level_case", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn struct_fields_with_flattened_types() {
+        let src = r#"
+            pub struct ProfClock {
+                epoch: Instant,
+                pub samples: Vec<Option<CollKind>>,
+            }
+            struct Tuple(u32, u64);
+        "#;
+        let t = tree_of(src);
+        assert_eq!(t.fields.len(), 2);
+        assert_eq!(t.fields[0].owner, "ProfClock");
+        assert_eq!(t.fields[0].name, "epoch");
+        assert_eq!(t.fields[0].ty, "Instant");
+        assert_eq!(t.fields[1].ty, "Vec<Option<CollKind>>");
+    }
+
+    #[test]
+    fn enums_and_variants() {
+        let src = r#"
+            pub enum CollKind {
+                Barrier,
+                Nack,
+                Bcast { value: u64 },
+                Gather { base_rank: u32, values: Vec<u64> },
+            }
+        "#;
+        let t = tree_of(src);
+        assert_eq!(t.enums.len(), 1);
+        assert_eq!(
+            t.enums[0].variants,
+            vec!["Barrier", "Nack", "Bcast", "Gather"]
+        );
+    }
+
+    #[test]
+    fn match_arms_split_patterns_and_bodies() {
+        let src = r#"
+            fn f(k: CollKind) -> u32 {
+                match k {
+                    CollKind::Barrier => 1,
+                    CollKind::Nack | CollKind::Ack => { nested(); 2 }
+                    (op, payload) => panic!("bad {op:?}"),
+                }
+            }
+        "#;
+        let t = tree_of(src);
+        let kw = t
+            .toks
+            .iter()
+            .position(|tk| matches!(&tk.tok, Tok::Ident(s) if s == "match"))
+            .unwrap();
+        let arms = match_arms(&t.toks, kw);
+        assert_eq!(arms.len(), 3);
+        assert!(!is_catch_all_pattern(&t.toks, &arms[0]));
+        assert!(!is_catch_all_pattern(&t.toks, &arms[1]));
+        assert!(is_catch_all_pattern(&t.toks, &arms[2]));
+        assert!(is_terminal_body(&t.toks, &arms[2]));
+        assert!(!is_terminal_body(&t.toks, &arms[0]));
+    }
+
+    #[test]
+    fn guarded_wildcard_is_catch_all_but_variant_pattern_is_not() {
+        let src =
+            "fn f(x: E) { match x { _ if cond() => a(), E::V { .. } => b(), other => c(), } }";
+        let t = tree_of(src);
+        let kw = t
+            .toks
+            .iter()
+            .position(|tk| matches!(&tk.tok, Tok::Ident(s) if s == "match"))
+            .unwrap();
+        let arms = match_arms(&t.toks, kw);
+        assert_eq!(arms.len(), 3);
+        assert!(is_catch_all_pattern(&t.toks, &arms[0]));
+        assert!(!is_catch_all_pattern(&t.toks, &arms[1]));
+        assert!(is_catch_all_pattern(&t.toks, &arms[2]));
+        assert!(!is_terminal_body(&t.toks, &arms[2]));
+    }
+}

@@ -13,7 +13,10 @@
 //! * `LY***` — layering: substrate-independent crates must not depend on
 //!   backend crates (checked from the crate graph, not source text).
 
-use crate::lexer::{lex, Tok, Token};
+#[cfg(test)]
+use crate::lexer::lex;
+use crate::lexer::{Tok, Token};
+use crate::parser::{self, FileTree};
 
 /// A single rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,7 +35,7 @@ pub struct Finding {
 pub const CATALOGUE: &[(&str, &str)] = &[
     (
         "ND001",
-        "wall-clock time (std::time / Instant / SystemTime) in sim-visible code",
+        "wall-clock taint (Instant / SystemTime, propagated through calls) reaching a sim-visible sink",
     ),
     (
         "ND002",
@@ -40,7 +43,7 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     ),
     (
         "ND003",
-        "HashMap/HashSet in sim-visible state (iteration order can reach event order)",
+        "hash-order iteration (HashMap/HashSet .iter()/.keys()/for-in) in sim-visible code",
     ),
     (
         "ND004",
@@ -65,6 +68,18 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     (
         "OB001",
         "ad-hoc println!/eprintln!/dbg! telemetry in crates/sim (route metrics through the telemetry registry)",
+    ),
+    (
+        "PR001",
+        "non-terminal catch-all arm in a protocol state-machine enum match (new transitions silently absorbed)",
+    ),
+    (
+        "PR002",
+        "original protocol send (retx: false, non-NACK) without a sent_payloads record in the same fn",
+    ),
+    (
+        "PR003",
+        "NicCollective::on_timer that can neither NACK, complete, nor delegate (stalls would never recover)",
     ),
     (
         "LY001",
@@ -107,6 +122,11 @@ impl Scope {
             return None;
         }
         let bench = path.starts_with("crates/bench/");
+        // The model checker is a host-side tool like bench (it may read
+        // wall clocks for progress reporting and env for CI knobs), but
+        // its exploration must still be reproducible, so hash-order
+        // iteration rules stay on.
+        let tool = bench || path.starts_with("crates/verify/");
         let proto = matches!(
             path,
             "crates/core/src/protocol.rs"
@@ -121,7 +141,7 @@ impl Scope {
         let threads =
             !bench && path != "crates/sim/src/parallel.rs" && !path.starts_with("crates/algos/");
         Some(Scope {
-            nondet: !bench,
+            nondet: !tool,
             hash_state: !bench,
             threads,
             proto,
@@ -247,9 +267,19 @@ fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
     ranges.iter().any(|&(a, b)| i >= a && i <= b)
 }
 
-/// Scan one file's source under `scope`; `path` is used only for reporting.
+/// Scan one file's source under `scope`; `path` is used only for
+/// reporting. Parses the file and runs the token-level rules; the
+/// flow-sensitive ND rules live in [`crate::flow`] and run over the whole
+/// workspace at once.
+#[cfg(test)]
 pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
-    let toks = lex(src);
+    scan_file(&parser::parse(path, lex(src)), scope)
+}
+
+/// Token-level rules over one parsed file.
+pub fn scan_file(tree: &FileTree, scope: Scope) -> Vec<Finding> {
+    let path = tree.path.as_str();
+    let toks = &tree.toks;
     let mut out = Vec::new();
     let push = |out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String| {
         out.push(Finding {
@@ -263,47 +293,38 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
     // PI003 and OB001 both exempt `#[cfg(test)]` blocks (tests may panic
     // and may print).
     let excluded = if scope.hotpath || scope.telemetry {
-        excluded_ranges(&toks)
+        excluded_ranges(toks)
+    } else {
+        Vec::new()
+    };
+    // Terminal dispatch arms — a catch-all match arm whose whole body is a
+    // `panic!`/`unreachable!` — are the idiomatic "this transition is
+    // impossible" dead end. PI003 exempts them: the panic *is* the audited
+    // terminal state, and PR001 independently checks it stays terminal.
+    let terminal = if scope.hotpath {
+        terminal_arm_ranges(toks)
     } else {
         Vec::new()
     };
 
     for i in 0..toks.len() {
         let line = toks[i].line;
-        let Some(ident) = ident_at(&toks, i) else {
+        let Some(ident) = ident_at(toks, i) else {
             continue;
         };
-        // --- ND001: wall-clock time -------------------------------------
-        if scope.nondet {
-            if ident == "std" && path_seg(&toks, i, "time") {
-                push(&mut out, "ND001", line, "use of std::time".to_string());
-            }
-            if ident == "Instant" || ident == "SystemTime" {
-                push(&mut out, "ND001", line, format!("use of {ident}"));
-            }
-        }
         // --- ND002: entropy randomness ----------------------------------
         if scope.nondet && matches!(ident, "thread_rng" | "from_entropy" | "OsRng") {
             push(&mut out, "ND002", line, format!("use of {ident}"));
         }
-        // --- ND003: hash-ordered state ----------------------------------
-        if scope.hash_state && matches!(ident, "HashMap" | "HashSet") {
-            push(
-                &mut out,
-                "ND003",
-                line,
-                format!("{ident} in sim-visible code (use BTreeMap/BTreeSet or dense-ID Vec)"),
-            );
-        }
         // --- ND004: environment reads -----------------------------------
         if scope.nondet {
-            if ident == "std" && path_seg(&toks, i, "env") {
+            if ident == "std" && path_seg(toks, i, "env") {
                 push(&mut out, "ND004", line, "use of std::env".to_string());
             } else if ident == "env"
-                && punct_at(&toks, i + 1, ':')
-                && punct_at(&toks, i + 2, ':')
+                && punct_at(toks, i + 1, ':')
+                && punct_at(toks, i + 2, ':')
                 && matches!(
-                    ident_at(&toks, i + 3),
+                    ident_at(toks, i + 3),
                     Some("var" | "vars" | "var_os" | "args" | "args_os")
                 )
             {
@@ -312,8 +333,8 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         }
         // --- ND005: threads/channels outside the parallel engine --------
         if scope.threads {
-            if ident == "thread" && (path_seg(&toks, i, "spawn") || path_seg(&toks, i, "scope")) {
-                let what = ident_at(&toks, i + 3).unwrap_or_default();
+            if ident == "thread" && (path_seg(toks, i, "spawn") || path_seg(toks, i, "scope")) {
+                let what = ident_at(toks, i + 3).unwrap_or_default();
                 push(
                     &mut out,
                     "ND005",
@@ -334,7 +355,7 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         if scope.proto
             && ident == "as"
             && matches!(
-                ident_at(&toks, i + 1),
+                ident_at(toks, i + 1),
                 Some("u8" | "u16" | "u32" | "i8" | "i16" | "i32")
             )
         {
@@ -344,13 +365,13 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
                 line,
                 format!(
                     "bare `as {}` narrowing cast in bookkeeping path (use try_from)",
-                    ident_at(&toks, i + 1).unwrap_or_default()
+                    ident_at(toks, i + 1).unwrap_or_default()
                 ),
             );
         }
         // --- PI003: hot-path panics -------------------------------------
-        if scope.hotpath && !in_ranges(&excluded, i) {
-            if ident == "panic" && punct_at(&toks, i + 1, '!') {
+        if scope.hotpath && !in_ranges(&excluded, i) && !in_ranges(&terminal, i) {
+            if ident == "panic" && punct_at(toks, i + 1, '!') {
                 push(
                     &mut out,
                     "PI003",
@@ -358,7 +379,7 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
                     "panic! on the NIC hot path".to_string(),
                 );
             }
-            if matches!(ident, "unwrap" | "expect") && i > 0 && punct_at(&toks, i - 1, '.') {
+            if matches!(ident, "unwrap" | "expect") && i > 0 && punct_at(toks, i - 1, '.') {
                 push(
                     &mut out,
                     "PI003",
@@ -371,7 +392,7 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         if scope.telemetry
             && !in_ranges(&excluded, i)
             && matches!(ident, "println" | "eprintln" | "print" | "eprint" | "dbg")
-            && punct_at(&toks, i + 1, '!')
+            && punct_at(toks, i + 1, '!')
         {
             push(
                 &mut out,
@@ -382,11 +403,162 @@ pub fn scan_source(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         }
         // --- PI002: wildcard arms in SpanEvent/Phase/CausalKind matches -
         if scope.exporter && ident == "match" {
-            scan_match(&toks, i, path, &mut out);
+            scan_match(toks, i, path, &mut out);
         }
+    }
+    // --- PR***: protocol reachability (per-fn, needs the item tree) -----
+    if scope.proto || scope.hotpath {
+        scan_protocol_reachability(tree, scope, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
+}
+
+/// Enums whose matches are NIC state-machine transition dispatch. A
+/// catch-all arm over one of these absorbs future transitions silently —
+/// unless it is *terminal* (its whole body is a `panic!`/`unreachable!`),
+/// which declares the transition impossible and fails loudly instead.
+const PROTO_ENUMS: &[&str] = &[
+    "CollKind",
+    "CollAction",
+    "GroupOp",
+    "EventAction",
+    "GmEvent",
+    "ElanEvent",
+    "ThreadAction",
+    "ThreadOp",
+    "ElanPayload",
+    "PacketKind",
+];
+
+/// Token ranges of catch-all+terminal match-arm bodies (PI003 exemption).
+fn terminal_arm_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for i in 0..toks.len() {
+        if ident_at(toks, i) != Some("match") {
+            continue;
+        }
+        for arm in parser::match_arms(toks, i) {
+            if parser::is_catch_all_pattern(toks, &arm) && parser::is_terminal_body(toks, &arm) {
+                ranges.push(arm.body);
+            }
+        }
+    }
+    ranges
+}
+
+/// PR001/PR002/PR003 over the parsed item tree (skips `#[cfg(test)]`).
+fn scan_protocol_reachability(tree: &FileTree, scope: Scope, out: &mut Vec<Finding>) {
+    let toks = &tree.toks;
+    for f in &tree.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((blo, bhi)) = f.body else {
+            continue;
+        };
+        // --- PR001: catch-all arms in protocol enum matches -------------
+        for i in blo..=bhi {
+            if ident_at(toks, i) != Some("match") {
+                continue;
+            }
+            let arms = parser::match_arms(toks, i);
+            let is_protocol = arms.iter().any(|arm| {
+                (arm.pat.0..arm.pat.1).any(|j| {
+                    matches!(ident_at(toks, j), Some(name) if PROTO_ENUMS.contains(&name))
+                        && punct_at(toks, j + 1, ':')
+                        && punct_at(toks, j + 2, ':')
+                })
+            });
+            if !is_protocol {
+                continue;
+            }
+            for arm in &arms {
+                if parser::is_catch_all_pattern(toks, arm) && !parser::is_terminal_body(toks, arm) {
+                    out.push(Finding {
+                        rule: "PR001",
+                        path: tree.path.clone(),
+                        line: toks[arm.pat.0].line,
+                        message: "catch-all arm in a protocol enum match silently absorbs new \
+                                  transitions (enumerate them, or make the arm terminal with panic!/unreachable!)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        // PR002/PR003 are about the *collective* protocol; the hotpath NIC
+        // wire layer only forwards CollActions it was handed.
+        if !scope.proto {
+            continue;
+        }
+        // --- PR002: original send must be recorded for NACK service -----
+        let has_payload_record = (blo..=bhi).any(|i| {
+            ident_at(toks, i) == Some("sent_payloads")
+                && (i + 1..(i + 7).min(bhi + 1))
+                    .any(|j| punct_at(toks, j, '=') && !punct_at(toks, j + 1, '='))
+        });
+        for i in blo..=bhi {
+            if ident_at(toks, i) != Some("CollAction")
+                || !punct_at(toks, i + 1, ':')
+                || !punct_at(toks, i + 2, ':')
+                || ident_at(toks, i + 3) != Some("Send")
+                || !punct_at(toks, i + 4, '{')
+            {
+                continue;
+            }
+            let close = {
+                let mut depth = 0isize;
+                let mut j = i + 4;
+                loop {
+                    if j > bhi {
+                        break bhi;
+                    }
+                    if punct_at(toks, j, '{') {
+                        depth += 1;
+                    } else if punct_at(toks, j, '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break j;
+                        }
+                    }
+                    j += 1;
+                }
+            };
+            let retx_false = (i + 4..close).any(|j| {
+                ident_at(toks, j) == Some("retx")
+                    && punct_at(toks, j + 1, ':')
+                    && ident_at(toks, j + 2) == Some("false")
+            });
+            let literal_nack = (i + 4..close).any(|j| ident_at(toks, j) == Some("Nack"));
+            if retx_false && !literal_nack && !has_payload_record {
+                out.push(Finding {
+                    rule: "PR002",
+                    path: tree.path.clone(),
+                    line: toks[i].line,
+                    message: "original protocol send (retx: false) without a sent_payloads \
+                              record in this fn — a NACK for this round could never be served"
+                        .to_string(),
+                });
+            }
+        }
+        // --- PR003: on_timer must be able to recover a stall ------------
+        if f.name == "on_timer" && f.trait_of.as_deref() == Some("NicCollective") {
+            let can_recover = (blo..=bhi).any(|i| {
+                matches!(ident_at(toks, i), Some("Nack" | "completed" | "HostDone"))
+                    || (ident_at(toks, i) == Some("on_timer") && punct_at(toks, i - 1, '.'))
+            });
+            if !can_recover {
+                out.push(Finding {
+                    rule: "PR003",
+                    path: tree.path.clone(),
+                    line: f.line,
+                    message: "NicCollective::on_timer never schedules a NACK, reaches \
+                              completion, or delegates — a lost packet would stall forever"
+                        .to_string(),
+                });
+            }
+        }
+    }
 }
 
 /// Inspect one `match` whose keyword sits at `kw`: if its arm *patterns*
@@ -510,22 +682,24 @@ mod tests {
     }
 
     #[test]
-    fn hash_collections_flagged_outside_strings() {
+    fn hash_declarations_no_longer_flagged_at_token_level() {
+        // Declaration/insert/lookup are deterministic; only *iteration*
+        // is a hazard, and that is the flow analysis's job (crate::flow).
         let src = r#"
             use std::collections::HashMap;
-            // HashMap in a comment is fine
-            let s = "HashMap in a string is fine";
-            let m: HashMap<u32, u32> = HashMap::new();
+            fn f() { let m: HashMap<u32, u32> = HashMap::new(); }
         "#;
-        let rules = rules_of(src, scope_all());
-        assert_eq!(rules.iter().filter(|r| **r == "ND003").count(), 3);
+        assert!(rules_of(src, scope_all()).is_empty());
     }
 
     #[test]
-    fn wall_clock_and_env_flagged() {
-        let src = "let t = std::time::Instant::now(); let v = std::env::var(\"X\");";
+    fn env_flagged_but_bare_instant_is_not() {
+        // ND001 moved to the flow analysis (reported at the sink, not the
+        // keyword); ND004 stays keyword-level — an env read is nondeterministic
+        // no matter where the value goes.
+        let src = "fn f() { let t = std::time::Instant::now(); let v = std::env::var(\"X\"); }";
         let rules = rules_of(src, scope_all());
-        assert!(rules.contains(&"ND001"));
+        assert!(!rules.contains(&"ND001"));
         assert!(rules.contains(&"ND004"));
     }
 
@@ -717,13 +891,169 @@ mod tests {
 
     #[test]
     fn scope_gates_rules() {
-        let src = "let m: HashMap<u32, u32> = HashMap::new(); let a = x as u16;";
+        let src = "fn f() { let a = x as u16; let v = std::env::var(\"X\"); }";
         let none = Scope::default();
         assert!(scan_source("t.rs", src, none).is_empty());
         let nd_only = Scope {
-            hash_state: true,
+            nondet: true,
             ..Scope::default()
         };
-        assert_eq!(rules_of(src, nd_only), vec!["ND003", "ND003"]);
+        // `std::env::var` trips both the `std::env` and the `env::var`
+        // patterns — two findings, same line.
+        assert_eq!(rules_of(src, nd_only), vec!["ND004", "ND004"]);
+        let proto_only = Scope {
+            proto: true,
+            ..Scope::default()
+        };
+        assert_eq!(rules_of(src, proto_only), vec!["PI001"]);
+    }
+
+    #[test]
+    fn terminal_dispatch_arm_panic_is_exempt_from_pi003() {
+        // The idiomatic `other => panic!("unexpected event")` dead end on
+        // the NIC dispatch match is the audited terminal state.
+        let src = r#"
+            fn handle(&mut self, msg: GmEvent) {
+                match msg {
+                    GmEvent::Inject(p) => self.inject(p),
+                    other => panic!("NIC got unexpected event {other:?}"),
+                }
+            }
+        "#;
+        assert!(rules_of(src, scope_all()).iter().all(|r| *r != "PI003"));
+        // A panic! in a non-catch-all arm (or outside a match) still fires.
+        let src = r#"
+            fn handle(&mut self, msg: GmEvent) {
+                match msg {
+                    GmEvent::Inject(p) => panic!("cannot inject"),
+                    other => panic!("NIC got unexpected event {other:?}"),
+                }
+            }
+        "#;
+        assert_eq!(
+            rules_of(src, scope_all())
+                .iter()
+                .filter(|r| **r == "PI003")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn pr001_catch_all_in_protocol_match() {
+        // Non-terminal catch-all over a protocol enum: flagged.
+        let src = r#"
+            fn label(k: &CollKind) -> u32 {
+                match k {
+                    CollKind::Nack => 1,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert_eq!(
+            rules_of(src, scope_all())
+                .iter()
+                .filter(|r| **r == "PR001")
+                .count(),
+            1
+        );
+        // Terminal catch-all: the transition is declared impossible — ok.
+        let src = r#"
+            fn apply(op: GroupOp, payload: CollKind) {
+                match (op, payload) {
+                    (GroupOp::Barrier, CollKind::Barrier) => {}
+                    (op, payload) => panic!("payload {payload:?} does not match {op:?}"),
+                }
+            }
+        "#;
+        assert!(rules_of(src, scope_all()).iter().all(|r| *r != "PR001"));
+        // Catch-all over a non-protocol enum: none of PR001's business.
+        let src = r#"
+            fn f(x: u32) -> u32 {
+                match x {
+                    0 => 1,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert!(rules_of(src, scope_all()).iter().all(|r| *r != "PR001"));
+    }
+
+    #[test]
+    fn pr002_send_without_payload_record() {
+        let proto = Scope {
+            proto: true,
+            ..Scope::default()
+        };
+        // retx: false, non-NACK, no sent_payloads assignment → flagged.
+        let bad = r#"
+            fn emit(&mut self, actions: &mut ActionBuf) {
+                actions.push(CollAction::Send { dst, pkt, retx: false, cause });
+            }
+        "#;
+        assert_eq!(rules_of(bad, proto), vec!["PR002"]);
+        // Same send with the record in the same fn → clean.
+        let good = r#"
+            fn emit(&mut self, actions: &mut ActionBuf) {
+                live.sent_payloads[r] = payload.clone();
+                actions.push(CollAction::Send { dst, pkt, retx: false, cause });
+            }
+        "#;
+        assert!(rules_of(good, proto).is_empty());
+        // Retransmissions and NACKs are served from the record, not into it.
+        let retx = r#"
+            fn serve(&mut self, actions: &mut ActionBuf) {
+                actions.push(CollAction::Send { dst, pkt, retx: true, cause });
+            }
+            fn nack(&mut self, actions: &mut ActionBuf) {
+                actions.push(CollAction::Send {
+                    dst,
+                    pkt: CollPacket { src, group, epoch, round, kind: CollKind::Nack },
+                    retx: false,
+                    cause,
+                });
+            }
+        "#;
+        assert!(rules_of(retx, proto).is_empty());
+    }
+
+    #[test]
+    fn pr003_on_timer_must_recover() {
+        let proto = Scope {
+            proto: true,
+            ..Scope::default()
+        };
+        // An on_timer that only updates bookkeeping can never recover a
+        // lost packet.
+        let bad = r#"
+            impl NicCollective for Stuck {
+                fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf) {
+                    self.ticks += 1;
+                }
+            }
+        "#;
+        assert_eq!(rules_of(bad, proto), vec!["PR003"]);
+        // NACK construction, completion reference, or delegation: fine.
+        let good = r#"
+            impl NicCollective for Paper {
+                fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf) {
+                    actions.push(CollAction::Send { dst, pkt: nack_pkt(CollKind::Nack), retx: false, cause });
+                }
+            }
+            impl NicCollective for Wrapper {
+                fn on_timer(&mut self, now: SimTime, actions: &mut ActionBuf) {
+                    self.inner.on_timer(now, actions);
+                }
+            }
+        "#;
+        assert!(rules_of(good, proto).iter().all(|r| *r != "PR003"));
+        // on_timer fns NOT implementing NicCollective (host apps, drivers)
+        // are out of scope.
+        let unrelated = r#"
+            impl HostApp {
+                fn on_timer(&mut self, now: SimTime) { self.ticks += 1; }
+            }
+        "#;
+        assert!(rules_of(unrelated, proto).is_empty());
     }
 }

@@ -117,6 +117,27 @@ impl CausalKind {
         }
     }
 
+    /// Inverse of [`CausalKind::name`] — used when re-ingesting exported
+    /// netdumps (e.g. `why-slow --replay`).
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "host-enter" => CausalKind::HostEnter,
+            "host-post" => CausalKind::HostPost,
+            "nic-dispatch" => CausalKind::NicDispatch,
+            "dma-start" => CausalKind::DmaStart,
+            "dma-done" => CausalKind::DmaDone,
+            "fire" => CausalKind::Fire,
+            "wire" => CausalKind::Wire,
+            "drop" => CausalKind::Drop,
+            "arrive" => CausalKind::Arrive,
+            "nack" => CausalKind::Nack,
+            "retransmit" => CausalKind::Retransmit,
+            "notify" => CausalKind::Notify,
+            "host-exit" => CausalKind::HostExit,
+            _ => return None,
+        })
+    }
+
     /// Attribution category of the causal edge *ending* at a record of this
     /// kind: where the time between the parent record and this record was
     /// spent. The `why-slow` report sums critical-path edge durations by

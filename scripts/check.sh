@@ -1,29 +1,80 @@
 #!/usr/bin/env bash
 # Full local gate: release build, workspace tests, clippy with warnings
-# denied, formatting, and the observability zero-overhead gate. Run from
-# anywhere inside the repo.
+# denied, formatting, static analysis, protocol model checking, and the
+# observability zero-overhead gate. Run from anywhere inside the repo.
+#
+# Every gate runs under the `gate` wrapper, which times it and prints a
+# per-gate wall-time summary at the end — so when the gate gets slow, the
+# summary names the culprit instead of leaving it to guesswork.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+GATE_NAMES=()
+GATE_SECS=()
+gate() {
+    local name="$1"
+    shift
+    local t0 t1
+    t0=$(date +%s%N)
+    "$@"
+    t1=$(date +%s%N)
+    GATE_NAMES+=("$name")
+    GATE_SECS+=("$(printf '%d.%03d' $(((t1 - t0) / 1000000000)) $(((t1 - t0) / 1000000 % 1000)))")
+}
+
 # Formatting covers our crates only: vendor/* members are upstream code we
 # keep byte-identical, and rustfmt's `ignore` option is nightly-only.
-fmt_pkgs=()
-for manifest in crates/*/Cargo.toml; do
-    fmt_pkgs+=(-p "$(grep -m1 '^name' "$manifest" | sed 's/.*"\(.*\)"/\1/')")
-done
-cargo fmt "${fmt_pkgs[@]}" --check
+fmt_gate() {
+    local fmt_pkgs=()
+    for manifest in crates/*/Cargo.toml; do
+        fmt_pkgs+=(-p "$(grep -m1 '^name' "$manifest" | sed 's/.*"\(.*\)"/\1/')")
+    done
+    cargo fmt "${fmt_pkgs[@]}" --check
+}
+gate "fmt" fmt_gate
 
-cargo build --release --workspace
-cargo build --examples --workspace
-cargo test -q --workspace
-cargo clippy --workspace --all-targets -- -D warnings
+gate "build" cargo build --release --workspace
+gate "build-examples" cargo build --examples --workspace
+gate "test" cargo test -q --workspace
+gate "clippy" cargo clippy --workspace --all-targets -- -D warnings
 
 # Static analysis: nicbar-lint enforces the determinism and protocol
 # invariants (rule catalogue in DESIGN.md). The fixture self-test runs
 # first so a broken rule cannot silently pass the workspace; the workspace
-# scan then fails on any finding not covered by an audited lint.toml entry.
-cargo run --release -q -p nicbar-lint -- --fixtures
-cargo run --release -q -p nicbar-lint
+# scan then fails on any finding not covered by an audited lint.toml entry
+# (and fails on stale entries covering nothing).
+gate "lint-fixtures" cargo run --release -q -p nicbar-lint -- --fixtures
+gate "lint-scan" cargo run --release -q -p nicbar-lint
+
+# Protocol model checking: nicbar-verify drives the real PaperCollective
+# through the exhaustive interleaving space of the adversarial network
+# (loss, duplication, reorder, unbounded delay) for DS and PE barriers on
+# both substrates and proves safety invariants, deadlock-freedom and NACK
+# liveness on every configuration of the gate matrix.
+gate "verify-matrix" cargo run --release -q -p nicbar-verify -- --check
+
+# Counterexample pipeline: an injected protocol bug must yield a minimal
+# counterexample whose netdump trace replays through why-slow.
+verify_counterexample_gate() {
+    local tmp
+    tmp=$(mktemp -d)
+    if ! cargo run --release -q -p nicbar-verify -- \
+        --nodes 2 --substrate gm --inject skip-payload-record \
+        --expect-violation --trace-out "$tmp/cex.jsonl" > /dev/null 2>&1; then
+        echo "check.sh: injected bug was NOT caught by nicbar-verify" >&2
+        rm -rf "$tmp"
+        return 1
+    fi
+    if ! cargo run --release -q -p nicbar-bench --bin why-slow -- \
+        --replay "$tmp/cex.jsonl" > /dev/null; then
+        echo "check.sh: counterexample trace failed to replay through why-slow" >&2
+        rm -rf "$tmp"
+        return 1
+    fi
+    rm -rf "$tmp"
+}
+gate "verify-counterexample" verify_counterexample_gate
+echo "check.sh: protocol model checking OK"
 
 # Zero-overhead gate: with the flight recorder and trace ring disabled,
 # engine throughput must stay within 5% of the saved baseline. Skipped if
@@ -31,7 +82,7 @@ cargo run --release -q -p nicbar-lint
 # The quick gate also asserts the parallel engine at one shard stays
 # within 5% of the sequential engine on the fig5 figure point.
 if [ -f results/engine_sweep.json ]; then
-    cargo run --release -p nicbar-bench --bin engine_sweep -- --quick
+    gate "engine-sweep-quick" cargo run --release -p nicbar-bench --bin engine_sweep -- --quick
 else
     echo "check.sh: no results/engine_sweep.json baseline, skipping --quick gate"
 fi
@@ -42,10 +93,16 @@ fi
 # hardware threads the full gate also profiles 8 shards x 4096 nodes and
 # asserts the profiler-DISABLED path stays within 2 percentage points of
 # the committed one-shard overhead baseline in results/engine_sweep.json.
-cargo run --release -q -p nicbar-bench --bin engine_prof -- --quick --check > /dev/null
+engine_prof_quick_gate() {
+    cargo run --release -q -p nicbar-bench --bin engine_prof -- --quick --check > /dev/null
+}
+gate "engine-prof-quick" engine_prof_quick_gate
 echo "check.sh: engine_prof smoke OK"
 if [ "$(nproc 2>/dev/null || echo 1)" -ge 8 ] && [ -f results/engine_sweep.json ]; then
-    cargo run --release -q -p nicbar-bench --bin engine_prof -- --check > /dev/null
+    engine_prof_full_gate() {
+        cargo run --release -q -p nicbar-bench --bin engine_prof -- --check > /dev/null
+    }
+    gate "engine-prof-full" engine_prof_full_gate
     echo "check.sh: engine_prof full gate OK"
 else
     echo "check.sh: < 8 hardware threads or no baseline, skipping full engine_prof gate"
@@ -57,22 +114,25 @@ fi
 # one-shard Auto case must take the sequential fast path
 # (tests/parallel_parity.rs; release so the windowed loop matches the
 # shipped hot path).
-cargo test --release -q --test parallel_parity
+gate "parallel-parity" cargo test --release -q --test parallel_parity
 echo "check.sh: parallel engine parity OK"
 
 # Causal-observability smoke: why-slow on an 8-node lossy GM sim must
 # produce a non-empty critical path for every barrier, attribute >= 95%
 # of each span's wall time to its edges, and drop zero netdump records
 # (--check exits nonzero otherwise).
-cargo run --release -q -p nicbar-bench --bin why-slow -- \
-    --nodes 8 --drop 0.02 --seed 7 --check > /dev/null
+why_slow_gate() {
+    cargo run --release -q -p nicbar-bench --bin why-slow -- \
+        --nodes 8 --drop 0.02 --seed 7 --check > /dev/null
+}
+gate "why-slow-smoke" why_slow_gate
 echo "check.sh: why-slow smoke OK"
 
 # Allocation gate: a steady-state NIC barrier must not touch the heap.
 # The counting-allocator test runs in its own binary (process-wide
 # allocator, single test), release mode so the measurement matches the
 # shipped hot path.
-cargo test --release -q --test alloc_steady
+gate "alloc-steady" cargo test --release -q --test alloc_steady
 echo "check.sh: allocation gate OK"
 
 # Scalability smoke: the quick sweep (sub-sampled grid up to the 65,536-node
@@ -82,7 +142,10 @@ echo "check.sh: allocation gate OK"
 # hardware threads fig_scale additionally asserts the 8-shard parallel
 # engine beats sequential by >= 3x on the 4096-node gm point (skipped with
 # a visible message on smaller hosts) — fig_scale exits nonzero otherwise.
-cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
+fig_scale_gate() {
+    cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
+}
+gate "fig-scale-smoke" fig_scale_gate
 echo "check.sh: fig_scale smoke OK"
 
 # Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps append a run
@@ -95,21 +158,30 @@ echo "check.sh: fig_scale smoke OK"
 # (grep -c prints 0 *and* exits 1 on zero matches; missing file prints
 # nothing — normalize both to a plain number.)
 count_runs() { grep -c '"manifest"' "$1" 2>/dev/null || true; }
-runs_before_fig5=$(count_runs BENCH_fig5.json); runs_before_fig5=${runs_before_fig5:-0}
-runs_before_fig7=$(count_runs BENCH_fig7.json); runs_before_fig7=${runs_before_fig7:-0}
-cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
-cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
-for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json; do
-    [ -s "$f" ] || { echo "check.sh: missing $f" >&2; exit 1; }
-    grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; exit 1; }
-    grep -q '"runs"' "$f" || { echo "check.sh: $f is not an append-only trajectory" >&2; exit 1; }
-done
-runs_after_fig5=$(count_runs BENCH_fig5.json); runs_after_fig5=${runs_after_fig5:-0}
-runs_after_fig7=$(count_runs BENCH_fig7.json); runs_after_fig7=${runs_after_fig7:-0}
-if [ "$runs_after_fig5" -lt "$runs_before_fig5" ] || [ "$runs_after_fig7" -lt "$runs_before_fig7" ]; then
-    echo "check.sh: trajectory shrank (fig5 $runs_before_fig5 -> $runs_after_fig5, fig7 $runs_before_fig7 -> $runs_after_fig7)" >&2
-    exit 1
-fi
-echo "check.sh: BENCH artifacts OK (fig5 runs: $runs_after_fig5, fig7 runs: $runs_after_fig7)"
+bench_trajectory_gate() {
+    local runs_before_fig5 runs_before_fig7 runs_after_fig5 runs_after_fig7
+    runs_before_fig5=$(count_runs BENCH_fig5.json); runs_before_fig5=${runs_before_fig5:-0}
+    runs_before_fig7=$(count_runs BENCH_fig7.json); runs_before_fig7=${runs_before_fig7:-0}
+    cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
+    cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
+    for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json; do
+        [ -s "$f" ] || { echo "check.sh: missing $f" >&2; return 1; }
+        grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; return 1; }
+        grep -q '"runs"' "$f" || { echo "check.sh: $f is not an append-only trajectory" >&2; return 1; }
+    done
+    runs_after_fig5=$(count_runs BENCH_fig5.json); runs_after_fig5=${runs_after_fig5:-0}
+    runs_after_fig7=$(count_runs BENCH_fig7.json); runs_after_fig7=${runs_after_fig7:-0}
+    if [ "$runs_after_fig5" -lt "$runs_before_fig5" ] || [ "$runs_after_fig7" -lt "$runs_before_fig7" ]; then
+        echo "check.sh: trajectory shrank (fig5 $runs_before_fig5 -> $runs_after_fig5, fig7 $runs_before_fig7 -> $runs_after_fig7)" >&2
+        return 1
+    fi
+    echo "check.sh: BENCH artifacts OK (fig5 runs: $runs_after_fig5, fig7 runs: $runs_after_fig7)"
+}
+gate "bench-trajectory" bench_trajectory_gate
 
+echo ""
+echo "check.sh: per-gate wall time"
+for i in "${!GATE_NAMES[@]}"; do
+    printf '  %9ss  %s\n' "${GATE_SECS[$i]}" "${GATE_NAMES[$i]}"
+done
 echo "check.sh: all green"
