@@ -6,15 +6,25 @@
 //!
 //! This harness runs all three NIC-based algorithms (plus GB at two tree
 //! degrees) on both substrates so §5.2's dismissal is reproducible.
+//!
+//! Shares the figure-binary CLI (`fig_args`): `--quick` shrinks the sweep
+//! for CI smoke runs, `--engine`/`--shards` select the execution engine.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
+use nicbar_bench::{fig_args, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
 
 fn main() {
-    let ns: Vec<usize> = (2..=16).collect();
-    let cfg = figure_cfg();
+    let args = fig_args();
+    let (quick, cfg) = (args.quick, args.cfg);
+    // Keep a non-power-of-two point under --quick: that is where DS and PE
+    // diverge and GB's tree shape matters.
+    let ns: Vec<usize> = if quick {
+        vec![2, 5, 8, 16]
+    } else {
+        (2..=16).collect()
+    };
 
     let algos = [
         ("DS", Algorithm::Dissemination),
@@ -43,12 +53,16 @@ fn main() {
     .with_manifest(Manifest::new(
         cfg.seed,
         format!(
-            "gm lanai-xp, n=2..=16, warmup={}, iters={}",
-            cfg.warmup, cfg.iters
+            "gm lanai-xp, n=2..=16, warmup={}, iters={}, quick={}",
+            cfg.warmup, cfg.iters, quick
         ),
     ));
     fig.print();
-    fig.save().expect("write results/algo_compare_gm.json");
+    // Quick (CI) sweeps must not downgrade the tracked full-fidelity
+    // artifacts.
+    if !quick {
+        fig.save().expect("write results/algo_compare_gm.json");
+    }
 
     let elan_series: Vec<Series> = algos
         .iter()
@@ -69,12 +83,14 @@ fn main() {
     .with_manifest(Manifest::new(
         cfg.seed,
         format!(
-            "elan3, n=2..=16, warmup={}, iters={}",
-            cfg.warmup, cfg.iters
+            "elan3, n=2..=16, warmup={}, iters={}, quick={}",
+            cfg.warmup, cfg.iters, quick
         ),
     ));
     fig.print();
-    fig.save().expect("write results/algo_compare_elan.json");
+    if !quick {
+        fig.save().expect("write results/algo_compare_elan.json");
+    }
 
     println!("\nGather-broadcast pays ~2× the rounds (up the tree and back down);");
     println!("DS and PE coincide at powers of two, with PE's pre/post penalty at");

@@ -4,14 +4,22 @@
 //! Paper anchors: 14.20 µs NIC-based at 8 nodes; 2.64× improvement —
 //! smaller than the 9.1 cluster's factor because the faster host CPU and
 //! PCI-X bus leave less overhead for the NIC to remove.
+//!
+//! Shares the figure-binary CLI (`fig_args`): `--quick` shrinks the sweep
+//! for CI smoke runs, `--engine`/`--shards` select the execution engine.
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
+use nicbar_bench::{fig_args, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{gm_host_barrier, gm_nic_barrier, Algorithm};
 use nicbar_gm::{CollFeatures, GmParams};
 
 fn main() {
-    let ns: Vec<usize> = (2..=8).collect();
-    let cfg = figure_cfg();
+    let args = fig_args();
+    let (quick, cfg) = (args.quick, args.cfg);
+    let ns: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        (2..=8).collect()
+    };
 
     let curve = |mode: &'static str, algo: Algorithm| -> Vec<(usize, f64)> {
         parallel_sweep(&ns, |n| {
@@ -36,12 +44,16 @@ fn main() {
     .with_manifest(Manifest::new(
         cfg.seed,
         format!(
-            "gm lanai-xp, n=2..=8, warmup={}, iters={}",
-            cfg.warmup, cfg.iters
+            "gm lanai-xp, n=2..=8, warmup={}, iters={}, quick={}",
+            cfg.warmup, cfg.iters, quick
         ),
     ));
     fig.print();
-    fig.save().expect("write results/fig6.json");
+    // Quick (CI) sweeps must not downgrade the tracked full-fidelity
+    // artifact.
+    if !quick {
+        fig.save().expect("write results/fig6.json");
+    }
 
     let nic8 = fig.series[0].at(8).unwrap();
     let host8 = fig.series[2].at(8).unwrap();

@@ -4,20 +4,30 @@
 //! least-squares refit of the model against the simulated sweep.
 //!
 //! Paper anchors: 22.13 µs (Quadrics) and 38.94 µs (Myrinet) at 1024.
+//!
+//! Shares the figure-binary CLI (`fig_args`): `--quick` sub-samples the
+//! sweep for CI smoke runs, `--engine`/`--shards` select the execution
+//! engine (the large points are where the sharded engine pays off).
 
-use nicbar_bench::{figure_cfg, parallel_sweep, Figure, Manifest, Series};
+use nicbar_bench::{fig_args, parallel_sweep, Figure, Manifest, Series};
 use nicbar_core::{elan_nic_barrier, gm_nic_barrier, Algorithm, RunCfg};
 use nicbar_elan::ElanParams;
 use nicbar_gm::{CollFeatures, GmParams};
 use nicbar_model::{fit, BarrierModel};
 
 fn main() {
-    let ns: Vec<usize> = vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let args = fig_args();
+    let (quick, base) = (args.quick, args.cfg);
+    let ns: Vec<usize> = if quick {
+        vec![2, 4, 16, 64, 256, 1024]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    };
     // Large clusters are expensive per epoch; scale iterations down with n
-    // (the simulated steady state is reached within a few epochs).
+    // (the simulated steady state is reached within a few epochs). The
+    // quick config is already below the large-n budget.
     let cfg_for = |n: usize| -> RunCfg {
-        let base = figure_cfg();
-        if n <= 64 {
+        if n <= 64 || quick {
             base
         } else {
             RunCfg {
@@ -60,11 +70,17 @@ fn main() {
         ],
     )
     .with_manifest(Manifest::new(
-        figure_cfg().seed,
-        "elan3 + gm lanai-xp dissemination, n=2..=1024, iters scaled down past 64 nodes",
+        base.seed,
+        format!(
+            "elan3 + gm lanai-xp dissemination, n=2..=1024, iters scaled down past 64 nodes, quick={quick}"
+        ),
     ));
     fig.print();
-    fig.save().expect("write results/fig8.json");
+    // Quick (CI) sweeps must not downgrade the tracked full-fidelity
+    // artifact.
+    if !quick {
+        fig.save().expect("write results/fig8.json");
+    }
 
     println!(
         "\nrefit Quadrics: T = {:.2} + (ceil(log2 N)-1) * {:.2}   (RMSE {:.2} µs, R² {:.4})",

@@ -13,6 +13,9 @@
 //!   --seed S           master seed (default 42)
 //!   --iters N          recorded barriers (default 4)
 //!   --jsonl PATH       also dump every packet record as JSONL to PATH
+//!                      (the first line is a dump-level header carrying
+//!                      the dropped-record count, so consumers can detect
+//!                      truncated dumps)
 //!   --engine E         sequential | parallel | auto (default auto)
 //!   --shards K         parallel worker shards (default 1)
 //!   --check            gate mode: exit nonzero unless every barrier has a
@@ -55,9 +58,18 @@ fn replay(path: &str) -> i32 {
         }
     };
     let mut records = Vec::new();
+    let mut header: Option<(u64, u64)> = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
+        }
+        // Our own exports lead with a dump-level header line; traces from
+        // `nicbar-verify --trace-out` are headerless.
+        if lineno == 0 {
+            if let Some(h) = netdump::parse_header(line) {
+                header = Some(h);
+                continue;
+            }
         }
         match netdump::parse_line(line) {
             Some(r) => records.push(r),
@@ -71,6 +83,21 @@ fn replay(path: &str) -> i32 {
         "== why-slow --replay: {} records from {path} ==",
         records.len()
     );
+    if let Some((expected, dropped)) = header {
+        if dropped > 0 {
+            eprintln!(
+                "warning: this dump is TRUNCATED — the capture dropped {dropped} records; \
+                 critical paths may hit holes"
+            );
+        }
+        if expected != records.len() as u64 {
+            eprintln!(
+                "error: header promises {expected} records but the file has {}",
+                records.len()
+            );
+            return 1;
+        }
+    }
     if records.is_empty() {
         eprintln!("error: trace is empty");
         return 1;
@@ -213,9 +240,13 @@ fn main() {
     print!("{}", critpath::render(&paths));
 
     if let Some(path) = jsonl_path {
-        let text = netdump::jsonl(&cap.packets);
+        let text = netdump::jsonl_with_header(&cap.packets, cap.packets_dropped);
         match std::fs::write(&path, text) {
-            Ok(()) => println!("wrote {} packet records to {path}", cap.packets.len()),
+            Ok(()) => println!(
+                "wrote {} packet records to {path} (header: {} dropped)",
+                cap.packets.len(),
+                cap.packets_dropped
+            ),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");
                 std::process::exit(1);

@@ -353,6 +353,8 @@ mod tests {
             hists: Vec::new(),
             packets: Vec::new(),
             packets_dropped: 0,
+            ledger: Vec::new(),
+            ledger_dropped: 0,
         };
         let json = chrome_trace(std::slice::from_ref(&cap));
         assert!(json.contains("\"0:trace_dropped\": 6"), "got:\n{json}");

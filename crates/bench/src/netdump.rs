@@ -61,6 +61,56 @@ pub fn jsonl(records: &[PacketRecord]) -> String {
     out
 }
 
+/// Render the dump-level header line of a JSONL export: the record count
+/// and — crucially — how many records the capture *dropped*, so a
+/// downstream consumer can tell a complete dump from a truncated one
+/// without trusting the producer's stdout.
+pub fn header_line(records: usize, dropped: u64) -> String {
+    let mut w = Writer::new();
+    w.open_object();
+    w.field("netdump");
+    w.uint(1);
+    w.field("records");
+    w.uint(records as u64);
+    w.field("dropped");
+    w.uint(dropped);
+    w.close_object();
+    w.finish().replace(['\n'], "").replace("  ", " ")
+}
+
+/// Parse a [`header_line`] back into `(records, dropped)`. Returns `None`
+/// for anything else — including packet-record lines, so a reader can
+/// probe the first line and fall back to headerless ingestion (traces from
+/// `nicbar-verify --trace-out` carry no header).
+pub fn parse_header(line: &str) -> Option<(u64, u64)> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let (mut tagged, mut records, mut dropped) = (false, None, None);
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let n: u64 = value.trim().parse().ok()?;
+        match key {
+            "netdump" => tagged = n == 1,
+            "records" => records = Some(n),
+            "dropped" => dropped = Some(n),
+            _ => return None,
+        }
+    }
+    if !tagged {
+        return None;
+    }
+    Some((records?, dropped?))
+}
+
+/// [`jsonl`] preceded by the [`header_line`] — the shape `why-slow --jsonl`
+/// writes.
+pub fn jsonl_with_header(records: &[PacketRecord], dropped: u64) -> String {
+    let mut out = header_line(records.len(), dropped);
+    out.push('\n');
+    out.push_str(&jsonl(records));
+    out
+}
+
 /// Parse one [`record_line`]-shaped JSONL line back into a [`PacketRecord`]
 /// (the inverse used by `why-slow --replay`). Omitted optional fields come
 /// back as their sentinels. Returns `None` on anything malformed — the
@@ -197,6 +247,33 @@ mod tests {
             let parsed = parse_line(&record_line(r)).unwrap();
             assert_eq!(&parsed, r, "round-trip must be exact");
         }
+    }
+
+    #[test]
+    fn header_round_trips_and_is_not_a_record() {
+        let h = header_line(12, 3);
+        assert_eq!(parse_header(&h), Some((12, 3)));
+        assert!(parse_line(&h).is_none(), "header is not a packet record");
+        // A packet-record line is not a header.
+        assert!(parse_header("{\"id\": 1, \"kind\": \"fire\"}").is_none());
+        assert!(parse_header("{\"records\": 2, \"dropped\": 0}").is_none());
+        assert!(parse_header("").is_none());
+    }
+
+    #[test]
+    fn jsonl_with_header_leads_with_the_drop_count() {
+        let mut d = NetDump::disabled();
+        d.enable();
+        d.record(
+            SimTime::from_ns(5),
+            ComponentId(0),
+            PacketLog::new(CauseId::NONE, CausalKind::HostEnter),
+        );
+        let text = jsonl_with_header(d.records(), 7);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(parse_header(header), Some((1, 7)));
+        assert_eq!(lines.count(), 1);
     }
 
     #[test]

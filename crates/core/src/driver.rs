@@ -12,8 +12,8 @@ use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram}
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::{NodeId, Permutation};
 use nicbar_sim::{
-    EngineSel, ExecEngine, Histogram, PacketRecord, RunOutcome, SchedulerKind, SimRng, SimTime,
-    SpanSummary, TraceRecord,
+    EngineSel, ExecEngine, Histogram, LedgerRecord, PacketRecord, RunOutcome, SchedulerKind,
+    SimRng, SimTime, SpanSummary, TraceRecord,
 };
 
 /// The collective group id used by the barrier benchmarks.
@@ -210,18 +210,27 @@ pub struct FlightData {
     pub packets: Vec<PacketRecord>,
     /// Packet records the netdump discarded once full (0 = complete DAG).
     pub packets_dropped: u64,
+    /// Resource-occupancy ledger records (empty unless the run enabled the
+    /// ledger — the `contend` scenario does). Feed to the interference
+    /// attribution in `nicbar_bench`'s critical-path analyzer.
+    pub ledger: Vec<LedgerRecord>,
+    /// Ledger records lost to the capacity bound (0 = complete ledger).
+    pub ledger_dropped: u64,
 }
 
 impl FlightData {
     /// True when any part of the capture lost data.
     pub fn lossy(&self) -> bool {
-        self.trace_dropped > 0 || self.spans_dropped > 0 || self.packets_dropped > 0
+        self.trace_dropped > 0
+            || self.spans_dropped > 0
+            || self.packets_dropped > 0
+            || self.ledger_dropped > 0
     }
 }
 
 /// Snapshot the trace ring and flight recorder off any engine into a
 /// [`FlightData`] whose `stats` field the caller fills in afterwards.
-fn capture_observability<M: Send + 'static>(
+pub(crate) fn capture_observability<M: Send + 'static>(
     substrate: &'static str,
     engine: &ExecEngine<M>,
     stats: BarrierStats,
@@ -229,6 +238,7 @@ fn capture_observability<M: Send + 'static>(
     let trace = engine.trace();
     let rec = engine.recorder();
     let dump = engine.netdump();
+    let ledger = engine.ledger();
     FlightData {
         substrate,
         engine: engine.kind(),
@@ -247,6 +257,8 @@ fn capture_observability<M: Send + 'static>(
             .collect(),
         packets: dump.records().to_vec(),
         packets_dropped: dump.dropped(),
+        ledger: ledger.records().to_vec(),
+        ledger_dropped: ledger.dropped(),
     }
 }
 

@@ -32,6 +32,13 @@ use nicbar_net::NodeId;
 /// Completion cookie delivered for chained-RDMA barrier completions.
 pub const CHAIN_DONE_COOKIE: u64 = 0xBA44;
 
+/// Completion cookie for group index `gi` of a multi-group program (group
+/// 0 keeps the classic [`CHAIN_DONE_COOKIE`], so single-group callers are
+/// unaffected).
+pub fn chain_done_cookie(gi: u64) -> u64 {
+    (gi << 32) | CHAIN_DONE_COOKIE
+}
+
 /// The entry event every rank's host sets to enter a barrier. The builder
 /// always places the first gate (or the done event, for trivial schedules)
 /// at index 0.
@@ -139,12 +146,117 @@ pub fn build_chains(algo: Algorithm, members: &[NodeId]) -> Vec<NicProgram> {
             }],
         ));
 
-        programs.push(NicProgram { descs, events });
+        programs.push(NicProgram {
+            descs,
+            events,
+            ..Default::default()
+        });
     }
     programs
 }
 
+/// One group's chain request for a multi-group NIC program.
+#[derive(Clone, Debug)]
+pub struct GroupChain {
+    /// Owner group id (keys spans, netdump records, and the ledger).
+    pub group: u64,
+    /// Barrier algorithm lowered onto the chain.
+    pub algo: Algorithm,
+    /// Member nodes in rank order.
+    pub members: Vec<NodeId>,
+}
+
+/// A compiled multi-group program set.
+pub struct MultiChains {
+    /// Per-node NIC programs, tables of all groups merged with per-group
+    /// offsets and owner-group annotations filled in.
+    pub programs: Vec<NicProgram>,
+    /// `entry[node]` maps group id → the event the host sets to enter that
+    /// group's barrier (absent when the node is not a member).
+    pub entry: Vec<std::collections::BTreeMap<u64, EventId>>,
+}
+
+/// Compile chained-RDMA programs for several overlapping barrier groups
+/// sharing the same `n`-node cluster. Each group is lowered independently
+/// by [`build_chains`] and the per-node tables are concatenated; remote
+/// event ids are remapped with the *destination* node's offset for that
+/// group, local ids with the sender's own. Group `gi` completes with
+/// [`chain_done_cookie`]`(gi)` and the owner-group side tables let the NIC
+/// bill engine/event occupancy to the right group.
+pub fn build_chains_multi(n: usize, groups: &[GroupChain]) -> MultiChains {
+    assert!(!groups.is_empty(), "no groups");
+    let per_group: Vec<Vec<NicProgram>> = groups
+        .iter()
+        .map(|g| {
+            for m in &g.members {
+                assert!(m.0 < n, "member {m:?} outside cluster of {n}");
+            }
+            build_chains(g.algo, &g.members)
+        })
+        .collect();
+
+    // Per-(node, group) table offsets and ranks.
+    let mut ev_off = vec![vec![0u32; groups.len()]; n];
+    let mut desc_off = vec![vec![0u32; groups.len()]; n];
+    let mut rank_in: Vec<Vec<Option<usize>>> = vec![vec![None; groups.len()]; n];
+    for node in 0..n {
+        let (mut e, mut d) = (0u32, 0u32);
+        for (gi, g) in groups.iter().enumerate() {
+            if let Some(rank) = g.members.iter().position(|&m| m.0 == node) {
+                rank_in[node][gi] = Some(rank);
+                ev_off[node][gi] = e;
+                desc_off[node][gi] = d;
+                e += event_idx(per_group[gi][rank].events.len());
+                d += event_idx(per_group[gi][rank].descs.len());
+            }
+        }
+    }
+
+    let mut programs = Vec::with_capacity(n);
+    let mut entry = vec![std::collections::BTreeMap::new(); n];
+    for node in 0..n {
+        let mut prog = NicProgram::default();
+        for (gi, g) in groups.iter().enumerate() {
+            let Some(rank) = rank_in[node][gi] else {
+                continue;
+            };
+            let src = &per_group[gi][rank];
+            let eoff = ev_off[node][gi];
+            let doff = desc_off[node][gi];
+            entry[node].insert(g.group, EventId(ENTRY_EVENT.0 + eoff));
+            for d in &src.descs {
+                prog.descs.push(RdmaDesc {
+                    dst: d.dst,
+                    bytes: d.bytes,
+                    remote_event: d.remote_event.map(|ev| EventId(ev.0 + ev_off[d.dst.0][gi])),
+                    local_event: d.local_event.map(|ev| EventId(ev.0 + eoff)),
+                });
+                prog.desc_groups.push(g.group);
+            }
+            for ev in &src.events {
+                let actions = ev
+                    .actions
+                    .iter()
+                    .map(|a| match *a {
+                        EventAction::FireDesc(d) => EventAction::FireDesc(DescId(d.0 + doff)),
+                        EventAction::NotifyHost { .. } => EventAction::NotifyHost {
+                            cookie: chain_done_cookie(gi as u64),
+                        },
+                    })
+                    .collect();
+                prog.events.push(NicEvent::new(ev.threshold, actions));
+                prog.event_groups.push(g.group);
+            }
+            prog.cookie_groups
+                .push((chain_done_cookie(gi as u64), g.group));
+        }
+        programs.push(prog);
+    }
+    MultiChains { programs, entry }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code
 mod tests {
     use super::*;
 
@@ -203,6 +315,91 @@ mod tests {
         assert_eq!(programs[0].descs.len(), 0);
         assert_eq!(programs[0].events.len(), 1);
         assert_eq!(programs[0].events[0].threshold, 1);
+    }
+
+    #[test]
+    fn multi_single_group_matches_build_chains() {
+        let members = nodes(8);
+        let single = build_chains(Algorithm::Dissemination, &members);
+        let multi = build_chains_multi(
+            8,
+            &[GroupChain {
+                group: 0xA0,
+                algo: Algorithm::Dissemination,
+                members,
+            }],
+        );
+        for (node, (s, m)) in single.iter().zip(&multi.programs).enumerate() {
+            assert_eq!(s.descs, m.descs, "node {node}");
+            // Group 0 keeps the classic cookie, so the event tables match
+            // verbatim too.
+            assert_eq!(s.events, m.events, "node {node}");
+            assert_eq!(m.desc_groups, vec![0xA0; m.descs.len()]);
+            assert_eq!(m.event_groups, vec![0xA0; m.events.len()]);
+            assert_eq!(m.cookie_groups, vec![(CHAIN_DONE_COOKIE, 0xA0)]);
+            assert_eq!(multi.entry[node][&0xA0], ENTRY_EVENT);
+        }
+    }
+
+    #[test]
+    fn overlapping_groups_offset_and_remap() {
+        // Two 4-rank groups sharing nodes 2..4: members of both get both
+        // tables, with group 1's event/descriptor ids shifted past group
+        // 0's and remote events remapped with the destination's offsets.
+        let g0 = nodes(4); // 0,1,2,3
+        let g1: Vec<NodeId> = (2..6).map(NodeId).collect(); // 2,3,4,5
+        let multi = build_chains_multi(
+            6,
+            &[
+                GroupChain {
+                    group: 0xA0,
+                    algo: Algorithm::Dissemination,
+                    members: g0.clone(),
+                },
+                GroupChain {
+                    group: 0xA1,
+                    algo: Algorithm::Dissemination,
+                    members: g1.clone(),
+                },
+            ],
+        );
+        let solo = build_chains(Algorithm::Dissemination, &g0);
+        // Node 2 is in both: 2 descs + 3 events per group.
+        let p2 = &multi.programs[2];
+        assert_eq!(p2.descs.len(), 4);
+        assert_eq!(p2.events.len(), 6);
+        assert_eq!(p2.desc_groups, vec![0xA0, 0xA0, 0xA1, 0xA1]);
+        assert_eq!(multi.entry[2][&0xA0], EventId(0));
+        assert_eq!(multi.entry[2][&0xA1], EventId(3));
+        // Node 5 is only in group 1: its entry is at offset 0.
+        assert_eq!(multi.entry[5][&0xA1], EventId(0));
+        assert_eq!(multi.programs[5].events.len(), 3);
+        // Remote events from node 0 (group-0 only) into dual-membership
+        // nodes keep group 0's zero offset there.
+        for (d, orig) in p2.descs[..2].iter().zip(&solo[2].descs) {
+            assert_eq!(d.dst, orig.dst);
+            if orig.dst.0 < 2 {
+                assert_eq!(d.remote_event, orig.remote_event);
+            }
+        }
+        // Group-1 descs at a dual node target events past the dst's group-0
+        // table when the dst is dual too.
+        for (i, d) in p2.descs[2..].iter().enumerate() {
+            let orig = &build_chains(Algorithm::Dissemination, &g1)[0].descs[i];
+            let expect_off = if d.dst.0 < 4 { 3 } else { 0 };
+            assert_eq!(
+                d.remote_event.unwrap().0,
+                orig.remote_event.unwrap().0 + expect_off,
+                "desc {i} to {:?}",
+                d.dst
+            );
+        }
+        // Distinct done cookies, both registered.
+        assert_eq!(
+            p2.cookie_groups,
+            vec![(chain_done_cookie(0), 0xA0), (chain_done_cookie(1), 0xA1)]
+        );
+        assert_ne!(chain_done_cookie(0), chain_done_cookie(1));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod contend;
 pub mod driver;
 pub mod elan_apps;
 pub mod elan_chain;
@@ -33,6 +34,7 @@ pub mod protocol;
 pub mod schedule;
 pub mod traffic;
 
+pub use contend::{elan_contend_flight, gm_contend_flight, CONTEND_GROUP_BASE};
 pub use driver::{
     build_elan_nic_cluster, build_gm_nic_cluster, elan_gsync_barrier, elan_hw_barrier,
     elan_nic_barrier, elan_nic_barrier_flight, elan_nic_stats, elan_thread_allreduce,
@@ -41,4 +43,7 @@ pub use driver::{
 };
 pub use protocol::{GroupOp, GroupSpec, PaperCollective, ReduceOp};
 pub use schedule::{ceil_log2, floor_log2, schedules_for, Algorithm, RoundPlan, Schedule};
-pub use traffic::{gm_host_barrier_under_traffic, gm_nic_barrier_under_traffic, TrafficCfg};
+pub use traffic::{
+    gm_host_barrier_under_traffic, gm_nic_barrier_under_traffic,
+    gm_nic_barrier_under_traffic_flight, TrafficCfg,
+};

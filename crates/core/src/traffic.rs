@@ -25,8 +25,10 @@ use nicbar_net::NodeId;
 use nicbar_sim::{RunOutcome, SimTime};
 
 /// Tag marking bulk-traffic messages (distinct from barrier tags, whose
-/// round field never reaches 0xFF).
-pub const BULK_TAG: MsgTag = MsgTag(0xFFFF_FFFF);
+/// round field never reaches 0xFF). Lives in `nicbar-gm` so the NIC can
+/// classify bulk streams as occupancy-ledger owners; re-exported here for
+/// the existing benchmark API.
+pub use nicbar_gm::BULK_TAG;
 
 /// Background-traffic configuration.
 #[derive(Clone, Copy, Debug)]
@@ -200,11 +202,27 @@ pub fn gm_nic_barrier_under_traffic(
     cfg: RunCfg,
     traffic: TrafficCfg,
 ) -> BarrierStats {
+    let mut cluster = nic_traffic_cluster(params, features, n, algo, &cfg, traffic);
+    finish(&mut cluster, n, cfg)
+}
+
+/// Build the NIC-barrier-under-traffic cluster without running it.
+fn nic_traffic_cluster(
+    params: GmParams,
+    features: CollFeatures,
+    n: usize,
+    algo: Algorithm,
+    cfg: &RunCfg,
+    traffic: TrafficCfg,
+) -> GmCluster {
     let timeout = params.coll_timeout;
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
         .with_drop_prob(cfg.drop_prob)
-        .with_features(features);
+        .with_features(features)
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let members: Vec<NodeId> = (0..n).map(NodeId).collect();
     let mut apps: Vec<Box<dyn GmApp>> = Vec::new();
     let mut colls: Vec<Box<dyn NicCollective>> = Vec::new();
@@ -226,8 +244,31 @@ pub fn gm_nic_barrier_under_traffic(
             )],
         )));
     }
-    let mut cluster = GmCluster::build(spec, apps, colls);
-    finish(&mut cluster, n, cfg)
+    GmCluster::build(spec, apps, colls)
+}
+
+/// [`gm_nic_barrier_under_traffic`] with full observability (trace, spans,
+/// netdump, occupancy ledger) — the flight-recorded capture the parity and
+/// interference tests compare byte for byte across engines.
+pub fn gm_nic_barrier_under_traffic_flight(
+    params: GmParams,
+    features: CollFeatures,
+    n: usize,
+    algo: Algorithm,
+    cfg: RunCfg,
+    traffic: TrafficCfg,
+) -> crate::driver::FlightData {
+    let mut cluster = nic_traffic_cluster(params, features, n, algo, &cfg, traffic);
+    cluster.engine.enable_trace();
+    cluster.engine.enable_recorder();
+    cluster.engine.enable_netdump();
+    cluster.engine.enable_ledger();
+    cluster
+        .engine
+        .recorder_mut()
+        .set_participants(u32::try_from(n).expect("participant count exceeds u32"));
+    let stats = finish(&mut cluster, n, cfg);
+    crate::driver::capture_observability("gm", &cluster.engine, stats)
 }
 
 /// Run the host-based barrier under bulk traffic.
@@ -240,7 +281,10 @@ pub fn gm_host_barrier_under_traffic(
 ) -> BarrierStats {
     let spec = GmClusterSpec::new(params, n)
         .with_seed(cfg.seed)
-        .with_drop_prob(cfg.drop_prob);
+        .with_drop_prob(cfg.drop_prob)
+        .with_scheduler(cfg.scheduler)
+        .with_engine(cfg.engine)
+        .with_shards(cfg.shards);
     let apps: Vec<Box<dyn GmApp>> = (0..n)
         .map(|rank| {
             Box::new(BarrierUnderTrafficApp::host(

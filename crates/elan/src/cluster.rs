@@ -90,6 +90,14 @@ pub struct NicProgram {
     pub descs: Vec<RdmaDesc>,
     /// NIC events.
     pub events: Vec<NicEvent>,
+    /// Occupancy-ledger owner group per descriptor (parallel to `descs`;
+    /// empty = default single-group attribution).
+    pub desc_groups: Vec<u64>,
+    /// Owner group per event (parallel to `events`; empty = default).
+    pub event_groups: Vec<u64>,
+    /// Completion-cookie → group registrations applied to this node's host
+    /// (multi-group chains deliver distinct cookies per group).
+    pub cookie_groups: Vec<(u64, u64)>,
 }
 
 /// A built Elan cluster.
@@ -144,23 +152,26 @@ impl ElanCluster {
         for i in (0..spec.n).rev() {
             let app = apps.pop().expect("length checked");
             let prog = programs.pop().expect("length checked");
-            engine.install(
-                nic_ids[i],
-                ElanNic::new(
-                    NodeId(i),
-                    spec.params.clone(),
-                    WireRx::new(Arc::clone(&model)),
-                    nic_ids[0],
-                    host_ids[i],
-                    hw_id,
-                    prog.descs,
-                    prog.events,
-                ),
-            );
-            engine.install(
+            let mut nic = ElanNic::new(
+                NodeId(i),
+                spec.params.clone(),
+                WireRx::new(Arc::clone(&model)),
+                nic_ids[0],
                 host_ids[i],
-                ElanHost::new(NodeId(i), spec.n, nic_ids[i], spec.params.clone(), app),
+                hw_id,
+                prog.descs,
+                prog.events,
             );
+            if !prog.desc_groups.is_empty() || !prog.event_groups.is_empty() {
+                nic.set_owner_groups(prog.desc_groups, prog.event_groups);
+            }
+            engine.install(nic_ids[i], nic);
+            let mut elan_host =
+                ElanHost::new(NodeId(i), spec.n, nic_ids[i], spec.params.clone(), app);
+            for (cookie, group) in prog.cookie_groups {
+                elan_host.register_cookie_group(cookie, group);
+            }
+            engine.install(host_ids[i], elan_host);
         }
         for &h in &host_ids {
             engine.schedule_at(SimTime::ZERO, h, ElanEvent::AppStart);

@@ -10,10 +10,13 @@ use nicbar_sim::engine::AsAny;
 use nicbar_sim::{
     CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimRng, SimTime, SpanEvent,
 };
+use std::collections::BTreeMap;
 
-/// Pseudo group id used for `op.begin`/`op.end` span events: Elan
+/// Default group id used for `op.begin`/`op.end` span events: classic Elan
 /// collectives have no group abstraction (one chain per cluster), so every
-/// host reports the same constant and spans are keyed by entry sequence.
+/// host reports this constant and spans are keyed by entry sequence.
+/// Multi-group chain programs register their own ids per completion cookie
+/// (see [`ElanHost::register_cookie_group`]).
 pub const ELAN_SPAN_GROUP: u64 = 0xE1;
 
 /// Actions an Elan application can request during a callback.
@@ -23,6 +26,7 @@ enum HostAction {
     },
     SetEvent {
         event: EventId,
+        group: u64,
     },
     ThreadDoorbell {
         value: u64,
@@ -73,7 +77,14 @@ impl<'a> ElanApi<'a> {
     /// Set a NIC event word from user space (the entry trigger of a
     /// chained-descriptor barrier).
     pub fn set_nic_event(&mut self, event: EventId) {
-        self.actions.push(HostAction::SetEvent { event });
+        self.set_nic_event_for_group(event, ELAN_SPAN_GROUP);
+    }
+
+    /// Set a NIC event on behalf of a specific collective group: the entry
+    /// trigger of one group's chain in a multi-group program. Spans and
+    /// the occupancy ledger key the operation on `group`.
+    pub fn set_nic_event_for_group(&mut self, event: EventId, group: u64) {
+        self.actions.push(HostAction::SetEvent { event, group });
     }
 
     /// Post a doorbell to the NIC's thread processor with an operand (the
@@ -124,10 +135,14 @@ pub struct ElanHost {
     app: Box<dyn ElanApp>,
     cpu_free: SimTime,
     hw_epoch: u64,
-    /// Collective entries this host has made (span sequence numbers).
-    coll_begun: u64,
-    /// Collective completions this host has observed.
-    coll_done: u64,
+    /// Collective entries per group (span sequence numbers; multi-group
+    /// chains advance each group's sequence independently).
+    coll_begun: BTreeMap<u64, u64>,
+    /// Collective completions observed, per group.
+    coll_done: BTreeMap<u64, u64>,
+    /// Completion-cookie → group registrations for multi-group chains.
+    /// Unregistered cookies fall back to [`ELAN_SPAN_GROUP`].
+    cookie_group: BTreeMap<u64, u64>,
     /// Reusable buffer for the actions requested during one callback —
     /// lent to [`ElanApi`] via `mem::take` and reclaimed after the drain so
     /// steady-state dispatches do not allocate.
@@ -151,10 +166,17 @@ impl ElanHost {
             app,
             cpu_free: SimTime::ZERO,
             hw_epoch: 0,
-            coll_begun: 0,
-            coll_done: 0,
+            coll_begun: BTreeMap::new(),
+            coll_done: BTreeMap::new(),
+            cookie_group: BTreeMap::new(),
             action_scratch: Vec::new(),
         }
+    }
+
+    /// Register which group a chain completion cookie belongs to, so span
+    /// and netdump records key `op.end` on the right `(group, seq)`.
+    pub fn register_cookie_group(&mut self, cookie: u64, group: u64) {
+        self.cookie_group.insert(cookie, group);
     }
 
     /// Downcast the application (post-run inspection).
@@ -177,17 +199,15 @@ impl ElanHost {
     /// thread collective, or hardware barrier — all lock-step, so every
     /// host's per-entry sequence numbers agree). Returns the `host-enter`
     /// netdump record, the chain root of this rank's contribution.
-    fn span_op_begin(&mut self, ctx: &mut Ctx<'_, ElanEvent>) -> CauseId {
-        ctx.span(SpanEvent::OpBegin {
-            group: ELAN_SPAN_GROUP,
-            seq: self.coll_begun,
-        });
+    fn span_op_begin(&mut self, ctx: &mut Ctx<'_, ElanEvent>, group: u64) -> CauseId {
+        let seq = *self.coll_begun.get(&group).unwrap_or(&0);
+        ctx.span(SpanEvent::OpBegin { group, seq });
         let cause = ctx.packet(
             PacketLog::new(CauseId::NONE, CausalKind::HostEnter)
                 .at_node(self.node.0 as u32)
-                .key(ELAN_SPAN_GROUP, self.coll_begun),
+                .key(group, seq),
         );
-        self.coll_begun += 1;
+        self.coll_begun.insert(group, seq + 1);
         cause
     }
 
@@ -218,16 +238,16 @@ impl ElanHost {
                     );
                     ctx.send_at(t, self.nic, ElanEvent::Doorbell { desc, cause });
                 }
-                HostAction::SetEvent { event } => {
+                HostAction::SetEvent { event, group } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.set_event"), 1);
-                    let cause = self.span_op_begin(ctx);
+                    let cause = self.span_op_begin(ctx, group);
                     ctx.send_at(t, self.nic, ElanEvent::SetEvent { event, cause });
                 }
                 HostAction::ThreadDoorbell { value } => {
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.thread_doorbell"), 1);
-                    let cause = self.span_op_begin(ctx);
+                    let cause = self.span_op_begin(ctx, ELAN_SPAN_GROUP);
                     ctx.send_at(t, self.nic, ElanEvent::ThreadPost { value, cause });
                 }
                 HostAction::Tport { dst, tag, len } => {
@@ -256,7 +276,7 @@ impl ElanHost {
                     self.hw_epoch += 1;
                     let t = self.cpu(ctx.now(), self.params.host_doorbell);
                     ctx.count_id(counter_id!("elan.hw_sync"), 1);
-                    let cause = self.span_op_begin(ctx);
+                    let cause = self.span_op_begin(ctx, ELAN_SPAN_GROUP);
                     ctx.send_at(t, self.nic, ElanEvent::HwSyncPost { epoch, cause });
                 }
                 HostAction::Timer { delay } => {
@@ -296,18 +316,21 @@ impl Component<ElanEvent> for ElanHost {
             ElanEvent::HostCollDone { cookie, cause } => {
                 // Span: completion observed, before the app callback so a
                 // re-entering app's next op.begin follows its op.end.
-                ctx.span(SpanEvent::OpEnd {
-                    group: ELAN_SPAN_GROUP,
-                    seq: self.coll_done,
-                });
+                let group = self
+                    .cookie_group
+                    .get(&cookie)
+                    .copied()
+                    .unwrap_or(ELAN_SPAN_GROUP);
+                let seq = *self.coll_done.get(&group).unwrap_or(&0);
+                ctx.span(SpanEvent::OpEnd { group, seq });
                 // Netdump: this rank's chain ends here.
                 ctx.packet(
                     PacketLog::new(cause, CausalKind::HostExit)
                         .at_node(self.node.0 as u32)
-                        .key(ELAN_SPAN_GROUP, self.coll_done)
+                        .key(group, seq)
                         .detail(cookie, 0),
                 );
-                self.coll_done += 1;
+                self.coll_done.insert(group, seq + 1);
                 let poll = self.params.host_poll;
                 self.dispatch(ctx, poll, |app, api| app.on_coll_done(api, cookie));
             }

@@ -41,4 +41,4 @@ pub use hwbarrier::HwBarrierUnit;
 pub use nic::{hw_cookie, ElanNic};
 pub use params::ElanParams;
 pub use thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
-pub use types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, TportTag};
+pub use types::{DescId, EventAction, EventId, NicEvent, RdmaDesc, TportTag, BULK_TPORT_TAG};

@@ -7,14 +7,28 @@
 //! delivers tport messages to the host.
 
 use crate::events::{ElanEvent, ElanPayload};
+use crate::host::ELAN_SPAN_GROUP;
 use crate::params::ElanParams;
 use crate::thread::{ElanThread, NoThread, ThreadAction, THREAD_MSG_BYTES};
 use crate::types::{
-    DescId, EventAction, EventId, NicEvent, RdmaDesc, RDMA_WIRE_OVERHEAD, TPORT_WIRE_OVERHEAD,
+    DescId, EventAction, EventId, NicEvent, RdmaDesc, TportTag, BULK_TPORT_TAG, RDMA_WIRE_OVERHEAD,
+    TPORT_WIRE_OVERHEAD,
 };
 use nicbar_net::{NodeId, WireRx};
 use nicbar_sim::counter_id;
-use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
+use nicbar_sim::{
+    CausalKind, CauseId, Component, ComponentId, Ctx, Occ, Owner, PacketLog, ResKind, SimTime,
+    SpanEvent,
+};
+
+/// Occupancy-ledger owner of a tport stream, by its tag.
+fn tport_owner(tag: TportTag, rank: u32) -> Owner {
+    if tag == BULK_TPORT_TAG {
+        Owner::traffic(rank)
+    } else {
+        Owner::p2p(rank)
+    }
+}
 
 /// The Elan3 NIC component.
 pub struct ElanNic {
@@ -37,6 +51,14 @@ pub struct ElanNic {
     descs: Vec<RdmaDesc>,
     /// NIC-resident events.
     events: Vec<NicEvent>,
+    /// Occupancy-ledger owner group per descriptor (parallel to `descs`;
+    /// defaults to [`ELAN_SPAN_GROUP`], the single-group chain).
+    desc_group: Vec<u64>,
+    /// Owner group per event (parallel to `events`).
+    event_group: Vec<u64>,
+    /// Times each descriptor has fired — stands in for the barrier seq in
+    /// ledger owner stamps (chained barriers fire each link once per epoch).
+    desc_fires: Vec<u64>,
     /// The thread processor's handler (the §7 alternative mechanism;
     /// [`NoThread`] unless explicitly installed).
     thread: Box<dyn ElanThread>,
@@ -67,6 +89,9 @@ impl ElanNic {
             0.0,
             "QsNet is hardware-reliable; loss injection is a GM-only concept"
         );
+        let desc_group = vec![ELAN_SPAN_GROUP; descs.len()];
+        let event_group = vec![ELAN_SPAN_GROUP; events.len()];
+        let desc_fires = vec![0; descs.len()];
         ElanNic {
             node,
             params,
@@ -77,8 +102,26 @@ impl ElanNic {
             engine_free: SimTime::ZERO,
             descs,
             events,
+            desc_group,
+            event_group,
+            desc_fires,
             thread: Box::new(NoThread),
         }
+    }
+
+    /// Register which collective group owns each descriptor and event, for
+    /// occupancy-ledger attribution. Multi-group chain builders call this
+    /// after arming the tables; single-group setups keep the default
+    /// ([`ELAN_SPAN_GROUP`] everywhere).
+    pub fn set_owner_groups(&mut self, desc_groups: Vec<u64>, event_groups: Vec<u64>) {
+        assert_eq!(desc_groups.len(), self.descs.len(), "desc group table size");
+        assert_eq!(
+            event_groups.len(),
+            self.events.len(),
+            "event group table size"
+        );
+        self.desc_group = desc_groups;
+        self.event_group = event_groups;
     }
 
     /// Install a thread-processor handler (the §7 alternative the paper
@@ -100,7 +143,9 @@ impl ElanNic {
             match action {
                 ThreadAction::Send { dst, tag, value } => {
                     assert_ne!(dst, self.node, "thread self-send");
-                    let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                    let owner = Owner::coll(ELAN_SPAN_GROUP, 0, self.node.0 as u32);
+                    let now = ctx.now();
+                    let t = self.engine(ctx, now, self.params.nic_desc_proc, owner);
                     ctx.count_id(counter_id!("elan.thread_sent"), 1);
                     // Netdump: thread-processor send, parented on the
                     // doorbell/message that woke the thread.
@@ -144,10 +189,57 @@ impl ElanNic {
         }
     }
 
-    fn engine(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+    /// Claim the serial DMA/event processor for `cost` starting no earlier
+    /// than `now`; returns `(start, done)`.
+    fn engine_claim(&mut self, now: SimTime, cost: SimTime) -> (SimTime, SimTime) {
         let start = now.max(self.engine_free);
         self.engine_free = start + cost;
-        self.engine_free
+        (start, self.engine_free)
+    }
+
+    /// Occupy the DMA/event processor for `cost` on `owner`'s behalf. Every
+    /// charge emits a ledger hold (and a wait when the engine was busy), so
+    /// holds tile each busy period exactly — the invariant the interference
+    /// attribution's coverage gate relies on.
+    fn engine(
+        &mut self,
+        ctx: &mut Ctx<'_, ElanEvent>,
+        now: SimTime,
+        cost: SimTime,
+        owner: Owner,
+    ) -> SimTime {
+        let (start, done) = self.engine_claim(now, cost);
+        let node = self.node.0 as u32;
+        if start > now {
+            ctx.ledger(Occ::wait(ResKind::ElanEngine, now, start, node, owner));
+        }
+        ctx.ledger(Occ::hold(ResKind::ElanEngine, start, done, node, owner));
+        done
+    }
+
+    /// Occupancy-ledger owner of activity gated on event `ev`: the group the
+    /// chain builder registered for it (defaulting to the span group), with
+    /// the event's completed-trip count standing in for the barrier seq.
+    fn event_owner(&self, ev: EventId, rank: u32) -> Owner {
+        let e = &self.events[ev.0 as usize];
+        Owner::coll(
+            self.event_group[ev.0 as usize],
+            e.threshold / e.rearm - 1,
+            rank,
+        )
+    }
+
+    /// Owner of an arriving wire packet, classified at the receiving port.
+    fn payload_owner(&self, payload: &ElanPayload, src: NodeId) -> Owner {
+        let rank = src.0 as u32;
+        match payload {
+            ElanPayload::Thread { .. } => Owner::coll(ELAN_SPAN_GROUP, 0, rank),
+            ElanPayload::Rdma { remote_event } => match remote_event {
+                Some(ev) => self.event_owner(*ev, rank),
+                None => Owner::coll(ELAN_SPAN_GROUP, 0, rank),
+            },
+            ElanPayload::Tport { tag, .. } => tport_owner(*tag, rank),
+        }
     }
 
     /// Commit a packet to the wire at time `t`: routed flight latency from
@@ -199,6 +291,28 @@ impl ElanNic {
             bytes: bytes as u64,
         });
         let admission = self.wire.admit(ctx.now(), bytes);
+        // Ledger: the admitted packet's owner occupies this rx port for
+        // `[arrive, until)`; a queued packet also waited behind earlier
+        // holders.
+        let owner = self.payload_owner(&payload, src);
+        let node = self.node.0 as u32;
+        let routed = ctx.now();
+        if admission.port_wait > SimTime::ZERO {
+            ctx.ledger(
+                Occ::wait(ResKind::LinkPort, routed, admission.arrive, node, owner)
+                    .unit(self.node.0 as u64),
+            );
+        }
+        ctx.ledger(
+            Occ::hold(
+                ResKind::LinkPort,
+                admission.arrive,
+                admission.until,
+                node,
+                owner,
+            )
+            .unit(self.node.0 as u64),
+        );
         // Netdump: wire traversal with the link-occupancy tag (bytes +
         // destination-port queuing wait).
         let wire = ctx.packet(
@@ -219,7 +333,11 @@ impl ElanNic {
 
     /// Launch a descriptor: inject the RDMA and set its local event.
     fn fire_desc(&mut self, ctx: &mut Ctx<'_, ElanEvent>, desc: DescId, cause: CauseId) {
-        let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+        let fires = self.desc_fires[desc.0 as usize];
+        self.desc_fires[desc.0 as usize] = fires + 1;
+        let owner = Owner::coll(self.desc_group[desc.0 as usize], fires, self.node.0 as u32);
+        let now = ctx.now();
+        let t = self.engine(ctx, now, self.params.nic_desc_proc, owner);
         let d = self.descs[desc.0 as usize];
         assert_ne!(d.dst, self.node, "RDMA loopback descriptor");
         ctx.count_id(counter_id!("elan.rdma_sent"), 1);
@@ -248,7 +366,7 @@ impl ElanNic {
         if let Some(le) = d.local_event {
             // The local "issued" event trips as soon as the descriptor is
             // processed; it gates the next chain link on our own progress.
-            self.set_event(ctx, t, le, fire);
+            self.set_event(ctx, t, le, owner, fire);
         }
     }
 
@@ -262,11 +380,20 @@ impl ElanNic {
         ctx: &mut Ctx<'_, ElanEvent>,
         at: SimTime,
         ev: EventId,
+        owner: Owner,
         cause: CauseId,
     ) {
+        let node = self.node.0 as u32;
+        // Ledger: each set banks one count in the event slot; each trip
+        // drains a threshold's worth. `unit` is the event id, so the
+        // analyzer can follow a single slot's fill level.
+        ctx.ledger(Occ::acquire(ResKind::EventSlot, at, node, owner).unit(ev.0 as u64));
         let trips = self.events[ev.0 as usize].set();
         if trips == 0 {
             return;
+        }
+        for _ in 0..trips {
+            ctx.ledger(Occ::release(ResKind::EventSlot, at, node, owner).unit(ev.0 as u64));
         }
         // Indexed iteration with `Copy` actions: an event trip is on every
         // barrier's critical path, so it must not clone the action list.
@@ -326,14 +453,16 @@ impl Component<ElanEvent> for ElanNic {
                 self.fire_desc(ctx, desc, cause);
             }
             ElanEvent::SetEvent { event, cause } => {
-                let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                let owner = self.event_owner(event, self.node.0 as u32);
+                let now = ctx.now();
+                let t = self.engine(ctx, now, self.params.nic_event_proc, owner);
                 // Netdump: the NIC picks up the host's event poke.
                 let dispatch = ctx.packet(
                     PacketLog::new(cause, CausalKind::NicDispatch)
                         .at_node(self.node.0 as u32)
                         .detail(event.0 as u64, 0),
                 );
-                self.set_event(ctx, t, event, dispatch);
+                self.set_event(ctx, t, event, owner, dispatch);
             }
             ElanEvent::TportPost {
                 dst,
@@ -341,7 +470,9 @@ impl Component<ElanEvent> for ElanNic {
                 len,
                 cause,
             } => {
-                let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                let owner = tport_owner(tag, self.node.0 as u32);
+                let now = ctx.now();
+                let t = self.engine(ctx, now, self.params.nic_desc_proc, owner);
                 ctx.count_id(counter_id!("elan.tport_sent"), 1);
                 let fire = ctx.packet(
                     PacketLog::new(cause, CausalKind::Fire)
@@ -361,7 +492,9 @@ impl Component<ElanEvent> for ElanNic {
                 let unit = self
                     .hw_unit
                     .expect("hardware barrier used on a cluster without a hw unit");
-                let t = self.engine(ctx.now(), self.params.nic_desc_proc);
+                let owner = Owner::coll(ELAN_SPAN_GROUP, epoch, self.node.0 as u32);
+                let now = ctx.now();
+                let t = self.engine(ctx, now, self.params.nic_desc_proc, owner);
                 // Netdump: readiness forwarded to the switch-level unit.
                 let fire = ctx.packet(
                     PacketLog::new(cause, CausalKind::Fire)
@@ -379,7 +512,9 @@ impl Component<ElanEvent> for ElanNic {
                 );
             }
             ElanEvent::ThreadPost { value, cause } => {
-                let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                let owner = Owner::coll(ELAN_SPAN_GROUP, 0, self.node.0 as u32);
+                let now = ctx.now();
+                let t = self.engine(ctx, now, self.params.nic_thread_proc, owner);
                 let dispatch = ctx.packet(
                     PacketLog::new(cause, CausalKind::NicDispatch)
                         .at_node(self.node.0 as u32)
@@ -413,23 +548,27 @@ impl Component<ElanEvent> for ElanNic {
                         .nodes(src.0 as u32, self.node.0 as u32)
                         .detail(payload.arrive_info(), 0),
                 );
+                let owner = self.payload_owner(&payload, src);
                 match payload {
                     ElanPayload::Thread { tag, value } => {
                         // Wake the thread processor: heavier than a raw event.
-                        let t = self.engine(ctx.now(), self.params.nic_thread_proc);
+                        let now = ctx.now();
+                        let t = self.engine(ctx, now, self.params.nic_thread_proc, owner);
                         ctx.count_id(counter_id!("elan.thread_recv"), 1);
                         let actions = self.thread.on_msg(t, src, tag, value);
                         self.run_thread_actions(ctx, actions, arrive);
                     }
                     ElanPayload::Rdma { remote_event } => {
-                        let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                        let now = ctx.now();
+                        let t = self.engine(ctx, now, self.params.nic_event_proc, owner);
                         ctx.count_id(counter_id!("elan.rdma_recv"), 1);
                         if let Some(ev) = remote_event {
-                            self.set_event(ctx, t, ev, arrive);
+                            self.set_event(ctx, t, ev, owner, arrive);
                         }
                     }
                     ElanPayload::Tport { tag, len } => {
-                        let t = self.engine(ctx.now(), self.params.nic_tport_recv);
+                        let now = ctx.now();
+                        let t = self.engine(ctx, now, self.params.nic_tport_recv, owner);
                         ctx.count_id(counter_id!("elan.tport_recv"), 1);
                         ctx.send_at(
                             t + self.params.host_event_visible,
@@ -447,7 +586,9 @@ impl Component<ElanEvent> for ElanNic {
             ElanEvent::HwDone { epoch, cause } => {
                 // Hardware barrier completion: surface to the host like a
                 // local event.
-                let t = self.engine(ctx.now(), self.params.nic_event_proc);
+                let owner = Owner::coll(ELAN_SPAN_GROUP, epoch, self.node.0 as u32);
+                let now = ctx.now();
+                let t = self.engine(ctx, now, self.params.nic_event_proc, owner);
                 let notify = ctx.packet(
                     PacketLog::new(cause, CausalKind::Notify)
                         .at_node(self.node.0 as u32)

@@ -107,6 +107,11 @@ pub const TPORT_WIRE_OVERHEAD: u32 = 40;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TportTag(pub u32);
 
+/// Tag marking bulk-traffic tport messages, mirroring the GM substrate's
+/// bulk tag: the NIC classifies these streams as first-class background
+/// owners in the occupancy ledger.
+pub const BULK_TPORT_TAG: TportTag = TportTag(0xFFFF_FFFF);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,7 @@ fn two_node_rdma_chain_ping_pong() {
             1,
             vec![EventAction::NotifyHost { cookie: 42 }],
         )],
+        ..Default::default()
     };
     let prog1 = NicProgram {
         descs: vec![RdmaDesc {
@@ -54,6 +55,7 @@ fn two_node_rdma_chain_ping_pong() {
             local_event: None,
         }],
         events: vec![NicEvent::new(1, vec![EventAction::FireDesc(DescId(0))])],
+        ..Default::default()
     };
     let apps: Vec<Box<dyn ElanApp>> = vec![
         Box::new(ChainDriver {
@@ -102,6 +104,7 @@ fn banked_event_sets_survive_fast_sender() {
             local_event: None,
         }],
         events: vec![],
+        ..Default::default()
     };
     let prog1 = NicProgram {
         descs: vec![],
@@ -109,6 +112,7 @@ fn banked_event_sets_survive_fast_sender() {
             1,
             vec![EventAction::NotifyHost { cookie: 7 }],
         )],
+        ..Default::default()
     };
     let apps: Vec<Box<dyn ElanApp>> = vec![
         Box::new(TripleFire),

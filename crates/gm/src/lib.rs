@@ -40,4 +40,6 @@ pub use events::GmEvent;
 pub use host::{GmApi, GmApp, GmHost};
 pub use nic::LanaiNic;
 pub use params::{CollFeatures, GmParams};
-pub use types::{AllToAllItem, CollKind, CollPacket, GroupId, MsgId, MsgTag, Packet, PacketKind};
+pub use types::{
+    AllToAllItem, CollKind, CollPacket, GroupId, MsgId, MsgTag, Packet, PacketKind, BULK_TAG,
+};

@@ -39,10 +39,15 @@
 use crate::collective::{ActionBuf, CollAction, NicCollective};
 use crate::events::GmEvent;
 use crate::params::{CollFeatures, GmParams};
-use crate::types::{CollKind, Packet, PacketKind, SendRecord, SendToken};
+use crate::types::{
+    CollKind, CollPacket, MsgTag, Packet, PacketKind, SendRecord, SendToken, BULK_TAG,
+};
 use nicbar_net::{NodeId, WireModel, WireRx};
 use nicbar_sim::counter_id;
-use nicbar_sim::{CausalKind, CauseId, Component, ComponentId, Ctx, PacketLog, SimTime, SpanEvent};
+use nicbar_sim::{
+    CausalKind, CauseId, Component, ComponentId, Ctx, Occ, Owner, PacketLog, ResKind, SimTime,
+    SpanEvent,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -103,6 +108,42 @@ impl P2pState {
         } else {
             self.inflight[d].len() < window && free_packets > 0
         }
+    }
+}
+
+/// Occupancy-ledger owner of a point-to-point stream, by its user tag:
+/// the traffic generator's [`BULK_TAG`] marks first-class background
+/// traffic; anything else is an ordinary p2p message.
+fn stream_owner(tag: MsgTag, rank: u32) -> Owner {
+    if tag == BULK_TAG {
+        Owner::traffic(rank)
+    } else {
+        Owner::p2p(rank)
+    }
+}
+
+/// Occupancy-ledger owner of a collective packet. Protocol plumbing
+/// (collective ACKs and NACKs) bills to the fabric bucket: it is
+/// reliability overhead, not the operation's own progress.
+fn coll_owner(cp: &CollPacket) -> Owner {
+    match cp.kind {
+        CollKind::Ack | CollKind::Nack => Owner::fabric(cp.src.0 as u32),
+        CollKind::Barrier
+        | CollKind::Bcast { .. }
+        | CollKind::Reduce { .. }
+        | CollKind::Gather { .. }
+        | CollKind::AllToAll { .. } => Owner::coll(cp.group.0 as u64, cp.epoch, cp.src.0 as u32),
+    }
+}
+
+/// Occupancy-ledger owner of a wire packet, classified at the receiving
+/// port: data by its stream tag, collectives by `(group, epoch)`, ACKs as
+/// fabric overhead.
+fn packet_owner(pkt: &Packet) -> Owner {
+    match &pkt.kind {
+        PacketKind::Data { tag, .. } => stream_owner(*tag, pkt.src.0 as u32),
+        PacketKind::Ack { .. } => Owner::fabric(pkt.src.0 as u32),
+        PacketKind::Coll(cp) => coll_owner(cp),
     }
 }
 
@@ -188,20 +229,60 @@ impl LanaiNic {
         self.p2p.get_or_insert_with(|| Box::new(P2pState::new(n)))
     }
 
-    /// Occupy the NIC processor for `cost`, starting no earlier than `now`;
-    /// returns the completion time.
-    fn cpu(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+    /// Claim the NIC processor for `cost`, starting no earlier than `now`;
+    /// returns `(start, done)`.
+    fn cpu_claim(&mut self, now: SimTime, cost: SimTime) -> (SimTime, SimTime) {
         let start = now.max(self.cpu_free);
         self.cpu_free = start + cost;
-        self.cpu_free
+        (start, self.cpu_free)
     }
 
-    /// Occupy the DMA engine for a `bytes` transfer starting no earlier
-    /// than `now`; returns the completion time.
-    fn dma(&mut self, now: SimTime, bytes: u32) -> SimTime {
+    /// Occupy the NIC processor for `cost` on `owner`'s behalf, starting no
+    /// earlier than `now`; returns the completion time. Every charge emits
+    /// a ledger hold (and a wait when the processor was busy), so the holds
+    /// tile each busy period exactly — the invariant the interference
+    /// attribution's coverage gate relies on.
+    fn cpu(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        now: SimTime,
+        cost: SimTime,
+        owner: Owner,
+    ) -> SimTime {
+        let (start, done) = self.cpu_claim(now, cost);
+        let node = self.node.0 as u32;
+        if start > now {
+            ctx.ledger(Occ::wait(ResKind::NicCpu, now, start, node, owner));
+        }
+        ctx.ledger(Occ::hold(ResKind::NicCpu, start, done, node, owner));
+        done
+    }
+
+    /// Claim the DMA engine for a `bytes` transfer starting no earlier than
+    /// `now`; returns `(start, done)`.
+    fn dma_claim(&mut self, now: SimTime, bytes: u32) -> (SimTime, SimTime) {
         let start = now.max(self.dma_free);
         self.dma_free = start + self.params.dma_time(bytes);
-        self.dma_free
+        (start, self.dma_free)
+    }
+
+    /// Occupy the DMA engine for a `bytes` transfer on `owner`'s behalf,
+    /// starting no earlier than `now`; returns the completion time. Ledger
+    /// semantics as for [`LanaiNic::cpu`].
+    fn dma(
+        &mut self,
+        ctx: &mut Ctx<'_, GmEvent>,
+        now: SimTime,
+        bytes: u32,
+        owner: Owner,
+    ) -> SimTime {
+        let (start, done) = self.dma_claim(now, bytes);
+        let node = self.node.0 as u32;
+        if start > now {
+            ctx.ledger(Occ::wait(ResKind::DmaEngine, now, start, node, owner));
+        }
+        ctx.ledger(Occ::hold(ResKind::DmaEngine, start, done, node, owner));
+        done
     }
 
     /// Arm the periodic timer sweep if there is anything to watch.
@@ -278,6 +359,7 @@ impl LanaiNic {
             // ablation.
             let token = p2p.send_queues[dst].pop_front().expect("checked");
             let pkt = token.coll.expect("checked");
+            let owner = coll_owner(&pkt);
             let mut cost = self.params.nic_sched_pass + self.params.nic_coll_send;
             if !self.features.static_packet {
                 cost += self.params.nic_packet_claim.scale(0.5);
@@ -285,7 +367,10 @@ impl LanaiNic {
             if !self.features.bitvec_bookkeeping {
                 cost += self.params.nic_record_create;
             }
-            let t = self.cpu(now, cost);
+            let t = self.cpu(ctx, now, cost, owner);
+            ctx.ledger(
+                Occ::release(ResKind::SendQueue, t, self.node.0 as u32, owner).unit(dst as u64),
+            );
             let is_nack = matches!(pkt.kind, CollKind::Nack);
             ctx.count_id(
                 if is_nack {
@@ -335,14 +420,8 @@ impl LanaiNic {
                 },
             );
         } else {
-            // Scheduler pass + buffer claim burn NIC cycles.
-            let t = self.cpu(
-                now,
-                self.params.nic_sched_pass + self.params.nic_packet_claim,
-            );
-            self.free_packets -= 1;
-
             let token = p2p.send_queues[dst].front_mut().expect("checked above");
+            let owner = stream_owner(token.tag, self.node.0 as u32);
             let payload = (token.len - token.offset).min(self.params.mtu);
             let (msg_id, offset, total_len, tag, token_cause) = (
                 token.msg_id,
@@ -352,8 +431,27 @@ impl LanaiNic {
                 token.cause,
             );
             token.offset += payload;
-            if token.offset >= token.len {
+            let msg_exhausted = token.offset >= token.len;
+            if msg_exhausted {
                 p2p.send_queues[dst].pop_front();
+            }
+
+            // Scheduler pass + buffer claim burn NIC cycles.
+            let t = self.cpu(
+                ctx,
+                now,
+                self.params.nic_sched_pass + self.params.nic_packet_claim,
+                owner,
+            );
+            self.free_packets -= 1;
+            ctx.ledger(
+                Occ::acquire(ResKind::PacketPool, t, self.node.0 as u32, owner)
+                    .unit(self.free_packets as u64),
+            );
+            if msg_exhausted {
+                ctx.ledger(
+                    Occ::release(ResKind::SendQueue, t, self.node.0 as u32, owner).unit(dst as u64),
+                );
             }
 
             // Netdump: payload DMA begins (parent: the host post).
@@ -364,7 +462,7 @@ impl LanaiNic {
             );
 
             // Payload crosses the I/O bus into the claimed buffer.
-            let dma_done = self.dma(t, payload);
+            let dma_done = self.dma(ctx, t, payload, owner);
             ctx.send_at(
                 dma_done,
                 ctx.self_id(),
@@ -406,7 +504,13 @@ impl LanaiNic {
         cause: CauseId,
     ) {
         let now = ctx.now();
-        let t = self.cpu(now, self.params.nic_record_create + self.params.nic_inject);
+        let owner = stream_owner(tag, self.node.0 as u32);
+        let t = self.cpu(
+            ctx,
+            now,
+            self.params.nic_record_create + self.params.nic_inject,
+            owner,
+        );
         let seq = {
             let p2p = self.p2p_mut();
             let seq = p2p.next_seq[dst.0];
@@ -467,10 +571,15 @@ impl LanaiNic {
         tag: crate::types::MsgTag,
         cause: CauseId,
     ) {
-        let t = self.cpu(after, self.params.nic_recv_match);
+        let owner = stream_owner(tag, src.0 as u32);
+        let t = self.cpu(ctx, after, self.params.nic_recv_match, owner);
         if offset == 0 {
             // New message: reserve the receive buffer.
             self.recv_tokens -= 1;
+            ctx.ledger(
+                Occ::acquire(ResKind::RecvTokens, t, self.node.0 as u32, owner)
+                    .unit(self.recv_tokens as u64),
+            );
             self.p2p_mut().assembling[src.0].push_back(Assembly {
                 received: 0,
                 total_len,
@@ -482,7 +591,7 @@ impl LanaiNic {
                 .nodes(src.0 as u32, self.node.0 as u32)
                 .detail(payload as u64, 0),
         );
-        let dma_done = self.dma(t, payload);
+        let dma_done = self.dma(ctx, t, payload, owner);
         ctx.send_at(
             dma_done,
             ctx.self_id(),
@@ -508,7 +617,12 @@ impl LanaiNic {
         upto: u32,
         cause: CauseId,
     ) {
-        let t = self.cpu(after, self.params.nic_ack_gen);
+        let t = self.cpu(
+            ctx,
+            after,
+            self.params.nic_ack_gen,
+            Owner::fabric(self.node.0 as u32),
+        );
         let fire = ctx.packet(
             PacketLog::new(cause, CausalKind::Fire)
                 .nodes(self.node.0 as u32, dst.0 as u32)
@@ -536,7 +650,12 @@ impl LanaiNic {
                 ..
             } => {
                 let src = pkt.src;
-                let t = self.cpu(now, self.params.nic_seq_check);
+                let t = self.cpu(
+                    ctx,
+                    now,
+                    self.params.nic_seq_check,
+                    stream_owner(tag, src.0 as u32),
+                );
                 let arrive = ctx.packet(
                     PacketLog::new(pkt.cause, CausalKind::Arrive)
                         .nodes(src.0 as u32, self.node.0 as u32)
@@ -565,7 +684,12 @@ impl LanaiNic {
             }
             PacketKind::Ack { upto } => {
                 let src = pkt.src;
-                let t = self.cpu(now, self.params.nic_ack_process);
+                let t = self.cpu(
+                    ctx,
+                    now,
+                    self.params.nic_ack_process,
+                    Owner::fabric(src.0 as u32),
+                );
                 ctx.packet(
                     PacketLog::new(pkt.cause, CausalKind::Arrive)
                         .nodes(src.0 as u32, self.node.0 as u32)
@@ -589,6 +713,19 @@ impl LanaiNic {
                     }
                 }
                 self.free_packets += freed;
+                if freed > 0 {
+                    // One release per cumulative ACK; `unit` carries the
+                    // pool level after the return.
+                    ctx.ledger(
+                        Occ::release(
+                            ResKind::PacketPool,
+                            t,
+                            self.node.0 as u32,
+                            Owner::fabric(src.0 as u32),
+                        )
+                        .unit(self.free_packets as u64),
+                    );
+                }
                 for &msg_id in completed.iter() {
                     ctx.send_at(
                         t + self.params.host_event_dma,
@@ -604,11 +741,16 @@ impl LanaiNic {
                 if matches!(cp.kind, CollKind::Ack) {
                     // NIC-level collective ACK (ablation mode only): retire
                     // the per-message record; carries no protocol state.
-                    let _ = self.cpu(now, self.params.nic_ack_process);
+                    let _ = self.cpu(
+                        ctx,
+                        now,
+                        self.params.nic_ack_process,
+                        Owner::fabric(cp.src.0 as u32),
+                    );
                     ctx.count_id(counter_id!("gm.coll_ack_recv"), 1);
                     return;
                 }
-                let t = self.cpu(now, self.params.nic_coll_recv);
+                let t = self.cpu(ctx, now, self.params.nic_coll_recv, coll_owner(&cp));
                 ctx.count_id(counter_id!("gm.coll_recv"), 1);
                 // Span: collective packet accepted (info = epoch).
                 ctx.span(SpanEvent::Arrive {
@@ -642,7 +784,13 @@ impl LanaiNic {
                         round: cp.round,
                         kind: CollKind::Ack,
                     };
-                    let ta = self.cpu(ctx.now(), self.params.nic_ack_gen);
+                    let after_sends = ctx.now();
+                    let ta = self.cpu(
+                        ctx,
+                        after_sends,
+                        self.params.nic_ack_gen,
+                        Owner::fabric(self.node.0 as u32),
+                    );
                     ctx.count_id(counter_id!("gm.coll_ack_sent"), 1);
                     let ack_fire = ctx.packet(
                         PacketLog::new(arrive, CausalKind::Fire)
@@ -685,12 +833,17 @@ impl LanaiNic {
                     cause,
                 } => {
                     assert_ne!(dst, self.node, "collective self-send");
+                    let owner = coll_owner(&pkt);
                     if !self.features.group_queue {
                         // Group-queue ablation: the collective message is
                         // enqueued as an ordinary send token and takes its
                         // round-robin turn behind whatever else is queued
                         // to this destination (§6.1's problem, structural).
-                        let t = self.cpu(at, self.params.nic_token_create.scale(0.5));
+                        let t = self.cpu(ctx, at, self.params.nic_token_create.scale(0.5), owner);
+                        ctx.ledger(
+                            Occ::acquire(ResKind::SendQueue, t, self.node.0 as u32, owner)
+                                .unit(dst.0 as u64),
+                        );
                         // Span: queue depth the collective token waits
                         // behind.
                         ctx.span(SpanEvent::Enqueue {
@@ -729,7 +882,7 @@ impl LanaiNic {
                         // vector per operation (§6.3).
                         cost += self.params.nic_record_create;
                     }
-                    at = self.cpu(at, cost);
+                    at = self.cpu(ctx, at, cost, owner);
                     let is_nack = matches!(pkt.kind, CollKind::Nack);
                     ctx.count_id(
                         if is_nack {
@@ -854,7 +1007,12 @@ impl LanaiNic {
             // Go-back-N: re-inject every unacked packet to this destination
             // (payloads are still in the NIC's claimed buffers).
             for i in 0..p2p.inflight[d].len() {
-                let t = self.cpu(now, self.params.nic_inject);
+                let t = self.cpu(
+                    ctx,
+                    now,
+                    self.params.nic_inject,
+                    Owner::fabric(self.node.0 as u32),
+                );
                 let rec = &mut p2p.inflight[d][i];
                 rec.sent_at = t;
                 rec.retries += 1;
@@ -939,6 +1097,24 @@ impl LanaiNic {
         } else {
             Some(self.wire.admit(ctx.now(), bytes))
         };
+        if let Some(a) = admitted {
+            // Ledger: the admitted packet's owner occupies this rx port for
+            // `[arrive, until)`; a queued packet also waited behind earlier
+            // holders.
+            let owner = packet_owner(&pkt);
+            let node = self.node.0 as u32;
+            let routed = ctx.now();
+            if a.port_wait > SimTime::ZERO {
+                ctx.ledger(
+                    Occ::wait(ResKind::LinkPort, routed, a.arrive, node, owner)
+                        .unit(self.node.0 as u64),
+                );
+            }
+            ctx.ledger(
+                Occ::hold(ResKind::LinkPort, a.arrive, a.until, node, owner)
+                    .unit(self.node.0 as u64),
+            );
+        }
         // Netdump: the wire record carries the link-occupancy tag (bytes +
         // destination-port queuing wait), so the analyzer can separate
         // "slow link" from "busy port".
@@ -997,13 +1173,33 @@ impl Component<GmEvent> for LanaiNic {
         match msg {
             GmEvent::SendPost(token) => {
                 let now = ctx.now();
-                let _ = self.cpu(now, self.params.nic_token_create);
+                let owner = match &token.coll {
+                    Some(cp) => coll_owner(cp),
+                    None => stream_owner(token.tag, self.node.0 as u32),
+                };
+                let t = self.cpu(ctx, now, self.params.nic_token_create, owner);
+                ctx.ledger(
+                    Occ::acquire(ResKind::SendQueue, t, self.node.0 as u32, owner)
+                        .unit(token.dst.0 as u64),
+                );
                 self.p2p_mut().send_queues[token.dst.0].push_back(token);
                 ctx.count_id(counter_id!("gm.token_posted"), 1);
                 self.kick_scheduler(ctx);
             }
             GmEvent::RecvPost { count, .. } => {
                 self.recv_tokens += count;
+                // Host replenish is protocol plumbing: no single stream to
+                // bill. `unit` carries the pool level after the post.
+                let now = ctx.now();
+                ctx.ledger(
+                    Occ::release(
+                        ResKind::RecvTokens,
+                        now,
+                        self.node.0 as u32,
+                        Owner::fabric(self.node.0 as u32),
+                    )
+                    .unit(self.recv_tokens as u64),
+                );
             }
             GmEvent::CollPost {
                 group,
@@ -1016,7 +1212,12 @@ impl Component<GmEvent> for LanaiNic {
                 // of its own queue (§6.1). Under the group-queue ablation
                 // the per-message queue costs are charged structurally when
                 // each send takes its round-robin turn.
-                let t = self.cpu(now, self.params.nic_coll_send.scale(0.5));
+                let t = self.cpu(
+                    ctx,
+                    now,
+                    self.params.nic_coll_send.scale(0.5),
+                    Owner::coll(group.0 as u64, epoch, self.node.0 as u32),
+                );
                 let dispatch = ctx.packet(
                     PacketLog::new(cause, CausalKind::NicDispatch)
                         .at_node(self.node.0 as u32)
@@ -1213,30 +1414,30 @@ mod tests {
         let mut n = nic();
         let c = SimTime::from_us(1.0);
         // Two requests at t=0 serialize.
-        let t1 = n.cpu(SimTime::ZERO, c);
-        let t2 = n.cpu(SimTime::ZERO, c);
+        let t1 = n.cpu_claim(SimTime::ZERO, c).1;
+        let t2 = n.cpu_claim(SimTime::ZERO, c).1;
         assert_eq!(t1, SimTime::from_us(1.0));
         assert_eq!(t2, SimTime::from_us(2.0));
         // A request far in the future starts at its own time.
-        let t3 = n.cpu(SimTime::from_us(10.0), c);
+        let t3 = n.cpu_claim(SimTime::from_us(10.0), c).1;
         assert_eq!(t3, SimTime::from_us(11.0));
     }
 
     #[test]
     fn dma_engine_overlaps_cpu() {
         let mut n = nic();
-        let cpu_done = n.cpu(SimTime::ZERO, SimTime::from_us(5.0));
+        let cpu_done = n.cpu_claim(SimTime::ZERO, SimTime::from_us(5.0)).1;
         // DMA starting at t=0 is not delayed by the busy CPU.
-        let dma_done = n.dma(SimTime::ZERO, 0);
+        let dma_done = n.dma_claim(SimTime::ZERO, 0).1;
         assert!(dma_done < cpu_done);
     }
 
     #[test]
     fn dma_cost_scales_with_bytes() {
         let mut n = nic();
-        let small = n.dma(SimTime::ZERO, 0);
+        let small = n.dma_claim(SimTime::ZERO, 0).1;
         let mut n2 = nic();
-        let big = n2.dma(SimTime::ZERO, 4096);
+        let big = n2.dma_claim(SimTime::ZERO, 4096).1;
         assert!(big > small);
         // XP preset: 1 ns/byte.
         assert_eq!(big - small, SimTime::from_ns(4096));

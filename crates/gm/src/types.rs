@@ -19,6 +19,12 @@ pub struct GroupId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MsgTag(pub u32);
 
+/// Tag marking bulk-traffic messages (distinct from barrier tags, whose
+/// round field never reaches 0xFF). Defined here rather than in the traffic
+/// generator so the NIC can classify bulk streams as first-class owners in
+/// the occupancy ledger.
+pub const BULK_TAG: MsgTag = MsgTag(0xFFFF_FFFF);
+
 /// Host-assigned id for an outstanding send (returned by `GmApi::send`).
 pub type MsgId = u64;
 

@@ -1,0 +1,26 @@
+//! PI002 fixture (occupancy ledger): wildcard arms in ResKind matches
+//! would silently lump newly added contended resources into a catch-all
+//! bucket in interference reports.
+
+pub fn res_code(r: &ResKind) -> u32 {
+    match r {
+        ResKind::NicCpu => 1,
+        ResKind::DmaEngine => 2,
+        _ => 0, //~ PI002
+    }
+}
+
+pub fn guarded(r: &ResKind, busy: bool) -> &'static str {
+    match r {
+        ResKind::LinkPort => "port",
+        _ if busy => "busy", //~ PI002
+        ResKind::ElanEngine => "engine",
+    }
+}
+
+pub fn tuple_wildcard(r: &ResKind, unit: u64) -> u64 {
+    match (r, unit) {
+        (ResKind::SendQueue, u) => u,
+        _ => 0, //~ PI002
+    }
+}

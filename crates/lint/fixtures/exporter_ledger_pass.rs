@@ -1,0 +1,38 @@
+//! Negative fixture: exhaustive ResKind matches pass, as do wildcard
+//! matches over unrelated types next to ledger code.
+
+pub fn res_code(r: &ResKind) -> u32 {
+    match r {
+        ResKind::NicCpu => 1,
+        ResKind::DmaEngine => 2,
+        ResKind::SendQueue => 3,
+        ResKind::PacketPool => 4,
+        ResKind::RecvTokens => 5,
+        ResKind::ElanEngine => 6,
+        ResKind::EventSlot => 7,
+        ResKind::LinkPort => 8,
+    }
+}
+
+pub fn unrelated_unit(unit: u64) -> u64 {
+    match unit {
+        0 => 1,
+        _ => 0,
+    }
+}
+
+pub fn nested(r: &ResKind, unit: u64) -> u64 {
+    match r {
+        ResKind::SendQueue => match unit {
+            0 => 1,
+            _ => 0,
+        },
+        ResKind::LinkPort => 2,
+        ResKind::NicCpu => 3,
+        ResKind::DmaEngine => 4,
+        ResKind::PacketPool => 5,
+        ResKind::RecvTokens => 6,
+        ResKind::ElanEngine => 7,
+        ResKind::EventSlot => 8,
+    }
+}

@@ -59,7 +59,7 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     ),
     (
         "PI002",
-        "wildcard `_ =>` arm in a SpanEvent/Phase/CausalKind match (new variants would be silently swallowed)",
+        "wildcard `_ =>` arm in a SpanEvent/Phase/CausalKind/ResKind match (new variants would be silently swallowed)",
     ),
     (
         "PI003",
@@ -401,7 +401,8 @@ pub fn scan_file(tree: &FileTree, scope: Scope) -> Vec<Finding> {
                 format!("{ident}! in crates/sim (route telemetry through the metrics registry)"),
             );
         }
-        // --- PI002: wildcard arms in SpanEvent/Phase/CausalKind matches -
+        // --- PI002: wildcard arms in SpanEvent/Phase/CausalKind/ResKind
+        // matches ---------------------------------------------------------
         if scope.exporter && ident == "match" {
             scan_match(toks, i, path, &mut out);
         }
@@ -620,7 +621,7 @@ fn scan_match(toks: &[Token], kw: usize, path: &str, out: &mut Vec<Finding>) {
             // Any inner depth: tuple patterns like `(SpanEvent::X, _)`
             // still make this an exporter match.
             Tok::Ident(s)
-                if (s == "SpanEvent" || s == "Phase" || s == "CausalKind")
+                if (s == "SpanEvent" || s == "Phase" || s == "CausalKind" || s == "ResKind")
                     && punct_at(toks, i + 1, ':')
                     && in_pattern
                     && brace >= 1 =>
@@ -651,7 +652,7 @@ fn scan_match(toks: &[Token], kw: usize, path: &str, out: &mut Vec<Finding>) {
                 rule: "PI002",
                 path: path.to_string(),
                 line,
-                message: "wildcard `_ =>` arm in a match over SpanEvent/Phase/CausalKind"
+                message: "wildcard `_ =>` arm in a match over SpanEvent/Phase/CausalKind/ResKind"
                     .to_string(),
             });
         }

@@ -117,6 +117,10 @@ pub struct Admission {
     /// How long it queued behind earlier arrivals (zero if the port was
     /// free) — the link-occupancy tag on the causal netdump's wire records.
     pub port_wait: SimTime,
+    /// When the port frees again: `arrive` plus this packet's occupancy and
+    /// the hot-spot cost. The interval `[arrive, until)` is the hold this
+    /// packet's owner charges to the link port in the occupancy ledger.
+    pub until: SimTime,
 }
 
 impl WireRx {
@@ -142,6 +146,7 @@ impl WireRx {
         Admission {
             arrive,
             port_wait: arrive - routed,
+            until: self.port_free,
         }
     }
 

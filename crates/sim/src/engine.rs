@@ -34,6 +34,7 @@
 
 use crate::causal::{CauseId, NetDump, PacketLog};
 use crate::counters::Counters;
+use crate::ledger::{Ledger, LedgerRecord, Occ};
 use crate::parallel::{RawEvent, RawObs, ShardLink};
 use crate::queue::{pack, EventQueue, PoppedEvent, SchedulerKind};
 use crate::rng::SimRng;
@@ -119,6 +120,7 @@ pub struct Ctx<'a, M> {
     trace: &'a mut Trace,
     recorder: &'a mut FlightRecorder,
     netdump: &'a mut NetDump,
+    ledger: &'a mut Ledger,
     counters: &'a mut Counters,
     halt: &'a mut bool,
     /// Present when this engine runs as a shard of the parallel engine:
@@ -134,6 +136,8 @@ pub struct Ctx<'a, M> {
     observing: bool,
     /// Same, for [`Ctx::packet`] (netdump or raw shard capture).
     dumping: bool,
+    /// Same, for [`Ctx::ledger`] (occupancy ledger or raw shard capture).
+    ledgering: bool,
 }
 
 impl<M> Ctx<'_, M> {
@@ -312,6 +316,38 @@ impl<M> Ctx<'_, M> {
         self.netdump.record(self.now, self.self_id, log)
     }
 
+    /// Record a resource-occupancy event into the ledger. When the ledger
+    /// is disabled — the common case — this is a single predictable branch
+    /// and the record is never built.
+    #[inline]
+    pub fn ledger(&mut self, occ: Occ) {
+        if !self.ledgering {
+            return;
+        }
+        self.ledger_slow(occ);
+    }
+
+    #[cold]
+    fn ledger_slow(&mut self, occ: Occ) {
+        let record = LedgerRecord {
+            t0: occ.t0,
+            t1: occ.t1,
+            component: self.self_id,
+            op: occ.op,
+            res: occ.res,
+            node: occ.node,
+            unit: occ.unit,
+            owner: occ.owner,
+        };
+        // Ledger records carry no ids, so a shard's capture replays into the
+        // merged ledger verbatim — no remapping.
+        if let Some(raw) = self.raw.as_deref_mut() {
+            raw.ledger.push(record);
+            return;
+        }
+        self.ledger.record(record);
+    }
+
     /// Stop the engine after the current handler returns. Pending events are
     /// retained (the engine can be resumed with another `run*` call).
     #[inline]
@@ -353,6 +389,7 @@ pub struct Engine<M: 'static> {
     pub(crate) trace: Trace,
     pub(crate) recorder: FlightRecorder,
     pub(crate) netdump: NetDump,
+    pub(crate) ledger: Ledger,
     pub(crate) counters: Counters,
     pub(crate) halted: bool,
     pub(crate) events_processed: u64,
@@ -380,6 +417,7 @@ impl<M: 'static> Engine<M> {
             trace: Trace::disabled(),
             recorder: FlightRecorder::disabled(),
             netdump: NetDump::disabled(),
+            ledger: Ledger::disabled(),
             counters: Counters::new(),
             halted: false,
             events_processed: 0,
@@ -537,6 +575,22 @@ impl<M: 'static> Engine<M> {
         &mut self.netdump
     }
 
+    /// The resource-occupancy ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Enable occupancy capture with the default record capacity.
+    pub fn enable_ledger(&mut self) {
+        self.ledger.enable();
+    }
+
+    /// Mutable access to the ledger (clearing between phases, draining
+    /// records after a run).
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
     /// Downcast access to a concrete component, for post-run inspection.
     pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
         // `as_deref` yields `&dyn Component<M>` so `as_any` dispatches through
@@ -583,9 +637,16 @@ impl<M: 'static> Engine<M> {
         debug_assert!(event.time >= self.now, "event queue went backwards");
         self.now = event.time;
         self.events_processed += 1;
-        let (record_spans, record_pkts, s0, p0) = match raw.as_deref() {
-            Some(r) => (r.record_spans, r.record_pkts, r.spans.len(), r.pkts.len()),
-            None => (false, false, 0, 0),
+        let (record_spans, record_pkts, record_ledger, s0, p0, l0) = match raw.as_deref() {
+            Some(r) => (
+                r.record_spans,
+                r.record_pkts,
+                r.record_ledger,
+                r.spans.len(),
+                r.pkts.len(),
+                r.ledger.len(),
+            ),
+            None => (false, false, false, 0, 0, 0),
         };
         // Split borrow: the target component and the Ctx fields are disjoint
         // parts of `self`, so the handler runs without moving the component
@@ -599,6 +660,7 @@ impl<M: 'static> Engine<M> {
             trace,
             recorder,
             netdump,
+            ledger,
             counters,
             halted,
             ..
@@ -608,6 +670,7 @@ impl<M: 'static> Engine<M> {
             .unwrap_or_else(|| panic!("event for uninstalled component {}", event.target));
         let observing = trace.is_enabled() || recorder.is_enabled() || record_spans;
         let dumping = netdump.is_enabled() || record_pkts;
+        let ledgering = ledger.is_enabled() || record_ledger;
         let src = &mut srcs[event.target.0];
         let mut ctx = Ctx {
             now: *now,
@@ -620,12 +683,14 @@ impl<M: 'static> Engine<M> {
             trace,
             recorder,
             netdump,
+            ledger,
             counters,
             halt: halted,
             link,
             raw: raw.as_deref_mut(),
             observing,
             dumping,
+            ledgering,
         };
         component.handle(event.msg, &mut ctx);
         if let Some(r) = raw {
@@ -636,6 +701,7 @@ impl<M: 'static> Engine<M> {
                 key: event.key,
                 spans: (r.spans.len() - s0) as u32,
                 pkts: (r.pkts.len() - p0) as u32,
+                lgr: (r.ledger.len() - l0) as u32,
             });
         }
     }

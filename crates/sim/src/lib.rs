@@ -77,6 +77,7 @@ pub mod causal;
 pub mod counters;
 pub mod engine;
 pub mod hist;
+pub mod ledger;
 pub mod parallel;
 pub mod partition;
 pub mod queue;
@@ -92,6 +93,7 @@ pub use causal::{
 pub use counters::{intern, CounterId, CounterSnapshot, Counters};
 pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
 pub use hist::{intern_hist, HistId, Histogram, Histograms};
+pub use ledger::{Ledger, LedgerOp, LedgerRecord, Occ, Owner, OwnerKind, ResKind, NO_UNIT};
 pub use parallel::{EngineSel, ExecEngine, ParallelEngine};
 pub use partition::{node_shard, ShardMap};
 pub use queue::SchedulerKind;

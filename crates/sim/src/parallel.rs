@@ -63,6 +63,7 @@
 
 use crate::causal::{CauseId, NetDump, PacketLog};
 use crate::engine::{ComponentId, Engine, RunOutcome};
+use crate::ledger::{Ledger, LedgerRecord};
 use crate::partition::ShardMap;
 use crate::queue::{pack, SchedulerKind};
 use crate::span::{FlightRecorder, SpanEvent};
@@ -109,6 +110,7 @@ pub(crate) struct RawEvent {
     pub(crate) key: u128,
     pub(crate) spans: u32,
     pub(crate) pkts: u32,
+    pub(crate) lgr: u32,
 }
 
 /// Bit position of the shard tag inside a provisional [`CauseId`].
@@ -121,9 +123,12 @@ const PKT_IDX_MASK: u64 = (1 << PKT_TAG_SHIFT) - 1;
 pub(crate) struct RawObs {
     pub(crate) record_spans: bool,
     pub(crate) record_pkts: bool,
+    pub(crate) record_ledger: bool,
     pub(crate) events: Vec<RawEvent>,
     pub(crate) spans: Vec<(SimTime, ComponentId, SpanEvent)>,
     pub(crate) pkts: Vec<(SimTime, ComponentId, PacketLog)>,
+    /// Occupancy records carry no ids, so the merge replays them verbatim.
+    pub(crate) ledger: Vec<LedgerRecord>,
     /// Packets already merged in earlier runs: the global raw index of
     /// `pkts[0]` (provisional ids must stay valid across run calls).
     pub(crate) pkt_base: u64,
@@ -136,9 +141,11 @@ impl RawObs {
         RawObs {
             record_spans: false,
             record_pkts: false,
+            record_ledger: false,
             events: Vec::new(),
             spans: Vec::new(),
             pkts: Vec::new(),
+            ledger: Vec::new(),
             pkt_base: 0,
             shard_tag: (shard as u64 + 1) << PKT_TAG_SHIFT,
         }
@@ -375,6 +382,21 @@ impl<M: Send + 'static> ParallelEngine<M> {
         &mut self.base.netdump
     }
 
+    /// The merged resource-occupancy ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.base.ledger
+    }
+
+    /// Enable occupancy-ledger capture.
+    pub fn enable_ledger(&mut self) {
+        self.base.ledger.enable();
+    }
+
+    /// Mutable access to the merged occupancy ledger.
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.base.ledger
+    }
+
     /// Downcast access to a concrete component (routed to its shard).
     pub fn component_ref<T: 'static>(&self, id: ComponentId) -> Option<&T> {
         self.shards[self.table[id.0] as usize]
@@ -442,11 +464,13 @@ impl<M: Send + 'static> ParallelEngine<M> {
         let lookahead = if k == 1 { u64::MAX } else { self.lookahead_ns };
         let record_spans = self.base.trace.is_enabled() || self.base.recorder.is_enabled();
         let record_pkts = self.base.netdump.is_enabled();
-        let obs = record_spans || record_pkts;
+        let record_ledger = self.base.ledger.is_enabled();
+        let obs = record_spans || record_pkts || record_ledger;
         for sh in &mut self.shards {
             sh.engine.halted = false;
             sh.raw.record_spans = record_spans;
             sh.raw.record_pkts = record_pkts;
+            sh.raw.record_ledger = record_ledger;
         }
         let mins: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
         let events: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
@@ -543,7 +567,7 @@ impl<M: Send + 'static> ParallelEngine<M> {
             ..
         } = self;
         let k = shards.len();
-        let mut cursors = vec![(0usize, 0usize, 0usize); k];
+        let mut cursors = vec![(0usize, 0usize, 0usize, 0usize); k];
         loop {
             let mut best: Option<(u128, usize)> = None;
             for (s, sh) in shards.iter().enumerate() {
@@ -554,7 +578,7 @@ impl<M: Send + 'static> ParallelEngine<M> {
                 }
             }
             let Some((_, s)) = best else { break };
-            let (e, sp, pk) = cursors[s];
+            let (e, sp, pk, lg) = cursors[s];
             let raw = &shards[s].raw;
             let ev = &raw.events[e];
             for (time, component, event) in &raw.spans[sp..sp + ev.spans as usize] {
@@ -579,15 +603,25 @@ impl<M: Send + 'static> ParallelEngine<M> {
                 );
                 pkt_remap[s].push(real);
             }
-            cursors[s] = (e + 1, sp + ev.spans as usize, pk + ev.pkts as usize);
+            for record in &raw.ledger[lg..lg + ev.lgr as usize] {
+                base.ledger.record(*record);
+            }
+            cursors[s] = (
+                e + 1,
+                sp + ev.spans as usize,
+                pk + ev.pkts as usize,
+                lg + ev.lgr as usize,
+            );
         }
         for (s, sh) in shards.iter_mut().enumerate() {
             debug_assert_eq!(cursors[s].1, sh.raw.spans.len(), "unmerged spans");
             debug_assert_eq!(cursors[s].2, sh.raw.pkts.len(), "unmerged packets");
+            debug_assert_eq!(cursors[s].3, sh.raw.ledger.len(), "unmerged ledger records");
             sh.raw.pkt_base += sh.raw.pkts.len() as u64;
             sh.raw.events.clear();
             sh.raw.spans.clear();
             sh.raw.pkts.clear();
+            sh.raw.ledger.clear();
         }
     }
 }
@@ -847,6 +881,30 @@ impl<M: Send + 'static> ExecEngine<M> {
         match self {
             ExecEngine::Seq(e) => e.netdump_mut(),
             ExecEngine::Par(p) => p.netdump_mut(),
+        }
+    }
+
+    /// The (merged) resource-occupancy ledger.
+    pub fn ledger(&self) -> &Ledger {
+        match self {
+            ExecEngine::Seq(e) => e.ledger(),
+            ExecEngine::Par(p) => p.ledger(),
+        }
+    }
+
+    /// Enable occupancy-ledger capture.
+    pub fn enable_ledger(&mut self) {
+        match self {
+            ExecEngine::Seq(e) => e.enable_ledger(),
+            ExecEngine::Par(p) => p.enable_ledger(),
+        }
+    }
+
+    /// Mutable occupancy-ledger access.
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        match self {
+            ExecEngine::Seq(e) => e.ledger_mut(),
+            ExecEngine::Par(p) => p.ledger_mut(),
         }
     }
 

@@ -179,6 +179,28 @@ bench_trajectory_gate() {
 }
 gate "bench-trajectory" bench_trajectory_gate
 
+# Contention-observability smoke: the contend scenario (overlapping barrier
+# groups + bulk traffic, run on both substrates) must attribute >= 95% of
+# critical-path wait time to named resource holders via the occupancy
+# ledger, report a top interferer, drop zero ledger records, and reproduce
+# byte-identically on the sharded parallel engine (--check exits nonzero
+# otherwise). Every run appends to BENCH_contend.json; like the other
+# trajectories it is append-only — the manifest-stamped run count must
+# never decrease, and must be at least one after the smoke.
+contend_gate() {
+    local runs_before runs_after
+    runs_before=$(count_runs BENCH_contend.json); runs_before=${runs_before:-0}
+    cargo run --release -q -p nicbar-bench --bin contend -- --quick --check > /dev/null
+    runs_after=$(count_runs BENCH_contend.json); runs_after=${runs_after:-0}
+    if [ "$runs_after" -lt "$runs_before" ] || [ "$runs_after" -lt 1 ]; then
+        echo "check.sh: BENCH_contend.json trajectory shrank ($runs_before -> $runs_after)" >&2
+        return 1
+    fi
+    echo "check.sh: contend trajectory OK (runs: $runs_after)"
+}
+gate "contend-smoke" contend_gate
+echo "check.sh: contend smoke OK"
+
 echo ""
 echo "check.sh: per-gate wall time"
 for i in "${!GATE_NAMES[@]}"; do

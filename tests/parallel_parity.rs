@@ -20,8 +20,8 @@ use nicbar::sim::EngineSel;
 /// `tests/determinism.rs`).
 fn witness(f: &FlightData) -> String {
     format!(
-        "substrate={}\nrecords={:?}\ntrace_dropped={}\nspans={:?}\nspans_dropped={}\norphaned={}\nhists={:?}\nstats={:?}\npackets={:?}\npackets_dropped={}\n",
-        f.substrate, f.records, f.trace_dropped, f.spans, f.spans_dropped, f.orphaned, f.hists, f.stats, f.packets, f.packets_dropped
+        "substrate={}\nrecords={:?}\ntrace_dropped={}\nspans={:?}\nspans_dropped={}\norphaned={}\nhists={:?}\nstats={:?}\npackets={:?}\npackets_dropped={}\nledger={:?}\nledger_dropped={}\n",
+        f.substrate, f.records, f.trace_dropped, f.spans, f.spans_dropped, f.orphaned, f.hists, f.stats, f.packets, f.packets_dropped, f.ledger, f.ledger_dropped
     )
 }
 
@@ -132,6 +132,69 @@ fn gm_lossy_parallel_matches_sequential() {
     }
 }
 
+/// Bulk-traffic scenarios: the saturating background stream exercises the
+/// send-queue/packet-pool paths (and, with the ledger armed, emits
+/// occupancy records from every NIC charge), so sharding must reproduce
+/// the whole capture — ledger included — byte for byte on both substrates.
+#[test]
+fn gm_traffic_parallel_matches_sequential_byte_for_byte() {
+    use nicbar::core::{gm_nic_barrier_under_traffic_flight, TrafficCfg};
+    let traffic = TrafficCfg {
+        msg_bytes: 4096,
+        outstanding: 2,
+    };
+    let run = |engine, shards| {
+        gm_nic_barrier_under_traffic_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            8,
+            Algorithm::Dissemination,
+            cfg(engine, shards),
+            traffic,
+        )
+    };
+    let seq = run(EngineSel::Sequential, 1);
+    assert!(!seq.ledger.is_empty(), "traffic flight must arm the ledger");
+    for shards in [2, 8] {
+        let par = run(EngineSel::Parallel, shards);
+        assert_parity(&format!("gm traffic shards={shards}"), &seq, &par);
+    }
+}
+
+#[test]
+fn elan_traffic_parallel_matches_sequential_byte_for_byte() {
+    use nicbar::core::{elan_contend_flight, TrafficCfg};
+    let traffic = TrafficCfg {
+        msg_bytes: 4096,
+        outstanding: 2,
+    };
+    // One group + the forwarding-ring tport stream: the Elan bulk-traffic
+    // scenario (the multi-group contend gate covers the M-group case).
+    let run = |engine, shards| {
+        elan_contend_flight(
+            ElanParams::elan3(),
+            8,
+            1,
+            Algorithm::Dissemination,
+            RunCfg {
+                warmup: 2,
+                iters: 8,
+                skew_us: 1.0,
+                engine,
+                shards,
+                ..RunCfg::default()
+            },
+            traffic,
+        )
+    };
+    let seq = run(EngineSel::Sequential, 1);
+    assert!(!seq.ledger.is_empty(), "contend flight must arm the ledger");
+    for shards in [2, 8] {
+        let par = run(EngineSel::Parallel, shards);
+        assert_parity(&format!("elan traffic shards={shards}"), &seq, &par);
+    }
+}
+
 /// `Auto` with one shard must take the sequential fast path — no worker
 /// threads, no windowing — while `Parallel` at one shard goes through the
 /// parallel machinery and still reproduces the same run.
@@ -182,7 +245,9 @@ fn exporter_output_is_byte_identical_across_engines() {
     type FlightRun = fn(EngineSel, usize) -> FlightData;
     let cases: [(&str, FlightRun); 2] = [
         ("gm", |e, s| gm_flight(16, Algorithm::Dissemination, e, s)),
-        ("elan", |e, s| elan_flight(16, Algorithm::Dissemination, e, s)),
+        ("elan", |e, s| {
+            elan_flight(16, Algorithm::Dissemination, e, s)
+        }),
     ];
     for (substrate, run) in cases {
         let seq = run(EngineSel::Sequential, 1);
