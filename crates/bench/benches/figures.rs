@@ -111,7 +111,13 @@ fn fig8(c: &mut Criterion) {
     for n in [64usize, 256] {
         g.bench_with_input(BenchmarkId::new("quadrics_nic_ds", n), &n, |b, &n| {
             b.iter(|| {
-                elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg).mean_us
+                elan_nic_barrier(
+                    ElanParams::elan3(),
+                    n,
+                    Algorithm::Dissemination,
+                    cfg.clone(),
+                )
+                .mean_us
             })
         });
         g.bench_with_input(BenchmarkId::new("myrinet_nic_ds", n), &n, |b, &n| {
@@ -121,7 +127,7 @@ fn fig8(c: &mut Criterion) {
                     CollFeatures::paper(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                 )
                 .mean_us
             })

@@ -15,7 +15,13 @@ fn main() {
     let cfg = figure_cfg();
     let n = 8;
     let run = |label: &str, f: CollFeatures| {
-        let s = gm_nic_barrier(GmParams::lanai_xp(), f, n, Algorithm::Dissemination, cfg);
+        let s = gm_nic_barrier(
+            GmParams::lanai_xp(),
+            f,
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
         println!(
             "{label:<34} {:>9.2}us {:>10.1} pkts/barrier",
             s.mean_us, s.wire_per_barrier

@@ -39,8 +39,14 @@ fn main() {
             Series::new(
                 label,
                 parallel_sweep(&ns, |n| {
-                    gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), n, algo, cfg)
-                        .mean_us
+                    gm_nic_barrier(
+                        GmParams::lanai_xp(),
+                        CollFeatures::paper(),
+                        n,
+                        algo,
+                        cfg.clone(),
+                    )
+                    .mean_us
                 }),
             )
         })
@@ -70,7 +76,7 @@ fn main() {
             Series::new(
                 label,
                 parallel_sweep(&ns, |n| {
-                    elan_nic_barrier(ElanParams::elan3(), n, algo, cfg).mean_us
+                    elan_nic_barrier(ElanParams::elan3(), n, algo, cfg.clone()).mean_us
                 }),
             )
         })

@@ -32,7 +32,7 @@ fn main() {
         CollFeatures::paper(),
         n,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     println!("Myrinet LANai-XP, NIC-based: {:.2} µs total", s.mean_us);
     let host_side = (p.host_coll_call + p.pio_write + p.host_event_dma + p.host_recv_poll).as_us();
@@ -47,7 +47,7 @@ fn main() {
     );
 
     // --- Myrinet host-based -------------------------------------------------
-    let s = gm_host_barrier(p.clone(), n, Algorithm::Dissemination, cfg);
+    let s = gm_host_barrier(p.clone(), n, Algorithm::Dissemination, cfg.clone());
     println!("Myrinet LANai-XP, host-based: {:.2} µs total", s.mean_us);
     let per_round = (p.host_recv_poll
         + p.host_send_overhead
@@ -74,7 +74,7 @@ fn main() {
 
     // --- Quadrics ------------------------------------------------------------
     let q = ElanParams::elan3();
-    let s = elan_nic_barrier(q.clone(), n, Algorithm::Dissemination, cfg);
+    let s = elan_nic_barrier(q.clone(), n, Algorithm::Dissemination, cfg.clone());
     println!("Quadrics Elan3, chained RDMA: {:.2} µs total", s.mean_us);
     let entry = (q.host_doorbell + q.nic_event_proc).as_us();
     let link = (q.nic_desc_proc + q.nic_event_proc).as_us() * rounds as f64
@@ -89,7 +89,7 @@ fn main() {
     );
 
     // --- Comparators -----------------------------------------------------------
-    let tree = elan_gsync_barrier(q.clone(), n, 4, cfg);
+    let tree = elan_gsync_barrier(q.clone(), n, 4, cfg.clone());
     let hw = elan_hw_barrier(q, n, cfg);
     println!(
         "Quadrics comparators: gsync tree {:.2} µs, hardware barrier {:.2} µs",

@@ -64,7 +64,7 @@ fn run_substrate(
         let cfg = RunCfg {
             engine,
             shards,
-            ..cfg
+            ..cfg.clone()
         };
         match substrate {
             "gm" => gm_contend_flight(
@@ -73,7 +73,7 @@ fn run_substrate(
                 n,
                 groups,
                 Algorithm::Dissemination,
-                cfg,
+                cfg.clone(),
                 traffic,
             ),
             _ => elan_contend_flight(
@@ -81,7 +81,7 @@ fn run_substrate(
                 n,
                 groups,
                 Algorithm::Dissemination,
-                cfg,
+                cfg.clone(),
                 traffic,
             ),
         }
@@ -273,7 +273,7 @@ fn main() {
 
     let reports: Vec<SubstrateReport> = ["gm", "elan"]
         .into_iter()
-        .map(|s| run_substrate(s, n, groups, cfg, traffic, shards, check))
+        .map(|s| run_substrate(s, n, groups, cfg.clone(), traffic, shards, check))
         .collect();
 
     let manifest = Manifest::new(

@@ -14,9 +14,15 @@
 //! * `--check` — gate mode: assert the profile accounts for ≥95% of worker
 //!   wall time and (full mode only) that the *disabled* profiler keeps the
 //!   one-shard engine overhead within 2 percentage points of the committed
-//!   `results/engine_sweep.json` baseline. On failure the report's top
+//!   `results/engine_sweep.json` baseline, and that the bottleneck the
+//!   committed `results/engine_prof_pr7.json` capture named has a strictly
+//!   smaller share of lost time today. On failure the report's top
 //!   bottleneck attribution is printed before exiting non-zero.
-//! * `--shards K`, `--nodes N` — override the run shape.
+//! * `--shards K`, `--nodes N` — override the run shape (shards clamp to
+//!   the node count — excess shards would sit empty yet pay every window
+//!   barrier).
+//! * `--partition contiguous|profile=PATH` — partition strategy; `profile=`
+//!   closes the loop by feeding a prior capture back into the partitioner.
 //! * `--chrome PATH` — write the shard-lane timeline as Chrome trace JSON.
 //!
 //! Run with `cargo run --release -p nicbar-bench --bin engine_prof`.
@@ -53,7 +59,11 @@ fn capture(nodes: usize, shards: usize, cfg: &RunCfg) -> (EngineProf, f64) {
         .engine
         .prof_snapshot()
         .expect("parallel engine was built, profiler was armed");
-    assert_eq!(prof.shards, shards);
+    assert_eq!(
+        prof.shards,
+        shards.min(nodes),
+        "builder clamps shards to nodes"
+    );
     (prof, wall_s)
 }
 
@@ -133,6 +143,34 @@ fn disabled_overhead_gate() -> Result<(), String> {
     Ok(())
 }
 
+/// Bottleneck-delta gate: the bottleneck the committed PR-7 capture named
+/// must hold a strictly smaller share of lost time in today's profile —
+/// the check that this PR's adaptive lookahead / lock-free mailboxes /
+/// profile-guided partition actually moved the number the profiler blamed.
+fn bottleneck_delta_gate(prof: &EngineProf) -> Result<(), String> {
+    const BASELINE: &str = "results/engine_prof_pr7.json";
+    let Some((name, base_share)) = engineprof::baseline_bottleneck(BASELINE) else {
+        println!("no {BASELINE} baseline; skipping bottleneck-delta gate");
+        return Ok(());
+    };
+    let today = engineprof::bottleneck_share(prof, &name);
+    println!(
+        "'{name}' share of lost time: {:.1}% (committed baseline {:.1}%)",
+        today * 100.0,
+        base_share * 100.0
+    );
+    if today >= base_share {
+        return Err(format!(
+            "'{name}' still holds {:.1}% of lost time (baseline {:.1}%) — the \
+             profile-guided loop did not shrink the named bottleneck",
+            today * 100.0,
+            base_share * 100.0
+        ));
+    }
+    println!("named bottleneck's share shrank vs baseline ✓");
+    Ok(())
+}
+
 /// Print the top idle-time attribution — the failure diagnosis `--check`
 /// leaves behind so a red gate names its suspect.
 fn print_attribution(prof: &EngineProf) {
@@ -168,6 +206,11 @@ fn main() {
         assert!(shards >= 1, "--shards must be >= 1");
     }
     let chrome = value_of("--chrome").map(str::to_string);
+    let partition = value_of("--partition")
+        .map(nicbar_bench::parse_partition)
+        .unwrap_or_default();
+    // Excess shards would sit empty yet still pay every window barrier.
+    shards = shards.min(nodes);
 
     // Figure-scale iteration counts: at 4096 nodes a handful of barrier
     // iterations already runs millions of events per shard, which is what
@@ -177,6 +220,7 @@ fn main() {
         iters: if quick { 30 } else { 8 },
         engine: EngineSel::Parallel,
         shards,
+        partition,
         ..RunCfg::default()
     };
     let label = format!("gm NIC-DS, {nodes} nodes");
@@ -227,6 +271,11 @@ fn main() {
     );
 
     if !quick {
+        if let Err(msg) = bottleneck_delta_gate(&prof) {
+            eprintln!("engine_prof --check: {msg}");
+            print_attribution(&prof);
+            std::process::exit(1);
+        }
         if let Err(msg) = disabled_overhead_gate() {
             eprintln!("engine_prof --check: {msg}");
             print_attribution(&prof);

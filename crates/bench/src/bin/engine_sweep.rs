@@ -13,7 +13,11 @@
 //! `results/engine_sweep.json`, exiting non-zero on a >5% geomean
 //! regression. This is the observability zero-overhead gate: the recorder
 //! and trace ring stay disabled, so any slowdown here is hot-path damage.
-//! Quick mode never overwrites the baseline.
+//! Quick mode never overwrites the baseline. Quick mode also prints an
+//! informational mutex-vs-SPSC mailbox throughput comparison (the same
+//! contrast `cargo bench -p nicbar-sim --bench mailbox` measures under
+//! criterion) — reported, not gated, because cross-thread throughput on a
+//! loaded CI box is too noisy for a hard threshold.
 
 use nicbar_bench::json::{Manifest, Writer};
 use nicbar_bench::seed_engine::{SeedComponent, SeedCtx, SeedEngine};
@@ -382,6 +386,107 @@ fn baseline_rows(path: &str) -> Vec<(String, f64)> {
 
 /// `--quick` gate: timing-wheel micro throughput vs the saved baseline.
 /// Exits 1 on a >5% geomean regression; never writes the baseline.
+/// Cross-thread mailbox path, mutex vs SPSC ring — the contrast that
+/// motivated replacing `Mutex<Vec>` mailboxes in the parallel engine.
+/// Each producer thread pushes `items` u64s to the consumer; the mutex
+/// variant shares one `Mutex<Vec>`, the ring variant gives each producer
+/// its own [`nicbar_sim::SpscRing`] (the engine's per-pair topology).
+/// Returns (mutex_secs, ring_secs). Informational only: wall-clock on a
+/// shared box is too noisy to gate, and on a 1-core host both variants
+/// degenerate to context-switch benchmarks.
+fn mailbox_transfer(producers: usize, items: u64) -> (f64, f64) {
+    use std::sync::Mutex;
+
+    let mutex_secs = {
+        let shared: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..items {
+                        shared.lock().expect("mailbox mutex").push(p as u64 ^ i);
+                    }
+                });
+            }
+            let total = producers as u64 * items;
+            let mut received = 0u64;
+            let mut drained = Vec::new();
+            while received < total {
+                {
+                    let mut guard = shared.lock().expect("mailbox mutex");
+                    std::mem::swap(&mut *guard, &mut drained);
+                }
+                received += drained.len() as u64;
+                drained.clear();
+                if received < total {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    let ring_secs = {
+        let rings: Vec<nicbar_sim::SpscRing<u64>> = (0..producers)
+            .map(|_| nicbar_sim::SpscRing::new(1024))
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for (p, ring) in rings.iter().enumerate() {
+                s.spawn(move || {
+                    for i in 0..items {
+                        let mut v = p as u64 ^ i;
+                        while let Err(back) = ring.push(v) {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let total = producers as u64 * items;
+            let mut received = 0u64;
+            while received < total {
+                let mut progressed = false;
+                for ring in &rings {
+                    while ring.pop().is_some() {
+                        received += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    (mutex_secs, ring_secs)
+}
+
+/// Print the mutex-vs-ring mailbox comparison at 1, 2, 4, 8 producers.
+/// Not a gate — see [`mailbox_transfer`].
+fn mailbox_report() {
+    const ITEMS: u64 = 50_000;
+    println!("== mailbox path: Mutex<Vec> vs SpscRing (informational, not gated) ==\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>8}",
+        "producers", "mutex Kops/s", "ring Kops/s", "ratio"
+    );
+    for producers in [1usize, 2, 4, 8] {
+        let (mutex_s, ring_s) = mailbox_transfer(producers, ITEMS);
+        let total = (producers as u64 * ITEMS) as f64;
+        println!(
+            "{producers:<10} {:>14.0} {:>14.0} {:>7.2}x",
+            total / mutex_s / 1e3,
+            total / ring_s / 1e3,
+            mutex_s / ring_s
+        );
+    }
+    println!();
+}
+
 fn quick_gate(baseline_path: &str) -> ! {
     const TOLERANCE: f64 = 0.95;
     let baseline = baseline_rows(baseline_path);
@@ -433,6 +538,7 @@ fn quick_gate(baseline_path: &str) -> ! {
         std::process::exit(1);
     }
     println!("engine_sweep --quick: within tolerance ✓\n");
+    mailbox_report();
     parallel_one_shard_gate();
     std::process::exit(0);
 }

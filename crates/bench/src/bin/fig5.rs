@@ -32,8 +32,8 @@ fn main() {
         parallel_sweep_map(&ns, |n| {
             let params = GmParams::lanai_9_1();
             match mode {
-                "nic" => gm_nic_barrier(params, CollFeatures::paper(), n, algo, cfg),
-                _ => gm_host_barrier(params, n, algo, cfg),
+                "nic" => gm_nic_barrier(params, CollFeatures::paper(), n, algo, cfg.clone()),
+                _ => gm_host_barrier(params, n, algo, cfg.clone()),
             }
         })
     };
@@ -129,7 +129,7 @@ fn main() {
         let prof_cfg = RunCfg {
             engine: EngineSel::Parallel,
             shards,
-            ..cfg
+            ..cfg.clone()
         };
         let mut cluster = build_gm_nic_cluster(
             GmParams::lanai_9_1(),

@@ -25,8 +25,10 @@ fn main() {
         parallel_sweep(&ns, |n| {
             let params = GmParams::lanai_xp();
             match mode {
-                "nic" => gm_nic_barrier(params, CollFeatures::paper(), n, algo, cfg).mean_us,
-                _ => gm_host_barrier(params, n, algo, cfg).mean_us,
+                "nic" => {
+                    gm_nic_barrier(params, CollFeatures::paper(), n, algo, cfg.clone()).mean_us
+                }
+                _ => gm_host_barrier(params, n, algo, cfg.clone()).mean_us,
             }
         })
     };

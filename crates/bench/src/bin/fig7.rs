@@ -36,12 +36,16 @@ fn main() {
     };
 
     let nic = |algo: Algorithm| -> Vec<(usize, BarrierStats)> {
-        parallel_sweep_map(&ns, |n| elan_nic_barrier(ElanParams::elan3(), n, algo, cfg))
+        parallel_sweep_map(&ns, |n| {
+            elan_nic_barrier(ElanParams::elan3(), n, algo, cfg.clone())
+        })
     };
     let gsync = parallel_sweep_map(&ns, |n| {
-        elan_gsync_barrier(ElanParams::elan3(), n, GSYNC_DEGREE, cfg)
+        elan_gsync_barrier(ElanParams::elan3(), n, GSYNC_DEGREE, cfg.clone())
     });
-    let hw = parallel_sweep_map(&ns, |n| elan_hw_barrier(ElanParams::elan3(), n, cfg));
+    let hw = parallel_sweep_map(&ns, |n| {
+        elan_hw_barrier(ElanParams::elan3(), n, cfg.clone())
+    });
 
     let sweeps: Vec<(&str, Vec<(usize, BarrierStats)>)> = vec![
         ("NIC-Barrier-DS", nic(Algorithm::Dissemination)),

@@ -28,12 +28,12 @@ fn main() {
     // quick config is already below the large-n budget.
     let cfg_for = |n: usize| -> RunCfg {
         if n <= 64 || quick {
-            base
+            base.clone()
         } else {
             RunCfg {
                 warmup: 20,
                 iters: 200,
-                ..base
+                ..base.clone()
             }
         }
     };

@@ -84,7 +84,7 @@ fn main() {
             ElanParams::elan3(),
             nodes,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
         ));
     }
     if run_gm {

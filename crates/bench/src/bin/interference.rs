@@ -30,7 +30,7 @@ fn main() {
                     CollFeatures::paper(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                 )
                 .mean_us
             }
@@ -40,13 +40,18 @@ fn main() {
                     CollFeatures::direct(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                 )
                 .mean_us
             }
             ("host", 0) => {
-                nicbar_core::gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg)
-                    .mean_us
+                nicbar_core::gm_host_barrier(
+                    GmParams::lanai_xp(),
+                    n,
+                    Algorithm::Dissemination,
+                    cfg.clone(),
+                )
+                .mean_us
             }
             ("paper", _) => {
                 gm_nic_barrier_under_traffic(
@@ -54,7 +59,7 @@ fn main() {
                     CollFeatures::paper(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                     traffic,
                 )
                 .mean_us
@@ -65,7 +70,7 @@ fn main() {
                     CollFeatures::direct(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                     traffic,
                 )
                 .mean_us
@@ -75,7 +80,7 @@ fn main() {
                     GmParams::lanai_xp(),
                     n,
                     Algorithm::Dissemination,
-                    cfg,
+                    cfg.clone(),
                     traffic,
                 )
                 .mean_us

@@ -23,18 +23,39 @@ fn main() {
     let big = RunCfg {
         warmup: 20,
         iters: 200,
-        ..cfg
+        ..cfg.clone()
     };
     let ds = Algorithm::Dissemination;
 
-    let q_nic8 = elan_nic_barrier(ElanParams::elan3(), 8, ds, cfg).mean_us;
-    let q_tree8 = elan_gsync_barrier(ElanParams::elan3(), 8, 4, cfg).mean_us;
-    let m_nic8 = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), 8, ds, cfg).mean_us;
-    let m_host8 = gm_host_barrier(GmParams::lanai_xp(), 8, ds, cfg).mean_us;
-    let o_nic16 = gm_nic_barrier(GmParams::lanai_9_1(), CollFeatures::paper(), 16, ds, cfg).mean_us;
-    let o_host16 = gm_host_barrier(GmParams::lanai_9_1(), 16, ds, cfg).mean_us;
-    let q_1024 = elan_nic_barrier(ElanParams::elan3(), 1024, ds, big).mean_us;
-    let m_1024 = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), 1024, ds, big).mean_us;
+    let q_nic8 = elan_nic_barrier(ElanParams::elan3(), 8, ds, cfg.clone()).mean_us;
+    let q_tree8 = elan_gsync_barrier(ElanParams::elan3(), 8, 4, cfg.clone()).mean_us;
+    let m_nic8 = gm_nic_barrier(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        8,
+        ds,
+        cfg.clone(),
+    )
+    .mean_us;
+    let m_host8 = gm_host_barrier(GmParams::lanai_xp(), 8, ds, cfg.clone()).mean_us;
+    let o_nic16 = gm_nic_barrier(
+        GmParams::lanai_9_1(),
+        CollFeatures::paper(),
+        16,
+        ds,
+        cfg.clone(),
+    )
+    .mean_us;
+    let o_host16 = gm_host_barrier(GmParams::lanai_9_1(), 16, ds, cfg.clone()).mean_us;
+    let q_1024 = elan_nic_barrier(ElanParams::elan3(), 1024, ds, big.clone()).mean_us;
+    let m_1024 = gm_nic_barrier(
+        GmParams::lanai_xp(),
+        CollFeatures::paper(),
+        1024,
+        ds,
+        big.clone(),
+    )
+    .mean_us;
 
     println!("== Table 1 — headline results, paper vs simulation ==\n");
     println!("{:<46} {:>9} {:>11}", "metric", "paper", "simulated");

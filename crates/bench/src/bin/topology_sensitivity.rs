@@ -76,7 +76,7 @@ fn main() {
         "radix", "diameter", "latency(µs)"
     );
     for radix in [8usize, 16, 32, 64] {
-        let (latency, diameter) = barrier_with_radix(1024, radix, cfg);
+        let (latency, diameter) = barrier_with_radix(1024, radix, cfg.clone());
         println!("{radix:>7} {diameter:>10} {latency:>12.2}");
     }
     println!("\nShallower networks (bigger crossbars) close most of the gap between");

@@ -308,6 +308,25 @@ pub fn chrome_trace(prof: &EngineProf) -> String {
     w.finish()
 }
 
+/// The `shards × shards` cross-shard traffic matrix (row = source shard,
+/// column = destination shard): events deposited into each mailbox, summed
+/// over the per-window detail records. Windows past the detail cap are not
+/// counted — the matrix is a sampled shape, not an exact total — which is
+/// fine for the cost model that consumes it.
+pub fn traffic_matrix(prof: &EngineProf) -> Vec<u64> {
+    let k = prof.shards;
+    let mut m = vec![0u64; k * k];
+    for d in &prof.data {
+        let src = d.shard as usize;
+        for wi in 0..d.windows.len() {
+            for dst in 0..k {
+                m[src * k + dst] += d.sent_to(wi, dst);
+            }
+        }
+    }
+    m
+}
+
 /// Render the manifest-stamped machine-readable profile
 /// (`results/engine_prof.json`).
 pub fn to_json(prof: &EngineProf, label: &str, wall_s: f64, manifest: &Manifest) -> String {
@@ -361,6 +380,14 @@ pub fn to_json(prof: &EngineProf, label: &str, wall_s: f64, manifest: &Manifest)
     w.field("dominant_share");
     w.number(dom_share);
     w.close_object();
+    let traffic = traffic_matrix(prof);
+    w.field("traffic_matrix");
+    w.open_array();
+    for row in traffic.chunks(prof.shards.max(1)) {
+        let vals: Vec<f64> = row.iter().map(|&v| v as f64).collect();
+        w.compact_array(&vals);
+    }
+    w.close_array();
     w.field("shards_detail");
     w.open_array();
     for d in &prof.data {
@@ -426,6 +453,158 @@ pub fn baseline_one_shard_overhead(path: &str) -> Option<f64> {
     let rest = &chunk[v..];
     let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// The named attribution bucket's share of lost (non-busy) worker time:
+/// `0.0` for unknown names or when nothing was lost. Shares use the same
+/// denominator as [`nicbar_sim::ProfAttribution::dominant`], so a share
+/// read back from a saved capture's `dominant_share` is directly
+/// comparable.
+pub fn bottleneck_share(prof: &EngineProf, name: &str) -> f64 {
+    let att = prof.attribution();
+    let lost = att.idle_ns + att.mailbox_ns;
+    if lost == 0 {
+        return 0.0;
+    }
+    let ns = match name {
+        "imbalance" => att.imbalance_ns,
+        "lookahead stall" => att.stall_ns,
+        "mailbox contention" => att.mailbox_ns,
+        _ => 0,
+    };
+    ns as f64 / lost as f64
+}
+
+/// The dominant bottleneck a committed `engine_prof` capture named, and
+/// its share of lost time, or `None` when the file is missing or
+/// malformed. `engine_prof --check` compares today's share of that same
+/// bucket against this.
+pub fn baseline_bottleneck(path: &str) -> Option<(String, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let pat = "\"dominant\": \"";
+    let start = text.find(pat)? + pat.len();
+    let rest = &text[start..];
+    let name = rest[..rest.find('"')?].to_string();
+    let pat = "\"dominant_share\": ";
+    let v = rest.find(pat)? + pat.len();
+    let rest = &rest[v..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    let share: f64 = rest[..end].trim().parse().ok()?;
+    Some((name, share))
+}
+
+/// A prior run's per-shard load summary parsed back out of a
+/// `results/engine_prof.json`-shaped capture — enough to drive
+/// profile-guided repartitioning without a JSON dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// Component count per prior shard (`shards_detail[].components`).
+    pub components: Vec<u64>,
+    /// Busy nanoseconds per prior shard (`shards_detail[].busy_ns`).
+    pub busy_ns: Vec<u64>,
+    /// Row-major `k × k` cross-shard event counts; empty when the capture
+    /// predates the traffic matrix.
+    pub traffic: Vec<u64>,
+}
+
+/// Every unsigned integer that directly follows a `"key": ` occurrence in
+/// `chunk`, in order.
+fn uints_after(chunk: &str, key: &str) -> Vec<u64> {
+    let pat = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = chunk;
+    while let Some(i) = rest.find(&pat) {
+        let v = &rest[i + pat.len()..];
+        let end = v.find(|c: char| !c.is_ascii_digit()).unwrap_or(v.len());
+        if let Ok(n) = v[..end].parse() {
+            out.push(n);
+        }
+        rest = v;
+    }
+    out
+}
+
+/// Parse a [`LoadProfile`] back out of a saved `engine_prof` capture.
+/// Returns `None` when the file is missing or does not carry a coherent
+/// `shards_detail` table. A missing `traffic_matrix` (pre-cost-model
+/// captures) degrades to an empty matrix, not a failure.
+pub fn load_profile(path: &str) -> Option<LoadProfile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let detail_at = text.find("\"shards_detail\"")?;
+    let detail = &text[detail_at..];
+    let components = uints_after(detail, "components");
+    let busy_ns = uints_after(detail, "busy_ns");
+    if components.is_empty() || components.len() != busy_ns.len() {
+        return None;
+    }
+    let k = components.len();
+    let traffic: Vec<u64> = match text.find("\"traffic_matrix\"") {
+        Some(t) if t < detail_at => text[t..detail_at]
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.parse().ok())
+            .collect(),
+        _ => Vec::new(),
+    };
+    let traffic = if traffic.len() == k * k {
+        traffic
+    } else {
+        Vec::new()
+    };
+    Some(LoadProfile {
+        components,
+        busy_ns,
+        traffic,
+    })
+}
+
+/// Turn a saved capture into a profile-guided [`nicbar_sim::PartitionSel`].
+///
+/// Cost model: the prior run's contiguous layout puts `components / 2`
+/// nodes on each shard (host + NIC per node), so each node inherits its
+/// old shard's mean busy time as its weight. Cut costs come from the
+/// traffic matrix: a node interior to old shard `s` costs `s`'s mean
+/// per-node outgoing traffic to cut before, while an old shard boundary
+/// costs exactly the traffic measured across that pair — so the
+/// repartitioner keeps low-traffic cuts and slides high-traffic ones,
+/// subject to the load bound staying primary. Returns `None` when the
+/// capture is unreadable or empty.
+pub fn partition_from_profile(path: &str) -> Option<nicbar_sim::PartitionSel> {
+    let p = load_profile(path)?;
+    let k = p.components.len();
+    let nodes_per: Vec<usize> = p.components.iter().map(|&c| (c / 2) as usize).collect();
+    let total: usize = nodes_per.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let have_traffic = p.traffic.len() == k * k;
+    let mut weights: Vec<u64> = Vec::with_capacity(total);
+    let mut boundary: Vec<u64> = vec![0; total];
+    let mut start = 0usize;
+    for (s, &n_s) in nodes_per.iter().enumerate() {
+        if n_s == 0 {
+            continue;
+        }
+        let w = (p.busy_ns[s] / n_s as u64).max(1);
+        weights.extend(std::iter::repeat_n(w, n_s));
+        if have_traffic {
+            let row: u64 = p.traffic[s * k..(s + 1) * k].iter().sum();
+            let interior = row / n_s as u64;
+            for b in boundary.iter_mut().skip(start).take(n_s) {
+                *b = interior;
+            }
+            if s > 0 {
+                boundary[start] =
+                    p.traffic[(s - 1) * k + s].saturating_add(p.traffic[s * k + (s - 1)]);
+            }
+        }
+        start += n_s;
+    }
+    let boundary_cost: Vec<u64> = if have_traffic { boundary } else { Vec::new() };
+    Some(nicbar_sim::PartitionSel::Weighted {
+        weights: weights.into(),
+        boundary_cost: boundary_cost.into(),
+    })
 }
 
 #[cfg(test)]
@@ -504,6 +683,104 @@ mod tests {
         assert!(json.contains("\"dominant\""));
         assert!(json.contains("\"shards_detail\""));
         assert!(json.matches("\"shard\":").count() == 3);
+        assert!(json.contains("\"traffic_matrix\""));
+    }
+
+    #[test]
+    fn traffic_matrix_is_square_with_empty_diagonal() {
+        let prof = profiled_run();
+        let m = traffic_matrix(&prof);
+        assert_eq!(m.len(), 9);
+        for s in 0..3 {
+            assert_eq!(m[s * 3 + s], 0, "no self-mailbox traffic");
+        }
+        // The dissemination barrier at 12 nodes / 3 shards must cross
+        // shard boundaries somewhere.
+        assert!(m.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn profile_round_trips_through_json_to_a_weighted_partition() {
+        let prof = profiled_run();
+        let m = Manifest::new(42, "engine_prof test");
+        let json = to_json(&prof, "gm NIC-DS, 12 nodes", 0.5, &m);
+        let dir = std::env::temp_dir().join("nicbar_engineprof_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine_prof.json");
+        std::fs::write(&path, &json).unwrap();
+
+        let p = load_profile(path.to_str().unwrap()).unwrap();
+        assert_eq!(p.components.len(), 3);
+        assert_eq!(p.busy_ns.len(), 3);
+        assert_eq!(p.traffic, traffic_matrix(&prof));
+        assert_eq!(
+            p.components.iter().sum::<u64>(),
+            24,
+            "12 nodes × (host + NIC)"
+        );
+
+        let sel = partition_from_profile(path.to_str().unwrap()).unwrap();
+        let nicbar_sim::PartitionSel::Weighted {
+            weights,
+            boundary_cost,
+        } = &sel
+        else {
+            panic!("expected a weighted partition, got {sel:?}");
+        };
+        assert_eq!(weights.len(), 12, "one weight per prior node");
+        assert_eq!(boundary_cost.len(), 12);
+        assert!(weights.iter().all(|&w| w >= 1));
+        // The selection must build a valid map for a differently-sized run.
+        let map = sel.map(16, 8, 2, |c| c % 8);
+        assert_eq!(map.shards(), 2);
+
+        // A capture without the traffic matrix still loads (empty matrix,
+        // no boundary costs).
+        let stripped = {
+            let t = json.find("\"traffic_matrix\"").unwrap();
+            let d = json.find("\"shards_detail\"").unwrap();
+            format!("{}{}", &json[..t], &json[d..])
+        };
+        let legacy = dir.join("engine_prof_legacy.json");
+        std::fs::write(&legacy, stripped).unwrap();
+        let p2 = load_profile(legacy.to_str().unwrap()).unwrap();
+        assert!(p2.traffic.is_empty());
+        let sel2 = partition_from_profile(legacy.to_str().unwrap()).unwrap();
+        let nicbar_sim::PartitionSel::Weighted { boundary_cost, .. } = &sel2 else {
+            panic!("expected weighted");
+        };
+        assert!(boundary_cost.is_empty());
+
+        assert!(load_profile("/nonexistent/engine_prof.json").is_none());
+        assert!(partition_from_profile("/nonexistent/engine_prof.json").is_none());
+    }
+
+    #[test]
+    fn bottleneck_share_matches_dominant_and_baseline_parses() {
+        let prof = profiled_run();
+        let (dom, dom_share) = prof.attribution().dominant();
+        assert!((bottleneck_share(&prof, dom) - dom_share).abs() < 1e-12);
+        assert_eq!(bottleneck_share(&prof, "no such bucket"), 0.0);
+        let att = prof.attribution();
+        if att.idle_ns + att.mailbox_ns > 0 {
+            let shares: f64 = ["imbalance", "lookahead stall", "mailbox contention"]
+                .iter()
+                .map(|n| bottleneck_share(&prof, n))
+                .sum();
+            // imbalance + stall == idle, so the buckets tile lost time.
+            assert!((shares - 1.0).abs() < 1e-9, "shares sum to {shares}");
+        }
+
+        let m = Manifest::new(7, "delta gate test");
+        let json = to_json(&prof, "x", 0.1, &m);
+        let dir = std::env::temp_dir().join("nicbar_engineprof_baseline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine_prof_pr7.json");
+        std::fs::write(&path, json).unwrap();
+        let (name, share) = baseline_bottleneck(path.to_str().unwrap()).unwrap();
+        assert_eq!(name, dom);
+        assert!((share - dom_share).abs() < 1e-9);
+        assert!(baseline_bottleneck("/nonexistent/prof.json").is_none());
     }
 
     #[test]

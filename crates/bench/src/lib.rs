@@ -234,7 +234,7 @@ pub fn quick_cfg() -> nicbar_core::RunCfg {
 }
 
 /// The command-line options every figure binary understands, parsed once.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FigArgs {
     /// `--quick`: CI smoke mode — shrink the sweep and iteration counts.
     pub quick: bool,
@@ -244,13 +244,28 @@ pub struct FigArgs {
     /// report for one parallel run after the sweep.
     pub prof: bool,
     /// [`quick_cfg`] under `--quick`, [`figure_cfg`] otherwise, with
-    /// `--engine`/`--shards` already threaded in.
+    /// `--engine`/`--shards`/`--partition` already threaded in.
     pub cfg: nicbar_core::RunCfg,
 }
 
+/// Parse a `--partition` flag value: `contiguous` (the default even split)
+/// or `profile=<path>` (profile-guided, reading a prior
+/// `results/engine_prof.json`-shaped capture).
+pub fn parse_partition(value: &str) -> nicbar_sim::PartitionSel {
+    match value {
+        "contiguous" => nicbar_sim::PartitionSel::Contiguous,
+        other => match other.strip_prefix("profile=") {
+            Some(path) => engineprof::partition_from_profile(path).unwrap_or_else(|| {
+                panic!("--partition profile={path}: not a readable engine_prof capture")
+            }),
+            None => panic!("--partition must be contiguous|profile=<path>, got {other}"),
+        },
+    }
+}
+
 /// Parse the figure binaries' shared flags from `std::env::args`:
-/// `--quick`, `--flight`, `--prof`, `--engine <auto|sequential|parallel>`
-/// and `--shards <K>`.
+/// `--quick`, `--flight`, `--prof`, `--engine <auto|sequential|parallel>`,
+/// `--shards <K>` and `--partition <contiguous|profile=PATH>`.
 pub fn fig_args() -> FigArgs {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -277,6 +292,9 @@ pub fn fig_args() -> FigArgs {
             .parse()
             .unwrap_or_else(|_| panic!("--shards must be a positive integer, got {shards}"));
         assert!(cfg.shards >= 1, "--shards must be >= 1");
+    }
+    if let Some(partition) = value_of("--partition") {
+        cfg.partition = parse_partition(partition);
     }
     FigArgs {
         quick,

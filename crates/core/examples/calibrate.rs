@@ -23,9 +23,14 @@ fn main() {
             CollFeatures::paper(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
         );
-        let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg);
+        let host = gm_host_barrier(
+            GmParams::lanai_xp(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
         println!(
             "n={n:2}  NIC-DS {:6.2}  Host-DS {:6.2}  factor {:.2}",
             nic.mean_us,
@@ -40,9 +45,14 @@ fn main() {
             CollFeatures::paper(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
         );
-        let host = gm_host_barrier(GmParams::lanai_9_1(), n, Algorithm::Dissemination, cfg);
+        let host = gm_host_barrier(
+            GmParams::lanai_9_1(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
         println!(
             "n={n:2}  NIC-DS {:6.2}  Host-DS {:6.2}  factor {:.2}",
             nic.mean_us,
@@ -52,9 +62,14 @@ fn main() {
     }
     println!("== Quadrics Elan3 (targets: NIC@8=5.60, gsync@8=13.9 (2.48x), hw=4.20) ==");
     for n in [2, 4, 8] {
-        let nic = elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg);
-        let gs = elan_gsync_barrier(ElanParams::elan3(), n, 4, cfg);
-        let hw = elan_hw_barrier(ElanParams::elan3(), n, cfg);
+        let nic = elan_nic_barrier(
+            ElanParams::elan3(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
+        let gs = elan_gsync_barrier(ElanParams::elan3(), n, 4, cfg.clone());
+        let hw = elan_hw_barrier(ElanParams::elan3(), n, cfg.clone());
         println!(
             "n={n:2}  NIC-DS {:6.2}  gsync {:6.2}  hw {:6.2}  factor {:.2}",
             nic.mean_us,
@@ -71,7 +86,7 @@ fn main() {
         RunCfg {
             warmup: 5,
             iters: 20,
-            ..cfg
+            ..cfg.clone()
         },
     );
     let m = gm_nic_barrier(

@@ -12,8 +12,8 @@ use nicbar_elan::{ElanApp, ElanCluster, ElanClusterSpec, ElanParams, NicProgram}
 use nicbar_gm::{CollFeatures, GmApp, GmCluster, GmClusterSpec, GmParams, GroupId, NicCollective};
 use nicbar_net::{NodeId, Permutation};
 use nicbar_sim::{
-    EngineSel, ExecEngine, Histogram, LedgerRecord, PacketRecord, RunOutcome, SchedulerKind,
-    SimRng, SimTime, SpanSummary, TraceRecord,
+    EngineSel, ExecEngine, Histogram, LedgerRecord, PacketRecord, PartitionSel, RunOutcome,
+    SchedulerKind, SimRng, SimTime, SpanSummary, TraceRecord,
 };
 
 /// The collective group id used by the barrier benchmarks.
@@ -22,7 +22,7 @@ pub const BARRIER_GROUP: GroupId = GroupId(0xBA);
 /// Common benchmark configuration (paper §8: 100 warm-up iterations, the
 /// average of the following iterations as the latency, random node
 /// permutations).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunCfg {
     /// Discarded warm-up iterations.
     pub warmup: u64,
@@ -44,6 +44,9 @@ pub struct RunCfg {
     pub engine: EngineSel,
     /// Worker shards for the parallel engine.
     pub shards: usize,
+    /// Component-to-shard partition strategy for the parallel engine
+    /// (profile-guided when the fig binaries get `--partition profile=..`).
+    pub partition: PartitionSel,
 }
 
 impl Default for RunCfg {
@@ -58,6 +61,7 @@ impl Default for RunCfg {
             scheduler: SchedulerKind::default(),
             engine: EngineSel::Auto,
             shards: 1,
+            partition: PartitionSel::Contiguous,
         }
     }
 }
@@ -283,7 +287,8 @@ pub fn build_gm_nic_cluster(
         .with_features(features)
         .with_scheduler(cfg.scheduler)
         .with_engine(cfg.engine)
-        .with_shards(cfg.shards);
+        .with_shards(cfg.shards)
+        .with_partition(cfg.partition.clone());
     let members = cfg.members(n);
     // One shared membership list for every rank's GroupSpec: at 65,536
     // nodes a per-rank copy would be 34 GB.
@@ -395,7 +400,8 @@ pub fn gm_host_barrier(params: GmParams, n: usize, algo: Algorithm, cfg: RunCfg)
         .with_drop_prob(cfg.drop_prob)
         .with_scheduler(cfg.scheduler)
         .with_engine(cfg.engine)
-        .with_shards(cfg.shards);
+        .with_shards(cfg.shards)
+        .with_partition(cfg.partition.clone());
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn GmApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -444,7 +450,8 @@ pub fn build_elan_nic_cluster(
         .with_seed(cfg.seed)
         .with_scheduler(cfg.scheduler)
         .with_engine(cfg.engine)
-        .with_shards(cfg.shards);
+        .with_shards(cfg.shards)
+        .with_partition(cfg.partition.clone());
     let members = cfg.members(n);
     let chain_by_rank = build_chains(algo, &members);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
@@ -537,7 +544,8 @@ pub fn elan_gsync_barrier(
         .with_seed(cfg.seed)
         .with_scheduler(cfg.scheduler)
         .with_engine(cfg.engine)
-        .with_shards(cfg.shards);
+        .with_shards(cfg.shards)
+        .with_partition(cfg.partition.clone());
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for (rank, &node) in members.iter().enumerate() {
@@ -649,7 +657,8 @@ fn elan_thread_collective(
         .with_seed(cfg.seed)
         .with_scheduler(cfg.scheduler)
         .with_engine(cfg.engine)
-        .with_shards(cfg.shards);
+        .with_shards(cfg.shards)
+        .with_partition(cfg.partition.clone());
     let members = cfg.members(n);
     let mut apps: Vec<Option<Box<dyn ElanApp>>> = (0..n).map(|_| None).collect();
     for &node in members.iter() {

@@ -66,7 +66,7 @@ fn nic_barrier_message_count_matches_schedule_and_has_no_acks() {
         CollFeatures::paper(),
         8,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     let total = cfg.total();
     assert_eq!(s.counter("wire.coll"), 24 * total);
@@ -81,13 +81,18 @@ fn host_barrier_sends_twice_the_packets_of_nic_barrier() {
     // Host-based: 24 data + 24 ACKs per barrier. NIC-based: 24 collective
     // packets. "reduces the number of total packets by half" (§3).
     let cfg = quick();
-    let host = gm_host_barrier(GmParams::lanai_xp(), 8, Algorithm::Dissemination, cfg);
+    let host = gm_host_barrier(
+        GmParams::lanai_xp(),
+        8,
+        Algorithm::Dissemination,
+        cfg.clone(),
+    );
     let nic = gm_nic_barrier(
         GmParams::lanai_xp(),
         CollFeatures::paper(),
         8,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     let ratio = host.wire_per_barrier / nic.wire_per_barrier;
     assert!(
@@ -111,7 +116,7 @@ fn nic_barrier_survives_packet_loss_via_nacks() {
         CollFeatures::paper(),
         8,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     // It completed (stats_from_logs asserts every rank finished every
     // epoch) and the NACK machinery actually fired.
@@ -136,7 +141,7 @@ fn nic_barrier_survives_heavy_loss() {
         CollFeatures::paper(),
         6,
         Algorithm::PairwiseExchange,
-        cfg,
+        cfg.clone(),
     );
     assert!(s.counter("wire.coll_nack") > 0);
 }
@@ -203,7 +208,7 @@ fn skewed_entry_still_synchronizes() {
         CollFeatures::paper(),
         8,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     // With up-to-20µs skew the mean must absorb the skew (it dominates).
     assert!(s.mean_us > 5.0 && s.mean_us < 100.0, "{:.2}us", s.mean_us);
@@ -269,6 +274,11 @@ fn elan_runs_are_deterministic() {
 fn elan_chain_wire_traffic_matches_schedule() {
     // 8-node dissemination: 3 RDMAs per rank per barrier, nothing else.
     let cfg = quick();
-    let s = elan_nic_barrier(ElanParams::elan3(), 8, Algorithm::Dissemination, cfg);
+    let s = elan_nic_barrier(
+        ElanParams::elan3(),
+        8,
+        Algorithm::Dissemination,
+        cfg.clone(),
+    );
     assert_eq!(s.counter("elan.wire"), 24 * cfg.total());
 }

@@ -21,7 +21,7 @@ fn skewed_chains_never_lose_epochs() {
                 skew_us: 40.0,
                 ..RunCfg::default()
             };
-            let s = elan_nic_barrier(ElanParams::elan3(), 7, algo, cfg);
+            let s = elan_nic_barrier(ElanParams::elan3(), 7, algo, cfg.clone());
             // With that much skew, the mean tracks the skew, not the wire.
             assert!(
                 s.mean_us > 10.0,
@@ -45,7 +45,12 @@ fn one_laggard_gates_everyone() {
         skew_us: 30.0,
         ..RunCfg::default()
     };
-    let s = elan_nic_barrier(ElanParams::elan3(), 8, Algorithm::Dissemination, cfg);
+    let s = elan_nic_barrier(
+        ElanParams::elan3(),
+        8,
+        Algorithm::Dissemination,
+        cfg.clone(),
+    );
     // Expected per-iteration ≈ E[max of 8 U(0,30)] ≈ 26.7 plus barrier cost.
     assert!(
         s.mean_us > 20.0 && s.mean_us < 45.0,

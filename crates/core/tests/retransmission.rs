@@ -131,7 +131,7 @@ fn lossy_run_span_events_agree_with_counters() {
         CollFeatures::paper(),
         n,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     assert_eq!(cap.trace_dropped, 0, "counting needs a complete trace");
 

@@ -8,8 +8,8 @@ use crate::params::ElanParams;
 use crate::types::{NicEvent, RdmaDesc};
 use nicbar_net::{NodeId, QuaternaryFatTree, WireModel, WireRx};
 use nicbar_sim::{
-    ComponentId, Engine, EngineSel, ExecEngine, ParallelEngine, RunOutcome, SchedulerKind,
-    ShardMap, SimTime,
+    ComponentId, Engine, EngineSel, ExecEngine, ParallelEngine, PartitionSel, RunOutcome,
+    SchedulerKind, SimTime,
 };
 use std::sync::Arc;
 
@@ -34,6 +34,8 @@ pub struct ElanClusterSpec {
     pub engine: EngineSel,
     /// Worker shards for the parallel engine (clamped to `[1, n]`).
     pub shards: usize,
+    /// Component-to-shard partition strategy for the parallel engine.
+    pub partition: PartitionSel,
 }
 
 impl ElanClusterSpec {
@@ -47,6 +49,7 @@ impl ElanClusterSpec {
             scheduler: SchedulerKind::default(),
             engine: EngineSel::Auto,
             shards: 1,
+            partition: PartitionSel::Contiguous,
         }
     }
 
@@ -77,6 +80,12 @@ impl ElanClusterSpec {
     /// Request `shards` parallel worker shards.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Select the component-to-shard partition strategy.
+    pub fn with_partition(mut self, partition: PartitionSel) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -181,10 +190,13 @@ impl ElanCluster {
         // mod n. The hardware barrier unit has no node and exchanges
         // sub-lookahead messages with every NIC, so its presence forces the
         // sequential engine.
-        let (parallel, shards) = spec.engine.resolve(spec.shards);
+        let (parallel, shards) = spec.engine.resolve(spec.shards.min(spec.n));
         let engine = if parallel && hw_id.is_none() {
-            let map = ShardMap::by_node(2 * spec.n, spec.n, shards, |c| c % spec.n);
-            ExecEngine::Par(ParallelEngine::new(engine, map, model.min_latency()))
+            let map = spec
+                .partition
+                .map(2 * spec.n, spec.n, shards, |c| c % spec.n);
+            let latency = model.lookahead_for(&map, spec.n);
+            ExecEngine::Par(ParallelEngine::with_latency(engine, map, latency))
         } else {
             ExecEngine::Seq(engine)
         };

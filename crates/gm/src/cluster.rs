@@ -9,8 +9,8 @@ use crate::nic::LanaiNic;
 use crate::params::{CollFeatures, GmParams};
 use nicbar_net::{NodeId, WireModel, WireRx, WormholeClos};
 use nicbar_sim::{
-    ComponentId, Engine, EngineSel, ExecEngine, ParallelEngine, RunOutcome, SchedulerKind,
-    ShardMap, SimTime,
+    ComponentId, Engine, EngineSel, ExecEngine, LatencyMatrix, ParallelEngine, PartitionSel,
+    RunOutcome, SchedulerKind, SimTime,
 };
 use std::sync::Arc;
 
@@ -37,6 +37,8 @@ pub struct GmClusterSpec {
     pub engine: EngineSel,
     /// Worker shards for the parallel engine (clamped to `[1, n]`).
     pub shards: usize,
+    /// Component-to-shard partition strategy for the parallel engine.
+    pub partition: PartitionSel,
 }
 
 impl GmClusterSpec {
@@ -53,6 +55,7 @@ impl GmClusterSpec {
             scheduler: SchedulerKind::default(),
             engine: EngineSel::Auto,
             shards: 1,
+            partition: PartitionSel::Contiguous,
         }
     }
 
@@ -89,6 +92,12 @@ impl GmClusterSpec {
     /// Request `shards` parallel worker shards.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Select the component-to-shard partition strategy.
+    pub fn with_partition(mut self, partition: PartitionSel) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -163,11 +172,16 @@ impl GmCluster {
 
         // Layout is [hosts 0..n][NICs n..2n], so a component's node is its
         // id mod n. Host↔NIC traffic is zero-lookahead and must co-locate;
-        // only the wire crossing (≥ min_latency) goes cross-shard.
-        let (parallel, shards) = spec.engine.resolve(spec.shards);
+        // only the wire crossing (≥ min_latency) goes cross-shard. Shard
+        // requests beyond the node count clamp to it — the excess shards
+        // would sit empty yet still pay every window barrier.
+        let (parallel, shards) = spec.engine.resolve(spec.shards.min(spec.n));
         let engine = if parallel {
-            let map = ShardMap::by_node(2 * spec.n, spec.n, shards, |c| c % spec.n);
-            ExecEngine::Par(ParallelEngine::new(engine, map, model.min_latency()))
+            let map = spec
+                .partition
+                .map(2 * spec.n, spec.n, shards, |c| c % spec.n);
+            let latency = model.lookahead_for(&map, spec.n);
+            ExecEngine::Par(ParallelEngine::with_latency(engine, map, latency))
         } else {
             ExecEngine::Seq(engine)
         };
@@ -202,14 +216,13 @@ impl GmCluster {
     }
 
     /// Swap every NIC onto a different wire model (topology ablations).
-    /// On the parallel engine the replacement's minimum latency must not
-    /// undercut the lookahead the shard windows were built with.
+    /// On the parallel engine the shard windows' lookahead bounds are
+    /// rebuilt from the replacement's global minimum latency: the old
+    /// per-pair bounds may be unsound for the new topology, so exactness
+    /// is dropped and correctness kept.
     pub fn set_wire_model(&mut self, model: Arc<WireModel>) {
-        if let ExecEngine::Par(par) = &self.engine {
-            assert!(
-                model.min_latency() >= par.lookahead(),
-                "replacement wire model undercuts the engine's lookahead"
-            );
+        if let ExecEngine::Par(par) = &mut self.engine {
+            par.set_latency(LatencyMatrix::uniform(par.shards(), model.min_latency()));
         }
         for &nic in &self.nics {
             self.engine

@@ -1,0 +1,20 @@
+//! ND005 corpus, atomics half: constructing atomics in sim-visible code.
+//! The only audited lock-free protocol is the SPSC mailbox ring in
+//! `crates/sim/src/queue.rs`; an `Atomic*::new` anywhere else is the seed
+//! of an ad-hoc cross-thread signalling scheme the determinism argument
+//! knows nothing about.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+static DONE: AtomicBool = AtomicBool::new(false); //~ ND005
+
+fn bad_counter() -> u64 {
+    let hits = AtomicU64::new(0); //~ ND005
+    hits.fetch_add(1, Ordering::Relaxed);
+    hits.load(Ordering::Relaxed)
+}
+
+fn bad_qualified() -> usize {
+    let slots = std::sync::atomic::AtomicUsize::new(8); //~ ND005
+    slots.load(Ordering::Acquire)
+}

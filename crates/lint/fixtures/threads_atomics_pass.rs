@@ -1,0 +1,16 @@
+//! ND005 corpus, atomics clean side: *operating on* an atomic someone
+//! else constructed is fine — the rule fires at the constructor, where
+//! the audited-protocol question is decided. Mentioning `Atomic*::new`
+//! in comments or strings is also fine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) -> u64 {
+    // AtomicU64::new would be flagged here; incrementing a handle the
+    // SPSC queue handed us is not constructing a new protocol.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn describe() -> &'static str {
+    "the ring calls AtomicUsize::new for its head and tail"
+}

@@ -467,6 +467,7 @@ fn fixture_scope(name: &str) -> Option<Scope> {
         scope.hash_state = true;
     } else if name.starts_with("threads_") {
         scope.threads = true;
+        scope.atomics = true;
     } else if name.starts_with("proto_") {
         scope.proto = true;
     } else if name.starts_with("hotpath_") {

@@ -51,7 +51,7 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     ),
     (
         "ND005",
-        "threads/channels (thread::spawn, thread::scope, mpsc) outside the parallel engine (crates/sim/src/parallel.rs)",
+        "threads/channels/atomics (thread::spawn, thread::scope, mpsc, Atomic*::new) outside the parallel engine (crates/sim/src/parallel.rs) and its SPSC queue (crates/sim/src/queue.rs)",
     ),
     (
         "PI001",
@@ -100,6 +100,11 @@ pub struct Scope {
     /// discipline keeps the run deterministic; a stray `thread::spawn` or
     /// channel elsewhere reintroduces scheduling nondeterminism.
     pub threads: bool,
+    /// ND005, atomics half: no `Atomic*::new` outside the SPSC mailbox
+    /// implementation (`crates/sim/src/queue.rs`) and the parallel engine.
+    /// A lone atomic is how ad-hoc cross-thread signalling starts; the
+    /// engine's rings are the only audited lock-free protocol in the tree.
+    pub atomics: bool,
     /// PI001: protocol bit-vector bookkeeping files.
     pub proto: bool,
     /// PI003: NIC hot-path files.
@@ -121,7 +126,10 @@ impl Scope {
         if path.starts_with("vendor/") || path.starts_with("crates/lint/") {
             return None;
         }
-        let bench = path.starts_with("crates/bench/");
+        // Criterion bench targets (`crates/*/benches/`) are host-side
+        // harnesses like the bench crate: they time wall clocks and spawn
+        // producer threads on purpose, and never run inside the DES.
+        let bench = path.starts_with("crates/bench/") || path.contains("/benches/");
         // The model checker is a host-side tool like bench (it may read
         // wall clocks for progress reporting and env for CI knobs), but
         // its exploration must still be reproducible, so hash-order
@@ -144,6 +152,9 @@ impl Scope {
             nondet: !tool,
             hash_state: !bench,
             threads,
+            // queue.rs owns the SPSC ring's acquire/release pair — the one
+            // place hand-written atomics are the point, not a smell.
+            atomics: threads && path != "crates/sim/src/queue.rs",
             proto,
             hotpath,
             exporter: true,
@@ -350,6 +361,34 @@ pub fn scan_file(tree: &FileTree, scope: Scope) -> Vec<Finding> {
                     "mpsc channel outside crates/sim/src/parallel.rs".to_string(),
                 );
             }
+        }
+        // ND005, atomics half: constructing an atomic outside the SPSC
+        // ring/engine. Only `Atomic*::new` is flagged — *using* a handle
+        // someone else constructed is the constructor's problem.
+        if scope.atomics
+            && matches!(
+                ident,
+                "AtomicBool"
+                    | "AtomicU8"
+                    | "AtomicU16"
+                    | "AtomicU32"
+                    | "AtomicU64"
+                    | "AtomicUsize"
+                    | "AtomicI8"
+                    | "AtomicI16"
+                    | "AtomicI32"
+                    | "AtomicI64"
+                    | "AtomicIsize"
+                    | "AtomicPtr"
+            )
+            && path_seg(toks, i, "new")
+        {
+            push(
+                &mut out,
+                "ND005",
+                line,
+                format!("{ident}::new outside the SPSC queue / parallel engine"),
+            );
         }
         // --- PI001: narrowing casts -------------------------------------
         if scope.proto
@@ -668,6 +707,7 @@ mod tests {
             nondet: true,
             hash_state: true,
             threads: true,
+            atomics: true,
             proto: true,
             hotpath: true,
             exporter: true,
@@ -725,6 +765,29 @@ mod tests {
         // `available_parallelism` and thread-local storage are not
         // concurrency primitives and stay legal everywhere.
         let benign = "let n = std::thread::available_parallelism();";
+        assert!(rules_of(benign, scope_all()).is_empty());
+    }
+
+    #[test]
+    fn atomic_construction_flagged_only_in_atomics_scope() {
+        let src = r#"
+            static FLAG: AtomicBool = AtomicBool::new(false);
+            let n = AtomicU64::new(0);
+            let p = std::sync::atomic::AtomicUsize::new(7);
+            // AtomicU32::new in a comment is fine
+            let s = "AtomicU32::new in a string is fine";
+        "#;
+        let rules = rules_of(src, scope_all());
+        assert_eq!(rules.iter().filter(|r| **r == "ND005").count(), 3);
+        // The SPSC queue keeps `threads` scope (its tests may not spawn
+        // ad hoc) but drops `atomics` — constructing rings is its job.
+        let queue_scope = Scope {
+            atomics: false,
+            ..scope_all()
+        };
+        assert!(rules_of(src, queue_scope).iter().all(|r| *r != "ND005"));
+        // Loading/storing through a reference is not construction.
+        let benign = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
         assert!(rules_of(benign, scope_all()).is_empty());
     }
 

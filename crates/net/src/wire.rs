@@ -27,7 +27,7 @@
 
 use crate::timing::LinkTiming;
 use crate::topology::{NodeId, Topology};
-use nicbar_sim::SimTime;
+use nicbar_sim::{LatencyMatrix, ShardMap, SimTime};
 use std::sync::Arc;
 
 /// Immutable description of the network: everything a sender needs to
@@ -94,6 +94,64 @@ impl WireModel {
     /// makes it the conservative lookahead for the parallel engine.
     pub fn min_latency(&self) -> SimTime {
         self.timing.latency(1, 0)
+    }
+
+    /// The tightest sound conservative-lookahead matrix for a node
+    /// partition: entry `(i, j)` is the zero-byte flight time over the
+    /// closest cross-shard `(src in shard i, dst in shard j)` node pair —
+    /// every real packet between the two shards crosses at least that many
+    /// hops and carries at least zero bytes, and [`LinkTiming::latency`] is
+    /// monotone in both. `shard_of[node]` maps nodes to shards.
+    ///
+    /// O(nodes²) in the topology's `hops`; builders gate on cluster size
+    /// and fall back to [`LatencyMatrix::uniform`] over
+    /// [`WireModel::min_latency`] beyond it.
+    ///
+    /// # Panics
+    /// Panics if `shards < 2` (a single shard has no pairs to bound).
+    pub fn shard_latency_matrix(&self, shard_of: &[u32], shards: usize) -> LatencyMatrix {
+        assert!(shards > 1, "per-pair bounds need at least two shards");
+        let mut min_hops = vec![u32::MAX; shards * shards];
+        for (a, &sa) in shard_of.iter().enumerate() {
+            let i = sa as usize;
+            for (b, &sb) in shard_of.iter().enumerate() {
+                let j = sb as usize;
+                if i == j || a == b {
+                    continue;
+                }
+                let h = self.topology.hops(NodeId(a), NodeId(b));
+                let slot = &mut min_hops[i * shards + j];
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        LatencyMatrix::from_fn(shards, |i, j| match min_hops[i * shards + j] {
+            // A pair with no node pair (an empty shard) carries no traffic,
+            // so the global minimum is vacuously sound for it.
+            u32::MAX => self.min_latency(),
+            h => self.timing.latency(h, 0),
+        })
+    }
+
+    /// The lookahead matrix a cluster builder should hand the parallel
+    /// engine for shard map `map` over `nodes` nodes: the exact per-pair
+    /// bounds ([`WireModel::shard_latency_matrix`]) when the O(nodes²)
+    /// scan is affordable, the uniform global minimum beyond that (or at
+    /// one shard, where no pair exists). Assumes the standard cluster
+    /// layout — hosts are components `0..nodes`, co-located with their
+    /// NICs, so node `j`'s shard is `map.shard_of(ComponentId(j))`.
+    pub fn lookahead_for(&self, map: &ShardMap, nodes: usize) -> LatencyMatrix {
+        const EXACT_SCAN_MAX_NODES: usize = 4096;
+        let k = map.shards();
+        if k > 1 && nodes <= EXACT_SCAN_MAX_NODES {
+            let node_shard: Vec<u32> = (0..nodes)
+                .map(|j| map.shard_of(nicbar_sim::ComponentId(j)))
+                .collect();
+            self.shard_latency_matrix(&node_shard, k)
+        } else {
+            LatencyMatrix::uniform(k, self.min_latency())
+        }
     }
 }
 
@@ -227,5 +285,30 @@ mod tests {
     #[should_panic(expected = "loopback")]
     fn loopback_rejected() {
         model().flight(NodeId(2), NodeId(2), 8);
+    }
+
+    /// Every matrix entry must lower-bound every real cross-shard flight
+    /// (soundness), and equal the tightest such bound (exactness).
+    #[test]
+    fn shard_latency_matrix_is_tight_and_sound() {
+        let m = model();
+        // Nodes 0..4 on shard 0, 4..8 on shard 1.
+        let shard_of: Vec<u32> = (0..8).map(|n| (n >= 4) as u32).collect();
+        let lat = m.shard_latency_matrix(&shard_of, 2);
+        for (i, j) in [(0usize, 1usize), (1, 0)] {
+            let mut tight = u64::MAX;
+            for a in 0..8usize {
+                for b in 0..8usize {
+                    if a == b || shard_of[a] as usize != i || shard_of[b] as usize != j {
+                        continue;
+                    }
+                    let f = m.flight(NodeId(a), NodeId(b), 0).as_ns();
+                    assert!(f >= lat.get(i, j), "flight {a}->{b} beats the bound");
+                    tight = tight.min(f);
+                }
+            }
+            assert_eq!(lat.get(i, j), tight, "bound ({i},{j}) is not tight");
+        }
+        assert!(lat.min_ns() >= m.min_latency().as_ns());
     }
 }

@@ -634,7 +634,13 @@ impl<M: 'static> Engine<M> {
         link: Option<&mut ShardLink<M>>,
         mut raw: Option<&mut RawObs>,
     ) {
-        debug_assert!(event.time >= self.now, "event queue went backwards");
+        debug_assert!(
+            event.time >= self.now,
+            "event queue went backwards: event at {} for {:?} behind clock {}",
+            event.time,
+            event.target,
+            self.now
+        );
         self.now = event.time;
         self.events_processed += 1;
         let (record_spans, record_pkts, record_ledger, s0, p0, l0) = match raw.as_deref() {
@@ -766,7 +772,11 @@ impl<M: 'static> Engine<M> {
         link: &mut ShardLink<M>,
         mut raw: Option<&mut RawObs>,
     ) -> u64 {
-        link.window_end_ns = end_ns;
+        debug_assert_eq!(
+            link.window_ends[link.my_shard()],
+            end_ns,
+            "worker must pre-set the per-destination window vector"
+        );
         let mut delivered = 0;
         while !self.halted && delivered < max {
             let Some(next) = self.queue.peek_time() else {

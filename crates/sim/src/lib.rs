@@ -95,8 +95,8 @@ pub use engine::{Component, ComponentId, Ctx, Engine, RunOutcome};
 pub use hist::{intern_hist, HistId, Histogram, Histograms};
 pub use ledger::{Ledger, LedgerOp, LedgerRecord, Occ, Owner, OwnerKind, ResKind, NO_UNIT};
 pub use parallel::{EngineSel, ExecEngine, ParallelEngine};
-pub use partition::{node_shard, ShardMap};
-pub use queue::SchedulerKind;
+pub use partition::{node_shard, LatencyMatrix, PartitionSel, ShardMap};
+pub use queue::{SchedulerKind, SpscRing};
 pub use rng::SimRng;
 pub use span::{FlightRecorder, Phase, SpanEvent, SpanSummary, NUM_PHASES};
 pub use telemetry::{

@@ -2,14 +2,41 @@
 //!
 //! [`ParallelEngine`] partitions a fully-built engine's components across
 //! worker threads (one shard each, see [`crate::partition`]), each running
-//! its own event queue, and synchronizes them with the classic conservative
-//! time-window protocol: all shards repeatedly agree on a window
-//! `[H, H + L)` — `H` the global minimum pending event time, `L` the
-//! *lookahead* — and execute their local events inside it without any
-//! further coordination. `L` is the minimum cross-shard message latency
-//! (one switch hop of the modelled fabric, bytes = 0), so an event executed
-//! at time `t` can only schedule onto another shard at `t + L` or later —
-//! never inside the current window. Cross-shard sends travel through
+//! its own event queue, and synchronizes them with the conservative
+//! time-window protocol — with *adaptive per-shard lookahead*: at every
+//! window boundary each shard publishes its earliest pending event time
+//! `next_i`, and every worker (deterministically, from the same published
+//! values) computes each shard's granted window end
+//!
+//! ```text
+//! EAT(i) = min over m of ( next_m + dist(m, i) )     (dist(i, i) = 0)
+//! W(j)   = min over i != j of ( EAT(i) + L(i, j) )
+//! ```
+//!
+//! where `L(i, j)` is the per-pair minimum cross-shard message latency
+//! ([`LatencyMatrix`]) and `dist` its shortest-path closure
+//! ([`LatencyMatrix::closure`]). Shard `j` executes local events strictly
+//! below `W(j)` without any further coordination. The *earliest-activation
+//! time* `EAT(i)` lower-bounds the execution time of any event shard `i`
+//! can ever run from this window on: events already in its queue are
+//! `>= next_i >= EAT(i)`, and anything that could wake it travels a relay
+//! chain from some shard `m` costing at least `next_m + dist(m, i)`. The
+//! naïve bound `W(j) = min(next_i + L(i, j))` is **unsound**: a shard
+//! whose queue is momentarily empty publishes `next = MAX` and constrains
+//! nobody, yet a message from a busy shard can wake it and its reply then
+//! lands in the past of a peer that ran ahead. With `EAT`, an idle shard
+//! still constrains its neighbours through the cheapest chain that could
+//! reach it. Safety: every event shard `i` executes this window has time
+//! `t >= EAT(i)`, so anything it sends to `j` arrives at
+//! `t + L(i, j) >= W(j)` — never inside `j`'s window. Monotonicity: each
+//! shard's next minimum is at or past its previous window end, itself at
+//! least its previous `EAT` (triangle inequality of `dist`), so granted
+//! windows never move backwards across epochs and per-shard delivery
+//! streams stay key-sorted. Progress: the shard(s) holding the global
+//! minimum `H` get `W > H` (every `EAT >= H` and `L > 0`). The classic
+//! global window `[H, H + min L)` is the special case where every pair
+//! shares the worst-case bound; the per-pair form lets far-apart shards
+//! run further ahead per synchronization. Cross-shard sends travel through
 //! per-pair mailboxes and are integrated before the next window is chosen.
 //!
 //! ## Why the result is byte-identical to the sequential engine
@@ -42,15 +69,23 @@
 //! (`(shard + 1) << 40 | index`) which the replay remaps — including ids
 //! that components stored and re-use as causal parents many windows later.
 //!
-//! ## Scratch ownership and steady-state allocation
+//! ## Lock-free mailboxes, scratch ownership, steady-state allocation
 //!
-//! Every mutable structure is owned by exactly one thread at any time:
-//! shard state (engine, outboxes, raw capture) by its worker during a
-//! window, mailbox vectors by the mutex that hands them between a sender's
-//! deposit and the receiver's next integration phase. Buffers are recycled
-//! by `mem::swap` — a deposited outbox vector becomes the receiver's next
-//! scratch and vice versa — so a steady-state window allocates nothing;
-//! the counting-allocator gate (`tests/alloc_steady.rs`) enforces this.
+//! Cross-shard batches move through per-`(from, to)` pairs of bounded SPSC
+//! rings ([`crate::queue::SpscRing`]): the sender pushes its full outbox
+//! vector onto the pair's `full` ring after executing a window (between
+//! the two barriers), and the receiver drains it at its next window open
+//! (before barrier 1), returning the emptied vector on the pair's `free`
+//! ring for the sender to reuse. The two-barrier protocol means a pair can
+//! hold at most one undrained batch at a time, so capacity 2 never
+//! overflows, a deposit is one `Release` store, and no third shard ever
+//! contends on the pair. Draining *before* the window decision preserves
+//! the identity argument: a batch deposited in window `w` is integrated
+//! into the receiver's queue before the window-`w+1` horizon is computed,
+//! exactly when the old mutex mailboxes handed it over. Every mutable
+//! structure remains owned by exactly one thread at any time, and the
+//! vector ping-pong keeps a steady-state window allocation-free; the
+//! counting-allocator gate (`tests/alloc_steady.rs`) enforces this.
 //!
 //! ## Documented divergences from the sequential engine
 //!
@@ -64,23 +99,25 @@
 use crate::causal::{CauseId, NetDump, PacketLog};
 use crate::engine::{ComponentId, Engine, RunOutcome};
 use crate::ledger::{Ledger, LedgerRecord};
-use crate::partition::ShardMap;
-use crate::queue::{pack, SchedulerKind};
+use crate::partition::{LatencyMatrix, ShardMap};
+use crate::queue::{pack, SchedulerKind, SpscRing};
 use crate::span::{FlightRecorder, SpanEvent};
 use crate::telemetry::{EngineProf, ProfClock, ShardProf};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier};
 
 /// Routes a shard's sends: local targets to the local queue, cross-shard
 /// targets into per-destination outboxes.
 pub(crate) struct ShardLink<M> {
     table: Arc<Vec<u32>>,
     my_shard: u32,
-    /// End (exclusive, ns) of the window currently executing; cross-shard
-    /// sends must land at or beyond it (the lookahead guarantee).
-    pub(crate) window_end_ns: u64,
+    /// Granted window end (exclusive, ns) of every *destination* shard for
+    /// the window currently executing; a cross-shard send to shard `j`
+    /// must land at or beyond `window_ends[j]` (the per-pair lookahead
+    /// guarantee). Recomputed by the worker at every window decision.
+    pub(crate) window_ends: Vec<u64>,
     /// One outbox per destination shard (own slot unused).
     pub(crate) outboxes: Vec<Vec<(u128, ComponentId, M)>>,
 }
@@ -91,15 +128,22 @@ impl<M> ShardLink<M> {
         self.table[target.0] == self.my_shard
     }
 
+    /// This link's own shard index (for window-bound sanity checks).
+    #[inline]
+    pub(crate) fn my_shard(&self) -> usize {
+        self.my_shard as usize
+    }
+
     #[inline]
     pub(crate) fn deposit(&mut self, key: u128, at: SimTime, target: ComponentId, msg: M) {
-        debug_assert!(
-            at.as_ns() >= self.window_end_ns,
-            "cross-shard send at {at} lands inside the current window \
-             (end {} ns): the lookahead is overstated",
-            self.window_end_ns
-        );
         let shard = self.table[target.0] as usize;
+        debug_assert!(
+            at.as_ns() >= self.window_ends[shard],
+            "cross-shard send from shard {} at {at} (target {target:?}) lands inside \
+             shard {shard}'s window (end {} ns): the pair's lookahead is overstated",
+            self.my_shard,
+            self.window_ends[shard]
+        );
         self.outboxes[shard].push((key, target, msg));
     }
 }
@@ -175,8 +219,6 @@ struct ShardState<M: 'static> {
     engine: Engine<M>,
     link: ShardLink<M>,
     raw: RawObs,
-    /// Recycled buffer for draining inbound mailboxes.
-    scratch: Vec<(u128, ComponentId, M)>,
     /// Self-profiler, armed by [`ParallelEngine::enable_prof`]. `None` is
     /// the zero-cost default: every hook in the worker loop is one
     /// `Option` branch per *window*, and the disabled path allocates
@@ -184,10 +226,28 @@ struct ShardState<M: 'static> {
     prof: Option<Box<ShardProf>>,
 }
 
-/// One cross-shard mailbox: `(event key, destination, message)` triples
-/// appended by the sender's window and drained by the receiver at the next
-/// window boundary.
-type Mailbox<M> = Mutex<Vec<(u128, ComponentId, M)>>;
+/// One batch of cross-shard sends: `(event key, destination, message)`
+/// triples from one sender window.
+type Batch<M> = Vec<(u128, ComponentId, M)>;
+
+/// One cross-shard mailbox (a single `(from, to)` shard pair): full
+/// batches travel sender → receiver on `full`; emptied vectors come back
+/// on `free` so the steady state recycles instead of allocating. The
+/// two-barrier window protocol bounds the pair to one undrained batch at
+/// a time, so capacity 2 on each ring can never overflow.
+struct Mailbox<M> {
+    full: SpscRing<Batch<M>>,
+    free: SpscRing<Batch<M>>,
+}
+
+impl<M> Mailbox<M> {
+    fn new() -> Self {
+        Mailbox {
+            full: SpscRing::new(2),
+            free: SpscRing::new(2),
+        }
+    }
+}
 
 /// The rank-sharded conservative parallel engine.
 ///
@@ -203,8 +263,8 @@ pub struct ParallelEngine<M: 'static> {
     base: Engine<M>,
     shards: Vec<ShardState<M>>,
     table: Arc<Vec<u32>>,
-    /// Conservative lookahead: minimum cross-shard message latency (ns).
-    lookahead_ns: u64,
+    /// Per-pair conservative lookahead bounds funding the adaptive windows.
+    latency: LatencyMatrix,
     /// Per-pair mailboxes, indexed `[from * K + to]`.
     mail: Vec<Mailbox<M>>,
     /// Per shard: global raw packet index → real netdump id.
@@ -214,21 +274,43 @@ pub struct ParallelEngine<M: 'static> {
 }
 
 impl<M: Send + 'static> ParallelEngine<M> {
-    /// Split `engine` across `map.shards()` workers with the given
+    /// Split `engine` across `map.shards()` workers with one global
     /// conservative lookahead (the minimum latency of any cross-shard
-    /// message; typically the fabric's one-hop zero-byte latency).
+    /// message; typically the fabric's one-hop zero-byte latency). Every
+    /// pair gets the same bound — see [`ParallelEngine::with_latency`] for
+    /// the per-pair form.
     ///
     /// # Panics
     /// Panics if the map does not cover the engine's components or if the
     /// lookahead is zero (a zero lookahead admits no parallel window).
-    pub fn new(mut engine: Engine<M>, map: ShardMap, lookahead: SimTime) -> Self {
+    pub fn new(engine: Engine<M>, map: ShardMap, lookahead: SimTime) -> Self {
+        let latency = LatencyMatrix::uniform(map.shards(), lookahead);
+        Self::with_latency(engine, map, latency)
+    }
+
+    /// Split `engine` across `map.shards()` workers with per-pair
+    /// conservative lookahead bounds: `latency.get(i, j)` must lower-bound
+    /// every message a shard-`i` component can send to a shard-`j`
+    /// component. Tighter-than-true bounds are always safe (uniform global
+    /// minimum is the degenerate case); overstated bounds break the
+    /// byte-identity guarantee and trip a debug assert on deposit.
+    ///
+    /// # Panics
+    /// Panics if the map does not cover the engine's components or if the
+    /// matrix's shard count differs from the map's.
+    pub fn with_latency(mut engine: Engine<M>, map: ShardMap, latency: LatencyMatrix) -> Self {
         assert!(
             map.table().len() == engine.len(),
             "shard map covers {} components, engine has {}",
             map.table().len(),
             engine.len()
         );
-        assert!(!lookahead.is_zero(), "parallel engine needs lookahead > 0");
+        assert!(
+            latency.shards() == map.shards(),
+            "latency matrix covers {} shards, map has {}",
+            latency.shards(),
+            map.shards()
+        );
         let k = map.shards();
         let shard_sizes = map.shard_sizes();
         let table = Arc::new(map.into_table());
@@ -240,11 +322,10 @@ impl<M: Send + 'static> ParallelEngine<M> {
                 link: ShardLink {
                     table: Arc::clone(&table),
                     my_shard: s as u32,
-                    window_end_ns: 0,
+                    window_ends: vec![0; k],
                     outboxes: (0..k).map(|_| Vec::new()).collect(),
                 },
                 raw: RawObs::new(s),
-                scratch: Vec::new(),
                 prof: None,
             })
             .collect();
@@ -262,16 +343,33 @@ impl<M: Send + 'static> ParallelEngine<M> {
             let s = table[ev.target.0] as usize;
             shards[s].engine.queue.push(ev.key, ev.target, ev.msg);
         }
-        let mail = (0..k * k).map(|_| Mutex::new(Vec::new())).collect();
+        let mail = (0..k * k).map(|_| Mailbox::new()).collect();
         ParallelEngine {
             base: engine,
             shards,
             table,
-            lookahead_ns: lookahead.as_ns(),
+            latency,
             mail,
             pkt_remap: (0..k).map(|_| Vec::new()).collect(),
             shard_sizes,
         }
+    }
+
+    /// Replace the lookahead bounds, e.g. after swapping the wire model of
+    /// a built cluster. The new matrix must be sound for the *new* message
+    /// latencies — callers that only know a global minimum should pass
+    /// [`LatencyMatrix::uniform`].
+    ///
+    /// # Panics
+    /// Panics if the matrix's shard count differs from the engine's.
+    pub fn set_latency(&mut self, latency: LatencyMatrix) {
+        assert!(
+            latency.shards() == self.shards.len(),
+            "latency matrix covers {} shards, engine has {}",
+            latency.shards(),
+            self.shards.len()
+        );
+        self.latency = latency;
     }
 
     /// Arm the per-shard self-profiler (see [`crate::telemetry`]). All
@@ -296,7 +394,7 @@ impl<M: Send + 'static> ParallelEngine<M> {
         }
         Some(EngineProf {
             shards: self.shards.len(),
-            lookahead_ns: self.lookahead_ns,
+            lookahead_ns: self.latency.min_ns(),
             data,
         })
     }
@@ -306,9 +404,10 @@ impl<M: Send + 'static> ParallelEngine<M> {
         self.shards.len()
     }
 
-    /// The conservative lookahead window width.
+    /// The minimum conservative lookahead over all shard pairs (what a
+    /// global-window protocol would grant every window).
     pub fn lookahead(&self) -> SimTime {
-        SimTime::from_ns(self.lookahead_ns)
+        SimTime::from_ns(self.latency.min_ns())
     }
 
     /// Which scheduler implementation the shard queues run on.
@@ -458,10 +557,6 @@ impl<M: Send + 'static> ParallelEngine<M> {
     pub fn run_bounded(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
         let k = self.shards.len();
         let deadline_ns = deadline.as_ns();
-        // With one shard there is no cross-shard traffic, so the whole run
-        // is a single window: the sequential loop plus once-per-call
-        // overhead. This is what the engine-sweep overhead gate measures.
-        let lookahead = if k == 1 { u64::MAX } else { self.lookahead_ns };
         let record_spans = self.base.trace.is_enabled() || self.base.recorder.is_enabled();
         let record_pkts = self.base.netdump.is_enabled();
         let record_ledger = self.base.ledger.is_enabled();
@@ -476,12 +571,22 @@ impl<M: Send + 'static> ParallelEngine<M> {
         let events: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
         let halted = AtomicBool::new(false);
         let barrier = Barrier::new(k);
+        // Split the shard list (mutably, per worker) from the shared
+        // read-only latency matrix so the worker closures can borrow both.
+        let latency = &self.latency;
+        // Shortest-path closure of the latency graph: bounds wake-up relay
+        // chains in the window computation (see `shard_worker`). O(k³)
+        // once per call, against O(k²) per window below.
+        let relay = latency.closure();
+        let relay = relay.as_slice();
         if k == 1 {
             // One shard needs no worker thread: run the window loop on the
             // calling thread (a 1-party barrier never blocks, the atomics
-            // are uncontended). This keeps the 1-shard flavour a thin
-            // wrapper over the sequential core — the property the
-            // engine-sweep overhead gate measures.
+            // are uncontended). With no other shard to constrain it, the
+            // adaptive bound degenerates to the deadline, so the whole run
+            // is a single window — the sequential loop plus once-per-call
+            // overhead, which is what the engine-sweep overhead gate
+            // measures.
             shard_worker(
                 0,
                 1,
@@ -493,7 +598,8 @@ impl<M: Send + 'static> ParallelEngine<M> {
                 &self.mail,
                 deadline_ns,
                 max_events,
-                lookahead,
+                latency,
+                relay,
                 obs,
             );
         } else {
@@ -516,7 +622,8 @@ impl<M: Send + 'static> ParallelEngine<M> {
                             mail,
                             deadline_ns,
                             max_events,
-                            lookahead,
+                            latency,
+                            relay,
                             obs,
                         );
                     });
@@ -962,20 +1069,26 @@ fn shard_worker<M: Send + 'static>(
     mail: &[Mailbox<M>],
     deadline_ns: u64,
     max_events: u64,
-    lookahead: u64,
+    latency: &LatencyMatrix,
+    relay: &[u64],
     obs: bool,
 ) {
     let ShardState {
         engine,
         link,
         raw,
-        scratch,
         prof,
     } = state;
     let mut delivered_total: u64 = 0;
+    // Earliest-activation scratch for the window computation, allocated
+    // once per run (never inside the window loop — the counting-allocator
+    // gate watches).
+    let mut eat: Vec<u64> = vec![0; k];
     loop {
-        // Phase A: integrate inbound mail, publish queue minimum / event
-        // count / halt flag.
+        // Phase A: integrate inbound batches, publish queue minimum /
+        // event count / halt flag. Popping the pair's `full` ring is the
+        // only synchronization a drain needs; the emptied vector goes
+        // straight back on `free` for the sender to reuse.
         if let Some(p) = prof.as_deref_mut() {
             p.window_open();
         }
@@ -984,13 +1097,11 @@ fn shard_worker<M: Send + 'static>(
             if from == me {
                 continue;
             }
-            {
-                let mut slot = mail[from * k + me].lock().expect("mailbox poisoned");
-                std::mem::swap(&mut *slot, scratch);
-            }
-            received += scratch.len() as u64;
-            for (key, target, msg) in scratch.drain(..) {
-                engine.queue.push(key, target, msg);
+            let mb = &mail[from * k + me];
+            while let Some(mut batch) = mb.full.pop() {
+                received += batch.len() as u64;
+                engine.queue.push_batch(batch.drain(..));
+                let _ = mb.free.push(batch);
             }
         }
         if let Some(p) = prof.as_deref_mut() {
@@ -1037,9 +1148,47 @@ fn shard_worker<M: Send + 'static>(
             }
             break;
         }
-        let window_end = h
-            .saturating_add(lookahead)
-            .min(deadline_ns.saturating_add(1));
+        // Adaptive per-destination windows: every worker recomputes the
+        // full vector from the same frozen published minima, so the
+        // window bound — and the deposit-time soundness check — agree
+        // byte-for-byte across shards. A shard's published minimum alone
+        // does not bound its future sends: a shard with an empty (or
+        // late) queue can be *woken* by a message from a busier shard and
+        // reply long before anything currently in its own queue. The
+        // earliest-activation time
+        //
+        //   EAT(i) = min over m of ( next_m + dist(m, i) )
+        //
+        // with `dist` the shortest-path closure of the latency matrix
+        // (zero diagonal, so EAT(i) <= next_i), lower-bounds the
+        // execution time of *any* event shard `i` can run from this
+        // window on — wake-up relay chains of arbitrary depth included —
+        // and the granted windows are W(j) = min over i != j of
+        // ( EAT(i) + L(i, j) ). EAT is monotone across windows (every
+        // event a shard integrates or keeps is at or past its previous
+        // window end, itself at least its previous EAT), so granted
+        // windows never move backwards and each shard's delivery stream
+        // stays key-sorted for the final merge. With one shard the min
+        // over an empty set stays `MAX` and the deadline cap makes the
+        // whole run a single window.
+        for (i, e) in eat.iter_mut().enumerate() {
+            *e = mins
+                .iter()
+                .enumerate()
+                .map(|(m, v)| v.load(Ordering::Relaxed).saturating_add(relay[m * k + i]))
+                .min()
+                .expect("at least one shard");
+        }
+        for (j, w) in link.window_ends.iter_mut().enumerate() {
+            *w = u64::MAX;
+            for (i, e) in eat.iter().enumerate() {
+                if i != j {
+                    *w = (*w).min(e.saturating_add(latency.get(i, j)));
+                }
+            }
+            *w = (*w).min(deadline_ns.saturating_add(1));
+        }
+        let window_end = link.window_ends[me];
         if let Some(p) = prof.as_deref_mut() {
             p.busy_begin(h, window_end, engine.queue_depth() as u64);
         }
@@ -1058,9 +1207,10 @@ fn shard_worker<M: Send + 'static>(
             p.busy_end(delivered, advance);
             p.drain_begin();
         }
-        // Deposit outboxes: swap the full vector into the mailbox and take
-        // the (empty) mailbox vector back as the next outbox — no
-        // steady-state allocation.
+        // Deposit outboxes: move the full vector into the pair's SPSC
+        // ring (one `Release` store) and take a recycled empty vector
+        // back as the next outbox — no steady-state allocation. The ring
+        // cannot be full: the receiver drained it before barrier 1.
         for (to, outbox) in link.outboxes.iter_mut().enumerate() {
             if to == me || outbox.is_empty() {
                 continue;
@@ -1068,9 +1218,12 @@ fn shard_worker<M: Send + 'static>(
             if let Some(p) = prof.as_deref_mut() {
                 p.deposit(to, outbox.len() as u64);
             }
-            let mut slot = mail[me * k + to].lock().expect("mailbox poisoned");
-            debug_assert!(slot.is_empty(), "mailbox not drained by receiver");
-            std::mem::swap(&mut *slot, outbox);
+            let mb = &mail[me * k + to];
+            let replacement = mb.free.pop().unwrap_or_default();
+            let batch = std::mem::replace(outbox, replacement);
+            if mb.full.push(batch).is_err() {
+                unreachable!("cross-shard mailbox overflow: receiver failed to drain");
+            }
         }
         if let Some(p) = prof.as_deref_mut() {
             p.drain_end(0);
@@ -1328,6 +1481,47 @@ mod tests {
         let seq = drive(None);
         assert_eq!(seq, drive(Some(2)));
         assert_eq!(seq, drive(Some(3)));
+    }
+
+    /// Per-pair bounds tighter than the global minimum must still
+    /// reproduce the sequential run exactly — adaptive windows only change
+    /// how often shards synchronize, never what they deliver.
+    #[test]
+    fn non_uniform_latency_matrix_preserves_parity() {
+        let n = 12;
+        let seq = run_seq(n, 12, SimTime::MAX);
+        for shards in [2usize, 3, 4] {
+            let engine = build_ring(n, 12);
+            let map = ShardMap::by_node(n, n, shards, |c| c);
+            let k = map.shards();
+            // Ring traffic only crosses from shard s to shard s+1 (mod k);
+            // every other pair carries no messages, so a huge bound is
+            // vacuously sound and lets those pairs run far ahead. The
+            // deposit debug_assert checks the claim on every send.
+            let lat = LatencyMatrix::from_fn(k, |i, j| {
+                if j == (i + 1) % k {
+                    SimTime::from_ns(HOP_NS)
+                } else {
+                    SimTime::from_ns(1_000_000)
+                }
+            });
+            let mut p = ParallelEngine::with_latency(engine, map, lat);
+            p.enable_trace();
+            p.enable_netdump();
+            let outcome = p.run_until(SimTime::MAX);
+            let par = Observed {
+                now: p.now(),
+                events: p.events_processed(),
+                counters: p.counters().snapshot(),
+                logs: (0..n)
+                    .map(|i| p.component_ref::<Node>(ComponentId(i)).unwrap().log.clone())
+                    .collect(),
+                trace: p.trace().iter().copied().collect(),
+                pkts: p.netdump().records().to_vec(),
+                outcome,
+            };
+            assert_same(&seq, &par, &format!("non-uniform matrix, {shards} shards"));
+        }
     }
 
     /// The self-profiler must not perturb the run (byte-identity holds with

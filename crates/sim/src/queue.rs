@@ -41,6 +41,7 @@ use crate::engine::ComponentId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering as AtomicOrd;
 
 /// Which event-queue implementation an engine runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -718,6 +719,119 @@ impl<M> EventQueue<M> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bounded SPSC ring — the lock-free cross-shard mailbox transport
+// ---------------------------------------------------------------------------
+
+/// A bounded single-producer single-consumer ring queue.
+///
+/// This is the transport under the parallel engine's cross-shard mailboxes
+/// (`crate::parallel`): each `(from, to)` shard pair owns one ring for full
+/// batches and one for recycled empties, so a deposit is one `Release`
+/// store and a drain one `Acquire` load — no mutex, no syscall, no
+/// contention with any third shard. The two-barrier window protocol
+/// guarantees at most one undrained batch per pair per window, so a tiny
+/// fixed capacity suffices and `push` failure is a protocol violation, not
+/// a flow-control event.
+///
+/// Safety model: `head` (consumer cursor) and `tail` (producer cursor) are
+/// monotonically increasing and each is written by exactly one side. A slot
+/// at index `i` is owned by the producer when `i - head < capacity` and
+/// `i >= tail`, and by the consumer when `head <= i < tail`; the
+/// Acquire/Release pair on the cursor the *other* side reads transfers
+/// ownership of the slot's contents. The cursors sit on separate cache
+/// lines so the two sides never false-share.
+pub struct SpscRing<T> {
+    slots: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<T>>]>,
+    /// Next slot to pop (written by the consumer only).
+    head: CacheAligned,
+    /// Next slot to push (written by the producer only).
+    tail: CacheAligned,
+}
+
+/// A `u64` cursor padded to a cache line, so the producer's and consumer's
+/// cursors never share one.
+#[repr(align(64))]
+#[derive(Default)]
+struct CacheAligned(std::sync::atomic::AtomicU64);
+
+// SAFETY: the ring hands each `T` from exactly one thread to exactly one
+// other thread with Acquire/Release ordering on the cursor stores (the same
+// contract as a channel), so it is `Sync` whenever `T` may move between
+// threads.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// An empty ring holding at most `capacity` items (must be nonzero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity ring can never transfer");
+        SpscRing {
+            slots: (0..capacity)
+                .map(|_| std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()))
+                .collect(),
+            head: CacheAligned::default(),
+            tail: CacheAligned::default(),
+        }
+    }
+
+    /// Number of items currently in flight (approximate under concurrency:
+    /// exact from either endpoint's own perspective).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(AtomicOrd::Acquire);
+        let head = self.head.0.load(AtomicOrd::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring is currently empty (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: append `value`, or hand it back if the ring is full.
+    ///
+    /// Must only be called by the single producer thread of this ring.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.0.load(AtomicOrd::Relaxed);
+        let head = self.head.0.load(AtomicOrd::Acquire);
+        if tail - head >= self.slots.len() as u64 {
+            return Err(value);
+        }
+        let slot = &self.slots[(tail % self.slots.len() as u64) as usize];
+        // SAFETY: `tail - head < capacity` means this slot's previous
+        // occupant (if any) was popped — the consumer's Release store of
+        // `head`, which we Acquire-loaded above, transferred the empty slot
+        // back to us. We are the only producer, so nobody else writes it.
+        unsafe { (*slot.get()).write(value) };
+        self.tail.0.store(tail + 1, AtomicOrd::Release);
+        Ok(())
+    }
+
+    /// Consumer side: take the oldest item, if any.
+    ///
+    /// Must only be called by the single consumer thread of this ring.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.0.load(AtomicOrd::Relaxed);
+        let tail = self.tail.0.load(AtomicOrd::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        // SAFETY: `head < tail` and the Acquire load of `tail` make the
+        // producer's write of this slot visible; advancing `head` below
+        // hands the emptied slot back. We are the only consumer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head.0.store(head + 1, AtomicOrd::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Exclusive access: pop and drop whatever is still in flight.
+        while self.pop().is_some() {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -912,5 +1026,80 @@ mod tests {
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn spsc_push_pop_fifo_and_capacity() {
+        let ring: SpscRing<u32> = SpscRing::new(2);
+        assert!(ring.is_empty());
+        assert!(ring.pop().is_none());
+        ring.push(1).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.push(3), Err(3), "full ring hands the value back");
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(4).unwrap();
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(4));
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn spsc_wraps_many_times() {
+        let ring: SpscRing<usize> = SpscRing::new(3);
+        for i in 0..1000 {
+            ring.push(i).unwrap();
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn spsc_drops_in_flight_items() {
+        // Drop with items still queued must drop each exactly once.
+        use std::sync::atomic::AtomicU64;
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, AtomicOrd::Relaxed);
+            }
+        }
+        let ring: SpscRing<Canary> = SpscRing::new(4);
+        assert!(ring.push(Canary).is_ok());
+        assert!(ring.push(Canary).is_ok());
+        drop(ring.pop());
+        drop(ring);
+        assert_eq!(DROPS.load(AtomicOrd::Relaxed), 2);
+    }
+
+    #[test]
+    fn spsc_transfers_across_threads() {
+        // A two-thread stress run: every value arrives exactly once, in
+        // order, under real concurrency (Miri-friendly size).
+        let ring: SpscRing<u64> = SpscRing::new(2);
+        let total: u64 = 10_000;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut next = 0u64;
+                while next < total {
+                    match ring.push(next) {
+                        Ok(()) => next += 1,
+                        Err(_) => std::hint::spin_loop(),
+                    }
+                }
+            });
+            let mut expect = 0u64;
+            while expect < total {
+                match ring.pop() {
+                    Some(v) => {
+                        assert_eq!(v, expect);
+                        expect += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+        });
+        assert!(ring.is_empty());
     }
 }

@@ -35,7 +35,7 @@ fn main() {
         CollFeatures::paper(),
         n,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     )
     .mean_us;
     let quiet_direct = gm_nic_barrier(
@@ -43,11 +43,16 @@ fn main() {
         CollFeatures::direct(),
         n,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     )
     .mean_us;
-    let quiet_host =
-        gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg).mean_us;
+    let quiet_host = gm_host_barrier(
+        GmParams::lanai_xp(),
+        n,
+        Algorithm::Dissemination,
+        cfg.clone(),
+    )
+    .mean_us;
 
     for outstanding in [2u32, 4, 8] {
         let traffic = TrafficCfg {
@@ -59,7 +64,7 @@ fn main() {
             CollFeatures::paper(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
             traffic,
         )
         .mean_us;
@@ -68,7 +73,7 @@ fn main() {
             CollFeatures::direct(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
             traffic,
         )
         .mean_us;
@@ -76,7 +81,7 @@ fn main() {
             GmParams::lanai_xp(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
             traffic,
         )
         .mean_us;

@@ -37,7 +37,12 @@ fn main() {
         // grain/2; use that for the efficiency denominator.
         let compute = grain / 2.0;
 
-        let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg);
+        let host = gm_host_barrier(
+            GmParams::lanai_xp(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
         let nic = gm_nic_barrier(
             GmParams::lanai_xp(),
             CollFeatures::paper(),

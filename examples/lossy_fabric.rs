@@ -30,13 +30,18 @@ fn main() {
             seed: 99,
             ..RunCfg::default()
         };
-        let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg);
+        let host = gm_host_barrier(
+            GmParams::lanai_xp(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
         let nic = gm_nic_barrier(
             GmParams::lanai_xp(),
             CollFeatures::paper(),
             n,
             Algorithm::Dissemination,
-            cfg,
+            cfg.clone(),
         );
         let total = cfg.total() as f64;
         println!(

@@ -29,10 +29,20 @@ fn main() {
         "nodes", "chain barrier", "thread barrier", "overhead", "thread allreduce"
     );
     for n in [2usize, 4, 8, 16, 32] {
-        let chain = elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, cfg);
-        let thread = elan_thread_barrier(ElanParams::elan3(), n, cfg);
-        let (reduce, _) =
-            elan_thread_allreduce(ElanParams::elan3(), n, cfg, ReduceOp::Max, |r, _| r as u64);
+        let chain = elan_nic_barrier(
+            ElanParams::elan3(),
+            n,
+            Algorithm::Dissemination,
+            cfg.clone(),
+        );
+        let thread = elan_thread_barrier(ElanParams::elan3(), n, cfg.clone());
+        let (reduce, _) = elan_thread_allreduce(
+            ElanParams::elan3(),
+            n,
+            cfg.clone(),
+            ReduceOp::Max,
+            |r, _| r as u64,
+        );
         println!(
             "{n:>6} {:>12.2}µs {:>12.2}µs {:>9.0}% {:>14.2}µs",
             chain.mean_us,

@@ -28,7 +28,7 @@ fn main() {
         CollFeatures::paper(),
         n,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     let host = gm_host_barrier(GmParams::lanai_xp(), n, Algorithm::Dissemination, cfg);
 

@@ -140,13 +140,29 @@ echo "check.sh: allocation gate OK"
 # ceil(log2 N) staircase, and the engine-comparison series must reproduce
 # the sequential latency bit-for-bit under sharding. On hosts with >= 8
 # hardware threads fig_scale additionally asserts the 8-shard parallel
-# engine beats sequential by >= 3x on the 4096-node gm point (skipped with
-# a visible message on smaller hosts) — fig_scale exits nonzero otherwise.
+# engine beats sequential by >= 4.5x on the 4096-node gm point (raised
+# from 3x when adaptive lookahead + SPSC mailboxes landed; skipped with a
+# visible message on smaller hosts) — fig_scale exits nonzero otherwise.
+# Every run also appends the speedup series to BENCH_par.json; the before
+# count feeds the trajectory gate below.
+count_runs() { grep -c '"manifest"' "$1" 2>/dev/null || true; }
+runs_before_par=$(count_runs BENCH_par.json); runs_before_par=${runs_before_par:-0}
 fig_scale_gate() {
     cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick > /dev/null
 }
 gate "fig-scale-smoke" fig_scale_gate
 echo "check.sh: fig_scale smoke OK"
+
+# Profile-guided partition parity smoke: the same quick sweep driven by
+# the committed PR-7 profiler capture must pass fig_scale's internal
+# sequential-vs-parallel identity assertions with the profile-derived
+# shard map — the partitioner may only change wall-clock, never results.
+fig_scale_profile_gate() {
+    cargo run --release -q -p nicbar-bench --bin fig_scale -- --quick \
+        --partition profile=results/engine_prof_pr7.json > /dev/null
+}
+gate "fig-scale-profile-partition" fig_scale_profile_gate
+echo "check.sh: profile-guided partition parity OK"
 
 # Tracked perf-trajectory artifacts: quick fig5/fig7 sweeps append a run
 # to BENCH_fig5.json and BENCH_fig7.json at the repo root (median + p99
@@ -155,16 +171,17 @@ echo "check.sh: fig_scale smoke OK"
 # append-only: the number of manifest-stamped runs in each artifact must
 # never decrease across a regeneration (the writer caps the history at
 # MAX_RUNS, so "not fewer than before, and at least one" is the invariant).
-# (grep -c prints 0 *and* exits 1 on zero matches; missing file prints
-# nothing — normalize both to a plain number.)
-count_runs() { grep -c '"manifest"' "$1" 2>/dev/null || true; }
+# BENCH_par.json (written by both fig_scale runs above) is held to the
+# same monotonicity bar against its pre-smoke count. (grep -c prints 0
+# *and* exits 1 on zero matches; missing file prints nothing — both
+# normalized to a plain number by count_runs above.)
 bench_trajectory_gate() {
     local runs_before_fig5 runs_before_fig7 runs_after_fig5 runs_after_fig7
     runs_before_fig5=$(count_runs BENCH_fig5.json); runs_before_fig5=${runs_before_fig5:-0}
     runs_before_fig7=$(count_runs BENCH_fig7.json); runs_before_fig7=${runs_before_fig7:-0}
     cargo run --release -q -p nicbar-bench --bin fig5 -- --quick > /dev/null
     cargo run --release -q -p nicbar-bench --bin fig7 -- --quick > /dev/null
-    for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json; do
+    for f in BENCH_fig5.json BENCH_fig7.json BENCH_scale.json BENCH_par.json; do
         [ -s "$f" ] || { echo "check.sh: missing $f" >&2; return 1; }
         grep -q '"manifest"' "$f" || { echo "check.sh: $f lacks a manifest" >&2; return 1; }
         grep -q '"runs"' "$f" || { echo "check.sh: $f is not an append-only trajectory" >&2; return 1; }
@@ -175,7 +192,13 @@ bench_trajectory_gate() {
         echo "check.sh: trajectory shrank (fig5 $runs_before_fig5 -> $runs_after_fig5, fig7 $runs_before_fig7 -> $runs_after_fig7)" >&2
         return 1
     fi
-    echo "check.sh: BENCH artifacts OK (fig5 runs: $runs_after_fig5, fig7 runs: $runs_after_fig7)"
+    local runs_after_par
+    runs_after_par=$(count_runs BENCH_par.json); runs_after_par=${runs_after_par:-0}
+    if [ "$runs_after_par" -lt "$runs_before_par" ] || [ "$runs_after_par" -lt 1 ]; then
+        echo "check.sh: BENCH_par.json trajectory shrank ($runs_before_par -> $runs_after_par)" >&2
+        return 1
+    fi
+    echo "check.sh: BENCH artifacts OK (fig5 runs: $runs_after_fig5, fig7 runs: $runs_after_fig7, par runs: $runs_after_par)"
 }
 gate "bench-trajectory" bench_trajectory_gate
 

@@ -67,13 +67,13 @@ fn both_substrates_charge_one_packet_per_schedule_send() {
     // messages per dissemination barrier.
     let c = cfg();
     for n in [4usize, 8] {
-        let q = elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, c);
+        let q = elan_nic_barrier(ElanParams::elan3(), n, Algorithm::Dissemination, c.clone());
         let m = gm_nic_barrier(
             GmParams::lanai_xp(),
             CollFeatures::paper(),
             n,
             Algorithm::Dissemination,
-            c,
+            c.clone(),
         );
         let expect = (n * nicbar::core::ceil_log2(n)) as f64;
         assert!((q.wire_per_barrier - expect).abs() < 0.01, "elan n={n}");
@@ -119,7 +119,7 @@ fn soak_thousands_of_epochs_with_loss_and_skew() {
         CollFeatures::paper(),
         8,
         Algorithm::Dissemination,
-        cfg,
+        cfg.clone(),
     );
     assert!(s.mean_us > 0.0);
     let elan_cfg = RunCfg {

@@ -298,3 +298,88 @@ fn exporter_output_is_byte_identical_across_engines() {
         }
     }
 }
+
+/// Shard counts beyond the rank count clamp to the rank count — excess
+/// shards would sit empty yet still pay every window barrier — and the
+/// clamped run still reproduces the sequential bytes.
+#[test]
+fn oversharded_run_clamps_and_matches_sequential() {
+    let seq = gm_flight(16, Algorithm::Dissemination, EngineSel::Sequential, 1);
+    let par = gm_flight(16, Algorithm::Dissemination, EngineSel::Parallel, 64);
+    // The breakdown stamp names the *effective* shard count.
+    let stamp = nicbar_bench::flight::breakdown(&par);
+    assert!(
+        stamp.contains("engine: parallel(16)"),
+        "shards=64 on n=16 should clamp to 16 shards, got:\n{stamp}"
+    );
+    assert_parity("gm shards=64 clamped to n=16", &seq, &par);
+}
+
+/// A hand-built `Weighted` partition — deliberately lumpy weights and
+/// boundary costs, so the cut points move away from the contiguous
+/// default — must be invisible in the observable run: partitioning only
+/// redistributes work across workers, never reorders delivered events.
+#[test]
+fn weighted_partition_matches_sequential_byte_for_byte() {
+    use nicbar::sim::PartitionSel;
+    let sel = PartitionSel::Weighted {
+        weights: (0..16u64).map(|j| 1 + (j % 5) * 7).collect(),
+        boundary_cost: (0..16u64).map(|j| (j * 13) % 11).collect(),
+    };
+    let run = |engine, shards, partition| {
+        gm_nic_barrier_flight(
+            GmParams::lanai_xp(),
+            CollFeatures::paper(),
+            16,
+            Algorithm::Dissemination,
+            RunCfg {
+                partition,
+                ..cfg(engine, shards)
+            },
+        )
+    };
+    let seq = run(EngineSel::Sequential, 1, PartitionSel::Contiguous);
+    for shards in [2, 5, 8] {
+        let par = run(EngineSel::Parallel, shards, sel.clone());
+        assert_parity(&format!("gm weighted shards={shards}"), &seq, &par);
+    }
+}
+
+/// The full profile-guided loop: a real `engine_prof` capture (the
+/// committed PR-7 baseline) feeds `partition_from_profile`, and the
+/// resulting partition must preserve byte-identity. The profile was taken
+/// at a different node count — `balanced_by_weight` resamples it — which
+/// is exactly how a stale profile will be used in practice.
+#[test]
+fn profile_guided_partition_matches_sequential() {
+    use nicbar::sim::PartitionSel;
+    use nicbar_bench::engineprof::partition_from_profile;
+    let sel = partition_from_profile("results/engine_prof_pr7.json").unwrap_or_else(|| {
+        // Tree without the committed capture: a synthetic ramp profile
+        // keeps the parity claim under test.
+        PartitionSel::Weighted {
+            weights: (0..64u64).map(|j| 1 + j / 4).collect(),
+            boundary_cost: (0..64u64).map(|j| j % 9).collect(),
+        }
+    });
+    assert!(
+        matches!(sel, PartitionSel::Weighted { .. }),
+        "profile must produce a weighted partition"
+    );
+    let run = |engine, shards, partition| {
+        elan_nic_barrier_flight(
+            ElanParams::elan3(),
+            16,
+            Algorithm::Dissemination,
+            RunCfg {
+                partition,
+                ..cfg(engine, shards)
+            },
+        )
+    };
+    let seq = run(EngineSel::Sequential, 1, PartitionSel::Contiguous);
+    for shards in [3, 8] {
+        let par = run(EngineSel::Parallel, shards, sel.clone());
+        assert_parity(&format!("elan profile-guided shards={shards}"), &seq, &par);
+    }
+}

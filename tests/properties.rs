@@ -138,7 +138,7 @@ proptest! {
         algo in prop_oneof![Just(Algorithm::Dissemination), Just(Algorithm::PairwiseExchange)],
     ) {
         let cfg = RunCfg { warmup: 5, iters: 50, seed, ..RunCfg::default() };
-        let nic = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), n, algo, cfg);
+        let nic = gm_nic_barrier(GmParams::lanai_xp(), CollFeatures::paper(), n, algo, cfg.clone());
         let host = gm_host_barrier(GmParams::lanai_xp(), n, algo, cfg);
         prop_assert!(
             nic.mean_us < host.mean_us,

@@ -151,7 +151,12 @@ fn thousand_node_projections_have_the_right_magnitude() {
         iters: 100,
         ..RunCfg::default()
     };
-    let q = elan_nic_barrier(ElanParams::elan3(), 1024, Algorithm::Dissemination, big);
+    let q = elan_nic_barrier(
+        ElanParams::elan3(),
+        1024,
+        Algorithm::Dissemination,
+        big.clone(),
+    );
     let m = gm_nic_barrier(
         GmParams::lanai_xp(),
         CollFeatures::paper(),
@@ -197,7 +202,12 @@ fn thousand_node_dissemination_matches_the_log2_staircase_model() {
         t_trig: 4.67,
         t_adj: 0.0,
     };
-    let q = elan_nic_barrier(ElanParams::elan3(), 1024, Algorithm::Dissemination, big);
+    let q = elan_nic_barrier(
+        ElanParams::elan3(),
+        1024,
+        Algorithm::Dissemination,
+        big.clone(),
+    );
     assert!(
         within(q.mean_us, refit_quadrics.predict(1024), 0.10),
         "Quadrics @1024 = {:.2}µs vs staircase model {:.2}µs",
